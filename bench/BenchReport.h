@@ -1,0 +1,68 @@
+//===- BenchReport.h - Shared reporting helpers for the harness -*- C++-*-===//
+///
+/// \file
+/// Helpers shared by the per-table/per-figure harness binaries: formatting
+/// run outcomes the way the paper's tables do ('-' for timeouts, step
+/// strings of bullets), and splitting records per algorithm.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SE2GIS_BENCH_BENCHREPORT_H
+#define SE2GIS_BENCH_BENCHREPORT_H
+
+#include "suite/Runner.h"
+#include "support/TableWriter.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace se2gis {
+
+/// Formats a run like the paper's time columns: seconds on success, '-' on
+/// timeout, the symbol used in the appendix for hard failures.
+inline std::string formatRun(const SuiteRecord &R) {
+  if (isSolved(R))
+    return formatSeconds(R.Result.Stats.ElapsedMs);
+  if (R.Result.O == Outcome::Failed)
+    return "x";
+  return "-";
+}
+
+/// Formats a paper reference time (seconds / '-' / blank).
+inline std::string formatPaper(double Sec) {
+  if (Sec == kPaperTimeout)
+    return "-";
+  if (Sec == kPaperNotReported)
+    return "";
+  char Buf[32];
+  std::snprintf(Buf, sizeof(Buf), "%.3f", Sec);
+  return Buf;
+}
+
+/// All records of one algorithm, in registry order.
+inline std::vector<const SuiteRecord *>
+recordsOf(const std::vector<SuiteRecord> &Records, AlgorithmKind K) {
+  std::vector<const SuiteRecord *> Out;
+  for (const SuiteRecord &R : Records)
+    if (R.Algorithm == K)
+      Out.push_back(&R);
+  return Out;
+}
+
+/// Solve times (ms) of the solved runs, sorted ascending (a quantile
+/// series).
+inline std::vector<double>
+quantileSeries(const std::vector<const SuiteRecord *> &Records) {
+  std::vector<double> Times;
+  for (const SuiteRecord *R : Records)
+    if (isSolved(*R))
+      Times.push_back(R->Result.Stats.ElapsedMs);
+  std::sort(Times.begin(), Times.end());
+  return Times;
+}
+
+} // namespace se2gis
+
+#endif // SE2GIS_BENCH_BENCHREPORT_H

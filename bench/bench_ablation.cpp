@@ -1,0 +1,91 @@
+//===- bench_ablation.cpp - Ablating the design choices -------------------===//
+///
+/// \file
+/// Ablation study (ours; DESIGN.md calls the choices out) over a
+/// representative subset of the suite: SE²GIS with each of the three
+/// implementation-level design decisions disabled in turn:
+///
+///  - **EUF anchoring**: soft equalities tying the uninterpreted-function
+///    model to the previous candidate's predictions (without it, Z3 fills
+///    underconstrained cells with ungeneralizable values),
+///  - **ite path-splitting**: turning `p ⇒ ite(c, l1, l2) = r` into two
+///    guarded equations (without it, frames over-approximate argument
+///    equality and the witness generator goes blind),
+///  - **lemma replay**: feeding learned invariants back into the final
+///    induction proof (without it, solutions fall back to bounded checks).
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchReport.h"
+
+using namespace se2gis;
+
+namespace {
+
+const char *Subset[] = {
+    "list/sum",          "list/mps",
+    "sortedlist/min",    "sortedlist/count_lt",
+    "sortedlist/max",    "bst/contains",
+    "evenlist/parity_of_sum", "constlist/max",
+    "parallel/sum",      "postcond/min_max",
+    "unreal/sum",        "unreal/min_no_invariant",
+    "unreal/parity",     "unreal/frequency_fig2b",
+};
+
+struct Config {
+  const char *Name;
+  bool NoAnchor, NoSplit, NoLemmas;
+};
+
+} // namespace
+
+int main() {
+  std::int64_t TimeoutMs = 4000;
+  if (const char *T = std::getenv("SE2GIS_TIMEOUT_MS"))
+    TimeoutMs = std::atoll(T);
+
+  const Config Configs[] = {
+      {"full", false, false, false},
+      {"-anchoring", true, false, false},
+      {"-splitting", false, true, false},
+      {"-lemma-replay", false, false, true},
+  };
+
+  TableWriter Table({"config", "solved", "of", "total-ms", "inductive"});
+  for (const Config &C : Configs) {
+    int Solved = 0, Total = 0, Inductive = 0;
+    double TotalMs = 0;
+    for (const char *Name : Subset) {
+      const BenchmarkDef *Def = findBenchmark(Name);
+      if (!Def)
+        continue;
+      ++Total;
+      Problem P = loadBenchmark(*Def);
+      AlgoOptions Opts;
+      Opts.TimeoutMs = TimeoutMs;
+      Opts.DisableEufAnchoring = C.NoAnchor;
+      Opts.DisableIteSplitting = C.NoSplit;
+      Opts.DisableLemmaReplay = C.NoLemmas;
+      RunResult R = runSE2GIS(P, Opts);
+      TotalMs += R.Stats.ElapsedMs;
+      bool Ok = Def->ExpectRealizable ? R.O == Outcome::Realizable
+                                      : R.O == Outcome::Unrealizable;
+      Solved += Ok;
+      Inductive += Ok && R.Stats.SolutionProvedInductive;
+      std::fprintf(stderr, "[ablation] %-14s %-28s %s\n", C.Name, Name,
+                   outcomeName(R.O));
+    }
+    Table.addRow({C.Name, std::to_string(Solved), std::to_string(Total),
+                  std::to_string(static_cast<long long>(TotalMs)),
+                  std::to_string(Inductive)});
+  }
+  std::printf("\n== Ablation: SE2GIS design choices on a %zu-benchmark "
+              "subset ==\n%s",
+              std::size(Subset), Table.renderText().c_str());
+  std::printf("\nexpected shape: -splitting loses the conditional "
+              "skeletons and most witnesses; -anchoring loses "
+              "nested-unknown systems; -lemma-replay keeps (or slightly "
+              "gains) solves but drops inductive verification to the "
+              "bounded level.\n");
+  return 0;
+}

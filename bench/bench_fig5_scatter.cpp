@@ -1,0 +1,56 @@
+//===- bench_fig5_scatter.cpp - Figure 5: SE2GIS vs SEGIS+UC --------------===//
+///
+/// \file
+/// Regenerates Figure 5: per-benchmark running times of SE²GIS against
+/// SEGIS+UC for the benchmarks solved by both, printed as CSV (suitable for
+/// a log-log scatter; the paper colours realizable red, unrealizable blue).
+/// Also reports the two in-text fractions:
+///  - SEGIS+UC faster on ~60% of the mutually solved *realizable* set
+///    (simple solutions found "by luck" under full bounding),
+///  - SE²GIS faster on ~50% of the mutually solved *unrealizable* set.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchReport.h"
+
+using namespace se2gis;
+
+int main() {
+  SuiteOptions Opts = suiteOptionsFromEnv(/*DefaultTimeoutMs=*/6000);
+  Opts.Algorithms = {AlgorithmKind::SE2GIS, AlgorithmKind::SEGISUC};
+  std::vector<SuiteRecord> Records = runSuite(Opts);
+
+  auto A = recordsOf(Records, AlgorithmKind::SE2GIS);
+  auto B = recordsOf(Records, AlgorithmKind::SEGISUC);
+
+  std::printf("\n== Figure 5: scatter points (CSV) ==\n");
+  std::printf("benchmark,kind,se2gis_ms,segis_uc_ms\n");
+  int RealBoth = 0, RealUcFaster = 0, UnrealBoth = 0, UnrealSeFaster = 0;
+  for (size_t I = 0; I < A.size() && I < B.size(); ++I) {
+    if (!isSolved(*A[I]) || !isSolved(*B[I]))
+      continue;
+    double Ta = A[I]->Result.Stats.ElapsedMs;
+    double Tb = B[I]->Result.Stats.ElapsedMs;
+    bool Realizable = A[I]->Def->ExpectRealizable;
+    std::printf("%s,%s,%.3f,%.3f\n", A[I]->Def->Name.c_str(),
+                Realizable ? "realizable" : "unrealizable", Ta, Tb);
+    if (Realizable) {
+      ++RealBoth;
+      RealUcFaster += Tb < Ta;
+    } else {
+      ++UnrealBoth;
+      UnrealSeFaster += Ta < Tb;
+    }
+  }
+
+  std::printf("\n== In-text fractions ==\n");
+  if (RealBoth)
+    std::printf("SEGIS+UC faster on %d/%d (%.0f%%) of mutually solved "
+                "realizable benchmarks   [paper: 60%%]\n",
+                RealUcFaster, RealBoth, 100.0 * RealUcFaster / RealBoth);
+  if (UnrealBoth)
+    std::printf("SE2GIS faster on %d/%d (%.0f%%) of mutually solved "
+                "unrealizable benchmarks [paper: 50%%]\n",
+                UnrealSeFaster, UnrealBoth, 100.0 * UnrealSeFaster / UnrealBoth);
+  return 0;
+}

@@ -1,0 +1,64 @@
+//===- bench_motivating.cpp - §2 motivating example ------------------------===//
+///
+/// \file
+/// Regenerates the §2 narrative on the BST `frequency` example:
+///  1. the Fig. 2(b) skeleton is unrealizable and a witness is produced
+///     quickly ("in less than a second" in the paper),
+///  2. the step-(1) repair is still unrealizable with a new witness,
+///  3. the repaired skeleton (Fig. 2(c)) is synthesized by SE²GIS, and
+///  4. full-bounding symbolic CEGIS is much slower on the repaired problem
+///     (paper: 88 seconds vs one second).
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchReport.h"
+
+using namespace se2gis;
+
+namespace {
+
+double runOne(const char *Name, AlgorithmKind K, std::int64_t TimeoutMs) {
+  const BenchmarkDef *Def = findBenchmark(Name);
+  if (!Def) {
+    std::printf("  (benchmark %s missing)\n", Name);
+    return -1;
+  }
+  Problem P = loadBenchmark(*Def);
+  AlgoOptions Opts;
+  Opts.TimeoutMs = TimeoutMs;
+  RunResult R = runAlgorithm(K, P, Opts);
+  std::printf("  %-9s on %-28s -> %-12s %8.1f ms\n", algorithmName(K), Name,
+              outcomeName(R.O), R.Stats.ElapsedMs);
+  if (R.O == Outcome::Unrealizable)
+    std::printf("    %s\n", R.Detail.c_str());
+  if (R.O == Outcome::Realizable)
+    std::printf("%s", solutionToString(P, R.Solution).c_str());
+  return R.Stats.ElapsedMs;
+}
+
+} // namespace
+
+int main() {
+  std::int64_t TimeoutMs = 20000;
+  if (const char *T = std::getenv("SE2GIS_TIMEOUT_MS"))
+    TimeoutMs = std::atoll(T);
+
+  std::printf("== §2 motivating example: frequency on binary search trees "
+              "==\n");
+  std::printf("\nStep 0: the Fig. 2(b) skeleton (both recursions "
+              "misplaced):\n");
+  runOne("unreal/frequency_fig2b", AlgorithmKind::SE2GIS, TimeoutMs);
+  std::printf("\nStep 1: after the first repair (u2 still missing g(l)):\n");
+  runOne("unreal/frequency_step1", AlgorithmKind::SE2GIS, TimeoutMs);
+  std::printf("\nStep 2: the repaired skeleton (Fig. 2(c)):\n");
+  double Se2gisMs = runOne("bst/frequency", AlgorithmKind::SE2GIS, TimeoutMs);
+  std::printf("\nBaseline: full-bounding symbolic CEGIS on the repaired "
+              "skeleton (paper: 88 s vs 1 s):\n");
+  double SegisMs = runOne("bst/frequency", AlgorithmKind::SEGIS,
+                          4 * TimeoutMs);
+  if (Se2gisMs > 0 && SegisMs > 0)
+    std::printf("\nspeedup of SE2GIS over full bounding: %.1fx  [paper: "
+                "~88x]\n",
+                SegisMs / Se2gisMs);
+  return 0;
+}

@@ -1,0 +1,48 @@
+//===- bench_table1_realizable.cpp - Appendix Table 1 ---------------------===//
+///
+/// \file
+/// Regenerates Table 1: per-benchmark results on the realizable set. For
+/// each benchmark: SE²GIS time, its step string ('•' refinement / '◦'
+/// coarsening) and whether all inferred invariants were proved by induction
+/// (the "I?" column), then SEGIS+UC and SEGIS times with their refinement
+/// counts — next to the paper's reference times where reported.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchReport.h"
+
+using namespace se2gis;
+
+int main() {
+  SuiteOptions Opts = suiteOptionsFromEnv(/*DefaultTimeoutMs=*/6000);
+  Opts.Algorithms = {AlgorithmKind::SE2GIS, AlgorithmKind::SEGISUC,
+                     AlgorithmKind::SEGIS};
+  Opts.SkipUnrealizable = true; // Table 1 covers the realizable set
+  std::vector<SuiteRecord> Records = runSuite(Opts);
+
+  TableWriter T({"Benchmark", "Category", "I?", "SE2GIS", "steps", "#r",
+                 "SEGIS+UC", "#r", "SEGIS", "#r", "paper:SE2GIS",
+                 "paper:SEGIS+UC", "paper:SEGIS"});
+  auto A = recordsOf(Records, AlgorithmKind::SE2GIS);
+  auto B = recordsOf(Records, AlgorithmKind::SEGISUC);
+  auto C = recordsOf(Records, AlgorithmKind::SEGIS);
+  for (size_t I = 0; I < A.size(); ++I) {
+    const BenchmarkDef &Def = *A[I]->Def;
+    if (!Def.ExpectRealizable)
+      continue;
+    const RunStats &S = A[I]->Result.Stats;
+    T.addRow({Def.Name, Def.Category,
+              S.AllInvariantsByInduction ? "y" : "n", formatRun(*A[I]),
+              S.Steps, std::to_string(S.Refinements), formatRun(*B[I]),
+              std::to_string(B[I]->Result.Stats.Refinements),
+              formatRun(*C[I]),
+              std::to_string(C[I]->Result.Stats.Refinements),
+              formatPaper(Def.PaperSe2gisSec),
+              formatPaper(Def.PaperSegisUcSec),
+              formatPaper(Def.PaperSegisSec)});
+  }
+  std::printf("\n== Table 1: realizable benchmarks (times in seconds; '-' "
+              "timeout, 'x' failure) ==\n%s",
+              T.renderText().c_str());
+  return 0;
+}

@@ -1,0 +1,94 @@
+//===- skeleton_repair.cpp - Witness-guided skeleton repair -----------------===//
+///
+/// \file
+/// Walks through the §2 interaction: a programmer writes a wrong recursion
+/// skeleton, the tool declares it unrealizable and prints a witness (two
+/// assignments demonstrating that no function can satisfy the
+/// specification), the programmer repairs the skeleton guided by the
+/// witness, and after two repairs synthesis succeeds. The three skeletons
+/// are exactly Fig. 2(b), the step-(1) intermediate, and Fig. 2(c).
+///
+/// Build & run:  ./build/examples/skeleton_repair
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/Algorithms.h"
+#include "frontend/Elaborate.h"
+
+#include <cstdio>
+#include <string>
+
+using namespace se2gis;
+
+namespace {
+
+const char *Prelude = R"(
+type tree = Leaf of int | Node of int * tree * tree
+
+let rec bst = function
+  | Leaf a -> true
+  | Node (a, l, r) -> alllt a l && allgeq a r && bst l && bst r
+and alllt (v : int) = function
+  | Leaf a -> a < v
+  | Node (a, l, r) -> a < v && alllt v l && alllt v r
+and allgeq (v : int) = function
+  | Leaf a -> a >= v
+  | Node (a, l, r) -> a >= v && allgeq v l && allgeq v r
+
+let rec freq (x : int) = function
+  | Leaf a -> if a = x then 1 else 0
+  | Node (a, l, r) -> freq x l + freq x r + (if a = x then 1 else 0)
+)";
+
+Outcome attempt(const char *Label, const char *Skeleton) {
+  std::printf("\n--- %s ---\n%s\n", Label, Skeleton);
+  Problem P = loadProblem(std::string(Prelude) + Skeleton +
+                          "\nsynthesize tfreq equiv freq requires bst\n");
+  AlgoOptions Opts;
+  Opts.TimeoutMs = 60000;
+  RunResult R = runSE2GIS(P, Opts);
+  std::printf("=> %s (%.1f ms)\n", outcomeName(R.O), R.Stats.ElapsedMs);
+  if (R.O == Outcome::Unrealizable)
+    std::printf("   %s\n", R.Detail.c_str());
+  if (R.O == Outcome::Realizable)
+    std::printf("%s", solutionToString(P, R.Solution).c_str());
+  return R.O;
+}
+
+} // namespace
+
+int main() {
+  std::printf("Witness-guided repair of a frequency skeleton on BSTs "
+              "(paper §2).\n");
+
+  Outcome O1 = attempt("Attempt 1: Fig. 2(b), both recursions misplaced",
+                       R"(let rec tfreq (x : int) : int = function
+  | Leaf a -> $u0 x a
+  | Node (a, l, r) ->
+    if a < x then $u1 (tfreq x l)
+    else $u2 x a (tfreq x r))");
+
+  Outcome O2 = attempt("Attempt 2: step (1) — u1 now recurses right; u2 "
+                       "still misses g(l)",
+                       R"(let rec tfreq (x : int) : int = function
+  | Leaf a -> $u0 x a
+  | Node (a, l, r) ->
+    if a < x then $u1 (tfreq x r)
+    else $u2 x a (tfreq x r))");
+
+  Outcome O3 = attempt("Attempt 3: Fig. 2(c) — the repaired skeleton",
+                       R"(let rec tfreq (x : int) : int = function
+  | Leaf a -> $u0 x a
+  | Node (a, l, r) ->
+    if a < x then $u1 (tfreq x r)
+    else $u2 x a (tfreq x r) (tfreq x l))");
+
+  bool AsExpected = O1 == Outcome::Unrealizable &&
+                    O2 == Outcome::Unrealizable &&
+                    O3 == Outcome::Realizable;
+  std::printf("\nrepair narrative %s\n",
+              AsExpected ? "reproduced (unrealizable, unrealizable, "
+                           "realizable)"
+                         : "DID NOT match the paper");
+  return AsExpected ? 0 : 1;
+}

@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""ASCII rendering of Figure 4 (quantile plot) from bench output.
+
+Usage: scripts/plot_fig4.py [bench_output.txt]
+
+Reads the CSV block emitted by bench_fig4_quantile ("rank,se2gis_ms,...")
+and draws the paper's quantile plot — number of benchmarks solved (x)
+against the time needed to solve the n-th fastest benchmark (y, log scale)
+— as a terminal chart. No third-party dependencies.
+"""
+
+import math
+import sys
+
+
+def read_series(path):
+    series = {"se2gis": [], "segis_uc": [], "segis": []}
+    in_csv = False
+    for line in open(path, encoding="utf-8"):
+        line = line.strip()
+        if line.startswith("rank,se2gis_ms"):
+            in_csv = True
+            continue
+        if in_csv:
+            parts = line.split(",")
+            if len(parts) != 4 or not parts[0].isdigit():
+                in_csv = False
+                continue
+            for key, cell in zip(("se2gis", "segis_uc", "segis"), parts[1:]):
+                if cell:
+                    series[key].append(float(cell))
+    return series
+
+
+def main():
+    path = sys.argv[1] if len(sys.argv) > 1 else "bench_output.txt"
+    series = read_series(path)
+    if not any(series.values()):
+        sys.exit(f"no quantile CSV found in {path}; run bench_fig4_quantile")
+
+    width, height = 70, 20
+    marks = {"se2gis": "S", "segis_uc": "U", "segis": "G"}
+    max_n = max(len(s) for s in series.values())
+    all_times = [t for s in series.values() for t in s]
+    lo = math.log10(max(min(all_times), 0.1))
+    hi = math.log10(max(all_times))
+    grid = [[" "] * width for _ in range(height)]
+
+    for key, times in series.items():
+        for rank, t in enumerate(times, 1):
+            x = int((rank - 1) / max(max_n - 1, 1) * (width - 1))
+            yf = (math.log10(max(t, 0.1)) - lo) / max(hi - lo, 1e-9)
+            y = height - 1 - int(yf * (height - 1))
+            grid[y][x] = marks[key]
+
+    print(f"Figure 4 — solved benchmarks vs solve time (log ms), from {path}")
+    print(f"  S = SE2GIS ({len(series['se2gis'])} solved)   "
+          f"U = SEGIS+UC ({len(series['segis_uc'])})   "
+          f"G = SEGIS ({len(series['segis'])})")
+    top = f"{10 ** hi:.0f}ms"
+    bottom = f"{10 ** lo:.0f}ms"
+    for i, row in enumerate(grid):
+        label = top if i == 0 else (bottom if i == height - 1 else "")
+        print(f"{label:>9} |" + "".join(row))
+    print(" " * 10 + "+" + "-" * width)
+    print(" " * 11 + f"1{'benchmarks solved':^{width - 8}}{max_n}")
+
+
+if __name__ == "__main__":
+    main()

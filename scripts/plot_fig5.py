@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""ASCII rendering of Figure 5 (log-log scatter) from bench output.
+
+Usage: scripts/plot_fig5.py [bench_output.txt]
+
+Reads the CSV block emitted by bench_fig5_scatter
+("benchmark,kind,se2gis_ms,segis_uc_ms") and draws the paper's scatter:
+SEGIS+UC time (x) against SE2GIS time (y), both log scale, with 'r' for
+realizable and 'u' for unrealizable benchmarks; points below the diagonal
+are SE2GIS wins. No third-party dependencies.
+"""
+
+import math
+import sys
+
+
+def read_points(path):
+    points = []
+    in_csv = False
+    for line in open(path, encoding="utf-8"):
+        line = line.strip()
+        if line.startswith("benchmark,kind,se2gis_ms"):
+            in_csv = True
+            continue
+        if in_csv:
+            parts = line.split(",")
+            if len(parts) != 4:
+                in_csv = False
+                continue
+            try:
+                points.append((parts[1], float(parts[2]), float(parts[3])))
+            except ValueError:
+                in_csv = False
+    return points
+
+
+def main():
+    path = sys.argv[1] if len(sys.argv) > 1 else "bench_output.txt"
+    points = read_points(path)
+    if not points:
+        sys.exit(f"no scatter CSV found in {path}; run bench_fig5_scatter")
+
+    size = 40
+    times = [t for _, a, b in points for t in (a, b)]
+    lo = math.log10(max(min(times), 0.1))
+    hi = math.log10(max(times))
+    span = max(hi - lo, 1e-9)
+    grid = [[" "] * size for _ in range(size)]
+    for y in range(size):  # the x = y diagonal
+        grid[size - 1 - y][y] = "."
+    for kind, se2, uc in points:
+        x = int((math.log10(max(uc, 0.1)) - lo) / span * (size - 1))
+        y = size - 1 - int((math.log10(max(se2, 0.1)) - lo) / span * (size - 1))
+        grid[y][x] = "r" if kind == "realizable" else "u"
+
+    print(f"Figure 5 — SE2GIS (y) vs SEGIS+UC (x), log ms, from {path}")
+    print("  r = realizable, u = unrealizable; below the diagonal = SE2GIS "
+          "faster")
+    for i, row in enumerate(grid):
+        label = f"{10 ** hi:.0f}" if i == 0 else (
+            f"{10 ** lo:.0f}" if i == size - 1 else "")
+        print(f"{label:>7} |" + "".join(row))
+    print(" " * 8 + "+" + "-" * size)
+    print(" " * 9 + f"{10 ** lo:.0f}{'SEGIS+UC ms':^{size - 8}}{10 ** hi:.0f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,707 @@
+//===- Term.cpp -----------------------------------------------------------===//
+
+#include "ast/Term.h"
+
+#include "support/Diagnostics.h"
+
+#include <atomic>
+#include <cassert>
+#include <sstream>
+#include <unordered_set>
+
+using namespace se2gis;
+
+// --- Variables ---------------------------------------------------------===//
+
+static std::atomic<unsigned> NextVarId{1};
+
+VarPtr se2gis::freshVar(const std::string &BaseName, TypePtr Ty) {
+  unsigned Id = NextVarId.fetch_add(1);
+  auto V = std::make_shared<Variable>();
+  V->Id = Id;
+  V->Name = BaseName + std::to_string(Id);
+  V->Ty = std::move(Ty);
+  return V;
+}
+
+VarPtr se2gis::namedVar(const std::string &Name, TypePtr Ty) {
+  unsigned Id = NextVarId.fetch_add(1);
+  auto V = std::make_shared<Variable>();
+  V->Id = Id;
+  V->Name = Name;
+  V->Ty = std::move(Ty);
+  return V;
+}
+
+// --- Operator metadata -------------------------------------------------===//
+
+const char *se2gis::opSpelling(OpKind Op) {
+  switch (Op) {
+  case OpKind::Add:
+    return "+";
+  case OpKind::Sub:
+    return "-";
+  case OpKind::Neg:
+    return "-";
+  case OpKind::Mul:
+    return "*";
+  case OpKind::Div:
+    return "/";
+  case OpKind::Mod:
+    return "mod";
+  case OpKind::Min:
+    return "min";
+  case OpKind::Max:
+    return "max";
+  case OpKind::Abs:
+    return "abs";
+  case OpKind::Lt:
+    return "<";
+  case OpKind::Le:
+    return "<=";
+  case OpKind::Gt:
+    return ">";
+  case OpKind::Ge:
+    return ">=";
+  case OpKind::Eq:
+    return "=";
+  case OpKind::Ne:
+    return "<>";
+  case OpKind::Not:
+    return "not";
+  case OpKind::And:
+    return "&&";
+  case OpKind::Or:
+    return "||";
+  case OpKind::Implies:
+    return "=>";
+  case OpKind::Ite:
+    return "ite";
+  }
+  fatalError("bad op kind");
+}
+
+/// Expected operand count, or 0 if variadic (And/Or).
+static unsigned opArity(OpKind Op) {
+  switch (Op) {
+  case OpKind::Neg:
+  case OpKind::Abs:
+  case OpKind::Not:
+    return 1;
+  case OpKind::And:
+  case OpKind::Or:
+    return 0;
+  case OpKind::Ite:
+    return 3;
+  default:
+    return 2;
+  }
+}
+
+static bool opIsIntToInt(OpKind Op) {
+  switch (Op) {
+  case OpKind::Add:
+  case OpKind::Sub:
+  case OpKind::Neg:
+  case OpKind::Mul:
+  case OpKind::Div:
+  case OpKind::Mod:
+  case OpKind::Min:
+  case OpKind::Max:
+  case OpKind::Abs:
+    return true;
+  default:
+    return false;
+  }
+}
+
+static bool opIsComparison(OpKind Op) {
+  switch (Op) {
+  case OpKind::Lt:
+  case OpKind::Le:
+  case OpKind::Gt:
+  case OpKind::Ge:
+    return true;
+  default:
+    return false;
+  }
+}
+
+// --- Hashing -----------------------------------------------------------===//
+
+static std::uint64_t hashCombine(std::uint64_t Seed, std::uint64_t V) {
+  // A 64-bit variant of boost::hash_combine.
+  return Seed ^ (V + 0x9e3779b97f4a7c15ULL + (Seed << 12) + (Seed >> 4));
+}
+
+static std::uint64_t hashString(const std::string &S) {
+  std::uint64_t H = 1469598103934665603ULL;
+  for (char C : S)
+    H = (H ^ static_cast<unsigned char>(C)) * 1099511628211ULL;
+  return H;
+}
+
+void Term::computeHash() {
+  std::uint64_t H = static_cast<std::uint64_t>(Kind) * 0x9e3779b9U;
+  switch (Kind) {
+  case TermKind::Var:
+    H = hashCombine(H, Var->Id);
+    break;
+  case TermKind::IntLit:
+    H = hashCombine(H, static_cast<std::uint64_t>(IntVal));
+    break;
+  case TermKind::BoolLit:
+    H = hashCombine(H, static_cast<std::uint64_t>(IntVal) + 7);
+    break;
+  case TermKind::Op:
+    H = hashCombine(H, static_cast<std::uint64_t>(Op));
+    break;
+  case TermKind::Proj:
+  case TermKind::Hole:
+    H = hashCombine(H, Index);
+    break;
+  case TermKind::Ctor:
+    H = hashCombine(H, hashString(Ctor->Name));
+    H = hashCombine(H, reinterpret_cast<std::uintptr_t>(Ctor->Parent));
+    break;
+  case TermKind::Call:
+  case TermKind::Unknown:
+    H = hashCombine(H, hashString(Callee));
+    break;
+  case TermKind::Tuple:
+    break;
+  }
+  for (const TermPtr &A : Args)
+    H = hashCombine(H, A->hash());
+  HashCache = H;
+}
+
+// --- Accessors ---------------------------------------------------------===//
+
+const VarPtr &Term::getVar() const {
+  assert(Kind == TermKind::Var && "not a variable");
+  return Var;
+}
+
+long long Term::getIntValue() const {
+  assert(Kind == TermKind::IntLit && "not an int literal");
+  return IntVal;
+}
+
+bool Term::getBoolValue() const {
+  assert(Kind == TermKind::BoolLit && "not a bool literal");
+  return IntVal != 0;
+}
+
+OpKind Term::getOp() const {
+  assert(Kind == TermKind::Op && "not an operator application");
+  return Op;
+}
+
+const TermPtr &Term::getArg(size_t I) const {
+  assert(I < Args.size() && "argument index out of range");
+  return Args[I];
+}
+
+unsigned Term::getIndex() const {
+  assert((Kind == TermKind::Proj || Kind == TermKind::Hole) &&
+         "node has no index");
+  return Index;
+}
+
+const ConstructorDecl *Term::getCtor() const {
+  assert(Kind == TermKind::Ctor && "not a constructor application");
+  return Ctor;
+}
+
+const std::string &Term::getCallee() const {
+  assert((Kind == TermKind::Call || Kind == TermKind::Unknown) &&
+         "node has no callee");
+  return Callee;
+}
+
+// --- Factories ---------------------------------------------------------===//
+
+TermPtr se2gis::mkVar(const VarPtr &V) {
+  assert(V && "null variable");
+  auto *T = new Term(TermKind::Var, V->Ty);
+  T->Var = V;
+  T->computeHash();
+  return TermPtr(T);
+}
+
+TermPtr se2gis::mkIntLit(long long Value) {
+  auto *T = new Term(TermKind::IntLit, Type::intTy());
+  T->IntVal = Value;
+  T->computeHash();
+  return TermPtr(T);
+}
+
+TermPtr se2gis::mkBoolLit(bool Value) {
+  auto *T = new Term(TermKind::BoolLit, Type::boolTy());
+  T->IntVal = Value ? 1 : 0;
+  T->computeHash();
+  return TermPtr(T);
+}
+
+TermPtr se2gis::mkOp(OpKind Op, std::vector<TermPtr> Args) {
+  unsigned Arity = opArity(Op);
+  assert((Arity == 0 ? Args.size() >= 1 : Args.size() == Arity) &&
+         "operator arity mismatch");
+  (void)Arity;
+  TypePtr Ty;
+  if (opIsIntToInt(Op)) {
+    for ([[maybe_unused]] const TermPtr &A : Args)
+      assert(A->getType()->isInt() && "arith operand must be int");
+    Ty = Type::intTy();
+  } else if (opIsComparison(Op)) {
+    assert(Args[0]->getType()->isInt() && Args[1]->getType()->isInt() &&
+           "comparison operands must be int");
+    Ty = Type::boolTy();
+  } else if (Op == OpKind::Eq || Op == OpKind::Ne) {
+    assert(sameType(Args[0]->getType(), Args[1]->getType()) &&
+           "equality operands must have the same type");
+    Ty = Type::boolTy();
+  } else if (Op == OpKind::Ite) {
+    assert(Args[0]->getType()->isBool() && "ite condition must be bool");
+    assert(sameType(Args[1]->getType(), Args[2]->getType()) &&
+           "ite branches must have the same type");
+    Ty = Args[1]->getType();
+  } else {
+    // Boolean connectives.
+    for ([[maybe_unused]] const TermPtr &A : Args)
+      assert(A->getType()->isBool() && "boolean operand must be bool");
+    Ty = Type::boolTy();
+  }
+  auto *T = new Term(TermKind::Op, Ty);
+  T->Op = Op;
+  T->Args = std::move(Args);
+  T->computeHash();
+  return TermPtr(T);
+}
+
+TermPtr se2gis::mkTuple(std::vector<TermPtr> Elems) {
+  assert(Elems.size() >= 2 && "tuples need at least two elements");
+  std::vector<TypePtr> Tys;
+  Tys.reserve(Elems.size());
+  for (const TermPtr &E : Elems)
+    Tys.push_back(E->getType());
+  auto *T = new Term(TermKind::Tuple, Type::tupleTy(std::move(Tys)));
+  T->Args = std::move(Elems);
+  T->computeHash();
+  return TermPtr(T);
+}
+
+TermPtr se2gis::mkProj(TermPtr Tup, unsigned Index) {
+  assert(Tup->getType()->isTuple() && "projection needs a tuple");
+  assert(Index < Tup->getType()->tupleElems().size() &&
+         "projection index out of range");
+  auto *T = new Term(TermKind::Proj, Tup->getType()->tupleElems()[Index]);
+  T->Index = Index;
+  T->Args.push_back(std::move(Tup));
+  T->computeHash();
+  return TermPtr(T);
+}
+
+TermPtr se2gis::mkCtor(const ConstructorDecl *Ctor,
+                       std::vector<TermPtr> Args) {
+  assert(Ctor && "null constructor");
+  assert(Args.size() == Ctor->Fields.size() && "constructor arity mismatch");
+  for (size_t I = 0; I < Args.size(); ++I) {
+    assert(sameType(Args[I]->getType(), Ctor->Fields[I]) &&
+           "constructor field type mismatch");
+    (void)I;
+  }
+  auto *T = new Term(TermKind::Ctor, Type::dataTy(Ctor->Parent));
+  T->Ctor = Ctor;
+  T->Index = Ctor->Index;
+  T->Args = std::move(Args);
+  T->computeHash();
+  return TermPtr(T);
+}
+
+TermPtr se2gis::mkCall(const std::string &Callee, TypePtr RetTy,
+                       std::vector<TermPtr> Args) {
+  auto *T = new Term(TermKind::Call, std::move(RetTy));
+  T->Callee = Callee;
+  T->Args = std::move(Args);
+  T->computeHash();
+  return TermPtr(T);
+}
+
+TermPtr se2gis::mkUnknown(const std::string &Name, TypePtr RetTy,
+                          std::vector<TermPtr> Args) {
+  auto *T = new Term(TermKind::Unknown, std::move(RetTy));
+  T->Callee = Name;
+  T->Args = std::move(Args);
+  T->computeHash();
+  return TermPtr(T);
+}
+
+TermPtr se2gis::mkHole(unsigned Index, TypePtr Ty) {
+  auto *T = new Term(TermKind::Hole, std::move(Ty));
+  T->Index = Index;
+  T->computeHash();
+  return TermPtr(T);
+}
+
+TermPtr se2gis::mkTrue() { return mkBoolLit(true); }
+TermPtr se2gis::mkFalse() { return mkBoolLit(false); }
+
+TermPtr se2gis::mkAdd(TermPtr A, TermPtr B) {
+  return mkOp(OpKind::Add, {std::move(A), std::move(B)});
+}
+
+TermPtr se2gis::mkSub(TermPtr A, TermPtr B) {
+  return mkOp(OpKind::Sub, {std::move(A), std::move(B)});
+}
+
+TermPtr se2gis::mkEq(TermPtr A, TermPtr B) {
+  return mkOp(OpKind::Eq, {std::move(A), std::move(B)});
+}
+
+TermPtr se2gis::mkNot(TermPtr A) { return mkOp(OpKind::Not, {std::move(A)}); }
+
+TermPtr se2gis::mkIte(TermPtr C, TermPtr T, TermPtr E) {
+  return mkOp(OpKind::Ite, {std::move(C), std::move(T), std::move(E)});
+}
+
+TermPtr se2gis::mkAndList(std::vector<TermPtr> Terms) {
+  if (Terms.empty())
+    return mkTrue();
+  if (Terms.size() == 1)
+    return Terms[0];
+  return mkOp(OpKind::And, std::move(Terms));
+}
+
+TermPtr se2gis::mkOrList(std::vector<TermPtr> Terms) {
+  if (Terms.empty())
+    return mkFalse();
+  if (Terms.size() == 1)
+    return Terms[0];
+  return mkOp(OpKind::Or, std::move(Terms));
+}
+
+// --- Structural equality ----------------------------------------------===//
+
+bool se2gis::termEquals(const TermPtr &A, const TermPtr &B) {
+  if (A.get() == B.get())
+    return true;
+  if (!A || !B || A->hash() != B->hash() || A->getKind() != B->getKind())
+    return false;
+  if (A->numArgs() != B->numArgs())
+    return false;
+  switch (A->getKind()) {
+  case TermKind::Var:
+    if (A->getVar()->Id != B->getVar()->Id)
+      return false;
+    break;
+  case TermKind::IntLit:
+    if (A->getIntValue() != B->getIntValue())
+      return false;
+    break;
+  case TermKind::BoolLit:
+    if (A->getBoolValue() != B->getBoolValue())
+      return false;
+    break;
+  case TermKind::Op:
+    if (A->getOp() != B->getOp())
+      return false;
+    break;
+  case TermKind::Proj:
+  case TermKind::Hole:
+    if (A->getIndex() != B->getIndex())
+      return false;
+    break;
+  case TermKind::Ctor:
+    if (A->getCtor() != B->getCtor())
+      return false;
+    break;
+  case TermKind::Call:
+  case TermKind::Unknown:
+    if (A->getCallee() != B->getCallee())
+      return false;
+    break;
+  case TermKind::Tuple:
+    break;
+  }
+  for (size_t I = 0; I < A->numArgs(); ++I)
+    if (!termEquals(A->getArg(I), B->getArg(I)))
+      return false;
+  return true;
+}
+
+// --- Traversal helpers --------------------------------------------------===//
+
+void se2gis::visitTerm(const TermPtr &T,
+                       const std::function<bool(const TermPtr &)> &Fn) {
+  if (!Fn(T))
+    return;
+  for (const TermPtr &A : T->getArgs())
+    visitTerm(A, Fn);
+}
+
+std::vector<VarPtr> se2gis::freeVars(const TermPtr &T) {
+  std::vector<VarPtr> Result;
+  std::unordered_set<unsigned> Seen;
+  visitTerm(T, [&](const TermPtr &N) {
+    if (N->getKind() == TermKind::Var && Seen.insert(N->getVar()->Id).second)
+      Result.push_back(N->getVar());
+    return true;
+  });
+  return Result;
+}
+
+bool se2gis::occursFree(const TermPtr &T, unsigned Id) {
+  bool Found = false;
+  visitTerm(T, [&](const TermPtr &N) {
+    if (Found)
+      return false;
+    if (N->getKind() == TermKind::Var && N->getVar()->Id == Id)
+      Found = true;
+    return !Found;
+  });
+  return Found;
+}
+
+TermPtr se2gis::rewriteBottomUp(
+    const TermPtr &T, const std::function<TermPtr(const TermPtr &)> &Fn) {
+  bool Changed = false;
+  std::vector<TermPtr> NewArgs;
+  NewArgs.reserve(T->numArgs());
+  for (const TermPtr &A : T->getArgs()) {
+    TermPtr NA = rewriteBottomUp(A, Fn);
+    Changed |= NA.get() != A.get();
+    NewArgs.push_back(std::move(NA));
+  }
+  TermPtr Rebuilt = T;
+  if (Changed) {
+    switch (T->getKind()) {
+    case TermKind::Op:
+      Rebuilt = mkOp(T->getOp(), std::move(NewArgs));
+      break;
+    case TermKind::Tuple:
+      Rebuilt = mkTuple(std::move(NewArgs));
+      break;
+    case TermKind::Proj:
+      Rebuilt = mkProj(std::move(NewArgs[0]), T->getIndex());
+      break;
+    case TermKind::Ctor:
+      Rebuilt = mkCtor(T->getCtor(), std::move(NewArgs));
+      break;
+    case TermKind::Call:
+      Rebuilt = mkCall(T->getCallee(), T->getType(), std::move(NewArgs));
+      break;
+    case TermKind::Unknown:
+      Rebuilt = mkUnknown(T->getCallee(), T->getType(), std::move(NewArgs));
+      break;
+    default:
+      fatalError("leaf node with arguments");
+    }
+  }
+  return Fn(Rebuilt);
+}
+
+TermPtr se2gis::substitute(const TermPtr &T, const Substitution &Map) {
+  if (Map.empty())
+    return T;
+  return rewriteBottomUp(T, [&](const TermPtr &N) -> TermPtr {
+    if (N->getKind() != TermKind::Var)
+      return N;
+    for (const auto &[Id, Replacement] : Map)
+      if (Id == N->getVar()->Id)
+        return Replacement;
+    return N;
+  });
+}
+
+TermPtr se2gis::fillHoles(const TermPtr &T, const std::vector<TermPtr> &Fill) {
+  return rewriteBottomUp(T, [&](const TermPtr &N) -> TermPtr {
+    if (N->getKind() == TermKind::Hole && N->getIndex() < Fill.size() &&
+        Fill[N->getIndex()])
+      return Fill[N->getIndex()];
+    return N;
+  });
+}
+
+size_t se2gis::termSize(const TermPtr &T) {
+  size_t Count = 0;
+  visitTerm(T, [&](const TermPtr &) {
+    ++Count;
+    return true;
+  });
+  return Count;
+}
+
+bool se2gis::containsUnknown(const TermPtr &T) {
+  bool Found = false;
+  visitTerm(T, [&](const TermPtr &N) {
+    if (N->getKind() == TermKind::Unknown)
+      Found = true;
+    return !Found;
+  });
+  return Found;
+}
+
+bool se2gis::containsCall(const TermPtr &T) {
+  bool Found = false;
+  visitTerm(T, [&](const TermPtr &N) {
+    if (N->getKind() == TermKind::Call)
+      Found = true;
+    return !Found;
+  });
+  return Found;
+}
+
+// --- Printing -----------------------------------------------------------===//
+
+namespace {
+
+/// Precedence levels, higher binds tighter.
+int opPrecedence(OpKind Op) {
+  switch (Op) {
+  case OpKind::Implies:
+    return 1;
+  case OpKind::Or:
+    return 2;
+  case OpKind::And:
+    return 3;
+  case OpKind::Eq:
+  case OpKind::Ne:
+  case OpKind::Lt:
+  case OpKind::Le:
+  case OpKind::Gt:
+  case OpKind::Ge:
+    return 4;
+  case OpKind::Add:
+  case OpKind::Sub:
+    return 5;
+  case OpKind::Mul:
+  case OpKind::Div:
+  case OpKind::Mod:
+    return 6;
+  default:
+    return 7;
+  }
+}
+
+void printTerm(const Term &T, std::ostringstream &OS, int ParentPrec);
+
+void printInfix(const Term &T, std::ostringstream &OS, int ParentPrec) {
+  int Prec = opPrecedence(T.getOp());
+  if (Prec < ParentPrec)
+    OS << '(';
+  for (size_t I = 0; I < T.numArgs(); ++I) {
+    if (I)
+      OS << ' ' << opSpelling(T.getOp()) << ' ';
+    printTerm(*T.getArg(I), OS, Prec + 1);
+  }
+  if (Prec < ParentPrec)
+    OS << ')';
+}
+
+void printTerm(const Term &T, std::ostringstream &OS, int ParentPrec) {
+  switch (T.getKind()) {
+  case TermKind::Var:
+    OS << T.getVar()->Name;
+    return;
+  case TermKind::IntLit:
+    OS << T.getIntValue();
+    return;
+  case TermKind::BoolLit:
+    OS << (T.getBoolValue() ? "true" : "false");
+    return;
+  case TermKind::Hole:
+    OS << "◦" << T.getIndex();
+    return;
+  case TermKind::Proj:
+    printTerm(*T.getArg(0), OS, 8);
+    OS << '.' << T.getIndex();
+    return;
+  case TermKind::Tuple: {
+    OS << '(';
+    for (size_t I = 0; I < T.numArgs(); ++I) {
+      if (I)
+        OS << ", ";
+      printTerm(*T.getArg(I), OS, 0);
+    }
+    OS << ')';
+    return;
+  }
+  case TermKind::Ctor: {
+    OS << T.getCtor()->Name;
+    if (T.numArgs() == 0)
+      return;
+    OS << '(';
+    for (size_t I = 0; I < T.numArgs(); ++I) {
+      if (I)
+        OS << ", ";
+      printTerm(*T.getArg(I), OS, 0);
+    }
+    OS << ')';
+    return;
+  }
+  case TermKind::Call:
+  case TermKind::Unknown: {
+    if (T.getKind() == TermKind::Unknown)
+      OS << '$';
+    OS << T.getCallee() << '(';
+    for (size_t I = 0; I < T.numArgs(); ++I) {
+      if (I)
+        OS << ", ";
+      printTerm(*T.getArg(I), OS, 0);
+    }
+    OS << ')';
+    return;
+  }
+  case TermKind::Op: {
+    OpKind Op = T.getOp();
+    switch (Op) {
+    case OpKind::Not:
+      OS << "not ";
+      printTerm(*T.getArg(0), OS, 8);
+      return;
+    case OpKind::Neg:
+      OS << "-";
+      printTerm(*T.getArg(0), OS, 8);
+      return;
+    case OpKind::Min:
+    case OpKind::Max:
+    case OpKind::Abs: {
+      OS << opSpelling(Op) << '(';
+      for (size_t I = 0; I < T.numArgs(); ++I) {
+        if (I)
+          OS << ", ";
+        printTerm(*T.getArg(I), OS, 0);
+      }
+      OS << ')';
+      return;
+    }
+    case OpKind::Ite: {
+      if (ParentPrec > 0)
+        OS << '(';
+      OS << "if ";
+      printTerm(*T.getArg(0), OS, 0);
+      OS << " then ";
+      printTerm(*T.getArg(1), OS, 0);
+      OS << " else ";
+      printTerm(*T.getArg(2), OS, 0);
+      if (ParentPrec > 0)
+        OS << ')';
+      return;
+    }
+    default:
+      printInfix(T, OS, ParentPrec);
+      return;
+    }
+  }
+  }
+}
+
+} // namespace
+
+std::string Term::str() const {
+  std::ostringstream OS;
+  printTerm(*this, OS, 0);
+  return OS.str();
+}

@@ -1,0 +1,141 @@
+//===- Type.cpp -----------------------------------------------------------===//
+
+#include "ast/Type.h"
+
+#include "support/Diagnostics.h"
+
+#include <cassert>
+
+using namespace se2gis;
+
+TypePtr Type::intTy() {
+  static TypePtr T(new Type(TypeKind::Int));
+  return T;
+}
+
+TypePtr Type::boolTy() {
+  static TypePtr T(new Type(TypeKind::Bool));
+  return T;
+}
+
+TypePtr Type::tupleTy(std::vector<TypePtr> Elems) {
+  assert(Elems.size() >= 2 && "tuples need at least two elements");
+  auto *T = new Type(TypeKind::Tuple);
+  T->Elems = std::move(Elems);
+  return TypePtr(T);
+}
+
+TypePtr Type::dataTy(const Datatype *D) {
+  assert(D && "null datatype");
+  auto *T = new Type(TypeKind::Data);
+  T->Data = D;
+  return TypePtr(T);
+}
+
+bool Type::isScalar() const {
+  switch (Kind) {
+  case TypeKind::Int:
+  case TypeKind::Bool:
+    return true;
+  case TypeKind::Tuple:
+    for (const TypePtr &E : Elems)
+      if (!E->isScalar())
+        return false;
+    return true;
+  case TypeKind::Data:
+    return false;
+  }
+  fatalError("bad type kind");
+}
+
+const std::vector<TypePtr> &Type::tupleElems() const {
+  assert(isTuple() && "not a tuple type");
+  return Elems;
+}
+
+const Datatype *Type::getDatatype() const {
+  assert(isData() && "not a data type");
+  return Data;
+}
+
+std::string Type::str() const {
+  switch (Kind) {
+  case TypeKind::Int:
+    return "int";
+  case TypeKind::Bool:
+    return "bool";
+  case TypeKind::Data:
+    return Data->getName();
+  case TypeKind::Tuple: {
+    std::string S = "(";
+    for (size_t I = 0; I < Elems.size(); ++I) {
+      if (I)
+        S += " * ";
+      S += Elems[I]->str();
+    }
+    return S + ")";
+  }
+  }
+  fatalError("bad type kind");
+}
+
+bool se2gis::sameType(const TypePtr &A, const TypePtr &B) {
+  if (A.get() == B.get())
+    return true;
+  if (!A || !B || A->getKind() != B->getKind())
+    return false;
+  switch (A->getKind()) {
+  case TypeKind::Int:
+  case TypeKind::Bool:
+    return true;
+  case TypeKind::Data:
+    return A->getDatatype() == B->getDatatype();
+  case TypeKind::Tuple: {
+    const auto &EA = A->tupleElems(), &EB = B->tupleElems();
+    if (EA.size() != EB.size())
+      return false;
+    for (size_t I = 0; I < EA.size(); ++I)
+      if (!sameType(EA[I], EB[I]))
+        return false;
+    return true;
+  }
+  }
+  return false;
+}
+
+bool ConstructorDecl::isDataField(unsigned I) const {
+  assert(I < Fields.size() && "field index out of range");
+  return Fields[I]->isData();
+}
+
+unsigned Datatype::addConstructor(std::string CtorName,
+                                  std::vector<TypePtr> Fields) {
+  ConstructorDecl C;
+  C.Name = std::move(CtorName);
+  C.Fields = std::move(Fields);
+  C.Parent = this;
+  C.Index = static_cast<unsigned>(Ctors.size());
+  Ctors.push_back(std::move(C));
+  return Ctors.back().Index;
+}
+
+const ConstructorDecl &Datatype::getConstructor(unsigned I) const {
+  assert(I < Ctors.size() && "constructor index out of range");
+  return Ctors[I];
+}
+
+const ConstructorDecl *
+Datatype::findConstructor(const std::string &CtorName) const {
+  for (const ConstructorDecl &C : Ctors)
+    if (C.Name == CtorName)
+      return &C;
+  return nullptr;
+}
+
+bool Datatype::isBaseConstructor(unsigned I) const {
+  const ConstructorDecl &C = getConstructor(I);
+  for (unsigned F = 0; F < C.Fields.size(); ++F)
+    if (C.isDataField(F))
+      return false;
+  return true;
+}

@@ -1,0 +1,122 @@
+//===- Type.h - Base types, tuples and algebraic data types -----*- C++-*-===//
+///
+/// \file
+/// The type language of the synthesis problems (paper §3): scalar base types
+/// (Int, Bool), tuples of base types, and recursive algebraic data types.
+/// Recursive types are the \c Datatype declarations; every other type is a
+/// *base type* in the paper's sense and may appear as the domain/range of the
+/// unknown functions.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SE2GIS_AST_TYPE_H
+#define SE2GIS_AST_TYPE_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace se2gis {
+
+class Type;
+class Datatype;
+using TypePtr = std::shared_ptr<const Type>;
+
+/// Discriminator for the type language.
+enum class TypeKind : unsigned char { Int, Bool, Tuple, Data };
+
+/// An immutable type. Construct via the static factories; Int and Bool are
+/// shared singletons.
+class Type {
+public:
+  TypeKind getKind() const { return Kind; }
+
+  /// The Int base type singleton.
+  static TypePtr intTy();
+  /// The Bool base type singleton.
+  static TypePtr boolTy();
+  /// A tuple of the given element types (at least two elements).
+  static TypePtr tupleTy(std::vector<TypePtr> Elems);
+  /// The type of values of the algebraic datatype \p D.
+  static TypePtr dataTy(const Datatype *D);
+
+  bool isInt() const { return Kind == TypeKind::Int; }
+  bool isBool() const { return Kind == TypeKind::Bool; }
+  bool isTuple() const { return Kind == TypeKind::Tuple; }
+  bool isData() const { return Kind == TypeKind::Data; }
+
+  /// \returns true for base (paper: scalar) types: Int, Bool, or tuples
+  /// thereof. These are the only legal unknown-function domains/ranges.
+  bool isScalar() const;
+
+  /// Tuple element types; asserts this is a tuple.
+  const std::vector<TypePtr> &tupleElems() const;
+
+  /// The datatype declaration; asserts this is a data type.
+  const Datatype *getDatatype() const;
+
+  /// Human-readable rendering, e.g. "int", "(int * bool)", "list".
+  std::string str() const;
+
+private:
+  explicit Type(TypeKind Kind) : Kind(Kind) {}
+
+  TypeKind Kind;
+  std::vector<TypePtr> Elems;
+  const Datatype *Data = nullptr;
+};
+
+/// Structural type equality (datatypes compare by declaration identity).
+bool sameType(const TypePtr &A, const TypePtr &B);
+
+/// One constructor of an algebraic datatype, e.g. `Cons of int * list`.
+struct ConstructorDecl {
+  std::string Name;
+  std::vector<TypePtr> Fields;
+  /// The declaring datatype.
+  const Datatype *Parent = nullptr;
+  /// Position within the datatype's constructor list.
+  unsigned Index = 0;
+
+  /// \returns true if field \p I is of some datatype (recursive position in
+  /// the broad sense: it may be the parent type or another datatype).
+  bool isDataField(unsigned I) const;
+};
+
+/// A (possibly recursive) algebraic datatype declaration.
+///
+/// Built in two phases so constructors may mention the datatype itself:
+/// create the \c Datatype, obtain its type via \c Type::dataTy, then add
+/// constructors.
+class Datatype {
+public:
+  explicit Datatype(std::string Name) : Name(std::move(Name)) {}
+
+  Datatype(const Datatype &) = delete;
+  Datatype &operator=(const Datatype &) = delete;
+
+  const std::string &getName() const { return Name; }
+
+  /// Registers a constructor; returns its index.
+  unsigned addConstructor(std::string CtorName, std::vector<TypePtr> Fields);
+
+  unsigned numConstructors() const {
+    return static_cast<unsigned>(Ctors.size());
+  }
+  const ConstructorDecl &getConstructor(unsigned I) const;
+
+  /// Looks a constructor up by name; returns nullptr if absent.
+  const ConstructorDecl *findConstructor(const std::string &CtorName) const;
+
+  /// \returns true if constructor \p I has no datatype-typed fields (a base
+  /// case of the recursion).
+  bool isBaseConstructor(unsigned I) const;
+
+private:
+  std::string Name;
+  std::vector<ConstructorDecl> Ctors;
+};
+
+} // namespace se2gis
+
+#endif // SE2GIS_AST_TYPE_H

@@ -1,0 +1,361 @@
+//===- Algorithms.cpp -----------------------------------------------------===//
+
+#include "core/Algorithms.h"
+
+#include "ast/Simplify.h"
+#include "core/Approximation.h"
+#include "core/Certificates.h"
+#include "core/InvariantInfer.h"
+#include "core/SplitIte.h"
+#include "core/Witness.h"
+#include "eval/Expand.h"
+#include "eval/SymbolicEval.h"
+#include "support/Diagnostics.h"
+#include "support/Stopwatch.h"
+#include "synth/Grammar.h"
+#include "synth/SgeSolver.h"
+
+#include <sstream>
+
+using namespace se2gis;
+
+const char *se2gis::algorithmName(AlgorithmKind K) {
+  switch (K) {
+  case AlgorithmKind::SE2GIS:
+    return "SE2GIS";
+  case AlgorithmKind::SEGIS:
+    return "SEGIS";
+  case AlgorithmKind::SEGISUC:
+    return "SEGIS+UC";
+  }
+  return "?";
+}
+
+const char *se2gis::outcomeName(Outcome O) {
+  switch (O) {
+  case Outcome::Realizable:
+    return "realizable";
+  case Outcome::Unrealizable:
+    return "unrealizable";
+  case Outcome::Timeout:
+    return "timeout";
+  case Outcome::Failed:
+    return "failed";
+  }
+  return "?";
+}
+
+namespace {
+
+std::string describeWitness(const FunctionalWitness &W) {
+  std::ostringstream OS;
+  OS << "witness models: " << W.First.M.str() << " (eqn "
+     << W.First.EqnIndex << "), " << W.Second.M.str() << " (eqn "
+     << W.Second.EqnIndex << ")";
+  return OS.str();
+}
+
+std::string describeValidInputs(const std::vector<ConcreteInput> &Ins) {
+  std::ostringstream OS;
+  OS << "; concrete inputs:";
+  for (const ConcreteInput &In : Ins)
+    for (const auto &[V, Val] : In.DataVars)
+      OS << ' ' << V->Name << " = " << Val->str();
+  return OS.str();
+}
+
+} // namespace
+
+// --- SE2GIS -------------------------------------------------------------===//
+
+RunResult se2gis::runSE2GIS(const Problem &P, const AlgoOptions &Opts) {
+  Stopwatch Timer;
+  Deadline Budget = Deadline::afterMs(Opts.TimeoutMs);
+  Budget.setCancelFlag(Opts.Cancel);
+  CounterSnapshot Before = snapshotCounters();
+  RunResult Result;
+
+  GrammarConfig Grammar = inferGrammar(P);
+  SgeSolver Solver(P.Unknowns, Grammar);
+  Solver.PerQueryTimeoutMs = Opts.SgePerQueryTimeoutMs;
+  Solver.AnchorToCandidate = !Opts.DisableEufAnchoring;
+
+  Approximation Approx(P);
+  Approx.EnableSplitting = !Opts.DisableIteSplitting;
+  if (!Approx.initialize()) {
+    Result.Detail = "canonical term construction diverged";
+    Result.Stats.ElapsedMs = Timer.elapsedMs();
+    return Result;
+  }
+
+  // Seed the guards with the user's `ensures` hint, if any (an invariant of
+  // the image of the reference function).
+  if (!P.Ensures.empty()) {
+    const RecFunction *Ens = P.Prog->findFunction(P.Ensures);
+    Approx.addImageInvariant(Ens->getParams()[0], Ens->getBody());
+  }
+
+  CertificateChecker Checker(P, Approx);
+  Checker.Bounded = Opts.Bounded;
+  InvariantLearner Learner(P, Approx, Grammar);
+  Learner.Bounded = Opts.Bounded;
+  Learner.Induction = Opts.Induction;
+
+  // Invariants learned so far, normalized to the reference's parameter
+  // variables and reused as induction lemmas during final verification.
+  const RecFunction *Ref = P.Prog->findFunction(P.Reference);
+  std::vector<ShapeLemma> Lemmas;
+  auto AddLemma = [&](const LearnedInvariant &Inv) {
+    if (!Inv.LemmaFormula)
+      return;
+    Substitution Map;
+    for (size_t I = 0; I < Inv.LemmaExtras.size(); ++I)
+      Map.emplace_back(Inv.LemmaExtras[I]->Id,
+                       mkVar(Ref->getParams()[I]));
+    Lemmas.push_back(
+        ShapeLemma{Inv.LemmaPattern, substitute(Inv.LemmaFormula, Map)});
+  };
+
+  while (true) {
+    if (Budget.expired()) {
+      Result.O = Outcome::Timeout;
+      break;
+    }
+
+    Sge System = Approx.buildSge();
+
+    // Fig. 1's "Is φ realizable?" gate: search for a functional
+    // unrealizability witness first. A hit activates the coarsening loop
+    // without waiting for the synthesis step to corner the conflict.
+    auto W = findFunctionalWitness(System, Opts.SgePerQueryTimeoutMs, Budget);
+    if (W) {
+      Result.Stats.Steps += "\u25e6"; // ◦
+      ++Result.Stats.Coarsenings;
+
+      WitnessCheckResult Chk = Checker.check(*W, System, Budget);
+      if (Chk.Verdict == WitnessVerdict::Valid) {
+        Result.O = Outcome::Unrealizable;
+        Result.Detail =
+            describeWitness(*W) + describeValidInputs(Chk.ValidInputs);
+        break;
+      }
+      if (Chk.Verdict == WitnessVerdict::Unknown) {
+        Result.Detail = "spuriousness check inconclusive";
+        break;
+      }
+
+      bool LearnedAny = false;
+      for (const SCertificate &Cert : Chk.Certs) {
+        auto Inv = Learner.learn(Cert, Budget);
+        if (!Inv)
+          continue;
+        Learner.apply(*Inv);
+        AddLemma(*Inv);
+        LearnedAny = true;
+        if (Inv->Kind == CertKind::Mistyped)
+          ++Result.Stats.DatatypeInvariants;
+        else
+          ++Result.Stats.ImageInvariants;
+        Result.Stats.AllInvariantsByInduction &= Inv->ByInduction;
+      }
+      if (!LearnedAny) {
+        Result.O = Budget.expired() ? Outcome::Timeout : Outcome::Failed;
+        if (Result.O == Outcome::Failed)
+          Result.Detail = "invariant inference diverged";
+        break;
+      }
+      continue;
+    }
+
+    SgeResult SR = Solver.solve(System, Budget);
+
+    if (SR.Status == SgeStatus::Solved) {
+      Result.Stats.Steps += "•"; // •
+      ++Result.Stats.Refinements;
+
+      VerifyOptions VOpts;
+      VOpts.Bounded = Opts.Bounded;
+      VOpts.Induction = Opts.Induction;
+      if (!Opts.DisableLemmaReplay)
+        VOpts.Lemmas = Lemmas;
+      VerifyResult V = verifySolution(P, SR.Solution, VOpts, Budget);
+      if (V.Status != VerifyStatus::Counterexample) {
+        Result.O = Outcome::Realizable;
+        Result.Solution = std::move(SR.Solution);
+        Result.Stats.SolutionProvedInductive =
+            V.Status == VerifyStatus::ProvedInductive;
+        break;
+      }
+      if (!Approx.refine(V.CexTheta)) {
+        Result.Detail = "refinement failed to cover the counterexample";
+        break;
+      }
+      continue;
+    }
+
+    if (SR.Status == SgeStatus::Infeasible) {
+      // The grounded system is unsatisfiable in EUF although no frame-based
+      // witness exists: the paper's theoretical gap (Appendix C.1.3).
+      Result.Detail = "no functional unrealizability witness exists for "
+                      "the approximation";
+      break;
+    }
+
+    // SGE solver gave up.
+    Result.O = Budget.expired() ? Outcome::Timeout : Outcome::Failed;
+    if (Result.O == Outcome::Failed)
+      Result.Detail = "the synthesis step for the approximation failed";
+    break;
+  }
+
+  if (Result.O == Outcome::Failed && Budget.expired())
+    Result.O = Outcome::Timeout;
+  Result.Stats.ElapsedMs = Timer.elapsedMs();
+  Result.Stats.Counters = snapshotCounters().since(Before);
+  return Result;
+}
+
+// --- SEGIS / SEGIS+UC ----------------------------------------------------===//
+
+RunResult se2gis::runSEGIS(const Problem &P, const AlgoOptions &Opts,
+                           bool WithUnrealizabilityChecker) {
+  Stopwatch Timer;
+  Deadline Budget = Deadline::afterMs(Opts.TimeoutMs);
+  Budget.setCancelFlag(Opts.Cancel);
+  CounterSnapshot Before = snapshotCounters();
+  RunResult Result;
+
+  GrammarConfig Grammar = inferGrammar(P);
+  SgeSolver Solver(P.Unknowns, Grammar);
+  Solver.PerQueryTimeoutMs = Opts.SgePerQueryTimeoutMs;
+
+  Solver.AnchorToCandidate = !Opts.DisableEufAnchoring;
+  RecursionEliminator Elim(P);
+  SymbolicEvaluator SE(*P.Prog);
+  BoundedTermStream Stream(P.Theta);
+
+  struct BoundedEqn {
+    TermPtr T;
+    std::vector<SgeEquation> Eqns;
+  };
+  std::vector<BoundedEqn> Terms;
+
+  auto AddShape = [&](TermPtr Shape) -> bool {
+    EquationParts Parts;
+    TermPtr Guard;
+    try {
+      Parts = Elim.eliminate(Shape);
+      Guard = P.Invariant.empty()
+                  ? mkTrue()
+                  : SE.eval(mkCall(P.Invariant, Type::boolTy(), {Shape}));
+    } catch (const UserError &) {
+      return false;
+    }
+    if (!Parts.Canonical)
+      fatalError("bounded term is not canonical");
+    if (Guard->getKind() == TermKind::BoolLit && !Guard->getBoolValue())
+      return true; // impossible shape; equation would be vacuous
+    BoundedEqn BE;
+    BE.T = Shape;
+    SgeEquation E{Guard, Parts.Lhs, Parts.Rhs, Terms.size()};
+    BE.Eqns = Opts.DisableIteSplitting ? std::vector<SgeEquation>{E}
+                                       : splitEquation(E);
+    Terms.push_back(std::move(BE));
+    return true;
+  };
+
+  // Initial shapes: one per constructor-ish level (the first few bounded
+  // terms in size order).
+  for (unsigned I = 0; I < std::max(2u, P.Theta->numConstructors()); ++I)
+    AddShape(Stream.next());
+
+  while (true) {
+    if (Budget.expired()) {
+      Result.O = Outcome::Timeout;
+      break;
+    }
+
+    Sge System;
+    for (const BoundedEqn &BE : Terms)
+      for (const SgeEquation &E : BE.Eqns)
+        System.Eqns.push_back(E);
+
+    if (WithUnrealizabilityChecker) {
+      auto W = findFunctionalWitness(System, Opts.SgePerQueryTimeoutMs,
+                                     Budget);
+      if (W) {
+        // Over fully bounded terms the guards are exactly Iθ evaluated,
+        // so the witness is valid; concretize the shapes for the report.
+        Result.O = Outcome::Unrealizable;
+        std::ostringstream OS;
+        size_t T1 = System.Eqns[W->First.EqnIndex].TermIndex;
+        size_t T2 = System.Eqns[W->Second.EqnIndex].TermIndex;
+        OS << describeWitness(*W) << "; concrete inputs: "
+           << concretizeShape(Terms[T1].T, W->First.M)->str() << ", "
+           << concretizeShape(Terms[T2].T, W->Second.M)->str();
+        Result.Detail = OS.str();
+        break;
+      }
+    }
+
+    SgeResult SR = Solver.solve(System, Budget);
+
+    if (SR.Status == SgeStatus::Solved) {
+      Result.Stats.Steps += "•";
+      ++Result.Stats.Refinements;
+
+      VerifyOptions VOpts;
+      VOpts.Bounded = Opts.Bounded;
+      VOpts.Induction = Opts.Induction;
+      VerifyResult V = verifySolution(P, SR.Solution, VOpts, Budget);
+      if (V.Status != VerifyStatus::Counterexample) {
+        Result.O = Outcome::Realizable;
+        Result.Solution = std::move(SR.Solution);
+        Result.Stats.SolutionProvedInductive =
+            V.Status == VerifyStatus::ProvedInductive;
+        break;
+      }
+      AddShape(shapeOfValue(V.CexTheta));
+      continue;
+    }
+
+    if (SR.Status == SgeStatus::Infeasible) {
+      if (WithUnrealizabilityChecker) {
+        // Unrealizable beyond the frame-based witness class (C.1.3).
+        Result.Detail = "no functional unrealizability witness exists";
+        break;
+      }
+      // Plain SEGIS has no unrealizability outcome: keep unrolling until
+      // the budget runs out (the paper's SEGIS solves no unrealizable
+      // benchmark).
+      AddShape(Stream.next());
+      ++Result.Stats.Refinements;
+      continue;
+    }
+
+    // Solver gave up: add one more bounded term and retry.
+    if (Budget.expired()) {
+      Result.O = Outcome::Timeout;
+      break;
+    }
+    AddShape(Stream.next());
+    ++Result.Stats.Refinements;
+  }
+
+  Result.Stats.ElapsedMs = Timer.elapsedMs();
+  Result.Stats.Counters = snapshotCounters().since(Before);
+  return Result;
+}
+
+RunResult se2gis::runAlgorithm(AlgorithmKind K, const Problem &P,
+                               const AlgoOptions &Opts) {
+  switch (K) {
+  case AlgorithmKind::SE2GIS:
+    return runSE2GIS(P, Opts);
+  case AlgorithmKind::SEGIS:
+    return runSEGIS(P, Opts, /*WithUnrealizabilityChecker=*/false);
+  case AlgorithmKind::SEGISUC:
+    return runSEGIS(P, Opts, /*WithUnrealizabilityChecker=*/true);
+  }
+  fatalError("bad algorithm kind");
+}

@@ -1,0 +1,112 @@
+//===- Algorithms.h - SE²GIS, SEGIS, and SEGIS+UC drivers -------*- C++-*-===//
+///
+/// \file
+/// The three top-level synthesis algorithms of the paper's evaluation (§8):
+///
+///  - **SE²GIS** (Fig. 1/3): partial bounding with the refinement loop over
+///    the canonical term set T and the dual coarsening loop that processes
+///    functional-unrealizability witnesses and strengthens the guards P.
+///  - **SEGIS**: the symbolic CEGIS baseline that uses only fully bounded
+///    terms (invariants are "effectively present" because Iθ(t) evaluates
+///    to a scalar guard) and has no unrealizability outcome.
+///  - **SEGIS+UC**: SEGIS extended with the functional-unrealizability
+///    checker; witnesses over bounded terms are valid by construction.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SE2GIS_CORE_ALGORITHMS_H
+#define SE2GIS_CORE_ALGORITHMS_H
+
+#include "core/Verify.h"
+#include "lang/Program.h"
+#include "support/Counters.h"
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace se2gis {
+
+/// Which algorithm to run.
+enum class AlgorithmKind : unsigned char { SE2GIS, SEGIS, SEGISUC };
+
+/// Outcome of a synthesis run.
+enum class Outcome : unsigned char {
+  /// A solution was synthesized (and verified).
+  Realizable,
+  /// A valid unrealizability witness was produced.
+  Unrealizable,
+  /// The time budget expired.
+  Timeout,
+  /// The algorithm gave up (e.g. no functional witness exists, invariant
+  /// inference diverged, or the synthesis step failed) — the paper's
+  /// non-timeout failure modes (Appendix C.1).
+  Failed
+};
+
+/// \returns a short name ("SE2GIS", "SEGIS+UC", ...).
+const char *algorithmName(AlgorithmKind K);
+const char *outcomeName(Outcome O);
+
+/// Tuning knobs shared by the algorithms.
+struct AlgoOptions {
+  /// Overall budget per run (the paper uses 400 s; we default lower).
+  std::int64_t TimeoutMs = 5000;
+  /// Z3 timeout per query inside the SGE solver (ms).
+  int SgePerQueryTimeoutMs = 600;
+  /// Bounded-check and induction budgets.
+  BoundedOptions Bounded;
+  InductionOptions Induction;
+  /// Optional cooperative cancellation (portfolio mode): the run stops at
+  /// the next budget poll once the flag becomes true.
+  const std::atomic<bool> *Cancel = nullptr;
+
+  /// Ablation switches (bench/bench_ablation measures their impact).
+  bool DisableEufAnchoring = false;
+  bool DisableIteSplitting = false;
+  bool DisableLemmaReplay = false;
+};
+
+/// Per-run statistics (the inputs to Tables 1–2 and the invariant table).
+struct RunStats {
+  /// The paper's step string: '•' per refinement round, '◦' per coarsening.
+  std::string Steps;
+  int Refinements = 0;
+  int Coarsenings = 0;
+  /// Invariants inferred, by kind (§7.2.2 reference / §7.2.1 datatype).
+  int ImageInvariants = 0;
+  int DatatypeInvariants = 0;
+  /// True when every inferred invariant was proved by induction ("I?"
+  /// column of Tables 1–2).
+  bool AllInvariantsByInduction = true;
+  /// True when the final solution was proved by induction (fully verified).
+  bool SolutionProvedInductive = false;
+  double ElapsedMs = 0;
+  /// Telemetry deltas for this run (support/Counters.h).
+  CounterSnapshot Counters;
+};
+
+/// Result of one synthesis run.
+struct RunResult {
+  Outcome O = Outcome::Failed;
+  UnknownBindings Solution;
+  /// Human-readable witness description / failure reason.
+  std::string Detail;
+  RunStats Stats;
+};
+
+/// Runs SE²GIS on \p P.
+RunResult runSE2GIS(const Problem &P, const AlgoOptions &Opts);
+
+/// Runs the fully-bounded baseline; \p WithUnrealizabilityChecker selects
+/// SEGIS+UC.
+RunResult runSEGIS(const Problem &P, const AlgoOptions &Opts,
+                   bool WithUnrealizabilityChecker);
+
+/// Dispatches on \p K.
+RunResult runAlgorithm(AlgorithmKind K, const Problem &P,
+                       const AlgoOptions &Opts);
+
+} // namespace se2gis
+
+#endif // SE2GIS_CORE_ALGORITHMS_H

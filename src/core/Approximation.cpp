@@ -1,0 +1,146 @@
+//===- Approximation.cpp --------------------------------------------------===//
+
+#include "core/Approximation.h"
+
+#include "ast/Simplify.h"
+#include "core/SplitIte.h"
+#include "eval/Expand.h"
+#include "support/Diagnostics.h"
+
+#include <cassert>
+
+using namespace se2gis;
+
+Approximation::Approximation(const Problem &P) : P(P), Elim(P) {}
+
+bool Approximation::addCanonicalTerm(TermPtr T) {
+  // Reject duplicates by shape (same constructor skeleton).
+  for (const ApproxTerm &Existing : Terms) {
+    // Shape equality: compare with variables treated as wildcards. We
+    // approximate by comparing the printed constructor skeletons.
+    if (termSize(Existing.T) != termSize(T))
+      continue;
+    // Compare structurally, ignoring variable identities.
+    std::function<bool(const TermPtr &, const TermPtr &)> SameShape =
+        [&](const TermPtr &A, const TermPtr &B) {
+          if (A->getKind() != B->getKind() || A->numArgs() != B->numArgs())
+            return false;
+          if (A->getKind() == TermKind::Ctor && A->getCtor() != B->getCtor())
+            return false;
+          if (A->getKind() == TermKind::Var)
+            return sameType(A->getVar()->Ty, B->getVar()->Ty);
+          for (size_t I = 0; I < A->numArgs(); ++I)
+            if (!SameShape(A->getArg(I), B->getArg(I)))
+              return false;
+          return true;
+        };
+    if (SameShape(Existing.T, T))
+      return false;
+  }
+  ApproxTerm AT;
+  AT.Parts = Elim.eliminate(T);
+  assert(AT.Parts.Canonical && "only canonical terms enter T");
+  AT.T = std::move(T);
+  Terms.push_back(std::move(AT));
+  return true;
+}
+
+bool Approximation::initialize() {
+  bool AddedAny = false;
+  for (unsigned CI = 0; CI < P.Theta->numConstructors(); ++CI) {
+    const ConstructorDecl &C = P.Theta->getConstructor(CI);
+    std::vector<TermPtr> Fields;
+    for (const TypePtr &FT : C.Fields)
+      Fields.push_back(mkVar(freshVar(FT->isData() ? "l" : "a", FT)));
+    TermPtr Seed = mkCtor(&C, std::move(Fields));
+    // Keep the initial approximation minimal (the paper's T0): shallow
+    // canonical terms only; refinement deepens on demand.
+    std::vector<TermPtr> Canon =
+        canonicalExpansions(P, Elim, Seed, 64, /*MaxGrowth=*/6);
+    if (Canon.empty())
+      return false;
+    for (TermPtr &T : Canon)
+      AddedAny |= addCanonicalTerm(std::move(T));
+  }
+  return AddedAny;
+}
+
+TermPtr Approximation::guardOf(size_t TermIndex) const {
+  const ApproxTerm &AT = Terms[TermIndex];
+  std::vector<TermPtr> Parts = AT.LocalGuards;
+  for (const ImageInvariant &Inv : ImageInvariants) {
+    for (const auto &[Orig, ElimVar] : AT.Parts.Alpha) {
+      (void)Orig;
+      Substitution Map;
+      Map.emplace_back(Inv.Param->Id, mkVar(ElimVar));
+      Parts.push_back(substitute(Inv.Pred, Map));
+    }
+  }
+  return simplify(mkAndList(std::move(Parts)));
+}
+
+Sge Approximation::buildSge() const {
+  Sge System;
+  for (size_t I = 0; I < Terms.size(); ++I) {
+    SgeEquation E;
+    E.Guard = guardOf(I);
+    E.Lhs = Terms[I].Parts.Lhs;
+    E.Rhs = Terms[I].Parts.Rhs;
+    E.TermIndex = I;
+    if (!EnableSplitting) {
+      System.Eqns.push_back(std::move(E));
+      continue;
+    }
+    for (SgeEquation &Branch : splitEquation(E))
+      System.Eqns.push_back(std::move(Branch));
+  }
+  return System;
+}
+
+bool Approximation::refine(const ValuePtr &Cex) {
+  // Pick the most specific (largest) term whose shape covers the
+  // counterexample and unroll it one level toward it.
+  int Best = -1;
+  size_t BestSize = 0;
+  for (size_t I = 0; I < Terms.size(); ++I) {
+    std::vector<std::pair<VarPtr, ValuePtr>> Bindings;
+    if (!matchShape(Terms[I].T, Cex, Bindings))
+      continue;
+    size_t Size = termSize(Terms[I].T);
+    if (Best < 0 || Size > BestSize) {
+      Best = static_cast<int>(I);
+      BestSize = Size;
+    }
+  }
+  if (Best < 0)
+    return false;
+
+  // One-level expansions may canonicalize to shapes already in T (added by
+  // another branch); keep unrolling toward the counterexample until a new
+  // term appears.
+  TermPtr Cur = Terms[Best].T;
+  for (int Step = 0; Step < 16; ++Step) {
+    std::optional<TermPtr> Expanded = expandToward(Cur, Cex);
+    if (!Expanded)
+      return false;
+    std::vector<TermPtr> Canon = canonicalExpansions(P, Elim, *Expanded);
+    if (Canon.empty())
+      return false;
+    bool AddedAny = false;
+    for (TermPtr &T : Canon)
+      AddedAny |= addCanonicalTerm(std::move(T));
+    if (AddedAny)
+      return true;
+    Cur = *Expanded;
+  }
+  return false;
+}
+
+void Approximation::addLocalGuard(size_t TermIndex, TermPtr Pred) {
+  assert(TermIndex < Terms.size() && "bad term index");
+  Terms[TermIndex].LocalGuards.push_back(std::move(Pred));
+}
+
+void Approximation::addImageInvariant(VarPtr Param, TermPtr Pred) {
+  ImageInvariants.push_back(ImageInvariant{std::move(Param), std::move(Pred)});
+}

@@ -1,0 +1,87 @@
+//===- Approximation.h - The approximation E(T, P) --------------*- C++-*-===//
+///
+/// \file
+/// Manages the two parameters of the recursion-free approximation of Ψ
+/// (Definition 4.6): the set T of (partially bounded) canonical terms, grown
+/// by the refinement loop, and the guards P, strengthened by the coarsening
+/// loop. Guards come in two flavours mirroring §7.2:
+///   - per-term predicates over the equation's variables (recursion-free
+///     strengthenings of Iθ, learned from mistyped certificates), and
+///   - image invariants of f∘r (single-variable predicates, learned from
+///     unsatisfiable certificates or seeded by an `ensures` hint), applied
+///     to every elimination variable of every equation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SE2GIS_CORE_APPROXIMATION_H
+#define SE2GIS_CORE_APPROXIMATION_H
+
+#include "core/RecursionElim.h"
+#include "synth/Sge.h"
+
+#include <optional>
+
+namespace se2gis {
+
+/// One element of T with its cached eliminated equation and local guards.
+struct ApproxTerm {
+  TermPtr T;
+  EquationParts Parts;
+  /// Learned per-term guard conjuncts (over this equation's variables).
+  std::vector<TermPtr> LocalGuards;
+};
+
+/// An image invariant of f∘r: \c Pred over the single variable \c Param.
+struct ImageInvariant {
+  VarPtr Param;
+  TermPtr Pred;
+};
+
+/// The approximation E(T, P) for one problem.
+class Approximation {
+public:
+  explicit Approximation(const Problem &P);
+
+  /// Builds the initial term set T0: canonical expansions of every
+  /// constructor of θ. \returns false if canonicalization diverges.
+  bool initialize();
+
+  const std::vector<ApproxTerm> &terms() const { return Terms; }
+
+  /// Builds the current system of guarded functional equations.
+  Sge buildSge() const;
+
+  /// The guard p_i of equation \p TermIndex (local guards plus image
+  /// invariants instantiated at its elimination variables).
+  TermPtr guardOf(size_t TermIndex) const;
+
+  /// Refinement step: grows T toward the concrete counterexample \p Cex (a
+  /// value of type θ). \returns false if no term could be expanded.
+  bool refine(const ValuePtr &Cex);
+
+  /// Coarsening step (mistyped): conjoins \p Pred to term \p TermIndex's
+  /// guard. \p Pred ranges over that equation's variables.
+  void addLocalGuard(size_t TermIndex, TermPtr Pred);
+
+  /// Coarsening step (image invariant): \p Pred over \p Param is conjoined,
+  /// instantiated at every elimination variable, to every guard.
+  void addImageInvariant(VarPtr Param, TermPtr Pred);
+
+  /// Access to the shared eliminator (used by the certificate checker).
+  RecursionEliminator &eliminator() { return Elim; }
+
+  /// Path-split conditionals into guarded equations (ablatable).
+  bool EnableSplitting = true;
+
+private:
+  bool addCanonicalTerm(TermPtr T);
+
+  const Problem &P;
+  RecursionEliminator Elim;
+  std::vector<ApproxTerm> Terms;
+  std::vector<ImageInvariant> ImageInvariants;
+};
+
+} // namespace se2gis
+
+#endif // SE2GIS_CORE_APPROXIMATION_H

@@ -1,0 +1,103 @@
+//===- Certificates.cpp ---------------------------------------------------===//
+
+#include "core/Certificates.h"
+
+#include "ast/Simplify.h"
+#include "synth/SgeSolver.h"
+#include "support/Diagnostics.h"
+
+#include <cassert>
+
+using namespace se2gis;
+
+TermPtr CertificateChecker::compatibility(const ApproxTerm &AT,
+                                          const SmtModel &M) const {
+  std::vector<TermPtr> Parts;
+  for (const auto &[V, Val] : M.assignments()) {
+    // Is V an elimination variable of this equation?
+    VarPtr Orig;
+    for (const auto &[O, E] : AT.Parts.Alpha)
+      if (E->Id == V->Id)
+        Orig = O;
+    if (Orig) {
+      TermPtr Def =
+          Approx.eliminator().elimVarDefinition(Orig, AT.Parts.Extras);
+      Parts.push_back(mkEq(Def, valueToTerm(Val)));
+    } else {
+      Parts.push_back(mkEq(mkVar(V), valueToTerm(Val)));
+    }
+  }
+  return mkAndList(std::move(Parts));
+}
+
+void CertificateChecker::checkModel(const WitnessModel &WM,
+                                    const Sge &System,
+                                    WitnessCheckResult &Result,
+                                    const Deadline &Budget) {
+  size_t TermIndex = System.Eqns[WM.EqnIndex].TermIndex;
+  const ApproxTerm &AT = Approx.terms()[TermIndex];
+
+  // Compatibility plus the type invariant: t ⋉ m ∧ Iθ(t).
+  std::vector<TermPtr> Conj = {compatibility(AT, WM.M)};
+  if (!P.Invariant.empty())
+    Conj.push_back(mkCall(P.Invariant, Type::boolTy(), {AT.T}));
+  TermPtr Q = mkAndList(std::move(Conj));
+
+  BoundedOptions Opts = Bounded;
+  Opts.Budget = Budget;
+  if (auto W = boundedSat(*P.Prog, Q, Opts)) {
+    ConcreteInput In;
+    In.EqnIndex = TermIndex;
+    In.DataVars = W->DataAssignments;
+    In.Scalars = W->Scalars;
+    Result.ValidInputs.push_back(std::move(In));
+    return;
+  }
+
+  // Spurious for this model. Classify: is some elimination value outside
+  // the image of f∘r?
+  SCertificate Cert;
+  Cert.EqnIndex = TermIndex;
+  Cert.M = WM.M;
+  Cert.Kind = CertKind::Mistyped;
+
+  for (const auto &[Orig, ElimVar] : AT.Parts.Alpha) {
+    ValuePtr Val = WM.M.lookup(ElimVar->Id);
+    if (!Val)
+      continue;
+    // ∃ y' : f(e⃗, r(y')) = val, with the extras fixed to the model's
+    // values when available.
+    VarPtr Y = freshVar("y", Type::dataTy(P.Theta));
+    TermPtr Def = Approx.eliminator().elimVarDefinition(Y, AT.Parts.Extras);
+    Substitution ExtraVals;
+    for (const VarPtr &E : AT.Parts.Extras)
+      if (ValuePtr EV = WM.M.lookup(E->Id))
+        ExtraVals.emplace_back(E->Id, valueToTerm(EV));
+    TermPtr ImageQuery = mkEq(substitute(Def, ExtraVals), valueToTerm(Val));
+    BoundedOptions ImgOpts = Bounded;
+    ImgOpts.Budget = Budget;
+    if (!boundedSat(*P.Prog, ImageQuery, ImgOpts)) {
+      Cert.Kind = CertKind::Unsatisfiable;
+      Cert.BadElimVar = ElimVar;
+      Cert.BadValue = Val;
+      break;
+    }
+  }
+  Result.Certs.push_back(std::move(Cert));
+}
+
+WitnessCheckResult CertificateChecker::check(const FunctionalWitness &W,
+                                             const Sge &System,
+                                             const Deadline &Budget) {
+  WitnessCheckResult Result;
+  checkModel(W.First, System, Result, Budget);
+  checkModel(W.Second, System, Result, Budget);
+  if (Budget.expired() && Result.Certs.empty() &&
+      Result.ValidInputs.size() < 2) {
+    Result.Verdict = WitnessVerdict::Unknown;
+    return Result;
+  }
+  Result.Verdict = Result.Certs.empty() ? WitnessVerdict::Valid
+                                        : WitnessVerdict::Spurious;
+  return Result;
+}

@@ -1,0 +1,101 @@
+//===- Certificates.h - Spuriousness checking (§5, Def. 5.3–5.6) *- C++-*-===//
+///
+/// \file
+/// Decides whether a functional-unrealizability witness for E(T, P) is valid
+/// (it also witnesses unrealizability of the original specification Ψ) or
+/// spurious, and classifies spurious certificates (Definition 7.1):
+///
+///  - a model m is *realizable* when a concrete term compatible with m
+///    (t ⋉ m, Definition 5.2) satisfying Iθ exists — found by bounded
+///    search, it is the concrete half of a validity certificate;
+///  - an *unsatisfiable* certificate has an elimination-variable value
+///    outside the image of f∘r (Lemma 7.3);
+///  - a *mistyped* certificate is compatible with some instantiation but
+///    never one satisfying the type invariant.
+///
+/// Soundness note: an `Unrealizable` verdict is only ever issued from
+/// concrete realizable instantiations of every witness model, so it never
+/// depends on the (incomplete) induction prover.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SE2GIS_CORE_CERTIFICATES_H
+#define SE2GIS_CORE_CERTIFICATES_H
+
+#include "core/Approximation.h"
+#include "core/Witness.h"
+#include "smt/BoundedCheck.h"
+
+namespace se2gis {
+
+/// Which kind of missing invariant a spurious certificate points at.
+enum class CertKind : unsigned char {
+  /// The model's elimination values cannot be produced by f∘r at all:
+  /// learn an invariant of the reference function's image (§7.2.2).
+  Unsatisfiable,
+  /// Compatible instantiations exist but all violate Iθ: learn a
+  /// recursion-free strengthening of the type invariant (§7.2.1).
+  Mistyped
+};
+
+/// An s-certificate (m, t) (Definition 5.6) with its classification.
+struct SCertificate {
+  size_t EqnIndex = 0;
+  SmtModel M;
+  CertKind Kind = CertKind::Mistyped;
+  /// For unsatisfiable certificates: the out-of-image value and the
+  /// elimination variable carrying it.
+  VarPtr BadElimVar;
+  ValuePtr BadValue;
+};
+
+/// A concrete instantiation certifying that one witness model is realizable.
+struct ConcreteInput {
+  size_t EqnIndex = 0;
+  /// Concrete values for the datatype variables of the equation's term.
+  std::vector<std::pair<VarPtr, ValuePtr>> DataVars;
+  SmtModel Scalars;
+};
+
+/// Verdict of the spuriousness check.
+enum class WitnessVerdict : unsigned char { Valid, Spurious, Unknown };
+
+/// Result of checking one functional witness.
+struct WitnessCheckResult {
+  WitnessVerdict Verdict = WitnessVerdict::Unknown;
+  /// Certificates for the spurious models (present when Spurious).
+  std::vector<SCertificate> Certs;
+  /// Concrete inputs for the realizable models (all of them when Valid).
+  std::vector<ConcreteInput> ValidInputs;
+};
+
+/// Checks witnesses against an approximation.
+class CertificateChecker {
+public:
+  CertificateChecker(const Problem &P, Approximation &Approx)
+      : P(P), Approx(Approx) {}
+
+  /// Decides validity/spuriousness of \p W (Proposition 5.4). \p System
+  /// maps the witness's equation indices back to their terms.
+  WitnessCheckResult check(const FunctionalWitness &W, const Sge &System,
+                           const Deadline &Budget);
+
+  /// Builds the compatibility constraint t ⋉ m for the equation's term
+  /// (Definition 5.2): scalar assignments plus `f(e⃗, r(y)) = m(α(y))`.
+  TermPtr compatibility(const ApproxTerm &AT, const SmtModel &M) const;
+
+  /// Bounded-search budget per model.
+  BoundedOptions Bounded;
+
+private:
+  /// Checks one model; appends to the result.
+  void checkModel(const WitnessModel &WM, const Sge &System,
+                  WitnessCheckResult &Result, const Deadline &Budget);
+
+  const Problem &P;
+  Approximation &Approx;
+};
+
+} // namespace se2gis
+
+#endif // SE2GIS_CORE_CERTIFICATES_H

@@ -1,0 +1,287 @@
+//===- InvariantInfer.cpp -------------------------------------------------===//
+
+#include "core/InvariantInfer.h"
+
+#include "ast/Simplify.h"
+#include "eval/Interp.h"
+#include "smt/Induction.h"
+#include "support/Diagnostics.h"
+#include "synth/SgeSolver.h"
+
+#include <cassert>
+
+using namespace se2gis;
+
+ValuePtr
+InvariantLearner::applyReference(const std::vector<ValuePtr> &Extras,
+                                 const ValuePtr &Y) const {
+  Interpreter I(*P.Prog);
+  ValuePtr R = I.call(P.Repr, {Y});
+  std::vector<ValuePtr> Args = Extras;
+  Args.push_back(std::move(R));
+  return I.call(P.Reference, Args);
+}
+
+std::optional<LearnedInvariant>
+InvariantLearner::learn(const SCertificate &Cert, const Deadline &Budget) {
+  return Cert.Kind == CertKind::Mistyped ? learnMistyped(Cert, Budget)
+                                         : learnImage(Cert, Budget);
+}
+
+void InvariantLearner::apply(const LearnedInvariant &Inv) {
+  if (Inv.Kind == CertKind::Mistyped) {
+    // The predicate ranges over the equation's own variables.
+    Approx.addLocalGuard(Inv.EqnIndex, Inv.Pred);
+    return;
+  }
+  Approx.addImageInvariant(Inv.Domain[0], Inv.Pred);
+}
+
+namespace {
+
+/// Default scalar value by type (used for irrelevant coordinates of a
+/// positive example).
+ValuePtr defaultScalar(const TypePtr &Ty) {
+  if (Ty->isInt())
+    return Value::mkInt(0);
+  if (Ty->isBool())
+    return Value::mkBool(false);
+  std::vector<ValuePtr> Elems;
+  for (const TypePtr &E : Ty->tupleElems())
+    Elems.push_back(defaultScalar(E));
+  return Value::mkTuple(std::move(Elems));
+}
+
+/// Smallest concrete value of a datatype: the first base constructor with
+/// default scalar fields (used when the refutation formula does not
+/// constrain a data variable at all, e.g. on the first iteration where the
+/// candidate predicate is still false).
+ValuePtr defaultValueOf(const Datatype *D);
+
+ValuePtr defaultFieldValue(const TypePtr &Ty) {
+  if (Ty->isData())
+    return defaultValueOf(Ty->getDatatype());
+  return defaultScalar(Ty);
+}
+
+ValuePtr defaultValueOf(const Datatype *D) {
+  for (unsigned CI = 0; CI < D->numConstructors(); ++CI) {
+    if (!D->isBaseConstructor(CI))
+      continue;
+    const ConstructorDecl &C = D->getConstructor(CI);
+    std::vector<ValuePtr> Fields;
+    for (const TypePtr &FT : C.Fields)
+      Fields.push_back(defaultFieldValue(FT));
+    return Value::mkData(&C, std::move(Fields));
+  }
+  // No base constructor without datatype fields at the top level: recurse
+  // through the first constructor (datatype well-formedness bounds this).
+  const ConstructorDecl &C = D->getConstructor(0);
+  std::vector<ValuePtr> Fields;
+  for (const TypePtr &FT : C.Fields)
+    Fields.push_back(defaultFieldValue(FT));
+  return Value::mkData(&C, std::move(Fields));
+}
+
+std::vector<TermPtr> leavesFor(const std::vector<VarPtr> &Domain) {
+  std::vector<TermPtr> Leaves;
+  std::function<void(const TermPtr &)> Collect = [&](const TermPtr &Root) {
+    if (Root->getType()->isTuple()) {
+      for (unsigned I = 0; I < Root->getType()->tupleElems().size(); ++I)
+        Collect(mkProj(Root, I));
+      return;
+    }
+    Leaves.push_back(Root);
+  };
+  for (const VarPtr &D : Domain)
+    Collect(mkVar(D));
+  return Leaves;
+}
+
+} // namespace
+
+std::optional<LearnedInvariant>
+InvariantLearner::learnMistyped(const SCertificate &Cert,
+                                const Deadline &Budget) {
+  const ApproxTerm &AT = Approx.terms()[Cert.EqnIndex];
+
+  // Domain: every variable assigned by the model. The substitution sigma
+  // interprets elimination variables as f(e⃗, r(y)).
+  std::vector<VarPtr> Domain;
+  Substitution Sigma;
+  for (const auto &[V, Val] : Cert.M.assignments()) {
+    (void)Val;
+    Domain.push_back(V);
+    VarPtr Orig;
+    for (const auto &[O, E] : AT.Parts.Alpha)
+      if (E->Id == V->Id)
+        Orig = O;
+    if (Orig)
+      Sigma.emplace_back(
+          V->Id, Approx.eliminator().elimVarDefinition(Orig, AT.Parts.Extras));
+    else
+      Sigma.emplace_back(V->Id, mkVar(V));
+  }
+
+  // The negative example is the model itself.
+  std::vector<PbeExample> Negatives, Positives;
+  {
+    PbeExample Neg;
+    for (const VarPtr &D : Domain)
+      Neg.Inputs[D->Id] = Cert.M.lookup(D->Id);
+    Neg.Output = Value::mkBool(false);
+    Negatives.push_back(std::move(Neg));
+  }
+
+  TermPtr Invariant = P.Invariant.empty()
+                          ? mkTrue()
+                          : mkCall(P.Invariant, Type::boolTy(), {AT.T});
+  Enumerator En(Config, leavesFor(Domain));
+
+  TermPtr Pred = mkFalse();
+  LearnedInvariant Result;
+  Result.Kind = CertKind::Mistyped;
+  Result.EqnIndex = Cert.EqnIndex;
+  Result.Domain = Domain;
+
+  for (int Iter = 0; Iter < MaxIterations; ++Iter) {
+    if (Budget.expired())
+      return std::nullopt;
+
+    TermPtr PredSigma = substitute(Pred, Sigma);
+    TermPtr Goal = simplify(mkOp(OpKind::Implies, {Invariant, PredSigma}));
+
+    InductionOptions IOpts = Induction;
+    auto Accept = [&](bool ByInduction) {
+      Result.Pred = Pred;
+      Result.ByInduction = ByInduction;
+      Result.LemmaPattern = AT.T;
+      Result.LemmaFormula = Goal;
+      Result.LemmaExtras = AT.Parts.Extras;
+      return Result;
+    };
+    if (proveByInduction(*P.Prog, Goal, IOpts))
+      return Accept(true);
+
+    BoundedOptions BOpts = Bounded;
+    BOpts.Budget = Budget;
+    TermPtr Refute = simplify(mkAndList({Invariant, mkNot(PredSigma)}));
+    auto BW = boundedSat(*P.Prog, Refute, BOpts);
+    if (!BW) {
+      // No bounded counterexample: accept with bounded confidence.
+      return Accept(false);
+    }
+
+    // Extract a positive example from the counterexample.
+    std::vector<ValuePtr> ExtraVals;
+    for (const VarPtr &E : AT.Parts.Extras) {
+      ValuePtr V = BW->Scalars.lookup(E->Id);
+      ExtraVals.push_back(V ? V : defaultScalar(E->Ty));
+    }
+    PbeExample Pos;
+    for (const VarPtr &D : Domain) {
+      VarPtr Orig;
+      for (const auto &[O, Ev] : AT.Parts.Alpha)
+        if (Ev->Id == D->Id)
+          Orig = O;
+      if (Orig) {
+        ValuePtr Y = BW->lookupData(Orig->Id);
+        if (!Y)
+          Y = defaultValueOf(Orig->Ty->getDatatype());
+        Pos.Inputs[D->Id] = applyReference(ExtraVals, Y);
+      } else {
+        ValuePtr V = BW->Scalars.lookup(D->Id);
+        Pos.Inputs[D->Id] = V ? V : defaultScalar(D->Ty);
+      }
+    }
+    Pos.Output = Value::mkBool(true);
+    Positives.push_back(std::move(Pos));
+
+    std::vector<PbeExample> Examples = Positives;
+    Examples.insert(Examples.end(), Negatives.begin(), Negatives.end());
+    auto Next = En.synthesize(Type::boolTy(), Examples, PbeMaxSize, Budget);
+    if (!Next)
+      return std::nullopt;
+    Pred = std::move(*Next);
+  }
+  return std::nullopt;
+}
+
+std::optional<LearnedInvariant>
+InvariantLearner::learnImage(const SCertificate &Cert,
+                             const Deadline &Budget) {
+  VarPtr X = freshVar("img", P.RetTy);
+  std::vector<VarPtr> Domain = {X};
+
+  // Fresh universally quantified input for the verification goal.
+  VarPtr Y = freshVar("y", Type::dataTy(P.Theta));
+  const RecFunction *Ref = P.Prog->findFunction(P.Reference);
+  std::vector<VarPtr> Extras;
+  for (const VarPtr &E : Ref->getParams())
+    Extras.push_back(freshVar(E->Name, E->Ty));
+  TermPtr Image = Approx.eliminator().elimVarDefinition(Y, Extras);
+
+  std::vector<PbeExample> Negatives, Positives;
+  {
+    PbeExample Neg;
+    Neg.Inputs[X->Id] = Cert.BadValue;
+    Neg.Output = Value::mkBool(false);
+    Negatives.push_back(std::move(Neg));
+  }
+
+  Enumerator En(Config, leavesFor(Domain));
+  TermPtr Pred = mkFalse();
+  LearnedInvariant Result;
+  Result.Kind = CertKind::Unsatisfiable;
+  Result.EqnIndex = Cert.EqnIndex;
+  Result.Domain = Domain;
+
+  for (int Iter = 0; Iter < MaxIterations; ++Iter) {
+    if (Budget.expired())
+      return std::nullopt;
+
+    Substitution Sigma;
+    Sigma.emplace_back(X->Id, Image);
+    TermPtr Goal = simplify(substitute(Pred, Sigma));
+
+    InductionOptions IOpts = Induction;
+    auto Accept = [&](bool ByInduction) {
+      Result.Pred = Pred;
+      Result.ByInduction = ByInduction;
+      Result.LemmaPattern = mkVar(Y);
+      Result.LemmaFormula = Goal;
+      Result.LemmaExtras = Extras;
+      return Result;
+    };
+    if (proveByInduction(*P.Prog, Goal, IOpts))
+      return Accept(true);
+
+    BoundedOptions BOpts = Bounded;
+    BOpts.Budget = Budget;
+    auto BW = boundedSat(*P.Prog, simplify(mkNot(Goal)), BOpts);
+    if (!BW) {
+      return Accept(false);
+    }
+
+    std::vector<ValuePtr> ExtraVals;
+    for (const VarPtr &E : Extras) {
+      ValuePtr V = BW->Scalars.lookup(E->Id);
+      ExtraVals.push_back(V ? V : defaultScalar(E->Ty));
+    }
+    ValuePtr YV = BW->lookupData(Y->Id);
+    if (!YV)
+      YV = defaultValueOf(P.Theta);
+    PbeExample Pos;
+    Pos.Inputs[X->Id] = applyReference(ExtraVals, YV);
+    Pos.Output = Value::mkBool(true);
+    Positives.push_back(std::move(Pos));
+
+    std::vector<PbeExample> Examples = Positives;
+    Examples.insert(Examples.end(), Negatives.begin(), Negatives.end());
+    auto Next = En.synthesize(Type::boolTy(), Examples, PbeMaxSize, Budget);
+    if (!Next)
+      return std::nullopt;
+    Pred = std::move(*Next);
+  }
+  return std::nullopt;
+}

@@ -1,0 +1,92 @@
+//===- InvariantInfer.h - Algorithm 2: learning invariants ------*- C++-*-===//
+///
+/// \file
+/// Algorithm 2 (InferInvariant): learn a predicate from a spurious
+/// certificate by example-guided synthesis. The certificate's model is the
+/// negative example; positive examples come from failed verifications:
+///
+///  - mistyped certificates learn a recursion-free strengthening of Iθ over
+///    the equation's variables, verified against
+///        ∀ z⃗ · Iθ(t) ⇒ pred(σ(domain))           (§7.2.1)
+///  - unsatisfiable certificates learn an invariant of the image of f∘r
+///    over a single output variable, verified against
+///        ∀ e⃗, y · pred(f(e⃗, r(y)))               (§7.2.2)
+///
+/// Verification runs the induction prover first and falls back to bounded
+/// checking (tracking which one succeeded — the paper reports 70% of
+/// inferred invariants proved by induction).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SE2GIS_CORE_INVARIANTINFER_H
+#define SE2GIS_CORE_INVARIANTINFER_H
+
+#include "core/Certificates.h"
+#include "smt/Induction.h"
+#include "synth/Enumerator.h"
+
+#include <optional>
+
+namespace se2gis {
+
+/// A predicate learned by Algorithm 2.
+struct LearnedInvariant {
+  CertKind Kind = CertKind::Mistyped;
+  size_t EqnIndex = 0;
+  /// The predicate over \c Domain.
+  TermPtr Pred;
+  /// Ordered domain variables. For mistyped invariants these are the
+  /// equation's variables (pred strengthens that guard); for image
+  /// invariants a single fresh variable over the output type.
+  std::vector<VarPtr> Domain;
+  /// True when the final Verify succeeded by induction, false when only the
+  /// bounded check passed.
+  bool ByInduction = false;
+  /// Lemma form for re-use in later induction proofs (final solution
+  /// verification): \c LemmaPattern is the certificate's term (or a bare
+  /// variable for image invariants) and \c LemmaFormula the verified goal
+  /// over the pattern's variables and \c LemmaExtras.
+  TermPtr LemmaPattern;
+  TermPtr LemmaFormula;
+  std::vector<VarPtr> LemmaExtras;
+};
+
+/// Runs Algorithm 2 for one problem.
+class InvariantLearner {
+public:
+  InvariantLearner(const Problem &P, Approximation &Approx,
+                   GrammarConfig Config)
+      : P(P), Approx(Approx), Config(std::move(Config)) {}
+
+  /// Learns a predicate from \p Cert; nullopt when synthesis or
+  /// verification diverges (the paper's "invariant inference diverges"
+  /// failure mode).
+  std::optional<LearnedInvariant> learn(const SCertificate &Cert,
+                                        const Deadline &Budget);
+
+  /// Applies \p Inv to the approximation (strengthens P).
+  void apply(const LearnedInvariant &Inv);
+
+  int MaxIterations = 12;
+  int PbeMaxSize = 9;
+  BoundedOptions Bounded;
+  InductionOptions Induction;
+
+private:
+  std::optional<LearnedInvariant> learnMistyped(const SCertificate &Cert,
+                                                const Deadline &Budget);
+  std::optional<LearnedInvariant> learnImage(const SCertificate &Cert,
+                                             const Deadline &Budget);
+
+  /// Evaluates f(e⃗, r(y)) concretely.
+  ValuePtr applyReference(const std::vector<ValuePtr> &Extras,
+                          const ValuePtr &Y) const;
+
+  const Problem &P;
+  Approximation &Approx;
+  GrammarConfig Config;
+};
+
+} // namespace se2gis
+
+#endif // SE2GIS_CORE_INVARIANTINFER_H

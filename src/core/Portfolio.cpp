@@ -1,0 +1,71 @@
+//===- Portfolio.cpp ------------------------------------------------------===//
+
+#include "core/Portfolio.h"
+
+#include "support/Stopwatch.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+#include <optional>
+#include <thread>
+
+using namespace se2gis;
+
+RunResult se2gis::runPortfolio(const Problem &P, const AlgoOptions &Opts) {
+  Stopwatch Timer;
+
+  std::mutex M;
+  std::condition_variable Cv;
+  std::optional<RunResult> Results[2];
+  std::atomic<bool> Cancel{false};
+  int Done = 0;
+
+  auto IsConclusive = [](const RunResult &R) {
+    return R.O == Outcome::Realizable || R.O == Outcome::Unrealizable;
+  };
+
+  auto Worker = [&](int Slot, AlgorithmKind K) {
+    AlgoOptions Local = Opts;
+    Local.Cancel = &Cancel;
+    RunResult R = runAlgorithm(K, P, Local);
+    if (R.Detail.empty())
+      R.Detail = std::string("portfolio: ") + algorithmName(K);
+    std::lock_guard<std::mutex> Lock(M);
+    Results[Slot] = std::move(R);
+    ++Done;
+    Cv.notify_all();
+  };
+
+  std::thread T1(Worker, 0, AlgorithmKind::SE2GIS);
+  std::thread T2(Worker, 1, AlgorithmKind::SEGISUC);
+
+  {
+    std::unique_lock<std::mutex> Lock(M);
+    Cv.wait(Lock, [&] {
+      if (Done == 2)
+        return true;
+      for (const auto &R : Results)
+        if (R && IsConclusive(*R))
+          return true;
+      return false;
+    });
+  }
+  // First conclusive verdict wins; tell the other worker to stop.
+  Cancel.store(true);
+  T1.join();
+  T2.join();
+
+  RunResult Final;
+  // Prefer a conclusive result (SE2GIS first on ties), else the SE2GIS one.
+  for (const auto &R : Results)
+    if (R && IsConclusive(*R)) {
+      Final = *R;
+      break;
+    }
+  if (Final.O != Outcome::Realizable && Final.O != Outcome::Unrealizable &&
+      Results[0])
+    Final = *Results[0];
+  Final.Stats.ElapsedMs = Timer.elapsedMs();
+  return Final;
+}

@@ -1,0 +1,28 @@
+//===- Portfolio.h - SE2GIS ∥ SEGIS+UC portfolio ----------------*- C++-*-===//
+///
+/// \file
+/// The portfolio mode the paper suggests in §8.2: "SE²GIS and SEGIS+UC can
+/// easily complement each other in a portfolio version of Synduce, which
+/// runs both algorithms in parallel, and waits for the first result."
+/// Each algorithm runs in its own thread (every SMT query owns its Z3
+/// context, so the solver stack is thread-compatible); the first conclusive
+/// verdict (realizable/unrealizable) wins.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SE2GIS_CORE_PORTFOLIO_H
+#define SE2GIS_CORE_PORTFOLIO_H
+
+#include "core/Algorithms.h"
+
+namespace se2gis {
+
+/// Runs SE²GIS and SEGIS+UC concurrently on \p P; returns the first
+/// conclusive result (or the "better" inconclusive one when both fail).
+/// The returned stats carry the winning algorithm's name in \c Detail when
+/// it would otherwise be empty.
+RunResult runPortfolio(const Problem &P, const AlgoOptions &Opts);
+
+} // namespace se2gis
+
+#endif // SE2GIS_CORE_PORTFOLIO_H

@@ -1,0 +1,225 @@
+//===- RecursionElim.cpp --------------------------------------------------===//
+
+#include "core/RecursionElim.h"
+
+#include "ast/Simplify.h"
+#include "eval/Expand.h"
+#include "support/Diagnostics.h"
+
+#include <cassert>
+#include <deque>
+
+using namespace se2gis;
+
+RecursionEliminator::RecursionEliminator(const Problem &P)
+    : P(P), Ref(P.Prog->findFunction(P.Reference)),
+      Tgt(P.Prog->findFunction(P.Target)),
+      Repr(P.Prog->findFunction(P.Repr)) {
+  assert(Ref && Tgt && Repr && "problem not validated");
+}
+
+namespace {
+
+/// \returns the datatype variable y if \p N is an elimination unit
+/// `Ref(e⃗, Repr(y))` or `Tgt(e⃗, y)` with the expected extras, else nullptr.
+VarPtr unitVariable(const TermPtr &N, const std::string &RefName,
+                    const std::string &TgtName, const std::string &ReprName,
+                    bool ReprIdentity, const std::vector<VarPtr> &Extras) {
+  if (N->getKind() != TermKind::Call)
+    return nullptr;
+  if (N->numArgs() != Extras.size() + 1)
+    return nullptr;
+  for (size_t I = 0; I < Extras.size(); ++I) {
+    const TermPtr &A = N->getArg(I);
+    if (A->getKind() != TermKind::Var || A->getVar()->Id != Extras[I]->Id)
+      return nullptr;
+  }
+  const TermPtr &Last = N->getArg(N->numArgs() - 1);
+  if (N->getCallee() == TgtName) {
+    if (Last->getKind() == TermKind::Var)
+      return Last->getVar();
+    return nullptr;
+  }
+  if (N->getCallee() == RefName) {
+    if (ReprIdentity) {
+      if (Last->getKind() == TermKind::Var)
+        return Last->getVar();
+      return nullptr;
+    }
+    if (Last->getKind() == TermKind::Call && Last->getCallee() == ReprName &&
+        Last->numArgs() == 1 &&
+        Last->getArg(0)->getKind() == TermKind::Var)
+      return Last->getArg(0)->getVar();
+    return nullptr;
+  }
+  return nullptr;
+}
+
+} // namespace
+
+TermPtr RecursionEliminator::elimTerm(const TermPtr &T,
+                                      const std::vector<VarPtr> &Extras,
+                                      AlphaMap &Alpha) const {
+  if (VarPtr Y = unitVariable(T, P.Reference, P.Target, P.Repr,
+                              P.ReprIdentity, Extras)) {
+    for (const auto &[Orig, ElimVar] : Alpha)
+      if (Orig->Id == Y->Id)
+        return mkVar(ElimVar);
+    VarPtr ElimVar = freshVar("v_" + Y->Name, P.RetTy);
+    Alpha.emplace_back(Y, ElimVar);
+    return mkVar(ElimVar);
+  }
+  if (T->numArgs() == 0)
+    return T;
+  bool Changed = false;
+  std::vector<TermPtr> NewArgs;
+  NewArgs.reserve(T->numArgs());
+  for (const TermPtr &A : T->getArgs()) {
+    TermPtr NA = elimTerm(A, Extras, Alpha);
+    Changed |= NA.get() != A.get();
+    NewArgs.push_back(std::move(NA));
+  }
+  if (!Changed)
+    return T;
+  switch (T->getKind()) {
+  case TermKind::Op:
+    return mkOp(T->getOp(), std::move(NewArgs));
+  case TermKind::Tuple:
+    return mkTuple(std::move(NewArgs));
+  case TermKind::Proj:
+    return mkProj(std::move(NewArgs[0]), T->getIndex());
+  case TermKind::Ctor:
+    return mkCtor(T->getCtor(), std::move(NewArgs));
+  case TermKind::Call:
+    return mkCall(T->getCallee(), T->getType(), std::move(NewArgs));
+  case TermKind::Unknown:
+    return mkUnknown(T->getCallee(), T->getType(), std::move(NewArgs));
+  default:
+    fatalError("leaf node with arguments");
+  }
+}
+
+TermPtr
+RecursionEliminator::elimVarDefinition(const VarPtr &OrigVar,
+                                       const std::vector<VarPtr> &Extras) const {
+  std::vector<TermPtr> Args;
+  for (const VarPtr &E : Extras)
+    Args.push_back(mkVar(E));
+  if (P.ReprIdentity)
+    Args.push_back(mkVar(OrigVar));
+  else
+    Args.push_back(mkCall(P.Repr, Type::dataTy(P.Tau), {mkVar(OrigVar)}));
+  return mkCall(P.Reference, P.RetTy, std::move(Args));
+}
+
+EquationParts RecursionEliminator::eliminate(const TermPtr &T) {
+  EquationParts Parts;
+  for (const VarPtr &E : Ref->getParams())
+    Parts.Extras.push_back(freshVar(E->Name, E->Ty));
+
+  std::vector<TermPtr> ExtraArgs;
+  for (const VarPtr &E : Parts.Extras)
+    ExtraArgs.push_back(mkVar(E));
+
+  SymbolicEvaluator SE(*P.Prog);
+
+  std::vector<TermPtr> RhsArgs = ExtraArgs;
+  if (P.ReprIdentity)
+    RhsArgs.push_back(T);
+  else
+    RhsArgs.push_back(mkCall(P.Repr, Type::dataTy(P.Tau), {T}));
+  TermPtr RhsEval = SE.eval(mkCall(P.Reference, P.RetTy, std::move(RhsArgs)));
+
+  std::vector<TermPtr> LhsArgs = ExtraArgs;
+  LhsArgs.push_back(T);
+  TermPtr LhsEval = SE.eval(mkCall(P.Target, P.RetTy, std::move(LhsArgs)));
+
+  Parts.Rhs = simplify(elimTerm(RhsEval, Parts.Extras, Parts.Alpha));
+  Parts.Lhs = simplify(elimTerm(LhsEval, Parts.Extras, Parts.Alpha));
+
+  // Classify surviving datatype variables. "Hard" blockers have a bare
+  // occurrence; "soft" blockers only occur wrapped as `r(y)` inside a stuck
+  // call (they may become elimination units once the hard blockers around
+  // them are expanded), so hard blockers are expanded first.
+  std::vector<VarPtr> Hard, Soft;
+  auto Classify = [&](const TermPtr &Side) {
+    std::function<void(const TermPtr &)> Walk = [&](const TermPtr &N) {
+      if (N->getKind() == TermKind::Call && N->getCallee() == P.Repr &&
+          N->numArgs() == 1 && N->getArg(0)->getKind() == TermKind::Var) {
+        const VarPtr &V = N->getArg(0)->getVar();
+        bool Known = false;
+        for (const VarPtr &B : Soft)
+          Known |= B->Id == V->Id;
+        if (!Known)
+          Soft.push_back(V);
+        return;
+      }
+      if (N->getKind() == TermKind::Var && N->getVar()->Ty->isData()) {
+        bool Known = false;
+        for (const VarPtr &B : Hard)
+          Known |= B->Id == N->getVar()->Id;
+        if (!Known)
+          Hard.push_back(N->getVar());
+        return;
+      }
+      for (const TermPtr &A : N->getArgs())
+        Walk(A);
+    };
+    Walk(Side);
+  };
+  Classify(Parts.Lhs);
+  Classify(Parts.Rhs);
+  for (const VarPtr &V : Hard)
+    Parts.BlockingVars.push_back(V);
+  for (const VarPtr &V : Soft) {
+    bool IsHard = false;
+    for (const VarPtr &H : Hard)
+      IsHard |= H->Id == V->Id;
+    if (!IsHard)
+      Parts.BlockingVars.push_back(V);
+  }
+  Parts.Canonical = Parts.BlockingVars.empty();
+  return Parts;
+}
+
+std::vector<VarPtr> RecursionEliminator::blockingVars(const TermPtr &T) {
+  return eliminate(T).BlockingVars;
+}
+
+std::vector<TermPtr> se2gis::canonicalExpansions(const Problem &P,
+                                                 RecursionEliminator &Elim,
+                                                 const TermPtr &Seed,
+                                                 size_t MaxTerms,
+                                                 size_t MaxGrowth) {
+  (void)P;
+  // Branches that keep growing (e.g. the left spine of a concat-list under a
+  // fold-style representation function) are pruned rather than failing the
+  // whole expansion: the refinement loop re-discovers them on demand, guided
+  // by concrete counterexamples.
+  const size_t MaxTermSize = termSize(Seed) + MaxGrowth;
+  std::vector<TermPtr> Canonical;
+  std::deque<TermPtr> Work;
+  Work.push_back(Seed);
+  size_t Processed = 0;
+  while (!Work.empty()) {
+    if (++Processed > MaxTerms)
+      break;
+    TermPtr T = std::move(Work.front());
+    Work.pop_front();
+    if (termSize(T) > MaxTermSize)
+      continue; // prune divergent branch
+    std::vector<VarPtr> Blocking;
+    try {
+      Blocking = Elim.blockingVars(T);
+    } catch (const UserError &) {
+      continue;
+    }
+    if (Blocking.empty()) {
+      Canonical.push_back(std::move(T));
+      continue;
+    }
+    for (TermPtr &E : expandVarInTerm(T, Blocking.front()))
+      Work.push_back(std::move(E));
+  }
+  return Canonical;
+}

@@ -1,0 +1,88 @@
+//===- RecursionElim.h - Recursion elimination (Definition 4.3) -*- C++-*-===//
+///
+/// \file
+/// Recursion elimination ⟦·⟧elim and canonical-term machinery (paper §4.1).
+/// For a term t of type θ, we symbolically evaluate the two sides of the
+/// specification, `G[U](e⃗, t)` and `f(e⃗, r(t))`, and replace each residual
+/// *elimination unit* — a stuck call `f(e⃗, r(y))` or `G[U](e⃗, y)` on a
+/// datatype variable y — by the elimination variable α(y) of scalar type D.
+///
+/// A term is canonical (the paper's "maximally reducible") when no datatype
+/// variable survives outside an elimination unit on either side; partial
+/// bounding keeps canonical terms as shallow as possible instead of fully
+/// unrolling them.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SE2GIS_CORE_RECURSIONELIM_H
+#define SE2GIS_CORE_RECURSIONELIM_H
+
+#include "eval/SymbolicEval.h"
+#include "lang/Program.h"
+
+#include <optional>
+
+namespace se2gis {
+
+/// The elimination bijection α restricted to one equation: pairs of
+/// (original datatype variable y, elimination variable α(y) : D).
+using AlphaMap = std::vector<std::pair<VarPtr, VarPtr>>;
+
+/// The eliminated two sides of one equation plus bookkeeping.
+struct EquationParts {
+  /// ⟦G[U](e⃗, t)⟧elim — contains the unknowns.
+  TermPtr Lhs;
+  /// ⟦f(e⃗, r(t))⟧elim — unknown-free.
+  TermPtr Rhs;
+  /// Elimination variables introduced (shared between both sides).
+  AlphaMap Alpha;
+  /// The fresh extra-parameter variables e⃗ of this equation.
+  std::vector<VarPtr> Extras;
+  /// True when no datatype variable survives outside an elimination unit.
+  bool Canonical = true;
+  /// Datatype variables blocking canonicity (empty when Canonical).
+  std::vector<VarPtr> BlockingVars;
+};
+
+/// Performs recursion elimination for one problem.
+class RecursionEliminator {
+public:
+  explicit RecursionEliminator(const Problem &P);
+
+  /// Builds the eliminated equation parts for term \p T (fresh extras each
+  /// call). Raises UserError if symbolic evaluation exhausts its fuel.
+  EquationParts eliminate(const TermPtr &T);
+
+  /// \returns the datatype variables of \p T that block canonicity.
+  std::vector<VarPtr> blockingVars(const TermPtr &T);
+
+  /// Builds the inverse image m⁻¹(v) of elimination variable α(y): the term
+  /// `f(e⃗, r(y))` over \p Extras (Definition 5.2 uses it to state
+  /// compatibility constraints).
+  TermPtr elimVarDefinition(const VarPtr &OrigVar,
+                            const std::vector<VarPtr> &Extras) const;
+
+  /// Applies ⟦·⟧elim to an arbitrary evaluated term given fixed extras,
+  /// extending \p Alpha as needed.
+  TermPtr elimTerm(const TermPtr &T, const std::vector<VarPtr> &Extras,
+                   AlphaMap &Alpha) const;
+
+private:
+  const Problem &P;
+  const RecFunction *Ref;
+  const RecFunction *Tgt;
+  const RecFunction *Repr;
+};
+
+/// Expands \p Seed until every result is canonical (breadth-first, bounded).
+/// \returns the canonical expansions, or an empty vector if the bound was hit
+/// before all branches became canonical.
+std::vector<TermPtr> canonicalExpansions(const Problem &P,
+                                         RecursionEliminator &Elim,
+                                         const TermPtr &Seed,
+                                         size_t MaxTerms = 64,
+                                         size_t MaxGrowth = 12);
+
+} // namespace se2gis
+
+#endif // SE2GIS_CORE_RECURSIONELIM_H

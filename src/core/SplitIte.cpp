@@ -1,0 +1,80 @@
+//===- SplitIte.cpp -------------------------------------------------------===//
+
+#include "core/SplitIte.h"
+
+#include "ast/Simplify.h"
+
+using namespace se2gis;
+
+namespace {
+
+/// Finds the first ite node in \p T (pre-order) whose condition contains no
+/// unknowns but whose branches do.
+TermPtr findSplittableIte(const TermPtr &T) {
+  TermPtr Found;
+  visitTerm(T, [&](const TermPtr &N) {
+    if (Found)
+      return false;
+    if (N->getKind() == TermKind::Op && N->getOp() == OpKind::Ite &&
+        !containsUnknown(N->getArg(0)) &&
+        (containsUnknown(N->getArg(1)) || containsUnknown(N->getArg(2)))) {
+      Found = N;
+      return false;
+    }
+    return true;
+  });
+  return Found;
+}
+
+/// Replaces the (unique up to structural equality) node \p Target in \p T
+/// by \p Replacement.
+TermPtr replaceNode(const TermPtr &T, const TermPtr &Target,
+                    const TermPtr &Replacement) {
+  return rewriteBottomUp(T, [&](const TermPtr &N) {
+    return termEquals(N, Target) ? Replacement : N;
+  });
+}
+
+} // namespace
+
+std::vector<SgeEquation> se2gis::splitEquation(const SgeEquation &E,
+                                               size_t MaxSplits) {
+  std::vector<SgeEquation> Done;
+  std::vector<SgeEquation> Work = {E};
+  while (!Work.empty()) {
+    SgeEquation Cur = std::move(Work.back());
+    Work.pop_back();
+    if (Done.size() + Work.size() >= MaxSplits) {
+      Done.push_back(std::move(Cur));
+      continue;
+    }
+    TermPtr Ite = findSplittableIte(Cur.Lhs);
+    if (!Ite) {
+      Done.push_back(std::move(Cur));
+      continue;
+    }
+    const TermPtr &Cond = Ite->getArg(0);
+    for (bool Positive : {true, false}) {
+      SgeEquation Branch = Cur;
+      Branch.Guard = simplify(
+          mkAndList({Cur.Guard, Positive ? Cond : mkNot(Cond)}));
+      if (Branch.Guard->getKind() == TermKind::BoolLit &&
+          !Branch.Guard->getBoolValue())
+        continue;
+      Branch.Lhs = simplify(
+          replaceNode(Cur.Lhs, Ite, Ite->getArg(Positive ? 1 : 2)));
+      // Specialize the right-hand side under the branch condition too:
+      // identical conditions on the right simplify away, keeping the
+      // equation readable and the SMT queries small.
+      Branch.Rhs = simplify(rewriteBottomUp(
+          Cur.Rhs, [&](const TermPtr &N) -> TermPtr {
+            if (N->getKind() == TermKind::Op && N->getOp() == OpKind::Ite &&
+                termEquals(N->getArg(0), Cond))
+              return N->getArg(Positive ? 1 : 2);
+            return N;
+          }));
+      Work.push_back(std::move(Branch));
+    }
+  }
+  return Done;
+}

@@ -1,0 +1,29 @@
+//===- SplitIte.h - Path-splitting of guarded equations ---------*- C++-*-===//
+///
+/// \file
+/// Normalizes equations by splitting conditionals with unknown-free
+/// conditions into separate guarded equations: `p ⇒ ite(c, l1, l2) = r`
+/// becomes `p ∧ c ⇒ l1 = r` and `p ∧ ¬c ⇒ l2 = r`. This mirrors how
+/// Synduce's symbolic evaluation produces one equation per path and is
+/// essential for the frame-based witness generator: without it the
+/// branch-local unknowns of an `ite` share one frame whose argument
+/// equalities are too strong to expose functional conflicts.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SE2GIS_CORE_SPLITITE_H
+#define SE2GIS_CORE_SPLITITE_H
+
+#include "synth/Sge.h"
+
+namespace se2gis {
+
+/// Splits \p E on every ite whose condition is unknown-free, up to
+/// \p MaxSplits resulting equations (the remainder is left unsplit).
+/// Vacuous branches (guard simplifying to false) are dropped.
+std::vector<SgeEquation> splitEquation(const SgeEquation &E,
+                                       size_t MaxSplits = 16);
+
+} // namespace se2gis
+
+#endif // SE2GIS_CORE_SPLITITE_H

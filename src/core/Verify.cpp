@@ -1,0 +1,81 @@
+//===- Verify.cpp ---------------------------------------------------------===//
+
+#include "core/Verify.h"
+
+#include "ast/Simplify.h"
+#include "smt/Induction.h"
+#include "support/Diagnostics.h"
+
+#include <sstream>
+
+using namespace se2gis;
+
+VerifyResult se2gis::verifySolution(const Problem &P,
+                                    const UnknownBindings &Solution,
+                                    const VerifyOptions &Opts,
+                                    const Deadline &Budget) {
+  const RecFunction *Ref = P.Prog->findFunction(P.Reference);
+
+  VarPtr X = freshVar("x", Type::dataTy(P.Theta));
+  std::vector<TermPtr> RefArgs, TgtArgs;
+  // Quantify over the reference function's own parameter variables so that
+  // lemma formulas (which are normalized to those variables) line up.
+  for (const VarPtr &E : Ref->getParams()) {
+    RefArgs.push_back(mkVar(E));
+    TgtArgs.push_back(mkVar(E));
+  }
+  if (P.ReprIdentity)
+    RefArgs.push_back(mkVar(X));
+  else
+    RefArgs.push_back(mkCall(P.Repr, Type::dataTy(P.Tau), {mkVar(X)}));
+  TgtArgs.push_back(mkVar(X));
+
+  TermPtr RefCall = mkCall(P.Reference, P.RetTy, std::move(RefArgs));
+  TermPtr TgtCall = mkCall(P.Target, P.RetTy, std::move(TgtArgs));
+  TermPtr Inv = P.Invariant.empty()
+                    ? mkTrue()
+                    : mkCall(P.Invariant, Type::boolTy(), {mkVar(X)});
+
+  VerifyResult Result;
+
+  // Full proof first.
+  InductionOptions IOpts = Opts.Induction;
+  IOpts.Bindings = &Solution;
+  IOpts.Lemmas = Opts.Lemmas;
+  TermPtr Goal = mkOp(OpKind::Implies, {Inv, mkEq(TgtCall, RefCall)});
+  if (proveByInduction(*P.Prog, Goal, IOpts)) {
+    Result.Status = VerifyStatus::ProvedInductive;
+    return Result;
+  }
+
+  // Bounded counterexample search.
+  BoundedOptions BOpts = Opts.Bounded;
+  BOpts.Budget = Budget;
+  BOpts.Bindings = &Solution;
+  TermPtr Refute = mkAndList({Inv, mkNot(mkEq(TgtCall, RefCall))});
+  if (auto BW = boundedSat(*P.Prog, Refute, BOpts)) {
+    Result.Status = VerifyStatus::Counterexample;
+    Result.CexTheta = BW->lookupData(X->Id);
+    if (!Result.CexTheta)
+      fatalError("bounded counterexample lost the input variable");
+    return Result;
+  }
+
+  Result.Status = VerifyStatus::BoundedOk;
+  return Result;
+}
+
+std::string se2gis::solutionToString(const Problem &P,
+                                     const UnknownBindings &Solution) {
+  std::ostringstream OS;
+  for (const UnknownSig &Sig : P.Unknowns) {
+    auto It = Solution.find(Sig.Name);
+    if (It == Solution.end())
+      continue;
+    OS << "let " << Sig.Name;
+    for (const VarPtr &Param : It->second.Params)
+      OS << ' ' << Param->Name;
+    OS << " = " << simplify(It->second.Body)->str() << '\n';
+  }
+  return OS.str();
+}

@@ -1,0 +1,67 @@
+//===- Verify.h - Verifying candidate solutions against Ψ -------*- C++-*-===//
+///
+/// \file
+/// Checks a synthesized implementation of the unknowns against the original
+/// recursive specification Ψ (Definition 4.1):
+///
+///     ∀ e⃗, x:θ · Iθ(x) ⇒ G[U](e⃗, x) = f(e⃗, r(x))
+///
+/// Tries a full structural-induction proof first (Synduce: "once a solution
+/// is synthesized, the solution is fully verified" when no bounding was
+/// needed); otherwise falls back to bounded counterexample search. A
+/// counterexample feeds the refinement loop.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SE2GIS_CORE_VERIFY_H
+#define SE2GIS_CORE_VERIFY_H
+
+#include "eval/Interp.h"
+#include "lang/Program.h"
+#include "smt/BoundedCheck.h"
+#include "smt/Induction.h"
+
+#include <optional>
+
+namespace se2gis {
+
+/// Confidence of a verification verdict.
+enum class VerifyStatus : unsigned char {
+  /// Proved for all inputs by structural induction.
+  ProvedInductive,
+  /// No counterexample within the bounded search (accepted with bounded
+  /// confidence, like the paper's bounded verification).
+  BoundedOk,
+  /// A concrete counterexample was found.
+  Counterexample
+};
+
+/// Result of verifying one candidate solution.
+struct VerifyResult {
+  VerifyStatus Status = VerifyStatus::BoundedOk;
+  /// When Counterexample: a concrete θ value on which the candidate
+  /// disagrees with the reference (satisfying Iθ).
+  ValuePtr CexTheta;
+};
+
+/// Verification knobs.
+struct VerifyOptions {
+  BoundedOptions Bounded;
+  InductionOptions Induction;
+  /// Invariants learned by the coarsening loop, fed to the induction prover
+  /// as auxiliary lemmas (their extras must already be the reference
+  /// function's parameter variables).
+  std::vector<ShapeLemma> Lemmas;
+};
+
+/// Verifies \p Solution against \p P's specification.
+VerifyResult verifySolution(const Problem &P, const UnknownBindings &Solution,
+                            const VerifyOptions &Opts, const Deadline &Budget);
+
+/// Renders a solution as OCaml-style let bindings (for reports and logs).
+std::string solutionToString(const Problem &P,
+                             const UnknownBindings &Solution);
+
+} // namespace se2gis
+
+#endif // SE2GIS_CORE_VERIFY_H

@@ -1,0 +1,58 @@
+//===- Witness.h - Functional unrealizability witnesses (§6) ----*- C++-*-===//
+///
+/// \file
+/// Frames (Proposition 6.2) and Algorithm 1: generating a witness to the
+/// functional unrealizability of an SGE. The left-hand side of every
+/// equation is framed as F(t₁, …, t_c) where the *maximal* frame F contains
+/// all the unknowns and no variables, and the argument terms t_k contain no
+/// unknowns. Two equations with syntactically equal frames yield a witness
+/// if Z3 finds models making the guards true, the frame arguments pairwise
+/// equal, and the right-hand sides different — i.e. the would-be function
+/// must map equal inputs to different outputs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SE2GIS_CORE_WITNESS_H
+#define SE2GIS_CORE_WITNESS_H
+
+#include "smt/Solver.h"
+#include "support/Stopwatch.h"
+#include "synth/Sge.h"
+
+#include <optional>
+
+namespace se2gis {
+
+/// A framed term: F with indexed holes and the captured arguments.
+struct Frame {
+  TermPtr F;
+  std::vector<TermPtr> Args;
+};
+
+/// Computes the maximal frame of \p Lhs: every maximal unknown-free subterm
+/// becomes a hole argument (holes indexed left to right).
+Frame computeFrame(const TermPtr &Lhs);
+
+/// One half of a witness: a model for the variables of one equation.
+struct WitnessModel {
+  SmtModel M;
+  /// Index into the SGE's equation list.
+  size_t EqnIndex = 0;
+};
+
+/// A witness to functional unrealizability (Definition 6.3): a pair of
+/// models for two (possibly identical) equations with equal frames.
+struct FunctionalWitness {
+  WitnessModel First;
+  WitnessModel Second;
+};
+
+/// Algorithm 1: searches all frame-compatible equation pairs of \p System
+/// for a functional-unrealizability witness.
+std::optional<FunctionalWitness>
+findFunctionalWitness(const Sge &System, int PerQueryTimeoutMs,
+                      const Deadline &Budget);
+
+} // namespace se2gis
+
+#endif // SE2GIS_CORE_WITNESS_H

@@ -1,0 +1,170 @@
+//===- Expand.cpp ---------------------------------------------------------===//
+
+#include "eval/Expand.h"
+
+#include "support/Diagnostics.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace se2gis;
+
+namespace {
+
+/// Short, stable base names for fresh variables by type.
+std::string baseNameFor(const TypePtr &Ty) {
+  if (Ty->isInt())
+    return "a";
+  if (Ty->isBool())
+    return "b";
+  if (Ty->isTuple())
+    return "p";
+  return "l";
+}
+
+} // namespace
+
+std::vector<TermPtr> se2gis::expandVariable(const VarPtr &V) {
+  assert(V->Ty->isData() && "can only expand datatype variables");
+  const Datatype *D = V->Ty->getDatatype();
+  std::vector<TermPtr> Result;
+  for (unsigned CI = 0; CI < D->numConstructors(); ++CI) {
+    const ConstructorDecl &C = D->getConstructor(CI);
+    std::vector<TermPtr> Fields;
+    for (const TypePtr &FT : C.Fields)
+      Fields.push_back(mkVar(freshVar(baseNameFor(FT), FT)));
+    Result.push_back(mkCtor(&C, std::move(Fields)));
+  }
+  return Result;
+}
+
+std::vector<TermPtr> se2gis::expandVarInTerm(const TermPtr &T,
+                                             const VarPtr &V) {
+  std::vector<TermPtr> Result;
+  for (TermPtr &E : expandVariable(V)) {
+    Substitution Map;
+    Map.emplace_back(V->Id, std::move(E));
+    Result.push_back(substitute(T, Map));
+  }
+  return Result;
+}
+
+VarPtr se2gis::firstDataVar(const TermPtr &T) {
+  VarPtr Found;
+  visitTerm(T, [&](const TermPtr &N) {
+    if (Found)
+      return false;
+    if (N->getKind() == TermKind::Var && N->getVar()->Ty->isData()) {
+      Found = N->getVar();
+      return false;
+    }
+    return true;
+  });
+  return Found;
+}
+
+BoundedTermStream::BoundedTermStream(const Datatype *D) {
+  push(mkVar(freshVar("x", Type::dataTy(D))));
+}
+
+void BoundedTermStream::push(TermPtr T) {
+  size_t Weight = 0;
+  visitTerm(T, [&](const TermPtr &N) {
+    if (N->getKind() == TermKind::Ctor ||
+        (N->getKind() == TermKind::Var && N->getVar()->Ty->isData()))
+      ++Weight;
+    return true;
+  });
+  Pending P{std::move(T), Weight};
+  auto It = std::find_if(Queue.begin(), Queue.end(), [&](const Pending &Q) {
+    return Q.Weight > P.Weight;
+  });
+  Queue.insert(It, std::move(P));
+}
+
+TermPtr BoundedTermStream::next() {
+  while (true) {
+    if (Queue.empty())
+      fatalError("bounded term stream exhausted");
+    Pending P = std::move(Queue.front());
+    Queue.pop_front();
+    VarPtr V = firstDataVar(P.T);
+    if (!V)
+      return P.T;
+    for (TermPtr &E : expandVarInTerm(P.T, V))
+      push(std::move(E));
+  }
+}
+
+TermPtr se2gis::shapeOfValue(const ValuePtr &V) {
+  switch (V->getKind()) {
+  case Value::Kind::Int:
+    return mkVar(freshVar("a", Type::intTy()));
+  case Value::Kind::Bool:
+    return mkVar(freshVar("b", Type::boolTy()));
+  case Value::Kind::Tuple: {
+    std::vector<TermPtr> Elems;
+    for (const ValuePtr &E : V->getElems())
+      Elems.push_back(shapeOfValue(E));
+    return mkTuple(std::move(Elems));
+  }
+  case Value::Kind::Data: {
+    std::vector<TermPtr> Fields;
+    for (const ValuePtr &F : V->getElems())
+      Fields.push_back(shapeOfValue(F));
+    return mkCtor(V->getCtor(), std::move(Fields));
+  }
+  }
+  fatalError("bad value kind");
+}
+
+bool se2gis::matchShape(const TermPtr &Pattern, const ValuePtr &V,
+                        std::vector<std::pair<VarPtr, ValuePtr>> &Bindings) {
+  switch (Pattern->getKind()) {
+  case TermKind::Var:
+    Bindings.emplace_back(Pattern->getVar(), V);
+    return true;
+  case TermKind::Ctor: {
+    if (!V->isData() || V->getCtor() != Pattern->getCtor())
+      return false;
+    for (size_t I = 0; I < Pattern->numArgs(); ++I)
+      if (!matchShape(Pattern->getArg(I), V->getElems()[I], Bindings))
+        return false;
+    return true;
+  }
+  case TermKind::Tuple: {
+    if (!V->isTuple() || V->getElems().size() != Pattern->numArgs())
+      return false;
+    for (size_t I = 0; I < Pattern->numArgs(); ++I)
+      if (!matchShape(Pattern->getArg(I), V->getElems()[I], Bindings))
+        return false;
+    return true;
+  }
+  case TermKind::IntLit:
+    return V->isInt() && V->getInt() == Pattern->getIntValue();
+  case TermKind::BoolLit:
+    return V->isBool() && V->getBool() == Pattern->getBoolValue();
+  default:
+    // Patterns used for T-refinement only contain vars/ctors/tuples/lits.
+    return false;
+  }
+}
+
+std::optional<TermPtr> se2gis::expandToward(const TermPtr &Pattern,
+                                            const ValuePtr &V) {
+  std::vector<std::pair<VarPtr, ValuePtr>> Bindings;
+  if (!matchShape(Pattern, V, Bindings))
+    return std::nullopt;
+  for (const auto &[Var, Sub] : Bindings) {
+    if (!Var->Ty->isData() || !Sub->isData())
+      continue;
+    const ConstructorDecl *C = Sub->getCtor();
+    std::vector<TermPtr> Fields;
+    for (const TypePtr &FT : C->Fields)
+      Fields.push_back(mkVar(freshVar(FT->isData() ? "l" : "a", FT)));
+    Substitution Map;
+    Map.emplace_back(Var->Id, mkCtor(C, std::move(Fields)));
+    return substitute(Pattern, Map);
+  }
+  return std::nullopt;
+}

@@ -1,0 +1,80 @@
+//===- Expand.h - Term expansion and bounded-term enumeration ---*- C++-*-===//
+///
+/// \file
+/// Expansion utilities shared by the refinement loops:
+///  - expanding a datatype-typed variable into all constructor applications
+///    with fresh field variables (one step of unrolling),
+///  - a fair enumerator of *fully bounded* terms (constructor trees with
+///    symbolic scalar leaves) used by the SEGIS/SEGIS+UC baselines,
+///  - matching a term's constructor skeleton against a concrete value and
+///    turning values into shape terms, used to grow the term set T toward a
+///    verification counterexample.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SE2GIS_EVAL_EXPAND_H
+#define SE2GIS_EVAL_EXPAND_H
+
+#include "ast/Term.h"
+#include "eval/Value.h"
+
+#include <deque>
+#include <optional>
+
+namespace se2gis {
+
+/// \returns one term per constructor of \p V's datatype, each a constructor
+/// application with fresh variables for the fields. \p V must be
+/// datatype-typed.
+std::vector<TermPtr> expandVariable(const VarPtr &V);
+
+/// Substitutes each expansion of \p V into \p T, yielding one term per
+/// constructor of \p V's datatype.
+std::vector<TermPtr> expandVarInTerm(const TermPtr &T, const VarPtr &V);
+
+/// \returns the first datatype-typed free variable of \p T (pre-order), or
+/// nullptr if \p T is fully bounded.
+VarPtr firstDataVar(const TermPtr &T);
+
+/// Enumerates the fully bounded terms of a datatype in non-decreasing
+/// constructor-count order: `Elt(a1)`, `Cons(a2, Elt(a3))`, ... Fresh scalar
+/// variables appear at every scalar field.
+class BoundedTermStream {
+public:
+  explicit BoundedTermStream(const Datatype *D);
+
+  /// \returns the next bounded term; never exhausts for recursive datatypes.
+  TermPtr next();
+
+private:
+  struct Pending {
+    TermPtr T;
+    size_t Weight; // ctor count + pending data vars (lower = earlier)
+  };
+  void push(TermPtr T);
+
+  std::deque<Pending> Queue;
+};
+
+/// Builds the shape term of \p V: the same constructor tree with fresh
+/// scalar variables at every scalar field (and nested data values also
+/// expanded into their full constructor trees).
+TermPtr shapeOfValue(const ValuePtr &V);
+
+/// Matches \p Pattern's constructor skeleton against \p V. Variables in the
+/// pattern match any (sub)value of their type; constructor nodes must match
+/// the value's constructor. On success, fills \p Bindings (variable id ->
+/// matched sub-value) and returns true.
+bool matchShape(const TermPtr &Pattern, const ValuePtr &V,
+                std::vector<std::pair<VarPtr, ValuePtr>> &Bindings);
+
+/// One step of growth toward a counterexample: finds the first
+/// datatype-typed variable of \p Pattern whose matched sub-value (per
+/// \c matchShape against \p V) is a constructor value, and replaces it by
+/// that constructor applied to fresh variables. Returns nullopt if \p
+/// Pattern does not match \p V or has no data variables left.
+std::optional<TermPtr> expandToward(const TermPtr &Pattern, const ValuePtr &V);
+
+} // namespace se2gis
+
+#endif // SE2GIS_EVAL_EXPAND_H

@@ -1,0 +1,64 @@
+//===- Interp.h - Concrete interpreter --------------------------*- C++-*-===//
+///
+/// \file
+/// Evaluates closed terms (or terms closed under an environment) to concrete
+/// values. Used by tests, the PBE learner (evaluating grammar candidates on
+/// example points), witness-validity certificates, and bounded oracles.
+///
+/// Unknown applications are resolved through an optional unknown-binding
+/// table (a synthesized solution); evaluating an unbound unknown is a usage
+/// error.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SE2GIS_EVAL_INTERP_H
+#define SE2GIS_EVAL_INTERP_H
+
+#include "eval/Value.h"
+#include "lang/Program.h"
+
+#include <unordered_map>
+
+namespace se2gis {
+
+/// Variable-id to value bindings.
+using Env = std::unordered_map<unsigned, ValuePtr>;
+
+/// A synthesized implementation for one unknown: parameter variables plus a
+/// defining term over them.
+struct UnknownDef {
+  std::vector<VarPtr> Params;
+  TermPtr Body;
+};
+
+/// Maps unknown names to their synthesized definitions.
+using UnknownBindings = std::unordered_map<std::string, UnknownDef>;
+
+/// Concrete term evaluator with a recursion-fuel guard.
+class Interpreter {
+public:
+  explicit Interpreter(const Program &Prog, size_t MaxSteps = 1000000)
+      : Prog(Prog), MaxSteps(MaxSteps) {}
+
+  /// Sets the unknown-function implementations used for Unknown nodes.
+  void bindUnknowns(const UnknownBindings *Bindings) {
+    this->Bindings = Bindings;
+  }
+
+  /// Evaluates \p T under \p E. Raises UserError on unbound variables,
+  /// unbound unknowns, or fuel exhaustion.
+  ValuePtr eval(const TermPtr &T, const Env &E);
+
+  /// Calls function \p Name on \p Args.
+  ValuePtr call(const std::string &Name, const std::vector<ValuePtr> &Args);
+
+private:
+  const Program &Prog;
+  size_t MaxSteps;
+  size_t Steps = 0;
+  const UnknownBindings *Bindings = nullptr;
+};
+
+} // namespace se2gis
+
+#endif // SE2GIS_EVAL_INTERP_H

@@ -1,0 +1,51 @@
+//===- SymbolicEval.h - Symbolic evaluation of recursive calls --*- C++-*-===//
+///
+/// \file
+/// Normalizes terms by unfolding pattern-matching recursive functions on
+/// constructor-headed arguments and inlining plain functions, interleaved
+/// with algebraic simplification. Calls whose matched argument is a variable
+/// (or otherwise stuck) are left in place; these are the partially bounded
+/// residues that recursion elimination (core/RecursionElim) later replaces
+/// with elimination variables.
+///
+/// Termination relies on the paper's assumptions (all recursion is
+/// structural and terminating); a fuel counter guards against violations.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SE2GIS_EVAL_SYMBOLICEVAL_H
+#define SE2GIS_EVAL_SYMBOLICEVAL_H
+
+#include "ast/Term.h"
+#include "eval/Interp.h"
+#include "lang/Program.h"
+
+namespace se2gis {
+
+/// Symbolically evaluates terms against a program's function definitions.
+class SymbolicEvaluator {
+public:
+  explicit SymbolicEvaluator(const Program &Prog, size_t MaxSteps = 200000)
+      : Prog(Prog), MaxSteps(MaxSteps) {}
+
+  /// Inlines Unknown applications using \p B while evaluating (used to
+  /// verify synthesized solutions against the original specification).
+  void bindUnknowns(const UnknownBindings *B) { Bindings = B; }
+
+  /// Normalizes \p T: unfolds reducible calls, inlines plain functions,
+  /// simplifies. Raises UserError if the fuel runs out.
+  TermPtr eval(const TermPtr &T);
+
+private:
+  TermPtr norm(const TermPtr &T);
+  TermPtr normCall(const TermPtr &Call);
+
+  const Program &Prog;
+  size_t MaxSteps;
+  size_t Steps = 0;
+  const UnknownBindings *Bindings = nullptr;
+};
+
+} // namespace se2gis
+
+#endif // SE2GIS_EVAL_SYMBOLICEVAL_H

@@ -1,0 +1,477 @@
+//===- Elaborate.cpp ------------------------------------------------------===//
+
+#include "frontend/Elaborate.h"
+
+#include "frontend/Parser.h"
+#include "support/Diagnostics.h"
+
+#include <cassert>
+#include <map>
+#include <optional>
+
+using namespace se2gis;
+
+namespace {
+
+/// Internal control-flow signal: elaboration of an expression needs type
+/// information (a callee's return type) that is not available yet. The
+/// binding fixpoint retries such rules after other rules have fixed the
+/// missing types.
+struct NeedTypeInfo {
+  std::string What;
+};
+
+/// In-progress signature of a function being elaborated.
+struct FnSig {
+  std::vector<VarPtr> Params;      // annotated extra parameters
+  const Datatype *Matched = nullptr; // non-null for schemes
+  TypePtr RetTy;                     // null while still unknown
+  bool IsScheme = false;
+};
+
+class Elaborator {
+public:
+  Elaborator() : Prog(std::make_shared<Program>()) {}
+
+  std::shared_ptr<Program> run(const SynUnit &Unit) {
+    declareTypes(Unit);
+    for (const SynLetGroup &G : Unit.LetGroups)
+      elaborateGroup(G);
+    return Prog;
+  }
+
+  std::shared_ptr<Program> Prog;
+
+private:
+  // --- Types --------------------------------------------------------------//
+
+  TypePtr lowerType(const SynType &T) {
+    switch (T.K) {
+    case SynType::Kind::Int:
+      return Type::intTy();
+    case SynType::Kind::Bool:
+      return Type::boolTy();
+    case SynType::Kind::Named:
+      return Prog->getDataType(T.Name);
+    case SynType::Kind::Tuple: {
+      std::vector<TypePtr> Elems;
+      for (const SynType &E : T.Elems)
+        Elems.push_back(lowerType(E));
+      return Type::tupleTy(std::move(Elems));
+    }
+    }
+    fatalError("bad surface type kind");
+  }
+
+  void declareTypes(const SynUnit &Unit) {
+    // Two phases so constructors may reference any declared datatype.
+    for (const SynTypeDecl &D : Unit.Types)
+      Prog->addDatatype(D.Name);
+    for (const SynTypeDecl &D : Unit.Types) {
+      Datatype *DT = const_cast<Datatype *>(Prog->findDatatype(D.Name));
+      for (const SynCtor &C : D.Ctors) {
+        if (CtorOwner.count(C.Name))
+          userError("constructor '" + C.Name + "' is declared twice");
+        std::vector<TypePtr> Fields;
+        for (const SynType &F : C.Fields)
+          Fields.push_back(lowerType(F));
+        DT->addConstructor(C.Name, std::move(Fields));
+        CtorOwner[C.Name] = DT;
+      }
+    }
+  }
+
+  const ConstructorDecl *findCtor(const std::string &Name, int Line) {
+    auto It = CtorOwner.find(Name);
+    if (It == CtorOwner.end())
+      userError("line " + std::to_string(Line) + ": unknown constructor '" +
+                Name + "'");
+    return It->second->findConstructor(Name);
+  }
+
+  // --- Expressions --------------------------------------------------------//
+
+  using Scope = std::vector<std::pair<std::string, TermPtr>>;
+
+  [[noreturn]] void typeError(const SynExpr &E, const std::string &Msg) {
+    userError("line " + std::to_string(E.Line) + ":" + std::to_string(E.Col) +
+              ": " + Msg);
+  }
+
+  TermPtr checkExpected(const SynExpr &E, TermPtr T, const TypePtr &Expected) {
+    if (Expected && !sameType(T->getType(), Expected))
+      typeError(E, "expected type " + Expected->str() + ", found " +
+                       T->getType()->str());
+    return T;
+  }
+
+  TermPtr elab(const SynExpr &E, const Scope &S, const TypePtr &Expected) {
+    switch (E.K) {
+    case SynExpr::Kind::IntLit:
+      return checkExpected(E, mkIntLit(E.IntValue), Expected);
+    case SynExpr::Kind::BoolLit:
+      return checkExpected(E, mkBoolLit(E.BoolValue), Expected);
+
+    case SynExpr::Kind::Id: {
+      for (auto It = S.rbegin(); It != S.rend(); ++It)
+        if (It->first == E.Name)
+          return checkExpected(E, It->second, Expected);
+      typeError(E, "unknown identifier '" + E.Name + "'");
+    }
+
+    case SynExpr::Kind::Tuple: {
+      std::vector<TermPtr> Elems;
+      const std::vector<TypePtr> *ExpElems = nullptr;
+      if (Expected) {
+        if (!Expected->isTuple() ||
+            Expected->tupleElems().size() != E.Args.size())
+          typeError(E, "tuple does not match expected type " +
+                           Expected->str());
+        ExpElems = &Expected->tupleElems();
+      }
+      for (size_t I = 0; I < E.Args.size(); ++I)
+        Elems.push_back(
+            elab(*E.Args[I], S, ExpElems ? (*ExpElems)[I] : nullptr));
+      return mkTuple(std::move(Elems));
+    }
+
+    case SynExpr::Kind::If: {
+      TermPtr C = elab(*E.Args[0], S, Type::boolTy());
+      TermPtr Then = elab(*E.Args[1], S, Expected);
+      TermPtr Else = elab(*E.Args[2], S, Then->getType());
+      return mkIte(std::move(C), std::move(Then), std::move(Else));
+    }
+
+    case SynExpr::Kind::LetIn: {
+      TermPtr Bound = elab(*E.Args[0], S, nullptr);
+      Scope Inner = S;
+      if (E.LetVars.size() == 1) {
+        Inner.emplace_back(E.LetVars[0], Bound);
+      } else {
+        if (!Bound->getType()->isTuple() ||
+            Bound->getType()->tupleElems().size() != E.LetVars.size())
+          typeError(E, "let pattern does not match a " +
+                           Bound->getType()->str());
+        for (size_t I = 0; I < E.LetVars.size(); ++I)
+          Inner.emplace_back(E.LetVars[I],
+                             mkProj(Bound, static_cast<unsigned>(I)));
+      }
+      return elab(*E.Args[1], Inner, Expected);
+    }
+
+    case SynExpr::Kind::Unary: {
+      if (E.Name == "not")
+        return checkExpected(E, mkNot(elab(*E.Args[0], S, Type::boolTy())),
+                             Expected);
+      return checkExpected(
+          E, mkOp(OpKind::Neg, {elab(*E.Args[0], S, Type::intTy())}),
+          Expected);
+    }
+
+    case SynExpr::Kind::Binary:
+      return elabBinary(E, S, Expected);
+
+    case SynExpr::Kind::Unknown:
+      return elabUnknown(E, S, Expected);
+
+    case SynExpr::Kind::App:
+      return elabApp(E, S, Expected);
+    }
+    fatalError("bad surface expression kind");
+  }
+
+  TermPtr elabBinary(const SynExpr &E, const Scope &S,
+                     const TypePtr &Expected) {
+    static const std::map<std::string, OpKind> Ops = {
+        {"+", OpKind::Add},  {"-", OpKind::Sub},   {"*", OpKind::Mul},
+        {"/", OpKind::Div},  {"mod", OpKind::Mod}, {"<", OpKind::Lt},
+        {"<=", OpKind::Le},  {">", OpKind::Gt},    {">=", OpKind::Ge},
+        {"=", OpKind::Eq},   {"<>", OpKind::Ne},   {"&&", OpKind::And},
+        {"||", OpKind::Or}};
+    auto It = Ops.find(E.Name);
+    assert(It != Ops.end() && "parser produced an unexpected operator");
+    OpKind Op = It->second;
+
+    TypePtr ArgExpect;
+    switch (Op) {
+    case OpKind::Add:
+    case OpKind::Sub:
+    case OpKind::Mul:
+    case OpKind::Div:
+    case OpKind::Mod:
+    case OpKind::Lt:
+    case OpKind::Le:
+    case OpKind::Gt:
+    case OpKind::Ge:
+      ArgExpect = Type::intTy();
+      break;
+    case OpKind::And:
+    case OpKind::Or:
+      ArgExpect = Type::boolTy();
+      break;
+    default:
+      break; // Eq / Ne: polymorphic.
+    }
+    TermPtr A = elab(*E.Args[0], S, ArgExpect);
+    TermPtr B = elab(*E.Args[1], S, ArgExpect ? ArgExpect : A->getType());
+    return checkExpected(E, mkOp(Op, {std::move(A), std::move(B)}), Expected);
+  }
+
+  TermPtr elabUnknown(const SynExpr &E, const Scope &S,
+                      const TypePtr &Expected) {
+    std::vector<TermPtr> Args;
+    std::vector<TypePtr> ArgTys;
+    auto Known = UnknownSigs.find(E.Name);
+    for (size_t I = 0; I < E.Args.size(); ++I) {
+      TypePtr ArgExp;
+      if (Known != UnknownSigs.end() && I < Known->second.first.size())
+        ArgExp = Known->second.first[I];
+      Args.push_back(elab(*E.Args[I], S, ArgExp));
+      ArgTys.push_back(Args.back()->getType());
+    }
+    TypePtr RetTy = Expected;
+    if (Known != UnknownSigs.end()) {
+      RetTy = Known->second.second;
+      if (Expected && !sameType(RetTy, Expected))
+        typeError(E, "unknown '$" + E.Name +
+                         "' used with inconsistent return types");
+      if (Known->second.first.size() != ArgTys.size())
+        typeError(E, "unknown '$" + E.Name +
+                         "' used with inconsistent arities");
+    }
+    if (!RetTy)
+      typeError(E, "cannot determine the return type of unknown '$" + E.Name +
+                       "'; annotate the enclosing function");
+    if (Known == UnknownSigs.end())
+      UnknownSigs.emplace(E.Name, std::make_pair(ArgTys, RetTy));
+    return mkUnknown(E.Name, RetTy, std::move(Args));
+  }
+
+  TermPtr elabApp(const SynExpr &E, const Scope &S, const TypePtr &Expected) {
+    // Constructor application.
+    if (E.BoolValue) {
+      const ConstructorDecl *C = findCtor(E.Name, E.Line);
+      if (C->Fields.size() != E.Args.size())
+        typeError(E, "constructor '" + E.Name + "' expects " +
+                         std::to_string(C->Fields.size()) + " field(s)");
+      std::vector<TermPtr> Args;
+      for (size_t I = 0; I < E.Args.size(); ++I)
+        Args.push_back(elab(*E.Args[I], S, C->Fields[I]));
+      return checkExpected(E, mkCtor(C, std::move(Args)), Expected);
+    }
+
+    // User-defined function (in-progress signatures take priority so that
+    // recursive groups resolve to themselves).
+    auto SigIt = Sigs.find(E.Name);
+    if (SigIt != Sigs.end()) {
+      const FnSig &Sig = SigIt->second;
+      size_t Arity = Sig.Params.size() + (Sig.Matched ? 1 : 0);
+      if (E.Args.size() != Arity)
+        typeError(E, "function '" + E.Name + "' expects " +
+                         std::to_string(Arity) + " argument(s)");
+      if (!Sig.RetTy)
+        throw NeedTypeInfo{"return type of '" + E.Name + "'"};
+      std::vector<TermPtr> Args;
+      for (size_t I = 0; I < E.Args.size(); ++I) {
+        TypePtr ArgExp = I < Sig.Params.size()
+                             ? Sig.Params[I]->Ty
+                             : Type::dataTy(Sig.Matched);
+        Args.push_back(elab(*E.Args[I], S, ArgExp));
+      }
+      return checkExpected(E, mkCall(E.Name, Sig.RetTy, std::move(Args)),
+                           Expected);
+    }
+
+    // Builtin min / max / abs (shadowable by user definitions above).
+    if (E.Name == "min" || E.Name == "max") {
+      if (E.Args.size() != 2)
+        typeError(E, "builtin '" + E.Name + "' expects 2 arguments");
+      TermPtr A = elab(*E.Args[0], S, Type::intTy());
+      TermPtr B = elab(*E.Args[1], S, Type::intTy());
+      return checkExpected(
+          E,
+          mkOp(E.Name == "min" ? OpKind::Min : OpKind::Max,
+               {std::move(A), std::move(B)}),
+          Expected);
+    }
+    if (E.Name == "abs") {
+      if (E.Args.size() != 1)
+        typeError(E, "builtin 'abs' expects 1 argument");
+      return checkExpected(
+          E, mkOp(OpKind::Abs, {elab(*E.Args[0], S, Type::intTy())}),
+          Expected);
+    }
+
+    typeError(E, "unknown function '" + E.Name + "'");
+  }
+
+  // --- Bindings -----------------------------------------------------------//
+
+  const Datatype *matchedDatatypeOf(const SynBinding &B) {
+    if (B.Rules.empty())
+      userError("scheme '" + B.Name + "' has no rules");
+    const ConstructorDecl *C = findCtor(B.Rules[0].CtorName, B.Rules[0].Line);
+    return C->Parent;
+  }
+
+  void elaborateGroup(const SynLetGroup &G) {
+    // Phase 1: register in-progress signatures.
+    std::vector<std::string> Names;
+    for (const SynBinding &B : G.Bindings) {
+      if (Sigs.count(B.Name) || Prog->findFunction(B.Name))
+        userError("function '" + B.Name + "' is already defined");
+      FnSig Sig;
+      for (const auto &[PName, PTy] : B.Params)
+        Sig.Params.push_back(namedVar(PName, lowerType(PTy)));
+      Sig.IsScheme = B.IsScheme;
+      if (B.IsScheme)
+        Sig.Matched = matchedDatatypeOf(B);
+      if (B.RetAnnot)
+        Sig.RetTy = lowerType(*B.RetAnnot);
+      Sigs.emplace(B.Name, std::move(Sig));
+      Names.push_back(B.Name);
+    }
+
+    // Phase 2: fixpoint elaboration of rule bodies.
+    struct RuleSlot {
+      const SynBinding *B;
+      const SynRule *R; // null for plain bindings
+      bool Done = false;
+      unsigned CtorIndex = 0;
+      std::vector<VarPtr> FieldVars;
+      TermPtr Body;
+    };
+    std::vector<RuleSlot> Slots;
+    for (const SynBinding &B : G.Bindings) {
+      if (B.IsScheme)
+        for (const SynRule &R : B.Rules)
+          Slots.push_back(RuleSlot{&B, &R, false, 0, {}, nullptr});
+      else
+        Slots.push_back(RuleSlot{&B, nullptr, false, 0, {}, nullptr});
+    }
+
+    bool Progress = true;
+    std::string LastNeed;
+    while (Progress) {
+      Progress = false;
+      for (RuleSlot &Slot : Slots) {
+        if (Slot.Done)
+          continue;
+        FnSig &Sig = Sigs.at(Slot.B->Name);
+        Scope S;
+        for (const VarPtr &P : Sig.Params)
+          S.emplace_back(P->Name, mkVar(P));
+
+        std::vector<VarPtr> FieldVars;
+        if (Slot.R) {
+          const ConstructorDecl *C = findCtor(Slot.R->CtorName, Slot.R->Line);
+          if (C->Parent != Sig.Matched)
+            userError("rule for '" + Slot.R->CtorName + "' in '" +
+                      Slot.B->Name + "' matches a different datatype");
+          if (C->Fields.size() != Slot.R->FieldNames.size())
+            userError("pattern '" + Slot.R->CtorName + "' in '" +
+                      Slot.B->Name + "' has wrong field count");
+          for (size_t I = 0; I < C->Fields.size(); ++I) {
+            VarPtr V = namedVar(Slot.R->FieldNames[I], C->Fields[I]);
+            FieldVars.push_back(V);
+            S.emplace_back(V->Name, mkVar(V));
+          }
+          Slot.CtorIndex = C->Index;
+        }
+
+        try {
+          const SynExpr &BodyExpr = Slot.R ? *Slot.R->Body : *Slot.B->Body;
+          TermPtr Body = elab(BodyExpr, S, Sig.RetTy);
+          if (!Sig.RetTy)
+            Sig.RetTy = Body->getType();
+          Slot.FieldVars = std::move(FieldVars);
+          Slot.Body = std::move(Body);
+          Slot.Done = true;
+          Progress = true;
+        } catch (const NeedTypeInfo &N) {
+          LastNeed = N.What;
+        }
+      }
+    }
+    for (const RuleSlot &Slot : Slots)
+      if (!Slot.Done)
+        userError("cannot infer types in '" + Slot.B->Name + "' (missing " +
+                  LastNeed + "); add a return-type annotation");
+
+    // Phase 3: build the functions.
+    for (const SynBinding &B : G.Bindings) {
+      FnSig &Sig = Sigs.at(B.Name);
+      if (B.IsScheme) {
+        RecFunction F = RecFunction::makeScheme(B.Name, Sig.Params,
+                                                Sig.Matched, Sig.RetTy);
+        for (const RuleSlot &Slot : Slots) {
+          if (Slot.B != &B)
+            continue;
+          if (!sameType(Slot.Body->getType(), Sig.RetTy))
+            userError("rules of '" + B.Name + "' have mismatched types");
+          if (F.findRule(Slot.CtorIndex))
+            userError("duplicate rule in '" + B.Name + "'");
+          F.addRule(Slot.CtorIndex, Slot.FieldVars, Slot.Body);
+        }
+        if (!F.isComplete())
+          userError("scheme '" + B.Name +
+                    "' does not cover every constructor");
+        Prog->addFunction(std::move(F));
+      } else {
+        for (const RuleSlot &Slot : Slots)
+          if (Slot.B == &B)
+            Prog->addFunction(
+                RecFunction::makePlain(B.Name, Sig.Params, Slot.Body));
+      }
+    }
+  }
+
+  std::map<std::string, const Datatype *> CtorOwner;
+  std::map<std::string, FnSig> Sigs;
+  std::map<std::string, std::pair<std::vector<TypePtr>, TypePtr>> UnknownSigs;
+};
+
+} // namespace
+
+std::shared_ptr<Program> se2gis::elaborateUnit(const SynUnit &Unit) {
+  Elaborator E;
+  return E.run(Unit);
+}
+
+Problem se2gis::loadProblem(const std::string &Source) {
+  SynUnit Unit = parseUnit(Source);
+  if (Unit.Directives.size() != 1)
+    userError("expected exactly one 'synthesize' directive");
+  const SynDirective &D = Unit.Directives[0];
+
+  Problem P;
+  P.Prog = elaborateUnit(Unit);
+  P.Target = D.Target;
+  P.Reference = D.Reference;
+  P.Invariant = D.Invariant;
+  P.Ensures = D.Ensures;
+
+  const RecFunction *Ref = P.Prog->findFunction(D.Reference);
+  const RecFunction *Tgt = P.Prog->findFunction(D.Target);
+  if (!Ref || !Tgt)
+    userError("directive names an undefined function");
+  if (!Ref->isScheme() || !Tgt->isScheme())
+    userError("reference and target must be recursion schemes");
+  P.Tau = Ref->getMatched();
+  P.Theta = Tgt->getMatched();
+
+  if (!D.Repr.empty()) {
+    P.Repr = D.Repr;
+  } else {
+    if (P.Theta != P.Tau)
+      userError("a representation function is required when the source and "
+                "destination types differ");
+    P.Repr = "_id_" + P.Theta->getName();
+    P.ReprIdentity = true;
+    if (!P.Prog->findFunction(P.Repr))
+      addIdentityRepr(*P.Prog, P.Theta, P.Repr);
+  }
+
+  validateProblem(P);
+  return P;
+}

@@ -1,0 +1,32 @@
+//===- Elaborate.h - Typed lowering of surface syntax -----------*- C++-*-===//
+///
+/// \file
+/// Turns parsed units into typed programs and problems. Function return
+/// types are inferred iteratively: a scheme's base-case rules usually type
+/// without knowing the recursive calls' types, which then fixes the return
+/// type for the remaining rules. Skeletons whose every rule mentions an
+/// unknown need an explicit return annotation (`let rec target : int = ...`),
+/// matching how Synduce receives the unknowns' types from context.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SE2GIS_FRONTEND_ELABORATE_H
+#define SE2GIS_FRONTEND_ELABORATE_H
+
+#include "frontend/Syntax.h"
+#include "lang/Program.h"
+
+#include <memory>
+
+namespace se2gis {
+
+/// Elaborates \p Unit into a typed program; raises UserError on type errors.
+std::shared_ptr<Program> elaborateUnit(const SynUnit &Unit);
+
+/// Parses and elaborates \p Source, which must contain exactly one
+/// `synthesize` directive, and returns the validated problem.
+Problem loadProblem(const std::string &Source);
+
+} // namespace se2gis
+
+#endif // SE2GIS_FRONTEND_ELABORATE_H

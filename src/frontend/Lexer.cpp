@@ -1,0 +1,315 @@
+//===- Lexer.cpp ----------------------------------------------------------===//
+
+#include "frontend/Lexer.h"
+
+#include "support/Diagnostics.h"
+
+#include <cctype>
+#include <map>
+
+using namespace se2gis;
+
+const char *se2gis::tokKindName(TokKind Kind) {
+  switch (Kind) {
+  case TokKind::Eof:
+    return "end of input";
+  case TokKind::IntLit:
+    return "integer literal";
+  case TokKind::Ident:
+    return "identifier";
+  case TokKind::CtorId:
+    return "constructor name";
+  case TokKind::Dollar:
+    return "'$'";
+  case TokKind::KwType:
+    return "'type'";
+  case TokKind::KwOf:
+    return "'of'";
+  case TokKind::KwLet:
+    return "'let'";
+  case TokKind::KwRec:
+    return "'rec'";
+  case TokKind::KwAnd:
+    return "'and'";
+  case TokKind::KwFunction:
+    return "'function'";
+  case TokKind::KwIf:
+    return "'if'";
+  case TokKind::KwThen:
+    return "'then'";
+  case TokKind::KwElse:
+    return "'else'";
+  case TokKind::KwIn:
+    return "'in'";
+  case TokKind::KwNot:
+    return "'not'";
+  case TokKind::KwMod:
+    return "'mod'";
+  case TokKind::KwTrue:
+    return "'true'";
+  case TokKind::KwFalse:
+    return "'false'";
+  case TokKind::KwInt:
+    return "'int'";
+  case TokKind::KwBool:
+    return "'bool'";
+  case TokKind::KwSynthesize:
+    return "'synthesize'";
+  case TokKind::KwEquiv:
+    return "'equiv'";
+  case TokKind::KwVia:
+    return "'via'";
+  case TokKind::KwRequires:
+    return "'requires'";
+  case TokKind::KwEnsures:
+    return "'ensures'";
+  case TokKind::LParen:
+    return "'('";
+  case TokKind::RParen:
+    return "')'";
+  case TokKind::Comma:
+    return "','";
+  case TokKind::Colon:
+    return "':'";
+  case TokKind::Bar:
+    return "'|'";
+  case TokKind::Arrow:
+    return "'->'";
+  case TokKind::Equal:
+    return "'='";
+  case TokKind::NotEq:
+    return "'<>'";
+  case TokKind::Lt:
+    return "'<'";
+  case TokKind::Le:
+    return "'<='";
+  case TokKind::Gt:
+    return "'>'";
+  case TokKind::Ge:
+    return "'>='";
+  case TokKind::Plus:
+    return "'+'";
+  case TokKind::Minus:
+    return "'-'";
+  case TokKind::Star:
+    return "'*'";
+  case TokKind::Slash:
+    return "'/'";
+  case TokKind::AmpAmp:
+    return "'&&'";
+  case TokKind::BarBar:
+    return "'||'";
+  }
+  return "token";
+}
+
+namespace {
+
+const std::map<std::string, TokKind> &keywordTable() {
+  static const std::map<std::string, TokKind> Table = {
+      {"type", TokKind::KwType},
+      {"of", TokKind::KwOf},
+      {"let", TokKind::KwLet},
+      {"rec", TokKind::KwRec},
+      {"and", TokKind::KwAnd},
+      {"function", TokKind::KwFunction},
+      {"if", TokKind::KwIf},
+      {"then", TokKind::KwThen},
+      {"else", TokKind::KwElse},
+      {"in", TokKind::KwIn},
+      {"not", TokKind::KwNot},
+      {"mod", TokKind::KwMod},
+      {"true", TokKind::KwTrue},
+      {"false", TokKind::KwFalse},
+      {"int", TokKind::KwInt},
+      {"bool", TokKind::KwBool},
+      {"synthesize", TokKind::KwSynthesize},
+      {"equiv", TokKind::KwEquiv},
+      {"via", TokKind::KwVia},
+      {"requires", TokKind::KwRequires},
+      {"ensures", TokKind::KwEnsures},
+  };
+  return Table;
+}
+
+[[noreturn]] void lexError(int Line, int Col, const std::string &Msg) {
+  userError("lex error at " + std::to_string(Line) + ":" +
+            std::to_string(Col) + ": " + Msg);
+}
+
+} // namespace
+
+std::vector<Token> se2gis::tokenize(const std::string &Source) {
+  std::vector<Token> Tokens;
+  size_t I = 0, N = Source.size();
+  int Line = 1, Col = 1;
+
+  auto Advance = [&]() {
+    if (Source[I] == '\n') {
+      ++Line;
+      Col = 1;
+    } else {
+      ++Col;
+    }
+    ++I;
+  };
+  auto Peek = [&](size_t Off = 0) -> char {
+    return I + Off < N ? Source[I + Off] : '\0';
+  };
+  auto Emit = [&](TokKind Kind, std::string Text, int L, int C) {
+    Tokens.push_back(Token{Kind, std::move(Text), 0, L, C});
+  };
+
+  while (I < N) {
+    char C0 = Peek();
+    int L = Line, C = Col;
+
+    if (std::isspace(static_cast<unsigned char>(C0))) {
+      Advance();
+      continue;
+    }
+    // Line comment: -- ... \n
+    if (C0 == '-' && Peek(1) == '-') {
+      while (I < N && Peek() != '\n')
+        Advance();
+      continue;
+    }
+    // Nested block comment: (* ... *)
+    if (C0 == '(' && Peek(1) == '*') {
+      int Depth = 1;
+      Advance();
+      Advance();
+      while (I < N && Depth > 0) {
+        if (Peek() == '(' && Peek(1) == '*') {
+          ++Depth;
+          Advance();
+          Advance();
+        } else if (Peek() == '*' && Peek(1) == ')') {
+          --Depth;
+          Advance();
+          Advance();
+        } else {
+          Advance();
+        }
+      }
+      if (Depth > 0)
+        lexError(L, C, "unterminated comment");
+      continue;
+    }
+
+    if (std::isdigit(static_cast<unsigned char>(C0))) {
+      std::string Text;
+      while (I < N && std::isdigit(static_cast<unsigned char>(Peek()))) {
+        Text += Peek();
+        Advance();
+      }
+      Token T{TokKind::IntLit, Text, std::stoll(Text), L, C};
+      Tokens.push_back(std::move(T));
+      continue;
+    }
+
+    if (std::isalpha(static_cast<unsigned char>(C0)) || C0 == '_') {
+      std::string Text;
+      while (I < N && (std::isalnum(static_cast<unsigned char>(Peek())) ||
+                       Peek() == '_' || Peek() == '\'')) {
+        Text += Peek();
+        Advance();
+      }
+      auto KwIt = keywordTable().find(Text);
+      if (KwIt != keywordTable().end()) {
+        Emit(KwIt->second, Text, L, C);
+      } else if (std::isupper(static_cast<unsigned char>(Text[0]))) {
+        Emit(TokKind::CtorId, Text, L, C);
+      } else {
+        Emit(TokKind::Ident, Text, L, C);
+      }
+      continue;
+    }
+
+    auto Two = [&](char A, char B) { return C0 == A && Peek(1) == B; };
+    if (Two('-', '>')) {
+      Advance();
+      Advance();
+      Emit(TokKind::Arrow, "->", L, C);
+      continue;
+    }
+    if (Two('<', '>')) {
+      Advance();
+      Advance();
+      Emit(TokKind::NotEq, "<>", L, C);
+      continue;
+    }
+    if (Two('<', '=')) {
+      Advance();
+      Advance();
+      Emit(TokKind::Le, "<=", L, C);
+      continue;
+    }
+    if (Two('>', '=')) {
+      Advance();
+      Advance();
+      Emit(TokKind::Ge, ">=", L, C);
+      continue;
+    }
+    if (Two('&', '&')) {
+      Advance();
+      Advance();
+      Emit(TokKind::AmpAmp, "&&", L, C);
+      continue;
+    }
+    if (Two('|', '|')) {
+      Advance();
+      Advance();
+      Emit(TokKind::BarBar, "||", L, C);
+      continue;
+    }
+
+    switch (C0) {
+    case '(':
+      Emit(TokKind::LParen, "(", L, C);
+      break;
+    case ')':
+      Emit(TokKind::RParen, ")", L, C);
+      break;
+    case ',':
+      Emit(TokKind::Comma, ",", L, C);
+      break;
+    case ':':
+      Emit(TokKind::Colon, ":", L, C);
+      break;
+    case '|':
+      Emit(TokKind::Bar, "|", L, C);
+      break;
+    case '=':
+      Emit(TokKind::Equal, "=", L, C);
+      break;
+    case '<':
+      Emit(TokKind::Lt, "<", L, C);
+      break;
+    case '>':
+      Emit(TokKind::Gt, ">", L, C);
+      break;
+    case '+':
+      Emit(TokKind::Plus, "+", L, C);
+      break;
+    case '-':
+      Emit(TokKind::Minus, "-", L, C);
+      break;
+    case '*':
+      Emit(TokKind::Star, "*", L, C);
+      break;
+    case '/':
+      Emit(TokKind::Slash, "/", L, C);
+      break;
+    case '$':
+      Emit(TokKind::Dollar, "$", L, C);
+      break;
+    default:
+      lexError(L, C, std::string("unexpected character '") + C0 + "'");
+    }
+    Advance();
+  }
+
+  Tokens.push_back(Token{TokKind::Eof, "", 0, Line, Col});
+  return Tokens;
+}

@@ -1,0 +1,86 @@
+//===- Lexer.h - Tokenizer for the benchmark DSL ----------------*- C++-*-===//
+///
+/// \file
+/// Tokenizer for the ML-like input language in which benchmarks are written
+/// (mirroring Synduce's OCaml input syntax). Supports `(* ... *)` block
+/// comments (nested) and `--` line comments.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SE2GIS_FRONTEND_LEXER_H
+#define SE2GIS_FRONTEND_LEXER_H
+
+#include <string>
+#include <vector>
+
+namespace se2gis {
+
+/// Token kinds produced by the lexer.
+enum class TokKind : unsigned char {
+  Eof,
+  IntLit,   // 123
+  Ident,    // lowercase-initial identifier
+  CtorId,   // Uppercase-initial identifier
+  Dollar,   // $
+  // Keywords.
+  KwType,
+  KwOf,
+  KwLet,
+  KwRec,
+  KwAnd,
+  KwFunction,
+  KwIf,
+  KwThen,
+  KwElse,
+  KwIn,
+  KwNot,
+  KwMod,
+  KwTrue,
+  KwFalse,
+  KwInt,
+  KwBool,
+  KwSynthesize,
+  KwEquiv,
+  KwVia,
+  KwRequires,
+  KwEnsures,
+  // Punctuation / operators.
+  LParen,
+  RParen,
+  Comma,
+  Colon,
+  Bar,
+  Arrow,  // ->
+  Equal,  // =
+  NotEq,  // <>
+  Lt,
+  Le,
+  Gt,
+  Ge,
+  Plus,
+  Minus,
+  Star,
+  Slash,
+  AmpAmp,
+  BarBar
+};
+
+/// A lexed token with its source location (1-based line/column).
+struct Token {
+  TokKind Kind;
+  std::string Text;
+  long long IntValue = 0;
+  int Line = 0;
+  int Col = 0;
+};
+
+/// Tokenizes \p Source; raises UserError with a located message on bad input.
+/// The result always ends with an Eof token.
+std::vector<Token> tokenize(const std::string &Source);
+
+/// \returns a short printable description of \p Kind for diagnostics.
+const char *tokKindName(TokKind Kind);
+
+} // namespace se2gis
+
+#endif // SE2GIS_FRONTEND_LEXER_H

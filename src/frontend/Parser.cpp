@@ -1,0 +1,399 @@
+//===- Parser.cpp ---------------------------------------------------------===//
+
+#include "frontend/Parser.h"
+
+#include "frontend/Lexer.h"
+#include "support/Diagnostics.h"
+
+#include <cassert>
+
+using namespace se2gis;
+
+namespace {
+
+class Parser {
+public:
+  explicit Parser(std::vector<Token> Tokens) : Tokens(std::move(Tokens)) {}
+
+  SynUnit parseUnit() {
+    SynUnit Unit;
+    while (!at(TokKind::Eof)) {
+      if (at(TokKind::KwType))
+        Unit.Types.push_back(parseTypeDecl());
+      else if (at(TokKind::KwLet))
+        Unit.LetGroups.push_back(parseLetGroup());
+      else if (at(TokKind::KwSynthesize))
+        Unit.Directives.push_back(parseDirective());
+      else
+        error("expected 'type', 'let', or 'synthesize'");
+    }
+    return Unit;
+  }
+
+private:
+  // --- Token helpers ----------------------------------------------------//
+
+  const Token &peek(size_t Off = 0) const {
+    size_t I = Pos + Off;
+    return I < Tokens.size() ? Tokens[I] : Tokens.back();
+  }
+  bool at(TokKind K) const { return peek().Kind == K; }
+  Token advance() { return Tokens[Pos++]; }
+  bool accept(TokKind K) {
+    if (!at(K))
+      return false;
+    ++Pos;
+    return true;
+  }
+  Token expect(TokKind K, const char *Context) {
+    if (!at(K))
+      error(std::string("expected ") + tokKindName(K) + " " + Context +
+            ", found " + tokKindName(peek().Kind));
+    return advance();
+  }
+  [[noreturn]] void error(const std::string &Msg) const {
+    userError("parse error at " + std::to_string(peek().Line) + ":" +
+              std::to_string(peek().Col) + ": " + Msg);
+  }
+
+  // --- Types ------------------------------------------------------------//
+
+  SynType parseTypeAtom() {
+    SynType T;
+    if (accept(TokKind::KwInt)) {
+      T.K = SynType::Kind::Int;
+      return T;
+    }
+    if (accept(TokKind::KwBool)) {
+      T.K = SynType::Kind::Bool;
+      return T;
+    }
+    if (at(TokKind::Ident)) {
+      T.K = SynType::Kind::Named;
+      T.Name = advance().Text;
+      return T;
+    }
+    if (accept(TokKind::LParen)) {
+      SynType Inner = parseType();
+      expect(TokKind::RParen, "after type");
+      return Inner;
+    }
+    error("expected a type");
+  }
+
+  SynType parseType() {
+    SynType First = parseTypeAtom();
+    if (!at(TokKind::Star))
+      return First;
+    SynType Tup;
+    Tup.K = SynType::Kind::Tuple;
+    Tup.Elems.push_back(std::move(First));
+    while (accept(TokKind::Star))
+      Tup.Elems.push_back(parseTypeAtom());
+    return Tup;
+  }
+
+  SynTypeDecl parseTypeDecl() {
+    SynTypeDecl Decl;
+    Decl.Line = peek().Line;
+    expect(TokKind::KwType, "at type declaration");
+    Decl.Name = expect(TokKind::Ident, "as type name").Text;
+    expect(TokKind::Equal, "in type declaration");
+    accept(TokKind::Bar); // optional leading bar
+    do {
+      SynCtor Ctor;
+      Ctor.Name = expect(TokKind::CtorId, "as constructor name").Text;
+      if (accept(TokKind::KwOf)) {
+        Ctor.Fields.push_back(parseTypeAtom());
+        while (accept(TokKind::Star))
+          Ctor.Fields.push_back(parseTypeAtom());
+      }
+      Decl.Ctors.push_back(std::move(Ctor));
+    } while (accept(TokKind::Bar));
+    return Decl;
+  }
+
+  // --- Expressions --------------------------------------------------------//
+
+  SynExprPtr makeExpr(SynExpr::Kind K) {
+    auto E = std::make_unique<SynExpr>();
+    E->K = K;
+    E->Line = peek().Line;
+    E->Col = peek().Col;
+    return E;
+  }
+
+  bool atAtomStart() const {
+    switch (peek().Kind) {
+    case TokKind::IntLit:
+    case TokKind::KwTrue:
+    case TokKind::KwFalse:
+    case TokKind::Ident:
+    case TokKind::CtorId:
+    case TokKind::Dollar:
+    case TokKind::LParen:
+      return true;
+    default:
+      return false;
+    }
+  }
+
+  SynExprPtr parseExpr() {
+    if (at(TokKind::KwIf)) {
+      auto E = makeExpr(SynExpr::Kind::If);
+      advance();
+      E->Args.push_back(parseExpr());
+      expect(TokKind::KwThen, "in conditional");
+      E->Args.push_back(parseExpr());
+      expect(TokKind::KwElse, "in conditional");
+      E->Args.push_back(parseExpr());
+      return E;
+    }
+    if (at(TokKind::KwLet)) {
+      auto E = makeExpr(SynExpr::Kind::LetIn);
+      advance();
+      bool Paren = accept(TokKind::LParen);
+      E->LetVars.push_back(expect(TokKind::Ident, "in let binding").Text);
+      while (accept(TokKind::Comma))
+        E->LetVars.push_back(expect(TokKind::Ident, "in let binding").Text);
+      if (Paren)
+        expect(TokKind::RParen, "after let pattern");
+      expect(TokKind::Equal, "in let binding");
+      E->Args.push_back(parseExpr());
+      expect(TokKind::KwIn, "after let binding");
+      E->Args.push_back(parseExpr());
+      return E;
+    }
+    return parseOr();
+  }
+
+  SynExprPtr parseBinChain(SynExprPtr (Parser::*Sub)(),
+                           std::initializer_list<TokKind> Ops) {
+    SynExprPtr L = (this->*Sub)();
+    while (true) {
+      bool Matched = false;
+      for (TokKind Op : Ops) {
+        if (!at(Op))
+          continue;
+        Token T = advance();
+        auto E = makeExpr(SynExpr::Kind::Binary);
+        E->Name = T.Text;
+        E->Args.push_back(std::move(L));
+        E->Args.push_back((this->*Sub)());
+        L = std::move(E);
+        Matched = true;
+        break;
+      }
+      if (!Matched)
+        return L;
+    }
+  }
+
+  SynExprPtr parseOr() { return parseBinChain(&Parser::parseAnd, {TokKind::BarBar}); }
+  SynExprPtr parseAnd() {
+    return parseBinChain(&Parser::parseCmp, {TokKind::AmpAmp});
+  }
+
+  SynExprPtr parseCmp() {
+    SynExprPtr L = parseAdd();
+    switch (peek().Kind) {
+    case TokKind::Equal:
+    case TokKind::NotEq:
+    case TokKind::Lt:
+    case TokKind::Le:
+    case TokKind::Gt:
+    case TokKind::Ge: {
+      Token T = advance();
+      auto E = makeExpr(SynExpr::Kind::Binary);
+      E->Name = T.Text;
+      E->Args.push_back(std::move(L));
+      E->Args.push_back(parseAdd());
+      return E;
+    }
+    default:
+      return L;
+    }
+  }
+
+  SynExprPtr parseAdd() {
+    return parseBinChain(&Parser::parseMul, {TokKind::Plus, TokKind::Minus});
+  }
+  SynExprPtr parseMul() {
+    return parseBinChain(&Parser::parseUnary,
+                         {TokKind::Star, TokKind::Slash, TokKind::KwMod});
+  }
+
+  SynExprPtr parseUnary() {
+    if (at(TokKind::Minus) || at(TokKind::KwNot)) {
+      Token T = advance();
+      auto E = makeExpr(SynExpr::Kind::Unary);
+      E->Name = T.Kind == TokKind::Minus ? "-" : "not";
+      E->Args.push_back(parseUnary());
+      return E;
+    }
+    return parseApp();
+  }
+
+  SynExprPtr parseApp() {
+    // Constructor application: `C`, `C atom` where a tuple atom supplies
+    // multiple fields (OCaml style).
+    if (at(TokKind::CtorId)) {
+      Token T = advance();
+      auto E = makeExpr(SynExpr::Kind::App);
+      E->Name = T.Text;
+      E->BoolValue = true; // marks a constructor application
+      if (atAtomStart()) {
+        SynExprPtr Arg = parseAtom();
+        if (Arg->K == SynExpr::Kind::Tuple)
+          E->Args = std::move(Arg->Args);
+        else
+          E->Args.push_back(std::move(Arg));
+      }
+      return E;
+    }
+    // Unknown application: `$u atom*`.
+    if (at(TokKind::Dollar)) {
+      advance();
+      auto E = makeExpr(SynExpr::Kind::Unknown);
+      E->Name = expect(TokKind::Ident, "after '$'").Text;
+      while (atAtomStart())
+        E->Args.push_back(parseAtom());
+      return E;
+    }
+    // Function application by juxtaposition: `f atom+` or a bare atom.
+    SynExprPtr Head = parseAtom();
+    if (Head->K != SynExpr::Kind::Id || !atAtomStart())
+      return Head;
+    auto E = makeExpr(SynExpr::Kind::App);
+    E->Name = Head->Name;
+    while (atAtomStart())
+      E->Args.push_back(parseAtom());
+    return E;
+  }
+
+  SynExprPtr parseAtom() {
+    switch (peek().Kind) {
+    case TokKind::IntLit: {
+      Token T = advance();
+      auto E = makeExpr(SynExpr::Kind::IntLit);
+      E->IntValue = T.IntValue;
+      return E;
+    }
+    case TokKind::KwTrue:
+    case TokKind::KwFalse: {
+      Token T = advance();
+      auto E = makeExpr(SynExpr::Kind::BoolLit);
+      E->BoolValue = T.Kind == TokKind::KwTrue;
+      return E;
+    }
+    case TokKind::Ident: {
+      Token T = advance();
+      auto E = makeExpr(SynExpr::Kind::Id);
+      E->Name = T.Text;
+      return E;
+    }
+    case TokKind::CtorId:
+    case TokKind::Dollar:
+      return parseApp();
+    case TokKind::LParen: {
+      advance();
+      SynExprPtr First = parseExpr();
+      if (!at(TokKind::Comma)) {
+        expect(TokKind::RParen, "after expression");
+        return First;
+      }
+      auto E = makeExpr(SynExpr::Kind::Tuple);
+      E->Args.push_back(std::move(First));
+      while (accept(TokKind::Comma))
+        E->Args.push_back(parseExpr());
+      expect(TokKind::RParen, "after tuple");
+      return E;
+    }
+    default:
+      error(std::string("expected an expression, found ") +
+            tokKindName(peek().Kind));
+    }
+  }
+
+  // --- Bindings -----------------------------------------------------------//
+
+  SynBinding parseBinding() {
+    SynBinding B;
+    B.Line = peek().Line;
+    B.Name = expect(TokKind::Ident, "as function name").Text;
+    while (at(TokKind::LParen) || at(TokKind::Ident)) {
+      if (at(TokKind::Ident))
+        error("parameters must be annotated: (" + peek().Text + " : type)");
+      advance(); // (
+      std::string PName = expect(TokKind::Ident, "as parameter name").Text;
+      expect(TokKind::Colon, "in parameter annotation");
+      SynType PTy = parseType();
+      expect(TokKind::RParen, "after parameter annotation");
+      B.Params.emplace_back(std::move(PName), std::move(PTy));
+    }
+    if (accept(TokKind::Colon))
+      B.RetAnnot = std::make_unique<SynType>(parseType());
+    expect(TokKind::Equal, "in binding");
+    if (accept(TokKind::KwFunction)) {
+      B.IsScheme = true;
+      accept(TokKind::Bar);
+      do {
+        SynRule R;
+        R.Line = peek().Line;
+        R.CtorName = expect(TokKind::CtorId, "as rule pattern").Text;
+        if (accept(TokKind::LParen)) {
+          R.FieldNames.push_back(
+              expect(TokKind::Ident, "as pattern variable").Text);
+          while (accept(TokKind::Comma))
+            R.FieldNames.push_back(
+                expect(TokKind::Ident, "as pattern variable").Text);
+          expect(TokKind::RParen, "after pattern");
+        } else if (at(TokKind::Ident)) {
+          R.FieldNames.push_back(advance().Text);
+        }
+        expect(TokKind::Arrow, "in rule");
+        R.Body = parseExpr();
+        B.Rules.push_back(std::move(R));
+      } while (accept(TokKind::Bar));
+    } else {
+      B.Body = parseExpr();
+    }
+    return B;
+  }
+
+  SynLetGroup parseLetGroup() {
+    SynLetGroup G;
+    expect(TokKind::KwLet, "at let group");
+    G.Recursive = accept(TokKind::KwRec);
+    G.Bindings.push_back(parseBinding());
+    while (accept(TokKind::KwAnd))
+      G.Bindings.push_back(parseBinding());
+    return G;
+  }
+
+  SynDirective parseDirective() {
+    SynDirective D;
+    D.Line = peek().Line;
+    expect(TokKind::KwSynthesize, "at directive");
+    D.Target = expect(TokKind::Ident, "as target name").Text;
+    expect(TokKind::KwEquiv, "in directive");
+    D.Reference = expect(TokKind::Ident, "as reference name").Text;
+    if (accept(TokKind::KwVia))
+      D.Repr = expect(TokKind::Ident, "as representation name").Text;
+    if (accept(TokKind::KwRequires))
+      D.Invariant = expect(TokKind::Ident, "as invariant name").Text;
+    if (accept(TokKind::KwEnsures))
+      D.Ensures = expect(TokKind::Ident, "as ensures name").Text;
+    return D;
+  }
+
+  std::vector<Token> Tokens;
+  size_t Pos = 0;
+};
+
+} // namespace
+
+SynUnit se2gis::parseUnit(const std::string &Source) {
+  Parser P(tokenize(Source));
+  return P.parseUnit();
+}

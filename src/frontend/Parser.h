@@ -1,0 +1,27 @@
+//===- Parser.h - Recursive-descent parser for the DSL ----------*- C++-*-===//
+///
+/// \file
+/// Parses benchmark sources into untyped syntax trees (Syntax.h). The
+/// concrete grammar mirrors the OCaml subset Synduce accepts: `type`
+/// declarations, (mutually) recursive `let` groups defined by
+/// pattern-matching (`= function | C ... -> ...`), and a `synthesize`
+/// directive naming the problem components.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SE2GIS_FRONTEND_PARSER_H
+#define SE2GIS_FRONTEND_PARSER_H
+
+#include "frontend/Syntax.h"
+
+#include <string>
+
+namespace se2gis {
+
+/// Parses \p Source; raises UserError with a located message on syntax
+/// errors.
+SynUnit parseUnit(const std::string &Source);
+
+} // namespace se2gis
+
+#endif // SE2GIS_FRONTEND_PARSER_H

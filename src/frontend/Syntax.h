@@ -1,0 +1,117 @@
+//===- Syntax.h - Untyped surface syntax trees ------------------*- C++-*-===//
+///
+/// \file
+/// The parser's output: untyped declarations and expressions. The elaborator
+/// (Elaborate.h) turns these into typed \c Program terms, inferring function
+/// return types iteratively from base-case rules.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SE2GIS_FRONTEND_SYNTAX_H
+#define SE2GIS_FRONTEND_SYNTAX_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace se2gis {
+
+struct SynExpr;
+using SynExprPtr = std::unique_ptr<SynExpr>;
+
+/// An untyped surface expression.
+struct SynExpr {
+  enum class Kind : unsigned char {
+    IntLit,   // 42
+    BoolLit,  // true / false
+    Id,       // x (variable, zero-arg function, or builtin)
+    App,      // f e1 .. en  (Name = function or constructor)
+    Unknown,  // $u e1 .. en
+    Binary,   // e1 op e2 (Name = operator spelling)
+    Unary,    // not e / - e
+    If,       // if c then a else b
+    LetIn,    // let (x, y) = e in body
+    Tuple     // (e1, .., en)
+  };
+
+  Kind K;
+  int Line = 0, Col = 0;
+  long long IntValue = 0;
+  bool BoolValue = false;
+  std::string Name;                // Id / App head / Unknown / operator
+  std::vector<SynExprPtr> Args;    // App & Unknown args, Binary/Unary
+                                   // operands, Tuple elements; for LetIn:
+                                   // [bound expr, body]
+  std::vector<std::string> LetVars; // LetIn bound names (1 = plain let)
+};
+
+/// A surface type annotation.
+struct SynType {
+  enum class Kind : unsigned char { Int, Bool, Named, Tuple };
+  Kind K = Kind::Int;
+  std::string Name;             // Named
+  std::vector<SynType> Elems;   // Tuple
+};
+
+/// One constructor of a surface datatype declaration.
+struct SynCtor {
+  std::string Name;
+  std::vector<SynType> Fields;
+};
+
+/// `type name = C1 of t * t | C2 | ...`
+struct SynTypeDecl {
+  std::string Name;
+  std::vector<SynCtor> Ctors;
+  int Line = 0;
+};
+
+/// One pattern-matching rule `| C (a, b) -> body`.
+struct SynRule {
+  std::string CtorName;
+  std::vector<std::string> FieldNames;
+  SynExprPtr Body;
+  int Line = 0;
+};
+
+/// One binding of a `let [rec] ... and ...` group.
+struct SynBinding {
+  std::string Name;
+  /// Annotated extra parameters `(x : int)`.
+  std::vector<std::pair<std::string, SynType>> Params;
+  /// Optional return type annotation `: int`.
+  std::unique_ptr<SynType> RetAnnot;
+  /// True for `= function | ...` scheme definitions.
+  bool IsScheme = false;
+  std::vector<SynRule> Rules; // scheme only
+  SynExprPtr Body;            // plain only
+  int Line = 0;
+};
+
+/// A `let [rec]` group (possibly mutually recursive via `and`).
+struct SynLetGroup {
+  bool Recursive = false;
+  std::vector<SynBinding> Bindings;
+};
+
+/// `synthesize target equiv reference [via repr] [requires inv]
+///  [ensures post]`
+struct SynDirective {
+  std::string Target;
+  std::string Reference;
+  std::string Repr;      // empty: identity
+  std::string Invariant; // empty: true
+  std::string Ensures;   // empty: none
+  int Line = 0;
+};
+
+/// A parsed source file.
+struct SynUnit {
+  std::vector<SynTypeDecl> Types;
+  std::vector<SynLetGroup> LetGroups;
+  std::vector<SynDirective> Directives;
+};
+
+} // namespace se2gis
+
+#endif // SE2GIS_FRONTEND_SYNTAX_H

@@ -1,0 +1,99 @@
+//===- Function.cpp -------------------------------------------------------===//
+
+#include "lang/Function.h"
+
+#include "support/Diagnostics.h"
+
+#include <cassert>
+#include <sstream>
+
+using namespace se2gis;
+
+RecFunction RecFunction::makeScheme(std::string Name,
+                                    std::vector<VarPtr> Extras,
+                                    const Datatype *Matched, TypePtr RetTy) {
+  assert(Matched && "scheme function needs a matched datatype");
+  RecFunction F;
+  F.Name = std::move(Name);
+  F.Kind = FunctionKind::Scheme;
+  F.Params = std::move(Extras);
+  F.Matched = Matched;
+  F.RetTy = std::move(RetTy);
+  return F;
+}
+
+RecFunction RecFunction::makePlain(std::string Name, std::vector<VarPtr> Params,
+                                   TermPtr Body) {
+  assert(Body && "plain function needs a body");
+  RecFunction F;
+  F.Name = std::move(Name);
+  F.Kind = FunctionKind::Plain;
+  F.Params = std::move(Params);
+  F.RetTy = Body->getType();
+  F.Body = std::move(Body);
+  return F;
+}
+
+void RecFunction::addRule(unsigned CtorIndex, std::vector<VarPtr> FieldVars,
+                          TermPtr Body) {
+  assert(Kind == FunctionKind::Scheme && "rules only on scheme functions");
+  assert(CtorIndex < Matched->numConstructors() && "bad constructor index");
+  assert(!findRule(CtorIndex) && "duplicate rule for constructor");
+  assert(sameType(Body->getType(), RetTy) && "rule body type mismatch");
+  const ConstructorDecl &C = Matched->getConstructor(CtorIndex);
+  assert(FieldVars.size() == C.Fields.size() && "field variable count");
+  (void)C;
+  SchemeRule R;
+  R.CtorIndex = CtorIndex;
+  R.FieldVars = std::move(FieldVars);
+  R.Body = std::move(Body);
+  Rules.push_back(std::move(R));
+}
+
+const SchemeRule *RecFunction::findRule(unsigned CtorIndex) const {
+  for (const SchemeRule &R : Rules)
+    if (R.CtorIndex == CtorIndex)
+      return &R;
+  return nullptr;
+}
+
+const TermPtr &RecFunction::getBody() const {
+  assert(Kind == FunctionKind::Plain && "only plain functions have a body");
+  return Body;
+}
+
+bool RecFunction::isComplete() const {
+  if (Kind == FunctionKind::Plain)
+    return Body != nullptr;
+  return Rules.size() == Matched->numConstructors();
+}
+
+std::string RecFunction::str() const {
+  std::ostringstream OS;
+  OS << "let " << (isScheme() ? "rec " : "") << Name;
+  for (const VarPtr &P : Params)
+    OS << ' ' << P->Name;
+  if (Kind == FunctionKind::Plain) {
+    OS << " = " << Body->str();
+    return OS.str();
+  }
+  OS << " = function";
+  for (unsigned I = 0; I < Matched->numConstructors(); ++I) {
+    const SchemeRule *R = findRule(I);
+    if (!R)
+      continue;
+    const ConstructorDecl &C = Matched->getConstructor(I);
+    OS << "\n  | " << C.Name;
+    if (!R->FieldVars.empty()) {
+      OS << " (";
+      for (size_t F = 0; F < R->FieldVars.size(); ++F) {
+        if (F)
+          OS << ", ";
+        OS << R->FieldVars[F]->Name;
+      }
+      OS << ')';
+    }
+    OS << " -> " << R->Body->str();
+  }
+  return OS.str();
+}

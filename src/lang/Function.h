@@ -1,0 +1,103 @@
+//===- Function.h - Pattern-matching recursion schemes ----------*- C++-*-===//
+///
+/// \file
+/// Function definitions. All recursion is representable as pattern-matching
+/// recursive schemes (paper §3, citing Ong & Ramsay): a *scheme* function
+/// takes zero or more extra (pass-along) parameters plus one matched
+/// parameter of datatype type — by convention the **last** parameter — and
+/// has exactly one rule per constructor of the matched datatype. A *plain*
+/// function is a non-recursive definition that is always inlined.
+///
+/// Recursion skeletons (Definition 3.1) are scheme functions whose rule
+/// bodies may contain Unknown applications.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SE2GIS_LANG_FUNCTION_H
+#define SE2GIS_LANG_FUNCTION_H
+
+#include "ast/Term.h"
+#include "ast/Type.h"
+
+#include <string>
+#include <vector>
+
+namespace se2gis {
+
+/// One rule of a scheme function: `f e1..ek (C f1..fn) -> Body`.
+struct SchemeRule {
+  /// Constructor index within the matched datatype.
+  unsigned CtorIndex = 0;
+  /// Variables bound to the constructor fields.
+  std::vector<VarPtr> FieldVars;
+  /// Rule body; may reference the function's extra parameters and FieldVars.
+  TermPtr Body;
+};
+
+/// How a function is defined.
+enum class FunctionKind : unsigned char {
+  /// Pattern-matching recursion scheme (one rule per constructor).
+  Scheme,
+  /// Non-recursive definition, inlined at call sites.
+  Plain
+};
+
+/// A named function definition.
+class RecFunction {
+public:
+  /// Creates a scheme function matching on \p Matched (last parameter).
+  static RecFunction makeScheme(std::string Name, std::vector<VarPtr> Extras,
+                                const Datatype *Matched, TypePtr RetTy);
+
+  /// Creates a plain (inlined) function.
+  static RecFunction makePlain(std::string Name, std::vector<VarPtr> Params,
+                               TermPtr Body);
+
+  const std::string &getName() const { return Name; }
+  FunctionKind getKind() const { return Kind; }
+  bool isScheme() const { return Kind == FunctionKind::Scheme; }
+
+  /// Extra (pass-along) parameters; for plain functions, all parameters.
+  const std::vector<VarPtr> &getParams() const { return Params; }
+
+  /// Matched datatype; null for plain functions.
+  const Datatype *getMatched() const { return Matched; }
+
+  const TypePtr &getReturnType() const { return RetTy; }
+
+  /// Number of arguments expected at call sites (params + matched arg).
+  size_t numArgs() const { return Params.size() + (Matched ? 1 : 0); }
+
+  /// Adds the rule for constructor \p CtorIndex (scheme only; each
+  /// constructor may have at most one rule).
+  void addRule(unsigned CtorIndex, std::vector<VarPtr> FieldVars,
+               TermPtr Body);
+
+  /// \returns the rule for constructor \p CtorIndex, or nullptr if missing.
+  const SchemeRule *findRule(unsigned CtorIndex) const;
+
+  /// Plain function body.
+  const TermPtr &getBody() const;
+
+  /// \returns true once every constructor of the matched datatype has a rule
+  /// (scheme) or the body is set (plain).
+  bool isComplete() const;
+
+  /// Pretty-prints the definition.
+  std::string str() const;
+
+private:
+  RecFunction() = default;
+
+  std::string Name;
+  FunctionKind Kind = FunctionKind::Plain;
+  std::vector<VarPtr> Params;
+  const Datatype *Matched = nullptr;
+  TypePtr RetTy;
+  std::vector<SchemeRule> Rules;
+  TermPtr Body;
+};
+
+} // namespace se2gis
+
+#endif // SE2GIS_LANG_FUNCTION_H

@@ -1,0 +1,241 @@
+//===- Program.cpp --------------------------------------------------------===//
+
+#include "lang/Program.h"
+
+#include "support/Diagnostics.h"
+
+#include <cassert>
+
+using namespace se2gis;
+
+Datatype *Program::addDatatype(const std::string &Name) {
+  if (DatatypeIndex.count(Name))
+    userError("datatype '" + Name + "' is already defined");
+  Datatypes.push_back(std::make_unique<Datatype>(Name));
+  Datatype *D = Datatypes.back().get();
+  DatatypeIndex[Name] = D;
+  DatatypeTypes[Name] = Type::dataTy(D);
+  return D;
+}
+
+const Datatype *Program::findDatatype(const std::string &Name) const {
+  auto It = DatatypeIndex.find(Name);
+  return It == DatatypeIndex.end() ? nullptr : It->second;
+}
+
+TypePtr Program::getDataType(const std::string &Name) const {
+  auto It = DatatypeTypes.find(Name);
+  if (It == DatatypeTypes.end())
+    userError("unknown datatype '" + Name + "'");
+  return It->second;
+}
+
+void Program::addFunction(RecFunction F) {
+  const std::string &Name = F.getName();
+  if (Functions.count(Name))
+    userError("function '" + Name + "' is already defined");
+  FunctionOrder.push_back(Name);
+  Functions.emplace(Name, std::move(F));
+}
+
+const RecFunction *Program::findFunction(const std::string &Name) const {
+  auto It = Functions.find(Name);
+  return It == Functions.end() ? nullptr : &It->second;
+}
+
+const UnknownSig *Problem::findUnknown(const std::string &Name) const {
+  for (const UnknownSig &U : Unknowns)
+    if (U.Name == Name)
+      return &U;
+  return nullptr;
+}
+
+void se2gis::addIdentityRepr(Program &Prog, const Datatype *D,
+                             const std::string &Name) {
+  TypePtr DTy = Type::dataTy(D);
+  RecFunction R = RecFunction::makeScheme(Name, {}, D, DTy);
+  for (unsigned CI = 0; CI < D->numConstructors(); ++CI) {
+    const ConstructorDecl &C = D->getConstructor(CI);
+    std::vector<VarPtr> Fields;
+    std::vector<TermPtr> Args;
+    for (const TypePtr &FT : C.Fields) {
+      VarPtr V = freshVar("i", FT);
+      Fields.push_back(V);
+      // Recurse on fields of the same datatype; other fields (including
+      // fields of *other* datatypes) pass through unchanged, which is still
+      // the identity.
+      if (FT->isData() && FT->getDatatype() == D)
+        Args.push_back(mkCall(Name, DTy, {mkVar(V)}));
+      else
+        Args.push_back(mkVar(V));
+    }
+    R.addRule(CI, std::move(Fields), mkCtor(&C, std::move(Args)));
+  }
+  Prog.addFunction(std::move(R));
+}
+
+namespace {
+
+/// Checks that every call to \p Self inside \p Body passes the extra
+/// parameters \p Extras through unchanged (positionally, as plain variable
+/// references). This is the pass-through property recursion elimination
+/// relies on: `f(e⃗, r(y))` and `G(e⃗, y)` can then be keyed by `y` alone.
+void checkPassThrough(const std::string &Self,
+                      const std::vector<VarPtr> &Extras, const TermPtr &Body) {
+  visitTerm(Body, [&](const TermPtr &N) {
+    if (N->getKind() != TermKind::Call || N->getCallee() != Self)
+      return true;
+    if (N->numArgs() != Extras.size() + 1)
+      userError("recursive call to '" + Self + "' has wrong arity");
+    for (size_t I = 0; I < Extras.size(); ++I) {
+      const TermPtr &A = N->getArg(I);
+      if (A->getKind() != TermKind::Var || A->getVar()->Id != Extras[I]->Id)
+        userError("recursive call to '" + Self +
+                  "' must pass extra parameter '" + Extras[I]->Name +
+                  "' through unchanged");
+    }
+    return true;
+  });
+}
+
+void collectUnknownsFrom(const TermPtr &Body, std::vector<UnknownSig> &Out) {
+  visitTerm(Body, [&](const TermPtr &N) {
+    if (N->getKind() != TermKind::Unknown)
+      return true;
+    UnknownSig Sig;
+    Sig.Name = N->getCallee();
+    Sig.RetTy = N->getType();
+    for (const TermPtr &A : N->getArgs()) {
+      if (!A->getType()->isScalar())
+        userError("unknown '$" + Sig.Name +
+                  "' is applied to a non-scalar argument");
+      Sig.ArgTypes.push_back(A->getType());
+    }
+    if (!Sig.RetTy->isScalar())
+      userError("unknown '$" + Sig.Name + "' has a non-scalar return type");
+    for (const UnknownSig &Existing : Out) {
+      if (Existing.Name != Sig.Name)
+        continue;
+      bool Same = sameType(Existing.RetTy, Sig.RetTy) &&
+                  Existing.ArgTypes.size() == Sig.ArgTypes.size();
+      if (Same)
+        for (size_t I = 0; I < Sig.ArgTypes.size(); ++I)
+          Same &= sameType(Existing.ArgTypes[I], Sig.ArgTypes[I]);
+      if (!Same)
+        userError("unknown '$" + Sig.Name +
+                  "' is used with inconsistent signatures");
+      return true;
+    }
+    Out.push_back(std::move(Sig));
+    return true;
+  });
+}
+
+const RecFunction *requireFunction(const Program &Prog,
+                                   const std::string &Name,
+                                   const char *Role) {
+  const RecFunction *F = Prog.findFunction(Name);
+  if (!F)
+    userError(std::string(Role) + " function '" + Name + "' is not defined");
+  if (!F->isComplete())
+    userError(std::string(Role) + " function '" + Name + "' is incomplete");
+  return F;
+}
+
+void requireNoUnknowns(const RecFunction &F, const char *Role) {
+  auto Check = [&](const TermPtr &Body) {
+    if (containsUnknown(Body))
+      userError(std::string(Role) + " function '" + F.getName() +
+                "' must not contain unknowns");
+  };
+  if (!F.isScheme()) {
+    Check(F.getBody());
+    return;
+  }
+  for (unsigned I = 0; I < F.getMatched()->numConstructors(); ++I)
+    if (const SchemeRule *R = F.findRule(I))
+      Check(R->Body);
+}
+
+} // namespace
+
+void se2gis::validateProblem(const Problem &P) {
+  if (!P.Prog)
+    userError("problem has no program");
+  const Program &Prog = *P.Prog;
+
+  const RecFunction *F = requireFunction(Prog, P.Reference, "reference");
+  const RecFunction *G = requireFunction(Prog, P.Target, "target");
+  const RecFunction *R = requireFunction(Prog, P.Repr, "representation");
+
+  if (!F->isScheme() || !G->isScheme() || !R->isScheme())
+    userError("reference, target and representation must be recursion "
+              "schemes");
+  if (F->getMatched() != P.Tau)
+    userError("reference function does not match on the source type");
+  if (G->getMatched() != P.Theta)
+    userError("target skeleton does not match on the destination type");
+  if (R->getMatched() != P.Theta || !R->getParams().empty())
+    userError("representation function must be r : theta -> tau with no "
+              "extra parameters");
+  if (!R->getReturnType()->isData() ||
+      R->getReturnType()->getDatatype() != P.Tau)
+    userError("representation function must return the source type");
+
+  if (!sameType(F->getReturnType(), G->getReturnType()))
+    userError("reference and target must have the same return type");
+  if (!F->getReturnType()->isScalar())
+    userError("the output type D must be a base (scalar) type");
+
+  if (F->getParams().size() != G->getParams().size())
+    userError("reference and target must take the same extra parameters");
+  for (size_t I = 0; I < F->getParams().size(); ++I) {
+    if (!sameType(F->getParams()[I]->Ty, G->getParams()[I]->Ty))
+      userError("extra parameter types of reference and target differ");
+    if (!F->getParams()[I]->Ty->isScalar())
+      userError("extra parameters must be scalar");
+  }
+
+  if (!P.Invariant.empty()) {
+    const RecFunction *Inv = requireFunction(Prog, P.Invariant, "invariant");
+    if (!Inv->isScheme() || Inv->getMatched() != P.Theta ||
+        !Inv->getParams().empty() || !Inv->getReturnType()->isBool())
+      userError("invariant must be a scheme Itheta : theta -> bool");
+    requireNoUnknowns(*Inv, "invariant");
+  }
+
+  if (!P.Ensures.empty()) {
+    const RecFunction *Ens = requireFunction(Prog, P.Ensures, "ensures");
+    if (Ens->isScheme() || Ens->getParams().size() != 1 ||
+        !sameType(Ens->getParams()[0]->Ty, F->getReturnType()) ||
+        !Ens->getReturnType()->isBool())
+      userError("ensures must be a plain predicate over the output type");
+    requireNoUnknowns(*Ens, "ensures");
+  }
+
+  requireNoUnknowns(*F, "reference");
+  requireNoUnknowns(*R, "representation");
+
+  // Pass-through property and unknown collection.
+  std::vector<UnknownSig> Unknowns;
+  for (unsigned I = 0; I < P.Tau->numConstructors(); ++I)
+    if (const SchemeRule *Rule = F->findRule(I))
+      checkPassThrough(P.Reference, F->getParams(), Rule->Body);
+  for (unsigned I = 0; I < P.Theta->numConstructors(); ++I) {
+    if (const SchemeRule *Rule = G->findRule(I)) {
+      checkPassThrough(P.Target, G->getParams(), Rule->Body);
+      collectUnknownsFrom(Rule->Body, Unknowns);
+    }
+  }
+  if (Unknowns.empty())
+    userError("target skeleton contains no unknowns");
+  if (!P.Unknowns.empty() && P.Unknowns.size() != Unknowns.size())
+    userError("problem unknown list is inconsistent with the skeleton");
+
+  // The caller may rely on validate to populate the unknown signatures.
+  const_cast<Problem &>(P).Unknowns = std::move(Unknowns);
+  const_cast<Problem &>(P).RetTy = F->getReturnType();
+  const_cast<Problem &>(P).ExtraParamTypes.clear();
+  for (const VarPtr &E : F->getParams())
+    const_cast<Problem &>(P).ExtraParamTypes.push_back(E->Ty);
+}

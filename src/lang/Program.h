@@ -1,0 +1,116 @@
+//===- Program.h - Datatype and function environments -----------*- C++-*-===//
+///
+/// \file
+/// A \c Program owns datatype declarations and function definitions and is
+/// the lookup environment for the evaluators. A \c Problem (the recursion
+/// synthesis problem of Definition 4.1) names the reference function f, the
+/// representation function r, the target skeleton G[U], and the type
+/// invariant Iθ within a program.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SE2GIS_LANG_PROGRAM_H
+#define SE2GIS_LANG_PROGRAM_H
+
+#include "lang/Function.h"
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace se2gis {
+
+/// Owns datatypes (with stable addresses) and functions.
+class Program {
+public:
+  Program() = default;
+  Program(const Program &) = delete;
+  Program &operator=(const Program &) = delete;
+
+  /// Declares a new datatype; constructors are added to the returned object.
+  Datatype *addDatatype(const std::string &Name);
+
+  /// \returns the datatype named \p Name, or nullptr.
+  const Datatype *findDatatype(const std::string &Name) const;
+
+  /// \returns the Type for datatype \p Name; asserts it exists.
+  TypePtr getDataType(const std::string &Name) const;
+
+  /// Registers \p F; its name must be unused.
+  void addFunction(RecFunction F);
+
+  /// \returns the function named \p Name, or nullptr.
+  const RecFunction *findFunction(const std::string &Name) const;
+
+  /// All function names in insertion order.
+  const std::vector<std::string> &functionNames() const {
+    return FunctionOrder;
+  }
+
+private:
+  std::vector<std::unique_ptr<Datatype>> Datatypes;
+  std::map<std::string, Datatype *> DatatypeIndex;
+  std::map<std::string, TypePtr> DatatypeTypes;
+  std::map<std::string, RecFunction> Functions;
+  std::vector<std::string> FunctionOrder;
+};
+
+/// Signature of an unknown function from the skeleton's set U.
+struct UnknownSig {
+  std::string Name;
+  std::vector<TypePtr> ArgTypes;
+  TypePtr RetTy;
+};
+
+/// A recursion synthesis problem (Definition 4.1):
+///   ∃U ∀x:θ, e⃗ · Iθ(x) ⇒ G[U](e⃗, x) = f(e⃗, r(x))
+/// where e⃗ are optional shared scalar parameters (e.g. the query value x in
+/// the `frequency` example of §2).
+struct Problem {
+  std::shared_ptr<Program> Prog;
+
+  /// Reference function f : extras × τ → D.
+  std::string Reference;
+  /// Target recursion skeleton G[U] : extras × θ → D.
+  std::string Target;
+  /// Representation function r : θ → τ (no extra parameters).
+  std::string Repr;
+  /// True when r is the (auto-generated) identity; elimination units and
+  /// verification goals then use `f(e⃗, y)` directly instead of
+  /// `f(e⃗, r(y))`, which keeps terms aligned with user-written invariants
+  /// and helps the induction prover.
+  bool ReprIdentity = false;
+  /// Type invariant Iθ : θ → Bool; empty means `true`.
+  std::string Invariant;
+  /// Optional user hint: a plain predicate over D asserting an invariant of
+  /// the image of f∘r (the paper's `[@@ensures]`).
+  std::string Ensures;
+
+  /// Unknowns collected from the target skeleton.
+  std::vector<UnknownSig> Unknowns;
+
+  const Datatype *Theta = nullptr;
+  const Datatype *Tau = nullptr;
+  /// Shared scalar output type D.
+  TypePtr RetTy;
+  /// Types of the shared extra scalar parameters.
+  std::vector<TypePtr> ExtraParamTypes;
+
+  const UnknownSig *findUnknown(const std::string &Name) const;
+};
+
+/// Validates \p P: signatures line up, all scheme functions are complete,
+/// unknowns have scalar signatures, recursive self-calls of the reference and
+/// the target pass their extra parameters through unchanged (required for
+/// recursion elimination, Definition 4.3), and terms are well-typed.
+/// Raises \c UserError with a description on failure.
+void validateProblem(const Problem &P);
+
+/// Builds the identity representation function for datatype \p D (a deep
+/// copy as a recursion scheme) and registers it in \p Prog under \p Name.
+void addIdentityRepr(Program &Prog, const Datatype *D, const std::string &Name);
+
+} // namespace se2gis
+
+#endif // SE2GIS_LANG_PROGRAM_H

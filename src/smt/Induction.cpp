@@ -1,0 +1,197 @@
+//===- Induction.cpp ------------------------------------------------------===//
+
+#include "smt/Induction.h"
+
+#include "ast/Simplify.h"
+#include "eval/SymbolicEval.h"
+#include "smt/Solver.h"
+#include "support/Diagnostics.h"
+
+#include <cassert>
+
+using namespace se2gis;
+
+TermPtr se2gis::abstractCalls(
+    const TermPtr &T, std::vector<std::pair<TermPtr, VarPtr>> &CallMemo) {
+  if (T->getKind() == TermKind::Call) {
+    for (const auto &[Known, Var] : CallMemo)
+      if (termEquals(Known, T))
+        return mkVar(Var);
+    VarPtr V = freshVar("c", T->getType());
+    CallMemo.emplace_back(T, V);
+    return mkVar(V);
+  }
+  // Rebuild children (a Call nested under another Call's argument is part of
+  // the outer call's structural key, so we only recurse on non-call nodes).
+  bool Changed = false;
+  std::vector<TermPtr> NewArgs;
+  NewArgs.reserve(T->numArgs());
+  for (const TermPtr &A : T->getArgs()) {
+    TermPtr NA = abstractCalls(A, CallMemo);
+    Changed |= NA.get() != A.get();
+    NewArgs.push_back(std::move(NA));
+  }
+  if (!Changed)
+    return T;
+  switch (T->getKind()) {
+  case TermKind::Op:
+    return mkOp(T->getOp(), std::move(NewArgs));
+  case TermKind::Tuple:
+    return mkTuple(std::move(NewArgs));
+  case TermKind::Proj:
+    return mkProj(std::move(NewArgs[0]), T->getIndex());
+  case TermKind::Ctor:
+    return mkCtor(T->getCtor(), std::move(NewArgs));
+  case TermKind::Unknown:
+    return mkUnknown(T->getCallee(), T->getType(), std::move(NewArgs));
+  default:
+    fatalError("leaf node with arguments");
+  }
+}
+
+bool se2gis::matchTermPattern(const TermPtr &Pattern, const TermPtr &T,
+                              Substitution &Binding) {
+  if (Pattern->getKind() == TermKind::Var) {
+    if (!sameType(Pattern->getVar()->Ty, T->getType()))
+      return false;
+    Binding.emplace_back(Pattern->getVar()->Id, T);
+    return true;
+  }
+  if (Pattern->getKind() != T->getKind() ||
+      Pattern->numArgs() != T->numArgs())
+    return false;
+  switch (Pattern->getKind()) {
+  case TermKind::Ctor:
+    if (Pattern->getCtor() != T->getCtor())
+      return false;
+    break;
+  case TermKind::IntLit:
+    return Pattern->getIntValue() == T->getIntValue();
+  case TermKind::BoolLit:
+    return Pattern->getBoolValue() == T->getBoolValue();
+  case TermKind::Tuple:
+    break;
+  default:
+    return false;
+  }
+  for (size_t I = 0; I < Pattern->numArgs(); ++I)
+    if (!matchTermPattern(Pattern->getArg(I), T->getArg(I), Binding))
+      return false;
+  return true;
+}
+
+namespace {
+
+/// Abstraction validity check: stuck calls become shared fresh variables.
+bool caseValid(const TermPtr &CaseFormula, int TimeoutMs) {
+  std::vector<std::pair<TermPtr, VarPtr>> Memo;
+  TermPtr Scalar = abstractCalls(CaseFormula, Memo);
+  // Any datatype variables left outside calls (e.g. in equalities between
+  // data terms) cannot be handled; give up on this case.
+  for (const VarPtr &V : freeVars(Scalar))
+    if (!V->Ty->isScalar())
+      return false;
+  return checkValidity(Scalar, TimeoutMs) == SmtResult::Unsat;
+}
+
+bool tryInductionOn(const Program &Prog, const TermPtr &Goal, const VarPtr &X,
+                    const InductionOptions &Opts) {
+  SymbolicEvaluator SE(Prog);
+  SE.bindUnknowns(Opts.Bindings);
+  const Datatype *D = X->Ty->getDatatype();
+
+  for (unsigned CI = 0; CI < D->numConstructors(); ++CI) {
+    const ConstructorDecl &C = D->getConstructor(CI);
+
+    std::vector<VarPtr> Fields;
+    std::vector<TermPtr> FieldTerms;
+    for (const TypePtr &FT : C.Fields) {
+      VarPtr F = freshVar("h", FT);
+      Fields.push_back(F);
+      FieldTerms.push_back(mkVar(F));
+    }
+
+    Substitution InstMap;
+    InstMap.emplace_back(X->Id, mkCtor(&C, FieldTerms));
+    TermPtr Inst;
+    try {
+      Inst = SE.eval(substitute(Goal, InstMap));
+    } catch (const UserError &) {
+      return false;
+    }
+
+    std::vector<TermPtr> Hyps;
+    for (size_t FI = 0; FI < Fields.size(); ++FI) {
+      if (!C.Fields[FI]->isData() ||
+          C.Fields[FI]->getDatatype() != D)
+        continue;
+      Substitution HypMap;
+      HypMap.emplace_back(X->Id, FieldTerms[FI]);
+      try {
+        Hyps.push_back(SE.eval(substitute(Goal, HypMap)));
+      } catch (const UserError &) {
+        return false;
+      }
+    }
+
+    // Instantiate the auxiliary lemmas whose pattern matches this case.
+    // Lemmas with a bare-variable pattern (image invariants of f∘r) are
+    // instantiated at every recursive field instead, where they constrain
+    // the stuck calls shared with the hypotheses.
+    TermPtr CaseTerm = mkCtor(&C, FieldTerms);
+    std::vector<std::pair<TermPtr, Substitution>> LemmaInstances;
+    for (const ShapeLemma &L : Opts.Lemmas) {
+      if (L.Pattern->getKind() == TermKind::Var) {
+        for (size_t FI = 0; FI < Fields.size(); ++FI) {
+          if (!sameType(C.Fields[FI], L.Pattern->getVar()->Ty))
+            continue;
+          Substitution Binding;
+          Binding.emplace_back(L.Pattern->getVar()->Id, FieldTerms[FI]);
+          LemmaInstances.emplace_back(L.Formula, std::move(Binding));
+        }
+        continue;
+      }
+      Substitution Binding;
+      if (matchTermPattern(L.Pattern, CaseTerm, Binding))
+        LemmaInstances.emplace_back(L.Formula, std::move(Binding));
+    }
+    for (auto &[Formula, Binding] : LemmaInstances) {
+      try {
+        Hyps.push_back(SE.eval(substitute(Formula, Binding)));
+      } catch (const UserError &) {
+        return false;
+      }
+    }
+
+    TermPtr CaseFormula =
+        Hyps.empty() ? Inst : mkOp(OpKind::Implies, {mkAndList(Hyps), Inst});
+    if (!caseValid(simplify(CaseFormula), Opts.PerQueryTimeoutMs))
+      return false;
+  }
+  return true;
+}
+
+} // namespace
+
+bool se2gis::proveByInduction(const Program &Prog, const TermPtr &Goal,
+                              const InductionOptions &Opts) {
+  std::vector<VarPtr> DataVars;
+  for (const VarPtr &V : freeVars(Goal))
+    if (V->Ty->isData())
+      DataVars.push_back(V);
+
+  if (DataVars.empty()) {
+    std::vector<std::pair<TermPtr, VarPtr>> Memo;
+    TermPtr Scalar = abstractCalls(Goal, Memo);
+    return checkValidity(Scalar, Opts.PerQueryTimeoutMs) == SmtResult::Unsat;
+  }
+
+  int Tried = 0;
+  for (const VarPtr &X : DataVars) {
+    if (Tried++ >= Opts.MaxInductionVars)
+      break;
+    if (tryInductionOn(Prog, Goal, X, Opts))
+      return true;
+  }
+  return false;
+}

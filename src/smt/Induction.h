@@ -1,0 +1,68 @@
+//===- Induction.h - One-step structural induction prover -------*- C++-*-===//
+///
+/// \file
+/// Proves goals of the form  ∀ z⃗, x:θ · P(x, z⃗)  by one-step structural
+/// induction on a datatype variable, discharging each constructor case to Z3
+/// as a quantifier-free query in which stuck recursive calls are abstracted
+/// into fresh variables (congruence by structural term equality).
+///
+/// This replaces the paper's use of CVC4's induction support (§8): the SMT
+/// calls for invariant inference "are implemented as parallel calls to two
+/// solver instances — one attempts to prove by induction, the second does a
+/// bounded check of its negation". Our induction channel is this prover; the
+/// bounded channel is smt/BoundedCheck.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SE2GIS_SMT_INDUCTION_H
+#define SE2GIS_SMT_INDUCTION_H
+
+#include "eval/Interp.h"
+#include "lang/Program.h"
+
+namespace se2gis {
+
+/// An auxiliary lemma instantiated during induction: when a constructor
+/// case `x := C(fields)` matches \c Pattern (variables in the pattern bind
+/// the fields), \c Formula is substituted accordingly and added to the
+/// case's hypotheses. SE²GIS feeds the invariants learned by the coarsening
+/// loop back into the final solution proof this way.
+struct ShapeLemma {
+  TermPtr Pattern;
+  TermPtr Formula;
+};
+
+/// Options for the induction prover.
+struct InductionOptions {
+  /// Z3 timeout per constructor-case query (ms).
+  int PerQueryTimeoutMs = 300;
+  /// Try induction on at most this many candidate datatype variables.
+  int MaxInductionVars = 2;
+  /// Optional solution bindings inlined during evaluation.
+  const UnknownBindings *Bindings = nullptr;
+  /// Auxiliary lemmas (see ShapeLemma).
+  std::vector<ShapeLemma> Lemmas;
+};
+
+/// Structural matching of \p Pattern (constructors/tuples/literals with
+/// variable leaves) against \p T; variable leaves bind subterms of the same
+/// type. \returns true and extends \p Binding on success.
+bool matchTermPattern(const TermPtr &Pattern, const TermPtr &T,
+                      Substitution &Binding);
+
+/// Attempts to prove that \p Goal (a boolean term whose free variables are
+/// implicitly universally quantified; datatype variables allowed) is valid.
+/// \returns true only on a successful proof; false means "not proved", not
+/// "refuted".
+bool proveByInduction(const Program &Prog, const TermPtr &Goal,
+                      const InductionOptions &Opts = {});
+
+/// Replaces every maximal Call-rooted subterm of \p T by a fresh scalar
+/// variable, consistently (structurally equal calls map to the same
+/// variable). Exposed for testing; \p CallMemo accumulates the mapping.
+TermPtr abstractCalls(const TermPtr &T,
+                      std::vector<std::pair<TermPtr, VarPtr>> &CallMemo);
+
+} // namespace se2gis
+
+#endif // SE2GIS_SMT_INDUCTION_H

@@ -1,0 +1,388 @@
+//===- Solver.cpp ---------------------------------------------------------===//
+
+#include "smt/Solver.h"
+
+#include "support/Counters.h"
+#include "support/Diagnostics.h"
+
+#include <z3++.h>
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+#include <sstream>
+
+using namespace se2gis;
+
+// --- SmtModel -----------------------------------------------------------===//
+
+void SmtModel::bind(const VarPtr &V, ValuePtr Val) {
+  Assignments.emplace_back(V, std::move(Val));
+}
+
+ValuePtr SmtModel::lookup(unsigned Id) const {
+  for (const auto &[V, Val] : Assignments)
+    if (V->Id == Id)
+      return Val;
+  return nullptr;
+}
+
+std::string SmtModel::str() const {
+  std::ostringstream OS;
+  OS << '[';
+  for (size_t I = 0; I < Assignments.size(); ++I) {
+    if (I)
+      OS << ", ";
+    OS << Assignments[I].first->Name << " <- " << Assignments[I].second->str();
+  }
+  OS << ']';
+  return OS.str();
+}
+
+// --- Translation --------------------------------------------------------===//
+
+namespace {
+
+/// Appends the scalar leaf types of \p Ty (tuples flattened) to \p Out.
+void flattenType(const TypePtr &Ty, std::vector<TypePtr> &Out) {
+  if (Ty->isTuple()) {
+    for (const TypePtr &E : Ty->tupleElems())
+      flattenType(E, Out);
+    return;
+  }
+  if (!Ty->isInt() && !Ty->isBool())
+    fatalError("non-scalar type reached the SMT solver: " + Ty->str());
+  Out.push_back(Ty);
+}
+
+size_t flatWidth(const TypePtr &Ty) {
+  std::vector<TypePtr> Leaves;
+  flattenType(Ty, Leaves);
+  return Leaves.size();
+}
+
+} // namespace
+
+struct SmtQuery::Impl {
+  z3::context Ctx;
+  z3::solver Solver;
+  std::map<unsigned, std::pair<VarPtr, std::vector<z3::expr>>> VarCache;
+  std::map<std::string, std::vector<z3::func_decl>> UnknownCache;
+  std::vector<TermPtr> Requests;
+  std::vector<z3::expr> SoftIndicators;
+
+  Impl() : Solver(Ctx) {}
+
+  z3::sort sortOf(const TypePtr &Ty) {
+    return Ty->isInt() ? Ctx.int_sort() : Ctx.bool_sort();
+  }
+
+  const std::vector<z3::expr> &varExprs(const VarPtr &V) {
+    auto It = VarCache.find(V->Id);
+    if (It != VarCache.end())
+      return It->second.second;
+    std::vector<TypePtr> Leaves;
+    flattenType(V->Ty, Leaves);
+    std::vector<z3::expr> Exprs;
+    for (size_t I = 0; I < Leaves.size(); ++I) {
+      std::string Name = "v" + std::to_string(V->Id) +
+                         (Leaves.size() > 1 ? "_" + std::to_string(I) : "");
+      Exprs.push_back(Ctx.constant(Name.c_str(), sortOf(Leaves[I])));
+    }
+    auto [Pos, Inserted] =
+        VarCache.emplace(V->Id, std::make_pair(V, std::move(Exprs)));
+    (void)Inserted;
+    return Pos->second.second;
+  }
+
+  const std::vector<z3::func_decl> &unknownDecls(const Term &U) {
+    auto It = UnknownCache.find(U.getCallee());
+    if (It != UnknownCache.end())
+      return It->second;
+    z3::sort_vector Domain(Ctx);
+    for (const TermPtr &A : U.getArgs()) {
+      std::vector<TypePtr> Leaves;
+      flattenType(A->getType(), Leaves);
+      for (const TypePtr &L : Leaves)
+        Domain.push_back(sortOf(L));
+    }
+    std::vector<TypePtr> RetLeaves;
+    flattenType(U.getType(), RetLeaves);
+    std::vector<z3::func_decl> Decls;
+    for (size_t I = 0; I < RetLeaves.size(); ++I) {
+      std::string Name = "u_" + U.getCallee() +
+                         (RetLeaves.size() > 1 ? "_" + std::to_string(I) : "");
+      Decls.push_back(
+          Ctx.function(Name.c_str(), Domain, sortOf(RetLeaves[I])));
+    }
+    auto [Pos, Inserted] =
+        UnknownCache.emplace(U.getCallee(), std::move(Decls));
+    (void)Inserted;
+    return Pos->second;
+  }
+
+  /// Translates \p T into its flattened scalar components.
+  std::vector<z3::expr> translate(const TermPtr &T) {
+    switch (T->getKind()) {
+    case TermKind::Var:
+      return varExprs(T->getVar());
+    case TermKind::IntLit:
+      return {Ctx.int_val(static_cast<int64_t>(T->getIntValue()))};
+    case TermKind::BoolLit:
+      return {Ctx.bool_val(T->getBoolValue())};
+    case TermKind::Tuple: {
+      std::vector<z3::expr> Out;
+      for (const TermPtr &A : T->getArgs())
+        for (z3::expr &E : translate(A))
+          Out.push_back(std::move(E));
+      return Out;
+    }
+    case TermKind::Proj: {
+      std::vector<z3::expr> Tup = translate(T->getArg(0));
+      const auto &Elems = T->getArg(0)->getType()->tupleElems();
+      size_t Offset = 0;
+      for (unsigned I = 0; I < T->getIndex(); ++I)
+        Offset += flatWidth(Elems[I]);
+      size_t Width = flatWidth(Elems[T->getIndex()]);
+      return std::vector<z3::expr>(Tup.begin() + Offset,
+                                   Tup.begin() + Offset + Width);
+    }
+    case TermKind::Unknown: {
+      const std::vector<z3::func_decl> &Decls = unknownDecls(*T);
+      z3::expr_vector Args(Ctx);
+      for (const TermPtr &A : T->getArgs())
+        for (z3::expr &E : translate(A))
+          Args.push_back(E);
+      std::vector<z3::expr> Out;
+      for (const z3::func_decl &D : Decls)
+        Out.push_back(D(Args));
+      return Out;
+    }
+    case TermKind::Op:
+      return translateOp(T);
+    case TermKind::Ctor:
+    case TermKind::Call:
+    case TermKind::Hole:
+      fatalError("unreduced term reached the SMT solver: " + T->str());
+    }
+    fatalError("bad term kind");
+  }
+
+  std::vector<z3::expr> translateOp(const TermPtr &T) {
+    OpKind Op = T->getOp();
+
+    if (Op == OpKind::Ite) {
+      z3::expr C = translate(T->getArg(0))[0];
+      std::vector<z3::expr> Then = translate(T->getArg(1));
+      std::vector<z3::expr> Else = translate(T->getArg(2));
+      std::vector<z3::expr> Out;
+      for (size_t I = 0; I < Then.size(); ++I)
+        Out.push_back(z3::ite(C, Then[I], Else[I]));
+      return Out;
+    }
+    if (Op == OpKind::Eq || Op == OpKind::Ne) {
+      std::vector<z3::expr> A = translate(T->getArg(0));
+      std::vector<z3::expr> B = translate(T->getArg(1));
+      z3::expr_vector Eqs(Ctx);
+      for (size_t I = 0; I < A.size(); ++I)
+        Eqs.push_back(A[I] == B[I]);
+      z3::expr All = z3::mk_and(Eqs);
+      return {Op == OpKind::Eq ? All : !All};
+    }
+    if (Op == OpKind::And || Op == OpKind::Or) {
+      z3::expr_vector Parts(Ctx);
+      for (const TermPtr &A : T->getArgs())
+        Parts.push_back(translate(A)[0]);
+      return {Op == OpKind::And ? z3::mk_and(Parts) : z3::mk_or(Parts)};
+    }
+
+    std::vector<z3::expr> Args;
+    for (const TermPtr &A : T->getArgs())
+      Args.push_back(translate(A)[0]);
+    switch (Op) {
+    case OpKind::Add:
+      return {Args[0] + Args[1]};
+    case OpKind::Sub:
+      return {Args[0] - Args[1]};
+    case OpKind::Neg:
+      return {-Args[0]};
+    case OpKind::Mul:
+      return {Args[0] * Args[1]};
+    case OpKind::Div:
+      return {Args[0] / Args[1]};
+    case OpKind::Mod:
+      return {z3::mod(Args[0], Args[1])};
+    case OpKind::Min:
+      return {z3::ite(Args[0] <= Args[1], Args[0], Args[1])};
+    case OpKind::Max:
+      return {z3::ite(Args[0] >= Args[1], Args[0], Args[1])};
+    case OpKind::Abs:
+      return {z3::ite(Args[0] >= 0, Args[0], -Args[0])};
+    case OpKind::Lt:
+      return {Args[0] < Args[1]};
+    case OpKind::Le:
+      return {Args[0] <= Args[1]};
+    case OpKind::Gt:
+      return {Args[0] > Args[1]};
+    case OpKind::Ge:
+      return {Args[0] >= Args[1]};
+    case OpKind::Not:
+      return {!Args[0]};
+    case OpKind::Implies:
+      return {z3::implies(Args[0], Args[1])};
+    default:
+      fatalError("unhandled operator in SMT translation");
+    }
+  }
+
+  /// Reads one scalar leaf back from the model.
+  ValuePtr leafValue(const z3::model &M, const z3::expr &E,
+                     const TypePtr &Ty) {
+    z3::expr V = M.eval(E, /*model_completion=*/true);
+    if (Ty->isInt()) {
+      int64_t N = 0;
+      if (!V.is_numeral_i64(N))
+        fatalError("non-numeral model value");
+      return Value::mkInt(N);
+    }
+    return Value::mkBool(V.is_true());
+  }
+
+  /// Reassembles a (possibly tuple) value from flattened components.
+  ValuePtr rebuild(const z3::model &M, const TypePtr &Ty,
+                   const std::vector<z3::expr> &Comps, size_t &Cursor) {
+    if (Ty->isTuple()) {
+      std::vector<ValuePtr> Elems;
+      for (const TypePtr &E : Ty->tupleElems())
+        Elems.push_back(rebuild(M, E, Comps, Cursor));
+      return Value::mkTuple(std::move(Elems));
+    }
+    return leafValue(M, Comps[Cursor++], Ty);
+  }
+};
+
+// --- SmtQuery -----------------------------------------------------------===//
+
+SmtQuery::SmtQuery() : I(std::make_unique<Impl>()) {}
+SmtQuery::~SmtQuery() = default;
+
+void SmtQuery::add(const TermPtr &Assertion) {
+  assert(Assertion->getType()->isBool() && "assertions must be boolean");
+  try {
+    I->Solver.add(I->translate(Assertion)[0]);
+  } catch (const z3::exception &E) {
+    fatalError(std::string("Z3 error while asserting: ") + E.msg());
+  }
+}
+
+void SmtQuery::addSoft(const TermPtr &Assertion) {
+  assert(Assertion->getType()->isBool() && "assertions must be boolean");
+  try {
+    std::string Name = "soft!" + std::to_string(I->SoftIndicators.size());
+    z3::expr B = I->Ctx.bool_const(Name.c_str());
+    I->Solver.add(z3::implies(B, I->translate(Assertion)[0]));
+    I->SoftIndicators.push_back(B);
+  } catch (const z3::exception &E) {
+    fatalError(std::string("Z3 error while asserting: ") + E.msg());
+  }
+}
+
+void SmtQuery::requestValue(const TermPtr &T) { I->Requests.push_back(T); }
+
+SmtResult SmtQuery::checkSat(int TimeoutMs, SmtModel *ModelOut,
+                             std::vector<ValuePtr> *ValuesOut) {
+  countEvent(CounterKind::SmtChecks);
+  try {
+    // Budget via Z3's deterministic resource limit rather than the
+    // wall-clock "timeout" parameter: the latter spawns a timer thread per
+    // query, which can deadlock under the harness's query churn (and makes
+    // runs non-reproducible). The conversion factor approximates
+    // miliseconds on commodity hardware.
+    z3::params P(I->Ctx);
+    unsigned long long Rlimit =
+        static_cast<unsigned long long>(TimeoutMs > 0 ? TimeoutMs : 1) *
+        50000ULL;
+    P.set("rlimit", static_cast<unsigned>(
+                        Rlimit > 4000000000ULL ? 4000000000ULL : Rlimit));
+    I->Solver.set(P);
+
+    // Translate the requests before checking so their symbols exist.
+    std::vector<std::vector<z3::expr>> RequestExprs;
+    for (const TermPtr &R : I->Requests)
+      RequestExprs.push_back(I->translate(R));
+
+    // MaxSAT-lite over the soft assumptions: drop unsat-core members until
+    // the hard assertions plus remaining assumptions are satisfiable.
+    std::vector<z3::expr> Active = I->SoftIndicators;
+    z3::check_result R;
+    while (true) {
+      z3::expr_vector Assumptions(I->Ctx);
+      for (const z3::expr &B : Active)
+        Assumptions.push_back(B);
+      R = Active.empty() ? I->Solver.check()
+                         : I->Solver.check(Assumptions);
+      if (R != z3::unsat || Active.empty())
+        break;
+      z3::expr_vector Core = I->Solver.unsat_core();
+      if (Core.empty()) {
+        // The hard assertions alone are unsat.
+        Active.clear();
+        continue;
+      }
+      size_t Before = Active.size();
+      for (unsigned K = 0; K < Core.size(); ++K) {
+        z3::expr C = Core[K];
+        Active.erase(std::remove_if(Active.begin(), Active.end(),
+                                    [&](const z3::expr &B) {
+                                      return z3::eq(B, C);
+                                    }),
+                     Active.end());
+      }
+      if (Active.size() == Before)
+        Active.clear(); // defensive: guarantee progress
+    }
+    if (R == z3::unsat)
+      return SmtResult::Unsat;
+    if (R == z3::unknown)
+      return SmtResult::Unknown;
+
+    if (ModelOut || ValuesOut) {
+      z3::model M = I->Solver.get_model();
+      if (ModelOut) {
+        for (const auto &[Id, Entry] : I->VarCache) {
+          (void)Id;
+          size_t Cursor = 0;
+          ModelOut->bind(Entry.first,
+                         I->rebuild(M, Entry.first->Ty, Entry.second, Cursor));
+        }
+      }
+      if (ValuesOut) {
+        for (size_t K = 0; K < RequestExprs.size(); ++K) {
+          size_t Cursor = 0;
+          ValuesOut->push_back(I->rebuild(M, I->Requests[K]->getType(),
+                                          RequestExprs[K], Cursor));
+        }
+      }
+    }
+    return SmtResult::Sat;
+  } catch (const z3::exception &E) {
+    fatalError(std::string("Z3 error during check: ") + E.msg());
+  }
+}
+
+// --- Convenience wrappers ------------------------------------------------===//
+
+SmtResult se2gis::quickCheck(const std::vector<TermPtr> &Assertions,
+                             int TimeoutMs, SmtModel *ModelOut) {
+  SmtQuery Q;
+  for (const TermPtr &A : Assertions)
+    Q.add(A);
+  return Q.checkSat(TimeoutMs, ModelOut);
+}
+
+SmtResult se2gis::checkValidity(const TermPtr &Formula, int TimeoutMs,
+                                SmtModel *CounterOut) {
+  SmtQuery Q;
+  Q.add(mkNot(Formula));
+  return Q.checkSat(TimeoutMs, CounterOut);
+}

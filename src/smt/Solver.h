@@ -1,0 +1,97 @@
+//===- Solver.h - Z3-backed SMT queries over scalar terms -------*- C++-*-===//
+///
+/// \file
+/// The only interface to Z3 in the code base. By design every query the
+/// SE²GIS stack emits is *scalar*: terms over Int/Bool/tuple variables,
+/// builtin operators, and (optionally) unknown-function applications that are
+/// encoded as uninterpreted functions (this is how the SGE synthesis step
+/// finds candidate input/output tables, and how Algorithm 1 solves for
+/// witness model pairs). Datatype values and recursive calls never reach the
+/// solver; the evaluators reduce them away first.
+///
+/// Tuples are scalarized during translation: a tuple-typed variable becomes
+/// one Z3 constant per flattened component, equality becomes a conjunction,
+/// and tuple-returning unknowns become one uninterpreted function per
+/// component.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SE2GIS_SMT_SOLVER_H
+#define SE2GIS_SMT_SOLVER_H
+
+#include "ast/Term.h"
+#include "eval/Value.h"
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+namespace se2gis {
+
+/// Outcome of a satisfiability query.
+enum class SmtResult : unsigned char { Sat, Unsat, Unknown };
+
+/// A scalar model: values for the free variables of a query.
+class SmtModel {
+public:
+  void bind(const VarPtr &V, ValuePtr Val);
+
+  /// \returns the value of variable \p Id, or nullptr.
+  ValuePtr lookup(unsigned Id) const;
+
+  const std::vector<std::pair<VarPtr, ValuePtr>> &assignments() const {
+    return Assignments;
+  }
+
+  std::string str() const;
+
+private:
+  std::vector<std::pair<VarPtr, ValuePtr>> Assignments;
+};
+
+/// A single satisfiability query. Build one per check; cheap to construct.
+class SmtQuery {
+public:
+  SmtQuery();
+  ~SmtQuery();
+  SmtQuery(const SmtQuery &) = delete;
+  SmtQuery &operator=(const SmtQuery &) = delete;
+
+  /// Adds a boolean scalar assertion.
+  void add(const TermPtr &Assertion);
+
+  /// Adds a *soft* assertion: \c checkSat tries to satisfy as many soft
+  /// assertions as possible, iteratively dropping unsat-core members
+  /// (MaxSAT-lite). Used to anchor EUF models to the previous candidate's
+  /// predictions so underconstrained cells don't get arbitrary values.
+  void addSoft(const TermPtr &Assertion);
+
+  /// Requests the value of scalar term \p T in a sat model; results are
+  /// returned by \c checkSat in request order.
+  void requestValue(const TermPtr &T);
+
+  /// Runs the check with a per-query timeout.
+  /// \param ModelOut if non-null and Sat, receives values for all free
+  ///        variables seen in assertions.
+  /// \param ValuesOut if non-null and Sat, receives the requested values.
+  SmtResult checkSat(int TimeoutMs, SmtModel *ModelOut = nullptr,
+                     std::vector<ValuePtr> *ValuesOut = nullptr);
+
+private:
+  struct Impl;
+  std::unique_ptr<Impl> I;
+};
+
+/// Convenience: is the conjunction of \p Assertions satisfiable?
+SmtResult quickCheck(const std::vector<TermPtr> &Assertions, int TimeoutMs,
+                     SmtModel *ModelOut = nullptr);
+
+/// Convenience: is \p Formula valid (i.e. its negation unsatisfiable)?
+/// Returns Sat if a countermodel exists (stored in \p CounterOut), Unsat if
+/// valid, Unknown otherwise.
+SmtResult checkValidity(const TermPtr &Formula, int TimeoutMs,
+                        SmtModel *CounterOut = nullptr);
+
+} // namespace se2gis
+
+#endif // SE2GIS_SMT_SOLVER_H

@@ -1,0 +1,37 @@
+//===- Benchmarks.cpp -----------------------------------------------------===//
+
+#include "suite/Benchmarks.h"
+
+#include "frontend/Elaborate.h"
+#include "support/Diagnostics.h"
+
+using namespace se2gis;
+
+const std::vector<BenchmarkDef> &se2gis::allBenchmarks() {
+  static const std::vector<BenchmarkDef> Registry = [] {
+    std::vector<BenchmarkDef> Out;
+    addListBenchmarks(Out);
+    addSortedBenchmarks(Out);
+    addTreeBenchmarks(Out);
+    addParallelBenchmarks(Out);
+    addExtraBenchmarks(Out);
+    addUnrealizableBenchmarks(Out);
+    return Out;
+  }();
+  return Registry;
+}
+
+const BenchmarkDef *se2gis::findBenchmark(const std::string &Name) {
+  for (const BenchmarkDef &B : allBenchmarks())
+    if (B.Name == Name)
+      return &B;
+  return nullptr;
+}
+
+Problem se2gis::loadBenchmark(const BenchmarkDef &Def) {
+  try {
+    return loadProblem(Def.Source);
+  } catch (const UserError &E) {
+    userError("benchmark '" + Def.Name + "': " + E.what());
+  }
+}

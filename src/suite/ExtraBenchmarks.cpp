@@ -1,0 +1,276 @@
+//===- ExtraBenchmarks.cpp - Additional realizable benchmarks -------------===//
+///
+/// \file
+/// Additional realizable benchmarks rounding the suite out to the paper's
+/// scale: indexed lists (key/value recursion with extra parameters), more
+/// tree traversals, and further parallelization joins.
+///
+//===----------------------------------------------------------------------===//
+
+#include "suite/Benchmarks.h"
+
+using namespace se2gis;
+
+namespace {
+
+const char *ZPrelude = R"(
+type list = Nil | Cons of int * list
+)";
+
+const char *TreePrelude = R"(
+type tree = Leaf of int | Node of int * tree * tree
+)";
+
+const char *ParPrelude = R"(
+type clist = Single of int | Concat of clist * clist
+type list = Elt of int | Cons of int * list
+
+let rec repr = function
+  | Single a -> Elt a
+  | Concat (x, y) -> app (repr y) x
+and app (l : list) = function
+  | Single a -> Cons (a, l)
+  | Concat (x, y) -> app (app l y) x
+)";
+
+void add(std::vector<BenchmarkDef> &Out, const char *Name,
+         const char *Category, std::string Source,
+         double PaperSe2gis = kPaperNotReported,
+         double PaperSegisUc = kPaperNotReported,
+         double PaperSegis = kPaperNotReported) {
+  BenchmarkDef B;
+  B.Name = Name;
+  B.Category = Category;
+  B.Source = std::move(Source);
+  B.ExpectRealizable = true;
+  B.PaperSe2gisSec = PaperSe2gis;
+  B.PaperSegisUcSec = PaperSegisUc;
+  B.PaperSegisSec = PaperSegis;
+  Out.push_back(std::move(B));
+}
+
+} // namespace
+
+void se2gis::addExtraBenchmarks(std::vector<BenchmarkDef> &Out) {
+  add(Out, "list/count_lt_x", "Plain List", std::string(ZPrelude) + R"(
+let rec clt (x : int) = function
+  | Nil -> 0
+  | Cons (a, l) -> (if a < x then 1 else 0) + clt x l
+let rec tclt (x : int) : int = function
+  | Nil -> $f0
+  | Cons (a, l) -> $f1 x a (tclt x l)
+synthesize tclt equiv clt
+)");
+
+  add(Out, "list/sum_between", "Plain List", std::string(ZPrelude) + R"(
+let rec sb (lo : int) (hi : int) = function
+  | Nil -> 0
+  | Cons (a, l) -> (if lo <= a && a <= hi then a else 0) + sb lo hi l
+let rec tsb (lo : int) (hi : int) : int = function
+  | Nil -> $f0
+  | Cons (a, l) -> $f1 lo hi a (tsb lo hi l)
+synthesize tsb equiv sb
+)",
+      0.684);
+
+  add(Out, "list/exists_gt", "Plain List", std::string(ZPrelude) + R"(
+let rec eg (x : int) = function
+  | Nil -> false
+  | Cons (a, l) -> a > x || eg x l
+let rec teg (x : int) : bool = function
+  | Nil -> $f0
+  | Cons (a, l) -> $f1 x a (teg x l)
+synthesize teg equiv eg
+)");
+
+  add(Out, "list/all_positive", "Plain List", std::string(ZPrelude) + R"(
+let rec ap = function
+  | Nil -> true
+  | Cons (a, l) -> a > 0 && ap l
+let rec tap : bool = function
+  | Nil -> $f0
+  | Cons (a, l) -> $f1 a (tap l)
+synthesize tap equiv ap
+)");
+
+  add(Out, "list/range_span", "Plain List", std::string(ZPrelude) + R"(
+let rec rs = function
+  | Nil -> (0, 0)
+  | Cons (a, l) ->
+    let mn, mx = rs l in
+    (min a mn, max a mx)
+let rec trs : int * int = function
+  | Nil -> $g0
+  | Cons (a, l) -> $g1 a (trs l)
+synthesize trs equiv rs
+)");
+
+  add(Out, "list/alternating_sum", "Plain List", std::string(ZPrelude) + R"(
+(* Sum with alternating signs, tracked with the parity of the length. *)
+let rec asum = function
+  | Nil -> (0, true)
+  | Cons (a, l) ->
+    let s, even = asum l in
+    (if even then s + a else s - a, not even)
+let rec tasum : int * bool = function
+  | Nil -> $g0
+  | Cons (a, l) -> $g1 a (tasum l)
+synthesize tasum equiv asum
+)");
+
+  add(Out, "tree/count_eq", "Plain Tree", std::string(TreePrelude) + R"(
+let rec ce (x : int) = function
+  | Leaf a -> if a = x then 1 else 0
+  | Node (a, l, r) -> (if a = x then 1 else 0) + ce x l + ce x r
+let rec tce (x : int) : int = function
+  | Leaf a -> $f0 x a
+  | Node (a, l, r) -> $f1 x a (tce x l) (tce x r)
+synthesize tce equiv ce
+)");
+
+  add(Out, "tree/max", "Plain Tree", std::string(TreePrelude) + R"(
+let rec tm = function
+  | Leaf a -> a
+  | Node (a, l, r) -> max a (max (tm l) (tm r))
+let rec ttm : int = function
+  | Leaf a -> $f0 a
+  | Node (a, l, r) -> $f1 a (ttm l) (ttm r)
+synthesize ttm equiv tm
+)");
+
+  add(Out, "tree/contains", "Plain Tree", std::string(TreePrelude) + R"(
+let rec mem (x : int) = function
+  | Leaf a -> a = x
+  | Node (a, l, r) -> a = x || mem x l || mem x r
+let rec tmem (x : int) : bool = function
+  | Leaf a -> $f0 x a
+  | Node (a, l, r) -> $f1 x a (tmem x l) (tmem x r)
+synthesize tmem equiv mem
+)");
+
+  add(Out, "tree/leaf_count", "Plain Tree", std::string(TreePrelude) + R"(
+let rec lc = function
+  | Leaf a -> 1
+  | Node (a, l, r) -> lc l + lc r
+let rec tlc : int = function
+  | Leaf a -> $f0
+  | Node (a, l, r) -> $f1 (tlc l) (tlc r)
+synthesize tlc equiv lc
+)");
+
+  add(Out, "tree/sum_and_size", "Plain Tree", std::string(TreePrelude) + R"(
+let rec ss = function
+  | Leaf a -> (a, 1)
+  | Node (a, l, r) ->
+    let sl, nl = ss l in
+    let sr, nr = ss r in
+    (a + sl + sr, 1 + nl + nr)
+let rec tss : int * int = function
+  | Leaf a -> $g0 a
+  | Node (a, l, r) -> $g1 a (tss l) (tss r)
+synthesize tss equiv ss
+)");
+
+  add(Out, "parallel/all_positive", "Parallelization",
+      std::string(ParPrelude) + R"(
+let rec ap = function
+  | Elt a -> a > 0
+  | Cons (a, l) -> a > 0 && ap l
+)" + R"(
+let rec par : bool = function
+  | Single a -> $s0 a
+  | Concat (x, y) -> $join (par x) (par y)
+synthesize par equiv ap via repr
+)");
+
+  add(Out, "parallel/exists_zero", "Parallelization",
+      std::string(ParPrelude) + R"(
+let rec ez = function
+  | Elt a -> a = 0
+  | Cons (a, l) -> a = 0 || ez l
+)" + R"(
+let rec par : bool = function
+  | Single a -> $s0 a
+  | Concat (x, y) -> $join (par x) (par y)
+synthesize par equiv ez via repr
+)");
+
+  add(Out, "parallel/count_gt0", "Parallelization",
+      std::string(ParPrelude) + R"(
+let rec cg = function
+  | Elt a -> if a > 0 then 1 else 0
+  | Cons (a, l) -> (if a > 0 then 1 else 0) + cg l
+)" + R"(
+let rec par : int = function
+  | Single a -> $s0 a
+  | Concat (x, y) -> $join (par x) (par y)
+synthesize par equiv cg via repr
+)");
+
+  add(Out, "postcond/sum_count", "Inferring Postconditions",
+      std::string(ParPrelude) + R"(
+let rec sc = function
+  | Elt a -> (a, 1)
+  | Cons (a, l) ->
+    let s, n = sc l in
+    (a + s, n + 1)
+let epost (p : int * int) = let s, n = p in n >= 1
+)" + R"(
+let rec par : int * int = function
+  | Single a -> $s0 a
+  | Concat (x, y) -> $join (par x) (par y)
+synthesize par equiv sc via repr ensures epost
+)");
+
+  add(Out, "postcond/min_sum", "Inferring Postconditions",
+      std::string(ParPrelude) + R"(
+let rec ms = function
+  | Elt a -> (a, a)
+  | Cons (a, l) ->
+    let mn, s = ms l in
+    (min a mn, a + s)
+let epost (p : int * int) = let mn, s = p in mn <= s || true
+)" + R"(
+let rec par : int * int = function
+  | Single a -> $s0 a
+  | Concat (x, y) -> $join (par x) (par y)
+synthesize par equiv ms via repr
+)");
+
+  const char *AssocPrelude = R"(
+type alist = AElt of int * int | ACons of int * int * alist
+)";
+
+  add(Out, "alist/exists_key", "Association List",
+      std::string(AssocPrelude) + R"(
+let rec ek (k : int) = function
+  | AElt (a, b) -> a = k
+  | ACons (a, b, l) -> a = k || ek k l
+let rec tek (k : int) : bool = function
+  | AElt (a, b) -> $u0 k a
+  | ACons (a, b, l) -> $u1 k a (tek k l)
+synthesize tek equiv ek
+)");
+
+  add(Out, "alist/sum_values", "Association List",
+      std::string(AssocPrelude) + R"(
+let rec sv = function
+  | AElt (a, b) -> b
+  | ACons (a, b, l) -> b + sv l
+let rec tsv : int = function
+  | AElt (a, b) -> $u0 b
+  | ACons (a, b, l) -> $u1 b (tsv l)
+synthesize tsv equiv sv
+)");
+
+  add(Out, "alist/weighted_sum", "Association List",
+      std::string(AssocPrelude) + R"(
+let rec ws = function
+  | AElt (a, b) -> a * b
+  | ACons (a, b, l) -> a * b + ws l
+let rec tws : int = function
+  | AElt (a, b) -> $u0 a b
+  | ACons (a, b, l) -> $u1 a b (tws l)
+synthesize tws equiv ws
+)");
+}

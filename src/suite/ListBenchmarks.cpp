@@ -1,0 +1,400 @@
+//===- ListBenchmarks.cpp - Plain and invariant-flavoured lists -----------===//
+///
+/// \file
+/// Benchmarks over cons-lists: plain recursion-synthesis problems (no type
+/// invariant) plus the paper's "All Elements Positive", "Elements are even
+/// numbers", "Constant List", and "Association List" categories. Paper
+/// reference times come from Table 1.
+///
+//===----------------------------------------------------------------------===//
+
+#include "suite/Benchmarks.h"
+
+using namespace se2gis;
+
+namespace {
+
+/// Possibly-empty integer lists.
+const char *ZPrelude = R"(
+type list = Nil | Cons of int * list
+)";
+
+/// Non-empty integer lists.
+const char *NPrelude = R"(
+type list = Elt of int | Cons of int * list
+)";
+
+const char *AllPos = R"(
+let rec allpos = function
+  | Elt a -> a > 0
+  | Cons (a, l) -> a > 0 && allpos l
+)";
+
+const char *AllEven = R"(
+let rec alleven = function
+  | Elt a -> a mod 2 = 0
+  | Cons (a, l) -> a mod 2 = 0 && alleven l
+)";
+
+const char *AllConst = R"(
+let rec allconst = function
+  | Elt a -> true
+  | Cons (a, l) -> a = head l && allconst l
+and head = function
+  | Elt a -> a
+  | Cons (a, l) -> a
+)";
+
+void add(std::vector<BenchmarkDef> &Out, const char *Name,
+         const char *Category, std::string Source, double PaperSe2gis,
+         double PaperSegisUc, double PaperSegis, bool ByInduction = true) {
+  BenchmarkDef B;
+  B.Name = Name;
+  B.Category = Category;
+  B.Source = std::move(Source);
+  B.ExpectRealizable = true;
+  B.PaperSe2gisSec = PaperSe2gis;
+  B.PaperSegisUcSec = PaperSegisUc;
+  B.PaperSegisSec = PaperSegis;
+  B.PaperByInduction = ByInduction;
+  Out.push_back(std::move(B));
+}
+
+} // namespace
+
+void se2gis::addListBenchmarks(std::vector<BenchmarkDef> &Out) {
+  // --- Plain lists (no invariant) -----------------------------------------
+
+  add(Out, "list/sum", "Plain List", std::string(ZPrelude) + R"(
+let rec lsum = function
+  | Nil -> 0
+  | Cons (a, l) -> a + lsum l
+let rec tsum : int = function
+  | Nil -> $f0
+  | Cons (a, l) -> $f1 a (tsum l)
+synthesize tsum equiv lsum
+)",
+      0.028, 0.023, 0.023);
+
+  add(Out, "list/length", "Plain List", std::string(ZPrelude) + R"(
+let rec llen = function
+  | Nil -> 0
+  | Cons (a, l) -> 1 + llen l
+let rec tlen : int = function
+  | Nil -> $f0
+  | Cons (a, l) -> $f1 (tlen l)
+synthesize tlen equiv llen
+)",
+      kPaperNotReported, kPaperNotReported, kPaperNotReported);
+
+  add(Out, "list/max0", "Plain List", std::string(ZPrelude) + R"(
+let rec lmax = function
+  | Nil -> 0
+  | Cons (a, l) -> max a (lmax l)
+let rec tmax : int = function
+  | Nil -> $f0
+  | Cons (a, l) -> $f1 a (tmax l)
+synthesize tmax equiv lmax
+)",
+      kPaperNotReported, kPaperNotReported, kPaperNotReported);
+
+  add(Out, "list/min0", "Plain List", std::string(ZPrelude) + R"(
+let rec lmin = function
+  | Nil -> 0
+  | Cons (a, l) -> min a (lmin l)
+let rec tmin : int = function
+  | Nil -> $f0
+  | Cons (a, l) -> $f1 a (tmin l)
+synthesize tmin equiv lmin
+)",
+      kPaperNotReported, kPaperNotReported, kPaperNotReported);
+
+  add(Out, "list/last", "Plain List", std::string(ZPrelude) + R"(
+let rec llast = function
+  | Nil -> (0, 0)
+  | Cons (a, l) ->
+    let n, z = llast l in
+    (n + 1, if n = 0 then a else z)
+let rec tlast : int * int = function
+  | Nil -> $g0
+  | Cons (a, l) -> $g1 a (tlast l)
+synthesize tlast equiv llast
+)",
+      kPaperNotReported, kPaperNotReported, kPaperNotReported);
+
+  add(Out, "list/count_eq", "Plain List", std::string(ZPrelude) + R"(
+let rec lcount (x : int) = function
+  | Nil -> 0
+  | Cons (a, l) -> (if a = x then 1 else 0) + lcount x l
+let rec tcount (x : int) : int = function
+  | Nil -> $f0
+  | Cons (a, l) -> $f1 x a (tcount x l)
+synthesize tcount equiv lcount
+)",
+      kPaperNotReported, kPaperNotReported, kPaperNotReported);
+
+  add(Out, "list/sum_odd", "Plain List", std::string(ZPrelude) + R"(
+let rec sodd = function
+  | Nil -> 0
+  | Cons (a, l) -> (if a mod 2 = 1 then a else 0) + sodd l
+let rec tsodd : int = function
+  | Nil -> $f0
+  | Cons (a, l) -> $f1 a (tsodd l)
+synthesize tsodd equiv sodd
+)",
+      kPaperNotReported, kPaperNotReported, kPaperNotReported);
+
+  add(Out, "list/poly_base2", "Plain List", std::string(ZPrelude) + R"(
+let rec horner = function
+  | Nil -> 0
+  | Cons (a, l) -> a + 2 * horner l
+let rec thorner : int = function
+  | Nil -> $f0
+  | Cons (a, l) -> $f1 a (thorner l)
+synthesize thorner equiv horner
+)",
+      kPaperNotReported, kPaperNotReported, kPaperNotReported);
+
+  add(Out, "list/mts", "Plain List", std::string(ZPrelude) + R"(
+(* Maximum tail (suffix) sum, carried with the running sum. *)
+let rec mts = function
+  | Nil -> (0, 0)
+  | Cons (a, l) ->
+    let s, m = mts l in
+    (a + s, max (a + s) m)
+let rec tmts : int * int = function
+  | Nil -> $g0
+  | Cons (a, l) -> $g1 a (tmts l)
+synthesize tmts equiv mts
+)",
+      kPaperNotReported, kPaperNotReported, kPaperNotReported);
+
+  add(Out, "list/mps", "Plain List", std::string(ZPrelude) + R"(
+(* Maximum prefix sum, carried with the running sum. *)
+let rec mps = function
+  | Nil -> (0, 0)
+  | Cons (a, l) ->
+    let s, m = mps l in
+    (a + s, max 0 (a + m))
+let rec tmps : int * int = function
+  | Nil -> $g0
+  | Cons (a, l) -> $g1 a (tmps l)
+synthesize tmps equiv mps
+)",
+      kPaperNotReported, kPaperNotReported, kPaperNotReported);
+
+  // --- All Elements Positive ------------------------------------------------
+
+  add(Out, "poslist/mps", "All Elements Positive",
+      std::string(NPrelude) + AllPos + R"(
+(* On positive lists the maximum prefix sum is the total sum, so the
+   skeleton may drop the mps component of the recursive call. *)
+let rec mps = function
+  | Elt a -> (a, max 0 a)
+  | Cons (a, l) ->
+    let s, m = mps l in
+    (a + s, max 0 (a + m))
+let rec tmps : int * int = function
+  | Elt a -> $g0 a
+  | Cons (a, l) ->
+    let s, m = tmps l in
+    $g1 a s
+synthesize tmps equiv mps requires allpos
+)",
+      0.583, 1.266, 1.187);
+
+  add(Out, "poslist/abs_sum", "All Elements Positive",
+      std::string(NPrelude) + AllPos + R"(
+let rec asum = function
+  | Elt a -> abs a
+  | Cons (a, l) -> abs a + asum l
+let rec tasum : int = function
+  | Elt a -> $f0 a
+  | Cons (a, l) -> $f1 a (tasum l)
+synthesize tasum equiv asum requires allpos
+)",
+      kPaperNotReported, kPaperNotReported, kPaperNotReported);
+
+  add(Out, "poslist/second_min", "All Elements Positive",
+      std::string(NPrelude) + AllPos + R"(
+(* (min, second-min); on positive lists the pair stays positive, which the
+   skeleton exploits by clamping with max 0. *)
+let rec smin = function
+  | Elt a -> (a, a)
+  | Cons (a, l) ->
+    let m1, m2 = smin l in
+    (min a m1, min (max a m1) m2)
+let rec tsmin : int * int = function
+  | Elt a -> $g0 a
+  | Cons (a, l) -> $g1 a (tsmin l)
+synthesize tsmin equiv smin requires allpos
+)",
+      1.136, 0.835, 0.827);
+
+  add(Out, "poslist/sum_is_positive", "All Elements Positive",
+      std::string(NPrelude) + AllPos + R"(
+(* Whether every suffix sum is positive, tracked with the sum; on positive
+   lists the flag is constantly true, so the skeleton drops it. *)
+let rec spos = function
+  | Elt a -> (a, a > 0)
+  | Cons (a, l) ->
+    let s, p = spos l in
+    (a + s, p && a + s > 0)
+let rec tspos : int * bool = function
+  | Elt a -> $g0 a
+  | Cons (a, l) ->
+    let s, p = tspos l in
+    $g1 a s
+synthesize tspos equiv spos requires allpos
+)",
+      kPaperNotReported, kPaperNotReported, kPaperNotReported);
+
+  // --- Elements are even numbers --------------------------------------------
+
+  add(Out, "evenlist/parity_of_sum", "Elements are even numbers",
+      std::string(NPrelude) + AllEven + R"(
+let rec psum = function
+  | Elt a -> a mod 2 = 1
+  | Cons (a, l) -> (a mod 2 = 1) <> psum l
+let rec tpsum : bool = function
+  | Elt a -> $u0 a
+  | Cons (a, l) -> $u1 a
+synthesize tpsum equiv psum requires alleven
+)",
+      0.019, 0.038, 0.034);
+
+  add(Out, "evenlist/parity_of_last", "Elements are even numbers",
+      std::string(NPrelude) + AllEven + R"(
+let rec plast = function
+  | Elt a -> a mod 2 = 1
+  | Cons (a, l) -> plast l
+let rec tplast : bool = function
+  | Elt a -> $u0 a
+  | Cons (a, l) -> $u1 a
+synthesize tplast equiv plast requires alleven
+)",
+      0.070, kPaperTimeout, kPaperTimeout);
+
+  add(Out, "evenlist/parity_of_first", "Elements are even numbers",
+      std::string(NPrelude) + AllEven + R"(
+let rec pfirst = function
+  | Elt a -> a mod 2 = 1
+  | Cons (a, l) -> a mod 2 = 1
+let rec tpfirst : bool = function
+  | Elt a -> $u0 a
+  | Cons (a, l) -> $u1 a
+synthesize tpfirst equiv pfirst requires alleven
+)",
+      0.178, kPaperTimeout, kPaperTimeout);
+
+  add(Out, "evenlist/first_odd", "Elements are even numbers",
+      std::string(NPrelude) + AllEven + R"(
+(* First odd element (0 when none); constant on all-even lists. *)
+let rec fodd = function
+  | Elt a -> if a mod 2 = 1 then a else 0
+  | Cons (a, l) -> if a mod 2 = 1 then a else fodd l
+let rec tfodd : int = function
+  | Elt a -> $u0 a
+  | Cons (a, l) -> $u1 a
+synthesize tfodd equiv fodd requires alleven
+)",
+      0.270, 0.041, 0.036);
+
+  add(Out, "evenlist/has_constant", "Elements are even numbers",
+      std::string(NPrelude) + AllEven + R"(
+(* Is some element equal to 1?  Never on an even list. *)
+let rec hasone = function
+  | Elt a -> a = 1
+  | Cons (a, l) -> a = 1 || hasone l
+let rec thasone : bool = function
+  | Elt a -> $u0 a
+  | Cons (a, l) -> $u1 a
+synthesize thasone equiv hasone requires alleven
+)",
+      0.005, kPaperTimeout, kPaperTimeout);
+
+  // --- Constant List ---------------------------------------------------------
+
+  add(Out, "constlist/max", "Constant List",
+      std::string(NPrelude) + AllConst + R"(
+let rec lmax = function
+  | Elt a -> a
+  | Cons (a, l) -> max a (lmax l)
+let rec tcmax : int = function
+  | Elt a -> $u0 a
+  | Cons (a, l) -> $u1 a
+synthesize tcmax equiv lmax requires allconst
+)",
+      kPaperNotReported, kPaperNotReported, kPaperNotReported);
+
+  add(Out, "constlist/contains", "Constant List",
+      std::string(NPrelude) + AllConst + R"(
+let rec lmem (x : int) = function
+  | Elt a -> a = x
+  | Cons (a, l) -> a = x || lmem x l
+let rec tcmem (x : int) : bool = function
+  | Elt a -> $u0 x a
+  | Cons (a, l) -> $u1 x a
+synthesize tcmem equiv lmem requires allconst
+)",
+      1.632, 2.278, 2.284);
+
+  add(Out, "constlist/sum_eq_head_times_len", "Constant List",
+      std::string(NPrelude) + AllConst + R"(
+(* (length, sum); on a constant list the skeleton needs only the length. *)
+let rec lens = function
+  | Elt a -> (1, a)
+  | Cons (a, l) ->
+    let n, s = lens l in
+    (n + 1, a + s)
+let rec tlens : int * int = function
+  | Elt a -> $g0 a
+  | Cons (a, l) ->
+    let n, s = tlens l in
+    $g1 a n s
+synthesize tlens equiv lens requires allconst
+)",
+      kPaperNotReported, kPaperNotReported, kPaperNotReported);
+
+  // --- Association List ------------------------------------------------------
+
+  const char *AssocPrelude = R"(
+type alist = AElt of int * int | ACons of int * int * alist
+)";
+
+  add(Out, "alist/count_key", "Association List",
+      std::string(AssocPrelude) + R"(
+let rec ckey (k : int) = function
+  | AElt (a, b) -> if a = k then 1 else 0
+  | ACons (a, b, l) -> (if a = k then 1 else 0) + ckey k l
+let rec tckey (k : int) : int = function
+  | AElt (a, b) -> $u0 k a
+  | ACons (a, b, l) -> $u1 k a (tckey k l)
+synthesize tckey equiv ckey
+)",
+      0.061, 0.060, 0.054);
+
+  add(Out, "alist/sum_matching", "Association List",
+      std::string(AssocPrelude) + R"(
+let rec smatch (k : int) = function
+  | AElt (a, b) -> if a = k then b else 0
+  | ACons (a, b, l) -> (if a = k then b else 0) + smatch k l
+let rec tsmatch (k : int) : int = function
+  | AElt (a, b) -> $u0 k a b
+  | ACons (a, b, l) -> $u1 k a b (tsmatch k l)
+synthesize tsmatch equiv smatch
+)",
+      0.060, 0.058, 0.055);
+
+  add(Out, "alist/max_value", "Association List",
+      std::string(AssocPrelude) + R"(
+let rec mval = function
+  | AElt (a, b) -> b
+  | ACons (a, b, l) -> max b (mval l)
+let rec tmval : int = function
+  | AElt (a, b) -> $u0 b
+  | ACons (a, b, l) -> $u1 b (tmval l)
+synthesize tmval equiv mval
+)",
+      kPaperNotReported, kPaperNotReported, kPaperNotReported);
+}

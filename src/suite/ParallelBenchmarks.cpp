@@ -1,0 +1,286 @@
+//===- ParallelBenchmarks.cpp - Divide-and-conquer / postconditions -------===//
+///
+/// \file
+/// The paper's "Inferring Postconditions" category and other
+/// parallelization benchmarks: the destination type is a concat-list, the
+/// source a cons-list connected by a fold-style representation function,
+/// and the interesting work is inferring invariants of the reference
+/// function's image (§7.2.2) so that the join operators become realizable.
+///
+//===----------------------------------------------------------------------===//
+
+#include "suite/Benchmarks.h"
+
+using namespace se2gis;
+
+namespace {
+
+/// Concat-lists over cons-lists with the standard fold representation.
+const char *ParPrelude = R"(
+type clist = Single of int | Concat of clist * clist
+type list = Elt of int | Cons of int * list
+)";
+
+const char *ReprDef = R"(
+let rec repr = function
+  | Single a -> Elt a
+  | Concat (x, y) -> app (repr y) x
+and app (l : list) = function
+  | Single a -> Cons (a, l)
+  | Concat (x, y) -> app (app l y) x
+)";
+
+void add(std::vector<BenchmarkDef> &Out, const char *Name,
+         const char *Category, std::string Source, double PaperSe2gis,
+         double PaperSegisUc, double PaperSegis, bool ByInduction = true) {
+  BenchmarkDef B;
+  B.Name = Name;
+  B.Category = Category;
+  B.Source = std::move(Source);
+  B.ExpectRealizable = true;
+  B.PaperSe2gisSec = PaperSe2gis;
+  B.PaperSegisUcSec = PaperSegisUc;
+  B.PaperSegisSec = PaperSegis;
+  B.PaperByInduction = ByInduction;
+  Out.push_back(std::move(B));
+}
+
+} // namespace
+
+void se2gis::addParallelBenchmarks(std::vector<BenchmarkDef> &Out) {
+  add(Out, "parallel/sum", "Parallelization",
+      std::string(ParPrelude) + R"(
+let rec lsum = function
+  | Elt a -> a
+  | Cons (a, l) -> a + lsum l
+)" + ReprDef + R"(
+let rec par : int = function
+  | Single a -> $s0 a
+  | Concat (x, y) -> $join (par x) (par y)
+synthesize par equiv lsum via repr
+)",
+      0.028, 0.023, 0.023);
+
+  add(Out, "parallel/length", "Parallelization",
+      std::string(ParPrelude) + R"(
+let rec llen = function
+  | Elt a -> 1
+  | Cons (a, l) -> 1 + llen l
+)" + ReprDef + R"(
+let rec par : int = function
+  | Single a -> $s0
+  | Concat (x, y) -> $join (par x) (par y)
+synthesize par equiv llen via repr
+)",
+      kPaperNotReported, kPaperNotReported, kPaperNotReported);
+
+  add(Out, "parallel/min", "Parallelization",
+      std::string(ParPrelude) + R"(
+let rec lmin = function
+  | Elt a -> a
+  | Cons (a, l) -> min a (lmin l)
+)" + ReprDef + R"(
+let rec par : int = function
+  | Single a -> $s0 a
+  | Concat (x, y) -> $join (par x) (par y)
+synthesize par equiv lmin via repr
+)",
+      0.503, 0.031, 0.028);
+
+  add(Out, "parallel/max", "Parallelization",
+      std::string(ParPrelude) + R"(
+let rec lmax = function
+  | Elt a -> a
+  | Cons (a, l) -> max a (lmax l)
+)" + ReprDef + R"(
+let rec par : int = function
+  | Single a -> $s0 a
+  | Concat (x, y) -> $join (par x) (par y)
+synthesize par equiv lmax via repr
+)",
+      0.937, 0.026, 0.027);
+
+  add(Out, "parallel/count_eq", "Parallelization",
+      std::string(ParPrelude) + R"(
+let rec ceq (v : int) = function
+  | Elt a -> if a = v then 1 else 0
+  | Cons (a, l) -> (if a = v then 1 else 0) + ceq v l
+)" + ReprDef + R"(
+let rec par (v : int) : int = function
+  | Single a -> $s0 v a
+  | Concat (x, y) -> $join (par v x) (par v y)
+synthesize par equiv ceq via repr
+)",
+      kPaperNotReported, kPaperNotReported, kPaperNotReported);
+
+  add(Out, "parallel/contains", "Parallelization",
+      std::string(ParPrelude) + R"(
+let rec mem (v : int) = function
+  | Elt a -> a = v
+  | Cons (a, l) -> a = v || mem v l
+)" + ReprDef + R"(
+let rec par (v : int) : bool = function
+  | Single a -> $s0 v a
+  | Concat (x, y) -> $join (par v x) (par v y)
+synthesize par equiv mem via repr
+)",
+      0.172, 0.184, 0.181);
+
+  add(Out, "postcond/mts", "Inferring Postconditions",
+      std::string(ParPrelude) + R"(
+(* Maximum tail (suffix) sum carried with the sum; joining two segments
+   requires knowing m >= 0 and m >= s on the image of the reference. *)
+let rec mts = function
+  | Elt a -> (a, max a 0)
+  | Cons (a, l) ->
+    let s, m = mts l in
+    (a + s, max (a + s) m)
+let epost (p : int * int) = let s, m = p in m >= 0 && m >= s
+)" + ReprDef + R"(
+let rec par : int * int = function
+  | Single a -> $s0 a
+  | Concat (x, y) -> $join (par x) (par y)
+synthesize par equiv mts via repr ensures epost
+)",
+      0.652, 5.511, 5.363);
+
+  add(Out, "postcond/mts_no_hint", "Inferring Postconditions",
+      std::string(ParPrelude) + R"(
+(* As postcond/mts but the image invariant must be inferred from scratch
+   -- the paper's no-hint rows. *)
+let rec mts = function
+  | Elt a -> (a, max a 0)
+  | Cons (a, l) ->
+    let s, m = mts l in
+    (a + s, max (a + s) m)
+)" + ReprDef + R"(
+let rec par : int * int = function
+  | Single a -> $s0 a
+  | Concat (x, y) -> $join (par x) (par y)
+synthesize par equiv mts via repr
+)",
+      6.636, 19.272, 19.148, false);
+
+  add(Out, "postcond/mps", "Inferring Postconditions",
+      std::string(ParPrelude) + R"(
+(* Maximum prefix sum carried with the sum. *)
+let rec mps = function
+  | Elt a -> (a, max a 0)
+  | Cons (a, l) ->
+    let s, m = mps l in
+    (a + s, max 0 (a + m))
+let epost (p : int * int) = let s, m = p in m >= 0 && m >= s
+)" + ReprDef + R"(
+let rec par : int * int = function
+  | Single a -> $s0 a
+  | Concat (x, y) -> $join (par x) (par y)
+synthesize par equiv mps via repr ensures epost
+)",
+      0.896, 3.731, 3.880);
+
+  add(Out, "postcond/mps_no_hint", "Inferring Postconditions",
+      std::string(ParPrelude) + R"(
+let rec mps = function
+  | Elt a -> (a, max a 0)
+  | Cons (a, l) ->
+    let s, m = mps l in
+    (a + s, max 0 (a + m))
+)" + ReprDef + R"(
+let rec par : int * int = function
+  | Single a -> $s0 a
+  | Concat (x, y) -> $join (par x) (par y)
+synthesize par equiv mps via repr
+)",
+      3.594, 19.859, 19.782, false);
+
+  add(Out, "postcond/sum_max", "Inferring Postconditions",
+      std::string(ParPrelude) + R"(
+(* (sum, max): max >= every element is the invariant that joins need. *)
+let rec sm = function
+  | Elt a -> (a, a)
+  | Cons (a, l) ->
+    let s, m = sm l in
+    (a + s, max a m)
+let epost (p : int * int) = let s, m = p in m >= s
+)" + ReprDef + R"(
+let rec par : int * int = function
+  | Single a -> $s0 a
+  | Concat (x, y) -> $join (par x) (par y)
+synthesize par equiv sm via repr ensures epost
+)",
+      1.072, 1.066, 1.060);
+
+  add(Out, "postcond/min_max", "Inferring Postconditions",
+      std::string(ParPrelude) + R"(
+let rec mm = function
+  | Elt a -> (a, a)
+  | Cons (a, l) ->
+    let mn, mx = mm l in
+    (min a mn, max a mx)
+let epost (p : int * int) = let mn, mx = p in mn <= mx
+)" + ReprDef + R"(
+let rec par : int * int = function
+  | Single a -> $s0 a
+  | Concat (x, y) -> $join (par x) (par y)
+synthesize par equiv mm via repr ensures epost
+)",
+      0.115, 0.651, 0.593);
+
+  add(Out, "postcond/max_count", "Inferring Postconditions",
+      std::string(ParPrelude) + R"(
+(* (max, count-of-max): joining needs max-consistency between the parts. *)
+let rec mc = function
+  | Elt a -> (a, 1)
+  | Cons (a, l) ->
+    let m, c = mc l in
+    (max a m, if a > m then 1 else if a = m then c + 1 else c)
+let epost (p : int * int) = let m, c = p in c >= 1
+)" + ReprDef + R"(
+let rec par : int * int = function
+  | Single a -> $s0 a
+  | Concat (x, y) -> $join (par x) (par y)
+synthesize par equiv mc via repr ensures epost
+)",
+      6.891, kPaperTimeout, kPaperTimeout);
+
+  add(Out, "postcond/count_positive", "Inferring Postconditions",
+      std::string(ParPrelude) + R"(
+let rec cp = function
+  | Elt a -> if a > 0 then 1 else 0
+  | Cons (a, l) -> (if a > 0 then 1 else 0) + cp l
+)" + ReprDef + R"(
+let rec par : int = function
+  | Single a -> $s0 a
+  | Concat (x, y) -> $join (par x) (par y)
+synthesize par equiv cp via repr
+)",
+      kPaperNotReported, kPaperNotReported, kPaperNotReported);
+
+  add(Out, "postcond/last", "Inferring Postconditions",
+      std::string(ParPrelude) + R"(
+(* The head of the cons representation is the *leftmost* element, which for
+   the fold representation means par must keep its left part's value. *)
+let rec hd = function
+  | Elt a -> a
+  | Cons (a, l) -> a
+)" + ReprDef + R"(
+let rec par : int = function
+  | Single a -> $s0 a
+  | Concat (x, y) -> $join (par x) (par y)
+synthesize par equiv hd via repr
+)",
+      kPaperNotReported, kPaperNotReported, kPaperNotReported);
+
+  add(Out, "postcond/sum_abs", "Inferring Postconditions",
+      std::string(ParPrelude) + R"(
+let rec sab = function
+  | Elt a -> abs a
+  | Cons (a, l) -> abs a + sab l
+)" + ReprDef + R"(
+let rec par : int = function
+  | Single a -> $s0 a
+  | Concat (x, y) -> $join (par x) (par y)
+synthesize par equiv sab via repr
+)",
+      0.536, 0.326, 0.316, false);
+}

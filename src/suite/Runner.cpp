@@ -1,0 +1,67 @@
+//===- Runner.cpp ---------------------------------------------------------===//
+
+#include "suite/Runner.h"
+
+#include "support/Diagnostics.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+using namespace se2gis;
+
+SuiteOptions se2gis::suiteOptionsFromEnv(std::int64_t DefaultTimeoutMs) {
+  SuiteOptions Opts;
+  Opts.Algo.TimeoutMs = DefaultTimeoutMs;
+  if (const char *T = std::getenv("SE2GIS_TIMEOUT_MS")) {
+    long long V = std::atoll(T);
+    if (V > 0)
+      Opts.Algo.TimeoutMs = V;
+  }
+  if (const char *F = std::getenv("SE2GIS_FILTER"))
+    Opts.Filter = F;
+  return Opts;
+}
+
+std::vector<SuiteRecord> se2gis::runSuite(const SuiteOptions &Opts) {
+  std::vector<SuiteRecord> Records;
+  for (const BenchmarkDef &Def : allBenchmarks()) {
+    if (!Opts.Filter.empty() &&
+        Def.Name.find(Opts.Filter) == std::string::npos)
+      continue;
+    if ((Opts.SkipRealizable && Def.ExpectRealizable) ||
+        (Opts.SkipUnrealizable && !Def.ExpectRealizable))
+      continue;
+    Problem P;
+    try {
+      P = loadBenchmark(Def);
+    } catch (const UserError &E) {
+      std::fprintf(stderr, "[suite] %s: load error: %s\n", Def.Name.c_str(),
+                   E.what());
+      continue;
+    }
+    for (AlgorithmKind K : Opts.Algorithms) {
+      SuiteRecord Rec;
+      Rec.Def = &Def;
+      Rec.Algorithm = K;
+      try {
+        Rec.Result = runAlgorithm(K, P, Opts.Algo);
+      } catch (const UserError &E) {
+        Rec.Result.O = Outcome::Failed;
+        Rec.Result.Detail = E.what();
+      }
+      if (Opts.Verbose)
+        std::fprintf(stderr, "[suite] %-36s %-9s %-12s %8.1f ms  %s\n",
+                     Def.Name.c_str(), algorithmName(K),
+                     outcomeName(Rec.Result.O), Rec.Result.Stats.ElapsedMs,
+                     Rec.Result.Stats.Steps.c_str());
+      Records.push_back(std::move(Rec));
+    }
+  }
+  return Records;
+}
+
+bool se2gis::isSolved(const SuiteRecord &R) {
+  if (R.Def->ExpectRealizable)
+    return R.Result.O == Outcome::Realizable;
+  return R.Result.O == Outcome::Unrealizable;
+}

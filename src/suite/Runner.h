@@ -1,0 +1,54 @@
+//===- Runner.h - Suite execution harness -----------------------*- C++-*-===//
+///
+/// \file
+/// Runs benchmarks under one or more algorithms with a per-run timeout and
+/// collects the results the table/figure generators consume. The timeout
+/// defaults to a scaled-down version of the paper's 400 s and can be
+/// overridden with the SE2GIS_TIMEOUT_MS environment variable; a benchmark
+/// subset can be selected with a substring filter (SE2GIS_FILTER).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SE2GIS_SUITE_RUNNER_H
+#define SE2GIS_SUITE_RUNNER_H
+
+#include "core/Algorithms.h"
+#include "suite/Benchmarks.h"
+
+namespace se2gis {
+
+/// One (benchmark, algorithm) execution.
+struct SuiteRecord {
+  const BenchmarkDef *Def = nullptr;
+  AlgorithmKind Algorithm = AlgorithmKind::SE2GIS;
+  RunResult Result;
+};
+
+/// Execution options for a suite sweep.
+struct SuiteOptions {
+  std::vector<AlgorithmKind> Algorithms = {AlgorithmKind::SE2GIS};
+  AlgoOptions Algo;
+  /// Only run benchmarks whose name contains this substring ("" = all).
+  std::string Filter;
+  /// Restrict to the realizable / unrealizable half of the suite.
+  bool SkipRealizable = false;
+  bool SkipUnrealizable = false;
+  /// Print one progress line per run to stderr.
+  bool Verbose = true;
+};
+
+/// Builds options from the environment: SE2GIS_TIMEOUT_MS (default
+/// \p DefaultTimeoutMs) and SE2GIS_FILTER.
+SuiteOptions suiteOptionsFromEnv(std::int64_t DefaultTimeoutMs = 5000);
+
+/// Runs the registered benchmarks under every requested algorithm.
+std::vector<SuiteRecord> runSuite(const SuiteOptions &Opts);
+
+/// \returns true when \p R counts as "solved" in the paper's sense: a
+/// correct verdict within the timeout (realizable benchmarks must be found
+/// realizable, unrealizable ones unrealizable).
+bool isSolved(const SuiteRecord &R);
+
+} // namespace se2gis
+
+#endif // SE2GIS_SUITE_RUNNER_H

@@ -1,0 +1,379 @@
+//===- TreeBenchmarks.cpp - Tree-shaped benchmark categories --------------===//
+///
+/// \file
+/// The paper's tree categories: "Binary Search Tree" (including the §2
+/// motivating `frequency` example), "Balanced Tree", "Memoizing
+/// Information", "Symmetric Tree", "Tree of Even Numbers", and "Empty
+/// (right) subtree".
+///
+//===----------------------------------------------------------------------===//
+
+#include "suite/Benchmarks.h"
+
+using namespace se2gis;
+
+namespace {
+
+const char *TreePrelude = R"(
+type tree = Leaf of int | Node of int * tree * tree
+)";
+
+/// Binary search tree: left subtree < label, right subtree >= label.
+const char *BstInv = R"(
+let rec bst = function
+  | Leaf a -> true
+  | Node (a, l, r) -> alllt a l && allgeq a r && bst l && bst r
+and alllt (v : int) = function
+  | Leaf a -> a < v
+  | Node (a, l, r) -> a < v && alllt v l && alllt v r
+and allgeq (v : int) = function
+  | Leaf a -> a >= v
+  | Node (a, l, r) -> a >= v && allgeq v l && allgeq v r
+)";
+
+/// All labels even.
+const char *EvenTreeInv = R"(
+let rec eventree = function
+  | Leaf a -> a mod 2 = 0
+  | Node (a, l, r) -> a mod 2 = 0 && eventree l && eventree r
+)";
+
+/// Left and right subtrees agree on their minimum and sum (a scalar
+/// consequence of mirror symmetry expressible without tree equality).
+const char *SymInv = R"(
+let rec symish = function
+  | Leaf a -> true
+  | Node (a, l, r) -> tmin l = tmin r && tsum l = tsum r
+                      && symish l && symish r
+and tmin = function
+  | Leaf a -> a
+  | Node (a, l, r) -> min a (min (tmin l) (tmin r))
+and tsum = function
+  | Leaf a -> a
+  | Node (a, l, r) -> a + tsum l + tsum r
+)";
+
+/// The right subtree of every node carries no information (all zero labels).
+const char *EmptyRightInv = R"(
+let rec rzero = function
+  | Leaf a -> true
+  | Node (a, l, r) -> allzero r && rzero l
+and allzero = function
+  | Leaf a -> a = 0
+  | Node (a, l, r) -> a = 0 && allzero l && allzero r
+)";
+
+/// Memoized trees: the first field of a node caches the subtree size.
+const char *MemoPrelude = R"(
+type mtree = MLeaf of int | MNode of int * int * mtree * mtree
+
+let rec memok = function
+  | MLeaf a -> true
+  | MNode (s, a, l, r) -> s = 1 + msize l + msize r && memok l && memok r
+and msize = function
+  | MLeaf a -> 1
+  | MNode (s, a, l, r) -> 1 + msize l + msize r
+)";
+
+void add(std::vector<BenchmarkDef> &Out, const char *Name,
+         const char *Category, std::string Source, double PaperSe2gis,
+         double PaperSegisUc, double PaperSegis, bool ByInduction = true) {
+  BenchmarkDef B;
+  B.Name = Name;
+  B.Category = Category;
+  B.Source = std::move(Source);
+  B.ExpectRealizable = true;
+  B.PaperSe2gisSec = PaperSe2gis;
+  B.PaperSegisUcSec = PaperSegisUc;
+  B.PaperSegisSec = PaperSegis;
+  B.PaperByInduction = ByInduction;
+  Out.push_back(std::move(B));
+}
+
+} // namespace
+
+void se2gis::addTreeBenchmarks(std::vector<BenchmarkDef> &Out) {
+  // --- Plain trees -----------------------------------------------------------
+
+  add(Out, "tree/sum", "Plain Tree", std::string(TreePrelude) + R"(
+let rec tsum = function
+  | Leaf a -> a
+  | Node (a, l, r) -> a + tsum l + tsum r
+let rec ttsum : int = function
+  | Leaf a -> $f0 a
+  | Node (a, l, r) -> $f1 a (ttsum l) (ttsum r)
+synthesize ttsum equiv tsum
+)",
+      0.267, 0.040, 0.040);
+
+  add(Out, "tree/height", "Plain Tree", std::string(TreePrelude) + R"(
+let rec th = function
+  | Leaf a -> 1
+  | Node (a, l, r) -> 1 + max (th l) (th r)
+let rec tth : int = function
+  | Leaf a -> $f0
+  | Node (a, l, r) -> $f1 (tth l) (tth r)
+synthesize tth equiv th
+)",
+      0.181, 0.052, 0.058);
+
+  add(Out, "tree/min", "Plain Tree", std::string(TreePrelude) + R"(
+let rec tmn = function
+  | Leaf a -> a
+  | Node (a, l, r) -> min a (min (tmn l) (tmn r))
+let rec ttmn : int = function
+  | Leaf a -> $f0 a
+  | Node (a, l, r) -> $f1 a (ttmn l) (ttmn r)
+synthesize ttmn equiv tmn
+)",
+      1.207, 0.041, 0.042);
+
+  // --- Binary Search Tree ------------------------------------------------------
+
+  add(Out, "bst/frequency", "Binary Search Tree",
+      std::string(TreePrelude) + BstInv + R"(
+(* The §2 motivating example with the repaired skeleton (Fig. 2(c) after
+   both repair steps). *)
+let rec freq (x : int) = function
+  | Leaf a -> if a = x then 1 else 0
+  | Node (a, l, r) ->
+    freq x l + freq x r + (if a = x then 1 else 0)
+let rec tfreq (x : int) : int = function
+  | Leaf a -> $u0 x a
+  | Node (a, l, r) ->
+    if a < x then $u1 (tfreq x r)
+    else $u2 x a (tfreq x r) (tfreq x l)
+synthesize tfreq equiv freq requires bst
+)",
+      1.0, 88.0, 88.0);
+
+  add(Out, "bst/contains", "Binary Search Tree",
+      std::string(TreePrelude) + BstInv + R"(
+let rec mem (x : int) = function
+  | Leaf a -> a = x
+  | Node (a, l, r) -> a = x || mem x l || mem x r
+let rec tbmem (x : int) : bool = function
+  | Leaf a -> $u0 x a
+  | Node (a, l, r) ->
+    if a < x then $u1 (tbmem x r)
+    else $u2 x a (tbmem x r) (tbmem x l)
+synthesize tbmem equiv mem requires bst
+)",
+      0.097, 0.132, 0.127);
+
+  add(Out, "bst/count_lt", "Binary Search Tree",
+      std::string(TreePrelude) + BstInv + R"(
+(* Count labels < x; when the root is >= x the right subtree contributes
+   nothing. *)
+let rec clt (x : int) = function
+  | Leaf a -> if a < x then 1 else 0
+  | Node (a, l, r) ->
+    (if a < x then 1 else 0) + clt x l + clt x r
+let rec tclt (x : int) : int = function
+  | Leaf a -> $u0 x a
+  | Node (a, l, r) ->
+    if a < x then $u1 (tclt x l) (tclt x r)
+    else $u2 x a (tclt x l)
+synthesize tclt equiv clt requires bst
+)",
+      0.216, 0.195, 0.182);
+
+  add(Out, "bst/sum_lt", "Binary Search Tree",
+      std::string(TreePrelude) + BstInv + R"(
+(* Sum of labels < x, pruning the right subtree when the root is >= x. *)
+let rec slt (x : int) = function
+  | Leaf a -> if a < x then a else 0
+  | Node (a, l, r) ->
+    (if a < x then a else 0) + slt x l + slt x r
+let rec tslt (x : int) : int = function
+  | Leaf a -> $u0 x a
+  | Node (a, l, r) ->
+    if a < x then $u1 x a (tslt x l) (tslt x r)
+    else $u2 x a (tslt x l)
+synthesize tslt equiv slt requires bst
+)",
+      1.958, 0.164, 0.156);
+
+  add(Out, "bst/min", "Binary Search Tree",
+      std::string(TreePrelude) + BstInv + R"(
+(* The minimum of a BST lives on the left spine. *)
+let rec tmn = function
+  | Leaf a -> a
+  | Node (a, l, r) -> min a (min (tmn l) (tmn r))
+let rec tbmn : int = function
+  | Leaf a -> $u0 a
+  | Node (a, l, r) -> $u1 a (tbmn l)
+synthesize tbmn equiv tmn requires bst
+)",
+      kPaperNotReported, kPaperNotReported, kPaperNotReported);
+
+  // --- Balanced Tree -------------------------------------------------------
+
+  add(Out, "balanced/node_count", "Balanced Tree",
+      std::string(TreePrelude) + R"(
+(* In a perfect tree both subtrees have equal size, so counting one side
+   is enough.  (height, size) reference. *)
+let rec perfect = function
+  | Leaf a -> true
+  | Node (a, l, r) -> hgt l = hgt r && perfect l && perfect r
+and hgt = function
+  | Leaf a -> 1
+  | Node (a, l, r) -> 1 + max (hgt l) (hgt r)
+
+let rec hs = function
+  | Leaf a -> (1, 1)
+  | Node (a, l, r) ->
+    let hl, sl = hs l in
+    let hr, sr = hs r in
+    (1 + max hl hr, 1 + sl + sr)
+let rec ths : int * int = function
+  | Leaf a -> $g0
+  | Node (a, l, r) ->
+    let hl, sl = ths l in
+    $g1 hl sl
+synthesize ths equiv hs requires perfect
+)",
+      0.318, kPaperTimeout, kPaperTimeout);
+
+  add(Out, "balanced/height", "Balanced Tree",
+      std::string(TreePrelude) + R"(
+let rec perfect = function
+  | Leaf a -> true
+  | Node (a, l, r) -> hgt l = hgt r && perfect l && perfect r
+and hgt = function
+  | Leaf a -> 1
+  | Node (a, l, r) -> 1 + max (hgt l) (hgt r)
+
+let rec href = function
+  | Leaf a -> 1
+  | Node (a, l, r) -> 1 + max (href l) (href r)
+let rec thref : int = function
+  | Leaf a -> $f0
+  | Node (a, l, r) -> $f1 (thref l)
+synthesize thref equiv href requires perfect
+)",
+      0.262, 0.059, 0.061);
+
+  // --- Memoizing Information -------------------------------------------------
+
+  add(Out, "memo/size", "Memoizing Information",
+      std::string(MemoPrelude) + R"(
+(* Constant-time size via the memoized field. *)
+let rec sz = function
+  | MLeaf a -> 1
+  | MNode (s, a, l, r) -> 1 + sz l + sz r
+let rec tsz : int = function
+  | MLeaf a -> $u0 a
+  | MNode (s, a, l, r) -> $u1 s a
+synthesize tsz equiv sz requires memok
+)",
+      10.864, kPaperTimeout, kPaperTimeout);
+
+  add(Out, "memo/sum_with_size", "Memoizing Information",
+      std::string(MemoPrelude) + R"(
+(* (size, sum): read the size from the memo, recurse for the sum. *)
+let rec szsum = function
+  | MLeaf a -> (1, a)
+  | MNode (s, a, l, r) ->
+    let nl, sl = szsum l in
+    let nr, sr = szsum r in
+    (1 + nl + nr, a + sl + sr)
+let rec tszsum : int * int = function
+  | MLeaf a -> $g0 a
+  | MNode (s, a, l, r) ->
+    let nl, sl = tszsum l in
+    let nr, sr = tszsum r in
+    $g1 s a sl sr
+synthesize tszsum equiv szsum requires memok
+)",
+      kPaperNotReported, kPaperNotReported, kPaperNotReported);
+
+  add(Out, "memo/obfuscated_length", "Memoizing Information",
+      std::string(MemoPrelude) + R"(
+(* 2*size+1 computed from the memo field alone. *)
+let rec obl = function
+  | MLeaf a -> 3
+  | MNode (s, a, l, r) -> 1 + obl l + obl r
+let rec tobl : int = function
+  | MLeaf a -> $u0 a
+  | MNode (s, a, l, r) -> $u1 s a
+synthesize tobl equiv obl requires memok
+)",
+      0.112, 75.070, 75.506);
+
+  // --- Symmetric Tree ----------------------------------------------------------
+
+  add(Out, "symtree/min", "Symmetric Tree",
+      std::string(TreePrelude) + SymInv + R"(
+(* The reference is the invariant's own helper, so learned guards align
+   with the invariant's stuck calls. *)
+let rec tsmn : int = function
+  | Leaf a -> $u0 a
+  | Node (a, l, r) -> $u1 a (tsmn l)
+synthesize tsmn equiv tmin requires symish
+)",
+      1.207, 0.041, 0.042);
+
+  add(Out, "symtree/sum", "Symmetric Tree",
+      std::string(TreePrelude) + SymInv + R"(
+let rec tssm : int = function
+  | Leaf a -> $u0 a
+  | Node (a, l, r) -> $u1 a (tssm l)
+synthesize tssm equiv tsum requires symish
+)",
+      0.267, 0.040, 0.040);
+
+  // --- Tree of Even Numbers -----------------------------------------------------
+
+  add(Out, "eventree/parity_of_sum", "Tree of Even Numbers",
+      std::string(TreePrelude) + EvenTreeInv + R"(
+let rec ps = function
+  | Leaf a -> a mod 2 = 1
+  | Node (a, l, r) -> ((a mod 2 = 1) <> ps l) <> ps r
+let rec tps : bool = function
+  | Leaf a -> $u0 a
+  | Node (a, l, r) -> $u1 a
+synthesize tps equiv ps requires eventree
+)",
+      3.254, 0.051, 0.055);
+
+  add(Out, "eventree/parity_of_max", "Tree of Even Numbers",
+      std::string(TreePrelude) + EvenTreeInv + R"(
+let rec pm = function
+  | Leaf a -> a
+  | Node (a, l, r) -> max a (max (pm l) (pm r))
+let rec tpm : int = function
+  | Leaf a -> $u0 a
+  | Node (a, l, r) -> $u1 a (tpm l) (tpm r)
+synthesize tpm equiv pm requires eventree
+)",
+      6.679, 0.092, 0.085);
+
+  // --- Empty (right) subtree ------------------------------------------------------
+
+  add(Out, "emptyright/sum", "Empty right subtree",
+      std::string(TreePrelude) + EmptyRightInv + R"(
+(* All right labels are zero, so the sum ignores the right subtree entirely
+   -- but only with the inferred fact sum(r) = 0. *)
+let rec sm = function
+  | Leaf a -> a
+  | Node (a, l, r) -> a + sm l + sm r
+let rec tes : int = function
+  | Leaf a -> $u0 a
+  | Node (a, l, r) -> $u1 a (tes l)
+synthesize tes equiv sm requires rzero
+)",
+      0.093, kPaperTimeout, kPaperTimeout);
+
+  add(Out, "emptyright/contains", "Empty right subtree",
+      std::string(TreePrelude) + EmptyRightInv + R"(
+let rec mem (x : int) = function
+  | Leaf a -> a = x
+  | Node (a, l, r) -> a = x || mem x l || mem x r
+let rec tem (x : int) : bool = function
+  | Leaf a -> $u0 x a
+  | Node (a, l, r) -> $u1 x a (tem x l)
+synthesize tem equiv mem requires rzero
+)",
+      2.801, kPaperTimeout, kPaperTimeout);
+}

@@ -1,0 +1,761 @@
+//===- UnrealizableBenchmarks.cpp - The 45 unrealizable problems ----------===//
+///
+/// \file
+/// The paper's Table 2: unrealizable variations of the realizable set —
+/// skeletons missing recursive calls or arguments, problems whose invariant
+/// was dropped, and joins that would need operations outside any function
+/// family (e.g. exponentiation for `poly`). `unreal/forced_unknown_nesting`
+/// reproduces Appendix C.1.3: the approximation is unrealizable but no
+/// frame-based functional witness exists, so the tool *fails* rather than
+/// reporting unrealizability.
+///
+//===----------------------------------------------------------------------===//
+
+#include "suite/Benchmarks.h"
+
+using namespace se2gis;
+
+namespace {
+
+const char *ZPrelude = R"(
+type list = Nil | Cons of int * list
+)";
+
+const char *NPrelude = R"(
+type list = Elt of int | Cons of int * list
+)";
+
+const char *TreePrelude = R"(
+type tree = Leaf of int | Node of int * tree * tree
+)";
+
+const char *ParPrelude = R"(
+type clist = Single of int | Concat of clist * clist
+type list = Elt of int | Cons of int * list
+
+let rec repr = function
+  | Single a -> Elt a
+  | Concat (x, y) -> app (repr y) x
+and app (l : list) = function
+  | Single a -> Cons (a, l)
+  | Concat (x, y) -> app (app l y) x
+)";
+
+void add(std::vector<BenchmarkDef> &Out, const char *Name,
+         std::string Source, double PaperSe2gis, double PaperSegisUc,
+         bool ByInduction = true) {
+  BenchmarkDef B;
+  B.Name = Name;
+  B.Category = "Unrealizable";
+  B.Source = std::move(Source);
+  B.ExpectRealizable = false;
+  B.PaperSe2gisSec = PaperSe2gis;
+  B.PaperSegisUcSec = PaperSegisUc;
+  B.PaperSegisSec = kPaperTimeout; // SEGIS solves no unrealizable benchmark
+  B.PaperByInduction = ByInduction;
+  Out.push_back(std::move(B));
+}
+
+/// A one-liner factory for the most common breakage: the Cons rule of the
+/// skeleton drops the recursive call, so the unknown would need to know the
+/// tail's summary.
+std::string droppedRecursion(const char *RefDef, const char *RefName,
+                             const char *RetTy) {
+  return std::string(ZPrelude) + RefDef + "\nlet rec tgt : " + RetTy +
+         " = function\n  | Nil -> $f0\n  | Cons (a, l) -> $f1 a\n"
+         "synthesize tgt equiv " +
+         RefName + "\n";
+}
+
+} // namespace
+
+void se2gis::addUnrealizableBenchmarks(std::vector<BenchmarkDef> &Out) {
+  // --- Skeletons missing the recursive call --------------------------------
+
+  add(Out, "unreal/sum", droppedRecursion(R"(
+let rec lsum = function
+  | Nil -> 0
+  | Cons (a, l) -> a + lsum l
+)", "lsum", "int"), 0.028, 0.023);
+
+  add(Out, "unreal/length", droppedRecursion(R"(
+let rec llen = function
+  | Nil -> 0
+  | Cons (a, l) -> 1 + llen l
+)", "llen", "int"), kPaperNotReported, kPaperNotReported);
+
+  add(Out, "unreal/max", droppedRecursion(R"(
+let rec lmax = function
+  | Nil -> 0
+  | Cons (a, l) -> max a (lmax l)
+)", "lmax", "int"), kPaperNotReported, kPaperNotReported);
+
+  add(Out, "unreal/min_no_invariant", std::string(NPrelude) + R"(
+(* The paper's §1.1 example without sortedness: unrealizable. *)
+let rec lmin = function
+  | Elt a -> a
+  | Cons (a, l) -> min a (lmin l)
+let rec tmin : int = function
+  | Elt a -> $b1 a
+  | Cons (a, l) -> $b2 a
+synthesize tmin equiv lmin
+)",
+      0.065, kPaperTimeout);
+
+  add(Out, "unreal/parity", std::string(NPrelude) + R"(
+(* Parity of the sum without the all-even invariant. *)
+let rec psum = function
+  | Elt a -> a mod 2 = 1
+  | Cons (a, l) -> (a mod 2 = 1) <> psum l
+let rec tpsum : bool = function
+  | Elt a -> $u0 a
+  | Cons (a, l) -> $u1 a
+synthesize tpsum equiv psum
+)",
+      0.033, 0.036);
+
+  add(Out, "unreal/largest_even_positive", std::string(NPrelude) + R"(
+(* Largest even element without recursing: needs the tail's summary. *)
+let rec lev = function
+  | Elt a -> if a mod 2 = 0 then a else 0
+  | Cons (a, l) ->
+    let m = lev l in
+    if a mod 2 = 0 then max a m else m
+let rec tlev : int = function
+  | Elt a -> $u0 a
+  | Cons (a, l) -> $u1 a
+synthesize tlev equiv lev
+)",
+      0.104, 0.028);
+
+  add(Out, "unreal/is_sorted", std::string(NPrelude) + R"(
+(* (head, sorted?) but the skeleton drops the tail's head. *)
+let rec chk = function
+  | Elt a -> (a, true)
+  | Cons (a, l) ->
+    let h, s = chk l in
+    (a, a <= h && s)
+let rec tchk : int * bool = function
+  | Elt a -> $g0 a
+  | Cons (a, l) ->
+    let h, s = tchk l in
+    $g1 a s
+synthesize tchk equiv chk
+)",
+      0.071, kPaperTimeout);
+
+  add(Out, "unreal/mps_no_sum", std::string(ZPrelude) + R"(
+(* Maximum prefix sum whose skeleton forgets the running sum. *)
+let rec mps = function
+  | Nil -> (0, 0)
+  | Cons (a, l) ->
+    let s, m = mps l in
+    (a + s, max 0 (a + m))
+let rec tmps : int * int = function
+  | Nil -> $g0
+  | Cons (a, l) ->
+    let s, m = tmps l in
+    $g1 a m
+synthesize tmps equiv mps
+)",
+      0.032, kPaperTimeout);
+
+  add(Out, "unreal/mts_no_sum", std::string(ZPrelude) + R"(
+let rec mts = function
+  | Nil -> (0, 0)
+  | Cons (a, l) ->
+    let s, m = mts l in
+    (a + s, max (a + s) m)
+let rec tmts : int * int = function
+  | Nil -> $g0
+  | Cons (a, l) ->
+    let s, m = tmts l in
+    $g1 a m
+synthesize tmts equiv mts
+)",
+      0.096, kPaperTimeout);
+
+  add(Out, "unreal/mits", std::string(ZPrelude) + R"(
+(* Maximum initial (prefix) sum, skeleton dropping the prefix max. *)
+let rec mits = function
+  | Nil -> (0, 0)
+  | Cons (a, l) ->
+    let s, m = mits l in
+    (a + s, max 0 (a + m))
+let rec tmits : int * int = function
+  | Nil -> $g0
+  | Cons (a, l) ->
+    let s, m = tmits l in
+    $g1 s
+synthesize tmits equiv mits
+)",
+      0.064, kPaperTimeout);
+
+  add(Out, "unreal/minmax", std::string(ZPrelude) + R"(
+(* (min, max) with only the max surviving the recursion. *)
+let rec mm = function
+  | Nil -> (0, 0)
+  | Cons (a, l) ->
+    let mn, mx = mm l in
+    (min a mn, max a mx)
+let rec tmm : int * int = function
+  | Nil -> $g0
+  | Cons (a, l) ->
+    let mn, mx = tmm l in
+    $g1 a mx
+synthesize tmm equiv mm
+)",
+      0.065, kPaperTimeout);
+
+  add(Out, "unreal/minmax_v2", std::string(ZPrelude) + R"(
+let rec mm = function
+  | Nil -> (0, 0)
+  | Cons (a, l) ->
+    let mn, mx = mm l in
+    (min a mn, max a mx)
+let rec tmm : int * int = function
+  | Nil -> $g0
+  | Cons (a, l) ->
+    let mn, mx = tmm l in
+    $g1 a mn
+synthesize tmm equiv mm
+)",
+      0.052, kPaperTimeout);
+
+  add(Out, "unreal/second_min", std::string(ZPrelude) + R"(
+(* Second-smallest with the pair collapsed to its first component. *)
+let rec smin = function
+  | Nil -> (0, 0)
+  | Cons (a, l) ->
+    let m1, m2 = smin l in
+    (min a m1, min (max a m1) m2)
+let rec tsmin : int * int = function
+  | Nil -> $g0
+  | Cons (a, l) ->
+    let m1, m2 = tsmin l in
+    $g1 a m1
+synthesize tsmin equiv smin
+)",
+      kPaperNotReported, kPaperNotReported);
+
+  add(Out, "unreal/gradient", std::string(ZPrelude) + R"(
+(* Is the sequence increasing by exactly 1?  Skeleton loses the head. *)
+let rec grad = function
+  | Nil -> (0, true)
+  | Cons (a, l) ->
+    let h, g = grad l in
+    (a, g && (a + 1 = h))
+let rec tgrad : int * bool = function
+  | Nil -> $g0
+  | Cons (a, l) ->
+    let h, g = tgrad l in
+    $g1 a g
+synthesize tgrad equiv grad
+)",
+      0.012, 0.024);
+
+  add(Out, "unreal/zero_after_one", std::string(ZPrelude) + R"(
+(* Does a 0 appear somewhere after a 1?  Needs both flags. *)
+let rec zao = function
+  | Nil -> (false, false)
+  | Cons (a, l) ->
+    let saw0, ok = zao l in
+    (a = 0 || saw0, ok || (a = 1 && saw0))
+let rec tzao : bool * bool = function
+  | Nil -> $g0
+  | Cons (a, l) ->
+    let saw0, ok = tzao l in
+    $g1 a ok
+synthesize tzao equiv zao
+)",
+      0.039, 0.122);
+
+  add(Out, "unreal/search_index", std::string(ZPrelude) + R"(
+(* Index of x (0 if absent): dropping the recursion loses the offset. *)
+let rec idx (x : int) = function
+  | Nil -> 0
+  | Cons (a, l) ->
+    let i = idx x l in
+    if a = x then 1 else if i = 0 then 0 else i + 1
+let rec tidx (x : int) : int = function
+  | Nil -> $f0
+  | Cons (a, l) -> $f1 x a
+synthesize tidx equiv idx
+)",
+      0.030, kPaperTimeout);
+
+  add(Out, "unreal/sum_smaller_pos", std::string(ZPrelude) + R"(
+(* Sum of positive elements, recursion dropped. *)
+let rec ssp = function
+  | Nil -> 0
+  | Cons (a, l) -> (if a > 0 then a else 0) + ssp l
+let rec tssp : int = function
+  | Nil -> $f0
+  | Cons (a, l) -> $f1 a
+synthesize tssp equiv ssp
+)",
+      0.034, kPaperTimeout);
+
+  add(Out, "unreal/value_pos_mult", std::string(ZPrelude) + R"(
+(* Count of positive values times two, recursion dropped. *)
+let rec vpm = function
+  | Nil -> 0
+  | Cons (a, l) -> (if a > 0 then 2 else 0) + vpm l
+let rec tvpm : int = function
+  | Nil -> $f0
+  | Cons (a, l) -> $f1 a
+synthesize tvpm equiv vpm
+)",
+      0.028, kPaperTimeout);
+
+  add(Out, "unreal/atoi", std::string(ZPrelude) + R"(
+(* Base-10 digit folding with the recursion dropped entirely. *)
+let rec atoi = function
+  | Nil -> 0
+  | Cons (a, l) -> a + 10 * atoi l
+let rec tatoi : int = function
+  | Nil -> $g0
+  | Cons (a, l) -> $g1 a
+synthesize tatoi equiv atoi
+)",
+      0.028, kPaperTimeout);
+
+  add(Out, "unreal/poly", std::string(ParPrelude) + R"(
+(* Horner evaluation over concatenations needs 2^len: no join exists. *)
+let rec poly = function
+  | Elt a -> a
+  | Cons (a, l) -> a + 2 * poly l
+let rec par : int = function
+  | Single a -> $s0 a
+  | Concat (x, y) -> $join (par x)
+synthesize par equiv poly via repr
+)",
+      0.057, 0.100);
+
+  add(Out, "unreal/product", std::string(ParPrelude) + R"(
+(* Product requires multiplying two recursion results; the grammar only
+   multiplies by constants, and the missing argument makes it worse. *)
+let rec prod = function
+  | Elt a -> a
+  | Cons (a, l) -> a + a * prod l
+let rec par : int = function
+  | Single a -> $s0 a
+  | Concat (x, y) -> $join (par y)
+synthesize par equiv prod via repr
+)",
+      0.691, kPaperTimeout);
+
+  add(Out, "unreal/mps_parallel", std::string(ParPrelude) + R"(
+(* Parallel mps without the sum component. *)
+let rec mpso = function
+  | Elt a -> max a 0
+  | Cons (a, l) -> max 0 (a + mpso l)
+let rec par : int = function
+  | Single a -> $s0 a
+  | Concat (x, y) -> $join (par y)
+synthesize par equiv mpso via repr
+)",
+      0.057, 0.108);
+
+  add(Out, "unreal/mts_and_mps_no_sum", std::string(ParPrelude) + R"(
+let rec both = function
+  | Elt a -> (max a 0, max a 0)
+  | Cons (a, l) ->
+    let t, p = both l in
+    (max t 0 + a - a, max 0 (a + p))
+let rec par : int * int = function
+  | Single a -> $s0 a
+  | Concat (x, y) -> $join (par x)
+synthesize par equiv both via repr
+)",
+      0.096, kPaperTimeout);
+
+  add(Out, "unreal/sum_parallel_missing", std::string(ParPrelude) + R"(
+(* Parallel sum whose join sees only one side. *)
+let rec lsum = function
+  | Elt a -> a
+  | Cons (a, l) -> a + lsum l
+let rec par : int = function
+  | Single a -> $s0 a
+  | Concat (x, y) -> $join (par x)
+synthesize par equiv lsum via repr
+)",
+      0.028, 0.023);
+
+  add(Out, "unreal/swapping_missing_call", std::string(ParPrelude) + R"(
+(* The join receives the same side twice (a swapped/missing call). *)
+let rec lsum = function
+  | Elt a -> a
+  | Cons (a, l) -> a + lsum l
+let rec par : int = function
+  | Single a -> $s0 a
+  | Concat (x, y) -> $join (par x) (par x)
+synthesize par equiv lsum via repr
+)",
+      7.772, kPaperTimeout);
+
+  // --- The §2 motivating example: broken BST skeletons -----------------------
+
+  const char *FreqPrelude = R"(
+let rec bst = function
+  | Leaf a -> true
+  | Node (a, l, r) -> alllt a l && allgeq a r && bst l && bst r
+and alllt (v : int) = function
+  | Leaf a -> a < v
+  | Node (a, l, r) -> a < v && alllt v l && alllt v r
+and allgeq (v : int) = function
+  | Leaf a -> a >= v
+  | Node (a, l, r) -> a >= v && allgeq v l && allgeq v r
+
+let rec freq (x : int) = function
+  | Leaf a -> if a = x then 1 else 0
+  | Node (a, l, r) ->
+    freq x l + freq x r + (if a = x then 1 else 0)
+)";
+
+  add(Out, "unreal/frequency_fig2b",
+      std::string(TreePrelude) + FreqPrelude + R"(
+(* Figure 2(b): both recursive calls are misplaced. *)
+let rec tfreq (x : int) : int = function
+  | Leaf a -> $u0 x a
+  | Node (a, l, r) ->
+    if a < x then $u1 (tfreq x l)
+    else $u2 x a (tfreq x r)
+synthesize tfreq equiv freq requires bst
+)",
+      0.9, 0.9);
+
+  add(Out, "unreal/frequency_step1",
+      std::string(TreePrelude) + FreqPrelude + R"(
+(* After repair step (1): u1's argument fixed, u2 still missing g(l). *)
+let rec tfreq (x : int) : int = function
+  | Leaf a -> $u0 x a
+  | Node (a, l, r) ->
+    if a < x then $u1 (tfreq x r)
+    else $u2 x a (tfreq x r)
+synthesize tfreq equiv freq requires bst
+)",
+      0.9, 0.9);
+
+  add(Out, "unreal/bst_contains_wrong",
+      std::string(TreePrelude) + FreqPrelude + R"(
+let rec mem (x : int) = function
+  | Leaf a -> a = x
+  | Node (a, l, r) -> a = x || mem x l || mem x r
+let rec tmem (x : int) : bool = function
+  | Leaf a -> $u0 x a
+  | Node (a, l, r) ->
+    if a < x then $u1 (tmem x l) else $u2 x a (tmem x l)
+synthesize tmem equiv mem requires bst
+)",
+      kPaperNotReported, kPaperNotReported);
+
+  // --- Trees with dropped recursions -------------------------------------------
+
+  add(Out, "unreal/tree_sum", std::string(TreePrelude) + R"(
+let rec tsum = function
+  | Leaf a -> a
+  | Node (a, l, r) -> a + tsum l + tsum r
+let rec ttsum : int = function
+  | Leaf a -> $f0 a
+  | Node (a, l, r) -> $f1 a (ttsum l)
+synthesize ttsum equiv tsum
+)",
+      kPaperNotReported, kPaperNotReported);
+
+  add(Out, "unreal/tree_height", std::string(TreePrelude) + R"(
+let rec th = function
+  | Leaf a -> 1
+  | Node (a, l, r) -> 1 + max (th l) (th r)
+let rec tth : int = function
+  | Leaf a -> $f0
+  | Node (a, l, r) -> $f1 (tth l)
+synthesize tth equiv th
+)",
+      kPaperNotReported, kPaperNotReported);
+
+  add(Out, "unreal/height_memoizing_max", std::string(TreePrelude) + R"(
+(* (height, max) with the height dropped by the skeleton. *)
+let rec hm = function
+  | Leaf a -> (1, a)
+  | Node (a, l, r) ->
+    let hl, ml = hm l in
+    let hr, mr = hm r in
+    (1 + max hl hr, max a (max ml mr))
+let rec thm : int * int = function
+  | Leaf a -> $g0 a
+  | Node (a, l, r) ->
+    let hl, ml = thm l in
+    let hr, mr = thm r in
+    $g1 a ml mr
+synthesize thm equiv hm
+)",
+      0.064, 0.029);
+
+  add(Out, "unreal/min_max_mts", std::string(ZPrelude) + R"(
+(* (min, max, mts) losing the running sum. *)
+let rec m3 = function
+  | Nil -> (0, 0, 0)
+  | Cons (a, l) ->
+    let mn, mx, s = m3 l in
+    (min a mn, max a mx, a + s)
+let rec tm3 : int * int * int = function
+  | Nil -> $g0
+  | Cons (a, l) ->
+    let mn, mx, s = tm3 l in
+    $g1 a mn mx
+synthesize tm3 equiv m3
+)",
+      3.344, kPaperTimeout);
+
+  add(Out, "unreal/min_max_mixed", std::string(ZPrelude) + R"(
+let rec m3 = function
+  | Nil -> (0, 0, 0)
+  | Cons (a, l) ->
+    let mn, mx, s = m3 l in
+    (min a mn, max a mx, a + s)
+let rec tm3 : int * int * int = function
+  | Nil -> $g0
+  | Cons (a, l) ->
+    let mn, mx, s = tm3 l in
+    $g1 a mn s
+synthesize tm3 equiv m3
+)",
+      0.668, kPaperTimeout);
+
+  add(Out, "unreal/partial_sum", std::string(ZPrelude) + R"(
+(* (sum, count) with the count dropped. *)
+let rec sc = function
+  | Nil -> (0, 0)
+  | Cons (a, l) ->
+    let s, c = sc l in
+    (a + s, c + 1)
+let rec tsc : int * int = function
+  | Nil -> $g0
+  | Cons (a, l) ->
+    let s, c = tsc l in
+    $g1 a s
+synthesize tsc equiv sc
+)",
+      22.955, 0.056);
+
+  add(Out, "unreal/common_elt", std::string(ZPrelude) + R"(
+(* Shares an element with {x}? Skeleton drops the flag. *)
+let rec ce (x : int) = function
+  | Nil -> false
+  | Cons (a, l) -> a = x || ce x l
+let rec tce (x : int) : bool = function
+  | Nil -> $f0
+  | Cons (a, l) -> $f1 x a
+synthesize tce equiv ce
+)",
+      0.030, 0.026);
+
+  add(Out, "unreal/interval_intersection", std::string(ZPrelude) + R"(
+(* (lo, hi) of the intersection of [a,a+1] intervals; hi dropped. *)
+let rec ii = function
+  | Nil -> (0, 0)
+  | Cons (a, l) ->
+    let lo, hi = ii l in
+    (max a lo, min (a + 1) hi)
+let rec tii : int * int = function
+  | Nil -> $g0
+  | Cons (a, l) ->
+    let lo, hi = tii l in
+    $g1 a lo
+synthesize tii equiv ii
+)",
+      0.070, kPaperTimeout);
+
+  add(Out, "unreal/two_sum", std::string(ZPrelude) + R"(
+(* Is there a pair summing to 0? Needs the set, not just a flag. *)
+let rec ts = function
+  | Nil -> (false, false)
+  | Cons (a, l) ->
+    let has, ok = ts l in
+    (has || a = 0, ok || (has && a = 0) || a + a = 0)
+let rec tts : bool * bool = function
+  | Nil -> $g0
+  | Cons (a, l) ->
+    let has, ok = tts l in
+    $g1 ok
+synthesize tts equiv ts
+)",
+      0.068, kPaperTimeout);
+
+  add(Out, "unreal/pareto_approx", std::string(ZPrelude) + R"(
+(* (best, second) Pareto pair with the second dropped. *)
+let rec pa = function
+  | Nil -> (0, 0)
+  | Cons (a, l) ->
+    let b, s = pa l in
+    (max a b, max (min a b) s)
+let rec tpa : int * int = function
+  | Nil -> $g0
+  | Cons (a, l) ->
+    let b, s = tpa l in
+    $g1 a b
+synthesize tpa equiv pa
+)",
+      0.023, 0.041);
+
+  add(Out, "unreal/largest_diff", std::string(ZPrelude) + R"(
+(* max - min with only the max kept by the skeleton. *)
+let rec ld = function
+  | Nil -> (0, 0, 0)
+  | Cons (a, l) ->
+    let mn, mx, d = ld l in
+    (min a mn, max a mx, max a mx - min a mn)
+let rec tld : int * int * int = function
+  | Nil -> $g0
+  | Cons (a, l) ->
+    let mn, mx, d = tld l in
+    $g1 a mx
+synthesize tld equiv ld
+)",
+      0.022, 0.023);
+
+  add(Out, "unreal/count_between_swap", std::string(TreePrelude) + R"(
+(* Count labels in [lo,hi) on a BST, but the skeleton swaps the cut
+   directions, recursing into the side that was pruned. *)
+let rec bst = function
+  | Leaf a -> true
+  | Node (a, l, r) -> alllt a l && allgeq a r && bst l && bst r
+and alllt (v : int) = function
+  | Leaf a -> a < v
+  | Node (a, l, r) -> a < v && alllt v l && alllt v r
+and allgeq (v : int) = function
+  | Leaf a -> a >= v
+  | Node (a, l, r) -> a >= v && allgeq v l && allgeq v r
+
+let rec cb (lo : int) (hi : int) = function
+  | Leaf a -> if lo <= a && a < hi then 1 else 0
+  | Node (a, l, r) ->
+    (if lo <= a && a < hi then 1 else 0) + cb lo hi l + cb lo hi r
+let rec tcb (lo : int) (hi : int) : int = function
+  | Leaf a -> $u0 lo hi a
+  | Node (a, l, r) ->
+    if a < lo then $u1 (tcb lo hi l) else $u2 lo hi a (tcb lo hi l)
+synthesize tcb equiv cb requires bst
+)",
+      2.850, 0.038);
+
+  add(Out, "unreal/count_between_v2", std::string(TreePrelude) + R"(
+let rec cb (lo : int) (hi : int) = function
+  | Leaf a -> if lo <= a && a < hi then 1 else 0
+  | Node (a, l, r) ->
+    (if lo <= a && a < hi then 1 else 0) + cb lo hi l + cb lo hi r
+let rec tcb (lo : int) (hi : int) : int = function
+  | Leaf a -> $u0 lo hi a
+  | Node (a, l, r) -> $u1 lo hi a (tcb lo hi r)
+synthesize tcb equiv cb
+)",
+      2.404, 0.128);
+
+  add(Out, "unreal/contains_no_invariant", std::string(TreePrelude) + R"(
+(* BST-style pruning without the BST invariant. *)
+let rec mem (x : int) = function
+  | Leaf a -> a = x
+  | Node (a, l, r) -> a = x || mem x l || mem x r
+let rec tmem (x : int) : bool = function
+  | Leaf a -> $u0 x a
+  | Node (a, l, r) ->
+    if a < x then $u1 (tmem x r) else $u2 x a (tmem x r) (tmem x l)
+synthesize tmem equiv mem
+)",
+      0.035, 0.055);
+
+  add(Out, "unreal/contains_v2", std::string(NPrelude) + R"(
+(* Constant-time membership without the constant-list invariant. *)
+let rec mem (x : int) = function
+  | Elt a -> a = x
+  | Cons (a, l) -> a = x || mem x l
+let rec tmem (x : int) : bool = function
+  | Elt a -> $u0 x a
+  | Cons (a, l) -> $u1 x a
+synthesize tmem equiv mem
+)",
+      0.027, 0.028);
+
+  add(Out, "unreal/most_freq_no_invariant", std::string(NPrelude) + R"(
+(* Count of the head's occurrences in constant time without the constant
+   list invariant. *)
+let rec cf = function
+  | Elt a -> (a, 1)
+  | Cons (a, l) ->
+    let v, c = cf l in
+    (a, if a = v then c + 1 else 1)
+let rec tcf : int * int = function
+  | Elt a -> $g0 a
+  | Cons (a, l) -> $g1 a
+synthesize tcf equiv cf
+)",
+      0.523, kPaperTimeout);
+
+  add(Out, "unreal/partial_order_sorted", std::string(NPrelude) + R"(
+(* Head = min requires sortedness; with only evenness it fails. *)
+let rec alleven = function
+  | Elt a -> a mod 2 = 0
+  | Cons (a, l) -> a mod 2 = 0 && alleven l
+let rec lmin = function
+  | Elt a -> a
+  | Cons (a, l) -> min a (lmin l)
+let rec tmin : int = function
+  | Elt a -> $b1 a
+  | Cons (a, l) -> $b2 a
+synthesize tmin equiv lmin requires alleven
+)",
+      0.082, 0.047);
+
+  add(Out, "unreal/pyramid_sort", std::string(NPrelude) + R"(
+(* (max, is-unimodal-ish) with the max dropped. *)
+let rec py = function
+  | Elt a -> (a, true)
+  | Cons (a, l) ->
+    let m, u = py l in
+    (max a m, u && a <= m)
+let rec tpy : int * bool = function
+  | Elt a -> $g0 a
+  | Cons (a, l) ->
+    let m, u = tpy l in
+    $g1 a u
+synthesize tpy equiv py
+)",
+      0.058, 0.051);
+
+  add(Out, "unreal/largest_peak", std::string(ZPrelude) + R"(
+(* Largest sum of a contiguous positive run; skeleton drops the running
+   accumulator. *)
+let rec lp = function
+  | Nil -> (0, 0)
+  | Cons (a, l) ->
+    let cur, best = lp l in
+    (if a > 0 then a + cur else 0,
+     max best (if a > 0 then a + cur else 0))
+let rec tlp : int * int = function
+  | Nil -> $g0
+  | Cons (a, l) ->
+    let cur, best = tlp l in
+    $g1 a best
+synthesize tlp equiv lp
+)",
+      89.021, 339.655, false);
+
+  add(Out, "unreal/forced_unknown_nesting", R"(
+type plist = PElt of int * int | PCons of int * plist
+
+(* Appendix C.1.3: unrealizable, but no frame-based functional witness
+   exists because the conflict spans different frame shapes. The expected
+   outcome is failure (no verdict), not an unrealizability report. *)
+let rec spec = function
+  | PElt (a, b) -> b
+  | PCons (hd, tl) ->
+    let ignored = spec tl in
+    hd
+let rec tgt : int = function
+  | PElt (a, b) -> $f0 a b
+  | PCons (hd, tl) -> $f0 hd ($f0 hd (tgt tl))
+synthesize tgt equiv spec
+)",
+      kPaperTimeout, kPaperTimeout);
+}

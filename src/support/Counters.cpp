@@ -1,0 +1,47 @@
+//===- Counters.cpp -------------------------------------------------------===//
+
+#include "support/Counters.h"
+
+#include <atomic>
+#include <sstream>
+
+using namespace se2gis;
+
+namespace {
+
+std::atomic<std::uint64_t> &slot(CounterKind K) {
+  static std::atomic<std::uint64_t>
+      Counters[static_cast<size_t>(CounterKind::NumCounters)];
+  return Counters[static_cast<size_t>(K)];
+}
+
+} // namespace
+
+void se2gis::countEvent(CounterKind K, std::uint64_t Delta) {
+  slot(K).fetch_add(Delta, std::memory_order_relaxed);
+}
+
+CounterSnapshot se2gis::snapshotCounters() {
+  CounterSnapshot S;
+  for (size_t I = 0; I < static_cast<size_t>(CounterKind::NumCounters); ++I)
+    S.Values[I] =
+        slot(static_cast<CounterKind>(I)).load(std::memory_order_relaxed);
+  return S;
+}
+
+CounterSnapshot CounterSnapshot::since(const CounterSnapshot &Earlier) const {
+  CounterSnapshot D;
+  for (size_t I = 0; I < static_cast<size_t>(CounterKind::NumCounters); ++I)
+    D.Values[I] = Values[I] - Earlier.Values[I];
+  return D;
+}
+
+std::string CounterSnapshot::str() const {
+  std::ostringstream OS;
+  OS << "smt=" << get(CounterKind::SmtChecks)
+     << " pbe=" << get(CounterKind::PbeCandidates)
+     << " wit=" << get(CounterKind::WitnessQueries)
+     << " bnd=" << get(CounterKind::BoundedInstantiations)
+     << " unf=" << get(CounterKind::SymbolicUnfoldings);
+  return OS.str();
+}

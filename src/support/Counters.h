@@ -1,0 +1,55 @@
+//===- Counters.h - Global solver telemetry ---------------------*- C++-*-===//
+///
+/// \file
+/// Lightweight global counters for the expensive primitives (SMT checks,
+/// PBE candidates, witness queries, bounded instantiations). The algorithm
+/// drivers snapshot them around a run and report the deltas, which the CLI
+/// and the harness print — useful for understanding where a benchmark's
+/// time goes without a profiler.
+///
+/// Counters are atomics, so concurrent portfolio runs simply aggregate.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SE2GIS_SUPPORT_COUNTERS_H
+#define SE2GIS_SUPPORT_COUNTERS_H
+
+#include <cstdint>
+#include <string>
+
+namespace se2gis {
+
+/// The counted events.
+enum class CounterKind : unsigned char {
+  SmtChecks,             ///< Z3 satisfiability checks issued
+  PbeCandidates,         ///< grammar terms considered by the enumerator
+  WitnessQueries,        ///< Algorithm-1 frame-pair queries
+  BoundedInstantiations, ///< bounded-term instantiations evaluated
+  SymbolicUnfoldings,    ///< recursion-scheme rule unfoldings
+  NumCounters
+};
+
+/// Increments counter \p K by \p Delta (thread-safe).
+void countEvent(CounterKind K, std::uint64_t Delta = 1);
+
+/// A point-in-time copy of all counters.
+struct CounterSnapshot {
+  std::uint64_t Values[static_cast<size_t>(CounterKind::NumCounters)] = {};
+
+  std::uint64_t get(CounterKind K) const {
+    return Values[static_cast<size_t>(K)];
+  }
+
+  /// Componentwise difference (this - Earlier).
+  CounterSnapshot since(const CounterSnapshot &Earlier) const;
+
+  /// Compact rendering, e.g. "smt=120 pbe=4500 wit=8 bnd=300 unf=9000".
+  std::string str() const;
+};
+
+/// Reads the current counter values.
+CounterSnapshot snapshotCounters();
+
+} // namespace se2gis
+
+#endif // SE2GIS_SUPPORT_COUNTERS_H

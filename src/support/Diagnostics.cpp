@@ -1,0 +1,17 @@
+//===- Diagnostics.cpp ----------------------------------------------------===//
+
+#include "support/Diagnostics.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+using namespace se2gis;
+
+void se2gis::fatalError(const std::string &Message) {
+  std::fprintf(stderr, "se2gis internal error: %s\n", Message.c_str());
+  std::abort();
+}
+
+void se2gis::userError(const std::string &Message) {
+  throw UserError(Message);
+}

@@ -1,0 +1,41 @@
+//===- Diagnostics.h - Fatal errors and internal checks ---------*- C++-*-===//
+//
+// Part of the SE2GIS reproduction of "Recursion Synthesis with
+// Unrealizability Witnesses" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lightweight diagnostic helpers used throughout the library: fatal internal
+/// errors (invariant violations) and recoverable user-facing errors raised
+/// while parsing or checking problem definitions.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SE2GIS_SUPPORT_DIAGNOSTICS_H
+#define SE2GIS_SUPPORT_DIAGNOSTICS_H
+
+#include <stdexcept>
+#include <string>
+
+namespace se2gis {
+
+/// Error raised for malformed user input (DSL sources, ill-typed problems).
+///
+/// This is the only exception type that crosses public API boundaries; all
+/// other failures are programmatic and abort via \c fatalError.
+class UserError : public std::runtime_error {
+public:
+  explicit UserError(const std::string &Message)
+      : std::runtime_error(Message) {}
+};
+
+/// Aborts the process with \p Message; used for broken internal invariants.
+[[noreturn]] void fatalError(const std::string &Message);
+
+/// Raises a \c UserError carrying \p Message.
+[[noreturn]] void userError(const std::string &Message);
+
+} // namespace se2gis
+
+#endif // SE2GIS_SUPPORT_DIAGNOSTICS_H

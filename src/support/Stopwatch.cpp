@@ -1,0 +1,4 @@
+//===- Stopwatch.cpp ------------------------------------------------------===//
+// All members are defined inline in the header; this TU anchors the library.
+
+#include "support/Stopwatch.h"

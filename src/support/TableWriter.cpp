@@ -1,0 +1,73 @@
+//===- TableWriter.cpp ----------------------------------------------------===//
+
+#include "support/TableWriter.h"
+
+#include "support/Diagnostics.h"
+
+#include <cstdio>
+#include <sstream>
+
+using namespace se2gis;
+
+TableWriter::TableWriter(std::vector<std::string> Header)
+    : Header(std::move(Header)) {}
+
+void TableWriter::addRow(std::vector<std::string> Cells) {
+  if (Cells.size() != Header.size())
+    fatalError("TableWriter row width does not match header");
+  Rows.push_back(std::move(Cells));
+}
+
+std::string TableWriter::renderText() const {
+  std::vector<size_t> Widths(Header.size(), 0);
+  auto Measure = [&](const std::vector<std::string> &Row) {
+    for (size_t I = 0; I < Row.size(); ++I)
+      Widths[I] = std::max(Widths[I], Row[I].size());
+  };
+  Measure(Header);
+  for (const auto &Row : Rows)
+    Measure(Row);
+
+  std::ostringstream OS;
+  auto Emit = [&](const std::vector<std::string> &Row) {
+    for (size_t I = 0; I < Row.size(); ++I) {
+      OS << Row[I];
+      if (I + 1 == Row.size())
+        break;
+      OS << std::string(Widths[I] - Row[I].size() + 2, ' ');
+    }
+    OS << '\n';
+  };
+  Emit(Header);
+  size_t Total = 0;
+  for (size_t W : Widths)
+    Total += W + 2;
+  OS << std::string(Total > 2 ? Total - 2 : Total, '-') << '\n';
+  for (const auto &Row : Rows)
+    Emit(Row);
+  return OS.str();
+}
+
+std::string TableWriter::renderCsv() const {
+  std::ostringstream OS;
+  auto Emit = [&](const std::vector<std::string> &Row) {
+    for (size_t I = 0; I < Row.size(); ++I) {
+      if (I)
+        OS << ',';
+      OS << Row[I];
+    }
+    OS << '\n';
+  };
+  Emit(Header);
+  for (const auto &Row : Rows)
+    Emit(Row);
+  return OS.str();
+}
+
+std::string se2gis::formatSeconds(double Ms) {
+  if (Ms < 0)
+    return "-";
+  char Buf[32];
+  std::snprintf(Buf, sizeof(Buf), "%.3f", Ms / 1000.0);
+  return Buf;
+}

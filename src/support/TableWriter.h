@@ -1,0 +1,46 @@
+//===- TableWriter.h - Plain-text and CSV table rendering -------*- C++-*-===//
+///
+/// \file
+/// Small table formatter used by the benchmark harnesses to print the rows of
+/// the paper's tables and the series behind its figures. Supports aligned
+/// plain-text output (for the terminal) and CSV (for replotting).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SE2GIS_SUPPORT_TABLEWRITER_H
+#define SE2GIS_SUPPORT_TABLEWRITER_H
+
+#include <string>
+#include <vector>
+
+namespace se2gis {
+
+/// Accumulates rows of string cells and renders them aligned or as CSV.
+class TableWriter {
+public:
+  explicit TableWriter(std::vector<std::string> Header);
+
+  /// Appends one row; the cell count must match the header.
+  void addRow(std::vector<std::string> Cells);
+
+  /// Renders the table with space-padded, left-aligned columns.
+  std::string renderText() const;
+
+  /// Renders the table as CSV (no quoting; cells must not contain commas).
+  std::string renderCsv() const;
+
+  /// Number of data rows added so far.
+  size_t numRows() const { return Rows.size(); }
+
+private:
+  std::vector<std::string> Header;
+  std::vector<std::vector<std::string>> Rows;
+};
+
+/// Formats \p Ms as a fixed-point seconds string like the paper's tables
+/// (e.g. 0.896). Negative values render as "-" (timeout / not available).
+std::string formatSeconds(double Ms);
+
+} // namespace se2gis
+
+#endif // SE2GIS_SUPPORT_TABLEWRITER_H

@@ -1,0 +1,309 @@
+//===- Enumerator.cpp -----------------------------------------------------===//
+
+#include "synth/Enumerator.h"
+
+#include "ast/Simplify.h"
+#include "support/Counters.h"
+#include "support/Diagnostics.h"
+
+#include <cassert>
+#include <map>
+#include <sstream>
+
+using namespace se2gis;
+
+ValuePtr se2gis::evalScalarTerm(const TermPtr &T, const Env &E) {
+  switch (T->getKind()) {
+  case TermKind::Var: {
+    auto It = E.find(T->getVar()->Id);
+    if (It == E.end())
+      userError("unbound variable in scalar evaluation: " + T->getVar()->Name);
+    return It->second;
+  }
+  case TermKind::IntLit:
+    return Value::mkInt(T->getIntValue());
+  case TermKind::BoolLit:
+    return Value::mkBool(T->getBoolValue());
+  case TermKind::Tuple: {
+    std::vector<ValuePtr> Elems;
+    for (const TermPtr &A : T->getArgs())
+      Elems.push_back(evalScalarTerm(A, E));
+    return Value::mkTuple(std::move(Elems));
+  }
+  case TermKind::Proj: {
+    ValuePtr V = evalScalarTerm(T->getArg(0), E);
+    return V->getElems()[T->getIndex()];
+  }
+  case TermKind::Op: {
+    OpKind Op = T->getOp();
+    if (Op == OpKind::Ite) {
+      ValuePtr C = evalScalarTerm(T->getArg(0), E);
+      return evalScalarTerm(C->getBool() ? T->getArg(1) : T->getArg(2), E);
+    }
+    if (Op == OpKind::And || Op == OpKind::Or) {
+      bool IsAnd = Op == OpKind::And;
+      for (const TermPtr &A : T->getArgs())
+        if (evalScalarTerm(A, E)->getBool() != IsAnd)
+          return Value::mkBool(!IsAnd);
+      return Value::mkBool(IsAnd);
+    }
+    auto IntArg = [&](size_t K) {
+      return evalScalarTerm(T->getArg(K), E)->getInt();
+    };
+    switch (Op) {
+    case OpKind::Add:
+      return Value::mkInt(IntArg(0) + IntArg(1));
+    case OpKind::Sub:
+      return Value::mkInt(IntArg(0) - IntArg(1));
+    case OpKind::Neg:
+      return Value::mkInt(-IntArg(0));
+    case OpKind::Mul:
+      return Value::mkInt(IntArg(0) * IntArg(1));
+    case OpKind::Div:
+      return Value::mkInt(euclidDiv(IntArg(0), IntArg(1)));
+    case OpKind::Mod:
+      return Value::mkInt(euclidMod(IntArg(0), IntArg(1)));
+    case OpKind::Min:
+      return Value::mkInt(std::min(IntArg(0), IntArg(1)));
+    case OpKind::Max:
+      return Value::mkInt(std::max(IntArg(0), IntArg(1)));
+    case OpKind::Abs:
+      return Value::mkInt(std::abs(IntArg(0)));
+    case OpKind::Lt:
+      return Value::mkBool(IntArg(0) < IntArg(1));
+    case OpKind::Le:
+      return Value::mkBool(IntArg(0) <= IntArg(1));
+    case OpKind::Gt:
+      return Value::mkBool(IntArg(0) > IntArg(1));
+    case OpKind::Ge:
+      return Value::mkBool(IntArg(0) >= IntArg(1));
+    case OpKind::Eq:
+      return Value::mkBool(valueEquals(evalScalarTerm(T->getArg(0), E),
+                                       evalScalarTerm(T->getArg(1), E)));
+    case OpKind::Ne:
+      return Value::mkBool(!valueEquals(evalScalarTerm(T->getArg(0), E),
+                                        evalScalarTerm(T->getArg(1), E)));
+    case OpKind::Not:
+      return Value::mkBool(!evalScalarTerm(T->getArg(0), E)->getBool());
+    case OpKind::Implies:
+      return Value::mkBool(!evalScalarTerm(T->getArg(0), E)->getBool() ||
+                           evalScalarTerm(T->getArg(1), E)->getBool());
+    default:
+      fatalError("unhandled operator in scalar evaluation");
+    }
+  }
+  default:
+    fatalError("non-scalar node in grammar term evaluation: " + T->str());
+  }
+}
+
+// --- Enumerator ---------------------------------------------------------===//
+
+Enumerator::Enumerator(const GrammarConfig &Config, std::vector<TermPtr> Leaves)
+    : Config(Config), Leaves(std::move(Leaves)) {}
+
+namespace {
+
+/// A candidate with its evaluation signature over the current examples.
+struct Candidate {
+  TermPtr T;
+  std::string Sig;
+};
+
+std::string signatureOf(const TermPtr &T,
+                        const std::vector<PbeExample> &Examples) {
+  std::ostringstream OS;
+  for (const PbeExample &Ex : Examples)
+    OS << evalScalarTerm(T, Ex.Inputs)->str() << '|';
+  return OS.str();
+}
+
+} // namespace
+
+std::optional<TermPtr>
+Enumerator::synthesize(const TypePtr &OutTy,
+                       const std::vector<PbeExample> &Examples, int MaxSize,
+                       const Deadline &Budget) {
+  if (!OutTy->isTuple())
+    return synthesizeScalar(OutTy, Examples, MaxSize, Budget);
+
+  // Component-wise synthesis for tuple outputs.
+  const std::vector<TypePtr> &Elems = OutTy->tupleElems();
+  std::vector<TermPtr> Parts;
+  for (size_t I = 0; I < Elems.size(); ++I) {
+    std::vector<PbeExample> Proj;
+    for (const PbeExample &Ex : Examples) {
+      assert(Ex.Output->isTuple() && "tuple example expected");
+      Proj.push_back(PbeExample{Ex.Inputs, Ex.Output->getElems()[I]});
+    }
+    auto Part = synthesize(Elems[I], Proj, MaxSize, Budget);
+    if (!Part)
+      return std::nullopt;
+    Parts.push_back(std::move(*Part));
+  }
+  return mkTuple(std::move(Parts));
+}
+
+std::optional<TermPtr>
+Enumerator::synthesizeScalar(const TypePtr &OutTy,
+                             const std::vector<PbeExample> &Examples,
+                             int MaxSize, const Deadline &Budget) {
+  bool WantInt = OutTy->isInt();
+
+  // With no examples any term works; return the simplest.
+  if (Examples.empty())
+    return WantInt ? mkIntLit(0) : mkFalse();
+
+  std::string Target;
+  {
+    std::ostringstream OS;
+    for (const PbeExample &Ex : Examples)
+      OS << Ex.Output->str() << '|';
+    Target = OS.str();
+  }
+
+  // Size-indexed pools (index 0 unused).
+  std::vector<std::vector<Candidate>> IntPool(MaxSize + 1);
+  std::vector<std::vector<Candidate>> BoolPool(MaxSize + 1);
+  std::map<std::string, bool> SeenInt, SeenBool;
+  std::optional<TermPtr> Found;
+
+  auto Consider = [&](TermPtr T, int Size) -> bool {
+    if (Found)
+      return true;
+    countEvent(CounterKind::PbeCandidates);
+    bool IsInt = T->getType()->isInt();
+    std::string Sig;
+    try {
+      Sig = signatureOf(T, Examples);
+    } catch (const UserError &) {
+      return false; // unbound leaf for these examples; skip
+    }
+    auto &Seen = IsInt ? SeenInt : SeenBool;
+    if (!Seen.emplace(Sig, true).second)
+      return false;
+    if (IsInt == WantInt && Sig == Target) {
+      Found = std::move(T);
+      return true;
+    }
+    auto &Pool = IsInt ? IntPool : BoolPool;
+    Pool[Size].push_back(Candidate{std::move(T), std::move(Sig)});
+    return false;
+  };
+
+  // Size 1: constants, boolean literals, and leaves.
+  for (long long C : Config.Constants)
+    if (Consider(mkIntLit(C), 1))
+      return Found;
+  for (bool B : {false, true})
+    if (Consider(mkBoolLit(B), 1))
+      return Found;
+  for (const TermPtr &L : Leaves)
+    if (L->getType()->isInt() || L->getType()->isBool())
+      if (Consider(L, 1))
+        return Found;
+
+  auto ForPool = [&](std::vector<std::vector<Candidate>> &Pool, int Size,
+                     auto Fn) {
+    for (const Candidate &C : Pool[Size])
+      if (Fn(C))
+        return true;
+    return false;
+  };
+
+  for (int Size = 2; Size <= MaxSize; ++Size) {
+    if (Budget.expired())
+      return std::nullopt;
+
+    // Unary integer operators.
+    [[maybe_unused]] bool Stop = ForPool(IntPool, Size - 1, [&](const Candidate &A) {
+      if (Consider(mkOp(OpKind::Neg, {A.T}), Size))
+        return true;
+      if (Config.AllowAbs && Consider(mkOp(OpKind::Abs, {A.T}), Size))
+        return true;
+      return false;
+    });
+    if (Found)
+      return Found;
+
+    // Unary boolean.
+    ForPool(BoolPool, Size - 1, [&](const Candidate &A) {
+      return Consider(mkNot(A.T), Size);
+    });
+    if (Found)
+      return Found;
+
+    // Binary operators (left size + right size = Size - 1).
+    for (int LS = 1; LS + 1 < Size; ++LS) {
+      int RS = Size - 1 - LS;
+      ForPool(IntPool, LS, [&](const Candidate &A) {
+        return ForPool(IntPool, RS, [&](const Candidate &B) {
+          if (Consider(mkAdd(A.T, B.T), Size))
+            return true;
+          if (Consider(mkSub(A.T, B.T), Size))
+            return true;
+          if (Config.AllowMinMax) {
+            if (Consider(mkOp(OpKind::Min, {A.T, B.T}), Size))
+              return true;
+            if (Consider(mkOp(OpKind::Max, {A.T, B.T}), Size))
+              return true;
+          }
+          // The Appendix-B.4 grammar only multiplies by constants, but
+          // references like weighted sums need general products; allow them
+          // whenever multiplication appears in the specification.
+          if (Config.AllowMul)
+            if (Consider(mkOp(OpKind::Mul, {A.T, B.T}), Size))
+              return true;
+          if (Config.AllowDiv && B.T->getKind() == TermKind::IntLit &&
+              B.T->getIntValue() != 0)
+            if (Consider(mkOp(OpKind::Div, {A.T, B.T}), Size))
+              return true;
+          if (Config.AllowMod && B.T->getKind() == TermKind::IntLit &&
+              B.T->getIntValue() > 1)
+            if (Consider(mkOp(OpKind::Mod, {A.T, B.T}), Size))
+              return true;
+          // Comparisons (feed the boolean pool).
+          if (Consider(mkOp(OpKind::Gt, {A.T, B.T}), Size))
+            return true;
+          if (Consider(mkOp(OpKind::Le, {A.T, B.T}), Size))
+            return true;
+          if (Consider(mkEq(A.T, B.T), Size))
+            return true;
+          return false;
+        });
+      });
+      if (Found)
+        return Found;
+      ForPool(BoolPool, LS, [&](const Candidate &A) {
+        return ForPool(BoolPool, RS, [&](const Candidate &B) {
+          if (Consider(mkAndList({A.T, B.T}), Size))
+            return true;
+          if (Consider(mkOrList({A.T, B.T}), Size))
+            return true;
+          return false;
+        });
+      });
+      if (Found)
+        return Found;
+    }
+
+    // Conditionals: cond + then + else = Size - 1.
+    if (Config.AllowIte) {
+      for (int CS = 1; CS + 2 < Size; ++CS) {
+        for (int TS = 1; CS + TS + 1 < Size; ++TS) {
+          int ES = Size - 1 - CS - TS;
+          ForPool(BoolPool, CS, [&](const Candidate &C) {
+            return ForPool(IntPool, TS, [&](const Candidate &A) {
+              return ForPool(IntPool, ES, [&](const Candidate &B) {
+                return Consider(mkIte(C.T, A.T, B.T), Size);
+              });
+            });
+          });
+          if (Found)
+            return Found;
+        }
+      }
+    }
+  }
+  return std::nullopt;
+}

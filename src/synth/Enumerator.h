@@ -1,0 +1,61 @@
+//===- Enumerator.h - Bottom-up PBE term enumeration ------------*- C++-*-===//
+///
+/// \file
+/// Syntax-guided synthesis by example: enumerate grammar terms bottom-up in
+/// size order, pruning observationally equivalent candidates (terms that
+/// agree on every example input), until one matches the required outputs.
+/// This is the `Synthesize` component used both to generalize the
+/// input/output tables produced by the SGE solver's EUF models and to learn
+/// invariant predicates from positive/negative examples (Algorithm 2).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SE2GIS_SYNTH_ENUMERATOR_H
+#define SE2GIS_SYNTH_ENUMERATOR_H
+
+#include "eval/Interp.h"
+#include "support/Stopwatch.h"
+#include "synth/Grammar.h"
+
+#include <optional>
+
+namespace se2gis {
+
+/// One synthesis example: values for the leaf variables and the expected
+/// result.
+struct PbeExample {
+  Env Inputs;
+  ValuePtr Output;
+};
+
+/// Evaluates a grammar term (operators + literals + variables only; no
+/// calls) under \p E. Exposed for tests and the SGE verifier.
+ValuePtr evalScalarTerm(const TermPtr &T, const Env &E);
+
+/// Bottom-up enumerator over the Appendix-B.4 grammar.
+class Enumerator {
+public:
+  /// \param Leaves scalar-typed leaf terms (parameter variables and
+  ///        projections of tuple-typed parameters).
+  Enumerator(const GrammarConfig &Config, std::vector<TermPtr> Leaves);
+
+  /// Finds the smallest grammar term of type \p OutTy matching every
+  /// example. Tuple outputs are synthesized component-wise. \returns nullopt
+  /// if no term of size <= \p MaxSize fits (or the deadline expired).
+  std::optional<TermPtr> synthesize(const TypePtr &OutTy,
+                                    const std::vector<PbeExample> &Examples,
+                                    int MaxSize, const Deadline &Budget);
+
+private:
+  std::optional<TermPtr>
+  synthesizeScalar(const TypePtr &OutTy,
+                   const std::vector<PbeExample> &Examples, int MaxSize,
+                   const Deadline &Budget);
+
+  GrammarConfig Config;
+  std::vector<TermPtr> Leaves;
+};
+
+} // namespace se2gis
+
+#endif // SE2GIS_SYNTH_ENUMERATOR_H

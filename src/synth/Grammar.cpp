@@ -1,0 +1,58 @@
+//===- Grammar.cpp --------------------------------------------------------===//
+
+#include "synth/Grammar.h"
+
+using namespace se2gis;
+
+namespace {
+
+void scanTerm(const TermPtr &T, GrammarConfig &G) {
+  visitTerm(T, [&](const TermPtr &N) {
+    if (N->getKind() == TermKind::IntLit) {
+      G.addConstant(N->getIntValue());
+      return true;
+    }
+    if (N->getKind() != TermKind::Op)
+      return true;
+    switch (N->getOp()) {
+    case OpKind::Min:
+    case OpKind::Max:
+      G.AllowMinMax = true;
+      break;
+    case OpKind::Mul:
+      G.AllowMul = true;
+      break;
+    case OpKind::Div:
+      G.AllowDiv = true;
+      break;
+    case OpKind::Mod:
+      G.AllowMod = true;
+      break;
+    case OpKind::Abs:
+      G.AllowAbs = true;
+      break;
+    default:
+      break;
+    }
+    return true;
+  });
+}
+
+void scanFunction(const RecFunction &F, GrammarConfig &G) {
+  if (!F.isScheme()) {
+    scanTerm(F.getBody(), G);
+    return;
+  }
+  for (unsigned I = 0; I < F.getMatched()->numConstructors(); ++I)
+    if (const SchemeRule *R = F.findRule(I))
+      scanTerm(R->Body, G);
+}
+
+} // namespace
+
+GrammarConfig se2gis::inferGrammar(const Problem &P) {
+  GrammarConfig G;
+  for (const std::string &Name : P.Prog->functionNames())
+    scanFunction(*P.Prog->findFunction(Name), G);
+  return G;
+}

@@ -1,0 +1,49 @@
+//===- Grammar.h - Synthesis grammars for unknowns --------------*- C++-*-===//
+///
+/// \file
+/// The grammar used when synthesizing unknown functions and invariant
+/// predicates, following the paper's Appendix B.4: predicates are boolean
+/// combinations of (in)equalities over an integer sort `Ix` built from input
+/// variables, constants, negation and addition; `min`, `max`, `*c`, `div c`,
+/// `abs`, `mod c` and `ite` enter the integer sort only when the respective
+/// operator appears in the user-provided specification.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SE2GIS_SYNTH_GRAMMAR_H
+#define SE2GIS_SYNTH_GRAMMAR_H
+
+#include "ast/Term.h"
+#include "lang/Program.h"
+
+#include <set>
+
+namespace se2gis {
+
+/// Grammar configuration shared by all unknowns of a problem.
+struct GrammarConfig {
+  /// Extra integer operators enabled because they occur in the input.
+  bool AllowMinMax = false;
+  bool AllowMul = false;
+  bool AllowDiv = false;
+  bool AllowAbs = false;
+  bool AllowMod = false;
+  /// Conditionals in integer terms (always available for unknown functions;
+  /// the flag gates them for invariant predicates).
+  bool AllowIte = true;
+  /// The constant pool (`Ic`). Always contains 0 and 1.
+  std::set<long long> Constants = {0, 1};
+
+  /// Adds \p C to the constant pool.
+  void addConstant(long long C) { Constants.insert(C); }
+};
+
+/// Scans \p Prog's function bodies (and \p P's components) for operators and
+/// integer literals, enabling the corresponding grammar extensions — the
+/// paper's rule that e.g. `(min Ix Ix)` is added "whenever their respective
+/// operators appear in the user-provided specification".
+GrammarConfig inferGrammar(const Problem &P);
+
+} // namespace se2gis
+
+#endif // SE2GIS_SYNTH_GRAMMAR_H

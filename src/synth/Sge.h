@@ -1,0 +1,41 @@
+//===- Sge.h - Systems of guarded functional equations ----------*- C++-*-===//
+///
+/// \file
+/// Definition 4.2: a system of guarded functional equations (SGE) is a
+/// finite set of constraints `p_i => l_i = r_i` where the p_i and r_i are
+/// unknown-free scalar terms and the l_i may contain unknown applications.
+/// SGEs are the recursion-free approximations E(T, P) that both loops of
+/// SE²GIS operate on.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SE2GIS_SYNTH_SGE_H
+#define SE2GIS_SYNTH_SGE_H
+
+#include "ast/Term.h"
+
+#include <string>
+#include <vector>
+
+namespace se2gis {
+
+/// One guarded equation `Guard => Lhs = Rhs`.
+struct SgeEquation {
+  TermPtr Guard; ///< boolean, unknown-free
+  TermPtr Lhs;   ///< may contain Unknown applications
+  TermPtr Rhs;   ///< unknown-free
+  /// Index of the originating term t in the approximation's term set T
+  /// (Definition 4.6 pairs each equation with its term).
+  size_t TermIndex = 0;
+};
+
+/// A system of guarded functional equations.
+struct Sge {
+  std::vector<SgeEquation> Eqns;
+
+  std::string str() const;
+};
+
+} // namespace se2gis
+
+#endif // SE2GIS_SYNTH_SGE_H

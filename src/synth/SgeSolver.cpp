@@ -1,0 +1,362 @@
+//===- SgeSolver.cpp ------------------------------------------------------===//
+
+#include "synth/SgeSolver.h"
+
+#include "ast/Simplify.h"
+#include "support/Diagnostics.h"
+
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <sstream>
+
+namespace {
+/// Set SE2GIS_DEBUG=1 to trace the CEGIS loop on stderr.
+bool debugEnabled() {
+  static const bool On = std::getenv("SE2GIS_DEBUG") != nullptr;
+  return On;
+}
+} // namespace
+
+using namespace se2gis;
+
+// --- Sge printing -------------------------------------------------------===//
+
+std::string Sge::str() const {
+  std::ostringstream OS;
+  for (const SgeEquation &E : Eqns) {
+    OS << E.Guard->str() << "  =>  " << E.Lhs->str() << " = " << E.Rhs->str()
+       << '\n';
+  }
+  return OS.str();
+}
+
+// --- Helpers ------------------------------------------------------------===//
+
+TermPtr se2gis::valueToTerm(const ValuePtr &V) {
+  switch (V->getKind()) {
+  case Value::Kind::Int:
+    return mkIntLit(V->getInt());
+  case Value::Kind::Bool:
+    return mkBoolLit(V->getBool());
+  case Value::Kind::Tuple: {
+    std::vector<TermPtr> Elems;
+    for (const ValuePtr &E : V->getElems())
+      Elems.push_back(valueToTerm(E));
+    return mkTuple(std::move(Elems));
+  }
+  case Value::Kind::Data:
+    fatalError("cannot lift a datatype value into a scalar term");
+  }
+  fatalError("bad value kind");
+}
+
+TermPtr se2gis::mkDefaultTerm(const TypePtr &Ty) {
+  if (Ty->isInt())
+    return mkIntLit(0);
+  if (Ty->isBool())
+    return mkFalse();
+  if (Ty->isTuple()) {
+    std::vector<TermPtr> Elems;
+    for (const TypePtr &E : Ty->tupleElems())
+      Elems.push_back(mkDefaultTerm(E));
+    return mkTuple(std::move(Elems));
+  }
+  fatalError("no default term for type " + Ty->str());
+}
+
+TermPtr se2gis::applySolution(const TermPtr &T, const UnknownBindings &Defs) {
+  return rewriteBottomUp(T, [&](const TermPtr &N) -> TermPtr {
+    if (N->getKind() != TermKind::Unknown)
+      return N;
+    auto It = Defs.find(N->getCallee());
+    if (It == Defs.end())
+      return N;
+    const UnknownDef &Def = It->second;
+    assert(Def.Params.size() == N->numArgs() && "unknown arity mismatch");
+    Substitution Map;
+    for (size_t I = 0; I < Def.Params.size(); ++I)
+      Map.emplace_back(Def.Params[I]->Id, N->getArg(I));
+    return substitute(Def.Body, Map);
+  });
+}
+
+namespace {
+
+/// Appends scalar leaf terms for parameter \p Root (projecting tuples).
+void collectLeaves(const TermPtr &Root, std::vector<TermPtr> &Out) {
+  const TypePtr &Ty = Root->getType();
+  if (Ty->isTuple()) {
+    for (unsigned I = 0; I < Ty->tupleElems().size(); ++I)
+      collectLeaves(mkProj(Root, I), Out);
+    return;
+  }
+  Out.push_back(Root);
+}
+
+/// Builds a substitution sending every assigned variable of \p M to its
+/// literal term.
+Substitution substOfModel(const SmtModel &M) {
+  Substitution Map;
+  for (const auto &[V, Val] : M.assignments())
+    Map.emplace_back(V->Id, valueToTerm(Val));
+  return Map;
+}
+
+bool modelCoversVars(const SmtModel &M, const TermPtr &T) {
+  for (const VarPtr &V : freeVars(T))
+    if (!M.lookup(V->Id))
+      return false;
+  return true;
+}
+
+} // namespace
+
+// --- SgeSolver ----------------------------------------------------------===//
+
+SgeSolver::SgeSolver(std::vector<UnknownSig> Unknowns, GrammarConfig Config)
+    : Config(std::move(Config)) {
+  for (UnknownSig &Sig : Unknowns) {
+    UnknownInfo Info;
+    Info.Sig = Sig;
+    for (size_t I = 0; I < Sig.ArgTypes.size(); ++I) {
+      VarPtr P =
+          namedVar("p" + std::to_string(I) + "_" + Sig.Name, Sig.ArgTypes[I]);
+      Info.Params.push_back(P);
+      collectLeaves(mkVar(P), Info.Leaves);
+    }
+    Infos.push_back(std::move(Info));
+  }
+}
+
+const SgeSolver::UnknownInfo *
+SgeSolver::findInfo(const std::string &Name) const {
+  for (const UnknownInfo &I : Infos)
+    if (I.Sig.Name == Name)
+      return &I;
+  return nullptr;
+}
+
+const std::vector<VarPtr> &
+SgeSolver::paramsOf(const std::string &Name) const {
+  const UnknownInfo *I = findInfo(Name);
+  if (!I)
+    fatalError("unknown '" + Name + "' is not registered with the solver");
+  return I->Params;
+}
+
+std::optional<UnknownBindings>
+SgeSolver::synthesizeFromPoints(const Sge &System,
+                                const std::vector<SmtModel> &Points,
+                                const UnknownBindings &Current,
+                                const Deadline &Budget, bool &Infeasible) {
+  Infeasible = false;
+
+  // Ground the system on the points.
+  std::vector<TermPtr> Ground;
+  for (const SmtModel &P : Points) {
+    for (const SgeEquation &E : System.Eqns) {
+      if (!modelCoversVars(P, E.Guard) || !modelCoversVars(P, E.Lhs) ||
+          !modelCoversVars(P, E.Rhs))
+        continue;
+      Substitution Map = substOfModel(P);
+      TermPtr Guard = simplify(substitute(E.Guard, Map));
+      if (Guard->getKind() == TermKind::BoolLit && !Guard->getBoolValue())
+        continue;
+      TermPtr Lhs = simplify(substitute(E.Lhs, Map));
+      TermPtr Rhs = simplify(substitute(E.Rhs, Map));
+      TermPtr Constraint = mkEq(Lhs, Rhs);
+      if (Guard->getKind() != TermKind::BoolLit)
+        Constraint = mkOp(OpKind::Implies, {Guard, Constraint});
+      Ground.push_back(std::move(Constraint));
+    }
+  }
+
+  UnknownBindings Defs;
+  if (Ground.empty()) {
+    // Unconstrained: default everything.
+    for (const UnknownInfo &I : Infos)
+      Defs[I.Sig.Name] = UnknownDef{I.Params, mkDefaultTerm(I.Sig.RetTy)};
+    return Defs;
+  }
+
+  // Collect the distinct unknown applications appearing in the constraints.
+  std::vector<TermPtr> Occurrences;
+  for (const TermPtr &G : Ground) {
+    visitTerm(G, [&](const TermPtr &N) {
+      if (N->getKind() != TermKind::Unknown)
+        return true;
+      for (const TermPtr &Known : Occurrences)
+        if (termEquals(Known, N))
+          return true;
+      Occurrences.push_back(N);
+      return true;
+    });
+  }
+
+  std::vector<TermPtr> Blockers;
+  for (int Size = PbeStartSize; Size <= PbeMaxSize; Size += 2) {
+    for (int Attempt = 0; Attempt < MaxBlockedModels; ++Attempt) {
+      if (Budget.expired())
+        return std::nullopt;
+
+      SmtQuery Q;
+      for (const TermPtr &G : Ground)
+        Q.add(G);
+      for (const TermPtr &B : Blockers)
+        Q.add(B);
+      // Anchor underconstrained cells to the previous candidate's
+      // predictions (soft): without this, Z3 fills them with arbitrary
+      // values that no grammar term can generalize.
+      if (AnchorToCandidate && !Current.empty() && Blockers.empty()) {
+        for (const TermPtr &Occ : Occurrences) {
+          TermPtr Applied = simplify(applySolution(Occ, Current));
+          if (containsUnknown(Applied) || !freeVars(Applied).empty())
+            continue;
+          ValuePtr Predicted = evalScalarTerm(Applied, {});
+          Q.addSoft(mkEq(Occ, valueToTerm(Predicted)));
+        }
+      }
+      // Request the IO of every occurrence (arguments may contain nested
+      // unknowns, so their values come from the model too).
+      for (const TermPtr &Occ : Occurrences) {
+        Q.requestValue(Occ);
+        for (const TermPtr &A : Occ->getArgs())
+          Q.requestValue(A);
+      }
+
+      std::vector<ValuePtr> Vals;
+      SmtResult R = Q.checkSat(PerQueryTimeoutMs, nullptr, &Vals);
+      if (debugEnabled())
+        std::fprintf(stderr, "[sge] euf size=%d attempt=%d blockers=%zu -> %d\n",
+                     Size, Attempt, Blockers.size(), (int)R);
+      if (R == SmtResult::Unknown)
+        return std::nullopt;
+      if (R == SmtResult::Unsat) {
+        if (Blockers.empty()) {
+          Infeasible = true;
+          return std::nullopt;
+        }
+        // Every generalizable model was blocked; start over with a larger
+        // size and no blockers.
+        Blockers.clear();
+        break;
+      }
+
+      // Build the IO tables.
+      std::map<std::string, std::vector<PbeExample>> Tables;
+      size_t Cursor = 0;
+      std::vector<TermPtr> BlockerParts;
+      for (const TermPtr &Occ : Occurrences) {
+        ValuePtr Out = Vals[Cursor++];
+        const UnknownInfo *Info = findInfo(Occ->getCallee());
+        assert(Info && "unregistered unknown in SGE");
+        PbeExample Ex;
+        for (size_t I = 0; I < Occ->numArgs(); ++I)
+          Ex.Inputs[Info->Params[I]->Id] = Vals[Cursor++];
+        Ex.Output = Out;
+        Tables[Occ->getCallee()].push_back(std::move(Ex));
+        BlockerParts.push_back(mkNot(mkEq(Occ, valueToTerm(Out))));
+      }
+
+      // Generalize each table.
+      UnknownBindings Candidate;
+      bool AllOk = true;
+      for (const UnknownInfo &I : Infos) {
+        Enumerator En(Config, I.Leaves);
+        std::vector<PbeExample> Examples;
+        auto TableIt = Tables.find(I.Sig.Name);
+        if (TableIt != Tables.end())
+          Examples = TableIt->second;
+        auto Body = En.synthesize(I.Sig.RetTy, Examples, Size, Budget);
+        if (!Body) {
+          if (debugEnabled())
+            std::fprintf(stderr, "[sge] pbe failed for %s (%zu examples)\n",
+                         I.Sig.Name.c_str(), Examples.size());
+          AllOk = false;
+          break;
+        }
+        Candidate[I.Sig.Name] = UnknownDef{I.Params, std::move(*Body)};
+      }
+      if (AllOk)
+        return Candidate;
+
+      // Block this model's IO table and try another.
+      Blockers.push_back(mkOrList(std::move(BlockerParts)));
+    }
+  }
+  return std::nullopt;
+}
+
+SgeResult SgeSolver::solve(const Sge &System, const Deadline &Budget) {
+  SgeResult Result;
+  std::vector<SmtModel> Points;
+
+  // Initial candidate: defaults (round 0 behaves like classic CEGIS).
+  UnknownBindings Candidate;
+  for (const UnknownInfo &I : Infos)
+    Candidate[I.Sig.Name] = UnknownDef{I.Params, mkDefaultTerm(I.Sig.RetTy)};
+
+  const int MaxRounds = 64;
+  for (int Round = 0; Round < MaxRounds; ++Round) {
+    if (Budget.expired())
+      return Result;
+    Result.Rounds = Round + 1;
+
+    // Verify the candidate on the full system.
+    bool Failed = false;
+    for (const SgeEquation &E : System.Eqns) {
+      TermPtr Lhs = simplify(applySolution(E.Lhs, Candidate));
+      TermPtr Formula =
+          simplify(mkAndList({E.Guard, mkNot(mkEq(Lhs, E.Rhs))}));
+      if (Formula->getKind() == TermKind::BoolLit &&
+          !Formula->getBoolValue())
+        continue;
+      SmtModel Counter;
+      SmtResult R = quickCheck({Formula}, PerQueryTimeoutMs, &Counter);
+      if (R == SmtResult::Unsat)
+        continue;
+      if (R == SmtResult::Unknown) {
+        if (debugEnabled())
+          std::fprintf(stderr, "[sge] verify unknown on eqn %zu: %s\n",
+                       E.TermIndex, Formula->str().c_str());
+        return Result; // give up with Unknown status
+      }
+      // The substituted candidate may have erased variables of the original
+      // equation from the formula (e.g. a constant candidate); complete the
+      // model with defaults so the point still grounds the equation.
+      for (const TermPtr &Part : {E.Guard, E.Lhs, E.Rhs})
+        for (const VarPtr &V : freeVars(Part))
+          if (!Counter.lookup(V->Id))
+            Counter.bind(V, evalScalarTerm(mkDefaultTerm(V->Ty), {}));
+      Points.push_back(std::move(Counter));
+      Failed = true;
+      break;
+    }
+    if (!Failed) {
+      Result.Status = SgeStatus::Solved;
+      Result.Solution = std::move(Candidate);
+      return Result;
+    }
+    if (debugEnabled()) {
+      std::fprintf(stderr, "[sge] round %d: candidate rejected; points=%zu\n",
+                   Round, Points.size());
+      for (const auto &[Name, Def] : Candidate)
+        std::fprintf(stderr, "  %s = %s\n", Name.c_str(),
+                     simplify(Def.Body)->str().c_str());
+    }
+
+    bool Infeasible = false;
+    auto Next =
+        synthesizeFromPoints(System, Points, Candidate, Budget, Infeasible);
+    if (Infeasible) {
+      Result.Status = SgeStatus::Infeasible;
+      return Result;
+    }
+    if (!Next)
+      return Result; // Unknown
+    Candidate = std::move(*Next);
+  }
+  return Result;
+}

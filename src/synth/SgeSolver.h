@@ -1,0 +1,111 @@
+//===- SgeSolver.h - CEGIS synthesis for SGEs -------------------*- C++-*-===//
+///
+/// \file
+/// Solves the synthesis problem of a system of guarded functional equations
+/// (the role CVC4's SyGuS engine plays for Synduce). The algorithm is
+/// counterexample-guided:
+///
+///   1. Ground the equations on the accumulated example points and solve
+///      them in EUF+LIA with the unknowns as uninterpreted functions. An
+///      UNSAT answer means *no* functions at all satisfy the system at these
+///      points — evidence of unrealizability that the caller turns into a
+///      witness via Algorithm 1.
+///   2. From the EUF model, read one input/output table per unknown and
+///      generalize each table into a grammar term with the PBE enumerator
+///      (blocking unhelpful models and escalating term size on failure).
+///   3. Verify the joint candidate against the full (universally
+///      quantified) system with Z3; a countermodel becomes a new point.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SE2GIS_SYNTH_SGESOLVER_H
+#define SE2GIS_SYNTH_SGESOLVER_H
+
+#include "eval/Interp.h"
+#include "smt/Solver.h"
+#include "support/Stopwatch.h"
+#include "synth/Enumerator.h"
+#include "synth/Sge.h"
+
+#include <optional>
+
+namespace se2gis {
+
+/// Outcome of an SGE synthesis attempt.
+enum class SgeStatus : unsigned char {
+  /// A verified solution was found.
+  Solved,
+  /// The grounded system is unsatisfiable in EUF: the SGE has no solution
+  /// (the accumulated points witness unrealizability).
+  Infeasible,
+  /// Budget exhausted / enumeration failed; no verdict.
+  Unknown
+};
+
+/// Result of \c SgeSolver::solve.
+struct SgeResult {
+  SgeStatus Status = SgeStatus::Unknown;
+  UnknownBindings Solution;
+  /// Counterexample rounds used (CEGIS iterations).
+  int Rounds = 0;
+};
+
+/// Replaces every Unknown application in \p T by the bound definition with
+/// its parameters substituted; unbound unknowns are left in place.
+TermPtr applySolution(const TermPtr &T, const UnknownBindings &Defs);
+
+/// Builds the literal term denoting \p V (ints, bools, tuples).
+TermPtr valueToTerm(const ValuePtr &V);
+
+/// A default ("simplest") term of scalar type \p Ty: 0 / false / tuples
+/// thereof.
+TermPtr mkDefaultTerm(const TypePtr &Ty);
+
+/// CEGIS solver for systems of guarded functional equations.
+class SgeSolver {
+public:
+  SgeSolver(std::vector<UnknownSig> Unknowns, GrammarConfig Config);
+
+  /// Attempts to solve \p System within \p Budget.
+  SgeResult solve(const Sge &System, const Deadline &Budget);
+
+  /// Canonical parameter variables for unknown \p Name (used to report
+  /// solutions and evaluate them).
+  const std::vector<VarPtr> &paramsOf(const std::string &Name) const;
+
+  /// Z3 timeout for each individual query (ms).
+  int PerQueryTimeoutMs = 1000;
+  /// PBE size ladder: start, step, limit.
+  int PbeStartSize = 7;
+  int PbeMaxSize = 13;
+  /// EUF models blocked per size step before escalating.
+  int MaxBlockedModels = 3;
+  /// Anchor EUF models to the previous candidate's predictions (ablatable;
+  /// see DESIGN.md "SGE solving").
+  bool AnchorToCandidate = true;
+
+private:
+  struct UnknownInfo {
+    UnknownSig Sig;
+    std::vector<VarPtr> Params;
+    std::vector<TermPtr> Leaves; // scalar leaves for the enumerator
+  };
+
+  /// Synthesizes candidates from the current points. \p Current anchors the
+  /// EUF model (soft equalities to the previous candidate's predictions).
+  /// Returns nullopt and sets \p Infeasible when the grounded system is
+  /// EUF-unsat.
+  std::optional<UnknownBindings>
+  synthesizeFromPoints(const Sge &System, const std::vector<SmtModel> &Points,
+                       const UnknownBindings &Current, const Deadline &Budget,
+                       bool &Infeasible);
+
+  const UnknownInfo *findInfo(const std::string &Name) const;
+
+  std::vector<UnknownInfo> Infos;
+  GrammarConfig Config;
+};
+
+} // namespace se2gis
+
+#endif // SE2GIS_SYNTH_SGESOLVER_H

@@ -1,0 +1,124 @@
+//===- AstTest.cpp - Unit tests for types and terms -----------------------===//
+
+#include "ast/Term.h"
+
+#include <gtest/gtest.h>
+
+using namespace se2gis;
+
+namespace {
+
+TEST(TypeTest, ScalarPredicates) {
+  EXPECT_TRUE(Type::intTy()->isScalar());
+  EXPECT_TRUE(Type::boolTy()->isScalar());
+  TypePtr Tup = Type::tupleTy({Type::intTy(), Type::boolTy()});
+  EXPECT_TRUE(Tup->isScalar());
+  EXPECT_EQ(Tup->tupleElems().size(), 2u);
+}
+
+TEST(TypeTest, DatatypeConstruction) {
+  Datatype List("list");
+  TypePtr ListTy = Type::dataTy(&List);
+  EXPECT_FALSE(ListTy->isScalar());
+  List.addConstructor("Elt", {Type::intTy()});
+  List.addConstructor("Cons", {Type::intTy(), ListTy});
+  EXPECT_EQ(List.numConstructors(), 2u);
+  EXPECT_TRUE(List.isBaseConstructor(0));
+  EXPECT_FALSE(List.isBaseConstructor(1));
+  EXPECT_NE(List.findConstructor("Cons"), nullptr);
+  EXPECT_EQ(List.findConstructor("Nope"), nullptr);
+  EXPECT_TRUE(List.getConstructor(1).isDataField(1));
+  EXPECT_FALSE(List.getConstructor(1).isDataField(0));
+}
+
+TEST(TypeTest, SameTypeStructural) {
+  TypePtr A = Type::tupleTy({Type::intTy(), Type::intTy()});
+  TypePtr B = Type::tupleTy({Type::intTy(), Type::intTy()});
+  TypePtr C = Type::tupleTy({Type::intTy(), Type::boolTy()});
+  EXPECT_TRUE(sameType(A, B));
+  EXPECT_FALSE(sameType(A, C));
+}
+
+TEST(TermTest, FreshVarsAreDistinct) {
+  VarPtr A = freshVar("x", Type::intTy());
+  VarPtr B = freshVar("x", Type::intTy());
+  EXPECT_NE(A->Id, B->Id);
+}
+
+TEST(TermTest, EqualityAndHashing) {
+  VarPtr X = freshVar("x", Type::intTy());
+  TermPtr A = mkAdd(mkVar(X), mkIntLit(1));
+  TermPtr B = mkAdd(mkVar(X), mkIntLit(1));
+  TermPtr C = mkAdd(mkVar(X), mkIntLit(2));
+  EXPECT_TRUE(termEquals(A, B));
+  EXPECT_EQ(A->hash(), B->hash());
+  EXPECT_FALSE(termEquals(A, C));
+}
+
+TEST(TermTest, FreeVarsInOrder) {
+  VarPtr X = freshVar("x", Type::intTy());
+  VarPtr Y = freshVar("y", Type::intTy());
+  TermPtr T = mkAdd(mkVar(Y), mkAdd(mkVar(X), mkVar(Y)));
+  auto FV = freeVars(T);
+  ASSERT_EQ(FV.size(), 2u);
+  EXPECT_EQ(FV[0]->Id, Y->Id);
+  EXPECT_EQ(FV[1]->Id, X->Id);
+  EXPECT_TRUE(occursFree(T, X->Id));
+  EXPECT_FALSE(occursFree(T, freshVar("z", Type::intTy())->Id));
+}
+
+TEST(TermTest, SubstituteReplacesAllOccurrences) {
+  VarPtr X = freshVar("x", Type::intTy());
+  TermPtr T = mkAdd(mkVar(X), mkVar(X));
+  Substitution Map;
+  Map.emplace_back(X->Id, mkIntLit(3));
+  TermPtr R = substitute(T, Map);
+  EXPECT_EQ(R->str(), "3 + 3");
+}
+
+TEST(TermTest, FillHoles) {
+  TermPtr Frame = mkAdd(mkHole(0, Type::intTy()), mkHole(1, Type::intTy()));
+  TermPtr Filled = fillHoles(Frame, {mkIntLit(1), mkIntLit(2)});
+  EXPECT_EQ(Filled->str(), "1 + 2");
+}
+
+TEST(TermTest, TuplesAndProjections) {
+  TermPtr Tup = mkTuple({mkIntLit(1), mkBoolLit(true)});
+  EXPECT_TRUE(Tup->getType()->isTuple());
+  TermPtr P0 = mkProj(Tup, 0);
+  EXPECT_TRUE(P0->getType()->isInt());
+  TermPtr P1 = mkProj(Tup, 1);
+  EXPECT_TRUE(P1->getType()->isBool());
+}
+
+TEST(TermTest, PrinterPrecedence) {
+  VarPtr X = freshVar("x", Type::intTy());
+  VarPtr Y = freshVar("y", Type::intTy());
+  TermPtr T =
+      mkOp(OpKind::Mul, {mkAdd(mkVar(X), mkVar(Y)), mkIntLit(2)});
+  EXPECT_EQ(T->str(), "(" + X->Name + " + " + Y->Name + ") * 2");
+}
+
+TEST(TermTest, TermSizeCountsNodes) {
+  VarPtr X = freshVar("x", Type::intTy());
+  EXPECT_EQ(termSize(mkVar(X)), 1u);
+  EXPECT_EQ(termSize(mkAdd(mkVar(X), mkIntLit(1))), 3u);
+}
+
+TEST(TermTest, ContainsUnknownAndCall) {
+  TermPtr U = mkUnknown("u0", Type::intTy(), {mkIntLit(1)});
+  TermPtr C = mkCall("f", Type::intTy(), {mkIntLit(1)});
+  EXPECT_TRUE(containsUnknown(mkAdd(U, mkIntLit(1))));
+  EXPECT_FALSE(containsUnknown(C));
+  EXPECT_TRUE(containsCall(mkAdd(C, mkIntLit(1))));
+  EXPECT_FALSE(containsCall(U));
+}
+
+TEST(TermTest, AndOrListEdgeCases) {
+  EXPECT_EQ(mkAndList({})->str(), "true");
+  EXPECT_EQ(mkOrList({})->str(), "false");
+  TermPtr A = mkBoolLit(true);
+  EXPECT_TRUE(termEquals(mkAndList({A}), A));
+}
+
+} // namespace

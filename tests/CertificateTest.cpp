@@ -1,0 +1,170 @@
+//===- CertificateTest.cpp - Spuriousness checking and learning tests -----===//
+
+#include "core/Certificates.h"
+#include "core/InvariantInfer.h"
+#include "core/Verify.h"
+#include "core/Witness.h"
+
+#include "frontend/Elaborate.h"
+#include "synth/Grammar.h"
+
+#include "TestPrograms.h"
+
+#include <gtest/gtest.h>
+
+using namespace se2gis;
+
+namespace {
+
+/// Fixture around the §1.1 sorted-min problem with its initial
+/// approximation T0 = {Elt(a1), Cons(a2, l)}.
+struct CertFixture : public ::testing::Test {
+  void SetUp() override {
+    Prob = loadProblem(se2gis_tests::kMinSortedSrc);
+    Approx = std::make_unique<Approximation>(Prob);
+    ASSERT_TRUE(Approx->initialize());
+    System = Approx->buildSge();
+  }
+
+  /// The index of the Cons equation (one elimination variable).
+  size_t consEqn() const {
+    for (size_t I = 0; I < System.Eqns.size(); ++I)
+      if (!Approx->terms()[System.Eqns[I].TermIndex].Parts.Alpha.empty())
+        return I;
+    ADD_FAILURE() << "no Cons equation";
+    return 0;
+  }
+
+  /// Builds a witness-model over the Cons equation's variables.
+  WitnessModel model(long long HeadVal, long long MinTailVal) {
+    const ApproxTerm &AT =
+        Approx->terms()[System.Eqns[consEqn()].TermIndex];
+    WitnessModel WM;
+    WM.EqnIndex = consEqn();
+    for (const VarPtr &V : freeVars(AT.Parts.Rhs))
+      if (V->Ty->isInt()) {
+        bool IsElim = false;
+        for (const auto &[O, E] : AT.Parts.Alpha)
+          IsElim |= E->Id == V->Id;
+        WM.M.bind(V, Value::mkInt(IsElim ? MinTailVal : HeadVal));
+      }
+    return WM;
+  }
+
+  Problem Prob;
+  std::unique_ptr<Approximation> Approx;
+  Sge System;
+};
+
+TEST_F(CertFixture, CompatibilityBuildsInverseModel) {
+  CertificateChecker Checker(Prob, *Approx);
+  const ApproxTerm &AT = Approx->terms()[System.Eqns[consEqn()].TermIndex];
+  WitnessModel WM = model(1, 0);
+  TermPtr Compat = Checker.compatibility(AT, WM.M);
+  // Must equate the reference applied to the tail with the model's value.
+  EXPECT_TRUE(containsCall(Compat));
+  EXPECT_NE(Compat->str().find("lmin"), std::string::npos);
+}
+
+TEST_F(CertFixture, Example57WitnessIsSpuriousMistyped) {
+  // Example 5.7: models [a2<-1, vl<-0] and [a2<-1, vl<-1] — the first
+  // contradicts sortedness (head 1, tail minimum 0), so the witness is
+  // spurious with a mistyped certificate.
+  FunctionalWitness W;
+  W.First = model(1, 0);
+  W.Second = model(1, 1);
+  CertificateChecker Checker(Prob, *Approx);
+  WitnessCheckResult R = Checker.check(W, System, Deadline::afterMs(20000));
+  ASSERT_EQ(R.Verdict, WitnessVerdict::Spurious);
+  ASSERT_GE(R.Certs.size(), 1u);
+  EXPECT_EQ(R.Certs[0].Kind, CertKind::Mistyped);
+  // The second model (1,1) is realizable: Cons(1, Elt(1)) is sorted.
+  EXPECT_GE(R.ValidInputs.size(), 1u);
+}
+
+TEST_F(CertFixture, CompatibleSortedModelsMakeValidWitness) {
+  // Both models satisfiable under sortedness (head <= tail minimum) yet
+  // with different vl for equal a2: a genuinely valid witness.
+  FunctionalWitness W;
+  W.First = model(0, 1);
+  W.Second = model(0, 2);
+  CertificateChecker Checker(Prob, *Approx);
+  WitnessCheckResult R = Checker.check(W, System, Deadline::afterMs(20000));
+  EXPECT_EQ(R.Verdict, WitnessVerdict::Valid);
+  EXPECT_EQ(R.ValidInputs.size(), 2u);
+}
+
+TEST_F(CertFixture, LearnerInfersHeadLeqMinInvariant) {
+  // Learning from the Example 5.7 certificate must produce a predicate
+  // that is false at (a2=1, vl=0) and verified against sortedness.
+  FunctionalWitness W;
+  W.First = model(1, 0);
+  W.Second = model(1, 1);
+  CertificateChecker Checker(Prob, *Approx);
+  WitnessCheckResult R = Checker.check(W, System, Deadline::afterMs(20000));
+  ASSERT_EQ(R.Verdict, WitnessVerdict::Spurious);
+
+  InvariantLearner Learner(Prob, *Approx, inferGrammar(Prob));
+  auto Inv = Learner.learn(R.Certs[0], Deadline::afterMs(30000));
+  ASSERT_TRUE(Inv.has_value());
+  EXPECT_EQ(Inv->Kind, CertKind::Mistyped);
+  // The predicate excludes the negative model.
+  Env E;
+  for (const VarPtr &D : Inv->Domain)
+    E[D->Id] = R.Certs[0].M.lookup(D->Id);
+  EXPECT_FALSE(evalScalarTerm(Inv->Pred, E)->getBool());
+  // Applying it strengthens the guard so the original witness dies
+  // (Proposition 7.4).
+  Learner.apply(*Inv);
+  Sge Strengthened = Approx->buildSge();
+  bool SomeGuardNontrivial = false;
+  for (const SgeEquation &Eq : Strengthened.Eqns)
+    SomeGuardNontrivial |= Eq.Guard->str() != "true";
+  EXPECT_TRUE(SomeGuardNontrivial);
+}
+
+TEST(VerifyTest, AcceptsCorrectAndRejectsWrongSolutions) {
+  Problem P = loadProblem(se2gis_tests::kSumSrc);
+  // Correct: f0 = 0, f1(a, v) = a + v.
+  UnknownBindings Good;
+  Good["f0"] = UnknownDef{{}, mkIntLit(0)};
+  VarPtr A = freshVar("a", Type::intTy());
+  VarPtr V = freshVar("v", Type::intTy());
+  Good["f1"] = UnknownDef{{A, V}, mkAdd(mkVar(A), mkVar(V))};
+  VerifyOptions Opts;
+  VerifyResult R = verifySolution(P, Good, Opts, Deadline::afterMs(20000));
+  EXPECT_EQ(R.Status, VerifyStatus::ProvedInductive);
+
+  // Wrong: f1 ignores the element.
+  UnknownBindings Bad = Good;
+  VarPtr A2 = freshVar("a", Type::intTy());
+  VarPtr V2 = freshVar("v", Type::intTy());
+  Bad["f1"] = UnknownDef{{A2, V2}, mkVar(V2)};
+  VerifyResult R2 = verifySolution(P, Bad, Opts, Deadline::afterMs(20000));
+  ASSERT_EQ(R2.Status, VerifyStatus::Counterexample);
+  ASSERT_NE(R2.CexTheta, nullptr);
+  // The counterexample must really distinguish the two.
+  Interpreter Ref(*P.Prog), Tgt(*P.Prog);
+  Tgt.bindUnknowns(&Bad);
+  EXPECT_FALSE(valueEquals(Ref.call("lsum", {R2.CexTheta}),
+                           Tgt.call("tsum", {R2.CexTheta})));
+}
+
+TEST(WitnessProjectionTest, ModelsCoverEquationVariables) {
+  // Witness models must assign every variable of their equation so that
+  // compatibility constraints are complete.
+  Problem P = loadProblem(se2gis_tests::kMinUnsortedSrc);
+  Approximation A(P);
+  ASSERT_TRUE(A.initialize());
+  Sge S = A.buildSge();
+  auto W = findFunctionalWitness(S, 2000, Deadline());
+  ASSERT_TRUE(W.has_value());
+  for (const WitnessModel *WM : {&W->First, &W->Second}) {
+    const SgeEquation &E = S.Eqns[WM->EqnIndex];
+    for (const TermPtr &Side : {E.Guard, E.Lhs, E.Rhs})
+      for (const VarPtr &V : freeVars(Side))
+        EXPECT_NE(WM->M.lookup(V->Id), nullptr) << V->Name;
+  }
+}
+
+} // namespace

@@ -1,0 +1,111 @@
+//===- ExpandTest.cpp - Expansion and bounded enumeration tests -----------===//
+
+#include "eval/Expand.h"
+#include "frontend/Elaborate.h"
+
+#include "TestPrograms.h"
+
+#include <gtest/gtest.h>
+
+using namespace se2gis;
+
+namespace {
+
+struct ExpandFixture : public ::testing::Test {
+  void SetUp() override {
+    Prob = loadProblem(se2gis_tests::kMinSortedSrc);
+    List = Prob.Theta;
+    ListTy = Type::dataTy(List);
+    Elt = List->findConstructor("Elt");
+    Cons = List->findConstructor("Cons");
+  }
+  Problem Prob;
+  const Datatype *List = nullptr;
+  TypePtr ListTy;
+  const ConstructorDecl *Elt = nullptr;
+  const ConstructorDecl *Cons = nullptr;
+};
+
+TEST_F(ExpandFixture, ExpandVariableYieldsOneTermPerCtor) {
+  VarPtr L = freshVar("l", ListTy);
+  auto Terms = expandVariable(L);
+  ASSERT_EQ(Terms.size(), 2u);
+  EXPECT_EQ(Terms[0]->getCtor(), Elt);
+  EXPECT_EQ(Terms[1]->getCtor(), Cons);
+  // Fields are fresh variables of the right types.
+  EXPECT_EQ(Terms[1]->getArg(0)->getType()->str(), "int");
+  EXPECT_EQ(Terms[1]->getArg(1)->getType()->str(), "list");
+}
+
+TEST_F(ExpandFixture, ExpandVarInTermSubstitutes) {
+  VarPtr L = freshVar("l", ListTy);
+  VarPtr A = freshVar("a", Type::intTy());
+  TermPtr T = mkCtor(Cons, {mkVar(A), mkVar(L)});
+  auto Terms = expandVarInTerm(T, L);
+  ASSERT_EQ(Terms.size(), 2u);
+  EXPECT_EQ(Terms[0]->getArg(1)->getCtor(), Elt);
+  EXPECT_EQ(Terms[1]->getArg(1)->getCtor(), Cons);
+}
+
+TEST_F(ExpandFixture, FirstDataVar) {
+  VarPtr L = freshVar("l", ListTy);
+  VarPtr A = freshVar("a", Type::intTy());
+  EXPECT_EQ(firstDataVar(mkVar(A)), nullptr);
+  EXPECT_EQ(firstDataVar(mkCtor(Cons, {mkVar(A), mkVar(L)}))->Id, L->Id);
+}
+
+TEST_F(ExpandFixture, BoundedStreamEnumeratesBySize) {
+  BoundedTermStream Stream(List);
+  TermPtr T1 = Stream.next();
+  EXPECT_EQ(T1->getCtor(), Elt); // smallest shape first
+  TermPtr T2 = Stream.next();
+  EXPECT_EQ(T2->getCtor(), Cons);
+  EXPECT_EQ(T2->getArg(1)->getCtor(), Elt);
+  TermPtr T3 = Stream.next();
+  // Cons(Cons(Elt)) next; all fully bounded.
+  EXPECT_EQ(firstDataVar(T3), nullptr);
+  EXPECT_GE(termSize(T3), termSize(T2));
+}
+
+TEST_F(ExpandFixture, ShapeOfValueRoundTrip) {
+  ValuePtr V = Value::mkData(
+      Cons, {Value::mkInt(3), Value::mkData(Elt, {Value::mkInt(4)})});
+  TermPtr Shape = shapeOfValue(V);
+  EXPECT_EQ(Shape->getCtor(), Cons);
+  EXPECT_EQ(Shape->getArg(0)->getKind(), TermKind::Var);
+  std::vector<std::pair<VarPtr, ValuePtr>> Bindings;
+  EXPECT_TRUE(matchShape(Shape, V, Bindings));
+}
+
+TEST_F(ExpandFixture, MatchShapeRejectsWrongCtor) {
+  ValuePtr V = Value::mkData(Elt, {Value::mkInt(4)});
+  VarPtr A = freshVar("a", Type::intTy());
+  VarPtr L = freshVar("l", ListTy);
+  TermPtr Pattern = mkCtor(Cons, {mkVar(A), mkVar(L)});
+  std::vector<std::pair<VarPtr, ValuePtr>> Bindings;
+  EXPECT_FALSE(matchShape(Pattern, V, Bindings));
+}
+
+TEST_F(ExpandFixture, ExpandTowardUnrollsOneLevel) {
+  // Pattern Cons(a, l), value Cons(1, Cons(2, Elt(3))).
+  ValuePtr V = Value::mkData(
+      Cons, {Value::mkInt(1),
+             Value::mkData(Cons, {Value::mkInt(2),
+                                  Value::mkData(Elt, {Value::mkInt(3)})})});
+  VarPtr A = freshVar("a", Type::intTy());
+  VarPtr L = freshVar("l", ListTy);
+  TermPtr Pattern = mkCtor(Cons, {mkVar(A), mkVar(L)});
+  auto Expanded = expandToward(Pattern, V);
+  ASSERT_TRUE(Expanded.has_value());
+  // l was replaced by Cons(fresh, fresh).
+  EXPECT_EQ((*Expanded)->getArg(1)->getCtor(), Cons);
+  // A second step reaches depth 3.
+  auto Expanded2 = expandToward(*Expanded, V);
+  ASSERT_TRUE(Expanded2.has_value());
+  EXPECT_EQ((*Expanded2)->getArg(1)->getArg(1)->getCtor(), Elt);
+  // No further data vars match constructors once fully unrolled.
+  auto Expanded3 = expandToward(*Expanded2, V);
+  EXPECT_FALSE(Expanded3.has_value());
+}
+
+} // namespace

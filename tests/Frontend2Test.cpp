@@ -1,0 +1,154 @@
+//===- Frontend2Test.cpp - Additional frontend edge-case tests ------------===//
+
+#include "frontend/Elaborate.h"
+#include "frontend/Lexer.h"
+#include "frontend/Parser.h"
+#include "support/Diagnostics.h"
+
+#include <gtest/gtest.h>
+
+using namespace se2gis;
+
+namespace {
+
+TEST(Lexer2Test, LineAndColumnTracking) {
+  auto Toks = tokenize("let\n  rec f");
+  EXPECT_EQ(Toks[0].Line, 1);
+  EXPECT_EQ(Toks[1].Line, 2);
+  EXPECT_EQ(Toks[1].Col, 3);
+}
+
+TEST(Lexer2Test, PrimedIdentifiers) {
+  auto Toks = tokenize("x' y''");
+  EXPECT_EQ(Toks[0].Text, "x'");
+  EXPECT_EQ(Toks[1].Text, "y''");
+}
+
+TEST(Lexer2Test, MinusVersusLineComment) {
+  // A single '-' is the operator; '--' starts a comment.
+  auto Toks = tokenize("a - b -- gone");
+  ASSERT_EQ(Toks.size(), 4u); // a, -, b, eof
+  EXPECT_EQ(Toks[1].Kind, TokKind::Minus);
+}
+
+TEST(Parser2Test, UnaryMinusAndNot) {
+  SynUnit U = parseUnit("let f (x : int) = -x + 1");
+  const SynExpr &B = *U.LetGroups[0].Bindings[0].Body;
+  EXPECT_EQ(B.Name, "+");
+  EXPECT_EQ(B.Args[0]->K, SynExpr::Kind::Unary);
+}
+
+TEST(Parser2Test, NestedLetIn) {
+  SynUnit U = parseUnit(R"(
+let f (x : int) =
+  let a = x + 1 in
+  let b, c = (a, a) in
+  b + c
+)");
+  const SynExpr &B = *U.LetGroups[0].Bindings[0].Body;
+  EXPECT_EQ(B.K, SynExpr::Kind::LetIn);
+  EXPECT_EQ(B.Args[1]->K, SynExpr::Kind::LetIn);
+  EXPECT_EQ(B.Args[1]->LetVars.size(), 2u);
+}
+
+TEST(Parser2Test, ConstructorWithTupleArgument) {
+  SynUnit U = parseUnit("let f (x : int) = Pair (x, x + 1)");
+  const SynExpr &B = *U.LetGroups[0].Bindings[0].Body;
+  EXPECT_EQ(B.K, SynExpr::Kind::App);
+  EXPECT_TRUE(B.BoolValue); // constructor marker
+  EXPECT_EQ(B.Args.size(), 2u);
+}
+
+TEST(Parser2Test, MissingArrowInRuleRejected) {
+  EXPECT_THROW(parseUnit("let rec f = function | Nil 0"), UserError);
+}
+
+TEST(Parser2Test, UnterminatedDirectiveRejected) {
+  EXPECT_THROW(parseUnit("synthesize t"), UserError);
+}
+
+TEST(Elaborate2Test, BuiltinShadowing) {
+  // A user-defined `min` takes priority over the builtin.
+  const char *Src = R"(
+type list = Elt of int | Cons of int * list
+let min (a : int) (b : int) = if a < b then a else b
+let rec lmin = function
+  | Elt a -> a
+  | Cons (a, l) -> min a (lmin l)
+let rec t : int = function
+  | Elt a -> $u a
+  | Cons (a, l) -> $v a (t l)
+synthesize t equiv lmin
+)";
+  Problem P = loadProblem(Src);
+  EXPECT_NE(P.Prog->findFunction("min"), nullptr);
+}
+
+TEST(Elaborate2Test, TypeMismatchDiagnosed) {
+  const char *Src = R"(
+type list = Elt of int | Cons of int * list
+let rec f = function
+  | Elt a -> a
+  | Cons (a, l) -> a && f l
+synthesize f equiv f
+)";
+  EXPECT_THROW(loadProblem(Src), UserError);
+}
+
+TEST(Elaborate2Test, WrongCtorArityDiagnosed) {
+  const char *Src = R"(
+type list = Elt of int | Cons of int * list
+let rec f = function
+  | Elt a -> Cons a
+  | Cons (a, l) -> f l
+synthesize f equiv f
+)";
+  EXPECT_THROW(loadProblem(Src), UserError);
+}
+
+TEST(Elaborate2Test, MixedDatatypeRuleRejected) {
+  const char *Src = R"(
+type alist = ANil | ACons of int * alist
+type blist = BNil | BCons of int * blist
+let rec f : int = function
+  | ANil -> 0
+  | BCons (a, l) -> a
+synthesize f equiv f
+)";
+  EXPECT_THROW(loadProblem(Src), UserError);
+}
+
+TEST(Elaborate2Test, DeepTupleTypesInAnnotations) {
+  const char *Src = R"(
+type list = Nil | Cons of int * list
+let pick (p : (int * int) * bool) = let q, b = p in if b then 1 else 0
+let rec f = function
+  | Nil -> 0
+  | Cons (a, l) -> a + f l
+let rec t : int = function
+  | Nil -> $u0
+  | Cons (a, l) -> $u1 a (t l)
+synthesize t equiv f
+)";
+  Problem P = loadProblem(Src);
+  const RecFunction *Pick = P.Prog->findFunction("pick");
+  ASSERT_NE(Pick, nullptr);
+  EXPECT_TRUE(Pick->getParams()[0]->Ty->isTuple());
+}
+
+TEST(Elaborate2Test, EnsuresMustBeUnaryPredicate) {
+  const char *Src = R"(
+type list = Nil | Cons of int * list
+let rec f = function
+  | Nil -> 0
+  | Cons (a, l) -> a + f l
+let bad (x : int) (y : int) = x > y
+let rec t : int = function
+  | Nil -> $u0
+  | Cons (a, l) -> $u1 a (t l)
+synthesize t equiv f ensures bad
+)";
+  EXPECT_THROW(loadProblem(Src), UserError);
+}
+
+} // namespace

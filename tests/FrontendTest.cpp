@@ -1,0 +1,201 @@
+//===- FrontendTest.cpp - Lexer, parser, and elaborator tests -------------===//
+
+#include "frontend/Elaborate.h"
+#include "frontend/Lexer.h"
+#include "frontend/Parser.h"
+#include "support/Diagnostics.h"
+
+#include "TestPrograms.h"
+
+#include <gtest/gtest.h>
+
+using namespace se2gis;
+
+namespace {
+
+TEST(LexerTest, BasicTokens) {
+  auto Toks = tokenize("let rec f = function | Cons (a, l) -> a + 1");
+  ASSERT_GE(Toks.size(), 2u);
+  EXPECT_EQ(Toks[0].Kind, TokKind::KwLet);
+  EXPECT_EQ(Toks[1].Kind, TokKind::KwRec);
+  EXPECT_EQ(Toks.back().Kind, TokKind::Eof);
+}
+
+TEST(LexerTest, CommentsAreSkipped) {
+  auto Toks = tokenize("a (* comment (* nested *) *) b -- line\nc");
+  ASSERT_EQ(Toks.size(), 4u); // a b c eof
+  EXPECT_EQ(Toks[0].Text, "a");
+  EXPECT_EQ(Toks[1].Text, "b");
+  EXPECT_EQ(Toks[2].Text, "c");
+}
+
+TEST(LexerTest, TwoCharOperators) {
+  auto Toks = tokenize("<> <= >= && || ->");
+  EXPECT_EQ(Toks[0].Kind, TokKind::NotEq);
+  EXPECT_EQ(Toks[1].Kind, TokKind::Le);
+  EXPECT_EQ(Toks[2].Kind, TokKind::Ge);
+  EXPECT_EQ(Toks[3].Kind, TokKind::AmpAmp);
+  EXPECT_EQ(Toks[4].Kind, TokKind::BarBar);
+  EXPECT_EQ(Toks[5].Kind, TokKind::Arrow);
+}
+
+TEST(LexerTest, BadCharacterRaises) {
+  EXPECT_THROW(tokenize("let ~ x"), UserError);
+  EXPECT_THROW(tokenize("(* unterminated"), UserError);
+}
+
+TEST(ParserTest, TypeDeclaration) {
+  SynUnit U = parseUnit("type tree = Leaf of int | Node of int * tree * tree");
+  ASSERT_EQ(U.Types.size(), 1u);
+  EXPECT_EQ(U.Types[0].Name, "tree");
+  ASSERT_EQ(U.Types[0].Ctors.size(), 2u);
+  EXPECT_EQ(U.Types[0].Ctors[0].Fields.size(), 1u);
+  EXPECT_EQ(U.Types[0].Ctors[1].Fields.size(), 3u);
+}
+
+TEST(ParserTest, DirectiveForms) {
+  SynUnit U = parseUnit("synthesize t equiv f via r requires inv ensures e");
+  ASSERT_EQ(U.Directives.size(), 1u);
+  EXPECT_EQ(U.Directives[0].Target, "t");
+  EXPECT_EQ(U.Directives[0].Reference, "f");
+  EXPECT_EQ(U.Directives[0].Repr, "r");
+  EXPECT_EQ(U.Directives[0].Invariant, "inv");
+  EXPECT_EQ(U.Directives[0].Ensures, "e");
+
+  SynUnit U2 = parseUnit("synthesize t equiv f");
+  EXPECT_TRUE(U2.Directives[0].Repr.empty());
+  EXPECT_TRUE(U2.Directives[0].Invariant.empty());
+}
+
+TEST(ParserTest, OperatorPrecedence) {
+  SynUnit U = parseUnit("let f (x : int) = 1 + 2 * 3 = 7 && true");
+  ASSERT_EQ(U.LetGroups.size(), 1u);
+  const SynExpr &Body = *U.LetGroups[0].Bindings[0].Body;
+  // Top node should be &&.
+  EXPECT_EQ(Body.K, SynExpr::Kind::Binary);
+  EXPECT_EQ(Body.Name, "&&");
+  // Left: (1 + (2*3)) = 7.
+  EXPECT_EQ(Body.Args[0]->Name, "=");
+  EXPECT_EQ(Body.Args[0]->Args[0]->Name, "+");
+}
+
+TEST(ParserTest, UnannotatedParamRejected) {
+  EXPECT_THROW(parseUnit("let f x = x + 1"), UserError);
+}
+
+TEST(ElaborateTest, LoadsMinSortedProblem) {
+  Problem P = loadProblem(se2gis_tests::kMinSortedSrc);
+  EXPECT_EQ(P.Reference, "lmin");
+  EXPECT_EQ(P.Target, "mins");
+  EXPECT_EQ(P.Invariant, "sorted");
+  EXPECT_EQ(P.Theta->getName(), "list");
+  EXPECT_EQ(P.Unknowns.size(), 2u);
+  EXPECT_TRUE(P.RetTy->isInt());
+  // An identity repr was auto-generated.
+  EXPECT_NE(P.Prog->findFunction(P.Repr), nullptr);
+}
+
+TEST(ElaborateTest, ReturnTypeInferenceThroughMutualRecursion) {
+  // `sorted` calls `head`, whose base rule fixes its return type.
+  Problem P = loadProblem(se2gis_tests::kMinSortedSrc);
+  const RecFunction *Sorted = P.Prog->findFunction("sorted");
+  ASSERT_NE(Sorted, nullptr);
+  EXPECT_TRUE(Sorted->getReturnType()->isBool());
+  const RecFunction *Head = P.Prog->findFunction("head");
+  ASSERT_NE(Head, nullptr);
+  EXPECT_TRUE(Head->getReturnType()->isInt());
+}
+
+TEST(ElaborateTest, TupleReturnsAndLetDestructuring) {
+  const char *Src = R"(
+type list = Nil | Cons of int * list
+
+let rec mts = function
+  | Nil -> (0, 0)
+  | Cons (a, l) ->
+    let m, s = mts l in
+    (max 0 (m + a), s + a)
+
+let rec target : int * int = function
+  | Nil -> $f0
+  | Cons (a, l) -> $f1 a (target l)
+
+synthesize target equiv mts
+)";
+  Problem P = loadProblem(Src);
+  const RecFunction *Mts = P.Prog->findFunction("mts");
+  ASSERT_NE(Mts, nullptr);
+  EXPECT_TRUE(Mts->getReturnType()->isTuple());
+  EXPECT_EQ(P.Unknowns.size(), 2u);
+  EXPECT_TRUE(P.findUnknown("f0")->RetTy->isTuple());
+}
+
+TEST(ElaborateTest, UnknownReturnTypeRequiresAnnotation) {
+  const char *Src = R"(
+type list = Nil | Cons of int * list
+let rec f = function
+  | Nil -> 0
+  | Cons (a, l) -> a + f l
+let rec t = function
+  | Nil -> $u0
+  | Cons (a, l) -> $u1 a (t l)
+synthesize t equiv f
+)";
+  EXPECT_THROW(loadProblem(Src), UserError);
+}
+
+TEST(ElaborateTest, ExtraParamsWithPassThrough) {
+  const char *Src = R"(
+type tree = Leaf of int | Node of int * tree * tree
+
+let rec count (x : int) = function
+  | Leaf a -> if a = x then 1 else 0
+  | Node (a, l, r) -> count x l + count x r + (if a = x then 1 else 0)
+
+let rec target (x : int) : int = function
+  | Leaf a -> $u0 x a
+  | Node (a, l, r) -> $u2 x a (target x l) (target x r)
+
+synthesize target equiv count
+)";
+  Problem P = loadProblem(Src);
+  EXPECT_EQ(P.ExtraParamTypes.size(), 1u);
+  EXPECT_EQ(P.Unknowns.size(), 2u);
+  EXPECT_EQ(P.findUnknown("u2")->ArgTypes.size(), 4u);
+}
+
+TEST(ElaborateTest, PassThroughViolationRejected) {
+  const char *Src = R"(
+type tree = Leaf of int | Node of int * tree * tree
+
+let rec count (x : int) = function
+  | Leaf a -> if a = x then 1 else 0
+  | Node (a, l, r) -> count a l + count x r
+
+let rec target (x : int) : int = function
+  | Leaf a -> $u0 x a
+  | Node (a, l, r) -> $u2 x a (target x l) (target x r)
+
+synthesize target equiv count
+)";
+  EXPECT_THROW(loadProblem(Src), UserError);
+}
+
+TEST(ElaborateTest, UndefinedNamesRejected) {
+  EXPECT_THROW(loadProblem("synthesize a equiv b"), UserError);
+  EXPECT_THROW(loadProblem("type t = A of unknown_type\n"
+                           "synthesize a equiv b"),
+               UserError);
+}
+
+TEST(ElaborateTest, IncompleteSchemeRejected) {
+  const char *Src = R"(
+type list = Nil | Cons of int * list
+let rec f = function
+  | Nil -> 0
+synthesize f equiv f
+)";
+  EXPECT_THROW(loadProblem(Src), UserError);
+}
+
+} // namespace

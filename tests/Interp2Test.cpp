@@ -1,0 +1,113 @@
+//===- Interp2Test.cpp - Interpreter and symbolic-eval edge cases ---------===//
+
+#include "eval/Interp.h"
+#include "eval/SymbolicEval.h"
+#include "synth/Enumerator.h"
+
+#include "frontend/Elaborate.h"
+#include "support/Diagnostics.h"
+
+#include "TestPrograms.h"
+
+#include <gtest/gtest.h>
+
+using namespace se2gis;
+
+namespace {
+
+struct Interp2Fixture : public ::testing::Test {
+  void SetUp() override {
+    Prob = loadProblem(se2gis_tests::kSumSrc);
+    List = Prob.Theta;
+    Nil = List->findConstructor("Nil");
+    Cons = List->findConstructor("Cons");
+  }
+  ValuePtr list(std::initializer_list<long long> Xs) {
+    ValuePtr R = Value::mkData(Nil, {});
+    std::vector<long long> V(Xs);
+    for (size_t I = V.size(); I-- > 0;)
+      R = Value::mkData(Cons, {Value::mkInt(V[I]), R});
+    return R;
+  }
+  Problem Prob;
+  const Datatype *List = nullptr;
+  const ConstructorDecl *Nil = nullptr;
+  const ConstructorDecl *Cons = nullptr;
+};
+
+TEST_F(Interp2Fixture, EmptyListBaseCase) {
+  Interpreter I(*Prob.Prog);
+  EXPECT_EQ(I.call("lsum", {list({})})->getInt(), 0);
+  EXPECT_EQ(I.call("lsum", {list({1, 2, 3, 4})})->getInt(), 10);
+}
+
+TEST_F(Interp2Fixture, UnboundVariableDiagnosed) {
+  Interpreter I(*Prob.Prog);
+  VarPtr X = freshVar("x", Type::intTy());
+  EXPECT_THROW(I.eval(mkVar(X), {}), UserError);
+}
+
+TEST_F(Interp2Fixture, UnknownWithoutBindingsDiagnosed) {
+  Interpreter I(*Prob.Prog);
+  EXPECT_THROW(I.eval(mkUnknown("u", Type::intTy(), {}), {}), UserError);
+}
+
+TEST_F(Interp2Fixture, ArityMismatchDiagnosed) {
+  Interpreter I(*Prob.Prog);
+  EXPECT_THROW(I.call("lsum", {}), UserError);
+  EXPECT_THROW(I.call("nosuch", {list({})}), UserError);
+}
+
+TEST_F(Interp2Fixture, ShortCircuitAvoidsDivergence) {
+  // false && loop() must not evaluate loop(): encode with a self-calling
+  // plain function and tight fuel.
+  auto Prog = std::make_shared<Program>();
+  VarPtr X = namedVar("x", Type::intTy());
+  Prog->addFunction(RecFunction::makePlain(
+      "spin", {X}, mkCall("spin", Type::intTy(), {mkVar(X)})));
+  Interpreter I(*Prog, /*MaxSteps=*/100);
+  TermPtr Guarded = mkAndList(
+      {mkFalse(), mkEq(mkCall("spin", Type::intTy(), {mkIntLit(0)}),
+                       mkIntLit(1))});
+  EXPECT_FALSE(I.eval(Guarded, {})->getBool());
+}
+
+TEST_F(Interp2Fixture, SymbolicEvalMatchesInterpreterOnNestedIte) {
+  SymbolicEvaluator SE(*Prob.Prog);
+  Interpreter I(*Prob.Prog);
+  // lsum(Cons(ite(c, 1, 2), Nil)) under both values of c.
+  VarPtr C = freshVar("c", Type::boolTy());
+  TermPtr T = mkCall(
+      "lsum", Type::intTy(),
+      {mkCtor(Cons, {mkIte(mkVar(C), mkIntLit(1), mkIntLit(2)),
+                     mkCtor(Nil, {})})});
+  TermPtr R = SE.eval(T);
+  Env TrueEnv{{C->Id, Value::mkBool(true)}};
+  Env FalseEnv{{C->Id, Value::mkBool(false)}};
+  EXPECT_EQ(evalScalarTerm(R, TrueEnv)->getInt(), 1);
+  EXPECT_EQ(evalScalarTerm(R, FalseEnv)->getInt(), 2);
+}
+
+TEST_F(Interp2Fixture, SolutionBindingSubstitutionInSymbolicEval) {
+  UnknownBindings B;
+  VarPtr P0 = freshVar("p", Type::intTy());
+  VarPtr P1 = freshVar("q", Type::intTy());
+  B["f0"] = UnknownDef{{}, mkIntLit(0)};
+  B["f1"] = UnknownDef{{P0, P1}, mkAdd(mkVar(P0), mkVar(P1))};
+  SymbolicEvaluator SE(*Prob.Prog);
+  SE.bindUnknowns(&B);
+  TermPtr T = mkCall(
+      "tsum", Type::intTy(),
+      {mkCtor(Cons, {mkIntLit(5),
+                     mkCtor(Cons, {mkIntLit(6), mkCtor(Nil, {})})})});
+  EXPECT_EQ(SE.eval(T)->str(), "11");
+}
+
+TEST(ValueEdgeTest, TupleOrderingIsLexicographic) {
+  ValuePtr A = Value::mkTuple({Value::mkInt(1), Value::mkInt(9)});
+  ValuePtr B = Value::mkTuple({Value::mkInt(2), Value::mkInt(0)});
+  EXPECT_TRUE(valueLess(A, B));
+  EXPECT_FALSE(valueLess(B, A));
+}
+
+} // namespace

@@ -1,0 +1,136 @@
+//===- LangTest.cpp - Unit tests for functions and programs ---------------===//
+
+#include "lang/Program.h"
+
+#include "support/Diagnostics.h"
+
+#include <gtest/gtest.h>
+
+using namespace se2gis;
+
+namespace {
+
+/// Builds list = Elt of int | Cons of int * list with a `lmin` reference.
+struct ListProgram {
+  std::shared_ptr<Program> Prog = std::make_shared<Program>();
+  Datatype *List = nullptr;
+  TypePtr ListTy;
+
+  ListProgram() {
+    List = Prog->addDatatype("list");
+    ListTy = Prog->getDataType("list");
+    List->addConstructor("Elt", {Type::intTy()});
+    List->addConstructor("Cons", {Type::intTy(), ListTy});
+
+    RecFunction Min =
+        RecFunction::makeScheme("lmin", {}, List, Type::intTy());
+    VarPtr A0 = namedVar("a", Type::intTy());
+    Min.addRule(0, {A0}, mkVar(A0));
+    VarPtr A1 = namedVar("a", Type::intTy());
+    VarPtr L1 = namedVar("l", ListTy);
+    Min.addRule(1, {A1, L1},
+                mkOp(OpKind::Min,
+                     {mkVar(A1),
+                      mkCall("lmin", Type::intTy(), {mkVar(L1)})}));
+    Prog->addFunction(std::move(Min));
+  }
+};
+
+TEST(LangTest, SchemeCompleteness) {
+  ListProgram LP;
+  const RecFunction *Min = LP.Prog->findFunction("lmin");
+  ASSERT_NE(Min, nullptr);
+  EXPECT_TRUE(Min->isScheme());
+  EXPECT_TRUE(Min->isComplete());
+  EXPECT_EQ(Min->numArgs(), 1u);
+  EXPECT_NE(Min->findRule(0), nullptr);
+  EXPECT_NE(Min->findRule(1), nullptr);
+  EXPECT_EQ(Min->findRule(2), nullptr);
+}
+
+TEST(LangTest, DuplicateFunctionRejected) {
+  ListProgram LP;
+  RecFunction F = RecFunction::makePlain("lmin", {}, mkIntLit(0));
+  EXPECT_THROW(LP.Prog->addFunction(std::move(F)), UserError);
+}
+
+TEST(LangTest, DuplicateDatatypeRejected) {
+  ListProgram LP;
+  EXPECT_THROW(LP.Prog->addDatatype("list"), UserError);
+}
+
+TEST(LangTest, IdentityReprShape) {
+  ListProgram LP;
+  addIdentityRepr(*LP.Prog, LP.List, "repr");
+  const RecFunction *R = LP.Prog->findFunction("repr");
+  ASSERT_NE(R, nullptr);
+  EXPECT_TRUE(R->isScheme());
+  EXPECT_TRUE(R->isComplete());
+  // Cons rule recurses on the tail: Cons(i, repr(i')).
+  const SchemeRule *Cons = R->findRule(1);
+  ASSERT_NE(Cons, nullptr);
+  EXPECT_EQ(Cons->Body->getKind(), TermKind::Ctor);
+  EXPECT_EQ(Cons->Body->getArg(1)->getKind(), TermKind::Call);
+  EXPECT_EQ(Cons->Body->getArg(1)->getCallee(), "repr");
+}
+
+TEST(LangTest, ValidateProblemHappyPath) {
+  ListProgram LP;
+  addIdentityRepr(*LP.Prog, LP.List, "repr");
+
+  RecFunction Tgt = RecFunction::makeScheme("mins", {}, LP.List,
+                                            Type::intTy());
+  VarPtr A0 = namedVar("a", Type::intTy());
+  Tgt.addRule(0, {A0}, mkUnknown("b1", Type::intTy(), {mkVar(A0)}));
+  VarPtr A1 = namedVar("a", Type::intTy());
+  VarPtr L1 = namedVar("l", LP.ListTy);
+  Tgt.addRule(1, {A1, L1}, mkUnknown("b2", Type::intTy(), {mkVar(A1)}));
+  LP.Prog->addFunction(std::move(Tgt));
+
+  Problem P;
+  P.Prog = LP.Prog;
+  P.Reference = "lmin";
+  P.Target = "mins";
+  P.Repr = "repr";
+  P.Theta = LP.List;
+  P.Tau = LP.List;
+  validateProblem(P);
+  EXPECT_EQ(P.Unknowns.size(), 2u);
+  EXPECT_NE(P.findUnknown("b1"), nullptr);
+  EXPECT_NE(P.findUnknown("b2"), nullptr);
+  EXPECT_EQ(P.findUnknown("nope"), nullptr);
+  EXPECT_TRUE(P.RetTy->isInt());
+}
+
+TEST(LangTest, ValidateRejectsMissingUnknowns) {
+  ListProgram LP;
+  addIdentityRepr(*LP.Prog, LP.List, "repr");
+  // Target with no unknowns at all.
+  RecFunction Tgt =
+      RecFunction::makeScheme("mins", {}, LP.List, Type::intTy());
+  VarPtr A0 = namedVar("a", Type::intTy());
+  Tgt.addRule(0, {A0}, mkVar(A0));
+  VarPtr A1 = namedVar("a", Type::intTy());
+  VarPtr L1 = namedVar("l", LP.ListTy);
+  Tgt.addRule(1, {A1, L1}, mkVar(A1));
+  LP.Prog->addFunction(std::move(Tgt));
+
+  Problem P;
+  P.Prog = LP.Prog;
+  P.Reference = "lmin";
+  P.Target = "mins";
+  P.Repr = "repr";
+  P.Theta = LP.List;
+  P.Tau = LP.List;
+  EXPECT_THROW(validateProblem(P), UserError);
+}
+
+TEST(LangTest, FunctionPrinting) {
+  ListProgram LP;
+  std::string S = LP.Prog->findFunction("lmin")->str();
+  EXPECT_NE(S.find("let rec lmin = function"), std::string::npos);
+  EXPECT_NE(S.find("| Elt"), std::string::npos);
+  EXPECT_NE(S.find("| Cons"), std::string::npos);
+}
+
+} // namespace

@@ -1,0 +1,123 @@
+//===- RecursionElim2Test.cpp - Elimination with non-identity repr --------===//
+
+#include "core/RecursionElim.h"
+
+#include "core/Approximation.h"
+#include "frontend/Elaborate.h"
+#include "suite/Benchmarks.h"
+
+#include <gtest/gtest.h>
+
+using namespace se2gis;
+
+namespace {
+
+struct ParFixture : public ::testing::Test {
+  void SetUp() override {
+    Def = findBenchmark("parallel/sum");
+    ASSERT_NE(Def, nullptr);
+    Prob = loadBenchmark(*Def);
+    Clist = Prob.Theta;
+  }
+  const BenchmarkDef *Def = nullptr;
+  Problem Prob;
+  const Datatype *Clist = nullptr;
+};
+
+TEST_F(ParFixture, NonIdentityReprIsDetected) {
+  EXPECT_FALSE(Prob.ReprIdentity);
+  EXPECT_EQ(Prob.Repr, "repr");
+  EXPECT_NE(Prob.Theta, Prob.Tau);
+}
+
+TEST_F(ParFixture, ConcatOfVarsIsNotCanonical) {
+  RecursionEliminator Elim(Prob);
+  const ConstructorDecl *Concat = Clist->findConstructor("Concat");
+  TermPtr T = mkCtor(Concat, {mkVar(freshVar("x", Type::dataTy(Clist))),
+                              mkVar(freshVar("y", Type::dataTy(Clist)))});
+  EquationParts Parts = Elim.eliminate(T);
+  EXPECT_FALSE(Parts.Canonical);
+  // The left side blocks hard (bare under the stuck fold); it must be
+  // ordered before the soft r(y)-wrapped variable.
+  ASSERT_GE(Parts.BlockingVars.size(), 1u);
+}
+
+TEST_F(ParFixture, ConcatSingleVarIsCanonical) {
+  RecursionEliminator Elim(Prob);
+  const ConstructorDecl *Concat = Clist->findConstructor("Concat");
+  const ConstructorDecl *Single = Clist->findConstructor("Single");
+  TermPtr T = mkCtor(
+      Concat, {mkCtor(Single, {mkVar(freshVar("a", Type::intTy()))}),
+               mkVar(freshVar("y", Type::dataTy(Clist)))});
+  EquationParts Parts = Elim.eliminate(T);
+  EXPECT_TRUE(Parts.Canonical);
+  ASSERT_EQ(Parts.Alpha.size(), 1u);
+  // rhs: a + lsum(repr(y)) eliminated to a + v.
+  EXPECT_EQ(Parts.Rhs->getKind(), TermKind::Op);
+  // lhs: join(s0(a), v).
+  EXPECT_EQ(Parts.Lhs->getKind(), TermKind::Unknown);
+  EXPECT_EQ(Parts.Lhs->getCallee(), "join");
+}
+
+TEST_F(ParFixture, CanonicalExpansionsPruneDivergentSpine) {
+  RecursionEliminator Elim(Prob);
+  const ConstructorDecl *Concat = Clist->findConstructor("Concat");
+  TermPtr Seed =
+      mkCtor(Concat, {mkVar(freshVar("x", Type::dataTy(Clist))),
+                      mkVar(freshVar("y", Type::dataTy(Clist)))});
+  auto Canon = canonicalExpansions(Prob, Elim, Seed, 64, 6);
+  ASSERT_FALSE(Canon.empty());
+  for (const TermPtr &T : Canon)
+    EXPECT_TRUE(Elim.eliminate(T).Canonical) << T->str();
+}
+
+TEST_F(ParFixture, ElimVarDefinitionWrapsRepr) {
+  RecursionEliminator Elim(Prob);
+  VarPtr Y = freshVar("y", Type::dataTy(Clist));
+  TermPtr Def = Elim.elimVarDefinition(Y, {});
+  // lsum(repr(y)) for the non-identity representation.
+  ASSERT_EQ(Def->getKind(), TermKind::Call);
+  EXPECT_EQ(Def->getCallee(), Prob.Reference);
+  EXPECT_EQ(Def->getArg(0)->getKind(), TermKind::Call);
+  EXPECT_EQ(Def->getArg(0)->getCallee(), "repr");
+}
+
+TEST(ElimSharedAlphaTest, BothSidesShareEliminationVariables) {
+  // For tree/sum, G(Node(a,l,r)) and f(Node(a,l,r)) both recurse on l and
+  // r; elimination must map each to ONE shared variable.
+  const BenchmarkDef *Def = findBenchmark("tree/sum");
+  ASSERT_NE(Def, nullptr);
+  Problem P = loadBenchmark(*Def);
+  RecursionEliminator Elim(P);
+  const ConstructorDecl *Node = P.Theta->findConstructor("Node");
+  TermPtr T = mkCtor(Node, {mkVar(freshVar("a", Type::intTy())),
+                            mkVar(freshVar("l", Type::dataTy(P.Theta))),
+                            mkVar(freshVar("r", Type::dataTy(P.Theta)))});
+  EquationParts Parts = Elim.eliminate(T);
+  ASSERT_EQ(Parts.Alpha.size(), 2u);
+  // The same elimination variables occur on both sides.
+  for (const auto &[Orig, ElimVar] : Parts.Alpha) {
+    (void)Orig;
+    EXPECT_TRUE(occursFree(Parts.Lhs, ElimVar->Id));
+    EXPECT_TRUE(occursFree(Parts.Rhs, ElimVar->Id));
+  }
+}
+
+TEST(ElimExtrasTest, FreshExtrasPerEquation) {
+  const BenchmarkDef *Def = findBenchmark("list/count_eq");
+  ASSERT_NE(Def, nullptr);
+  Problem P = loadBenchmark(*Def);
+  RecursionEliminator Elim(P);
+  const ConstructorDecl *Cons = P.Theta->findConstructor("Cons");
+  TermPtr T = mkCtor(Cons, {mkVar(freshVar("a", Type::intTy())),
+                            mkVar(freshVar("l", Type::dataTy(P.Theta)))});
+  EquationParts P1 = Elim.eliminate(T);
+  EquationParts P2 = Elim.eliminate(T);
+  ASSERT_EQ(P1.Extras.size(), 1u);
+  ASSERT_EQ(P2.Extras.size(), 1u);
+  // Definition 4.6 requires the terms of T to share no free variables;
+  // fresh extras per equation keep that invariant for the parameters too.
+  EXPECT_NE(P1.Extras[0]->Id, P2.Extras[0]->Id);
+}
+
+} // namespace

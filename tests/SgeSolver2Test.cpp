@@ -1,0 +1,147 @@
+//===- SgeSolver2Test.cpp - More SGE solver coverage ----------------------===//
+
+#include "synth/SgeSolver.h"
+
+#include "ast/Simplify.h"
+#include "synth/Grammar.h"
+
+#include <gtest/gtest.h>
+
+using namespace se2gis;
+
+namespace {
+
+GrammarConfig grammar() {
+  GrammarConfig G;
+  G.AllowMinMax = true;
+  return G;
+}
+
+TEST(SgeSolver2Test, NestedUnknownsWithAnchoring) {
+  // join(join(s0(a), s0(b)), v) = a + (b + v): requires the anchored EUF
+  // model to keep inner cells generalizable.
+  VarPtr A = freshVar("a", Type::intTy());
+  VarPtr B = freshVar("b", Type::intTy());
+  VarPtr V = freshVar("v", Type::intTy());
+  std::vector<UnknownSig> Unknowns = {
+      UnknownSig{"s0", {Type::intTy()}, Type::intTy()},
+      UnknownSig{"join", {Type::intTy(), Type::intTy()}, Type::intTy()},
+  };
+  auto S0 = [](TermPtr X) {
+    return mkUnknown("s0", Type::intTy(), {std::move(X)});
+  };
+  auto Join = [](TermPtr X, TermPtr Y) {
+    return mkUnknown("join", Type::intTy(), {std::move(X), std::move(Y)});
+  };
+  Sge System;
+  System.Eqns.push_back(SgeEquation{mkTrue(), S0(mkVar(A)), mkVar(A), 0});
+  System.Eqns.push_back(SgeEquation{
+      mkTrue(), Join(S0(mkVar(A)), mkVar(V)), mkAdd(mkVar(A), mkVar(V)),
+      1});
+  System.Eqns.push_back(SgeEquation{
+      mkTrue(), Join(Join(S0(mkVar(A)), S0(mkVar(B))), mkVar(V)),
+      mkAdd(mkVar(A), mkAdd(mkVar(B), mkVar(V))), 2});
+
+  SgeSolver Solver(Unknowns, grammar());
+  SgeResult R = Solver.solve(System, Deadline::afterMs(30000));
+  ASSERT_EQ(R.Status, SgeStatus::Solved);
+  const UnknownDef &J = R.Solution.at("join");
+  Env E;
+  E[J.Params[0]->Id] = Value::mkInt(4);
+  E[J.Params[1]->Id] = Value::mkInt(9);
+  EXPECT_EQ(evalScalarTerm(J.Body, E)->getInt(), 13);
+}
+
+TEST(SgeSolver2Test, GuardedEquationsRestrictTheObligation) {
+  // u(a) = a only under a >= 0; u(a) = -a under a < 0: abs, realizable.
+  VarPtr A = freshVar("a", Type::intTy());
+  std::vector<UnknownSig> Unknowns = {
+      UnknownSig{"u", {Type::intTy()}, Type::intTy()}};
+  Sge System;
+  System.Eqns.push_back(SgeEquation{
+      mkOp(OpKind::Ge, {mkVar(A), mkIntLit(0)}),
+      mkUnknown("u", Type::intTy(), {mkVar(A)}), mkVar(A), 0});
+  VarPtr B = freshVar("b", Type::intTy());
+  System.Eqns.push_back(SgeEquation{
+      mkOp(OpKind::Lt, {mkVar(B), mkIntLit(0)}),
+      mkUnknown("u", Type::intTy(), {mkVar(B)}),
+      mkOp(OpKind::Neg, {mkVar(B)}), 1});
+  SgeSolver Solver(Unknowns, grammar());
+  SgeResult R = Solver.solve(System, Deadline::afterMs(30000));
+  ASSERT_EQ(R.Status, SgeStatus::Solved);
+  const UnknownDef &U = R.Solution.at("u");
+  Env E;
+  E[U.Params[0]->Id] = Value::mkInt(-7);
+  EXPECT_EQ(evalScalarTerm(U.Body, E)->getInt(), 7);
+}
+
+TEST(SgeSolver2Test, VacuousGuardMeansUnconstrained) {
+  // An equation guarded by `false` imposes nothing; the default candidate
+  // must satisfy the (empty) system immediately.
+  VarPtr A = freshVar("a", Type::intTy());
+  std::vector<UnknownSig> Unknowns = {
+      UnknownSig{"u", {Type::intTy()}, Type::intTy()}};
+  Sge System;
+  System.Eqns.push_back(SgeEquation{
+      mkFalse(), mkUnknown("u", Type::intTy(), {mkVar(A)}), mkIntLit(99),
+      0});
+  SgeSolver Solver(Unknowns, grammar());
+  SgeResult R = Solver.solve(System, Deadline::afterMs(10000));
+  ASSERT_EQ(R.Status, SgeStatus::Solved);
+  EXPECT_EQ(R.Rounds, 1);
+}
+
+TEST(SgeSolver2Test, BooleanUnknowns) {
+  // p(a) = (a > 0) || (a = -5).
+  VarPtr A = freshVar("a", Type::intTy());
+  std::vector<UnknownSig> Unknowns = {
+      UnknownSig{"p", {Type::intTy()}, Type::boolTy()}};
+  Sge System;
+  System.Eqns.push_back(SgeEquation{
+      mkTrue(), mkUnknown("p", Type::boolTy(), {mkVar(A)}),
+      mkOrList({mkOp(OpKind::Gt, {mkVar(A), mkIntLit(0)}),
+                mkEq(mkVar(A), mkIntLit(-5))}),
+      0});
+  GrammarConfig G = grammar();
+  G.Constants.insert(-5);
+  SgeSolver Solver(Unknowns, G);
+  SgeResult R = Solver.solve(System, Deadline::afterMs(30000));
+  ASSERT_EQ(R.Status, SgeStatus::Solved);
+  const UnknownDef &P = R.Solution.at("p");
+  Env E;
+  E[P.Params[0]->Id] = Value::mkInt(-5);
+  EXPECT_TRUE(evalScalarTerm(P.Body, E)->getBool());
+  E[P.Params[0]->Id] = Value::mkInt(-4);
+  EXPECT_FALSE(evalScalarTerm(P.Body, E)->getBool());
+}
+
+TEST(SgeSolver2Test, TupleUnknownSolvedComponentwise) {
+  VarPtr A = freshVar("a", Type::intTy());
+  TypePtr Pair = Type::tupleTy({Type::intTy(), Type::intTy()});
+  std::vector<UnknownSig> Unknowns = {
+      UnknownSig{"g", {Type::intTy()}, Pair}};
+  Sge System;
+  System.Eqns.push_back(SgeEquation{
+      mkTrue(), mkUnknown("g", Pair, {mkVar(A)}),
+      mkTuple({mkAdd(mkVar(A), mkIntLit(1)),
+               mkOp(OpKind::Max, {mkVar(A), mkIntLit(0)})}),
+      0});
+  SgeSolver Solver(Unknowns, grammar());
+  SgeResult R = Solver.solve(System, Deadline::afterMs(30000));
+  ASSERT_EQ(R.Status, SgeStatus::Solved);
+}
+
+TEST(SgeSolver2Test, ExpiredBudgetReturnsUnknown) {
+  VarPtr A = freshVar("a", Type::intTy());
+  std::vector<UnknownSig> Unknowns = {
+      UnknownSig{"u", {Type::intTy()}, Type::intTy()}};
+  Sge System;
+  System.Eqns.push_back(SgeEquation{
+      mkTrue(), mkUnknown("u", Type::intTy(), {mkVar(A)}),
+      mkAdd(mkVar(A), mkIntLit(1)), 0});
+  SgeSolver Solver(Unknowns, grammar());
+  SgeResult R = Solver.solve(System, Deadline::afterMs(0));
+  EXPECT_EQ(R.Status, SgeStatus::Unknown);
+}
+
+} // namespace

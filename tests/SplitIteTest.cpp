@@ -1,0 +1,105 @@
+//===- SplitIteTest.cpp - Equation path-splitting tests -------------------===//
+
+#include "core/SplitIte.h"
+
+#include "ast/Simplify.h"
+
+#include <gtest/gtest.h>
+
+using namespace se2gis;
+
+namespace {
+
+TEST(SplitIteTest, SplitsTopLevelConditional) {
+  VarPtr A = freshVar("a", Type::intTy());
+  VarPtr X = freshVar("x", Type::intTy());
+  VarPtr V = freshVar("v", Type::intTy());
+  TermPtr Cond = mkOp(OpKind::Lt, {mkVar(A), mkVar(X)});
+  SgeEquation E;
+  E.Guard = mkTrue();
+  E.Lhs = mkIte(Cond, mkUnknown("u1", Type::intTy(), {mkVar(V)}),
+                mkUnknown("u2", Type::intTy(), {mkVar(X), mkVar(A)}));
+  E.Rhs = mkAdd(mkVar(V), mkIntLit(1));
+  E.TermIndex = 7;
+
+  auto Split = splitEquation(E);
+  ASSERT_EQ(Split.size(), 2u);
+  for (const SgeEquation &S : Split) {
+    // Each branch's lhs is a bare unknown application.
+    EXPECT_EQ(S.Lhs->getKind(), TermKind::Unknown);
+    // Guards carry the condition (possibly negated).
+    EXPECT_NE(S.Guard->str(), "true");
+    // The originating term index is preserved.
+    EXPECT_EQ(S.TermIndex, 7u);
+  }
+}
+
+TEST(SplitIteTest, SpecializesRhsUnderTheSameCondition) {
+  VarPtr A = freshVar("a", Type::intTy());
+  VarPtr X = freshVar("x", Type::intTy());
+  VarPtr V = freshVar("v", Type::intTy());
+  TermPtr Cond = mkOp(OpKind::Lt, {mkVar(A), mkVar(X)});
+  SgeEquation E;
+  E.Guard = mkTrue();
+  E.Lhs = mkIte(Cond, mkUnknown("u1", Type::intTy(), {mkVar(V)}),
+                mkUnknown("u2", Type::intTy(), {mkVar(A)}));
+  // rhs mentions the same condition: ite(a<x, 1, 0) + v.
+  E.Rhs = mkAdd(mkIte(Cond, mkIntLit(1), mkIntLit(0)), mkVar(V));
+  auto Split = splitEquation(E);
+  ASSERT_EQ(Split.size(), 2u);
+  // Each specialized rhs must be ite-free.
+  for (const SgeEquation &S : Split) {
+    bool HasIte = false;
+    visitTerm(S.Rhs, [&](const TermPtr &N) {
+      if (N->getKind() == TermKind::Op && N->getOp() == OpKind::Ite)
+        HasIte = true;
+      return true;
+    });
+    EXPECT_FALSE(HasIte) << S.Rhs->str();
+  }
+}
+
+TEST(SplitIteTest, LeavesUnknownConditionsAlone) {
+  VarPtr A = freshVar("a", Type::intTy());
+  SgeEquation E;
+  E.Guard = mkTrue();
+  E.Lhs = mkIte(mkOp(OpKind::Gt, {mkUnknown("c", Type::intTy(), {}),
+                                  mkIntLit(0)}),
+                mkUnknown("u1", Type::intTy(), {mkVar(A)}),
+                mkUnknown("u2", Type::intTy(), {mkVar(A)}));
+  E.Rhs = mkVar(A);
+  auto Split = splitEquation(E);
+  ASSERT_EQ(Split.size(), 1u);
+  EXPECT_TRUE(termEquals(Split[0].Lhs, E.Lhs));
+}
+
+TEST(SplitIteTest, NoIteMeansIdentity) {
+  VarPtr A = freshVar("a", Type::intTy());
+  SgeEquation E;
+  E.Guard = mkTrue();
+  E.Lhs = mkUnknown("u", Type::intTy(), {mkVar(A)});
+  E.Rhs = mkVar(A);
+  auto Split = splitEquation(E);
+  ASSERT_EQ(Split.size(), 1u);
+  EXPECT_TRUE(termEquals(Split[0].Lhs, E.Lhs));
+  EXPECT_TRUE(termEquals(Split[0].Guard, E.Guard));
+}
+
+TEST(SplitIteTest, NestedConditionalsSplitToFourBranches) {
+  VarPtr A = freshVar("a", Type::intTy());
+  VarPtr B = freshVar("b", Type::intTy());
+  TermPtr C1 = mkOp(OpKind::Lt, {mkVar(A), mkIntLit(0)});
+  TermPtr C2 = mkOp(OpKind::Lt, {mkVar(B), mkIntLit(0)});
+  SgeEquation E;
+  E.Guard = mkTrue();
+  E.Lhs = mkIte(
+      C1, mkIte(C2, mkUnknown("u1", Type::intTy(), {}),
+                mkUnknown("u2", Type::intTy(), {})),
+      mkUnknown("u3", Type::intTy(), {mkVar(A)}));
+  E.Rhs = mkVar(A);
+  auto Split = splitEquation(E);
+  // a<0 splits; the then-branch splits again on b<0: three leaves.
+  EXPECT_EQ(Split.size(), 3u);
+}
+
+} // namespace

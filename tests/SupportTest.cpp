@@ -1,0 +1,78 @@
+//===- SupportTest.cpp - Support-library tests -----------------------------===//
+
+#include "support/Stopwatch.h"
+#include "support/TableWriter.h"
+
+#include <gtest/gtest.h>
+#include <thread>
+
+using namespace se2gis;
+
+namespace {
+
+TEST(StopwatchTest, MeasuresElapsedTime) {
+  Stopwatch W;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_GE(W.elapsedMs(), 15.0);
+  W.reset();
+  EXPECT_LT(W.elapsedMs(), 15.0);
+}
+
+TEST(DeadlineTest, ExpiresAfterBudget) {
+  Deadline D = Deadline::afterMs(10);
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  EXPECT_TRUE(D.expired());
+  EXPECT_EQ(D.remainingMs(), 0);
+}
+
+TEST(TableWriterTest, AlignsColumns) {
+  TableWriter T({"name", "value"});
+  T.addRow({"a", "1"});
+  T.addRow({"longer-name", "22"});
+  std::string Out = T.renderText();
+  // Header, separator, two rows.
+  EXPECT_EQ(std::count(Out.begin(), Out.end(), '\n'), 4);
+  EXPECT_NE(Out.find("longer-name"), std::string::npos);
+  EXPECT_EQ(T.numRows(), 2u);
+}
+
+TEST(TableWriterTest, CsvRendering) {
+  TableWriter T({"a", "b"});
+  T.addRow({"1", "2"});
+  EXPECT_EQ(T.renderCsv(), "a,b\n1,2\n");
+}
+
+TEST(TableWriterTest, FormatSeconds) {
+  EXPECT_EQ(formatSeconds(1234.5), "1.234");
+  EXPECT_EQ(formatSeconds(-1), "-");
+  EXPECT_EQ(formatSeconds(0), "0.000");
+}
+
+} // namespace
+
+//===- Counter telemetry -------------------------------------------------===//
+
+#include "support/Counters.h"
+
+namespace {
+
+TEST(CountersTest, SnapshotDeltas) {
+  CounterSnapshot Before = snapshotCounters();
+  countEvent(CounterKind::SmtChecks);
+  countEvent(CounterKind::PbeCandidates, 5);
+  CounterSnapshot After = snapshotCounters();
+  CounterSnapshot Delta = After.since(Before);
+  EXPECT_EQ(Delta.get(CounterKind::SmtChecks), 1u);
+  EXPECT_EQ(Delta.get(CounterKind::PbeCandidates), 5u);
+  EXPECT_EQ(Delta.get(CounterKind::WitnessQueries), 0u);
+}
+
+TEST(CountersTest, Rendering) {
+  CounterSnapshot S;
+  S.Values[static_cast<size_t>(CounterKind::SmtChecks)] = 12;
+  std::string Out = S.str();
+  EXPECT_NE(Out.find("smt=12"), std::string::npos);
+  EXPECT_NE(Out.find("pbe=0"), std::string::npos);
+}
+
+} // namespace

@@ -1,0 +1,253 @@
+//===- SynthTest.cpp - Grammar, enumerator, and SGE solver tests ----------===//
+
+#include "synth/SgeSolver.h"
+
+#include "ast/Simplify.h"
+
+#include "frontend/Elaborate.h"
+#include "synth/Grammar.h"
+
+#include "TestPrograms.h"
+
+#include <gtest/gtest.h>
+
+using namespace se2gis;
+
+namespace {
+
+GrammarConfig defaultGrammar() {
+  GrammarConfig G;
+  G.AllowMinMax = true;
+  return G;
+}
+
+TEST(GrammarTest, InferredFromProblem) {
+  Problem P = loadProblem(se2gis_tests::kMinSortedSrc);
+  GrammarConfig G = inferGrammar(P);
+  EXPECT_TRUE(G.AllowMinMax); // `min` appears in the reference
+  EXPECT_FALSE(G.AllowMul);
+  EXPECT_FALSE(G.AllowDiv);
+  EXPECT_TRUE(G.Constants.count(0));
+  EXPECT_TRUE(G.Constants.count(1));
+}
+
+TEST(EnumeratorTest, EvalScalarTerm) {
+  VarPtr X = freshVar("x", Type::intTy());
+  Env E;
+  E[X->Id] = Value::mkInt(5);
+  EXPECT_EQ(evalScalarTerm(mkAdd(mkVar(X), mkIntLit(2)), E)->getInt(), 7);
+  EXPECT_TRUE(
+      evalScalarTerm(mkOp(OpKind::Gt, {mkVar(X), mkIntLit(0)}), E)->getBool());
+  EXPECT_EQ(
+      evalScalarTerm(mkIte(mkOp(OpKind::Lt, {mkVar(X), mkIntLit(0)}),
+                           mkIntLit(1), mkIntLit(2)),
+                     E)
+          ->getInt(),
+      2);
+}
+
+TEST(EnumeratorTest, IdentityFunction) {
+  VarPtr P = freshVar("p", Type::intTy());
+  Enumerator En(defaultGrammar(), {mkVar(P)});
+  std::vector<PbeExample> Ex;
+  for (long long V : {1, 5, -3})
+    Ex.push_back(PbeExample{{{P->Id, Value::mkInt(V)}}, Value::mkInt(V)});
+  auto T = En.synthesize(Type::intTy(), Ex, 5, Deadline());
+  ASSERT_TRUE(T.has_value());
+  EXPECT_EQ((*T)->str(), P->Name);
+}
+
+TEST(EnumeratorTest, SynthesizesMin) {
+  VarPtr A = freshVar("a", Type::intTy());
+  VarPtr B = freshVar("b", Type::intTy());
+  Enumerator En(defaultGrammar(), {mkVar(A), mkVar(B)});
+  std::vector<PbeExample> Ex;
+  auto Add = [&](long long X, long long Y) {
+    Ex.push_back(PbeExample{
+        {{A->Id, Value::mkInt(X)}, {B->Id, Value::mkInt(Y)}},
+        Value::mkInt(std::min(X, Y))});
+  };
+  Add(1, 2);
+  Add(4, 3);
+  Add(-1, -5);
+  Add(0, 0);
+  auto T = En.synthesize(Type::intTy(), Ex, 5, Deadline());
+  ASSERT_TRUE(T.has_value());
+  // min(a,b) or an ite equivalent; check semantics on a fresh pair.
+  Env E;
+  E[A->Id] = Value::mkInt(9);
+  E[B->Id] = Value::mkInt(-9);
+  EXPECT_EQ(evalScalarTerm(*T, E)->getInt(), -9);
+}
+
+TEST(EnumeratorTest, SynthesizesPredicate) {
+  VarPtr A = freshVar("a", Type::intTy());
+  VarPtr B = freshVar("b", Type::intTy());
+  Enumerator En(defaultGrammar(), {mkVar(A), mkVar(B)});
+  // Learn a <= b from labelled points.
+  std::vector<PbeExample> Ex;
+  auto Add = [&](long long X, long long Y, bool Label) {
+    Ex.push_back(PbeExample{
+        {{A->Id, Value::mkInt(X)}, {B->Id, Value::mkInt(Y)}},
+        Value::mkBool(Label)});
+  };
+  Add(1, 2, true);
+  Add(2, 1, false);
+  Add(0, 0, true);
+  Add(5, -1, false);
+  auto T = En.synthesize(Type::boolTy(), Ex, 5, Deadline());
+  ASSERT_TRUE(T.has_value());
+  Env E;
+  E[A->Id] = Value::mkInt(-7);
+  E[B->Id] = Value::mkInt(7);
+  EXPECT_TRUE(evalScalarTerm(*T, E)->getBool());
+}
+
+TEST(EnumeratorTest, TupleOutputComponentwise) {
+  VarPtr A = freshVar("a", Type::intTy());
+  Enumerator En(defaultGrammar(), {mkVar(A)});
+  std::vector<PbeExample> Ex;
+  for (long long V : {2, -4}) {
+    Ex.push_back(PbeExample{
+        {{A->Id, Value::mkInt(V)}},
+        Value::mkTuple({Value::mkInt(V + 1), Value::mkBool(V > 0)})});
+  }
+  auto T = En.synthesize(Type::tupleTy({Type::intTy(), Type::boolTy()}), Ex,
+                         6, Deadline());
+  ASSERT_TRUE(T.has_value());
+  EXPECT_EQ((*T)->getKind(), TermKind::Tuple);
+}
+
+TEST(EnumeratorTest, EmptyExamplesGiveDefault) {
+  Enumerator En(defaultGrammar(), {});
+  auto T = En.synthesize(Type::intTy(), {}, 3, Deadline());
+  ASSERT_TRUE(T.has_value());
+  EXPECT_EQ((*T)->str(), "0");
+}
+
+TEST(EnumeratorTest, RespectsMaxSize) {
+  VarPtr A = freshVar("a", Type::intTy());
+  GrammarConfig G; // no min/max
+  G.Constants = {0};
+  Enumerator En(G, {mkVar(A)});
+  // a*7-ish target is not expressible at size 2 without constants.
+  std::vector<PbeExample> Ex;
+  Ex.push_back(PbeExample{{{A->Id, Value::mkInt(1)}}, Value::mkInt(100)});
+  EXPECT_FALSE(En.synthesize(Type::intTy(), Ex, 2, Deadline()).has_value());
+}
+
+TEST(SgeSolverHelpers, ValueToTermRoundTrip) {
+  ValuePtr V = Value::mkTuple({Value::mkInt(-3), Value::mkBool(true)});
+  TermPtr T = valueToTerm(V);
+  EXPECT_TRUE(valueEquals(evalScalarTerm(T, {}), V));
+}
+
+TEST(SgeSolverHelpers, ApplySolutionSubstitutes) {
+  VarPtr P = freshVar("p", Type::intTy());
+  UnknownBindings Defs;
+  Defs["u"] = UnknownDef{{P}, mkAdd(mkVar(P), mkIntLit(1))};
+  TermPtr T = mkUnknown("u", Type::intTy(), {mkIntLit(4)});
+  EXPECT_EQ(simplify(applySolution(T, Defs))->str(), "5");
+}
+
+// The paper's Example 4.7: E(T, P) for mins/min with T = {Elt(a1),
+// Cons(a2, l)}.
+struct MinsSgeFixture : public ::testing::Test {
+  void SetUp() override {
+    A1 = freshVar("a1", Type::intTy());
+    A2 = freshVar("a2", Type::intTy());
+    Vl = freshVar("vl", Type::intTy());
+    Unknowns = {
+        UnknownSig{"b1", {Type::intTy()}, Type::intTy()},
+        UnknownSig{"b2", {Type::intTy()}, Type::intTy()},
+    };
+    // b1(a1) = a1
+    Eq1 = SgeEquation{mkTrue(),
+                      mkUnknown("b1", Type::intTy(), {mkVar(A1)}),
+                      mkVar(A1), 0};
+    // b2(a2) = min(a2, vl)
+    Eq2 = SgeEquation{mkTrue(),
+                      mkUnknown("b2", Type::intTy(), {mkVar(A2)}),
+                      mkOp(OpKind::Min, {mkVar(A2), mkVar(Vl)}), 1};
+  }
+
+  VarPtr A1, A2, Vl;
+  std::vector<UnknownSig> Unknowns;
+  SgeEquation Eq1, Eq2;
+};
+
+TEST_F(MinsSgeFixture, UnguardedSystemIsInfeasible) {
+  // Example 4.7: with p2 = true the system is unrealizable (b2 would have
+  // to know vl).
+  Sge System;
+  System.Eqns = {Eq1, Eq2};
+  SgeSolver Solver(Unknowns, defaultGrammar());
+  SgeResult R = Solver.solve(System, Deadline::afterMs(20000));
+  EXPECT_EQ(R.Status, SgeStatus::Infeasible);
+}
+
+TEST_F(MinsSgeFixture, GuardedSystemIsSolved) {
+  // With the inferred guard a2 <= vl the system has the solution
+  // b1 = b2 = identity.
+  Sge System;
+  SgeEquation GuardedEq2 = Eq2;
+  GuardedEq2.Guard = mkOp(OpKind::Le, {mkVar(A2), mkVar(Vl)});
+  System.Eqns = {Eq1, GuardedEq2};
+  SgeSolver Solver(Unknowns, defaultGrammar());
+  SgeResult R = Solver.solve(System, Deadline::afterMs(20000));
+  ASSERT_EQ(R.Status, SgeStatus::Solved);
+
+  // Check b2 semantically: under a2 <= vl it must return a2.
+  const UnknownDef &B2 = R.Solution.at("b2");
+  Env E;
+  E[B2.Params[0]->Id] = Value::mkInt(-5);
+  EXPECT_EQ(evalScalarTerm(B2.Body, E)->getInt(), -5);
+}
+
+TEST(SgeSolverTest, SolvesSumSkeletonEquations) {
+  // f0 = 0, f1(a, v) = a + v  (from the lsum example, one unfolding).
+  VarPtr A = freshVar("a", Type::intTy());
+  VarPtr V = freshVar("v", Type::intTy());
+  std::vector<UnknownSig> Unknowns = {
+      UnknownSig{"f0", {}, Type::intTy()},
+      UnknownSig{"f1", {Type::intTy(), Type::intTy()}, Type::intTy()},
+  };
+  Sge System;
+  System.Eqns.push_back(SgeEquation{
+      mkTrue(), mkUnknown("f0", Type::intTy(), {}), mkIntLit(0), 0});
+  System.Eqns.push_back(SgeEquation{
+      mkTrue(),
+      mkUnknown("f1", Type::intTy(),
+                {mkVar(A), mkUnknown("f0", Type::intTy(), {})}),
+      mkVar(A), 1});
+  System.Eqns.push_back(SgeEquation{
+      mkTrue(), mkUnknown("f1", Type::intTy(), {mkVar(A), mkVar(V)}),
+      mkAdd(mkVar(A), mkVar(V)), 2});
+  SgeSolver Solver(Unknowns, defaultGrammar());
+  SgeResult R = Solver.solve(System, Deadline::afterMs(20000));
+  ASSERT_EQ(R.Status, SgeStatus::Solved);
+  const UnknownDef &F1 = R.Solution.at("f1");
+  Env E;
+  E[F1.Params[0]->Id] = Value::mkInt(3);
+  E[F1.Params[1]->Id] = Value::mkInt(9);
+  EXPECT_EQ(evalScalarTerm(F1.Body, E)->getInt(), 12);
+}
+
+TEST(SgeSolverTest, FunctionalityConflictDetected) {
+  // u(x) with x = 1 must be both 2 and 3 under incompatible equations:
+  // u(1) = 2 and u(1) = 3. Infeasible at the very first points.
+  std::vector<UnknownSig> Unknowns = {
+      UnknownSig{"u", {Type::intTy()}, Type::intTy()}};
+  Sge System;
+  System.Eqns.push_back(SgeEquation{
+      mkTrue(), mkUnknown("u", Type::intTy(), {mkIntLit(1)}), mkIntLit(2),
+      0});
+  System.Eqns.push_back(SgeEquation{
+      mkTrue(), mkUnknown("u", Type::intTy(), {mkIntLit(1)}), mkIntLit(3),
+      1});
+  SgeSolver Solver(Unknowns, defaultGrammar());
+  SgeResult R = Solver.solve(System, Deadline::afterMs(20000));
+  EXPECT_EQ(R.Status, SgeStatus::Infeasible);
+}
+
+} // namespace

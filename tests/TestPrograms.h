@@ -1,0 +1,71 @@
+//===- TestPrograms.h - Shared fixtures for tests ---------------*- C++-*-===//
+///
+/// \file
+/// Canned benchmark sources used across the test suite. `kMinSortedSrc` is
+/// the paper's §1.1 running example: synthesize a constant-time `mins` on
+/// sorted lists from the linear-time `min` on arbitrary lists.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SE2GIS_TESTS_TESTPROGRAMS_H
+#define SE2GIS_TESTS_TESTPROGRAMS_H
+
+namespace se2gis_tests {
+
+/// Paper §1.1: mins on sorted lists (realizable; needs the a <= min(l)
+/// invariant).
+inline const char *kMinSortedSrc = R"(
+type list = Elt of int | Cons of int * list
+
+let rec lmin = function
+  | Elt a -> a
+  | Cons (a, l) -> min a (lmin l)
+
+let rec sorted = function
+  | Elt a -> true
+  | Cons (a, l) -> a <= head l && sorted l
+and head = function
+  | Elt a -> a
+  | Cons (a, l) -> a
+
+let rec mins : int = function
+  | Elt a -> $b1 a
+  | Cons (a, l) -> $b2 a
+
+synthesize mins equiv lmin requires sorted
+)";
+
+/// Same skeleton without the sortedness invariant (unrealizable: b2 cannot
+/// depend on the tail's minimum).
+inline const char *kMinUnsortedSrc = R"(
+type list = Elt of int | Cons of int * list
+
+let rec lmin = function
+  | Elt a -> a
+  | Cons (a, l) -> min a (lmin l)
+
+let rec mins : int = function
+  | Elt a -> $b1 a
+  | Cons (a, l) -> $b2 a
+
+synthesize mins equiv lmin
+)";
+
+/// A realizable problem with no invariant: constant-time head via skeleton.
+inline const char *kSumSrc = R"(
+type list = Nil | Cons of int * list
+
+let rec lsum = function
+  | Nil -> 0
+  | Cons (a, l) -> a + lsum l
+
+let rec tsum : int = function
+  | Nil -> $f0
+  | Cons (a, l) -> $f1 a (tsum l)
+
+synthesize tsum equiv lsum
+)";
+
+} // namespace se2gis_tests
+
+#endif // SE2GIS_TESTS_TESTPROGRAMS_H

@@ -1,0 +1,144 @@
+//===- se2gis_cli.cpp - Command-line driver ---------------------*- C++-*-===//
+///
+/// \file
+/// The `se2gis` command-line tool: reads a problem file in the DSL and runs
+/// one of the algorithms on it.
+///
+///   se2gis [options] <problem-file>
+///     --algo se2gis|segis|segis+uc|portfolio   (default: se2gis)
+///     --timeout-ms N                           (default: 60000)
+///     --print-problem                          echo the parsed components
+///     --quiet                                  result line only
+///
+/// Exit code: 0 realizable, 1 unrealizable, 2 timeout/failure, 64 usage.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/Algorithms.h"
+#include "core/Portfolio.h"
+#include "frontend/Elaborate.h"
+#include "support/Diagnostics.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+using namespace se2gis;
+
+namespace {
+
+void usage() {
+  std::fprintf(
+      stderr,
+      "usage: se2gis [--algo se2gis|segis|segis+uc|portfolio] "
+      "[--timeout-ms N] [--print-problem] [--quiet] <problem-file>\n");
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  std::string AlgoName = "se2gis";
+  std::int64_t TimeoutMs = 60000;
+  bool PrintProblem = false;
+  bool Quiet = false;
+  std::string Path;
+
+  for (int I = 1; I < argc; ++I) {
+    std::string Arg = argv[I];
+    if (Arg == "--algo" && I + 1 < argc) {
+      AlgoName = argv[++I];
+    } else if (Arg == "--timeout-ms" && I + 1 < argc) {
+      TimeoutMs = std::atoll(argv[++I]);
+    } else if (Arg == "--print-problem") {
+      PrintProblem = true;
+    } else if (Arg == "--quiet") {
+      Quiet = true;
+    } else if (Arg == "--help" || Arg == "-h") {
+      usage();
+      return 0;
+    } else if (!Arg.empty() && Arg[0] == '-') {
+      std::fprintf(stderr, "error: unknown option '%s'\n", Arg.c_str());
+      usage();
+      return 64;
+    } else {
+      Path = Arg;
+    }
+  }
+  if (Path.empty()) {
+    usage();
+    return 64;
+  }
+
+  std::ifstream In(Path);
+  if (!In) {
+    std::fprintf(stderr, "error: cannot open '%s'\n", Path.c_str());
+    return 64;
+  }
+  std::ostringstream Buf;
+  Buf << In.rdbuf();
+
+  Problem P;
+  try {
+    P = loadProblem(Buf.str());
+  } catch (const UserError &E) {
+    std::fprintf(stderr, "error: %s\n", E.what());
+    return 64;
+  }
+
+  if (PrintProblem) {
+    std::printf("reference:      %s\n", P.Reference.c_str());
+    std::printf("target:         %s\n", P.Target.c_str());
+    std::printf("representation: %s%s\n", P.Repr.c_str(),
+                P.ReprIdentity ? " (identity)" : "");
+    std::printf("invariant:      %s\n",
+                P.Invariant.empty() ? "(true)" : P.Invariant.c_str());
+    std::printf("unknowns:      ");
+    for (const UnknownSig &U : P.Unknowns)
+      std::printf(" $%s/%zu", U.Name.c_str(), U.ArgTypes.size());
+    std::printf("\n");
+  }
+
+  AlgoOptions Opts;
+  Opts.TimeoutMs = TimeoutMs;
+
+  RunResult R;
+  if (AlgoName == "se2gis") {
+    R = runSE2GIS(P, Opts);
+  } else if (AlgoName == "segis") {
+    R = runSEGIS(P, Opts, /*WithUnrealizabilityChecker=*/false);
+  } else if (AlgoName == "segis+uc") {
+    R = runSEGIS(P, Opts, /*WithUnrealizabilityChecker=*/true);
+  } else if (AlgoName == "portfolio") {
+    R = runPortfolio(P, Opts);
+  } else {
+    std::fprintf(stderr, "error: unknown algorithm '%s'\n",
+                 AlgoName.c_str());
+    return 64;
+  }
+
+  std::printf("%s: %s (%.1f ms, steps %s)\n", Path.c_str(),
+              outcomeName(R.O), R.Stats.ElapsedMs, R.Stats.Steps.c_str());
+  if (!Quiet)
+    std::printf("telemetry: %s\n", R.Stats.Counters.str().c_str());
+  if (!Quiet) {
+    if (R.O == Outcome::Realizable) {
+      std::printf("%s", solutionToString(P, R.Solution).c_str());
+      if (R.Stats.SolutionProvedInductive)
+        std::printf("(solution proved correct by induction)\n");
+      else
+        std::printf("(solution passed the bounded check)\n");
+    } else if (!R.Detail.empty()) {
+      std::printf("%s\n", R.Detail.c_str());
+    }
+  }
+  switch (R.O) {
+  case Outcome::Realizable:
+    return 0;
+  case Outcome::Unrealizable:
+    return 1;
+  default:
+    return 2;
+  }
+}
