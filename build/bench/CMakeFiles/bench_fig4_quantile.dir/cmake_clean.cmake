@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_quantile.dir/bench_fig4_quantile.cpp.o"
+  "CMakeFiles/bench_fig4_quantile.dir/bench_fig4_quantile.cpp.o.d"
+  "bench_fig4_quantile"
+  "bench_fig4_quantile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_quantile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

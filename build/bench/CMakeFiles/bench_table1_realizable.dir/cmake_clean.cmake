@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_realizable.dir/bench_table1_realizable.cpp.o"
+  "CMakeFiles/bench_table1_realizable.dir/bench_table1_realizable.cpp.o.d"
+  "bench_table1_realizable"
+  "bench_table1_realizable.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_realizable.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_unrealizable.dir/bench_table2_unrealizable.cpp.o"
+  "CMakeFiles/bench_table2_unrealizable.dir/bench_table2_unrealizable.cpp.o.d"
+  "bench_table2_unrealizable"
+  "bench_table2_unrealizable.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_unrealizable.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_table_invariants.cpp" "bench/CMakeFiles/bench_table_invariants.dir/bench_table_invariants.cpp.o" "gcc" "bench/CMakeFiles/bench_table_invariants.dir/bench_table_invariants.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/suite/CMakeFiles/se2gis_suite.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/se2gis_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/frontend/CMakeFiles/se2gis_frontend.dir/DependInfo.cmake"
+  "/root/repo/build/src/synth/CMakeFiles/se2gis_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/smt/CMakeFiles/se2gis_smt.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/se2gis_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/lang/CMakeFiles/se2gis_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/ast/CMakeFiles/se2gis_ast.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/se2gis_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

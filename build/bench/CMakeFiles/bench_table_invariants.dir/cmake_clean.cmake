@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table_invariants.dir/bench_table_invariants.cpp.o"
+  "CMakeFiles/bench_table_invariants.dir/bench_table_invariants.cpp.o.d"
+  "bench_table_invariants"
+  "bench_table_invariants.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table_invariants.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bst_frequency.dir/bst_frequency.cpp.o"
+  "CMakeFiles/bst_frequency.dir/bst_frequency.cpp.o.d"
+  "bst_frequency"
+  "bst_frequency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bst_frequency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parallel_mps.dir/parallel_mps.cpp.o"
+  "CMakeFiles/parallel_mps.dir/parallel_mps.cpp.o.d"
+  "parallel_mps"
+  "parallel_mps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parallel_mps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

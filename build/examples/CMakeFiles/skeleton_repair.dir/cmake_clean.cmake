@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skeleton_repair.dir/skeleton_repair.cpp.o"
+  "CMakeFiles/skeleton_repair.dir/skeleton_repair.cpp.o.d"
+  "skeleton_repair"
+  "skeleton_repair.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skeleton_repair.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/se2gis_ast.dir/Simplify.cpp.o"
+  "CMakeFiles/se2gis_ast.dir/Simplify.cpp.o.d"
+  "CMakeFiles/se2gis_ast.dir/Term.cpp.o"
+  "CMakeFiles/se2gis_ast.dir/Term.cpp.o.d"
+  "CMakeFiles/se2gis_ast.dir/Type.cpp.o"
+  "CMakeFiles/se2gis_ast.dir/Type.cpp.o.d"
+  "libse2gis_ast.a"
+  "libse2gis_ast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/se2gis_ast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/Algorithms.cpp" "src/core/CMakeFiles/se2gis_core.dir/Algorithms.cpp.o" "gcc" "src/core/CMakeFiles/se2gis_core.dir/Algorithms.cpp.o.d"
+  "/root/repo/src/core/Approximation.cpp" "src/core/CMakeFiles/se2gis_core.dir/Approximation.cpp.o" "gcc" "src/core/CMakeFiles/se2gis_core.dir/Approximation.cpp.o.d"
+  "/root/repo/src/core/Certificates.cpp" "src/core/CMakeFiles/se2gis_core.dir/Certificates.cpp.o" "gcc" "src/core/CMakeFiles/se2gis_core.dir/Certificates.cpp.o.d"
+  "/root/repo/src/core/InvariantInfer.cpp" "src/core/CMakeFiles/se2gis_core.dir/InvariantInfer.cpp.o" "gcc" "src/core/CMakeFiles/se2gis_core.dir/InvariantInfer.cpp.o.d"
+  "/root/repo/src/core/Portfolio.cpp" "src/core/CMakeFiles/se2gis_core.dir/Portfolio.cpp.o" "gcc" "src/core/CMakeFiles/se2gis_core.dir/Portfolio.cpp.o.d"
+  "/root/repo/src/core/RecursionElim.cpp" "src/core/CMakeFiles/se2gis_core.dir/RecursionElim.cpp.o" "gcc" "src/core/CMakeFiles/se2gis_core.dir/RecursionElim.cpp.o.d"
+  "/root/repo/src/core/SplitIte.cpp" "src/core/CMakeFiles/se2gis_core.dir/SplitIte.cpp.o" "gcc" "src/core/CMakeFiles/se2gis_core.dir/SplitIte.cpp.o.d"
+  "/root/repo/src/core/Verify.cpp" "src/core/CMakeFiles/se2gis_core.dir/Verify.cpp.o" "gcc" "src/core/CMakeFiles/se2gis_core.dir/Verify.cpp.o.d"
+  "/root/repo/src/core/Witness.cpp" "src/core/CMakeFiles/se2gis_core.dir/Witness.cpp.o" "gcc" "src/core/CMakeFiles/se2gis_core.dir/Witness.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/synth/CMakeFiles/se2gis_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/smt/CMakeFiles/se2gis_smt.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/se2gis_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/lang/CMakeFiles/se2gis_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/ast/CMakeFiles/se2gis_ast.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/se2gis_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/se2gis_core.dir/Algorithms.cpp.o"
+  "CMakeFiles/se2gis_core.dir/Algorithms.cpp.o.d"
+  "CMakeFiles/se2gis_core.dir/Approximation.cpp.o"
+  "CMakeFiles/se2gis_core.dir/Approximation.cpp.o.d"
+  "CMakeFiles/se2gis_core.dir/Certificates.cpp.o"
+  "CMakeFiles/se2gis_core.dir/Certificates.cpp.o.d"
+  "CMakeFiles/se2gis_core.dir/InvariantInfer.cpp.o"
+  "CMakeFiles/se2gis_core.dir/InvariantInfer.cpp.o.d"
+  "CMakeFiles/se2gis_core.dir/Portfolio.cpp.o"
+  "CMakeFiles/se2gis_core.dir/Portfolio.cpp.o.d"
+  "CMakeFiles/se2gis_core.dir/RecursionElim.cpp.o"
+  "CMakeFiles/se2gis_core.dir/RecursionElim.cpp.o.d"
+  "CMakeFiles/se2gis_core.dir/SplitIte.cpp.o"
+  "CMakeFiles/se2gis_core.dir/SplitIte.cpp.o.d"
+  "CMakeFiles/se2gis_core.dir/Verify.cpp.o"
+  "CMakeFiles/se2gis_core.dir/Verify.cpp.o.d"
+  "CMakeFiles/se2gis_core.dir/Witness.cpp.o"
+  "CMakeFiles/se2gis_core.dir/Witness.cpp.o.d"
+  "libse2gis_core.a"
+  "libse2gis_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/se2gis_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

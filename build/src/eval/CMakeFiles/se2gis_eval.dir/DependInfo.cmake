@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/eval/Expand.cpp" "src/eval/CMakeFiles/se2gis_eval.dir/Expand.cpp.o" "gcc" "src/eval/CMakeFiles/se2gis_eval.dir/Expand.cpp.o.d"
+  "/root/repo/src/eval/Interp.cpp" "src/eval/CMakeFiles/se2gis_eval.dir/Interp.cpp.o" "gcc" "src/eval/CMakeFiles/se2gis_eval.dir/Interp.cpp.o.d"
+  "/root/repo/src/eval/SymbolicEval.cpp" "src/eval/CMakeFiles/se2gis_eval.dir/SymbolicEval.cpp.o" "gcc" "src/eval/CMakeFiles/se2gis_eval.dir/SymbolicEval.cpp.o.d"
+  "/root/repo/src/eval/Value.cpp" "src/eval/CMakeFiles/se2gis_eval.dir/Value.cpp.o" "gcc" "src/eval/CMakeFiles/se2gis_eval.dir/Value.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/lang/CMakeFiles/se2gis_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/ast/CMakeFiles/se2gis_ast.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/se2gis_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/se2gis_eval.dir/Expand.cpp.o"
+  "CMakeFiles/se2gis_eval.dir/Expand.cpp.o.d"
+  "CMakeFiles/se2gis_eval.dir/Interp.cpp.o"
+  "CMakeFiles/se2gis_eval.dir/Interp.cpp.o.d"
+  "CMakeFiles/se2gis_eval.dir/SymbolicEval.cpp.o"
+  "CMakeFiles/se2gis_eval.dir/SymbolicEval.cpp.o.d"
+  "CMakeFiles/se2gis_eval.dir/Value.cpp.o"
+  "CMakeFiles/se2gis_eval.dir/Value.cpp.o.d"
+  "libse2gis_eval.a"
+  "libse2gis_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/se2gis_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

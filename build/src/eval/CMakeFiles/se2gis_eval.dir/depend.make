@@ -1,0 +1,2 @@
+# Empty dependencies file for se2gis_eval.
+# This may be replaced when dependencies are built.

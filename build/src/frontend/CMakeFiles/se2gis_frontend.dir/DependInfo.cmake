@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/frontend/Elaborate.cpp" "src/frontend/CMakeFiles/se2gis_frontend.dir/Elaborate.cpp.o" "gcc" "src/frontend/CMakeFiles/se2gis_frontend.dir/Elaborate.cpp.o.d"
+  "/root/repo/src/frontend/Lexer.cpp" "src/frontend/CMakeFiles/se2gis_frontend.dir/Lexer.cpp.o" "gcc" "src/frontend/CMakeFiles/se2gis_frontend.dir/Lexer.cpp.o.d"
+  "/root/repo/src/frontend/Parser.cpp" "src/frontend/CMakeFiles/se2gis_frontend.dir/Parser.cpp.o" "gcc" "src/frontend/CMakeFiles/se2gis_frontend.dir/Parser.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/lang/CMakeFiles/se2gis_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/ast/CMakeFiles/se2gis_ast.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/se2gis_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

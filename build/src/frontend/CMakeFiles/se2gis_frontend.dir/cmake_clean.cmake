@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/se2gis_frontend.dir/Elaborate.cpp.o"
+  "CMakeFiles/se2gis_frontend.dir/Elaborate.cpp.o.d"
+  "CMakeFiles/se2gis_frontend.dir/Lexer.cpp.o"
+  "CMakeFiles/se2gis_frontend.dir/Lexer.cpp.o.d"
+  "CMakeFiles/se2gis_frontend.dir/Parser.cpp.o"
+  "CMakeFiles/se2gis_frontend.dir/Parser.cpp.o.d"
+  "libse2gis_frontend.a"
+  "libse2gis_frontend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/se2gis_frontend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/se2gis_lang.dir/Function.cpp.o"
+  "CMakeFiles/se2gis_lang.dir/Function.cpp.o.d"
+  "CMakeFiles/se2gis_lang.dir/Program.cpp.o"
+  "CMakeFiles/se2gis_lang.dir/Program.cpp.o.d"
+  "libse2gis_lang.a"
+  "libse2gis_lang.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/se2gis_lang.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

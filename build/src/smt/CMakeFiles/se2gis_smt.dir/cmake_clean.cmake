@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/se2gis_smt.dir/BoundedCheck.cpp.o"
+  "CMakeFiles/se2gis_smt.dir/BoundedCheck.cpp.o.d"
+  "CMakeFiles/se2gis_smt.dir/Induction.cpp.o"
+  "CMakeFiles/se2gis_smt.dir/Induction.cpp.o.d"
+  "CMakeFiles/se2gis_smt.dir/Solver.cpp.o"
+  "CMakeFiles/se2gis_smt.dir/Solver.cpp.o.d"
+  "libse2gis_smt.a"
+  "libse2gis_smt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/se2gis_smt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

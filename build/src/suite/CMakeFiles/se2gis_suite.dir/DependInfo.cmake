@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/suite/Benchmarks.cpp" "src/suite/CMakeFiles/se2gis_suite.dir/Benchmarks.cpp.o" "gcc" "src/suite/CMakeFiles/se2gis_suite.dir/Benchmarks.cpp.o.d"
+  "/root/repo/src/suite/ExtraBenchmarks.cpp" "src/suite/CMakeFiles/se2gis_suite.dir/ExtraBenchmarks.cpp.o" "gcc" "src/suite/CMakeFiles/se2gis_suite.dir/ExtraBenchmarks.cpp.o.d"
+  "/root/repo/src/suite/ListBenchmarks.cpp" "src/suite/CMakeFiles/se2gis_suite.dir/ListBenchmarks.cpp.o" "gcc" "src/suite/CMakeFiles/se2gis_suite.dir/ListBenchmarks.cpp.o.d"
+  "/root/repo/src/suite/ParallelBenchmarks.cpp" "src/suite/CMakeFiles/se2gis_suite.dir/ParallelBenchmarks.cpp.o" "gcc" "src/suite/CMakeFiles/se2gis_suite.dir/ParallelBenchmarks.cpp.o.d"
+  "/root/repo/src/suite/Runner.cpp" "src/suite/CMakeFiles/se2gis_suite.dir/Runner.cpp.o" "gcc" "src/suite/CMakeFiles/se2gis_suite.dir/Runner.cpp.o.d"
+  "/root/repo/src/suite/SortedBenchmarks.cpp" "src/suite/CMakeFiles/se2gis_suite.dir/SortedBenchmarks.cpp.o" "gcc" "src/suite/CMakeFiles/se2gis_suite.dir/SortedBenchmarks.cpp.o.d"
+  "/root/repo/src/suite/TreeBenchmarks.cpp" "src/suite/CMakeFiles/se2gis_suite.dir/TreeBenchmarks.cpp.o" "gcc" "src/suite/CMakeFiles/se2gis_suite.dir/TreeBenchmarks.cpp.o.d"
+  "/root/repo/src/suite/UnrealizableBenchmarks.cpp" "src/suite/CMakeFiles/se2gis_suite.dir/UnrealizableBenchmarks.cpp.o" "gcc" "src/suite/CMakeFiles/se2gis_suite.dir/UnrealizableBenchmarks.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/se2gis_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/frontend/CMakeFiles/se2gis_frontend.dir/DependInfo.cmake"
+  "/root/repo/build/src/synth/CMakeFiles/se2gis_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/smt/CMakeFiles/se2gis_smt.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/se2gis_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/lang/CMakeFiles/se2gis_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/ast/CMakeFiles/se2gis_ast.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/se2gis_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/se2gis_suite.dir/Benchmarks.cpp.o"
+  "CMakeFiles/se2gis_suite.dir/Benchmarks.cpp.o.d"
+  "CMakeFiles/se2gis_suite.dir/ExtraBenchmarks.cpp.o"
+  "CMakeFiles/se2gis_suite.dir/ExtraBenchmarks.cpp.o.d"
+  "CMakeFiles/se2gis_suite.dir/ListBenchmarks.cpp.o"
+  "CMakeFiles/se2gis_suite.dir/ListBenchmarks.cpp.o.d"
+  "CMakeFiles/se2gis_suite.dir/ParallelBenchmarks.cpp.o"
+  "CMakeFiles/se2gis_suite.dir/ParallelBenchmarks.cpp.o.d"
+  "CMakeFiles/se2gis_suite.dir/Runner.cpp.o"
+  "CMakeFiles/se2gis_suite.dir/Runner.cpp.o.d"
+  "CMakeFiles/se2gis_suite.dir/SortedBenchmarks.cpp.o"
+  "CMakeFiles/se2gis_suite.dir/SortedBenchmarks.cpp.o.d"
+  "CMakeFiles/se2gis_suite.dir/TreeBenchmarks.cpp.o"
+  "CMakeFiles/se2gis_suite.dir/TreeBenchmarks.cpp.o.d"
+  "CMakeFiles/se2gis_suite.dir/UnrealizableBenchmarks.cpp.o"
+  "CMakeFiles/se2gis_suite.dir/UnrealizableBenchmarks.cpp.o.d"
+  "libse2gis_suite.a"
+  "libse2gis_suite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/se2gis_suite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/se2gis_support.dir/Counters.cpp.o"
+  "CMakeFiles/se2gis_support.dir/Counters.cpp.o.d"
+  "CMakeFiles/se2gis_support.dir/Diagnostics.cpp.o"
+  "CMakeFiles/se2gis_support.dir/Diagnostics.cpp.o.d"
+  "CMakeFiles/se2gis_support.dir/Stopwatch.cpp.o"
+  "CMakeFiles/se2gis_support.dir/Stopwatch.cpp.o.d"
+  "CMakeFiles/se2gis_support.dir/TableWriter.cpp.o"
+  "CMakeFiles/se2gis_support.dir/TableWriter.cpp.o.d"
+  "libse2gis_support.a"
+  "libse2gis_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/se2gis_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libse2gis_support.a"
+)

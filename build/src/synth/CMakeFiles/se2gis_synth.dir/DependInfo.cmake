@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/synth/Enumerator.cpp" "src/synth/CMakeFiles/se2gis_synth.dir/Enumerator.cpp.o" "gcc" "src/synth/CMakeFiles/se2gis_synth.dir/Enumerator.cpp.o.d"
+  "/root/repo/src/synth/Grammar.cpp" "src/synth/CMakeFiles/se2gis_synth.dir/Grammar.cpp.o" "gcc" "src/synth/CMakeFiles/se2gis_synth.dir/Grammar.cpp.o.d"
+  "/root/repo/src/synth/SgeSolver.cpp" "src/synth/CMakeFiles/se2gis_synth.dir/SgeSolver.cpp.o" "gcc" "src/synth/CMakeFiles/se2gis_synth.dir/SgeSolver.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/smt/CMakeFiles/se2gis_smt.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/se2gis_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/lang/CMakeFiles/se2gis_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/ast/CMakeFiles/se2gis_ast.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/se2gis_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/se2gis_synth.dir/Enumerator.cpp.o"
+  "CMakeFiles/se2gis_synth.dir/Enumerator.cpp.o.d"
+  "CMakeFiles/se2gis_synth.dir/Grammar.cpp.o"
+  "CMakeFiles/se2gis_synth.dir/Grammar.cpp.o.d"
+  "CMakeFiles/se2gis_synth.dir/SgeSolver.cpp.o"
+  "CMakeFiles/se2gis_synth.dir/SgeSolver.cpp.o.d"
+  "libse2gis_synth.a"
+  "libse2gis_synth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/se2gis_synth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,47 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/AstTest.cpp" "tests/CMakeFiles/unit_tests.dir/AstTest.cpp.o" "gcc" "tests/CMakeFiles/unit_tests.dir/AstTest.cpp.o.d"
+  "/root/repo/tests/CertificateTest.cpp" "tests/CMakeFiles/unit_tests.dir/CertificateTest.cpp.o" "gcc" "tests/CMakeFiles/unit_tests.dir/CertificateTest.cpp.o.d"
+  "/root/repo/tests/CoreTest.cpp" "tests/CMakeFiles/unit_tests.dir/CoreTest.cpp.o" "gcc" "tests/CMakeFiles/unit_tests.dir/CoreTest.cpp.o.d"
+  "/root/repo/tests/Enumerator2Test.cpp" "tests/CMakeFiles/unit_tests.dir/Enumerator2Test.cpp.o" "gcc" "tests/CMakeFiles/unit_tests.dir/Enumerator2Test.cpp.o.d"
+  "/root/repo/tests/EvalTest.cpp" "tests/CMakeFiles/unit_tests.dir/EvalTest.cpp.o" "gcc" "tests/CMakeFiles/unit_tests.dir/EvalTest.cpp.o.d"
+  "/root/repo/tests/ExpandTest.cpp" "tests/CMakeFiles/unit_tests.dir/ExpandTest.cpp.o" "gcc" "tests/CMakeFiles/unit_tests.dir/ExpandTest.cpp.o.d"
+  "/root/repo/tests/Frontend2Test.cpp" "tests/CMakeFiles/unit_tests.dir/Frontend2Test.cpp.o" "gcc" "tests/CMakeFiles/unit_tests.dir/Frontend2Test.cpp.o.d"
+  "/root/repo/tests/FrontendTest.cpp" "tests/CMakeFiles/unit_tests.dir/FrontendTest.cpp.o" "gcc" "tests/CMakeFiles/unit_tests.dir/FrontendTest.cpp.o.d"
+  "/root/repo/tests/Interp2Test.cpp" "tests/CMakeFiles/unit_tests.dir/Interp2Test.cpp.o" "gcc" "tests/CMakeFiles/unit_tests.dir/Interp2Test.cpp.o.d"
+  "/root/repo/tests/LangTest.cpp" "tests/CMakeFiles/unit_tests.dir/LangTest.cpp.o" "gcc" "tests/CMakeFiles/unit_tests.dir/LangTest.cpp.o.d"
+  "/root/repo/tests/PortfolioTest.cpp" "tests/CMakeFiles/unit_tests.dir/PortfolioTest.cpp.o" "gcc" "tests/CMakeFiles/unit_tests.dir/PortfolioTest.cpp.o.d"
+  "/root/repo/tests/PropertyTest.cpp" "tests/CMakeFiles/unit_tests.dir/PropertyTest.cpp.o" "gcc" "tests/CMakeFiles/unit_tests.dir/PropertyTest.cpp.o.d"
+  "/root/repo/tests/RecursionElim2Test.cpp" "tests/CMakeFiles/unit_tests.dir/RecursionElim2Test.cpp.o" "gcc" "tests/CMakeFiles/unit_tests.dir/RecursionElim2Test.cpp.o.d"
+  "/root/repo/tests/SgeSolver2Test.cpp" "tests/CMakeFiles/unit_tests.dir/SgeSolver2Test.cpp.o" "gcc" "tests/CMakeFiles/unit_tests.dir/SgeSolver2Test.cpp.o.d"
+  "/root/repo/tests/SimplifyTest.cpp" "tests/CMakeFiles/unit_tests.dir/SimplifyTest.cpp.o" "gcc" "tests/CMakeFiles/unit_tests.dir/SimplifyTest.cpp.o.d"
+  "/root/repo/tests/SmtTest.cpp" "tests/CMakeFiles/unit_tests.dir/SmtTest.cpp.o" "gcc" "tests/CMakeFiles/unit_tests.dir/SmtTest.cpp.o.d"
+  "/root/repo/tests/SplitIteTest.cpp" "tests/CMakeFiles/unit_tests.dir/SplitIteTest.cpp.o" "gcc" "tests/CMakeFiles/unit_tests.dir/SplitIteTest.cpp.o.d"
+  "/root/repo/tests/SuiteTest.cpp" "tests/CMakeFiles/unit_tests.dir/SuiteTest.cpp.o" "gcc" "tests/CMakeFiles/unit_tests.dir/SuiteTest.cpp.o.d"
+  "/root/repo/tests/SupportTest.cpp" "tests/CMakeFiles/unit_tests.dir/SupportTest.cpp.o" "gcc" "tests/CMakeFiles/unit_tests.dir/SupportTest.cpp.o.d"
+  "/root/repo/tests/SynthTest.cpp" "tests/CMakeFiles/unit_tests.dir/SynthTest.cpp.o" "gcc" "tests/CMakeFiles/unit_tests.dir/SynthTest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/frontend/CMakeFiles/se2gis_frontend.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/se2gis_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/smt/CMakeFiles/se2gis_smt.dir/DependInfo.cmake"
+  "/root/repo/build/src/synth/CMakeFiles/se2gis_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/se2gis_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/suite/CMakeFiles/se2gis_suite.dir/DependInfo.cmake"
+  "/root/repo/build/src/lang/CMakeFiles/se2gis_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/ast/CMakeFiles/se2gis_ast.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/se2gis_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

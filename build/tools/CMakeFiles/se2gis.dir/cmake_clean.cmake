@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/se2gis.dir/se2gis_cli.cpp.o"
+  "CMakeFiles/se2gis.dir/se2gis_cli.cpp.o.d"
+  "se2gis"
+  "se2gis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/se2gis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
