@@ -11,6 +11,8 @@
 #define SE2GIS_BENCH_BENCHREPORT_H
 
 #include "suite/Runner.h"
+#include "support/PerfCounters.h"
+#include "support/Stopwatch.h"
 #include "support/TableWriter.h"
 
 #include <algorithm>
@@ -19,6 +21,25 @@
 #include <vector>
 
 namespace se2gis {
+
+/// Captures the process-wide perf counters around a harness run and prints
+/// the delta after the tables — the same numbers the SE2GIS_PERF_JSON
+/// summary (written by runSuite) contains, plus the wall/Z3 time split
+/// that shows how well the parallel sweep is feeding the cores.
+class PerfReport {
+public:
+  PerfReport() : Before(snapshotPerf()) {}
+
+  void print(const char *What) const {
+    PerfSnapshot D = snapshotPerf().since(Before);
+    std::fprintf(stderr, "[perf] %s: %s wall_ms=%.1f\n", What,
+                 D.str().c_str(), Wall.elapsedMs());
+  }
+
+private:
+  PerfSnapshot Before;
+  Stopwatch Wall;
+};
 
 /// Formats a run like the paper's time columns: seconds on success, '-' on
 /// timeout, the symbol used in the appendix for hard failures.

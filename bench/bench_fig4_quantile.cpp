@@ -22,6 +22,7 @@
 using namespace se2gis;
 
 int main() {
+  PerfReport Perf;
   SuiteOptions Opts = suiteOptionsFromEnv(/*DefaultTimeoutMs=*/6000);
   Opts.Algorithms = {AlgorithmKind::SE2GIS, AlgorithmKind::SEGISUC,
                      AlgorithmKind::SEGIS};
@@ -88,5 +89,6 @@ int main() {
   std::printf("\nshape check (SE2GIS >= SEGIS+UC total, SEGIS+UC > SEGIS on "
               "unrealizable, SEGIS solves 0 unrealizable): %s\n",
               ShapeHolds ? "OK" : "MISMATCH");
+  Perf.print("fig4");
   return 0;
 }

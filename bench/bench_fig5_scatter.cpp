@@ -16,6 +16,7 @@
 using namespace se2gis;
 
 int main() {
+  PerfReport Perf;
   SuiteOptions Opts = suiteOptionsFromEnv(/*DefaultTimeoutMs=*/6000);
   Opts.Algorithms = {AlgorithmKind::SE2GIS, AlgorithmKind::SEGISUC};
   std::vector<SuiteRecord> Records = runSuite(Opts);
@@ -52,5 +53,6 @@ int main() {
     std::printf("SE2GIS faster on %d/%d (%.0f%%) of mutually solved "
                 "unrealizable benchmarks [paper: 50%%]\n",
                 UnrealSeFaster, UnrealBoth, 100.0 * UnrealSeFaster / UnrealBoth);
+  Perf.print("fig5");
   return 0;
 }

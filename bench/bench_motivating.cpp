@@ -39,6 +39,7 @@ double runOne(const char *Name, AlgorithmKind K, std::int64_t TimeoutMs) {
 } // namespace
 
 int main() {
+  PerfReport Perf;
   std::int64_t TimeoutMs = 20000;
   if (const char *T = std::getenv("SE2GIS_TIMEOUT_MS"))
     TimeoutMs = std::atoll(T);
@@ -60,5 +61,6 @@ int main() {
     std::printf("\nspeedup of SE2GIS over full bounding: %.1fx  [paper: "
                 "~88x]\n",
                 SegisMs / Se2gisMs);
+  Perf.print("motivating");
   return 0;
 }

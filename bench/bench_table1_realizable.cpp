@@ -14,6 +14,7 @@
 using namespace se2gis;
 
 int main() {
+  PerfReport Perf;
   SuiteOptions Opts = suiteOptionsFromEnv(/*DefaultTimeoutMs=*/6000);
   Opts.Algorithms = {AlgorithmKind::SE2GIS, AlgorithmKind::SEGISUC,
                      AlgorithmKind::SEGIS};
@@ -44,5 +45,6 @@ int main() {
   std::printf("\n== Table 1: realizable benchmarks (times in seconds; '-' "
               "timeout, 'x' failure) ==\n%s",
               T.renderText().c_str());
+  Perf.print("table1");
   return 0;
 }

@@ -15,6 +15,7 @@
 using namespace se2gis;
 
 int main() {
+  PerfReport Perf;
   SuiteOptions Opts = suiteOptionsFromEnv(/*DefaultTimeoutMs=*/6000);
   Opts.Algorithms = {AlgorithmKind::SE2GIS, AlgorithmKind::SEGISUC};
   Opts.SkipRealizable = true;
@@ -35,5 +36,6 @@ int main() {
   std::printf("\n== Table 2: unrealizable benchmarks (times in seconds; '-' "
               "timeout, 'x' failure/no-witness) ==\n%s",
               T.renderText().c_str());
+  Perf.print("table2");
   return 0;
 }

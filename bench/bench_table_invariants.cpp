@@ -20,6 +20,7 @@
 using namespace se2gis;
 
 int main() {
+  PerfReport Perf;
   SuiteOptions Opts = suiteOptionsFromEnv(/*DefaultTimeoutMs=*/6000);
   Opts.Algorithms = {AlgorithmKind::SE2GIS};
   std::vector<SuiteRecord> Records = runSuite(Opts);
@@ -68,5 +69,6 @@ int main() {
   std::printf("solved with at most one refine/coarsen alternation: %d/%d "
               "(paper: easy benchmarks take one alternation)\n",
               OneAlternation, Solved);
+  Perf.print("table_invariants");
   return 0;
 }

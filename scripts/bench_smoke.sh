@@ -1,0 +1,62 @@
+#!/usr/bin/env bash
+# bench_smoke.sh — parallel-runner smoke check + perf-counter trajectory.
+#
+# Runs a small filtered sub-suite twice through bench_fig4_quantile — once
+# at SE2GIS_JOBS=1 (the historical sequential loop) and once at
+# SE2GIS_JOBS=N — diffs the outcome lines, and leaves the two perf-counter
+# JSON summaries next to the build tree so future PRs can record a bench
+# trajectory (BENCH_smoke_j1.json / BENCH_smoke_jN.json).
+#
+# Usage: scripts/bench_smoke.sh [build-dir] [jobs] [filter]
+#   build-dir  default: build
+#   jobs       default: nproc
+#   filter     default: sortedlist/m  (3 fast benchmarks)
+set -euo pipefail
+
+BUILD_DIR=${1:-build}
+JOBS=${2:-$(nproc)}
+FILTER=${3:-sortedlist/m}
+DRIVER="$BUILD_DIR/bench/bench_fig4_quantile"
+OUT_DIR=${BENCH_OUT_DIR:-$BUILD_DIR}
+
+if [ ! -x "$DRIVER" ]; then
+  echo "error: $DRIVER not built (cmake -B $BUILD_DIR -S . && cmake --build $BUILD_DIR -j)" >&2
+  exit 1
+fi
+
+run() { # run <jobs> <json-path> <stdout-path>
+  SE2GIS_JOBS=$1 SE2GIS_PERF_JSON=$2 SE2GIS_FILTER=$FILTER \
+    SE2GIS_TIMEOUT_MS=${SE2GIS_TIMEOUT_MS:-20000} \
+    "$DRIVER" >"$3" 2>"$3.log"
+}
+
+echo "[smoke] filter='$FILTER' sequential baseline (SE2GIS_JOBS=1)..."
+T0=$(date +%s.%N)
+run 1 "$OUT_DIR/BENCH_smoke_j1.json" "$OUT_DIR/smoke_j1.out"
+T1=$(date +%s.%N)
+
+echo "[smoke] parallel sweep (SE2GIS_JOBS=$JOBS)..."
+run "$JOBS" "$OUT_DIR/BENCH_smoke_j${JOBS}.json" "$OUT_DIR/smoke_jN.out"
+T2=$(date +%s.%N)
+
+# Outcomes must be identical. Solve *times* legitimately vary between runs
+# (and progress lines arrive in completion order under the pool), so the
+# comparison extracts the (benchmark, algorithm, outcome) triples from the
+# progress log, sorted, plus the solved-counts table and shape check.
+outcomes() { # outcomes <stdout-path>
+  { grep '^\[suite\]' "$1.log" | awk '{print $2, $3, $4}' | sort
+    grep -E '^(Realizable|Unrealizable|Total|shape check)' "$1"; } \
+    >"$1.outcomes"
+}
+outcomes "$OUT_DIR/smoke_j1.out"
+outcomes "$OUT_DIR/smoke_jN.out"
+if ! diff -u "$OUT_DIR/smoke_j1.out.outcomes" "$OUT_DIR/smoke_jN.out.outcomes"; then
+  echo "[smoke] FAIL: parallel outcomes diverge from the sequential baseline" >&2
+  exit 1
+fi
+echo "[smoke] outcomes identical at jobs=1 and jobs=$JOBS"
+
+SEQ=$(echo "$T1 $T0" | awk '{printf "%.1f", $1-$2}')
+PAR=$(echo "$T2 $T1" | awk '{printf "%.1f", $1-$2}')
+echo "[smoke] wall clock: sequential ${SEQ}s, parallel ${PAR}s"
+echo "[smoke] perf summaries: $OUT_DIR/BENCH_smoke_j1.json $OUT_DIR/BENCH_smoke_j${JOBS}.json"

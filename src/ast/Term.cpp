@@ -129,11 +129,6 @@ static bool opIsComparison(OpKind Op) {
 
 // --- Hashing -----------------------------------------------------------===//
 
-static std::uint64_t hashCombine(std::uint64_t Seed, std::uint64_t V) {
-  // A 64-bit variant of boost::hash_combine.
-  return Seed ^ (V + 0x9e3779b97f4a7c15ULL + (Seed << 12) + (Seed >> 4));
-}
-
 static std::uint64_t hashString(const std::string &S) {
   std::uint64_t H = 1469598103934665603ULL;
   for (char C : S)

@@ -73,6 +73,7 @@ RunResult se2gis::runSE2GIS(const Problem &P, const AlgoOptions &Opts) {
   Deadline Budget = Deadline::afterMs(Opts.TimeoutMs);
   Budget.setCancelFlag(Opts.Cancel);
   CounterSnapshot Before = snapshotCounters();
+  PerfSnapshot PerfBefore = snapshotPerf();
   RunResult Result;
 
   GrammarConfig Grammar = inferGrammar(P);
@@ -212,6 +213,7 @@ RunResult se2gis::runSE2GIS(const Problem &P, const AlgoOptions &Opts) {
     Result.O = Outcome::Timeout;
   Result.Stats.ElapsedMs = Timer.elapsedMs();
   Result.Stats.Counters = snapshotCounters().since(Before);
+  Result.Stats.Perf = snapshotPerf().since(PerfBefore);
   return Result;
 }
 
@@ -223,6 +225,7 @@ RunResult se2gis::runSEGIS(const Problem &P, const AlgoOptions &Opts,
   Deadline Budget = Deadline::afterMs(Opts.TimeoutMs);
   Budget.setCancelFlag(Opts.Cancel);
   CounterSnapshot Before = snapshotCounters();
+  PerfSnapshot PerfBefore = snapshotPerf();
   RunResult Result;
 
   GrammarConfig Grammar = inferGrammar(P);
@@ -344,11 +347,13 @@ RunResult se2gis::runSEGIS(const Problem &P, const AlgoOptions &Opts,
 
   Result.Stats.ElapsedMs = Timer.elapsedMs();
   Result.Stats.Counters = snapshotCounters().since(Before);
+  Result.Stats.Perf = snapshotPerf().since(PerfBefore);
   return Result;
 }
 
 RunResult se2gis::runAlgorithm(AlgorithmKind K, const Problem &P,
                                const AlgoOptions &Opts) {
+  PerfTimerScope RunTimer(PerfTimer::SuiteRunNs);
   switch (K) {
   case AlgorithmKind::SE2GIS:
     return runSE2GIS(P, Opts);

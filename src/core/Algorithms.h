@@ -20,6 +20,7 @@
 #include "core/Verify.h"
 #include "lang/Program.h"
 #include "support/Counters.h"
+#include "support/PerfCounters.h"
 
 #include <atomic>
 #include <cstdint>
@@ -84,6 +85,11 @@ struct RunStats {
   double ElapsedMs = 0;
   /// Telemetry deltas for this run (support/Counters.h).
   CounterSnapshot Counters;
+  /// Performance deltas for this run (support/PerfCounters.h). Under a
+  /// parallel sweep the process-wide counters aggregate across workers, so
+  /// a run's delta includes events of concurrently running jobs; the
+  /// per-run numbers are exact only at SE2GIS_JOBS=1.
+  PerfSnapshot Perf;
 };
 
 /// Result of one synthesis run.

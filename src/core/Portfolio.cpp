@@ -3,12 +3,12 @@
 #include "core/Portfolio.h"
 
 #include "support/Stopwatch.h"
+#include "support/ThreadPool.h"
 
 #include <atomic>
 #include <condition_variable>
 #include <mutex>
 #include <optional>
-#include <thread>
 
 using namespace se2gis;
 
@@ -37,8 +37,12 @@ RunResult se2gis::runPortfolio(const Problem &P, const AlgoOptions &Opts) {
     Cv.notify_all();
   };
 
-  std::thread T1(Worker, 0, AlgorithmKind::SE2GIS);
-  std::thread T2(Worker, 1, AlgorithmKind::SEGISUC);
+  // A dedicated two-worker pool rather than the suite runner's: portfolio
+  // members must start immediately even when every shared worker is busy,
+  // and blocking a shared worker on a job of the same pool could deadlock.
+  ThreadPool Pool(2);
+  auto F1 = Pool.enqueue([&] { Worker(0, AlgorithmKind::SE2GIS); });
+  auto F2 = Pool.enqueue([&] { Worker(1, AlgorithmKind::SEGISUC); });
 
   {
     std::unique_lock<std::mutex> Lock(M);
@@ -53,8 +57,8 @@ RunResult se2gis::runPortfolio(const Problem &P, const AlgoOptions &Opts) {
   }
   // First conclusive verdict wins; tell the other worker to stop.
   Cancel.store(true);
-  T1.join();
-  T2.join();
+  F1.get();
+  F2.get();
 
   RunResult Final;
   // Prefer a conclusive result (SE2GIS first on ties), else the SE2GIS one.

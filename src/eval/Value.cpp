@@ -2,6 +2,7 @@
 
 #include "eval/Value.h"
 
+#include "ast/Term.h"
 #include "support/Diagnostics.h"
 
 #include <cassert>
@@ -142,4 +143,23 @@ bool se2gis::valueLess(const ValuePtr &A, const ValuePtr &B) {
   }
   }
   return false;
+}
+
+std::uint64_t se2gis::valueHash(const ValuePtr &V) {
+  std::uint64_t H =
+      static_cast<std::uint64_t>(V->getKind()) * 0x9e3779b9U + 0x51ed2701ULL;
+  switch (V->getKind()) {
+  case Value::Kind::Int:
+    return hashCombine(H, static_cast<std::uint64_t>(V->getInt()));
+  case Value::Kind::Bool:
+    return hashCombine(H, V->getBool() ? 2 : 1);
+  case Value::Kind::Data:
+    H = hashCombine(H, V->getCtor()->Index);
+    [[fallthrough]];
+  case Value::Kind::Tuple:
+    for (const ValuePtr &E : V->getElems())
+      H = hashCombine(H, valueHash(E));
+    return H;
+  }
+  return H;
 }

@@ -13,6 +13,7 @@
 
 #include "ast/Type.h"
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
@@ -57,6 +58,11 @@ private:
 
 /// Deep structural equality.
 bool valueEquals(const ValuePtr &A, const ValuePtr &B);
+
+/// Deep structural 64-bit hash, consistent with \c valueEquals (equal
+/// values hash equally). Used by the enumerator's observational-equivalence
+/// signatures.
+std::uint64_t valueHash(const ValuePtr &V);
 
 /// Orders values lexicographically; used for deterministic containers.
 bool valueLess(const ValuePtr &A, const ValuePtr &B);

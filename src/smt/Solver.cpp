@@ -4,13 +4,14 @@
 
 #include "support/Counters.h"
 #include "support/Diagnostics.h"
+#include "support/PerfCounters.h"
 
 #include <z3++.h>
 
 #include <algorithm>
 #include <cassert>
-#include <map>
 #include <sstream>
+#include <unordered_map>
 
 using namespace se2gis;
 
@@ -66,12 +67,20 @@ size_t flatWidth(const TypePtr &Ty) {
 struct SmtQuery::Impl {
   z3::context Ctx;
   z3::solver Solver;
-  std::map<unsigned, std::pair<VarPtr, std::vector<z3::expr>>> VarCache;
-  std::map<std::string, std::vector<z3::func_decl>> UnknownCache;
+  // Hit on every Var/Unknown node of every translated term; hash maps with
+  // reserved capacity keep the hot path rehash- and rebalance-free. Model
+  // readback sorts the entries by Id (below), so iteration order stays the
+  // deterministic order the rest of the stack depends on.
+  std::unordered_map<unsigned, std::pair<VarPtr, std::vector<z3::expr>>>
+      VarCache;
+  std::unordered_map<std::string, std::vector<z3::func_decl>> UnknownCache;
   std::vector<TermPtr> Requests;
   std::vector<z3::expr> SoftIndicators;
 
-  Impl() : Solver(Ctx) {}
+  Impl() : Solver(Ctx) {
+    VarCache.reserve(64);
+    UnknownCache.reserve(16);
+  }
 
   z3::sort sortOf(const TypePtr &Ty) {
     return Ty->isInt() ? Ctx.int_sort() : Ctx.bool_sort();
@@ -292,6 +301,7 @@ void SmtQuery::requestValue(const TermPtr &T) { I->Requests.push_back(T); }
 SmtResult SmtQuery::checkSat(int TimeoutMs, SmtModel *ModelOut,
                              std::vector<ValuePtr> *ValuesOut) {
   countEvent(CounterKind::SmtChecks);
+  perfAdd(PerfCounter::SmtQueries);
   try {
     // Budget via Z3's deterministic resource limit rather than the
     // wall-clock "timeout" parameter: the latter spawns a timer thread per
@@ -319,8 +329,11 @@ SmtResult SmtQuery::checkSat(int TimeoutMs, SmtModel *ModelOut,
       z3::expr_vector Assumptions(I->Ctx);
       for (const z3::expr &B : Active)
         Assumptions.push_back(B);
-      R = Active.empty() ? I->Solver.check()
-                         : I->Solver.check(Assumptions);
+      {
+        PerfTimerScope Z3Timer(PerfTimer::Z3SolveNs);
+        R = Active.empty() ? I->Solver.check()
+                           : I->Solver.check(Assumptions);
+      }
       if (R != z3::unsat || Active.empty())
         break;
       z3::expr_vector Core = I->Solver.unsat_core();
@@ -341,19 +354,37 @@ SmtResult SmtQuery::checkSat(int TimeoutMs, SmtModel *ModelOut,
       if (Active.size() == Before)
         Active.clear(); // defensive: guarantee progress
     }
-    if (R == z3::unsat)
+    if (R == z3::unsat) {
+      perfAdd(PerfCounter::SmtUnsat);
       return SmtResult::Unsat;
-    if (R == z3::unknown)
+    }
+    if (R == z3::unknown) {
+      perfAdd(PerfCounter::SmtUnknown);
       return SmtResult::Unknown;
+    }
+    perfAdd(PerfCounter::SmtSat);
 
     if (ModelOut || ValuesOut) {
       z3::model M = I->Solver.get_model();
       if (ModelOut) {
+        // Bind in ascending-Id order: witness projection, certificate
+        // conjunctions, and invariant-inference domains all iterate the
+        // model's assignment order, so it must not depend on hash layout.
+        std::vector<const std::pair<VarPtr, std::vector<z3::expr>> *> Entries;
+        Entries.reserve(I->VarCache.size());
         for (const auto &[Id, Entry] : I->VarCache) {
           (void)Id;
+          Entries.push_back(&Entry);
+        }
+        std::sort(Entries.begin(), Entries.end(),
+                  [](const auto *A, const auto *B) {
+                    return A->first->Id < B->first->Id;
+                  });
+        for (const auto *Entry : Entries) {
           size_t Cursor = 0;
-          ModelOut->bind(Entry.first,
-                         I->rebuild(M, Entry.first->Ty, Entry.second, Cursor));
+          ModelOut->bind(Entry->first,
+                         I->rebuild(M, Entry->first->Ty, Entry->second,
+                                    Cursor));
         }
       }
       if (ValuesOut) {

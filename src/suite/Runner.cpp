@@ -3,9 +3,16 @@
 #include "suite/Runner.h"
 
 #include "support/Diagnostics.h"
+#include "support/PerfCounters.h"
+#include "support/Stopwatch.h"
+#include "support/ThreadPool.h"
 
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
+#include <future>
+#include <mutex>
+#include <ostream>
 
 using namespace se2gis;
 
@@ -19,11 +26,58 @@ SuiteOptions se2gis::suiteOptionsFromEnv(std::int64_t DefaultTimeoutMs) {
   }
   if (const char *F = std::getenv("SE2GIS_FILTER"))
     Opts.Filter = F;
+  if (const char *J = std::getenv("SE2GIS_JOBS")) {
+    long V = std::atol(J);
+    if (V > 0)
+      Opts.Jobs = static_cast<unsigned>(V);
+  }
+  if (const char *P = std::getenv("SE2GIS_PERF_JSON"))
+    Opts.PerfJsonPath = P;
   return Opts;
 }
 
-std::vector<SuiteRecord> se2gis::runSuite(const SuiteOptions &Opts) {
+namespace {
+
+/// Serializes progress lines from concurrent workers so interleaved runs
+/// stay readable; the line format is the historical sequential one.
+class ProgressReporter {
+public:
+  explicit ProgressReporter(bool Enabled) : Enabled(Enabled) {}
+
+  void report(const SuiteRecord &Rec) {
+    if (!Enabled)
+      return;
+    std::lock_guard<std::mutex> Lock(M);
+    std::fprintf(stderr, "[suite] %-36s %-9s %-12s %8.1f ms  %s\n",
+                 Rec.Def->Name.c_str(), algorithmName(Rec.Algorithm),
+                 outcomeName(Rec.Result.O), Rec.Result.Stats.ElapsedMs,
+                 Rec.Result.Stats.Steps.c_str());
+  }
+
+private:
+  std::mutex M;
+  bool Enabled;
+};
+
+/// Runs one (benchmark, algorithm) pair; UserError becomes Outcome::Failed
+/// exactly as in the sequential loop.
+void runOne(SuiteRecord &Rec, const Problem &P, const AlgoOptions &Algo,
+            ProgressReporter &Progress) {
+  try {
+    Rec.Result = runAlgorithm(Rec.Algorithm, P, Algo);
+  } catch (const UserError &E) {
+    Rec.Result.O = Outcome::Failed;
+    Rec.Result.Detail = E.what();
+  }
+  Progress.report(Rec);
+}
+
+/// The historical strictly sequential loop, preserved verbatim so that
+/// Jobs=1 reproduces pre-parallel sweeps bit-for-bit (same load order,
+/// same progress interleaving, same records).
+std::vector<SuiteRecord> runSuiteSequential(const SuiteOptions &Opts) {
   std::vector<SuiteRecord> Records;
+  ProgressReporter Progress(Opts.Verbose);
   for (const BenchmarkDef &Def : allBenchmarks()) {
     if (!Opts.Filter.empty() &&
         Def.Name.find(Opts.Filter) == std::string::npos)
@@ -43,21 +97,105 @@ std::vector<SuiteRecord> se2gis::runSuite(const SuiteOptions &Opts) {
       SuiteRecord Rec;
       Rec.Def = &Def;
       Rec.Algorithm = K;
-      try {
-        Rec.Result = runAlgorithm(K, P, Opts.Algo);
-      } catch (const UserError &E) {
-        Rec.Result.O = Outcome::Failed;
-        Rec.Result.Detail = E.what();
-      }
-      if (Opts.Verbose)
-        std::fprintf(stderr, "[suite] %-36s %-9s %-12s %8.1f ms  %s\n",
-                     Def.Name.c_str(), algorithmName(K),
-                     outcomeName(Rec.Result.O), Rec.Result.Stats.ElapsedMs,
-                     Rec.Result.Stats.Steps.c_str());
+      runOne(Rec, P, Opts.Algo, Progress);
       Records.push_back(std::move(Rec));
     }
   }
   return Records;
+}
+
+/// Parallel sweep: benchmarks are loaded once each in registry order on
+/// the main thread (so load-error reporting matches the sequential loop),
+/// then every (benchmark, algorithm) pair becomes one pool job writing
+/// into its pre-assigned record slot. Loaded problems are immutable after
+/// validation and every SmtQuery owns a private Z3 context, so jobs never
+/// share mutable state; results land in the same deterministic order as
+/// the sequential loop.
+std::vector<SuiteRecord> runSuiteParallel(const SuiteOptions &Opts,
+                                          unsigned Jobs) {
+  std::vector<SuiteRecord> Records;
+  std::vector<std::shared_ptr<const Problem>> Problems; // one per record
+  ProgressReporter Progress(Opts.Verbose);
+
+  for (const BenchmarkDef &Def : allBenchmarks()) {
+    if (!Opts.Filter.empty() &&
+        Def.Name.find(Opts.Filter) == std::string::npos)
+      continue;
+    if ((Opts.SkipRealizable && Def.ExpectRealizable) ||
+        (Opts.SkipUnrealizable && !Def.ExpectRealizable))
+      continue;
+    std::shared_ptr<const Problem> P;
+    try {
+      P = std::make_shared<const Problem>(loadBenchmark(Def));
+    } catch (const UserError &E) {
+      std::fprintf(stderr, "[suite] %s: load error: %s\n", Def.Name.c_str(),
+                   E.what());
+      continue;
+    }
+    for (AlgorithmKind K : Opts.Algorithms) {
+      SuiteRecord Rec;
+      Rec.Def = &Def;
+      Rec.Algorithm = K;
+      Records.push_back(std::move(Rec));
+      Problems.push_back(P);
+    }
+  }
+
+  ThreadPool Pool(Jobs);
+  std::vector<std::future<void>> Pending;
+  Pending.reserve(Records.size());
+  for (size_t I = 0; I < Records.size(); ++I)
+    Pending.push_back(Pool.enqueue([&, I] {
+      runOne(Records[I], *Problems[I], Opts.Algo, Progress);
+    }));
+  for (std::future<void> &F : Pending)
+    F.get(); // rethrows anything unexpected from a worker
+  return Records;
+}
+
+} // namespace
+
+std::vector<SuiteRecord> se2gis::runSuite(const SuiteOptions &Opts) {
+  Stopwatch Wall;
+  PerfSnapshot Before = snapshotPerf();
+  unsigned Jobs = Opts.Jobs ? Opts.Jobs : ThreadPool::defaultConcurrency();
+  std::vector<SuiteRecord> Records = Jobs <= 1
+                                         ? runSuiteSequential(Opts)
+                                         : runSuiteParallel(Opts, Jobs);
+  if (!Opts.PerfJsonPath.empty()) {
+    std::ofstream OS(Opts.PerfJsonPath);
+    if (OS)
+      writeSuitePerfJson(OS, Records, snapshotPerf().since(Before),
+                         Wall.elapsedMs(), Jobs);
+    else
+      std::fprintf(stderr, "[suite] cannot write perf summary to %s\n",
+                   Opts.PerfJsonPath.c_str());
+  }
+  return Records;
+}
+
+void se2gis::writeSuitePerfJson(std::ostream &OS,
+                                const std::vector<SuiteRecord> &Records,
+                                const PerfSnapshot &Delta, double WallMs,
+                                unsigned Jobs) {
+  int Solved = 0;
+  for (const SuiteRecord &R : Records)
+    Solved += isSolved(R);
+  OS << "{\n  \"suite\": {\"records\": " << Records.size()
+     << ", \"solved\": " << Solved << ", \"wall_ms\": " << WallMs
+     << ", \"jobs\": " << Jobs << "},\n  \"perf\": ";
+  writePerfJson(OS, Delta);
+  OS << ",\n  \"records\": [";
+  for (size_t I = 0; I < Records.size(); ++I) {
+    const SuiteRecord &R = Records[I];
+    OS << (I ? ",\n    " : "\n    ") << "{\"benchmark\": \""
+       << R.Def->Name << "\", \"algorithm\": \""
+       << algorithmName(R.Algorithm) << "\", \"outcome\": \""
+       << outcomeName(R.Result.O) << "\", \"solved\": "
+       << (isSolved(R) ? "true" : "false")
+       << ", \"elapsed_ms\": " << R.Result.Stats.ElapsedMs << "}";
+  }
+  OS << "\n  ]\n}\n";
 }
 
 bool se2gis::isSolved(const SuiteRecord &R) {

@@ -7,6 +7,13 @@
 /// overridden with the SE2GIS_TIMEOUT_MS environment variable; a benchmark
 /// subset can be selected with a substring filter (SE2GIS_FILTER).
 ///
+/// (Benchmark, algorithm) pairs execute on a shared thread pool
+/// (SE2GIS_JOBS workers; every SmtQuery owns its own Z3 context, so runs
+/// are isolated). Results always come back in registry order — identical
+/// to the sequential runner's — and SE2GIS_JOBS=1 takes the sequential
+/// code path bit-for-bit. A perf-counter JSON summary of the sweep can be
+/// written via SE2GIS_PERF_JSON (schema in DESIGN.md).
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef SE2GIS_SUITE_RUNNER_H
@@ -14,6 +21,8 @@
 
 #include "core/Algorithms.h"
 #include "suite/Benchmarks.h"
+
+#include <iosfwd>
 
 namespace se2gis {
 
@@ -35,14 +44,32 @@ struct SuiteOptions {
   bool SkipUnrealizable = false;
   /// Print one progress line per run to stderr.
   bool Verbose = true;
+  /// Concurrent (benchmark, algorithm) workers. 0 = auto (the SE2GIS_JOBS
+  /// environment variable, else hardware_concurrency); 1 reproduces the
+  /// historical sequential loop exactly.
+  unsigned Jobs = 0;
+  /// When non-empty, the runner writes the sweep's perf-counter JSON
+  /// summary here (also settable via SE2GIS_PERF_JSON).
+  std::string PerfJsonPath;
 };
 
 /// Builds options from the environment: SE2GIS_TIMEOUT_MS (default
-/// \p DefaultTimeoutMs) and SE2GIS_FILTER.
+/// \p DefaultTimeoutMs), SE2GIS_FILTER, SE2GIS_JOBS, and SE2GIS_PERF_JSON.
 SuiteOptions suiteOptionsFromEnv(std::int64_t DefaultTimeoutMs = 5000);
 
-/// Runs the registered benchmarks under every requested algorithm.
+/// Runs the registered benchmarks under every requested algorithm. Records
+/// are returned in registry order (per benchmark, in Algorithms order)
+/// regardless of the number of workers.
 std::vector<SuiteRecord> runSuite(const SuiteOptions &Opts);
+
+/// Writes the suite perf summary as JSON: sweep metadata, the process-wide
+/// perf-counter deltas (\p Delta, see support/PerfCounters.h), and one
+/// entry per record. \p WallMs is the sweep's wall-clock time and \p Jobs
+/// the worker count used.
+void writeSuitePerfJson(std::ostream &OS,
+                        const std::vector<SuiteRecord> &Records,
+                        const PerfSnapshot &Delta, double WallMs,
+                        unsigned Jobs);
 
 /// \returns true when \p R counts as "solved" in the paper's sense: a
 /// correct verdict within the timeout (realizable benchmarks must be found

@@ -1,0 +1,78 @@
+//===- PerfCounters.cpp ---------------------------------------------------===//
+
+#include "support/PerfCounters.h"
+
+#include <atomic>
+#include <ostream>
+#include <sstream>
+
+using namespace se2gis;
+
+namespace {
+
+std::atomic<std::uint64_t> &counterSlot(PerfCounter C) {
+  static std::atomic<std::uint64_t>
+      Slots[static_cast<size_t>(PerfCounter::NumPerfCounters)];
+  return Slots[static_cast<size_t>(C)];
+}
+
+std::atomic<std::uint64_t> &timerSlot(PerfTimer T) {
+  static std::atomic<std::uint64_t>
+      Slots[static_cast<size_t>(PerfTimer::NumPerfTimers)];
+  return Slots[static_cast<size_t>(T)];
+}
+
+} // namespace
+
+void se2gis::perfAdd(PerfCounter C, std::uint64_t Delta) {
+  counterSlot(C).fetch_add(Delta, std::memory_order_relaxed);
+}
+
+void se2gis::perfAddTimeNs(PerfTimer T, std::uint64_t Ns) {
+  timerSlot(T).fetch_add(Ns, std::memory_order_relaxed);
+}
+
+PerfSnapshot se2gis::snapshotPerf() {
+  PerfSnapshot S;
+  for (size_t I = 0; I < static_cast<size_t>(PerfCounter::NumPerfCounters);
+       ++I)
+    S.Counters[I] =
+        counterSlot(static_cast<PerfCounter>(I)).load(std::memory_order_relaxed);
+  for (size_t I = 0; I < static_cast<size_t>(PerfTimer::NumPerfTimers); ++I)
+    S.TimersNs[I] =
+        timerSlot(static_cast<PerfTimer>(I)).load(std::memory_order_relaxed);
+  return S;
+}
+
+PerfSnapshot PerfSnapshot::since(const PerfSnapshot &Earlier) const {
+  PerfSnapshot D;
+  for (size_t I = 0; I < static_cast<size_t>(PerfCounter::NumPerfCounters);
+       ++I)
+    D.Counters[I] = Counters[I] - Earlier.Counters[I];
+  for (size_t I = 0; I < static_cast<size_t>(PerfTimer::NumPerfTimers); ++I)
+    D.TimersNs[I] = TimersNs[I] - Earlier.TimersNs[I];
+  return D;
+}
+
+std::string PerfSnapshot::str() const {
+  std::ostringstream OS;
+  OS << "smt=" << get(PerfCounter::SmtQueries) << " (sat="
+     << get(PerfCounter::SmtSat) << " unsat=" << get(PerfCounter::SmtUnsat)
+     << " unknown=" << get(PerfCounter::SmtUnknown) << ") z3_ms=";
+  OS.precision(1);
+  OS << std::fixed << getMs(PerfTimer::Z3SolveNs)
+     << " enum=" << get(PerfCounter::EnumCandidates)
+     << " pruned=" << get(PerfCounter::EnumPruned);
+  return OS.str();
+}
+
+void se2gis::writePerfJson(std::ostream &OS, const PerfSnapshot &D) {
+  OS << "{\"smt_queries\":" << D.get(PerfCounter::SmtQueries)
+     << ",\"smt_sat\":" << D.get(PerfCounter::SmtSat)
+     << ",\"smt_unsat\":" << D.get(PerfCounter::SmtUnsat)
+     << ",\"smt_unknown\":" << D.get(PerfCounter::SmtUnknown)
+     << ",\"z3_time_ms\":" << D.getMs(PerfTimer::Z3SolveNs)
+     << ",\"run_time_ms\":" << D.getMs(PerfTimer::SuiteRunNs)
+     << ",\"enum_candidates\":" << D.get(PerfCounter::EnumCandidates)
+     << ",\"enum_pruned\":" << D.get(PerfCounter::EnumPruned) << "}";
+}

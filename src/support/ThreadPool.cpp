@@ -1,0 +1,52 @@
+//===- ThreadPool.cpp -----------------------------------------------------===//
+
+#include "support/ThreadPool.h"
+
+#include <cstdlib>
+
+using namespace se2gis;
+
+unsigned ThreadPool::defaultConcurrency() {
+  if (const char *J = std::getenv("SE2GIS_JOBS")) {
+    long V = std::atol(J);
+    if (V > 0)
+      return static_cast<unsigned>(V);
+  }
+  unsigned HW = std::thread::hardware_concurrency();
+  return HW > 0 ? HW : 1;
+}
+
+ThreadPool::ThreadPool(unsigned Threads) {
+  if (Threads == 0)
+    Threads = defaultConcurrency();
+  Workers.reserve(Threads);
+  for (unsigned I = 0; I < Threads; ++I)
+    Workers.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> Lock(M);
+    Stopping = true;
+  }
+  Ready.notify_all();
+  for (std::thread &W : Workers)
+    W.join();
+}
+
+void ThreadPool::workerLoop() {
+  while (true) {
+    std::function<void()> Job;
+    {
+      std::unique_lock<std::mutex> Lock(M);
+      Ready.wait(Lock, [this] { return Stopping || !Queue.empty(); });
+      if (Queue.empty())
+        return; // Stopping and drained.
+      Job = std::move(Queue.front());
+      Queue.pop_front();
+    }
+    // A packaged_task captures exceptions into its future; nothing escapes
+    // into the worker loop.
+    Job();
+  }
+}

@@ -1,0 +1,81 @@
+//===- ThreadPool.h - Shared job-queue thread pool --------------*- C++-*-===//
+///
+/// \file
+/// A small fixed-size thread pool with a FIFO job queue, used by the suite
+/// runner to sweep (benchmark, algorithm) pairs concurrently, by the
+/// portfolio mode, and by the bench harness drivers. Jobs are submitted
+/// with \c enqueue and return a \c std::future, so exceptions thrown inside
+/// a job propagate to whoever calls \c get() — workers never swallow
+/// errors. The destructor drains the queue and joins every worker.
+///
+/// The pool is safe to share between threads; it is NOT safe to enqueue a
+/// job that blocks on another job of the same pool (classic nested-wait
+/// deadlock), which is why the portfolio mode builds its own two-worker
+/// instance instead of borrowing the suite runner's.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SE2GIS_SUPPORT_THREADPOOL_H
+#define SE2GIS_SUPPORT_THREADPOOL_H
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace se2gis {
+
+class ThreadPool {
+public:
+  /// Creates a pool with \p Threads workers; 0 picks
+  /// \c defaultConcurrency().
+  explicit ThreadPool(unsigned Threads = 0);
+
+  /// Drains outstanding jobs, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool &) = delete;
+  ThreadPool &operator=(const ThreadPool &) = delete;
+
+  /// Number of worker threads.
+  unsigned size() const { return static_cast<unsigned>(Workers.size()); }
+
+  /// Submits \p Job and returns a future for its result. An exception
+  /// escaping the job is captured and rethrown by \c future::get().
+  template <class Fn>
+  auto enqueue(Fn &&Job) -> std::future<std::invoke_result_t<Fn>> {
+    using R = std::invoke_result_t<Fn>;
+    auto Task =
+        std::make_shared<std::packaged_task<R()>>(std::forward<Fn>(Job));
+    std::future<R> Result = Task->get_future();
+    {
+      std::lock_guard<std::mutex> Lock(M);
+      Queue.emplace_back([Task] { (*Task)(); });
+    }
+    Ready.notify_one();
+    return Result;
+  }
+
+  /// The suite-wide parallelism default: \c SE2GIS_JOBS when set to a
+  /// positive integer, else \c std::thread::hardware_concurrency() (at
+  /// least 1).
+  static unsigned defaultConcurrency();
+
+private:
+  void workerLoop();
+
+  std::mutex M;
+  std::condition_variable Ready;
+  std::deque<std::function<void()>> Queue;
+  std::vector<std::thread> Workers;
+  bool Stopping = false;
+};
+
+} // namespace se2gis
+
+#endif // SE2GIS_SUPPORT_THREADPOOL_H

@@ -5,10 +5,13 @@
 #include "ast/Simplify.h"
 #include "support/Counters.h"
 #include "support/Diagnostics.h"
+#include "support/PerfCounters.h"
 
 #include <cassert>
-#include <map>
+#include <cstdlib>
 #include <sstream>
+#include <unordered_map>
+#include <unordered_set>
 
 using namespace se2gis;
 
@@ -104,18 +107,42 @@ Enumerator::Enumerator(const GrammarConfig &Config, std::vector<TermPtr> Leaves)
 
 namespace {
 
-/// A candidate with its evaluation signature over the current examples.
+/// A pool entry: a deduplicated candidate term.
 struct Candidate {
   TermPtr T;
-  std::string Sig;
 };
 
-std::string signatureOf(const TermPtr &T,
-                        const std::vector<PbeExample> &Examples) {
+/// 64-bit observational-equivalence signature: the combined hash of the
+/// term's outputs on every example. Replaces the old string signature
+/// ("v1|v2|...|"), which allocated on every candidate in the hottest loop;
+/// candidate-vs-target matches are confirmed with \c valueEquals, so a
+/// hash collision can only over-prune, never produce a wrong solution.
+std::uint64_t signatureHashOf(const TermPtr &T,
+                              const std::vector<PbeExample> &Examples) {
+  std::uint64_t H = 1469598103934665603ULL;
+  for (const PbeExample &Ex : Examples)
+    H = hashCombine(H, valueHash(evalScalarTerm(T, Ex.Inputs)));
+  return H;
+}
+
+/// The old allocation-heavy string signature, kept for the debug
+/// cross-check below.
+std::string signatureStringOf(const TermPtr &T,
+                              const std::vector<PbeExample> &Examples) {
   std::ostringstream OS;
   for (const PbeExample &Ex : Examples)
     OS << evalScalarTerm(T, Ex.Inputs)->str() << '|';
   return OS.str();
+}
+
+/// SE2GIS_CHECK_SIGNATURES=1 cross-checks every hash signature against the
+/// string form and aborts on a collision (distinct strings, equal hash).
+bool checkSignaturesEnabled() {
+  static const bool Enabled = [] {
+    const char *E = std::getenv("SE2GIS_CHECK_SIGNATURES");
+    return E && *E && *E != '0';
+  }();
+  return Enabled;
 }
 
 } // namespace
@@ -154,40 +181,60 @@ Enumerator::synthesizeScalar(const TypePtr &OutTy,
   if (Examples.empty())
     return WantInt ? mkIntLit(0) : mkFalse();
 
-  std::string Target;
-  {
-    std::ostringstream OS;
-    for (const PbeExample &Ex : Examples)
-      OS << Ex.Output->str() << '|';
-    Target = OS.str();
-  }
+  std::uint64_t Target = 1469598103934665603ULL;
+  for (const PbeExample &Ex : Examples)
+    Target = hashCombine(Target, valueHash(Ex.Output));
 
   // Size-indexed pools (index 0 unused).
   std::vector<std::vector<Candidate>> IntPool(MaxSize + 1);
   std::vector<std::vector<Candidate>> BoolPool(MaxSize + 1);
-  std::map<std::string, bool> SeenInt, SeenBool;
+  std::unordered_set<std::uint64_t> SeenInt, SeenBool;
+  SeenInt.reserve(1024);
+  SeenBool.reserve(1024);
+  // Debug collision oracle: hash -> string signature (per type pool).
+  std::unordered_map<std::uint64_t, std::string> OracleInt, OracleBool;
   std::optional<TermPtr> Found;
+
+  // A hash match against the target is confirmed value-by-value, so a
+  // collision cannot yield an incorrect solution.
+  auto MatchesTarget = [&](const TermPtr &T) {
+    for (const PbeExample &Ex : Examples)
+      if (!valueEquals(evalScalarTerm(T, Ex.Inputs), Ex.Output))
+        return false;
+    return true;
+  };
 
   auto Consider = [&](TermPtr T, int Size) -> bool {
     if (Found)
       return true;
     countEvent(CounterKind::PbeCandidates);
+    perfAdd(PerfCounter::EnumCandidates);
     bool IsInt = T->getType()->isInt();
-    std::string Sig;
+    std::uint64_t Sig;
     try {
-      Sig = signatureOf(T, Examples);
+      Sig = signatureHashOf(T, Examples);
     } catch (const UserError &) {
       return false; // unbound leaf for these examples; skip
     }
+    if (checkSignaturesEnabled()) {
+      auto &Oracle = IsInt ? OracleInt : OracleBool;
+      std::string Str = signatureStringOf(T, Examples);
+      auto [It, Fresh] = Oracle.emplace(Sig, Str);
+      if (!Fresh && It->second != Str)
+        fatalError("observational-equivalence hash collision: \"" +
+                   It->second + "\" vs \"" + Str + "\"");
+    }
     auto &Seen = IsInt ? SeenInt : SeenBool;
-    if (!Seen.emplace(Sig, true).second)
+    if (!Seen.insert(Sig).second) {
+      perfAdd(PerfCounter::EnumPruned);
       return false;
-    if (IsInt == WantInt && Sig == Target) {
+    }
+    if (IsInt == WantInt && Sig == Target && MatchesTarget(T)) {
       Found = std::move(T);
       return true;
     }
     auto &Pool = IsInt ? IntPool : BoolPool;
-    Pool[Size].push_back(Candidate{std::move(T), std::move(Sig)});
+    Pool[Size].push_back(Candidate{std::move(T)});
     return false;
   };
 

@@ -1,0 +1,178 @@
+//===- RunnerParallelTest.cpp - Parallel suite execution tests ------------===//
+///
+/// \file
+/// Covers the parallel execution layer: the shared thread pool (task
+/// completion, value return, exception propagation), the perf-counter
+/// subsystem under concurrency, and the determinism contract of the suite
+/// runner — SE2GIS_JOBS=4 and SE2GIS_JOBS=1 must produce the same records
+/// in the same order on a filtered sub-suite.
+///
+//===----------------------------------------------------------------------===//
+
+#include "suite/Runner.h"
+
+#include "support/PerfCounters.h"
+#include "support/ThreadPool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+using namespace se2gis;
+
+namespace {
+
+// --- ThreadPool ---------------------------------------------------------===//
+
+TEST(ThreadPoolTest, CompletesAllTasks) {
+  ThreadPool Pool(4);
+  EXPECT_EQ(Pool.size(), 4u);
+  std::atomic<int> Count{0};
+  std::vector<std::future<void>> Pending;
+  for (int I = 0; I < 100; ++I)
+    Pending.push_back(Pool.enqueue([&Count] { ++Count; }));
+  for (auto &F : Pending)
+    F.get();
+  EXPECT_EQ(Count.load(), 100);
+}
+
+TEST(ThreadPoolTest, ReturnsValues) {
+  ThreadPool Pool(2);
+  std::vector<std::future<int>> Pending;
+  for (int I = 0; I < 10; ++I)
+    Pending.push_back(Pool.enqueue([I] { return I * I; }));
+  for (int I = 0; I < 10; ++I)
+    EXPECT_EQ(Pending[I].get(), I * I);
+}
+
+TEST(ThreadPoolTest, PropagatesExceptions) {
+  ThreadPool Pool(2);
+  auto Ok = Pool.enqueue([] { return 7; });
+  auto Bad = Pool.enqueue(
+      []() -> int { throw std::runtime_error("job failed"); });
+  EXPECT_EQ(Ok.get(), 7);
+  EXPECT_THROW(Bad.get(), std::runtime_error);
+  // The pool survives a throwing job.
+  EXPECT_EQ(Pool.enqueue([] { return 1; }).get(), 1);
+}
+
+TEST(ThreadPoolTest, DestructorDrainsQueue) {
+  std::atomic<int> Count{0};
+  {
+    ThreadPool Pool(1);
+    for (int I = 0; I < 20; ++I)
+      Pool.enqueue([&Count] { ++Count; });
+  } // destructor must run every queued job before joining
+  EXPECT_EQ(Count.load(), 20);
+}
+
+TEST(ThreadPoolTest, DefaultConcurrencyHonoursEnv) {
+  const char *Saved = std::getenv("SE2GIS_JOBS");
+  std::string SavedCopy = Saved ? Saved : "";
+  setenv("SE2GIS_JOBS", "3", 1);
+  EXPECT_EQ(ThreadPool::defaultConcurrency(), 3u);
+  setenv("SE2GIS_JOBS", "not-a-number", 1);
+  EXPECT_GE(ThreadPool::defaultConcurrency(), 1u);
+  if (Saved)
+    setenv("SE2GIS_JOBS", SavedCopy.c_str(), 1);
+  else
+    unsetenv("SE2GIS_JOBS");
+}
+
+// --- PerfCounters -------------------------------------------------------===//
+
+TEST(PerfCountersTest, AccumulatesUnderConcurrency) {
+  PerfSnapshot Before = snapshotPerf();
+  std::vector<std::thread> Threads;
+  for (int T = 0; T < 8; ++T)
+    Threads.emplace_back([] {
+      for (int I = 0; I < 10000; ++I)
+        perfAdd(PerfCounter::EnumCandidates);
+      perfAddTimeNs(PerfTimer::Z3SolveNs, 1000);
+    });
+  for (std::thread &T : Threads)
+    T.join();
+  PerfSnapshot Delta = snapshotPerf().since(Before);
+  EXPECT_EQ(Delta.get(PerfCounter::EnumCandidates), 80000u);
+  EXPECT_GE(Delta.getNs(PerfTimer::Z3SolveNs), 8000u);
+}
+
+TEST(PerfCountersTest, TimerScopeAddsElapsedTime) {
+  PerfSnapshot Before = snapshotPerf();
+  {
+    PerfTimerScope Scope(PerfTimer::SuiteRunNs);
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  PerfSnapshot Delta = snapshotPerf().since(Before);
+  EXPECT_GE(Delta.getMs(PerfTimer::SuiteRunNs), 4.0);
+}
+
+TEST(PerfCountersTest, JsonContainsEveryField) {
+  std::ostringstream OS;
+  writePerfJson(OS, PerfSnapshot());
+  std::string J = OS.str();
+  for (const char *Key :
+       {"smt_queries", "smt_sat", "smt_unsat", "smt_unknown", "z3_time_ms",
+        "run_time_ms", "enum_candidates", "enum_pruned"})
+    EXPECT_NE(J.find(Key), std::string::npos) << Key;
+}
+
+// --- Parallel runner determinism ----------------------------------------===//
+
+SuiteOptions subSuiteOptions() {
+  SuiteOptions Opts;
+  Opts.Algo.TimeoutMs = 20000;
+  Opts.Algorithms = {AlgorithmKind::SE2GIS};
+  Opts.Filter = "sortedlist/m"; // min, max, min_max: a fast sub-suite
+  Opts.Verbose = false;
+  return Opts;
+}
+
+TEST(RunnerParallelTest, ParallelMatchesSequential) {
+  SuiteOptions Sequential = subSuiteOptions();
+  Sequential.Jobs = 1;
+  std::vector<SuiteRecord> A = runSuite(Sequential);
+
+  SuiteOptions Parallel = subSuiteOptions();
+  Parallel.Jobs = 4;
+  std::vector<SuiteRecord> B = runSuite(Parallel);
+
+  ASSERT_GE(A.size(), 2u) << "filter no longer matches a multi-benchmark "
+                             "sub-suite; update the test";
+  ASSERT_EQ(A.size(), B.size());
+  for (size_t I = 0; I < A.size(); ++I) {
+    EXPECT_EQ(A[I].Def->Name, B[I].Def->Name) << "record order diverged";
+    EXPECT_EQ(A[I].Algorithm, B[I].Algorithm);
+    EXPECT_EQ(A[I].Result.O, B[I].Result.O) << A[I].Def->Name;
+  }
+}
+
+TEST(RunnerParallelTest, WritesPerfJsonSummary) {
+  SuiteOptions Opts = subSuiteOptions();
+  Opts.Filter = "sortedlist/min"; // min + min_max
+  Opts.Jobs = 2;
+  Opts.PerfJsonPath = ::testing::TempDir() + "se2gis_perf_test.json";
+  std::vector<SuiteRecord> Records = runSuite(Opts);
+  ASSERT_FALSE(Records.empty());
+
+  std::ifstream In(Opts.PerfJsonPath);
+  ASSERT_TRUE(In.good()) << "summary not written to " << Opts.PerfJsonPath;
+  std::stringstream Buf;
+  Buf << In.rdbuf();
+  std::string J = Buf.str();
+  EXPECT_NE(J.find("\"suite\""), std::string::npos);
+  EXPECT_NE(J.find("\"jobs\": 2"), std::string::npos);
+  EXPECT_NE(J.find("\"smt_queries\""), std::string::npos);
+  EXPECT_NE(J.find("sortedlist/min"), std::string::npos);
+  // The sweep really went through the SMT stack.
+  EXPECT_EQ(J.find("\"smt_queries\":0,"), std::string::npos);
+  std::remove(Opts.PerfJsonPath.c_str());
+}
+
+} // namespace
