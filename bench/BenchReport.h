@@ -46,7 +46,7 @@ private:
 inline std::string formatRun(const SuiteRecord &R) {
   if (isSolved(R))
     return formatSeconds(R.Result.Stats.ElapsedMs);
-  if (R.Result.O == Outcome::Failed)
+  if (R.Result.V == Verdict::Failed)
     return "x";
   return "-";
 }

@@ -21,6 +21,7 @@
 #include "support/ThreadPool.h"
 
 #include <future>
+#include <memory>
 
 using namespace se2gis;
 
@@ -45,9 +46,7 @@ struct Config {
 
 int main() {
   PerfReport Perf;
-  std::int64_t TimeoutMs = 4000;
-  if (const char *T = std::getenv("SE2GIS_TIMEOUT_MS"))
-    TimeoutMs = std::atoll(T);
+  const SolverConfig Base = SolverConfig::fromEnv(/*DefaultTimeoutMs=*/4000);
 
   const Config Configs[] = {
       {"full", false, false, false},
@@ -61,36 +60,37 @@ int main() {
   // results are collected in subset order so the log and the table stay
   // deterministic. Configs stay sequential: their rows build on separate
   // counter ranges and the table reads better grouped.
-  ThreadPool Pool;
+  ThreadPool Pool(Base.Jobs);
   for (const Config &C : Configs) {
-    std::vector<std::pair<const char *, std::future<RunResult>>> Runs;
+    std::vector<std::pair<const char *, std::future<Outcome>>> Runs;
     for (const char *Name : Subset) {
       const BenchmarkDef *Def = findBenchmark(Name);
       if (!Def)
         continue;
-      Runs.emplace_back(Name, Pool.enqueue([Def, &C, TimeoutMs] {
-        Problem P = loadBenchmark(*Def);
-        AlgoOptions Opts;
-        Opts.TimeoutMs = TimeoutMs;
-        Opts.DisableEufAnchoring = C.NoAnchor;
-        Opts.DisableIteSplitting = C.NoSplit;
-        Opts.DisableLemmaReplay = C.NoLemmas;
-        return runSE2GIS(P, Opts);
+      Runs.emplace_back(Name, Pool.enqueue([Def, &C, &Base] {
+        SynthesisTask Task(
+            std::make_shared<const Problem>(loadBenchmark(*Def)),
+            AlgorithmKind::SE2GIS);
+        SolverConfig Config = Base;
+        Config.Algo.DisableEufAnchoring = C.NoAnchor;
+        Config.Algo.DisableIteSplitting = C.NoSplit;
+        Config.Algo.DisableLemmaReplay = C.NoLemmas;
+        return Task.run(Config);
       }));
     }
     int Solved = 0, Total = 0, Inductive = 0;
     double TotalMs = 0;
     for (auto &[Name, Future] : Runs) {
       const BenchmarkDef *Def = findBenchmark(Name);
-      RunResult R = Future.get();
+      Outcome R = Future.get();
       ++Total;
       TotalMs += R.Stats.ElapsedMs;
-      bool Ok = Def->ExpectRealizable ? R.O == Outcome::Realizable
-                                      : R.O == Outcome::Unrealizable;
+      bool Ok = Def->ExpectRealizable ? R.V == Verdict::Realizable
+                                      : R.V == Verdict::Unrealizable;
       Solved += Ok;
       Inductive += Ok && R.Stats.SolutionProvedInductive;
       std::fprintf(stderr, "[ablation] %-14s %-28s %s\n", C.Name, Name,
-                   outcomeName(R.O));
+                   verdictName(R.V));
     }
     Table.addRow({C.Name, std::to_string(Solved), std::to_string(Total),
                   std::to_string(static_cast<long long>(TotalMs)),

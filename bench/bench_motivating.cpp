@@ -13,26 +13,27 @@
 
 #include "BenchReport.h"
 
+#include <memory>
+
 using namespace se2gis;
 
 namespace {
 
-double runOne(const char *Name, AlgorithmKind K, std::int64_t TimeoutMs) {
+double runOne(const char *Name, AlgorithmKind K, const SolverConfig &Config) {
   const BenchmarkDef *Def = findBenchmark(Name);
   if (!Def) {
     std::printf("  (benchmark %s missing)\n", Name);
     return -1;
   }
-  Problem P = loadBenchmark(*Def);
-  AlgoOptions Opts;
-  Opts.TimeoutMs = TimeoutMs;
-  RunResult R = runAlgorithm(K, P, Opts);
+  auto P = std::make_shared<const Problem>(loadBenchmark(*Def));
+  SynthesisTask Task(P, K);
+  Outcome R = Task.run(Config);
   std::printf("  %-9s on %-28s -> %-12s %8.1f ms\n", algorithmName(K), Name,
-              outcomeName(R.O), R.Stats.ElapsedMs);
-  if (R.O == Outcome::Unrealizable)
+              verdictName(R.V), R.Stats.ElapsedMs);
+  if (R.V == Verdict::Unrealizable)
     std::printf("    %s\n", R.Detail.c_str());
-  if (R.O == Outcome::Realizable)
-    std::printf("%s", solutionToString(P, R.Solution).c_str());
+  if (R.V == Verdict::Realizable)
+    std::printf("%s", solutionToString(*P, R.Solution).c_str());
   return R.Stats.ElapsedMs;
 }
 
@@ -40,23 +41,23 @@ double runOne(const char *Name, AlgorithmKind K, std::int64_t TimeoutMs) {
 
 int main() {
   PerfReport Perf;
-  std::int64_t TimeoutMs = 20000;
-  if (const char *T = std::getenv("SE2GIS_TIMEOUT_MS"))
-    TimeoutMs = std::atoll(T);
+  const SolverConfig Config = SolverConfig::fromEnv(/*DefaultTimeoutMs=*/20000);
+  SolverConfig SegisConfig = Config;
+  SegisConfig.Algo.TimeoutMs = 4 * Config.Algo.TimeoutMs;
 
   std::printf("== §2 motivating example: frequency on binary search trees "
               "==\n");
   std::printf("\nStep 0: the Fig. 2(b) skeleton (both recursions "
               "misplaced):\n");
-  runOne("unreal/frequency_fig2b", AlgorithmKind::SE2GIS, TimeoutMs);
+  runOne("unreal/frequency_fig2b", AlgorithmKind::SE2GIS, Config);
   std::printf("\nStep 1: after the first repair (u2 still missing g(l)):\n");
-  runOne("unreal/frequency_step1", AlgorithmKind::SE2GIS, TimeoutMs);
+  runOne("unreal/frequency_step1", AlgorithmKind::SE2GIS, Config);
   std::printf("\nStep 2: the repaired skeleton (Fig. 2(c)):\n");
-  double Se2gisMs = runOne("bst/frequency", AlgorithmKind::SE2GIS, TimeoutMs);
+  double Se2gisMs = runOne("bst/frequency", AlgorithmKind::SE2GIS, Config);
   std::printf("\nBaseline: full-bounding symbolic CEGIS on the repaired "
               "skeleton (paper: 88 s vs 1 s):\n");
   double SegisMs = runOne("bst/frequency", AlgorithmKind::SEGIS,
-                          4 * TimeoutMs);
+                          SegisConfig);
   if (Se2gisMs > 0 && SegisMs > 0)
     std::printf("\nspeedup of SE2GIS over full bounding: %.1fx  [paper: "
                 "~88x]\n",

@@ -51,10 +51,10 @@ int main() {
   AlgoOptions Opts;
   Opts.TimeoutMs = 60000;
   std::printf("Synthesizing frequency on binary search trees...\n");
-  RunResult R = runSE2GIS(P, Opts);
-  std::printf("outcome: %s (%.1f ms, steps %s)\n", outcomeName(R.O),
+  Outcome R = runSE2GIS(P, Opts);
+  std::printf("outcome: %s (%.1f ms, steps %s)\n", verdictName(R.V),
               R.Stats.ElapsedMs, R.Stats.Steps.c_str());
-  if (R.O != Outcome::Realizable) {
+  if (R.V != Verdict::Realizable) {
     std::printf("detail: %s\n", R.Detail.c_str());
     return 1;
   }

@@ -55,10 +55,10 @@ int main() {
   AlgoOptions Opts;
   Opts.TimeoutMs = 60000;
   std::printf("Synthesizing the parallel mps join...\n");
-  RunResult R = runSE2GIS(P, Opts);
-  std::printf("outcome: %s (%.1f ms)\n", outcomeName(R.O),
+  Outcome R = runSE2GIS(P, Opts);
+  std::printf("outcome: %s (%.1f ms)\n", verdictName(R.V),
               R.Stats.ElapsedMs);
-  if (R.O != Outcome::Realizable) {
+  if (R.V != Verdict::Realizable) {
     std::printf("detail: %s\n", R.Detail.c_str());
     return 1;
   }

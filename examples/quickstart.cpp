@@ -11,10 +11,11 @@
 ///
 //===----------------------------------------------------------------------===//
 
-#include "core/Algorithms.h"
+#include "core/SynthesisTask.h"
 #include "frontend/Elaborate.h"
 
 #include <cstdio>
+#include <memory>
 
 using namespace se2gis;
 
@@ -44,24 +45,25 @@ synthesize mins equiv lmin requires sorted
 
 int main() {
   std::printf("Loading the 'mins on sorted lists' problem...\n");
-  Problem P = loadProblem(Source);
+  auto P = std::make_shared<const Problem>(loadProblem(Source));
 
-  AlgoOptions Opts;
-  Opts.TimeoutMs = 30000;
+  SynthesisTask Task(P, AlgorithmKind::SE2GIS);
+  SolverConfig Config;
+  Config.Algo.TimeoutMs = 30000;
   std::printf("Running SE2GIS...\n");
-  RunResult R = runSE2GIS(P, Opts);
+  Outcome R = Task.run(Config);
 
-  std::printf("outcome: %s  (%.1f ms, steps: %s)\n", outcomeName(R.O),
+  std::printf("verdict: %s  (%.1f ms, steps: %s)\n", verdictName(R.V),
               R.Stats.ElapsedMs, R.Stats.Steps.c_str());
-  if (R.O == Outcome::Realizable) {
+  if (R.V == Verdict::Realizable) {
     std::printf("solution%s:\n%s",
                 R.Stats.SolutionProvedInductive ? " (proved by induction)"
                                                 : " (bounded check)",
-                solutionToString(P, R.Solution).c_str());
+                solutionToString(*P, R.Solution).c_str());
     std::printf("invariants inferred: %d datatype, %d reference\n",
                 R.Stats.DatatypeInvariants, R.Stats.ImageInvariants);
   } else {
     std::printf("detail: %s\n", R.Detail.c_str());
   }
-  return R.O == Outcome::Realizable ? 0 : 1;
+  return R.V == Verdict::Realizable ? 0 : 1;
 }

@@ -40,19 +40,19 @@ let rec freq (x : int) = function
   | Node (a, l, r) -> freq x l + freq x r + (if a = x then 1 else 0)
 )";
 
-Outcome attempt(const char *Label, const char *Skeleton) {
+Verdict attempt(const char *Label, const char *Skeleton) {
   std::printf("\n--- %s ---\n%s\n", Label, Skeleton);
   Problem P = loadProblem(std::string(Prelude) + Skeleton +
                           "\nsynthesize tfreq equiv freq requires bst\n");
   AlgoOptions Opts;
   Opts.TimeoutMs = 60000;
-  RunResult R = runSE2GIS(P, Opts);
-  std::printf("=> %s (%.1f ms)\n", outcomeName(R.O), R.Stats.ElapsedMs);
-  if (R.O == Outcome::Unrealizable)
+  Outcome R = runSE2GIS(P, Opts);
+  std::printf("=> %s (%.1f ms)\n", verdictName(R.V), R.Stats.ElapsedMs);
+  if (R.V == Verdict::Unrealizable)
     std::printf("   %s\n", R.Detail.c_str());
-  if (R.O == Outcome::Realizable)
+  if (R.V == Verdict::Realizable)
     std::printf("%s", solutionToString(P, R.Solution).c_str());
-  return R.O;
+  return R.V;
 }
 
 } // namespace
@@ -61,14 +61,14 @@ int main() {
   std::printf("Witness-guided repair of a frequency skeleton on BSTs "
               "(paper §2).\n");
 
-  Outcome O1 = attempt("Attempt 1: Fig. 2(b), both recursions misplaced",
+  Verdict O1 = attempt("Attempt 1: Fig. 2(b), both recursions misplaced",
                        R"(let rec tfreq (x : int) : int = function
   | Leaf a -> $u0 x a
   | Node (a, l, r) ->
     if a < x then $u1 (tfreq x l)
     else $u2 x a (tfreq x r))");
 
-  Outcome O2 = attempt("Attempt 2: step (1) — u1 now recurses right; u2 "
+  Verdict O2 = attempt("Attempt 2: step (1) — u1 now recurses right; u2 "
                        "still misses g(l)",
                        R"(let rec tfreq (x : int) : int = function
   | Leaf a -> $u0 x a
@@ -76,16 +76,16 @@ int main() {
     if a < x then $u1 (tfreq x r)
     else $u2 x a (tfreq x r))");
 
-  Outcome O3 = attempt("Attempt 3: Fig. 2(c) — the repaired skeleton",
+  Verdict O3 = attempt("Attempt 3: Fig. 2(c) — the repaired skeleton",
                        R"(let rec tfreq (x : int) : int = function
   | Leaf a -> $u0 x a
   | Node (a, l, r) ->
     if a < x then $u1 (tfreq x r)
     else $u2 x a (tfreq x r) (tfreq x l))");
 
-  bool AsExpected = O1 == Outcome::Unrealizable &&
-                    O2 == Outcome::Unrealizable &&
-                    O3 == Outcome::Realizable;
+  bool AsExpected = O1 == Verdict::Unrealizable &&
+                    O2 == Verdict::Unrealizable &&
+                    O3 == Verdict::Realizable;
   std::printf("\nrepair narrative %s\n",
               AsExpected ? "reproduced (unrealizable, unrealizable, "
                            "realizable)"

@@ -7,10 +7,20 @@
 # JSON summaries next to the build tree so future PRs can record a bench
 # trajectory (BENCH_smoke_j1.json / BENCH_smoke_jN.json).
 #
+# A third pass exercises the deadline subsystem: a 1-second budget per
+# (benchmark, algorithm) pair over a wider filter, preferably against the
+# asan sanitizer preset (cmake --preset asan && cmake --build --preset asan),
+# asserting that every started run records a verdict — timed-out runs must
+# come back as "timeout" lines, never hangs or missing records.
+#
 # Usage: scripts/bench_smoke.sh [build-dir] [jobs] [filter]
 #   build-dir  default: build
 #   jobs       default: nproc
 #   filter     default: sortedlist/m  (3 fast benchmarks)
+# Env:
+#   SMOKE_SAN_DIR       sanitizer build tree for the deadline pass
+#                       (default: build-asan if present, else build-dir)
+#   SMOKE_DEADLINE_SEC  per-pair budget for the deadline pass (default: 1)
 set -euo pipefail
 
 BUILD_DIR=${1:-build}
@@ -60,3 +70,39 @@ SEQ=$(echo "$T1 $T0" | awk '{printf "%.1f", $1-$2}')
 PAR=$(echo "$T2 $T1" | awk '{printf "%.1f", $1-$2}')
 echo "[smoke] wall clock: sequential ${SEQ}s, parallel ${PAR}s"
 echo "[smoke] perf summaries: $OUT_DIR/BENCH_smoke_j1.json $OUT_DIR/BENCH_smoke_j${JOBS}.json"
+
+# --- Deadline pass: short budget, every run must record a verdict ---------
+SAN_DIR=${SMOKE_SAN_DIR:-}
+if [ -z "$SAN_DIR" ]; then
+  if [ -x "build-asan/bench/bench_fig4_quantile" ]; then
+    SAN_DIR=build-asan
+  else
+    SAN_DIR=$BUILD_DIR
+  fi
+fi
+SAN_DRIVER="$SAN_DIR/bench/bench_fig4_quantile"
+DEADLINE=${SMOKE_DEADLINE_SEC:-1}
+
+echo "[smoke] deadline pass: SE2GIS_TIMEOUT=${DEADLINE}s over filter='list' ($SAN_DRIVER)..."
+SE2GIS_JOBS=$JOBS SE2GIS_FILTER=list SE2GIS_TIMEOUT="$DEADLINE" \
+  SE2GIS_TIMEOUT_MS= \
+  "$SAN_DRIVER" >"$OUT_DIR/smoke_deadline.out" 2>"$OUT_DIR/smoke_deadline.out.log"
+
+# Every [suite] progress line must carry one of the four verdicts; a pair
+# that started but never reported would show up as a missing/odd line (or,
+# worse, the driver would still be running and the redirect above would
+# never return).
+STARTED=$(grep -c '^\[suite\] [a-z]' "$OUT_DIR/smoke_deadline.out.log" || true)
+VERDICTS=$(awk '/^\[suite\] [a-z]/ {
+    ok = 0
+    for (i = 1; i <= NF; ++i)
+      if ($i ~ /^(realizable|unrealizable|timeout|failed)$/) ok = 1
+    if (ok) n++
+  } END { print n+0 }' "$OUT_DIR/smoke_deadline.out.log")
+if [ "$STARTED" -eq 0 ] || [ "$STARTED" != "$VERDICTS" ]; then
+  echo "[smoke] FAIL: deadline pass started $STARTED runs but recorded" \
+       "$VERDICTS verdicts" >&2
+  exit 1
+fi
+TIMEOUTS=$(grep -c ' timeout ' "$OUT_DIR/smoke_deadline.out.log" || true)
+echo "[smoke] deadline pass: $STARTED runs, $STARTED verdicts ($TIMEOUTS timeout)"

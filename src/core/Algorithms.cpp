@@ -7,6 +7,7 @@
 #include "core/Certificates.h"
 #include "core/InvariantInfer.h"
 #include "core/SplitIte.h"
+#include "core/Portfolio.h"
 #include "core/Witness.h"
 #include "eval/Expand.h"
 #include "eval/SymbolicEval.h"
@@ -15,6 +16,7 @@
 #include "synth/Grammar.h"
 #include "synth/SgeSolver.h"
 
+#include <cctype>
 #include <sstream>
 
 using namespace se2gis;
@@ -27,19 +29,37 @@ const char *se2gis::algorithmName(AlgorithmKind K) {
     return "SEGIS";
   case AlgorithmKind::SEGISUC:
     return "SEGIS+UC";
+  case AlgorithmKind::Portfolio:
+    return "portfolio";
   }
   return "?";
 }
 
-const char *se2gis::outcomeName(Outcome O) {
+std::optional<AlgorithmKind>
+se2gis::parseAlgorithmName(const std::string &Name) {
+  std::string S;
+  for (char C : Name)
+    S += static_cast<char>(std::tolower(static_cast<unsigned char>(C)));
+  if (S == "se2gis")
+    return AlgorithmKind::SE2GIS;
+  if (S == "segis")
+    return AlgorithmKind::SEGIS;
+  if (S == "segis-uc" || S == "segisuc" || S == "segis+uc")
+    return AlgorithmKind::SEGISUC;
+  if (S == "portfolio")
+    return AlgorithmKind::Portfolio;
+  return std::nullopt;
+}
+
+const char *se2gis::verdictName(Verdict O) {
   switch (O) {
-  case Outcome::Realizable:
+  case Verdict::Realizable:
     return "realizable";
-  case Outcome::Unrealizable:
+  case Verdict::Unrealizable:
     return "unrealizable";
-  case Outcome::Timeout:
+  case Verdict::Timeout:
     return "timeout";
-  case Outcome::Failed:
+  case Verdict::Failed:
     return "failed";
   }
   return "?";
@@ -68,13 +88,15 @@ std::string describeValidInputs(const std::vector<ConcreteInput> &Ins) {
 
 // --- SE2GIS -------------------------------------------------------------===//
 
-RunResult se2gis::runSE2GIS(const Problem &P, const AlgoOptions &Opts) {
+Outcome se2gis::runSE2GIS(const Problem &P, const AlgoOptions &Opts) {
   Stopwatch Timer;
   Deadline Budget = Deadline::afterMs(Opts.TimeoutMs);
-  Budget.setCancelFlag(Opts.Cancel);
+  Budget.setToken(Opts.Token);
+  if (Opts.Seed)
+    setSmtRandomSeed(Opts.Seed);
   CounterSnapshot Before = snapshotCounters();
   PerfSnapshot PerfBefore = snapshotPerf();
-  RunResult Result;
+  Outcome Result;
 
   GrammarConfig Grammar = inferGrammar(P);
   SgeSolver Solver(P.Unknowns, Grammar);
@@ -119,7 +141,7 @@ RunResult se2gis::runSE2GIS(const Problem &P, const AlgoOptions &Opts) {
 
   while (true) {
     if (Budget.expired()) {
-      Result.O = Outcome::Timeout;
+      Result.V = Verdict::Timeout;
       break;
     }
 
@@ -135,7 +157,7 @@ RunResult se2gis::runSE2GIS(const Problem &P, const AlgoOptions &Opts) {
 
       WitnessCheckResult Chk = Checker.check(*W, System, Budget);
       if (Chk.Verdict == WitnessVerdict::Valid) {
-        Result.O = Outcome::Unrealizable;
+        Result.V = Verdict::Unrealizable;
         Result.Detail =
             describeWitness(*W) + describeValidInputs(Chk.ValidInputs);
         break;
@@ -160,8 +182,8 @@ RunResult se2gis::runSE2GIS(const Problem &P, const AlgoOptions &Opts) {
         Result.Stats.AllInvariantsByInduction &= Inv->ByInduction;
       }
       if (!LearnedAny) {
-        Result.O = Budget.expired() ? Outcome::Timeout : Outcome::Failed;
-        if (Result.O == Outcome::Failed)
+        Result.V = Budget.expired() ? Verdict::Timeout : Verdict::Failed;
+        if (Result.V == Verdict::Failed)
           Result.Detail = "invariant inference diverged";
         break;
       }
@@ -169,6 +191,8 @@ RunResult se2gis::runSE2GIS(const Problem &P, const AlgoOptions &Opts) {
     }
 
     SgeResult SR = Solver.solve(System, Budget);
+    if (!SR.Solution.empty())
+      Result.Stats.LastCandidate = solutionToString(P, SR.Solution);
 
     if (SR.Status == SgeStatus::Solved) {
       Result.Stats.Steps += "•"; // •
@@ -181,7 +205,7 @@ RunResult se2gis::runSE2GIS(const Problem &P, const AlgoOptions &Opts) {
         VOpts.Lemmas = Lemmas;
       VerifyResult V = verifySolution(P, SR.Solution, VOpts, Budget);
       if (V.Status != VerifyStatus::Counterexample) {
-        Result.O = Outcome::Realizable;
+        Result.V = Verdict::Realizable;
         Result.Solution = std::move(SR.Solution);
         Result.Stats.SolutionProvedInductive =
             V.Status == VerifyStatus::ProvedInductive;
@@ -203,14 +227,16 @@ RunResult se2gis::runSE2GIS(const Problem &P, const AlgoOptions &Opts) {
     }
 
     // SGE solver gave up.
-    Result.O = Budget.expired() ? Outcome::Timeout : Outcome::Failed;
-    if (Result.O == Outcome::Failed)
+    Result.V = Budget.expired() ? Verdict::Timeout : Verdict::Failed;
+    if (Result.V == Verdict::Failed)
       Result.Detail = "the synthesis step for the approximation failed";
     break;
   }
 
-  if (Result.O == Outcome::Failed && Budget.expired())
-    Result.O = Outcome::Timeout;
+  if (Result.V == Verdict::Failed && Budget.expired())
+    Result.V = Verdict::Timeout;
+  if (Result.V != Verdict::Timeout)
+    Result.Stats.LastCandidate.clear();
   Result.Stats.ElapsedMs = Timer.elapsedMs();
   Result.Stats.Counters = snapshotCounters().since(Before);
   Result.Stats.Perf = snapshotPerf().since(PerfBefore);
@@ -219,14 +245,16 @@ RunResult se2gis::runSE2GIS(const Problem &P, const AlgoOptions &Opts) {
 
 // --- SEGIS / SEGIS+UC ----------------------------------------------------===//
 
-RunResult se2gis::runSEGIS(const Problem &P, const AlgoOptions &Opts,
+Outcome se2gis::runSEGIS(const Problem &P, const AlgoOptions &Opts,
                            bool WithUnrealizabilityChecker) {
   Stopwatch Timer;
   Deadline Budget = Deadline::afterMs(Opts.TimeoutMs);
-  Budget.setCancelFlag(Opts.Cancel);
+  Budget.setToken(Opts.Token);
+  if (Opts.Seed)
+    setSmtRandomSeed(Opts.Seed);
   CounterSnapshot Before = snapshotCounters();
   PerfSnapshot PerfBefore = snapshotPerf();
-  RunResult Result;
+  Outcome Result;
 
   GrammarConfig Grammar = inferGrammar(P);
   SgeSolver Solver(P.Unknowns, Grammar);
@@ -274,7 +302,7 @@ RunResult se2gis::runSEGIS(const Problem &P, const AlgoOptions &Opts,
 
   while (true) {
     if (Budget.expired()) {
-      Result.O = Outcome::Timeout;
+      Result.V = Verdict::Timeout;
       break;
     }
 
@@ -289,7 +317,7 @@ RunResult se2gis::runSEGIS(const Problem &P, const AlgoOptions &Opts,
       if (W) {
         // Over fully bounded terms the guards are exactly Iθ evaluated,
         // so the witness is valid; concretize the shapes for the report.
-        Result.O = Outcome::Unrealizable;
+        Result.V = Verdict::Unrealizable;
         std::ostringstream OS;
         size_t T1 = System.Eqns[W->First.EqnIndex].TermIndex;
         size_t T2 = System.Eqns[W->Second.EqnIndex].TermIndex;
@@ -302,6 +330,8 @@ RunResult se2gis::runSEGIS(const Problem &P, const AlgoOptions &Opts,
     }
 
     SgeResult SR = Solver.solve(System, Budget);
+    if (!SR.Solution.empty())
+      Result.Stats.LastCandidate = solutionToString(P, SR.Solution);
 
     if (SR.Status == SgeStatus::Solved) {
       Result.Stats.Steps += "•";
@@ -312,7 +342,7 @@ RunResult se2gis::runSEGIS(const Problem &P, const AlgoOptions &Opts,
       VOpts.Induction = Opts.Induction;
       VerifyResult V = verifySolution(P, SR.Solution, VOpts, Budget);
       if (V.Status != VerifyStatus::Counterexample) {
-        Result.O = Outcome::Realizable;
+        Result.V = Verdict::Realizable;
         Result.Solution = std::move(SR.Solution);
         Result.Stats.SolutionProvedInductive =
             V.Status == VerifyStatus::ProvedInductive;
@@ -338,20 +368,22 @@ RunResult se2gis::runSEGIS(const Problem &P, const AlgoOptions &Opts,
 
     // Solver gave up: add one more bounded term and retry.
     if (Budget.expired()) {
-      Result.O = Outcome::Timeout;
+      Result.V = Verdict::Timeout;
       break;
     }
     AddShape(Stream.next());
     ++Result.Stats.Refinements;
   }
 
+  if (Result.V != Verdict::Timeout)
+    Result.Stats.LastCandidate.clear();
   Result.Stats.ElapsedMs = Timer.elapsedMs();
   Result.Stats.Counters = snapshotCounters().since(Before);
   Result.Stats.Perf = snapshotPerf().since(PerfBefore);
   return Result;
 }
 
-RunResult se2gis::runAlgorithm(AlgorithmKind K, const Problem &P,
+Outcome se2gis::runAlgorithm(AlgorithmKind K, const Problem &P,
                                const AlgoOptions &Opts) {
   PerfTimerScope RunTimer(PerfTimer::SuiteRunNs);
   switch (K) {
@@ -361,6 +393,8 @@ RunResult se2gis::runAlgorithm(AlgorithmKind K, const Problem &P,
     return runSEGIS(P, Opts, /*WithUnrealizabilityChecker=*/false);
   case AlgorithmKind::SEGISUC:
     return runSEGIS(P, Opts, /*WithUnrealizabilityChecker=*/true);
+  case AlgorithmKind::Portfolio:
+    return runPortfolio(P, Opts);
   }
   fatalError("bad algorithm kind");
 }

@@ -19,20 +19,22 @@
 
 #include "core/Verify.h"
 #include "lang/Program.h"
+#include "support/Cancellation.h"
 #include "support/Counters.h"
 #include "support/PerfCounters.h"
 
-#include <atomic>
 #include <cstdint>
+#include <optional>
 #include <string>
 
 namespace se2gis {
 
-/// Which algorithm to run.
-enum class AlgorithmKind : unsigned char { SE2GIS, SEGIS, SEGISUC };
+/// Which algorithm to run. Portfolio races SE²GIS against SEGIS+UC on two
+/// threads and returns the first conclusive verdict (core/Portfolio).
+enum class AlgorithmKind : unsigned char { SE2GIS, SEGIS, SEGISUC, Portfolio };
 
-/// Outcome of a synthesis run.
-enum class Outcome : unsigned char {
+/// Verdict of a synthesis run.
+enum class Verdict : unsigned char {
   /// A solution was synthesized (and verified).
   Realizable,
   /// A valid unrealizability witness was produced.
@@ -47,7 +49,11 @@ enum class Outcome : unsigned char {
 
 /// \returns a short name ("SE2GIS", "SEGIS+UC", ...).
 const char *algorithmName(AlgorithmKind K);
-const char *outcomeName(Outcome O);
+const char *verdictName(Verdict V);
+
+/// Parses "se2gis" / "segis" / "segis-uc" / "portfolio" (also accepts the
+/// display names, case-insensitively). \returns nullopt on anything else.
+std::optional<AlgorithmKind> parseAlgorithmName(const std::string &Name);
 
 /// Tuning knobs shared by the algorithms.
 struct AlgoOptions {
@@ -58,9 +64,13 @@ struct AlgoOptions {
   /// Bounded-check and induction budgets.
   BoundedOptions Bounded;
   InductionOptions Induction;
-  /// Optional cooperative cancellation (portfolio mode): the run stops at
-  /// the next budget poll once the flag becomes true.
-  const std::atomic<bool> *Cancel = nullptr;
+  /// Optional cooperative cancellation: the run stops at the next budget
+  /// poll once the token is cancelled (an invalid/default token is inert).
+  /// The portfolio driver and the suite runner share one token per run.
+  CancellationToken Token;
+  /// Z3 random seed applied process-wide (0 = Z3's default). Exposed for
+  /// reproducible sweeps; see setSmtRandomSeed.
+  unsigned Seed = 0;
 
   /// Ablation switches (bench/bench_ablation measures their impact).
   bool DisableEufAnchoring = false;
@@ -90,11 +100,17 @@ struct RunStats {
   /// a run's delta includes events of concurrently running jobs; the
   /// per-run numbers are exact only at SE2GIS_JOBS=1.
   PerfSnapshot Perf;
+  /// Graceful degradation: when the run times out, the last candidate the
+  /// CEGIS loop tried (pretty-printed), so a sweep still shows how far the
+  /// search got. Empty on conclusive verdicts.
+  std::string LastCandidate;
 };
 
-/// Result of one synthesis run.
-struct RunResult {
-  Outcome O = Outcome::Failed;
+/// Result of one synthesis run: the verdict, the solution or witness
+/// description, and the run's statistics. A timed-out Outcome still carries
+/// partial stats (rounds completed, last candidate) — see RunStats.
+struct Outcome {
+  Verdict V = Verdict::Failed;
   UnknownBindings Solution;
   /// Human-readable witness description / failure reason.
   std::string Detail;
@@ -102,16 +118,16 @@ struct RunResult {
 };
 
 /// Runs SE²GIS on \p P.
-RunResult runSE2GIS(const Problem &P, const AlgoOptions &Opts);
+Outcome runSE2GIS(const Problem &P, const AlgoOptions &Opts);
 
 /// Runs the fully-bounded baseline; \p WithUnrealizabilityChecker selects
 /// SEGIS+UC.
-RunResult runSEGIS(const Problem &P, const AlgoOptions &Opts,
-                   bool WithUnrealizabilityChecker);
+Outcome runSEGIS(const Problem &P, const AlgoOptions &Opts,
+                 bool WithUnrealizabilityChecker);
 
-/// Dispatches on \p K.
-RunResult runAlgorithm(AlgorithmKind K, const Problem &P,
-                       const AlgoOptions &Opts);
+/// Dispatches on \p K (including AlgorithmKind::Portfolio).
+Outcome runAlgorithm(AlgorithmKind K, const Problem &P,
+                     const AlgoOptions &Opts);
 
 } // namespace se2gis
 

@@ -152,6 +152,7 @@ InvariantLearner::learnMistyped(const SCertificate &Cert,
     TermPtr Goal = simplify(mkOp(OpKind::Implies, {Invariant, PredSigma}));
 
     InductionOptions IOpts = Induction;
+    IOpts.Budget = Budget;
     auto Accept = [&](bool ByInduction) {
       Result.Pred = Pred;
       Result.ByInduction = ByInduction;
@@ -245,6 +246,7 @@ InvariantLearner::learnImage(const SCertificate &Cert,
     TermPtr Goal = simplify(substitute(Pred, Sigma));
 
     InductionOptions IOpts = Induction;
+    IOpts.Budget = Budget;
     auto Accept = [&](bool ByInduction) {
       Result.Pred = Pred;
       Result.ByInduction = ByInduction;

@@ -5,30 +5,33 @@
 #include "support/Stopwatch.h"
 #include "support/ThreadPool.h"
 
-#include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <mutex>
 #include <optional>
 
 using namespace se2gis;
 
-RunResult se2gis::runPortfolio(const Problem &P, const AlgoOptions &Opts) {
+Outcome se2gis::runPortfolio(const Problem &P, const AlgoOptions &Opts) {
   Stopwatch Timer;
 
   std::mutex M;
   std::condition_variable Cv;
-  std::optional<RunResult> Results[2];
-  std::atomic<bool> Cancel{false};
+  std::optional<Outcome> Results[2];
+  // Both members share one token, itself chained to the caller's: a
+  // cancelled caller stops the whole portfolio, a conclusive member stops
+  // its sibling.
+  CancellationToken Token = CancellationToken::create();
   int Done = 0;
 
-  auto IsConclusive = [](const RunResult &R) {
-    return R.O == Outcome::Realizable || R.O == Outcome::Unrealizable;
+  auto IsConclusive = [](const Outcome &R) {
+    return R.V == Verdict::Realizable || R.V == Verdict::Unrealizable;
   };
 
   auto Worker = [&](int Slot, AlgorithmKind K) {
     AlgoOptions Local = Opts;
-    Local.Cancel = &Cancel;
-    RunResult R = runAlgorithm(K, P, Local);
+    Local.Token = Token;
+    Outcome R = runAlgorithm(K, P, Local);
     if (R.Detail.empty())
       R.Detail = std::string("portfolio: ") + algorithmName(K);
     std::lock_guard<std::mutex> Lock(M);
@@ -46,28 +49,35 @@ RunResult se2gis::runPortfolio(const Problem &P, const AlgoOptions &Opts) {
 
   {
     std::unique_lock<std::mutex> Lock(M);
-    Cv.wait(Lock, [&] {
+    auto DoneOrConclusive = [&] {
       if (Done == 2)
         return true;
       for (const auto &R : Results)
         if (R && IsConclusive(*R))
           return true;
       return false;
-    });
+    };
+    while (!DoneOrConclusive()) {
+      Cv.wait_for(Lock, std::chrono::milliseconds(50));
+      // Forward the caller's cancellation to the members (the timed wait
+      // doubles as the poll for it).
+      if (Opts.Token.cancelRequested())
+        Token.requestCancel(Opts.Token.reason());
+    }
   }
   // First conclusive verdict wins; tell the other worker to stop.
-  Cancel.store(true);
+  Token.requestCancel();
   F1.get();
   F2.get();
 
-  RunResult Final;
+  Outcome Final;
   // Prefer a conclusive result (SE2GIS first on ties), else the SE2GIS one.
   for (const auto &R : Results)
     if (R && IsConclusive(*R)) {
       Final = *R;
       break;
     }
-  if (Final.O != Outcome::Realizable && Final.O != Outcome::Unrealizable &&
+  if (Final.V != Verdict::Realizable && Final.V != Verdict::Unrealizable &&
       Results[0])
     Final = *Results[0];
   Final.Stats.ElapsedMs = Timer.elapsedMs();

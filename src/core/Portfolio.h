@@ -21,7 +21,7 @@ namespace se2gis {
 /// conclusive result (or the "better" inconclusive one when both fail).
 /// The returned stats carry the winning algorithm's name in \c Detail when
 /// it would otherwise be empty.
-RunResult runPortfolio(const Problem &P, const AlgoOptions &Opts);
+Outcome runPortfolio(const Problem &P, const AlgoOptions &Opts);
 
 } // namespace se2gis
 

@@ -1,0 +1,53 @@
+//===- SynthesisTask.cpp --------------------------------------------------===//
+
+#include "core/SynthesisTask.h"
+
+#include "support/Diagnostics.h"
+
+#include <cstdlib>
+
+using namespace se2gis;
+
+SolverConfig SolverConfig::fromEnv(std::int64_t DefaultTimeoutMs) {
+  SolverConfig C;
+  C.Algo.TimeoutMs = DefaultTimeoutMs;
+  if (const char *T = std::getenv("SE2GIS_TIMEOUT_MS")) {
+    long long V = std::atoll(T);
+    if (V > 0)
+      C.Algo.TimeoutMs = V;
+  } else if (const char *T = std::getenv("SE2GIS_TIMEOUT")) {
+    long long V = std::atoll(T);
+    if (V > 0)
+      C.Algo.TimeoutMs = V * 1000;
+  }
+  if (const char *S = std::getenv("SE2GIS_SEED")) {
+    long long V = std::atoll(S);
+    if (V > 0)
+      C.Algo.Seed = static_cast<unsigned>(V);
+  }
+  if (const char *F = std::getenv("SE2GIS_FILTER"))
+    C.Filter = F;
+  if (const char *J = std::getenv("SE2GIS_JOBS")) {
+    long V = std::atol(J);
+    if (V > 0)
+      C.Jobs = static_cast<unsigned>(V);
+  }
+  if (const char *P = std::getenv("SE2GIS_PERF_JSON"))
+    C.PerfJsonPath = P;
+  return C;
+}
+
+Outcome SynthesisTask::run(const SolverConfig &Config) const {
+  Outcome R;
+  if (!Prob) {
+    R.Detail = "task has no problem attached";
+    return R;
+  }
+  try {
+    R = runAlgorithm(Algorithm, *Prob, Config.Algo);
+  } catch (const UserError &E) {
+    R.V = Verdict::Failed;
+    R.Detail = E.what();
+  }
+  return R;
+}

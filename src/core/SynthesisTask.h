@@ -1,0 +1,73 @@
+//===- SynthesisTask.h - Unified solver entry point -------------*- C++-*-===//
+///
+/// \file
+/// The one front door to the solver stack. Every driver — the CLI, the
+/// bench tables, the portfolio, the suite runner — expresses a run as a
+/// \c SynthesisTask (which problem, which algorithm) executed under a
+/// \c SolverConfig (budgets, parallelism, seed, telemetry), producing an
+/// \c Outcome (verdict, solution or witness description, stats).
+///
+/// SolverConfig is the only place that reads the SE2GIS_* environment
+/// variables, and only as a fallback in \c fromEnv: a driver that fills the
+/// fields programmatically ignores the environment entirely, so sweeps are
+/// reproducible from code alone.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SE2GIS_CORE_SYNTHESISTASK_H
+#define SE2GIS_CORE_SYNTHESISTASK_H
+
+#include "core/Algorithms.h"
+
+#include <memory>
+
+namespace se2gis {
+
+/// Every knob of a solver invocation in one value.
+struct SolverConfig {
+  /// Algorithm knobs: the overall deadline (TimeoutMs), per-query Z3
+  /// budgets, cancellation token, random seed, and ablation switches.
+  AlgoOptions Algo;
+  /// Concurrent (benchmark, algorithm) workers for suite sweeps. 0 = auto
+  /// (hardware concurrency); 1 forces the strictly sequential path.
+  unsigned Jobs = 0;
+  /// Restrict suite sweeps to benchmarks whose name contains this
+  /// substring ("" = all).
+  std::string Filter;
+  /// When non-empty, sweeps write their perf-counter JSON summary here
+  /// (schema in DESIGN.md).
+  std::string PerfJsonPath;
+  /// Progress lines on stderr.
+  bool Verbose = true;
+
+  /// Builds a config from the environment (the only SE2GIS_* reader):
+  ///  - SE2GIS_TIMEOUT_MS — overall budget in milliseconds, or
+  ///    SE2GIS_TIMEOUT — the same in seconds (TIMEOUT_MS wins when both
+  ///    are set). Values <= 0 leave the default \p DefaultTimeoutMs.
+  ///  - SE2GIS_SEED — Z3 random seed (0 = Z3's default).
+  ///  - SE2GIS_FILTER, SE2GIS_JOBS, SE2GIS_PERF_JSON — as the fields above.
+  static SolverConfig fromEnv(std::int64_t DefaultTimeoutMs = 5000);
+};
+
+/// One unit of synthesis work: a problem and the algorithm to run on it.
+/// The problem is shared so a suite can fan one parse out to several
+/// algorithms (and worker threads) without copying.
+struct SynthesisTask {
+  std::shared_ptr<const Problem> Prob;
+  AlgorithmKind Algorithm = AlgorithmKind::SE2GIS;
+
+  SynthesisTask() = default;
+  SynthesisTask(std::shared_ptr<const Problem> P,
+                AlgorithmKind K = AlgorithmKind::SE2GIS)
+      : Prob(std::move(P)), Algorithm(K) {}
+
+  /// Runs the task to completion (or deadline) under \p Config. Never
+  /// throws on solver-level failure: a UserError from the stack becomes a
+  /// Failed outcome with the message in \c Detail, so pooled workers
+  /// cannot be poisoned by one bad benchmark.
+  Outcome run(const SolverConfig &Config) const;
+};
+
+} // namespace se2gis
+
+#endif // SE2GIS_CORE_SYNTHESISTASK_H

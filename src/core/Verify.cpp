@@ -40,6 +40,7 @@ VerifyResult se2gis::verifySolution(const Problem &P,
 
   // Full proof first.
   InductionOptions IOpts = Opts.Induction;
+  IOpts.Budget = Budget;
   IOpts.Bindings = &Solution;
   IOpts.Lemmas = Opts.Lemmas;
   TermPtr Goal = mkOp(OpKind::Implies, {Inv, mkEq(TgtCall, RefCall)});

@@ -108,6 +108,7 @@ se2gis::findFunctionalWitness(const Sge &System, int PerQueryTimeoutMs,
       Substitution Rename = renameFresh(JTerms, Renaming);
 
       SmtQuery Q;
+      Q.setDeadline(Budget);
       Q.add(EI.Guard);
       Q.add(substitute(EJ.Guard, Rename));
       Q.add(mkNot(mkEq(EI.Rhs, substitute(EJ.Rhs, Rename))));

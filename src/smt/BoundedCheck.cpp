@@ -71,8 +71,8 @@ se2gis::boundedSat(const Program &Prog, const TermPtr &Formula,
 
   if (DataVars.empty()) {
     SmtModel Model;
-    if (quickCheck({Formula}, Opts.PerQueryTimeoutMs, &Model) !=
-        SmtResult::Sat)
+    if (quickCheck({Formula}, Opts.PerQueryTimeoutMs, &Model,
+                   &Opts.Budget) != SmtResult::Sat)
       return std::nullopt;
     BoundedWitness W;
     W.Scalars = std::move(Model);
@@ -114,8 +114,8 @@ se2gis::boundedSat(const Program &Prog, const TermPtr &Formula,
     if (Scalar->getKind() == TermKind::BoolLit && !Scalar->getBoolValue())
       return false;
     SmtModel Model;
-    if (quickCheck({Scalar}, Opts.PerQueryTimeoutMs, &Model) !=
-        SmtResult::Sat)
+    if (quickCheck({Scalar}, Opts.PerQueryTimeoutMs, &Model,
+                   &Opts.Budget) != SmtResult::Sat)
       return false;
     BoundedWitness W;
     for (size_t I = 0; I < DataVars.size(); ++I)

@@ -83,7 +83,8 @@ bool se2gis::matchTermPattern(const TermPtr &Pattern, const TermPtr &T,
 namespace {
 
 /// Abstraction validity check: stuck calls become shared fresh variables.
-bool caseValid(const TermPtr &CaseFormula, int TimeoutMs) {
+bool caseValid(const TermPtr &CaseFormula, int TimeoutMs,
+               const Deadline &Budget) {
   std::vector<std::pair<TermPtr, VarPtr>> Memo;
   TermPtr Scalar = abstractCalls(CaseFormula, Memo);
   // Any datatype variables left outside calls (e.g. in equalities between
@@ -91,7 +92,8 @@ bool caseValid(const TermPtr &CaseFormula, int TimeoutMs) {
   for (const VarPtr &V : freeVars(Scalar))
     if (!V->Ty->isScalar())
       return false;
-  return checkValidity(Scalar, TimeoutMs) == SmtResult::Unsat;
+  return checkValidity(Scalar, TimeoutMs, nullptr, &Budget) ==
+         SmtResult::Unsat;
 }
 
 bool tryInductionOn(const Program &Prog, const TermPtr &Goal, const VarPtr &X,
@@ -101,6 +103,8 @@ bool tryInductionOn(const Program &Prog, const TermPtr &Goal, const VarPtr &X,
   const Datatype *D = X->Ty->getDatatype();
 
   for (unsigned CI = 0; CI < D->numConstructors(); ++CI) {
+    if (Opts.Budget.expired())
+      return false; // budget exhausted: "not proved", never a hang
     const ConstructorDecl &C = D->getConstructor(CI);
 
     std::vector<VarPtr> Fields;
@@ -165,7 +169,8 @@ bool tryInductionOn(const Program &Prog, const TermPtr &Goal, const VarPtr &X,
 
     TermPtr CaseFormula =
         Hyps.empty() ? Inst : mkOp(OpKind::Implies, {mkAndList(Hyps), Inst});
-    if (!caseValid(simplify(CaseFormula), Opts.PerQueryTimeoutMs))
+    if (!caseValid(simplify(CaseFormula), Opts.PerQueryTimeoutMs,
+                   Opts.Budget))
       return false;
   }
   return true;
@@ -183,7 +188,8 @@ bool se2gis::proveByInduction(const Program &Prog, const TermPtr &Goal,
   if (DataVars.empty()) {
     std::vector<std::pair<TermPtr, VarPtr>> Memo;
     TermPtr Scalar = abstractCalls(Goal, Memo);
-    return checkValidity(Scalar, Opts.PerQueryTimeoutMs) == SmtResult::Unsat;
+    return checkValidity(Scalar, Opts.PerQueryTimeoutMs, nullptr,
+                         &Opts.Budget) == SmtResult::Unsat;
   }
 
   int Tried = 0;

@@ -19,6 +19,7 @@
 
 #include "eval/Interp.h"
 #include "lang/Program.h"
+#include "support/Cancellation.h"
 
 namespace se2gis {
 
@@ -38,6 +39,10 @@ struct InductionOptions {
   int PerQueryTimeoutMs = 300;
   /// Try induction on at most this many candidate datatype variables.
   int MaxInductionVars = 2;
+  /// Overall deadline: polled between constructor cases and mapped onto
+  /// each case query's Z3 budget; expiry makes the proof fail ("not
+  /// proved"), never hang.
+  Deadline Budget;
   /// Optional solution bindings inlined during evaluation.
   const UnknownBindings *Bindings = nullptr;
   /// Auxiliary lemmas (see ShapeLemma).

@@ -9,6 +9,7 @@
 #include <z3++.h>
 
 #include <algorithm>
+#include <atomic>
 #include <cassert>
 #include <sstream>
 #include <unordered_map>
@@ -64,9 +65,20 @@ size_t flatWidth(const TypePtr &Ty) {
 
 } // namespace
 
+namespace {
+/// Process-wide Z3 random seed (0 = Z3 default); see setSmtRandomSeed.
+std::atomic<unsigned> GSmtRandomSeed{0};
+} // namespace
+
+void se2gis::setSmtRandomSeed(unsigned Seed) {
+  GSmtRandomSeed.store(Seed, std::memory_order_relaxed);
+}
+
 struct SmtQuery::Impl {
   z3::context Ctx;
   z3::solver Solver;
+  Deadline Budget;
+  bool HasDeadline = false;
   // Hit on every Var/Unknown node of every translated term; hash maps with
   // reserved capacity keep the hot path rehash- and rebalance-free. Model
   // readback sorts the entries by Id (below), so iteration order stays the
@@ -298,22 +310,39 @@ void SmtQuery::addSoft(const TermPtr &Assertion) {
 
 void SmtQuery::requestValue(const TermPtr &T) { I->Requests.push_back(T); }
 
+void SmtQuery::setDeadline(const Deadline &Budget) {
+  I->Budget = Budget;
+  I->HasDeadline = true;
+}
+
 SmtResult SmtQuery::checkSat(int TimeoutMs, SmtModel *ModelOut,
                              std::vector<ValuePtr> *ValuesOut) {
   countEvent(CounterKind::SmtChecks);
   perfAdd(PerfCounter::SmtQueries);
+  // The Z3 budget mapping: clamp the per-query slice to the remaining run
+  // budget. An already-expired deadline skips the solver entirely — the
+  // caller's poll point translates the Unknown into a Timeout verdict.
+  if (I->HasDeadline) {
+    TimeoutMs = I->Budget.queryBudgetMs(TimeoutMs);
+    if (TimeoutMs <= 0) {
+      perfAdd(PerfCounter::SmtBudget);
+      return SmtResult::Unknown;
+    }
+  }
   try {
     // Budget via Z3's deterministic resource limit rather than the
     // wall-clock "timeout" parameter: the latter spawns a timer thread per
     // query, which can deadlock under the harness's query churn (and makes
     // runs non-reproducible). The conversion factor approximates
-    // miliseconds on commodity hardware.
+    // milliseconds on commodity hardware.
     z3::params P(I->Ctx);
     unsigned long long Rlimit =
         static_cast<unsigned long long>(TimeoutMs > 0 ? TimeoutMs : 1) *
         50000ULL;
     P.set("rlimit", static_cast<unsigned>(
                         Rlimit > 4000000000ULL ? 4000000000ULL : Rlimit));
+    if (unsigned Seed = GSmtRandomSeed.load(std::memory_order_relaxed))
+      P.set("random_seed", Seed);
     I->Solver.set(P);
 
     // Translate the requests before checking so their symbols exist.
@@ -359,7 +388,13 @@ SmtResult SmtQuery::checkSat(int TimeoutMs, SmtModel *ModelOut,
       return SmtResult::Unsat;
     }
     if (R == z3::unknown) {
-      perfAdd(PerfCounter::SmtUnknown);
+      // Distinguish "the run budget expired mid-query" from genuine solver
+      // incompleteness: the former is a budget-exceeded signal that the
+      // algorithm loops turn into a Timeout verdict.
+      if (I->HasDeadline && I->Budget.expired())
+        perfAdd(PerfCounter::SmtBudget);
+      else
+        perfAdd(PerfCounter::SmtUnknown);
       return SmtResult::Unknown;
     }
     perfAdd(PerfCounter::SmtSat);
@@ -404,16 +439,22 @@ SmtResult SmtQuery::checkSat(int TimeoutMs, SmtModel *ModelOut,
 // --- Convenience wrappers ------------------------------------------------===//
 
 SmtResult se2gis::quickCheck(const std::vector<TermPtr> &Assertions,
-                             int TimeoutMs, SmtModel *ModelOut) {
+                             int TimeoutMs, SmtModel *ModelOut,
+                             const Deadline *Budget) {
   SmtQuery Q;
+  if (Budget)
+    Q.setDeadline(*Budget);
   for (const TermPtr &A : Assertions)
     Q.add(A);
   return Q.checkSat(TimeoutMs, ModelOut);
 }
 
 SmtResult se2gis::checkValidity(const TermPtr &Formula, int TimeoutMs,
-                                SmtModel *CounterOut) {
+                                SmtModel *CounterOut,
+                                const Deadline *Budget) {
   SmtQuery Q;
+  if (Budget)
+    Q.setDeadline(*Budget);
   Q.add(mkNot(Formula));
   return Q.checkSat(TimeoutMs, CounterOut);
 }

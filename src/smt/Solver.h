@@ -21,6 +21,7 @@
 
 #include "ast/Term.h"
 #include "eval/Value.h"
+#include "support/Cancellation.h"
 
 #include <memory>
 #include <optional>
@@ -70,7 +71,16 @@ public:
   /// returned by \c checkSat in request order.
   void requestValue(const TermPtr &T);
 
-  /// Runs the check with a per-query timeout.
+  /// Attaches an overall run deadline: \c checkSat clamps its per-query
+  /// budget to the remaining time (the Z3 budget mapping) and returns
+  /// Unknown immediately — without entering Z3 — once the deadline has
+  /// expired. A Z3 `unknown` that coincides with an expired deadline is
+  /// accounted as budget-exceeded (PerfCounter::SmtBudget), not solver
+  /// incompleteness.
+  void setDeadline(const Deadline &Budget);
+
+  /// Runs the check with a per-query timeout (further clamped to the
+  /// deadline set via \c setDeadline, if any).
   /// \param ModelOut if non-null and Sat, receives values for all free
   ///        variables seen in assertions.
   /// \param ValuesOut if non-null and Sat, receives the requested values.
@@ -82,15 +92,23 @@ private:
   std::unique_ptr<Impl> I;
 };
 
+/// Sets the Z3 random seed applied to every subsequent query in this
+/// process (0 = Z3's default). Exposed through SolverConfig::Algo.Seed for
+/// reproducible sweeps.
+void setSmtRandomSeed(unsigned Seed);
+
 /// Convenience: is the conjunction of \p Assertions satisfiable?
+/// \p Budget, when non-null, bounds the query like \c SmtQuery::setDeadline.
 SmtResult quickCheck(const std::vector<TermPtr> &Assertions, int TimeoutMs,
-                     SmtModel *ModelOut = nullptr);
+                     SmtModel *ModelOut = nullptr,
+                     const Deadline *Budget = nullptr);
 
 /// Convenience: is \p Formula valid (i.e. its negation unsatisfiable)?
 /// Returns Sat if a countermodel exists (stored in \p CounterOut), Unsat if
-/// valid, Unknown otherwise.
+/// valid, Unknown otherwise. \p Budget as in \c quickCheck.
 SmtResult checkValidity(const TermPtr &Formula, int TimeoutMs,
-                        SmtModel *CounterOut = nullptr);
+                        SmtModel *CounterOut = nullptr,
+                        const Deadline *Budget = nullptr);
 
 } // namespace se2gis
 

@@ -18,21 +18,7 @@ using namespace se2gis;
 
 SuiteOptions se2gis::suiteOptionsFromEnv(std::int64_t DefaultTimeoutMs) {
   SuiteOptions Opts;
-  Opts.Algo.TimeoutMs = DefaultTimeoutMs;
-  if (const char *T = std::getenv("SE2GIS_TIMEOUT_MS")) {
-    long long V = std::atoll(T);
-    if (V > 0)
-      Opts.Algo.TimeoutMs = V;
-  }
-  if (const char *F = std::getenv("SE2GIS_FILTER"))
-    Opts.Filter = F;
-  if (const char *J = std::getenv("SE2GIS_JOBS")) {
-    long V = std::atol(J);
-    if (V > 0)
-      Opts.Jobs = static_cast<unsigned>(V);
-  }
-  if (const char *P = std::getenv("SE2GIS_PERF_JSON"))
-    Opts.PerfJsonPath = P;
+  Opts.Config = SolverConfig::fromEnv(DefaultTimeoutMs);
   return Opts;
 }
 
@@ -50,7 +36,7 @@ public:
     std::lock_guard<std::mutex> Lock(M);
     std::fprintf(stderr, "[suite] %-36s %-9s %-12s %8.1f ms  %s\n",
                  Rec.Def->Name.c_str(), algorithmName(Rec.Algorithm),
-                 outcomeName(Rec.Result.O), Rec.Result.Stats.ElapsedMs,
+                 verdictName(Rec.Result.V), Rec.Result.Stats.ElapsedMs,
                  Rec.Result.Stats.Steps.c_str());
   }
 
@@ -59,16 +45,13 @@ private:
   bool Enabled;
 };
 
-/// Runs one (benchmark, algorithm) pair; UserError becomes Outcome::Failed
-/// exactly as in the sequential loop.
-void runOne(SuiteRecord &Rec, const Problem &P, const AlgoOptions &Algo,
-            ProgressReporter &Progress) {
-  try {
-    Rec.Result = runAlgorithm(Rec.Algorithm, P, Algo);
-  } catch (const UserError &E) {
-    Rec.Result.O = Outcome::Failed;
-    Rec.Result.Detail = E.what();
-  }
+/// Runs one (benchmark, algorithm) pair as a SynthesisTask; a UserError
+/// from the stack becomes Verdict::Failed inside SynthesisTask::run, so a
+/// pooled worker survives any single bad benchmark.
+void runOne(SuiteRecord &Rec, std::shared_ptr<const Problem> P,
+            const SolverConfig &Config, ProgressReporter &Progress) {
+  SynthesisTask Task(std::move(P), Rec.Algorithm);
+  Rec.Result = Task.run(Config);
   Progress.report(Rec);
 }
 
@@ -77,17 +60,17 @@ void runOne(SuiteRecord &Rec, const Problem &P, const AlgoOptions &Algo,
 /// same progress interleaving, same records).
 std::vector<SuiteRecord> runSuiteSequential(const SuiteOptions &Opts) {
   std::vector<SuiteRecord> Records;
-  ProgressReporter Progress(Opts.Verbose);
+  ProgressReporter Progress(Opts.Config.Verbose);
   for (const BenchmarkDef &Def : allBenchmarks()) {
-    if (!Opts.Filter.empty() &&
-        Def.Name.find(Opts.Filter) == std::string::npos)
+    if (!Opts.Config.Filter.empty() &&
+        Def.Name.find(Opts.Config.Filter) == std::string::npos)
       continue;
     if ((Opts.SkipRealizable && Def.ExpectRealizable) ||
         (Opts.SkipUnrealizable && !Def.ExpectRealizable))
       continue;
-    Problem P;
+    std::shared_ptr<const Problem> P;
     try {
-      P = loadBenchmark(Def);
+      P = std::make_shared<const Problem>(loadBenchmark(Def));
     } catch (const UserError &E) {
       std::fprintf(stderr, "[suite] %s: load error: %s\n", Def.Name.c_str(),
                    E.what());
@@ -97,7 +80,7 @@ std::vector<SuiteRecord> runSuiteSequential(const SuiteOptions &Opts) {
       SuiteRecord Rec;
       Rec.Def = &Def;
       Rec.Algorithm = K;
-      runOne(Rec, P, Opts.Algo, Progress);
+      runOne(Rec, P, Opts.Config, Progress);
       Records.push_back(std::move(Rec));
     }
   }
@@ -115,11 +98,11 @@ std::vector<SuiteRecord> runSuiteParallel(const SuiteOptions &Opts,
                                           unsigned Jobs) {
   std::vector<SuiteRecord> Records;
   std::vector<std::shared_ptr<const Problem>> Problems; // one per record
-  ProgressReporter Progress(Opts.Verbose);
+  ProgressReporter Progress(Opts.Config.Verbose);
 
   for (const BenchmarkDef &Def : allBenchmarks()) {
-    if (!Opts.Filter.empty() &&
-        Def.Name.find(Opts.Filter) == std::string::npos)
+    if (!Opts.Config.Filter.empty() &&
+        Def.Name.find(Opts.Config.Filter) == std::string::npos)
       continue;
     if ((Opts.SkipRealizable && Def.ExpectRealizable) ||
         (Opts.SkipUnrealizable && !Def.ExpectRealizable))
@@ -146,7 +129,7 @@ std::vector<SuiteRecord> runSuiteParallel(const SuiteOptions &Opts,
   Pending.reserve(Records.size());
   for (size_t I = 0; I < Records.size(); ++I)
     Pending.push_back(Pool.enqueue([&, I] {
-      runOne(Records[I], *Problems[I], Opts.Algo, Progress);
+      runOne(Records[I], Problems[I], Opts.Config, Progress);
     }));
   for (std::future<void> &F : Pending)
     F.get(); // rethrows anything unexpected from a worker
@@ -158,18 +141,18 @@ std::vector<SuiteRecord> runSuiteParallel(const SuiteOptions &Opts,
 std::vector<SuiteRecord> se2gis::runSuite(const SuiteOptions &Opts) {
   Stopwatch Wall;
   PerfSnapshot Before = snapshotPerf();
-  unsigned Jobs = Opts.Jobs ? Opts.Jobs : ThreadPool::defaultConcurrency();
+  unsigned Jobs = Opts.Config.Jobs ? Opts.Config.Jobs : ThreadPool::defaultConcurrency();
   std::vector<SuiteRecord> Records = Jobs <= 1
                                          ? runSuiteSequential(Opts)
                                          : runSuiteParallel(Opts, Jobs);
-  if (!Opts.PerfJsonPath.empty()) {
-    std::ofstream OS(Opts.PerfJsonPath);
+  if (!Opts.Config.PerfJsonPath.empty()) {
+    std::ofstream OS(Opts.Config.PerfJsonPath);
     if (OS)
       writeSuitePerfJson(OS, Records, snapshotPerf().since(Before),
                          Wall.elapsedMs(), Jobs);
     else
       std::fprintf(stderr, "[suite] cannot write perf summary to %s\n",
-                   Opts.PerfJsonPath.c_str());
+                   Opts.Config.PerfJsonPath.c_str());
   }
   return Records;
 }
@@ -191,7 +174,7 @@ void se2gis::writeSuitePerfJson(std::ostream &OS,
     OS << (I ? ",\n    " : "\n    ") << "{\"benchmark\": \""
        << R.Def->Name << "\", \"algorithm\": \""
        << algorithmName(R.Algorithm) << "\", \"outcome\": \""
-       << outcomeName(R.Result.O) << "\", \"solved\": "
+       << verdictName(R.Result.V) << "\", \"solved\": "
        << (isSolved(R) ? "true" : "false")
        << ", \"elapsed_ms\": " << R.Result.Stats.ElapsedMs << "}";
   }
@@ -200,6 +183,6 @@ void se2gis::writeSuitePerfJson(std::ostream &OS,
 
 bool se2gis::isSolved(const SuiteRecord &R) {
   if (R.Def->ExpectRealizable)
-    return R.Result.O == Outcome::Realizable;
-  return R.Result.O == Outcome::Unrealizable;
+    return R.Result.V == Verdict::Realizable;
+  return R.Result.V == Verdict::Unrealizable;
 }

@@ -1,25 +1,28 @@
 //===- Runner.h - Suite execution harness -----------------------*- C++-*-===//
 ///
 /// \file
-/// Runs benchmarks under one or more algorithms with a per-run timeout and
-/// collects the results the table/figure generators consume. The timeout
-/// defaults to a scaled-down version of the paper's 400 s and can be
-/// overridden with the SE2GIS_TIMEOUT_MS environment variable; a benchmark
-/// subset can be selected with a substring filter (SE2GIS_FILTER).
+/// Runs benchmarks under one or more algorithms with a per-(benchmark,
+/// algorithm) deadline and collects the results the table/figure generators
+/// consume. All knobs live in a SolverConfig (core/SynthesisTask.h); the
+/// environment (SE2GIS_TIMEOUT / SE2GIS_TIMEOUT_MS, SE2GIS_FILTER,
+/// SE2GIS_JOBS, SE2GIS_SEED, SE2GIS_PERF_JSON) is only read through
+/// SolverConfig::fromEnv.
 ///
-/// (Benchmark, algorithm) pairs execute on a shared thread pool
-/// (SE2GIS_JOBS workers; every SmtQuery owns its own Z3 context, so runs
-/// are isolated). Results always come back in registry order — identical
-/// to the sequential runner's — and SE2GIS_JOBS=1 takes the sequential
-/// code path bit-for-bit. A perf-counter JSON summary of the sweep can be
-/// written via SE2GIS_PERF_JSON (schema in DESIGN.md).
+/// (Benchmark, algorithm) pairs execute on a shared thread pool (every
+/// SmtQuery owns its own Z3 context, so runs are isolated); each pair runs
+/// as one SynthesisTask under its own deadline, and a timed-out run comes
+/// back as a Timeout verdict with partial stats — never a poisoned worker.
+/// Results always come back in registry order — identical to the
+/// sequential runner's — and Jobs=1 takes the sequential code path
+/// bit-for-bit. A perf-counter JSON summary of the sweep can be written
+/// via Config.PerfJsonPath (schema in DESIGN.md).
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef SE2GIS_SUITE_RUNNER_H
 #define SE2GIS_SUITE_RUNNER_H
 
-#include "core/Algorithms.h"
+#include "core/SynthesisTask.h"
 #include "suite/Benchmarks.h"
 
 #include <iosfwd>
@@ -30,31 +33,24 @@ namespace se2gis {
 struct SuiteRecord {
   const BenchmarkDef *Def = nullptr;
   AlgorithmKind Algorithm = AlgorithmKind::SE2GIS;
-  RunResult Result;
+  Outcome Result;
 };
 
-/// Execution options for a suite sweep.
+/// Execution options for a suite sweep: which algorithms over which half
+/// of the registry, plus the shared SolverConfig every task runs under.
 struct SuiteOptions {
   std::vector<AlgorithmKind> Algorithms = {AlgorithmKind::SE2GIS};
-  AlgoOptions Algo;
-  /// Only run benchmarks whose name contains this substring ("" = all).
-  std::string Filter;
+  /// Budgets, parallelism, filter, seed, perf output (the Config.Filter
+  /// substring selects benchmarks; Config.Jobs sets the worker count).
+  SolverConfig Config;
   /// Restrict to the realizable / unrealizable half of the suite.
   bool SkipRealizable = false;
   bool SkipUnrealizable = false;
-  /// Print one progress line per run to stderr.
-  bool Verbose = true;
-  /// Concurrent (benchmark, algorithm) workers. 0 = auto (the SE2GIS_JOBS
-  /// environment variable, else hardware_concurrency); 1 reproduces the
-  /// historical sequential loop exactly.
-  unsigned Jobs = 0;
-  /// When non-empty, the runner writes the sweep's perf-counter JSON
-  /// summary here (also settable via SE2GIS_PERF_JSON).
-  std::string PerfJsonPath;
 };
 
-/// Builds options from the environment: SE2GIS_TIMEOUT_MS (default
-/// \p DefaultTimeoutMs), SE2GIS_FILTER, SE2GIS_JOBS, and SE2GIS_PERF_JSON.
+/// Builds options whose Config comes from the environment (see
+/// SolverConfig::fromEnv); \p DefaultTimeoutMs applies when no timeout
+/// variable is set.
 SuiteOptions suiteOptionsFromEnv(std::int64_t DefaultTimeoutMs = 5000);
 
 /// Runs the registered benchmarks under every requested algorithm. Records

@@ -1,0 +1,17 @@
+//===- Cancellation.cpp ---------------------------------------------------===//
+
+#include "support/Cancellation.h"
+
+using namespace se2gis;
+
+const char *se2gis::cancelReasonName(CancelReason R) {
+  switch (R) {
+  case CancelReason::None:
+    return "none";
+  case CancelReason::Cancelled:
+    return "cancelled";
+  case CancelReason::DeadlineExceeded:
+    return "deadline-exceeded";
+  }
+  return "?";
+}

@@ -58,7 +58,8 @@ std::string PerfSnapshot::str() const {
   std::ostringstream OS;
   OS << "smt=" << get(PerfCounter::SmtQueries) << " (sat="
      << get(PerfCounter::SmtSat) << " unsat=" << get(PerfCounter::SmtUnsat)
-     << " unknown=" << get(PerfCounter::SmtUnknown) << ") z3_ms=";
+     << " unknown=" << get(PerfCounter::SmtUnknown)
+     << " budget=" << get(PerfCounter::SmtBudget) << ") z3_ms=";
   OS.precision(1);
   OS << std::fixed << getMs(PerfTimer::Z3SolveNs)
      << " enum=" << get(PerfCounter::EnumCandidates)
@@ -71,6 +72,7 @@ void se2gis::writePerfJson(std::ostream &OS, const PerfSnapshot &D) {
      << ",\"smt_sat\":" << D.get(PerfCounter::SmtSat)
      << ",\"smt_unsat\":" << D.get(PerfCounter::SmtUnsat)
      << ",\"smt_unknown\":" << D.get(PerfCounter::SmtUnknown)
+     << ",\"smt_budget_expired\":" << D.get(PerfCounter::SmtBudget)
      << ",\"z3_time_ms\":" << D.getMs(PerfTimer::Z3SolveNs)
      << ",\"run_time_ms\":" << D.getMs(PerfTimer::SuiteRunNs)
      << ",\"enum_candidates\":" << D.get(PerfCounter::EnumCandidates)

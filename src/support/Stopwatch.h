@@ -1,19 +1,18 @@
-//===- Stopwatch.h - Wall-clock timing and deadline budgets -----*- C++-*-===//
+//===- Stopwatch.h - Wall-clock timing --------------------------*- C++-*-===//
 ///
 /// \file
-/// Wall-clock stopwatch and a shareable deadline used to bound synthesis
-/// runs. Every long-running loop in the library polls a \c Deadline so a
-/// benchmark harness can impose a per-problem timeout (the paper uses a
-/// 400-second timeout per benchmark; we default to a scaled-down budget).
+/// Wall-clock stopwatch. The deadline/cancellation machinery historically
+/// defined here lives in support/Cancellation.h (re-exported below so that
+/// existing includes keep working).
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef SE2GIS_SUPPORT_STOPWATCH_H
 #define SE2GIS_SUPPORT_STOPWATCH_H
 
-#include <atomic>
+#include "support/Cancellation.h"
+
 #include <chrono>
-#include <cstdint>
 
 namespace se2gis {
 
@@ -34,53 +33,6 @@ public:
 private:
   using Clock = std::chrono::steady_clock;
   Clock::time_point Start;
-};
-
-/// A point in time after which work must stop.
-///
-/// A default-constructed deadline never expires. Deadlines are cheap values
-/// and are passed by copy through the solver stack.
-class Deadline {
-public:
-  /// Creates a never-expiring deadline.
-  Deadline() : Unlimited(true) {}
-
-  /// Creates a deadline \p BudgetMs milliseconds from now.
-  static Deadline afterMs(std::int64_t BudgetMs) {
-    Deadline D;
-    D.Unlimited = false;
-    D.End = Clock::now() + std::chrono::milliseconds(BudgetMs);
-    return D;
-  }
-
-  /// Attaches a cooperative cancellation flag: the deadline also counts as
-  /// expired once the flag becomes true (used by the portfolio mode).
-  void setCancelFlag(const std::atomic<bool> *Flag) { Cancel = Flag; }
-
-  /// \returns true once the deadline has passed or cancellation was
-  /// requested.
-  bool expired() const {
-    if (Cancel && Cancel->load(std::memory_order_relaxed))
-      return true;
-    return !Unlimited && Clock::now() >= End;
-  }
-
-  /// \returns remaining budget in milliseconds, clamped at zero; a large
-  /// sentinel when unlimited.
-  std::int64_t remainingMs() const {
-    if (Unlimited)
-      return INT64_C(1) << 40;
-    auto Left = std::chrono::duration_cast<std::chrono::milliseconds>(
-                    End - Clock::now())
-                    .count();
-    return Left > 0 ? Left : 0;
-  }
-
-private:
-  using Clock = std::chrono::steady_clock;
-  bool Unlimited = true;
-  Clock::time_point End{};
-  const std::atomic<bool> *Cancel = nullptr;
 };
 
 } // namespace se2gis

@@ -2,16 +2,11 @@
 
 #include "support/ThreadPool.h"
 
-#include <cstdlib>
-
 using namespace se2gis;
 
 unsigned ThreadPool::defaultConcurrency() {
-  if (const char *J = std::getenv("SE2GIS_JOBS")) {
-    long V = std::atol(J);
-    if (V > 0)
-      return static_cast<unsigned>(V);
-  }
+  // SE2GIS_JOBS is applied by SolverConfig::fromEnv (the single reader of
+  // the SE2GIS_* environment), not here: callers pass an explicit count.
   unsigned HW = std::thread::hardware_concurrency();
   return HW > 0 ? HW : 1;
 }

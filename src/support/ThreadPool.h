@@ -61,9 +61,10 @@ public:
     return Result;
   }
 
-  /// The suite-wide parallelism default: \c SE2GIS_JOBS when set to a
-  /// positive integer, else \c std::thread::hardware_concurrency() (at
-  /// least 1).
+  /// The suite-wide parallelism default:
+  /// \c std::thread::hardware_concurrency() (at least 1). The
+  /// \c SE2GIS_JOBS environment variable is applied upstream by
+  /// \c SolverConfig::fromEnv.
   static unsigned defaultConcurrency();
 
 private:

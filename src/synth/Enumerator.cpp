@@ -204,9 +204,19 @@ Enumerator::synthesizeScalar(const TypePtr &OutTy,
     return true;
   };
 
+  // Deadline polling is decimated: one clock read per PollGate stride of
+  // candidates, so cancellation latency stays bounded without taxing the
+  // hottest loop in the solver.
+  PollGate Gate;
+  bool Expired = false;
+
   auto Consider = [&](TermPtr T, int Size) -> bool {
-    if (Found)
+    if (Found || Expired)
       return true;
+    if (Gate.tick(Budget)) {
+      Expired = true;
+      return true;
+    }
     countEvent(CounterKind::PbeCandidates);
     perfAdd(PerfCounter::EnumCandidates);
     bool IsInt = T->getType()->isInt();
@@ -270,14 +280,14 @@ Enumerator::synthesizeScalar(const TypePtr &OutTy,
         return true;
       return false;
     });
-    if (Found)
+    if (Found || Expired)
       return Found;
 
     // Unary boolean.
     ForPool(BoolPool, Size - 1, [&](const Candidate &A) {
       return Consider(mkNot(A.T), Size);
     });
-    if (Found)
+    if (Found || Expired)
       return Found;
 
     // Binary operators (left size + right size = Size - 1).
@@ -319,7 +329,7 @@ Enumerator::synthesizeScalar(const TypePtr &OutTy,
           return false;
         });
       });
-      if (Found)
+      if (Found || Expired)
         return Found;
       ForPool(BoolPool, LS, [&](const Candidate &A) {
         return ForPool(BoolPool, RS, [&](const Candidate &B) {
@@ -330,7 +340,7 @@ Enumerator::synthesizeScalar(const TypePtr &OutTy,
           return false;
         });
       });
-      if (Found)
+      if (Found || Expired)
         return Found;
     }
 
@@ -346,7 +356,7 @@ Enumerator::synthesizeScalar(const TypePtr &OutTy,
               });
             });
           });
-          if (Found)
+          if (Found || Expired)
             return Found;
         }
       }

@@ -202,6 +202,7 @@ SgeSolver::synthesizeFromPoints(const Sge &System,
         return std::nullopt;
 
       SmtQuery Q;
+      Q.setDeadline(Budget);
       for (const TermPtr &G : Ground)
         Q.add(G);
       for (const TermPtr &B : Blockers)
@@ -300,8 +301,10 @@ SgeResult SgeSolver::solve(const Sge &System, const Deadline &Budget) {
 
   const int MaxRounds = 64;
   for (int Round = 0; Round < MaxRounds; ++Round) {
-    if (Budget.expired())
+    if (Budget.expired()) {
+      Result.Solution = std::move(Candidate); // partial: last candidate tried
       return Result;
+    }
     Result.Rounds = Round + 1;
 
     // Verify the candidate on the full system.
@@ -314,13 +317,14 @@ SgeResult SgeSolver::solve(const Sge &System, const Deadline &Budget) {
           !Formula->getBoolValue())
         continue;
       SmtModel Counter;
-      SmtResult R = quickCheck({Formula}, PerQueryTimeoutMs, &Counter);
+      SmtResult R = quickCheck({Formula}, PerQueryTimeoutMs, &Counter, &Budget);
       if (R == SmtResult::Unsat)
         continue;
       if (R == SmtResult::Unknown) {
         if (debugEnabled())
           std::fprintf(stderr, "[sge] verify unknown on eqn %zu: %s\n",
                        E.TermIndex, Formula->str().c_str());
+        Result.Solution = std::move(Candidate);
         return Result; // give up with Unknown status
       }
       // The substituted candidate may have erased variables of the original
@@ -354,9 +358,12 @@ SgeResult SgeSolver::solve(const Sge &System, const Deadline &Budget) {
       Result.Status = SgeStatus::Infeasible;
       return Result;
     }
-    if (!Next)
+    if (!Next) {
+      Result.Solution = std::move(Candidate);
       return Result; // Unknown
+    }
     Candidate = std::move(*Next);
   }
+  Result.Solution = std::move(Candidate);
   return Result;
 }

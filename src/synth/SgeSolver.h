@@ -45,6 +45,8 @@ enum class SgeStatus : unsigned char {
 /// Result of \c SgeSolver::solve.
 struct SgeResult {
   SgeStatus Status = SgeStatus::Unknown;
+  /// The verified solution when Solved; on Unknown (budget exhausted), the
+  /// last candidate tried — surfaced as partial progress in RunStats.
   UnknownBindings Solution;
   /// Counterexample rounds used (CEGIS iterations).
   int Rounds = 0;

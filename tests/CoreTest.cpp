@@ -179,16 +179,16 @@ TEST(WitnessTest, NoWitnessForRealizableSystem) {
 
 TEST(AlgorithmsTest, SE2GISSolvesSumWithoutInvariant) {
   Problem P = loadProblem(se2gis_tests::kSumSrc);
-  RunResult R = runSE2GIS(P, testOptions());
-  ASSERT_EQ(R.O, Outcome::Realizable) << R.Detail;
+  Outcome R = runSE2GIS(P, testOptions());
+  ASSERT_EQ(R.V, Verdict::Realizable) << R.Detail;
   EXPECT_GE(R.Stats.Refinements, 1);
   EXPECT_EQ(R.Stats.DatatypeInvariants + R.Stats.ImageInvariants, 0);
 }
 
 TEST(AlgorithmsTest, SE2GISSolvesMinSortedViaCoarsening) {
   Problem P = loadProblem(se2gis_tests::kMinSortedSrc);
-  RunResult R = runSE2GIS(P, testOptions());
-  ASSERT_EQ(R.O, Outcome::Realizable) << R.Detail;
+  Outcome R = runSE2GIS(P, testOptions());
+  ASSERT_EQ(R.V, Verdict::Realizable) << R.Detail;
   // The invariant a <= min(l) must have been inferred (datatype kind).
   EXPECT_GE(R.Stats.DatatypeInvariants, 1);
   EXPECT_GE(R.Stats.Coarsenings, 1);
@@ -204,28 +204,28 @@ TEST(AlgorithmsTest, SE2GISSolvesMinSortedViaCoarsening) {
 
 TEST(AlgorithmsTest, SE2GISReportsMinUnsortedUnrealizable) {
   Problem P = loadProblem(se2gis_tests::kMinUnsortedSrc);
-  RunResult R = runSE2GIS(P, testOptions());
-  ASSERT_EQ(R.O, Outcome::Unrealizable) << R.Detail;
+  Outcome R = runSE2GIS(P, testOptions());
+  ASSERT_EQ(R.V, Verdict::Unrealizable) << R.Detail;
   EXPECT_NE(R.Detail.find("witness"), std::string::npos);
   EXPECT_NE(R.Detail.find("concrete inputs"), std::string::npos);
 }
 
 TEST(AlgorithmsTest, SEGISSolvesSum) {
   Problem P = loadProblem(se2gis_tests::kSumSrc);
-  RunResult R = runSEGIS(P, testOptions(), /*WithUC=*/false);
-  ASSERT_EQ(R.O, Outcome::Realizable) << R.Detail;
+  Outcome R = runSEGIS(P, testOptions(), /*WithUC=*/false);
+  ASSERT_EQ(R.V, Verdict::Realizable) << R.Detail;
 }
 
 TEST(AlgorithmsTest, SEGISTimesOutOnUnrealizable) {
   Problem P = loadProblem(se2gis_tests::kMinUnsortedSrc);
-  RunResult R = runSEGIS(P, testOptions(1500), /*WithUC=*/false);
-  EXPECT_EQ(R.O, Outcome::Timeout);
+  Outcome R = runSEGIS(P, testOptions(1500), /*WithUC=*/false);
+  EXPECT_EQ(R.V, Verdict::Timeout);
 }
 
 TEST(AlgorithmsTest, SEGISUCReportsUnrealizable) {
   Problem P = loadProblem(se2gis_tests::kMinUnsortedSrc);
-  RunResult R = runSEGIS(P, testOptions(), /*WithUC=*/true);
-  ASSERT_EQ(R.O, Outcome::Unrealizable) << R.Detail;
+  Outcome R = runSEGIS(P, testOptions(), /*WithUC=*/true);
+  ASSERT_EQ(R.V, Verdict::Unrealizable) << R.Detail;
   EXPECT_NE(R.Detail.find("concrete inputs"), std::string::npos);
 }
 
@@ -233,14 +233,14 @@ TEST(AlgorithmsTest, SEGISUCSolvesMinSorted) {
   // Fully bounded terms carry the evaluated invariant, so SEGIS+UC can
   // solve the sorted-min problem without inferring anything.
   Problem P = loadProblem(se2gis_tests::kMinSortedSrc);
-  RunResult R = runSEGIS(P, testOptions(), /*WithUC=*/true);
-  ASSERT_EQ(R.O, Outcome::Realizable) << R.Detail;
+  Outcome R = runSEGIS(P, testOptions(), /*WithUC=*/true);
+  ASSERT_EQ(R.V, Verdict::Realizable) << R.Detail;
 }
 
 TEST(AlgorithmsTest, SolutionStringRendering) {
   Problem P = loadProblem(se2gis_tests::kSumSrc);
-  RunResult R = runSE2GIS(P, testOptions());
-  ASSERT_EQ(R.O, Outcome::Realizable) << R.Detail;
+  Outcome R = runSE2GIS(P, testOptions());
+  ASSERT_EQ(R.V, Verdict::Realizable) << R.Detail;
   std::string S = solutionToString(P, R.Solution);
   EXPECT_NE(S.find("let f0"), std::string::npos);
   EXPECT_NE(S.find("let f1"), std::string::npos);
@@ -276,8 +276,8 @@ synthesize par equiv lsum via repr
 
 TEST(AlgorithmsTest, SE2GISParallelizesSumOverConcatLists) {
   Problem P = loadProblem(kParallelSumSrc);
-  RunResult R = runSE2GIS(P, testOptions(30000));
-  ASSERT_EQ(R.O, Outcome::Realizable) << R.Detail;
+  Outcome R = runSE2GIS(P, testOptions(30000));
+  ASSERT_EQ(R.V, Verdict::Realizable) << R.Detail;
   // join must add its arguments; check on a concrete concat-tree.
   Interpreter I(*P.Prog);
   I.bindUnknowns(&R.Solution);

@@ -30,8 +30,8 @@ TEST(PortfolioTest, SolvesRealizableBenchmark) {
   Problem P = loadBenchmark(*findBenchmark("list/sum"));
   AlgoOptions Opts;
   Opts.TimeoutMs = 20000;
-  RunResult R = runPortfolio(P, Opts);
-  EXPECT_EQ(R.O, Outcome::Realizable) << R.Detail;
+  Outcome R = runPortfolio(P, Opts);
+  EXPECT_EQ(R.V, Verdict::Realizable) << R.Detail;
   EXPECT_FALSE(R.Solution.empty());
 }
 
@@ -39,8 +39,8 @@ TEST(PortfolioTest, DetectsUnrealizableBenchmark) {
   Problem P = loadBenchmark(*findBenchmark("unreal/min_no_invariant"));
   AlgoOptions Opts;
   Opts.TimeoutMs = 20000;
-  RunResult R = runPortfolio(P, Opts);
-  EXPECT_EQ(R.O, Outcome::Unrealizable) << R.Detail;
+  Outcome R = runPortfolio(P, Opts);
+  EXPECT_EQ(R.V, Verdict::Unrealizable) << R.Detail;
 }
 
 TEST(PortfolioTest, WinsWhereOnlyOneMemberIsFast) {
@@ -51,8 +51,8 @@ TEST(PortfolioTest, WinsWhereOnlyOneMemberIsFast) {
   Problem P = loadBenchmark(*findBenchmark("sortedlist/second_smallest"));
   AlgoOptions Opts;
   Opts.TimeoutMs = 30000;
-  RunResult R = runPortfolio(P, Opts);
-  EXPECT_EQ(R.O, Outcome::Realizable) << R.Detail;
+  Outcome R = runPortfolio(P, Opts);
+  EXPECT_EQ(R.V, Verdict::Realizable) << R.Detail;
 }
 
 TEST(AblationTest, FlagsChangeBehaviourButNotSoundness) {
@@ -62,8 +62,8 @@ TEST(AblationTest, FlagsChangeBehaviourButNotSoundness) {
   AlgoOptions Opts;
   Opts.TimeoutMs = 6000;
   Opts.DisableIteSplitting = true;
-  RunResult R = runSE2GIS(P, Opts);
-  EXPECT_NE(R.O, Outcome::Unrealizable); // realizable problem: never lie
+  Outcome R = runSE2GIS(P, Opts);
+  EXPECT_NE(R.V, Verdict::Unrealizable); // realizable problem: never lie
 }
 
 } // namespace

@@ -72,13 +72,16 @@ TEST(ThreadPoolTest, DestructorDrainsQueue) {
   EXPECT_EQ(Count.load(), 20);
 }
 
-TEST(ThreadPoolTest, DefaultConcurrencyHonoursEnv) {
+TEST(ThreadPoolTest, JobsEnvIsOwnedBySolverConfig) {
   const char *Saved = std::getenv("SE2GIS_JOBS");
   std::string SavedCopy = Saved ? Saved : "";
   setenv("SE2GIS_JOBS", "3", 1);
-  EXPECT_EQ(ThreadPool::defaultConcurrency(), 3u);
-  setenv("SE2GIS_JOBS", "not-a-number", 1);
+  // SolverConfig::fromEnv is the single reader of the SE2GIS_* environment;
+  // the pool's own default deliberately ignores it.
+  EXPECT_EQ(SolverConfig::fromEnv().Jobs, 3u);
   EXPECT_GE(ThreadPool::defaultConcurrency(), 1u);
+  setenv("SE2GIS_JOBS", "not-a-number", 1);
+  EXPECT_EQ(SolverConfig::fromEnv().Jobs, 0u);
   if (Saved)
     setenv("SE2GIS_JOBS", SavedCopy.c_str(), 1);
   else
@@ -118,8 +121,9 @@ TEST(PerfCountersTest, JsonContainsEveryField) {
   writePerfJson(OS, PerfSnapshot());
   std::string J = OS.str();
   for (const char *Key :
-       {"smt_queries", "smt_sat", "smt_unsat", "smt_unknown", "z3_time_ms",
-        "run_time_ms", "enum_candidates", "enum_pruned"})
+       {"smt_queries", "smt_sat", "smt_unsat", "smt_unknown",
+        "smt_budget_expired", "z3_time_ms", "run_time_ms", "enum_candidates",
+        "enum_pruned"})
     EXPECT_NE(J.find(Key), std::string::npos) << Key;
 }
 
@@ -127,20 +131,20 @@ TEST(PerfCountersTest, JsonContainsEveryField) {
 
 SuiteOptions subSuiteOptions() {
   SuiteOptions Opts;
-  Opts.Algo.TimeoutMs = 20000;
+  Opts.Config.Algo.TimeoutMs = 20000;
   Opts.Algorithms = {AlgorithmKind::SE2GIS};
-  Opts.Filter = "sortedlist/m"; // min, max, min_max: a fast sub-suite
-  Opts.Verbose = false;
+  Opts.Config.Filter = "sortedlist/m"; // min, max, min_max: a fast sub-suite
+  Opts.Config.Verbose = false;
   return Opts;
 }
 
 TEST(RunnerParallelTest, ParallelMatchesSequential) {
   SuiteOptions Sequential = subSuiteOptions();
-  Sequential.Jobs = 1;
+  Sequential.Config.Jobs = 1;
   std::vector<SuiteRecord> A = runSuite(Sequential);
 
   SuiteOptions Parallel = subSuiteOptions();
-  Parallel.Jobs = 4;
+  Parallel.Config.Jobs = 4;
   std::vector<SuiteRecord> B = runSuite(Parallel);
 
   ASSERT_GE(A.size(), 2u) << "filter no longer matches a multi-benchmark "
@@ -149,20 +153,20 @@ TEST(RunnerParallelTest, ParallelMatchesSequential) {
   for (size_t I = 0; I < A.size(); ++I) {
     EXPECT_EQ(A[I].Def->Name, B[I].Def->Name) << "record order diverged";
     EXPECT_EQ(A[I].Algorithm, B[I].Algorithm);
-    EXPECT_EQ(A[I].Result.O, B[I].Result.O) << A[I].Def->Name;
+    EXPECT_EQ(A[I].Result.V, B[I].Result.V) << A[I].Def->Name;
   }
 }
 
 TEST(RunnerParallelTest, WritesPerfJsonSummary) {
   SuiteOptions Opts = subSuiteOptions();
-  Opts.Filter = "sortedlist/min"; // min + min_max
-  Opts.Jobs = 2;
-  Opts.PerfJsonPath = ::testing::TempDir() + "se2gis_perf_test.json";
+  Opts.Config.Filter = "sortedlist/min"; // min + min_max
+  Opts.Config.Jobs = 2;
+  Opts.Config.PerfJsonPath = ::testing::TempDir() + "se2gis_perf_test.json";
   std::vector<SuiteRecord> Records = runSuite(Opts);
   ASSERT_FALSE(Records.empty());
 
-  std::ifstream In(Opts.PerfJsonPath);
-  ASSERT_TRUE(In.good()) << "summary not written to " << Opts.PerfJsonPath;
+  std::ifstream In(Opts.Config.PerfJsonPath);
+  ASSERT_TRUE(In.good()) << "summary not written to " << Opts.Config.PerfJsonPath;
   std::stringstream Buf;
   Buf << In.rdbuf();
   std::string J = Buf.str();
@@ -172,7 +176,7 @@ TEST(RunnerParallelTest, WritesPerfJsonSummary) {
   EXPECT_NE(J.find("sortedlist/min"), std::string::npos);
   // The sweep really went through the SMT stack.
   EXPECT_EQ(J.find("\"smt_queries\":0,"), std::string::npos);
-  std::remove(Opts.PerfJsonPath.c_str());
+  std::remove(Opts.Config.PerfJsonPath.c_str());
 }
 
 } // namespace

@@ -140,7 +140,13 @@ TEST(SgeSolver2Test, ExpiredBudgetReturnsUnknown) {
       mkTrue(), mkUnknown("u", Type::intTy(), {mkVar(A)}),
       mkAdd(mkVar(A), mkIntLit(1)), 0});
   SgeSolver Solver(Unknowns, grammar());
-  SgeResult R = Solver.solve(System, Deadline::afterMs(0));
+  // afterMs(<=0) means unlimited, so an already-cancelled token is the way
+  // to hand the solver an expired budget deterministically.
+  CancellationToken T = CancellationToken::create();
+  T.requestCancel(CancelReason::DeadlineExceeded);
+  Deadline D;
+  D.setToken(T);
+  SgeResult R = Solver.solve(System, D);
   EXPECT_EQ(R.Status, SgeStatus::Unknown);
 }
 

@@ -49,10 +49,10 @@ TEST(SuiteTest, FindBenchmarkByName) {
 // easy unrealizable, filtered to keep CI time small.
 TEST(SuiteTest, RunnerSolvesFilteredSubset) {
   SuiteOptions Opts;
-  Opts.Algo.TimeoutMs = 15000;
+  Opts.Config.Algo.TimeoutMs = 15000;
   Opts.Algorithms = {AlgorithmKind::SE2GIS};
-  Opts.Filter = "alist/count_key";
-  Opts.Verbose = false;
+  Opts.Config.Filter = "alist/count_key";
+  Opts.Config.Verbose = false;
   auto Recs = runSuite(Opts);
   ASSERT_EQ(Recs.size(), 1u);
   EXPECT_TRUE(isSolved(Recs[0])) << Recs[0].Result.Detail;
@@ -60,10 +60,10 @@ TEST(SuiteTest, RunnerSolvesFilteredSubset) {
 
 TEST(SuiteTest, RunnerDetectsUnrealizableSubset) {
   SuiteOptions Opts;
-  Opts.Algo.TimeoutMs = 15000;
+  Opts.Config.Algo.TimeoutMs = 15000;
   Opts.Algorithms = {AlgorithmKind::SE2GIS, AlgorithmKind::SEGISUC};
-  Opts.Filter = "unreal/min_no_invariant";
-  Opts.Verbose = false;
+  Opts.Config.Filter = "unreal/min_no_invariant";
+  Opts.Config.Verbose = false;
   auto Recs = runSuite(Opts);
   ASSERT_EQ(Recs.size(), 2u);
   for (const SuiteRecord &R : Recs)
@@ -82,8 +82,8 @@ TEST_P(SolutionAgreement, MatchesReferenceOnSamples) {
   Problem P = loadBenchmark(*Def);
   AlgoOptions Opts;
   Opts.TimeoutMs = 20000;
-  RunResult R = runSE2GIS(P, Opts);
-  ASSERT_EQ(R.O, Outcome::Realizable) << R.Detail;
+  Outcome R = runSE2GIS(P, Opts);
+  ASSERT_EQ(R.V, Verdict::Realizable) << R.Detail;
 
   // Sample bounded inputs satisfying the invariant and compare.
   Interpreter Ref(*P.Prog);

@@ -2,26 +2,32 @@
 ///
 /// \file
 /// The `se2gis` command-line tool: reads a problem file in the DSL and runs
-/// one of the algorithms on it.
+/// one of the algorithms on it through the SynthesisTask API.
 ///
 ///   se2gis [options] <problem-file>
-///     --algo se2gis|segis|segis+uc|portfolio   (default: se2gis)
-///     --timeout-ms N                           (default: 60000)
+///     --algo se2gis|segis|segis-uc|portfolio   (default: se2gis)
+///     --timeout N                              overall budget in seconds
+///                                              (0 = unlimited)
+///     --timeout-ms N                           the same in milliseconds
+///     --jobs N                                 worker threads for sweeps /
+///                                              portfolio bookkeeping
+///     --seed N                                 Z3 random seed
 ///     --print-problem                          echo the parsed components
 ///     --quiet                                  result line only
 ///
-/// Exit code: 0 realizable, 1 unrealizable, 2 timeout/failure, 64 usage.
+/// Flags override the SE2GIS_* environment (read via SolverConfig::fromEnv).
+/// Exit code: 0 realizable, 1 unrealizable, 2 timeout, 3 failure, 64 usage.
 ///
 //===----------------------------------------------------------------------===//
 
-#include "core/Algorithms.h"
-#include "core/Portfolio.h"
+#include "core/SynthesisTask.h"
 #include "frontend/Elaborate.h"
 #include "support/Diagnostics.h"
 
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <sstream>
 #include <string>
 
@@ -32,15 +38,16 @@ namespace {
 void usage() {
   std::fprintf(
       stderr,
-      "usage: se2gis [--algo se2gis|segis|segis+uc|portfolio] "
-      "[--timeout-ms N] [--print-problem] [--quiet] <problem-file>\n");
+      "usage: se2gis [--algo se2gis|segis|segis-uc|portfolio] [--timeout N]\n"
+      "              [--timeout-ms N] [--jobs N] [--seed N] [--print-problem]\n"
+      "              [--quiet] <problem-file>\n");
 }
 
 } // namespace
 
 int main(int argc, char **argv) {
-  std::string AlgoName = "se2gis";
-  std::int64_t TimeoutMs = 60000;
+  SolverConfig Config = SolverConfig::fromEnv(/*DefaultTimeoutMs=*/60000);
+  AlgorithmKind Algo = AlgorithmKind::SE2GIS;
   bool PrintProblem = false;
   bool Quiet = false;
   std::string Path;
@@ -48,9 +55,25 @@ int main(int argc, char **argv) {
   for (int I = 1; I < argc; ++I) {
     std::string Arg = argv[I];
     if (Arg == "--algo" && I + 1 < argc) {
-      AlgoName = argv[++I];
+      std::string Name = argv[++I];
+      auto K = parseAlgorithmName(Name);
+      if (!K) {
+        std::fprintf(stderr, "error: unknown algorithm '%s'\n", Name.c_str());
+        return 64;
+      }
+      Algo = *K;
+    } else if (Arg == "--timeout" && I + 1 < argc) {
+      // Seconds; 0 disables the deadline (Deadline::afterMs(<=0) is
+      // unlimited).
+      Config.Algo.TimeoutMs = std::atoll(argv[++I]) * 1000;
     } else if (Arg == "--timeout-ms" && I + 1 < argc) {
-      TimeoutMs = std::atoll(argv[++I]);
+      Config.Algo.TimeoutMs = std::atoll(argv[++I]);
+    } else if (Arg == "--jobs" && I + 1 < argc) {
+      long V = std::atol(argv[++I]);
+      Config.Jobs = V > 0 ? static_cast<unsigned>(V) : 0;
+    } else if (Arg == "--seed" && I + 1 < argc) {
+      long long V = std::atoll(argv[++I]);
+      Config.Algo.Seed = V > 0 ? static_cast<unsigned>(V) : 0;
     } else if (Arg == "--print-problem") {
       PrintProblem = true;
     } else if (Arg == "--quiet") {
@@ -79,52 +102,37 @@ int main(int argc, char **argv) {
   std::ostringstream Buf;
   Buf << In.rdbuf();
 
-  Problem P;
+  std::shared_ptr<const Problem> P;
   try {
-    P = loadProblem(Buf.str());
+    P = std::make_shared<const Problem>(loadProblem(Buf.str()));
   } catch (const UserError &E) {
     std::fprintf(stderr, "error: %s\n", E.what());
     return 64;
   }
 
   if (PrintProblem) {
-    std::printf("reference:      %s\n", P.Reference.c_str());
-    std::printf("target:         %s\n", P.Target.c_str());
-    std::printf("representation: %s%s\n", P.Repr.c_str(),
-                P.ReprIdentity ? " (identity)" : "");
+    std::printf("reference:      %s\n", P->Reference.c_str());
+    std::printf("target:         %s\n", P->Target.c_str());
+    std::printf("representation: %s%s\n", P->Repr.c_str(),
+                P->ReprIdentity ? " (identity)" : "");
     std::printf("invariant:      %s\n",
-                P.Invariant.empty() ? "(true)" : P.Invariant.c_str());
+                P->Invariant.empty() ? "(true)" : P->Invariant.c_str());
     std::printf("unknowns:      ");
-    for (const UnknownSig &U : P.Unknowns)
+    for (const UnknownSig &U : P->Unknowns)
       std::printf(" $%s/%zu", U.Name.c_str(), U.ArgTypes.size());
     std::printf("\n");
   }
 
-  AlgoOptions Opts;
-  Opts.TimeoutMs = TimeoutMs;
-
-  RunResult R;
-  if (AlgoName == "se2gis") {
-    R = runSE2GIS(P, Opts);
-  } else if (AlgoName == "segis") {
-    R = runSEGIS(P, Opts, /*WithUnrealizabilityChecker=*/false);
-  } else if (AlgoName == "segis+uc") {
-    R = runSEGIS(P, Opts, /*WithUnrealizabilityChecker=*/true);
-  } else if (AlgoName == "portfolio") {
-    R = runPortfolio(P, Opts);
-  } else {
-    std::fprintf(stderr, "error: unknown algorithm '%s'\n",
-                 AlgoName.c_str());
-    return 64;
-  }
+  SynthesisTask Task(P, Algo);
+  Outcome R = Task.run(Config);
 
   std::printf("%s: %s (%.1f ms, steps %s)\n", Path.c_str(),
-              outcomeName(R.O), R.Stats.ElapsedMs, R.Stats.Steps.c_str());
+              verdictName(R.V), R.Stats.ElapsedMs, R.Stats.Steps.c_str());
   if (!Quiet)
     std::printf("telemetry: %s\n", R.Stats.Counters.str().c_str());
   if (!Quiet) {
-    if (R.O == Outcome::Realizable) {
-      std::printf("%s", solutionToString(P, R.Solution).c_str());
+    if (R.V == Verdict::Realizable) {
+      std::printf("%s", solutionToString(*P, R.Solution).c_str());
       if (R.Stats.SolutionProvedInductive)
         std::printf("(solution proved correct by induction)\n");
       else
@@ -132,13 +140,21 @@ int main(int argc, char **argv) {
     } else if (!R.Detail.empty()) {
       std::printf("%s\n", R.Detail.c_str());
     }
+    if (R.V == Verdict::Timeout && !R.Stats.LastCandidate.empty())
+      std::printf("partial progress (%d refinements, %d coarsenings); "
+                  "last candidate:\n%s",
+                  R.Stats.Refinements, R.Stats.Coarsenings,
+                  R.Stats.LastCandidate.c_str());
   }
-  switch (R.O) {
-  case Outcome::Realizable:
+  switch (R.V) {
+  case Verdict::Realizable:
     return 0;
-  case Outcome::Unrealizable:
+  case Verdict::Unrealizable:
     return 1;
-  default:
+  case Verdict::Timeout:
     return 2;
+  case Verdict::Failed:
+    return 3;
   }
+  return 3;
 }
