@@ -13,6 +13,13 @@
 # asserting that every started run records a verdict — timed-out runs must
 # come back as "timeout" lines, never hangs or missing records.
 #
+# A fourth pass exercises the memoization subsystem (src/cache/): the same
+# filtered sub-suite runs twice with SE2GIS_CACHE=disk against a fresh store
+# (cold, then warm). The verdicts must be identical, the warm sweep's perf
+# JSON must report a nonzero SMT-cache hit count, and the pass prints the
+# warm hit rate and wall-clock speedup (BENCH_smoke_cold.json /
+# BENCH_smoke_warm.json).
+#
 # Usage: scripts/bench_smoke.sh [build-dir] [jobs] [filter]
 #   build-dir  default: build
 #   jobs       default: nproc
@@ -106,3 +113,51 @@ if [ "$STARTED" -eq 0 ] || [ "$STARTED" != "$VERDICTS" ]; then
 fi
 TIMEOUTS=$(grep -c ' timeout ' "$OUT_DIR/smoke_deadline.out.log" || true)
 echo "[smoke] deadline pass: $STARTED runs, $STARTED verdicts ($TIMEOUTS timeout)"
+
+# --- Cache pass: cold-then-warm double sweep against a fresh store --------
+CACHE_DIR="$OUT_DIR/smoke-cache"
+rm -rf "$CACHE_DIR"
+
+cache_sweep() { # cache_sweep <json-path> <stdout-path>
+  SE2GIS_JOBS=$JOBS SE2GIS_PERF_JSON=$1 SE2GIS_FILTER=$FILTER \
+    SE2GIS_TIMEOUT_MS=${SE2GIS_TIMEOUT_MS:-20000} \
+    SE2GIS_CACHE=disk SE2GIS_CACHE_DIR="$CACHE_DIR" \
+    "$DRIVER" >"$2" 2>"$2.log"
+}
+perf_key() { # perf_key <json-path> <key>  (no jq dependency)
+  sed -n "s/.*\"$2\":\([0-9][0-9]*\).*/\1/p" "$1" | head -n1
+}
+
+echo "[smoke] cache pass: cold sweep (SE2GIS_CACHE=disk, fresh store)..."
+T3=$(date +%s.%N)
+cache_sweep "$OUT_DIR/BENCH_smoke_cold.json" "$OUT_DIR/smoke_cold.out"
+T4=$(date +%s.%N)
+echo "[smoke] cache pass: warm sweep (same store)..."
+cache_sweep "$OUT_DIR/BENCH_smoke_warm.json" "$OUT_DIR/smoke_warm.out"
+T5=$(date +%s.%N)
+
+# Warm-start correctness: the cached second sweep must reproduce the cold
+# sweep's verdicts exactly.
+outcomes "$OUT_DIR/smoke_cold.out"
+outcomes "$OUT_DIR/smoke_warm.out"
+if ! diff -u "$OUT_DIR/smoke_cold.out.outcomes" "$OUT_DIR/smoke_warm.out.outcomes"; then
+  echo "[smoke] FAIL: warm (cached) outcomes diverge from the cold sweep" >&2
+  exit 1
+fi
+echo "[smoke] cache pass: cold and warm verdicts identical"
+
+HITS=$(perf_key "$OUT_DIR/BENCH_smoke_warm.json" cache_smt_hits)
+MISSES=$(perf_key "$OUT_DIR/BENCH_smoke_warm.json" cache_smt_misses)
+if [ -z "$HITS" ] || [ "$HITS" -eq 0 ]; then
+  echo "[smoke] FAIL: warm sweep reported no SMT-cache hits" \
+       "(cache_smt_hits=${HITS:-missing} in BENCH_smoke_warm.json)" >&2
+  exit 1
+fi
+COLD_S=$(echo "$T4 $T3" | awk '{printf "%.1f", $1-$2}')
+WARM_S=$(echo "$T5 $T4" | awk '{printf "%.1f", $1-$2}')
+RATE=$(echo "$HITS ${MISSES:-0}" | awk '{printf "%.1f", 100*$1/($1+$2)}')
+SPEEDUP=$(echo "$COLD_S $WARM_S" | awk '{printf "%.2f", ($2 > 0 ? $1 / $2 : 0)}')
+echo "[smoke] cache pass: warm SMT hit rate ${RATE}% ($HITS hits," \
+     "${MISSES:-0} misses); cold ${COLD_S}s -> warm ${WARM_S}s" \
+     "(speedup ${SPEEDUP}x)"
+echo "[smoke] perf summaries: $OUT_DIR/BENCH_smoke_cold.json $OUT_DIR/BENCH_smoke_warm.json"

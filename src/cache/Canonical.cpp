@@ -1,0 +1,563 @@
+//===- Canonical.cpp ------------------------------------------------------===//
+
+#include "cache/Canonical.h"
+
+#include "lang/Program.h"
+#include "synth/Grammar.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+using namespace se2gis;
+
+// --- Hash128 rendering --------------------------------------------------===//
+
+std::string Hash128::hex() const {
+  static const char *Digits = "0123456789abcdef";
+  std::string S(32, '0');
+  for (int I = 0; I < 16; ++I) {
+    std::uint64_t W = I < 8 ? Hi : Lo;
+    int Shift = 56 - 8 * (I % 8);
+    unsigned char B = static_cast<unsigned char>((W >> Shift) & 0xff);
+    S[2 * I] = Digits[B >> 4];
+    S[2 * I + 1] = Digits[B & 0xf];
+  }
+  return S;
+}
+
+bool Hash128::fromHex(const std::string &S, Hash128 &Out) {
+  if (S.size() != 32)
+    return false;
+  auto Nibble = [](char C, unsigned &V) {
+    if (C >= '0' && C <= '9')
+      V = static_cast<unsigned>(C - '0');
+    else if (C >= 'a' && C <= 'f')
+      V = static_cast<unsigned>(C - 'a') + 10;
+    else
+      return false;
+    return true;
+  };
+  Out = Hash128{};
+  for (int I = 0; I < 32; ++I) {
+    unsigned V = 0;
+    if (!Nibble(S[I], V))
+      return false;
+    std::uint64_t &W = I < 16 ? Out.Hi : Out.Lo;
+    W = (W << 4) | V;
+  }
+  return true;
+}
+
+Hash128 se2gis::hash128String(Hash128 H, const std::string &S) {
+  H = hash128Combine(H, S.size());
+  // Pack 8 bytes per word; the length prefix disambiguates the zero padding
+  // of the final partial word.
+  std::uint64_t W = 0;
+  int N = 0;
+  for (char C : S) {
+    W = (W << 8) | static_cast<unsigned char>(C);
+    if (++N == 8) {
+      H = hash128Combine(H, W);
+      W = 0;
+      N = 0;
+    }
+  }
+  if (N)
+    H = hash128Combine(H, W);
+  return H;
+}
+
+// --- Shape hashing (pass 1) ---------------------------------------------===//
+
+namespace {
+
+/// Domain-separation tags; distinct per node kind and query section so that
+/// e.g. a hard assertion can never collide with the same formula soft.
+enum : std::uint64_t {
+  TagVar = 0x11,
+  TagIntLit = 0x12,
+  TagBoolLit = 0x13,
+  TagOp = 0x14,
+  TagTuple = 0x15,
+  TagProj = 0x16,
+  TagCtor = 0x17,
+  TagCall = 0x18,
+  TagUnknown = 0x19,
+  TagHole = 0x1a,
+  TagTyInt = 0x21,
+  TagTyBool = 0x22,
+  TagTyTuple = 0x23,
+  TagTyData = 0x24,
+  TagHardSection = 0x31,
+  TagSoftSection = 0x32,
+  TagRequestSection = 0x33,
+  TagSystemSection = 0x34,
+  TagGrammar = 0x35,
+  TagUnknownSig = 0x36
+};
+
+std::uint64_t fold64(std::uint64_t Seed, std::uint64_t V) {
+  return hashCombine(Seed, V);
+}
+
+std::uint64_t typeHash64(const TypePtr &Ty) {
+  switch (Ty->getKind()) {
+  case TypeKind::Int:
+    return TagTyInt;
+  case TypeKind::Bool:
+    return TagTyBool;
+  case TypeKind::Tuple: {
+    std::uint64_t H = TagTyTuple;
+    for (const TypePtr &E : Ty->tupleElems())
+      H = fold64(H, typeHash64(E));
+    return H;
+  }
+  case TypeKind::Data: {
+    // Datatypes hash by name, not declaration pointer, so keys survive
+    // re-parsing the same benchmark in another process.
+    std::uint64_t H = TagTyData;
+    const std::string &N = Ty->getDatatype()->getName();
+    H = fold64(H, N.size());
+    for (char C : N)
+      H = fold64(H, static_cast<unsigned char>(C));
+    return H;
+  }
+  }
+  return 0;
+}
+
+std::uint64_t stringHash64(std::uint64_t Seed, const std::string &S) {
+  Seed = fold64(Seed, S.size());
+  for (char C : S)
+    Seed = fold64(Seed, static_cast<unsigned char>(C));
+  return Seed;
+}
+
+bool isCommutative(OpKind Op) {
+  switch (Op) {
+  case OpKind::Add:
+  case OpKind::Mul:
+  case OpKind::Min:
+  case OpKind::Max:
+  case OpKind::Eq:
+  case OpKind::Ne:
+  case OpKind::And:
+  case OpKind::Or:
+    return true;
+  default:
+    return false;
+  }
+}
+
+/// Per-traversal memo of shape hashes; terms are shared subgraphs, so this
+/// keeps both passes linear in the DAG size.
+using ShapeMemo = std::unordered_map<const Term *, std::uint64_t>;
+
+std::uint64_t shapeHashMemo(const TermPtr &T, ShapeMemo &Memo);
+
+/// Order-independent refinement of variable identity (one Weisfeiler–Lehman
+/// round): a variable's *color* is a hash of the multiset of its occurrence
+/// paths, where a path folds the node kinds from the assertion's root down —
+/// including the argument position only for non-commutative positions. Two
+/// constructions of the same query yield the same colors, while variables
+/// with different occurrence patterns (e.g. the `x` of `{x+y>3, x<10}`
+/// versus its `y`) get different ones, so the canonical fold below can break
+/// commutative-operand ties without reintroducing construction order.
+class VarColoring {
+public:
+  /// Accumulates the occurrence paths of every variable under \p Root. The
+  /// path is seeded with the root's (name-insensitive) shape hash plus the
+  /// query section, so colors don't depend on the assertion list order.
+  void addRoot(const TermPtr &Root, std::uint64_t SectionTag,
+               ShapeMemo &Shapes) {
+    walk(Root, fold64(fold64(0x5eed, SectionTag),
+                      shapeHashMemo(Root, Shapes)));
+  }
+
+  void finalize() {
+    for (auto &[Id, Paths] : PathSets) {
+      std::sort(Paths.begin(), Paths.end()); // multiset: order-independent
+      std::uint64_t C = 0xC0105;
+      for (std::uint64_t P : Paths)
+        C = fold64(C, P);
+      Colors[Id] = C;
+    }
+  }
+
+  std::uint64_t colorOf(unsigned Id) const {
+    auto It = Colors.find(Id);
+    return It == Colors.end() ? 0 : It->second;
+  }
+
+private:
+  void walk(const TermPtr &T, std::uint64_t Path) {
+    switch (T->getKind()) {
+    case TermKind::Var:
+      PathSets[T->getVar()->Id].push_back(Path);
+      return;
+    case TermKind::IntLit:
+    case TermKind::BoolLit:
+    case TermKind::Hole:
+      return;
+    case TermKind::Op: {
+      std::uint64_t P =
+          fold64(fold64(Path, TagOp), static_cast<std::uint64_t>(T->getOp()));
+      bool Comm = isCommutative(T->getOp());
+      for (size_t I = 0; I < T->numArgs(); ++I)
+        walk(T->getArg(I), Comm ? P : fold64(P, I));
+      return;
+    }
+    case TermKind::Tuple: {
+      std::uint64_t P = fold64(Path, TagTuple);
+      for (size_t I = 0; I < T->numArgs(); ++I)
+        walk(T->getArg(I), fold64(P, I));
+      return;
+    }
+    case TermKind::Proj:
+      walk(T->getArg(0), fold64(fold64(Path, TagProj), T->getIndex()));
+      return;
+    case TermKind::Ctor: {
+      std::uint64_t P = stringHash64(fold64(Path, TagCtor), T->getCtor()->Name);
+      for (size_t I = 0; I < T->numArgs(); ++I)
+        walk(T->getArg(I), fold64(P, I));
+      return;
+    }
+    case TermKind::Call:
+    case TermKind::Unknown: {
+      std::uint64_t P = stringHash64(
+          fold64(Path, T->getKind() == TermKind::Call ? TagCall : TagUnknown),
+          T->getCallee());
+      for (size_t I = 0; I < T->numArgs(); ++I)
+        walk(T->getArg(I), fold64(P, I));
+      return;
+    }
+    }
+  }
+
+  std::unordered_map<unsigned, std::vector<std::uint64_t>> PathSets;
+  std::unordered_map<unsigned, std::uint64_t> Colors;
+};
+
+/// Shape hash refined by variable colors: identical to \c shapeHashMemo
+/// except that Var nodes fold in their color, so commutative ties between
+/// structurally-equal-but-differently-occurring variables resolve the same
+/// way regardless of construction order. Only used for *ordering* — the
+/// final key is produced by the slot-assigning fold, so an unresolved tie
+/// costs a potential cache miss, never a wrong hit.
+std::uint64_t coloredShapeHashMemo(const TermPtr &T, const VarColoring &Colors,
+                                   ShapeMemo &Memo) {
+  auto It = Memo.find(T.get());
+  if (It != Memo.end())
+    return It->second;
+  std::uint64_t H = 0;
+  switch (T->getKind()) {
+  case TermKind::Var:
+    H = fold64(fold64(TagVar, typeHash64(T->getType())),
+               Colors.colorOf(T->getVar()->Id));
+    break;
+  case TermKind::IntLit:
+    H = fold64(TagIntLit, static_cast<std::uint64_t>(T->getIntValue()));
+    break;
+  case TermKind::BoolLit:
+    H = fold64(TagBoolLit, T->getBoolValue());
+    break;
+  case TermKind::Op: {
+    H = fold64(TagOp, static_cast<std::uint64_t>(T->getOp()));
+    std::vector<std::uint64_t> Hs;
+    Hs.reserve(T->numArgs());
+    for (const TermPtr &A : T->getArgs())
+      Hs.push_back(coloredShapeHashMemo(A, Colors, Memo));
+    if (isCommutative(T->getOp()))
+      std::sort(Hs.begin(), Hs.end());
+    for (std::uint64_t A : Hs)
+      H = fold64(H, A);
+    break;
+  }
+  case TermKind::Tuple:
+    H = TagTuple;
+    for (const TermPtr &A : T->getArgs())
+      H = fold64(H, coloredShapeHashMemo(A, Colors, Memo));
+    break;
+  case TermKind::Proj:
+    H = fold64(TagProj, T->getIndex());
+    H = fold64(H, coloredShapeHashMemo(T->getArg(0), Colors, Memo));
+    break;
+  case TermKind::Ctor:
+    H = stringHash64(TagCtor, T->getCtor()->Name);
+    for (const TermPtr &A : T->getArgs())
+      H = fold64(H, coloredShapeHashMemo(A, Colors, Memo));
+    break;
+  case TermKind::Call:
+    H = stringHash64(TagCall, T->getCallee());
+    for (const TermPtr &A : T->getArgs())
+      H = fold64(H, coloredShapeHashMemo(A, Colors, Memo));
+    break;
+  case TermKind::Unknown:
+    H = stringHash64(TagUnknown, T->getCallee());
+    for (const TermPtr &A : T->getArgs())
+      H = fold64(H, coloredShapeHashMemo(A, Colors, Memo));
+    break;
+  case TermKind::Hole:
+    H = fold64(TagHole, T->getIndex());
+    H = fold64(H, typeHash64(T->getType()));
+    break;
+  }
+  Memo.emplace(T.get(), H);
+  return H;
+}
+
+std::uint64_t shapeHashMemo(const TermPtr &T, ShapeMemo &Memo) {
+  auto It = Memo.find(T.get());
+  if (It != Memo.end())
+    return It->second;
+  std::uint64_t H = 0;
+  switch (T->getKind()) {
+  case TermKind::Var:
+    // Name- and id-insensitive: only the type shapes the hash here; the
+    // renaming pass below distinguishes *which* variable occurs where.
+    H = fold64(TagVar, typeHash64(T->getType()));
+    break;
+  case TermKind::IntLit:
+    H = fold64(TagIntLit, static_cast<std::uint64_t>(T->getIntValue()));
+    break;
+  case TermKind::BoolLit:
+    H = fold64(TagBoolLit, T->getBoolValue());
+    break;
+  case TermKind::Op: {
+    H = fold64(TagOp, static_cast<std::uint64_t>(T->getOp()));
+    std::vector<std::uint64_t> Hs;
+    Hs.reserve(T->numArgs());
+    for (const TermPtr &A : T->getArgs())
+      Hs.push_back(shapeHashMemo(A, Memo));
+    if (isCommutative(T->getOp()))
+      std::sort(Hs.begin(), Hs.end());
+    for (std::uint64_t A : Hs)
+      H = fold64(H, A);
+    break;
+  }
+  case TermKind::Tuple:
+    H = TagTuple;
+    for (const TermPtr &A : T->getArgs())
+      H = fold64(H, shapeHashMemo(A, Memo));
+    break;
+  case TermKind::Proj:
+    H = fold64(TagProj, T->getIndex());
+    H = fold64(H, shapeHashMemo(T->getArg(0), Memo));
+    break;
+  case TermKind::Ctor:
+    H = stringHash64(TagCtor, T->getCtor()->Name);
+    for (const TermPtr &A : T->getArgs())
+      H = fold64(H, shapeHashMemo(A, Memo));
+    break;
+  case TermKind::Call:
+    H = stringHash64(TagCall, T->getCallee());
+    for (const TermPtr &A : T->getArgs())
+      H = fold64(H, shapeHashMemo(A, Memo));
+    break;
+  case TermKind::Unknown:
+    H = stringHash64(TagUnknown, T->getCallee());
+    for (const TermPtr &A : T->getArgs())
+      H = fold64(H, shapeHashMemo(A, Memo));
+    break;
+  case TermKind::Hole:
+    H = fold64(TagHole, T->getIndex());
+    H = fold64(H, typeHash64(T->getType()));
+    break;
+  }
+  Memo.emplace(T.get(), H);
+  return H;
+}
+
+/// Pass 2: folds \p T into a 128-bit accumulator, assigning canonical
+/// indices to variables on first visit and visiting commutative operands in
+/// color-refined shape-hash order. The ordering is name- and id-insensitive,
+/// so two alpha-equivalent queries walk their operands in the same order and
+/// hand out the same indices.
+class CanonicalFolder {
+public:
+  explicit CanonicalFolder(const VarColoring &Colors) : Colors(Colors) {}
+
+  Hash128 fold(Hash128 H, const TermPtr &T) {
+    switch (T->getKind()) {
+    case TermKind::Var:
+      H = hash128Combine(H, TagVar);
+      H = hash128Combine(H, slotOf(T->getVar()));
+      return hash128Combine(H, typeHash64(T->getType()));
+    case TermKind::IntLit:
+      H = hash128Combine(H, TagIntLit);
+      return hash128Combine(H, static_cast<std::uint64_t>(T->getIntValue()));
+    case TermKind::BoolLit:
+      H = hash128Combine(H, TagBoolLit);
+      return hash128Combine(H, T->getBoolValue());
+    case TermKind::Op: {
+      H = hash128Combine(H, TagOp);
+      H = hash128Combine(H, static_cast<std::uint64_t>(T->getOp()));
+      H = hash128Combine(H, T->numArgs());
+      for (const TermPtr &A : ordered(T))
+        H = fold(H, A);
+      return H;
+    }
+    case TermKind::Tuple:
+      H = hash128Combine(H, TagTuple);
+      H = hash128Combine(H, T->numArgs());
+      for (const TermPtr &A : T->getArgs())
+        H = fold(H, A);
+      return H;
+    case TermKind::Proj:
+      H = hash128Combine(H, TagProj);
+      H = hash128Combine(H, T->getIndex());
+      return fold(H, T->getArg(0));
+    case TermKind::Ctor:
+      H = hash128Combine(H, TagCtor);
+      H = hash128String(H, T->getCtor()->Name);
+      for (const TermPtr &A : T->getArgs())
+        H = fold(H, A);
+      return H;
+    case TermKind::Call:
+      H = hash128Combine(H, TagCall);
+      H = hash128String(H, T->getCallee());
+      for (const TermPtr &A : T->getArgs())
+        H = fold(H, A);
+      return H;
+    case TermKind::Unknown:
+      H = hash128Combine(H, TagUnknown);
+      H = hash128String(H, T->getCallee());
+      for (const TermPtr &A : T->getArgs())
+        H = fold(H, A);
+      return H;
+    case TermKind::Hole:
+      H = hash128Combine(H, TagHole);
+      H = hash128Combine(H, T->getIndex());
+      return hash128Combine(H, typeHash64(T->getType()));
+    }
+    return H;
+  }
+
+  /// Visits \p Terms as a multiset: sorted by colored shape hash (stable on
+  /// ties, so equal-shaped members keep their relative order) under \p Tag.
+  Hash128 foldMultiset(Hash128 H, std::uint64_t Tag,
+                       const std::vector<TermPtr> &Terms) {
+    std::vector<size_t> Order(Terms.size());
+    for (size_t I = 0; I < Order.size(); ++I)
+      Order[I] = I;
+    std::stable_sort(Order.begin(), Order.end(), [&](size_t A, size_t B) {
+      return coloredShapeHashMemo(Terms[A], Colors, ColoredShapes) <
+             coloredShapeHashMemo(Terms[B], Colors, ColoredShapes);
+    });
+    H = hash128Combine(H, Tag);
+    H = hash128Combine(H, Terms.size());
+    for (size_t I : Order)
+      H = fold(H, Terms[I]);
+    return H;
+  }
+
+  std::vector<VarPtr> takeVarOrder() { return std::move(VarOrder); }
+
+private:
+  std::uint64_t slotOf(const VarPtr &V) {
+    auto [It, Fresh] = Slots.emplace(V->Id, VarOrder.size());
+    if (Fresh)
+      VarOrder.push_back(V);
+    return It->second;
+  }
+
+  /// Commutative operands in colored shape-hash order (stable on ties).
+  std::vector<TermPtr> ordered(const TermPtr &T) {
+    std::vector<TermPtr> Args = T->getArgs();
+    if (isCommutative(T->getOp()))
+      std::stable_sort(Args.begin(), Args.end(),
+                       [&](const TermPtr &A, const TermPtr &B) {
+                         return coloredShapeHashMemo(A, Colors,
+                                                     ColoredShapes) <
+                                coloredShapeHashMemo(B, Colors, ColoredShapes);
+                       });
+    return Args;
+  }
+
+  const VarColoring &Colors;
+  ShapeMemo ColoredShapes; // separate memo: colored hashes differ per query
+  std::unordered_map<unsigned, std::uint64_t> Slots;
+  std::vector<VarPtr> VarOrder;
+};
+
+} // namespace
+
+// --- Public entry points ------------------------------------------------===//
+
+std::uint64_t se2gis::shapeHash(const TermPtr &T) {
+  ShapeMemo Memo;
+  return shapeHashMemo(T, Memo);
+}
+
+Hash128 se2gis::canonicalTermHash(const TermPtr &T) {
+  ShapeMemo Memo;
+  VarColoring Colors;
+  Colors.addRoot(T, TagSystemSection, Memo);
+  Colors.finalize();
+  CanonicalFolder F(Colors);
+  return F.fold(hash128Seed(TagSystemSection), T);
+}
+
+CanonicalQuery se2gis::canonicalizeQuery(const std::vector<TermPtr> &Hard,
+                                         const std::vector<TermPtr> &Soft,
+                                         const std::vector<TermPtr> &Requests) {
+  ShapeMemo Memo;
+  VarColoring Colors;
+  for (const TermPtr &T : Hard)
+    Colors.addRoot(T, TagHardSection, Memo);
+  for (const TermPtr &T : Soft)
+    Colors.addRoot(T, TagSoftSection, Memo);
+  for (const TermPtr &T : Requests)
+    Colors.addRoot(T, TagRequestSection, Memo);
+  Colors.finalize();
+  CanonicalFolder F(Colors);
+  Hash128 H = hash128Seed(TagHardSection);
+  H = F.foldMultiset(H, TagHardSection, Hard);
+  H = F.foldMultiset(H, TagSoftSection, Soft);
+  // Request order is semantic (values come back in request order), so the
+  // requests fold as a sequence, not a multiset.
+  H = hash128Combine(H, TagRequestSection);
+  H = hash128Combine(H, Requests.size());
+  for (const TermPtr &R : Requests)
+    H = F.fold(H, R);
+  CanonicalQuery Q;
+  Q.Key = H;
+  Q.VarOrder = F.takeVarOrder();
+  return Q;
+}
+
+Hash128 se2gis::canonicalSystemHash(const std::vector<TermPtr> &Terms) {
+  ShapeMemo Memo;
+  VarColoring Colors;
+  for (const TermPtr &T : Terms)
+    Colors.addRoot(T, TagSystemSection, Memo);
+  Colors.finalize();
+  CanonicalFolder F(Colors);
+  return F.foldMultiset(hash128Seed(TagSystemSection), TagSystemSection,
+                        Terms);
+}
+
+Hash128 se2gis::hashGrammarConfig(Hash128 H, const GrammarConfig &Config) {
+  H = hash128Combine(H, TagGrammar);
+  std::uint64_t Flags = 0;
+  Flags |= Config.AllowMinMax ? 1u : 0u;
+  Flags |= Config.AllowMul ? 2u : 0u;
+  Flags |= Config.AllowDiv ? 4u : 0u;
+  Flags |= Config.AllowAbs ? 8u : 0u;
+  Flags |= Config.AllowMod ? 16u : 0u;
+  Flags |= Config.AllowIte ? 32u : 0u;
+  H = hash128Combine(H, Flags);
+  H = hash128Combine(H, Config.Constants.size());
+  for (long long C : Config.Constants) // std::set: deterministic order
+    H = hash128Combine(H, static_cast<std::uint64_t>(C));
+  return H;
+}
+
+Hash128 se2gis::hashUnknownSig(Hash128 H, const UnknownSig &Sig) {
+  H = hash128Combine(H, TagUnknownSig);
+  H = hash128String(H, Sig.Name);
+  H = hash128Combine(H, Sig.ArgTypes.size());
+  for (const TypePtr &Ty : Sig.ArgTypes)
+    H = hash128Combine(H, typeHash64(Ty));
+  return hash128Combine(H, typeHash64(Sig.RetTy));
+}

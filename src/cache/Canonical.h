@@ -1,0 +1,79 @@
+//===- Canonical.h - Canonical structural hashing of queries ----*- C++-*-===//
+///
+/// \file
+/// The normalizer that makes the memoization subsystem content-addressed:
+/// two queries that are equal modulo variable naming and commutative operand
+/// order collide on the same 128-bit key. Three normalizations apply:
+///
+///  1. *Commutative-operand sorting*: the operand lists of And/Or/Add/Mul/
+///     Min/Max/Eq/Ne are visited in a canonical order (by name-insensitive
+///     shape hash), so `x + y` and `y + x` key identically.
+///  2. *De-Bruijn variable renaming*: variables are numbered by first
+///     occurrence in the canonical traversal, so the globally unique ids
+///     minted by \c freshVar (which differ run to run and between
+///     structurally identical queries) never reach the key.
+///  3. *Assertion-set ordering*: the hard and soft assertion lists of a
+///     query are each folded as multisets (sorted by shape hash), so the
+///     order in which a caller happened to \c add assertions is irrelevant.
+///
+/// Everything fed into the hash is a pure function of term structure —
+/// no pointers, no container iteration order, no random seeds — so keys are
+/// stable across runs, SE2GIS_SEED values, and processes; that stability is
+/// what makes the persistent cross-run store sound.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SE2GIS_CACHE_CANONICAL_H
+#define SE2GIS_CACHE_CANONICAL_H
+
+#include "ast/Term.h"
+#include "cache/Hash128.h"
+
+#include <vector>
+
+namespace se2gis {
+
+struct GrammarConfig;
+struct UnknownSig;
+
+/// Result of canonicalizing a whole SMT query: the content key plus the
+/// variable order the key implies. \c VarOrder[i] is the concrete variable
+/// occupying canonical slot i; a cached model stores one value per slot, so
+/// a hit on an alpha-equivalent query rebinds the values to *its* variables
+/// through this table.
+struct CanonicalQuery {
+  Hash128 Key;
+  std::vector<VarPtr> VarOrder;
+};
+
+/// Name-insensitive 64-bit shape hash of \p T: variables contribute only
+/// their type, commutative operands are folded as multisets. Used to order
+/// assertion lists and commutative operands before the renaming pass.
+std::uint64_t shapeHash(const TermPtr &T);
+
+/// Canonical 128-bit hash of a single term (renaming + operand sorting as
+/// described above, with the term as its own one-element query).
+Hash128 canonicalTermHash(const TermPtr &T);
+
+/// Canonicalizes a full query: hard assertions and soft assertions fold as
+/// two domain-separated multisets, value requests fold in order (results
+/// are returned in request order, so their order is semantic). Variable
+/// numbering is shared across all three sections.
+CanonicalQuery canonicalizeQuery(const std::vector<TermPtr> &Hard,
+                                 const std::vector<TermPtr> &Soft,
+                                 const std::vector<TermPtr> &Requests);
+
+/// Canonical hash of a term *system* (e.g. the equations of an SGE): the
+/// terms fold as a multiset with variable numbering shared across members,
+/// so systems equal modulo naming and equation order collide.
+Hash128 canonicalSystemHash(const std::vector<TermPtr> &Terms);
+
+/// Folds a grammar configuration (flags + constant pool) into \p H.
+Hash128 hashGrammarConfig(Hash128 H, const GrammarConfig &Config);
+
+/// Folds an unknown-function signature (name + arg/ret types) into \p H.
+Hash128 hashUnknownSig(Hash128 H, const UnknownSig &Sig);
+
+} // namespace se2gis
+
+#endif // SE2GIS_CACHE_CANONICAL_H

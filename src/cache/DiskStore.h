@@ -1,0 +1,96 @@
+//===- DiskStore.h - Persistent content-addressed store ---------*- C++-*-===//
+///
+/// \file
+/// The cross-run layer of the memoization subsystem: named append-only
+/// segments of (128-bit key, payload) records under one cache directory.
+///
+/// Format: `<dir>/store.meta` carries a version header (a store with an
+/// unknown version is ignored wholesale, never half-read); each segment is
+/// `<dir>/<name>.jsonl`, one record per line:
+///
+///     {"k":"<32 hex>","p":"<escaped payload>","c":<crc32>}
+///
+/// where the CRC covers the key hex and the raw payload. Loading is
+/// crash-tolerant by construction: a torn tail (partial last line after a
+/// crash), a flipped bit (CRC mismatch), or any malformed line is skipped
+/// and counted, and later records win on duplicate keys, so an interrupted
+/// append degrades to a smaller cache — never a wrong one. Segments whose
+/// file outgrows the size bound are compacted on open (rewritten from the
+/// deduplicated survivors).
+///
+/// Appends are serialized by an internal mutex and flushed per record, so
+/// concurrent suite workers in one process interleave whole lines.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SE2GIS_CACHE_DISKSTORE_H
+#define SE2GIS_CACHE_DISKSTORE_H
+
+#include "cache/Hash128.h"
+
+#include <cstdint>
+#include <fstream>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace se2gis {
+
+class DiskStore {
+public:
+  /// Entries a segment holds after a load (last-wins deduplicated).
+  using SegmentMap = std::unordered_map<Hash128, std::string, Hash128Hasher>;
+
+  /// Opens (creating if needed) the store under \p Dir. On failure returns
+  /// nullptr with a human-readable reason in \p Error.
+  static std::unique_ptr<DiskStore> open(const std::string &Dir,
+                                         std::string &Error);
+
+  /// Loads segment \p Name, skipping corrupt/torn lines; compacts the file
+  /// when it exceeds \p CompactBytes (0 = never).
+  SegmentMap loadSegment(const std::string &Name,
+                         std::uint64_t CompactBytes = 64ull << 20);
+
+  /// Appends one record to segment \p Name (thread-safe, flushed).
+  void append(const std::string &Name, const Hash128 &K,
+              const std::string &Payload);
+
+  /// Telemetry of this store instance.
+  std::uint64_t bytesWritten() const { return BytesWritten; }
+  std::uint64_t bytesLoaded() const { return BytesLoaded; }
+  std::uint64_t corruptLinesSkipped() const { return CorruptSkipped; }
+
+  const std::string &dir() const { return Dir; }
+
+private:
+  explicit DiskStore(std::string Dir) : Dir(std::move(Dir)) {}
+
+  std::string segmentPath(const std::string &Name) const;
+  std::ofstream &appender(const std::string &Name);
+
+  std::string Dir;
+  std::mutex M;
+  std::unordered_map<std::string, std::ofstream> Appenders;
+  std::uint64_t BytesWritten = 0;
+  std::uint64_t BytesLoaded = 0;
+  std::uint64_t CorruptSkipped = 0;
+};
+
+/// CRC-32 (IEEE 802.3) of \p Data; exposed for tests that hand-corrupt
+/// store files.
+std::uint32_t crc32Of(const std::string &Data);
+
+/// Renders one store line (without trailing newline); exposed for tests.
+std::string formatStoreLine(const Hash128 &K, const std::string &Payload);
+
+/// Parses one store line; returns false on any malformation or CRC
+/// mismatch.
+bool parseStoreLine(const std::string &Line, Hash128 &KeyOut,
+                    std::string &PayloadOut);
+
+} // namespace se2gis
+
+#endif // SE2GIS_CACHE_DISKSTORE_H

@@ -1,0 +1,37 @@
+//===- SgeSolutionCache.cpp -----------------------------------------------===//
+
+#include "cache/SgeSolutionCache.h"
+
+#include "support/PerfCounters.h"
+
+using namespace se2gis;
+
+std::optional<SgeCacheEntry> SgeSolutionCache::lookup(const Hash128 &K) {
+  auto E = Mem.lookup(K);
+  perfAdd(E ? PerfCounter::CacheSgeHits : PerfCounter::CacheSgeMisses);
+  return E;
+}
+
+void SgeSolutionCache::insert(const Hash128 &K, SgeCacheEntry E) {
+  Mem.insert(K, std::move(E));
+}
+
+SgeSolutionCache &se2gis::sgeSolutionCache() {
+  static SgeSolutionCache C;
+  return C;
+}
+
+std::optional<PbeMemoEntry> PbeMemo::lookup(const Hash128 &K) {
+  auto E = Mem.lookup(K);
+  perfAdd(E ? PerfCounter::CachePbeHits : PerfCounter::CachePbeMisses);
+  return E;
+}
+
+void PbeMemo::insert(const Hash128 &K, PbeMemoEntry E) {
+  Mem.insert(K, std::move(E));
+}
+
+PbeMemo &se2gis::pbeMemo() {
+  static PbeMemo C;
+  return C;
+}

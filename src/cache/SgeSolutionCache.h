@@ -1,0 +1,86 @@
+//===- SgeSolutionCache.h - Solved-candidate and PBE memo caches *- C++-*-===//
+///
+/// \file
+/// The synthesis-side caches of the memoization subsystem (both in-memory:
+/// their payloads are live terms, cheap to rebuild and verified on use).
+///
+/// \c SgeSolutionCache maps a guarded-equation-system key (canonical system
+/// hash ⊎ grammar config ⊎ unknown signatures) to the solution that solved
+/// it. \c SgeSolver::solve uses a hit to *warm-start* its CEGIS loop: the
+/// cached candidate replaces the default initial candidate and goes through
+/// the full round-0 verification, so a wrong or stale entry costs one
+/// verification round and nothing else. The refinement/coarsening loops
+/// re-emit structurally equal systems across rounds, and the Portfolio's
+/// members emit them concurrently — both collide here.
+///
+/// \c PbeMemo memoizes enumerator runs: key = grammar ⊎ leaf values per
+/// example ⊎ outputs ⊎ size bound; payload = the found term (leaf-indexed
+/// text, so entries transfer between Enumerator instances with different
+/// variables) or a definitive "no term of this size fits". Negative
+/// entries are recorded only for exhausted searches, never deadline exits.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SE2GIS_CACHE_SGESOLUTIONCACHE_H
+#define SE2GIS_CACHE_SGESOLUTIONCACHE_H
+
+#include "cache/Canonical.h"
+#include "cache/ShardedCache.h"
+#include "eval/Interp.h"
+
+#include <optional>
+#include <string>
+
+namespace se2gis {
+
+/// A cached SGE solution: the solved bindings, with the parameter
+/// variables they are expressed over. Consumers re-express the bodies over
+/// their own parameters (the binding's Params align positionally with the
+/// unknown's signature).
+struct SgeCacheEntry {
+  UnknownBindings Solution;
+};
+
+class SgeSolutionCache {
+public:
+  /// \returns the solved candidate for system key \p K, if any.
+  std::optional<SgeCacheEntry> lookup(const Hash128 &K);
+
+  /// Records a solved system. Existing entries win (first solver there).
+  void insert(const Hash128 &K, SgeCacheEntry E);
+
+  void clear() { Mem.clear(); }
+  std::size_t size() const { return Mem.size(); }
+
+private:
+  ShardedCache<SgeCacheEntry> Mem{1 << 16};
+};
+
+SgeSolutionCache &sgeSolutionCache();
+
+/// One memoized PBE enumeration outcome.
+struct PbeMemoEntry {
+  /// False: the search space up to the size bound was exhausted with no
+  /// match (a definitive negative for this key).
+  bool Found = false;
+  /// When Found: the term in leaf-indexed text form (cache/TermIO.h).
+  std::string TermText;
+};
+
+class PbeMemo {
+public:
+  std::optional<PbeMemoEntry> lookup(const Hash128 &K);
+  void insert(const Hash128 &K, PbeMemoEntry E);
+
+  void clear() { Mem.clear(); }
+  std::size_t size() const { return Mem.size(); }
+
+private:
+  ShardedCache<PbeMemoEntry> Mem{1 << 18};
+};
+
+PbeMemo &pbeMemo();
+
+} // namespace se2gis
+
+#endif // SE2GIS_CACHE_SGESOLUTIONCACHE_H

@@ -1,0 +1,124 @@
+//===- ShardedCache.h - Thread-safe sharded hash cache ----------*- C++-*-===//
+///
+/// \file
+/// The concurrency substrate shared by every in-memory cache of the
+/// memoization subsystem: a fixed number of independently locked shards,
+/// selected by the key's own bits (the keys are 128-bit content hashes, so
+/// shard selection needs no further mixing). Suite workers and portfolio
+/// members hit different shards with high probability, so contention stays
+/// negligible without lock-free machinery.
+///
+/// Each shard is size-bounded with FIFO eviction: entries are immutable
+/// once inserted (content-addressed — a key determines its payload), so
+/// recency tracking buys little and FIFO keeps the hot path to one lock and
+/// zero allocation on hit.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SE2GIS_CACHE_SHARDEDCACHE_H
+#define SE2GIS_CACHE_SHARDEDCACHE_H
+
+#include "cache/Hash128.h"
+
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+namespace se2gis {
+
+/// Outcome of a cache insertion (for the caller's telemetry).
+struct CacheInsertResult {
+  /// False when the key was already present (the existing entry wins:
+  /// content-addressed entries are interchangeable, and keeping the old one
+  /// avoids invalidating concurrent readers' copies).
+  bool Inserted = false;
+  /// Entries evicted to make room.
+  std::size_t Evicted = 0;
+};
+
+template <typename ValueT> class ShardedCache {
+public:
+  static constexpr std::size_t NumShards = 16;
+
+  /// \param MaxEntries total capacity across shards (0 = unbounded).
+  explicit ShardedCache(std::size_t MaxEntries = 1 << 20)
+      : PerShardCap(MaxEntries ? (MaxEntries + NumShards - 1) / NumShards
+                               : 0) {}
+
+  /// \returns a copy of the entry for \p K, or nullopt.
+  std::optional<ValueT> lookup(const Hash128 &K) const {
+    const Shard &S = shardOf(K);
+    std::lock_guard<std::mutex> Lock(S.M);
+    auto It = S.Map.find(K);
+    if (It == S.Map.end())
+      return std::nullopt;
+    return It->second;
+  }
+
+  /// Inserts \p V under \p K unless present, evicting FIFO beyond the cap.
+  CacheInsertResult insert(const Hash128 &K, ValueT V) {
+    Shard &S = shardOf(K);
+    std::lock_guard<std::mutex> Lock(S.M);
+    CacheInsertResult R;
+    auto [It, Fresh] = S.Map.emplace(K, std::move(V));
+    (void)It;
+    if (!Fresh)
+      return R;
+    R.Inserted = true;
+    S.Fifo.push_back(K);
+    while (PerShardCap && S.Map.size() > PerShardCap) {
+      S.Map.erase(S.Fifo.front());
+      S.Fifo.pop_front();
+      ++R.Evicted;
+    }
+    return R;
+  }
+
+  void clear() {
+    for (Shard &S : Shards) {
+      std::lock_guard<std::mutex> Lock(S.M);
+      S.Map.clear();
+      S.Fifo.clear();
+    }
+  }
+
+  std::size_t size() const {
+    std::size_t N = 0;
+    for (const Shard &S : Shards) {
+      std::lock_guard<std::mutex> Lock(S.M);
+      N += S.Map.size();
+    }
+    return N;
+  }
+
+  /// Visits every entry (shard by shard, under that shard's lock). \p Fn
+  /// receives (key, value) and must not reenter the cache.
+  template <typename Fn> void forEach(Fn F) const {
+    for (const Shard &S : Shards) {
+      std::lock_guard<std::mutex> Lock(S.M);
+      for (const auto &[K, V] : S.Map)
+        F(K, V);
+    }
+  }
+
+private:
+  struct Shard {
+    mutable std::mutex M;
+    std::unordered_map<Hash128, ValueT, Hash128Hasher> Map;
+    std::deque<Hash128> Fifo;
+  };
+
+  Shard &shardOf(const Hash128 &K) { return Shards[K.Lo % NumShards]; }
+  const Shard &shardOf(const Hash128 &K) const {
+    return Shards[K.Lo % NumShards];
+  }
+
+  std::size_t PerShardCap;
+  Shard Shards[NumShards];
+};
+
+} // namespace se2gis
+
+#endif // SE2GIS_CACHE_SHARDEDCACHE_H

@@ -1,0 +1,123 @@
+//===- SmtQueryCache.cpp --------------------------------------------------===//
+
+#include "cache/SmtQueryCache.h"
+
+#include "cache/CacheConfig.h"
+#include "cache/TermIO.h"
+#include "support/PerfCounters.h"
+
+#include <cctype>
+#include <sstream>
+
+using namespace se2gis;
+
+namespace {
+
+constexpr const char *Segment = "smt";
+
+/// Shape check at hit time: every slot value must match its live
+/// variable's type. Memory entries were built from real models and always
+/// pass; the check is the trust boundary for disk-loaded payloads (and the
+/// astronomically unlikely key collision).
+bool compatible(const SmtCacheEntry &E, const CanonicalQuery &Q,
+                std::size_t NumRequests) {
+  if (E.Result == CachedSmtResult::Unsat)
+    return true;
+  if (E.ModelBySlot.size() != Q.VarOrder.size())
+    return false;
+  for (std::size_t I = 0; I < E.ModelBySlot.size(); ++I)
+    if (!valueMatchesType(E.ModelBySlot[I], Q.VarOrder[I]->Ty))
+      return false;
+  return E.RequestValues.size() >= NumRequests;
+}
+
+} // namespace
+
+std::string se2gis::encodeSmtEntry(const SmtCacheEntry &E) {
+  if (E.Result == CachedSmtResult::Unsat)
+    return "u";
+  std::ostringstream OS;
+  OS << "s " << E.ModelBySlot.size() << ' ' << E.RequestValues.size();
+  for (const ValuePtr &V : E.ModelBySlot)
+    OS << ' ' << valueToText(V);
+  for (const ValuePtr &V : E.RequestValues)
+    OS << ' ' << valueToText(V);
+  return OS.str();
+}
+
+std::optional<SmtCacheEntry> se2gis::decodeSmtEntry(const std::string &P) {
+  SmtCacheEntry E;
+  if (P == "u") {
+    E.Result = CachedSmtResult::Unsat;
+    return E;
+  }
+  if (P.size() < 2 || P[0] != 's')
+    return std::nullopt;
+  std::istringstream IS(P.substr(1));
+  std::size_t NumSlots = 0, NumReqs = 0;
+  if (!(IS >> NumSlots >> NumReqs))
+    return std::nullopt;
+  std::string Rest;
+  std::getline(IS, Rest, '\0');
+  std::size_t Pos = 0;
+  E.Result = CachedSmtResult::Sat;
+  for (std::size_t I = 0; I < NumSlots + NumReqs; ++I) {
+    ValuePtr V = valueFromText(Rest, Pos);
+    if (!V)
+      return std::nullopt;
+    (I < NumSlots ? E.ModelBySlot : E.RequestValues).push_back(std::move(V));
+  }
+  // Trailing garbage means a malformed record.
+  while (Pos < Rest.size())
+    if (!std::isspace(static_cast<unsigned char>(Rest[Pos++])))
+      return std::nullopt;
+  return E;
+}
+
+std::optional<SmtCacheEntry>
+SmtQueryCache::lookup(const CanonicalQuery &Q, std::size_t NumRequests) {
+  if (auto E = Mem.lookup(Q.Key)) {
+    if (compatible(*E, Q, NumRequests)) {
+      perfAdd(PerfCounter::CacheSmtHits);
+      return E;
+    }
+    perfAdd(PerfCounter::CacheSmtMisses);
+    return std::nullopt;
+  }
+  if (cachePersistent()) {
+    if (auto Payload = persistentLookup(Segment, Q.Key)) {
+      auto E = decodeSmtEntry(*Payload);
+      if (E && compatible(*E, Q, NumRequests)) {
+        Mem.insert(Q.Key, *E); // promote so later hits skip the decode
+        perfAdd(PerfCounter::CacheSmtHits);
+        return E;
+      }
+    }
+  }
+  perfAdd(PerfCounter::CacheSmtMisses);
+  return std::nullopt;
+}
+
+void SmtQueryCache::insert(const CanonicalQuery &Q, SmtCacheEntry E) {
+  if (cachePersistent()) {
+    // Persist only fully serializable entries (model values are scalar by
+    // construction, so this only filters pathological cases).
+    bool Serializable = true;
+    for (const auto *Vec : {&E.ModelBySlot, &E.RequestValues})
+      for (const ValuePtr &V : *Vec)
+        if (valueToText(V).empty())
+          Serializable = false;
+    if (Serializable)
+      persistentInsert(Segment, Q.Key, encodeSmtEntry(E));
+  }
+  CacheInsertResult R = Mem.insert(Q.Key, std::move(E));
+  if (R.Inserted)
+    perfAdd(PerfCounter::CacheSmtInserts);
+  if (R.Evicted)
+    perfAdd(PerfCounter::CacheSmtEvictions, R.Evicted);
+}
+
+SmtQueryCache &se2gis::smtQueryCache() {
+  static SmtQueryCache C;
+  return C;
+}

@@ -1,0 +1,83 @@
+//===- SmtQueryCache.h - Memoized SMT verdicts and models -------*- C++-*-===//
+///
+/// \file
+/// The sharded cache \c SmtQuery::checkSat consults before entering Z3.
+/// Keys are canonical query hashes (cache/Canonical.h: assertions ⊎ soft
+/// assertions ⊎ value requests, alpha-renamed); payloads are the verdict
+/// plus, for Sat, the model values in canonical slot order and the
+/// requested values in request order. A hit on an alpha-equivalent query
+/// rebinds the slot values to that query's own variables through its
+/// \c CanonicalQuery::VarOrder.
+///
+/// What is never cached (see DESIGN.md "Memoization model"):
+///  - \c Unknown results — they encode budget exhaustion or solver
+///    incompleteness, both circumstances of the *run*, not the query;
+///  - anything observed while the run's deadline was already expired — an
+///    early-exit answer must not masquerade as the query's true verdict.
+///
+/// Returning a previously recorded model is sound: the entry was produced
+/// by Z3 on a structurally equal (alpha-equivalent) query, so the values
+/// satisfy this query too. Disk-loaded entries additionally pass a
+/// per-slot type check against the live query before use, so a corrupted
+/// or colliding record degrades to a miss, never a bogus binding.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SE2GIS_CACHE_SMTQUERYCACHE_H
+#define SE2GIS_CACHE_SMTQUERYCACHE_H
+
+#include "cache/Canonical.h"
+#include "cache/ShardedCache.h"
+#include "eval/Value.h"
+
+#include <optional>
+#include <vector>
+
+namespace se2gis {
+
+/// Mirror of smt/Solver.h's SmtResult for the cacheable subset; kept
+/// separate so the cache library sits below the smt library in the link
+/// order (smt links cache, not vice versa).
+enum class CachedSmtResult : unsigned char { Sat, Unsat };
+
+/// One memoized checkSat outcome.
+struct SmtCacheEntry {
+  CachedSmtResult Result = CachedSmtResult::Unsat;
+  /// For Sat: one value per canonical variable slot (CanonicalQuery
+  /// VarOrder order). Empty for Unsat.
+  std::vector<ValuePtr> ModelBySlot;
+  /// For Sat: the requested values, in request order.
+  std::vector<ValuePtr> RequestValues;
+};
+
+class SmtQueryCache {
+public:
+  /// \returns the entry for \p Q if present (memory first, then the
+  /// persistent segment) and shape-compatible with \p Q: Sat entries must
+  /// carry exactly one value per slot, each matching the slot variable's
+  /// type, and at least as many request values as \p NumRequests.
+  std::optional<SmtCacheEntry> lookup(const CanonicalQuery &Q,
+                                      std::size_t NumRequests);
+
+  /// Records \p E under \p Q's key (and appends it to the persistent
+  /// segment in Disk mode). Counts inserts/evictions.
+  void insert(const CanonicalQuery &Q, SmtCacheEntry E);
+
+  void clear() { Mem.clear(); }
+  std::size_t size() const { return Mem.size(); }
+
+private:
+  ShardedCache<SmtCacheEntry> Mem{1 << 20};
+};
+
+/// The process-wide instance.
+SmtQueryCache &smtQueryCache();
+
+/// Serialization of entries for the persistent "smt" segment; exposed for
+/// tests. decode returns nullopt on malformed payloads.
+std::string encodeSmtEntry(const SmtCacheEntry &E);
+std::optional<SmtCacheEntry> decodeSmtEntry(const std::string &Payload);
+
+} // namespace se2gis
+
+#endif // SE2GIS_CACHE_SMTQUERYCACHE_H

@@ -1,0 +1,428 @@
+//===- TermIO.cpp ---------------------------------------------------------===//
+
+#include "cache/TermIO.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <sstream>
+
+using namespace se2gis;
+
+// --- Values -------------------------------------------------------------===//
+
+std::string se2gis::valueToText(const ValuePtr &V) {
+  switch (V->getKind()) {
+  case Value::Kind::Int:
+    return std::to_string(V->getInt());
+  case Value::Kind::Bool:
+    return V->getBool() ? "#t" : "#f";
+  case Value::Kind::Tuple: {
+    std::string S = "(tup";
+    for (const ValuePtr &E : V->getElems()) {
+      std::string Part = valueToText(E);
+      if (Part.empty())
+        return "";
+      S += ' ';
+      S += Part;
+    }
+    S += ')';
+    return S;
+  }
+  case Value::Kind::Data:
+    return ""; // datatype values never reach the cached payloads
+  }
+  return "";
+}
+
+namespace {
+
+void skipSpaces(const std::string &S, std::size_t &Pos) {
+  while (Pos < S.size() && std::isspace(static_cast<unsigned char>(S[Pos])))
+    ++Pos;
+}
+
+/// Reads the next atom (run of non-space, non-paren characters).
+std::string readAtom(const std::string &S, std::size_t &Pos) {
+  skipSpaces(S, Pos);
+  std::size_t Start = Pos;
+  while (Pos < S.size() && !std::isspace(static_cast<unsigned char>(S[Pos])) &&
+         S[Pos] != '(' && S[Pos] != ')')
+    ++Pos;
+  return S.substr(Start, Pos - Start);
+}
+
+bool parseInt(const std::string &A, long long &Out) {
+  if (A.empty())
+    return false;
+  std::size_t I = A[0] == '-' ? 1 : 0;
+  if (I == A.size())
+    return false;
+  for (; I < A.size(); ++I)
+    if (!std::isdigit(static_cast<unsigned char>(A[I])))
+      return false;
+  Out = std::atoll(A.c_str());
+  return true;
+}
+
+} // namespace
+
+ValuePtr se2gis::valueFromText(const std::string &S, std::size_t &Pos) {
+  skipSpaces(S, Pos);
+  if (Pos >= S.size())
+    return nullptr;
+  if (S[Pos] == '(') {
+    ++Pos;
+    if (readAtom(S, Pos) != "tup")
+      return nullptr;
+    std::vector<ValuePtr> Elems;
+    while (true) {
+      skipSpaces(S, Pos);
+      if (Pos < S.size() && S[Pos] == ')') {
+        ++Pos;
+        break;
+      }
+      ValuePtr E = valueFromText(S, Pos);
+      if (!E)
+        return nullptr;
+      Elems.push_back(std::move(E));
+    }
+    if (Elems.size() < 2)
+      return nullptr; // tuples have at least two elements
+    return Value::mkTuple(std::move(Elems));
+  }
+  std::string A = readAtom(S, Pos);
+  if (A == "#t")
+    return Value::mkBool(true);
+  if (A == "#f")
+    return Value::mkBool(false);
+  long long N = 0;
+  if (parseInt(A, N))
+    return Value::mkInt(N);
+  return nullptr;
+}
+
+ValuePtr se2gis::valueFromText(const std::string &S) {
+  std::size_t Pos = 0;
+  ValuePtr V = valueFromText(S, Pos);
+  if (!V)
+    return nullptr;
+  skipSpaces(S, Pos);
+  return Pos == S.size() ? V : nullptr;
+}
+
+bool se2gis::valueMatchesType(const ValuePtr &V, const TypePtr &Ty) {
+  if (!V)
+    return false;
+  switch (Ty->getKind()) {
+  case TypeKind::Int:
+    return V->isInt();
+  case TypeKind::Bool:
+    return V->isBool();
+  case TypeKind::Tuple: {
+    if (!V->isTuple())
+      return false;
+    const auto &Elems = Ty->tupleElems();
+    if (V->getElems().size() != Elems.size())
+      return false;
+    for (std::size_t I = 0; I < Elems.size(); ++I)
+      if (!valueMatchesType(V->getElems()[I], Elems[I]))
+        return false;
+    return true;
+  }
+  case TypeKind::Data:
+    return false;
+  }
+  return false;
+}
+
+// --- Terms --------------------------------------------------------------===//
+
+namespace {
+
+/// Stable operator spellings for the wire format (independent of
+/// \c opSpelling, which is tuned for pretty-printing and may change).
+const char *opWireName(OpKind Op) {
+  switch (Op) {
+  case OpKind::Add:
+    return "add";
+  case OpKind::Sub:
+    return "sub";
+  case OpKind::Neg:
+    return "neg";
+  case OpKind::Mul:
+    return "mul";
+  case OpKind::Div:
+    return "div";
+  case OpKind::Mod:
+    return "mod";
+  case OpKind::Min:
+    return "min";
+  case OpKind::Max:
+    return "max";
+  case OpKind::Abs:
+    return "abs";
+  case OpKind::Lt:
+    return "lt";
+  case OpKind::Le:
+    return "le";
+  case OpKind::Gt:
+    return "gt";
+  case OpKind::Ge:
+    return "ge";
+  case OpKind::Eq:
+    return "eq";
+  case OpKind::Ne:
+    return "ne";
+  case OpKind::Not:
+    return "not";
+  case OpKind::And:
+    return "and";
+  case OpKind::Or:
+    return "or";
+  case OpKind::Implies:
+    return "implies";
+  case OpKind::Ite:
+    return "ite";
+  }
+  return "";
+}
+
+bool opFromWireName(const std::string &Name, OpKind &Out) {
+  static const std::pair<const char *, OpKind> Table[] = {
+      {"add", OpKind::Add},     {"sub", OpKind::Sub},
+      {"neg", OpKind::Neg},     {"mul", OpKind::Mul},
+      {"div", OpKind::Div},     {"mod", OpKind::Mod},
+      {"min", OpKind::Min},     {"max", OpKind::Max},
+      {"abs", OpKind::Abs},     {"lt", OpKind::Lt},
+      {"le", OpKind::Le},       {"gt", OpKind::Gt},
+      {"ge", OpKind::Ge},       {"eq", OpKind::Eq},
+      {"ne", OpKind::Ne},       {"not", OpKind::Not},
+      {"and", OpKind::And},     {"or", OpKind::Or},
+      {"implies", OpKind::Implies}, {"ite", OpKind::Ite}};
+  for (const auto &[N, K] : Table)
+    if (Name == N) {
+      Out = K;
+      return true;
+    }
+  return false;
+}
+
+bool writeTerm(const TermPtr &T, const std::vector<TermPtr> &Leaves,
+               std::ostringstream &OS) {
+  // Leaves match first: a leaf may itself be a projection or a literal, and
+  // the index form is what survives re-instantiation elsewhere.
+  for (std::size_t I = 0; I < Leaves.size(); ++I)
+    if (termEquals(T, Leaves[I])) {
+      OS << "(v " << I << ')';
+      return true;
+    }
+  switch (T->getKind()) {
+  case TermKind::IntLit:
+    OS << T->getIntValue();
+    return true;
+  case TermKind::BoolLit:
+    OS << (T->getBoolValue() ? "#t" : "#f");
+    return true;
+  case TermKind::Tuple: {
+    OS << "(tup";
+    for (const TermPtr &A : T->getArgs()) {
+      OS << ' ';
+      if (!writeTerm(A, Leaves, OS))
+        return false;
+    }
+    OS << ')';
+    return true;
+  }
+  case TermKind::Proj: {
+    OS << "(proj " << T->getIndex() << ' ';
+    if (!writeTerm(T->getArg(0), Leaves, OS))
+      return false;
+    OS << ')';
+    return true;
+  }
+  case TermKind::Op: {
+    OS << '(' << opWireName(T->getOp());
+    for (const TermPtr &A : T->getArgs()) {
+      OS << ' ';
+      if (!writeTerm(A, Leaves, OS))
+        return false;
+    }
+    OS << ')';
+    return true;
+  }
+  default:
+    // A variable that is not a leaf, or a Call/Ctor/Unknown/Hole node:
+    // outside the serializable fragment.
+    return false;
+  }
+}
+
+TermPtr readTerm(const std::string &S, std::size_t &Pos,
+                 const std::vector<TermPtr> &Leaves) {
+  skipSpaces(S, Pos);
+  if (Pos >= S.size())
+    return nullptr;
+  if (S[Pos] != '(') {
+    std::string A = readAtom(S, Pos);
+    if (A == "#t")
+      return mkTrue();
+    if (A == "#f")
+      return mkFalse();
+    long long N = 0;
+    if (parseInt(A, N))
+      return mkIntLit(N);
+    return nullptr;
+  }
+  ++Pos; // '('
+  std::string Head = readAtom(S, Pos);
+  auto ReadArgsAndClose = [&](std::vector<TermPtr> &Args) {
+    while (true) {
+      skipSpaces(S, Pos);
+      if (Pos >= S.size())
+        return false;
+      if (S[Pos] == ')') {
+        ++Pos;
+        return true;
+      }
+      TermPtr A = readTerm(S, Pos, Leaves);
+      if (!A)
+        return false;
+      Args.push_back(std::move(A));
+    }
+  };
+  if (Head == "v") {
+    std::string A = readAtom(S, Pos);
+    long long I = 0;
+    if (!parseInt(A, I) || I < 0 ||
+        static_cast<std::size_t>(I) >= Leaves.size())
+      return nullptr;
+    skipSpaces(S, Pos);
+    if (Pos >= S.size() || S[Pos] != ')')
+      return nullptr;
+    ++Pos;
+    return Leaves[static_cast<std::size_t>(I)];
+  }
+  if (Head == "tup") {
+    std::vector<TermPtr> Args;
+    if (!ReadArgsAndClose(Args) || Args.size() < 2)
+      return nullptr;
+    return mkTuple(std::move(Args));
+  }
+  if (Head == "proj") {
+    std::string A = readAtom(S, Pos);
+    long long I = 0;
+    if (!parseInt(A, I) || I < 0)
+      return nullptr;
+    std::vector<TermPtr> Args;
+    if (!ReadArgsAndClose(Args) || Args.size() != 1)
+      return nullptr;
+    if (!Args[0]->getType()->isTuple() ||
+        static_cast<std::size_t>(I) >= Args[0]->getType()->tupleElems().size())
+      return nullptr;
+    return mkProj(Args[0], static_cast<unsigned>(I));
+  }
+  OpKind Op;
+  if (!opFromWireName(Head, Op))
+    return nullptr;
+  std::vector<TermPtr> Args;
+  if (!ReadArgsAndClose(Args))
+    return nullptr;
+  // mkOp asserts arity and operand types; validate first so corrupted input
+  // degrades to nullptr instead of tripping an assertion.
+  auto Arity = [&](std::size_t N) { return Args.size() == N; };
+  auto AllInt = [&](std::size_t From, std::size_t To) {
+    for (std::size_t I = From; I < To; ++I)
+      if (!Args[I]->getType()->isInt())
+        return false;
+    return true;
+  };
+  auto AllBool = [&](std::size_t From, std::size_t To) {
+    for (std::size_t I = From; I < To; ++I)
+      if (!Args[I]->getType()->isBool())
+        return false;
+    return true;
+  };
+  switch (Op) {
+  case OpKind::Neg:
+  case OpKind::Abs:
+    if (!Arity(1) || !AllInt(0, 1))
+      return nullptr;
+    break;
+  case OpKind::Not:
+    if (!Arity(1) || !AllBool(0, 1))
+      return nullptr;
+    break;
+  case OpKind::Add:
+  case OpKind::Sub:
+  case OpKind::Mul:
+  case OpKind::Div:
+  case OpKind::Mod:
+  case OpKind::Min:
+  case OpKind::Max:
+  case OpKind::Lt:
+  case OpKind::Le:
+  case OpKind::Gt:
+  case OpKind::Ge:
+    if (!Arity(2) || !AllInt(0, 2))
+      return nullptr;
+    break;
+  case OpKind::Eq:
+  case OpKind::Ne:
+    if (!Arity(2) || !sameType(Args[0]->getType(), Args[1]->getType()))
+      return nullptr;
+    break;
+  case OpKind::And:
+  case OpKind::Or:
+    if (Args.empty() || !AllBool(0, Args.size()))
+      return nullptr;
+    break;
+  case OpKind::Implies:
+    if (!Arity(2) || !AllBool(0, 2))
+      return nullptr;
+    break;
+  case OpKind::Ite:
+    if (!Arity(3) || !Args[0]->getType()->isBool() ||
+        !sameType(Args[1]->getType(), Args[2]->getType()))
+      return nullptr;
+    break;
+  }
+  return mkOp(Op, std::move(Args));
+}
+
+std::vector<TermPtr> leavesOf(const std::vector<VarPtr> &Params) {
+  std::vector<TermPtr> Leaves;
+  Leaves.reserve(Params.size());
+  for (const VarPtr &P : Params)
+    Leaves.push_back(mkVar(P));
+  return Leaves;
+}
+
+} // namespace
+
+std::string se2gis::termToText(const TermPtr &T,
+                               const std::vector<TermPtr> &Leaves) {
+  std::ostringstream OS;
+  if (!writeTerm(T, Leaves, OS))
+    return "";
+  return OS.str();
+}
+
+TermPtr se2gis::termFromText(const std::string &S,
+                             const std::vector<TermPtr> &Leaves) {
+  std::size_t Pos = 0;
+  TermPtr T = readTerm(S, Pos, Leaves);
+  if (!T)
+    return nullptr;
+  skipSpaces(S, Pos);
+  return Pos == S.size() ? T : nullptr;
+}
+
+std::string se2gis::termToText(const TermPtr &T,
+                               const std::vector<VarPtr> &Params) {
+  return termToText(T, leavesOf(Params));
+}
+
+TermPtr se2gis::termFromText(const std::string &S,
+                             const std::vector<VarPtr> &Params) {
+  return termFromText(S, leavesOf(Params));
+}

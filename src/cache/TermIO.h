@@ -1,0 +1,66 @@
+//===- TermIO.h - Textual serialization for cache payloads ------*- C++-*-===//
+///
+/// \file
+/// S-expression serialization for the payloads the persistent store keeps:
+/// concrete scalar values (model readbacks) and scalar grammar terms
+/// (synthesized unknown bodies). Both are closed under a small kind set by
+/// construction — values reaching SMT models are Int/Bool/Tuple, solution
+/// bodies are operator/literal/variable/tuple/projection terms over the
+/// unknown's parameters — so the format needs no datatype or function
+/// environment to round-trip.
+///
+/// Variables serialize as parameter *indices* (`(v i)`), never names or
+/// ids: the reader supplies its own parameter variables, which is what lets
+/// a solution recorded by one process be re-instantiated against the fresh
+/// variables of another.
+///
+/// Readers are total: any malformed input yields nullptr/false rather than
+/// throwing, so a corrupted store entry degrades to a cache miss.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SE2GIS_CACHE_TERMIO_H
+#define SE2GIS_CACHE_TERMIO_H
+
+#include "ast/Term.h"
+#include "eval/Value.h"
+
+#include <string>
+#include <vector>
+
+namespace se2gis {
+
+/// Renders \p V ("42", "#t", "(tup 1 #f)"). Datatype values are not
+/// serializable; returns "" for them.
+std::string valueToText(const ValuePtr &V);
+
+/// Parses one value from \p S starting at \p Pos (advanced past it).
+/// \returns nullptr on malformed input.
+ValuePtr valueFromText(const std::string &S, std::size_t &Pos);
+
+/// Whole-string convenience form of \c valueFromText (must consume all of
+/// \p S up to trailing spaces).
+ValuePtr valueFromText(const std::string &S);
+
+/// \returns true when \p V structurally matches \p Ty (ints are ints,
+/// tuples have matching arity element-wise). Hit-time sanity check for
+/// deserialized model values.
+bool valueMatchesType(const ValuePtr &V, const TypePtr &Ty);
+
+/// Renders \p T with occurrences of \p Leaves[i] (matched structurally)
+/// serialized as `(v i)`. \returns "" when \p T contains a node that is
+/// neither a leaf nor an operator/literal/tuple/projection (not
+/// serializable).
+std::string termToText(const TermPtr &T, const std::vector<TermPtr> &Leaves);
+
+/// Parses a term rendered by \c termToText, substituting \p Leaves[i] for
+/// `(v i)`. \returns nullptr on malformed input or out-of-range indices.
+TermPtr termFromText(const std::string &S, const std::vector<TermPtr> &Leaves);
+
+/// Convenience overloads for plain parameter-variable leaf tables.
+std::string termToText(const TermPtr &T, const std::vector<VarPtr> &Params);
+TermPtr termFromText(const std::string &S, const std::vector<VarPtr> &Params);
+
+} // namespace se2gis
+
+#endif // SE2GIS_CACHE_TERMIO_H

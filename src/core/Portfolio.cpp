@@ -43,6 +43,10 @@ Outcome se2gis::runPortfolio(const Problem &P, const AlgoOptions &Opts) {
   // A dedicated two-worker pool rather than the suite runner's: portfolio
   // members must start immediately even when every shared worker is busy,
   // and blocking a shared worker on a job of the same pool could deadlock.
+  // The members also share work through the process-wide memoization caches
+  // (cache/): both algorithms walk overlapping refinement states, so an SMT
+  // verdict or solved SGE produced by one member is a cache hit for the
+  // other — no explicit cross-member channel is needed.
   ThreadPool Pool(2);
   auto F1 = Pool.enqueue([&] { Worker(0, AlgorithmKind::SE2GIS); });
   auto F2 = Pool.enqueue([&] { Worker(1, AlgorithmKind::SEGISUC); });

@@ -34,6 +34,20 @@ SolverConfig SolverConfig::fromEnv(std::int64_t DefaultTimeoutMs) {
   }
   if (const char *P = std::getenv("SE2GIS_PERF_JSON"))
     C.PerfJsonPath = P;
+  if (const char *M = std::getenv("SE2GIS_CACHE")) {
+    auto Mode = parseCacheMode(M);
+    if (!Mode)
+      userError(std::string("SE2GIS_CACHE: unknown cache mode '") + M +
+                "' (expected off, mem, or disk)");
+    C.Cache.Mode = *Mode;
+  }
+  if (const char *D = std::getenv("SE2GIS_CACHE_DIR"))
+    C.Cache.Dir = D;
+  if (C.Cache.Mode == CacheMode::Disk) {
+    std::string Err = validateCacheDir(C.Cache.Dir);
+    if (!Err.empty())
+      userError("SE2GIS_CACHE_DIR: " + Err);
+  }
   return C;
 }
 
@@ -44,6 +58,7 @@ Outcome SynthesisTask::run(const SolverConfig &Config) const {
     return R;
   }
   try {
+    configureCache(Config.Cache);
     R = runAlgorithm(Algorithm, *Prob, Config.Algo);
   } catch (const UserError &E) {
     R.V = Verdict::Failed;

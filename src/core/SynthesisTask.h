@@ -17,6 +17,7 @@
 #ifndef SE2GIS_CORE_SYNTHESISTASK_H
 #define SE2GIS_CORE_SYNTHESISTASK_H
 
+#include "cache/CacheConfig.h"
 #include "core/Algorithms.h"
 
 #include <memory>
@@ -39,6 +40,9 @@ struct SolverConfig {
   std::string PerfJsonPath;
   /// Progress lines on stderr.
   bool Verbose = true;
+  /// Memoization subsystem: mode (off/mem/disk) and, for disk, the store
+  /// directory (DESIGN.md "Memoization model").
+  CacheSettings Cache;
 
   /// Builds a config from the environment (the only SE2GIS_* reader):
   ///  - SE2GIS_TIMEOUT_MS — overall budget in milliseconds, or
@@ -46,6 +50,9 @@ struct SolverConfig {
   ///    are set). Values <= 0 leave the default \p DefaultTimeoutMs.
   ///  - SE2GIS_SEED — Z3 random seed (0 = Z3's default).
   ///  - SE2GIS_FILTER, SE2GIS_JOBS, SE2GIS_PERF_JSON — as the fields above.
+  ///  - SE2GIS_CACHE — "off" (default), "mem", or "disk"; SE2GIS_CACHE_DIR
+  ///    — the disk-mode store directory (default ./.se2gis-cache). Throws
+  ///    UserError on an unparsable mode or an unusable cache directory.
   static SolverConfig fromEnv(std::int64_t DefaultTimeoutMs = 5000);
 };
 

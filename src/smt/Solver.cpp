@@ -2,6 +2,9 @@
 
 #include "smt/Solver.h"
 
+#include "cache/CacheConfig.h"
+#include "cache/Canonical.h"
+#include "cache/SmtQueryCache.h"
 #include "support/Counters.h"
 #include "support/Diagnostics.h"
 #include "support/PerfCounters.h"
@@ -88,6 +91,11 @@ struct SmtQuery::Impl {
   std::unordered_map<std::string, std::vector<z3::func_decl>> UnknownCache;
   std::vector<TermPtr> Requests;
   std::vector<z3::expr> SoftIndicators;
+  // Source-level copies of the asserted terms, kept for cache keying: the
+  // canonical hasher works on Term structure, which the eager translation
+  // into Z3 ASTs discards.
+  std::vector<TermPtr> HardTerms;
+  std::vector<TermPtr> SoftTerms;
 
   Impl() : Solver(Ctx) {
     VarCache.reserve(64);
@@ -291,6 +299,7 @@ void SmtQuery::add(const TermPtr &Assertion) {
   assert(Assertion->getType()->isBool() && "assertions must be boolean");
   try {
     I->Solver.add(I->translate(Assertion)[0]);
+    I->HardTerms.push_back(Assertion);
   } catch (const z3::exception &E) {
     fatalError(std::string("Z3 error while asserting: ") + E.msg());
   }
@@ -303,6 +312,7 @@ void SmtQuery::addSoft(const TermPtr &Assertion) {
     z3::expr B = I->Ctx.bool_const(Name.c_str());
     I->Solver.add(z3::implies(B, I->translate(Assertion)[0]));
     I->SoftIndicators.push_back(B);
+    I->SoftTerms.push_back(Assertion);
   } catch (const z3::exception &E) {
     fatalError(std::string("Z3 error while asserting: ") + E.msg());
   }
@@ -327,6 +337,39 @@ SmtResult SmtQuery::checkSat(int TimeoutMs, SmtModel *ModelOut,
     if (TimeoutMs <= 0) {
       perfAdd(PerfCounter::SmtBudget);
       return SmtResult::Unknown;
+    }
+  }
+  // Consult the memoization cache before touching Z3. This sits after the
+  // deadline check on purpose: an expired budget must never be answered
+  // from (or recorded into) the cache.
+  const bool UseCache = cacheEnabled();
+  CanonicalQuery CQ;
+  if (UseCache) {
+    CQ = canonicalizeQuery(I->HardTerms, I->SoftTerms, I->Requests);
+    if (auto Hit = smtQueryCache().lookup(CQ, I->Requests.size())) {
+      if (Hit->Result == CachedSmtResult::Unsat) {
+        perfAdd(PerfCounter::SmtUnsat);
+        return SmtResult::Unsat;
+      }
+      perfAdd(PerfCounter::SmtSat);
+      if (ModelOut) {
+        // Rebind the cached slot values to this query's own variables, in
+        // the ascending-Id order the rest of the stack depends on.
+        std::vector<std::pair<VarPtr, ValuePtr>> Bindings;
+        Bindings.reserve(CQ.VarOrder.size());
+        for (size_t K = 0; K < CQ.VarOrder.size(); ++K)
+          Bindings.emplace_back(CQ.VarOrder[K], Hit->ModelBySlot[K]);
+        std::sort(Bindings.begin(), Bindings.end(),
+                  [](const auto &A, const auto &B) {
+                    return A.first->Id < B.first->Id;
+                  });
+        for (auto &[V, Val] : Bindings)
+          ModelOut->bind(V, std::move(Val));
+      }
+      if (ValuesOut)
+        for (size_t K = 0; K < I->Requests.size(); ++K)
+          ValuesOut->push_back(Hit->RequestValues[K]);
+      return SmtResult::Sat;
     }
   }
   try {
@@ -385,6 +428,9 @@ SmtResult SmtQuery::checkSat(int TimeoutMs, SmtModel *ModelOut,
     }
     if (R == z3::unsat) {
       perfAdd(PerfCounter::SmtUnsat);
+      if (UseCache)
+        smtQueryCache().insert(CQ, SmtCacheEntry{CachedSmtResult::Unsat,
+                                                 {}, {}});
       return SmtResult::Unsat;
     }
     if (R == z3::unknown) {
@@ -399,8 +445,17 @@ SmtResult SmtQuery::checkSat(int TimeoutMs, SmtModel *ModelOut,
     }
     perfAdd(PerfCounter::SmtSat);
 
-    if (ModelOut || ValuesOut) {
+    if (ModelOut || ValuesOut || UseCache) {
       z3::model M = I->Solver.get_model();
+      // The requested values are needed both by the caller and by the
+      // cache entry; rebuild them once.
+      std::vector<ValuePtr> RequestVals;
+      if (ValuesOut || UseCache)
+        for (size_t K = 0; K < RequestExprs.size(); ++K) {
+          size_t Cursor = 0;
+          RequestVals.push_back(I->rebuild(M, I->Requests[K]->getType(),
+                                           RequestExprs[K], Cursor));
+        }
       if (ModelOut) {
         // Bind in ascending-Id order: witness projection, certificate
         // conjunctions, and invariant-inference domains all iterate the
@@ -422,11 +477,28 @@ SmtResult SmtQuery::checkSat(int TimeoutMs, SmtModel *ModelOut,
                                     Cursor));
         }
       }
-      if (ValuesOut) {
-        for (size_t K = 0; K < RequestExprs.size(); ++K) {
+      if (ValuesOut)
+        for (const ValuePtr &V : RequestVals)
+          ValuesOut->push_back(V);
+      if (UseCache) {
+        // One model value per canonical slot; the slot order is part of the
+        // key's meaning, so alpha-equivalent queries can rebind them.
+        SmtCacheEntry Entry;
+        Entry.Result = CachedSmtResult::Sat;
+        bool Complete = true;
+        for (const VarPtr &V : CQ.VarOrder) {
+          auto It = I->VarCache.find(V->Id);
+          if (It == I->VarCache.end()) {
+            Complete = false;
+            break;
+          }
           size_t Cursor = 0;
-          ValuesOut->push_back(I->rebuild(M, I->Requests[K]->getType(),
-                                          RequestExprs[K], Cursor));
+          Entry.ModelBySlot.push_back(
+              I->rebuild(M, V->Ty, It->second.second, Cursor));
+        }
+        if (Complete) {
+          Entry.RequestValues = std::move(RequestVals);
+          smtQueryCache().insert(CQ, std::move(Entry));
         }
       }
     }

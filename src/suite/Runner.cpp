@@ -2,6 +2,8 @@
 
 #include "suite/Runner.h"
 
+#include "cache/CacheConfig.h"
+#include "cache/TermIO.h"
 #include "support/Diagnostics.h"
 #include "support/PerfCounters.h"
 #include "support/Stopwatch.h"
@@ -45,13 +47,126 @@ private:
   bool Enabled;
 };
 
+/// Key of a suite-level warm-start entry: benchmark ⊎ algorithm ⊎ every
+/// config knob that can change the verdict or the solution, so a sweep
+/// under different budgets or ablations never sees another sweep's entries.
+Hash128 suiteEntryKey(const SuiteRecord &Rec, const SolverConfig &Config) {
+  Hash128 K = hash128Seed(0x60);
+  K = hash128String(K, Rec.Def->Name);
+  K = hash128String(K, algorithmName(Rec.Algorithm));
+  K = hash128Combine(K, static_cast<std::uint64_t>(Config.Algo.TimeoutMs));
+  K = hash128Combine(
+      K, static_cast<std::uint64_t>(Config.Algo.SgePerQueryTimeoutMs));
+  K = hash128Combine(K, Config.Algo.Seed);
+  K = hash128Combine(K, (Config.Algo.DisableEufAnchoring ? 1ULL : 0ULL) |
+                            (Config.Algo.DisableIteSplitting ? 2ULL : 0ULL) |
+                            (Config.Algo.DisableLemmaReplay ? 4ULL : 0ULL));
+  return K;
+}
+
+/// Serializes a Realizable solution: one leaf-indexed body per unknown of
+/// \p P in signature order. \returns "" when any body is not serializable.
+std::string encodeSuiteSolution(const Problem &P, const UnknownBindings &Sol) {
+  std::string Out = "v1";
+  for (const UnknownSig &Sig : P.Unknowns) {
+    auto It = Sol.find(Sig.Name);
+    if (It == Sol.end() || It->second.Params.size() != Sig.ArgTypes.size())
+      return "";
+    std::string Body = termToText(It->second.Body, It->second.Params);
+    if (Body.empty())
+      return "";
+    Out += "\n" + Sig.Name + "\n" + Body;
+  }
+  return Out;
+}
+
+/// Parses an \c encodeSuiteSolution payload against the live problem's
+/// signatures, minting fresh parameter variables. Total: malformed input,
+/// signature drift, or a type mismatch all yield nullopt.
+std::optional<UnknownBindings> decodeSuiteSolution(const Problem &P,
+                                                   const std::string &S) {
+  std::vector<std::string> Lines;
+  for (size_t Start = 0; Start <= S.size();) {
+    size_t End = S.find('\n', Start);
+    if (End == std::string::npos) {
+      Lines.push_back(S.substr(Start));
+      break;
+    }
+    Lines.push_back(S.substr(Start, End - Start));
+    Start = End + 1;
+  }
+  if (Lines.empty() || Lines[0] != "v1" ||
+      Lines.size() != 1 + 2 * P.Unknowns.size())
+    return std::nullopt;
+  UnknownBindings Sol;
+  size_t Pos = 1;
+  for (const UnknownSig &Sig : P.Unknowns) {
+    if (Lines[Pos] != Sig.Name)
+      return std::nullopt;
+    std::vector<VarPtr> Params;
+    for (size_t I = 0; I < Sig.ArgTypes.size(); ++I)
+      Params.push_back(namedVar("p" + std::to_string(I) + "_" + Sig.Name,
+                                Sig.ArgTypes[I]));
+    TermPtr Body = termFromText(Lines[Pos + 1], Params);
+    if (!Body || Body->getType()->str() != Sig.RetTy->str())
+      return std::nullopt;
+    Sol[Sig.Name] = UnknownDef{std::move(Params), std::move(Body)};
+    Pos += 2;
+  }
+  return Sol;
+}
+
 /// Runs one (benchmark, algorithm) pair as a SynthesisTask; a UserError
 /// from the stack becomes Verdict::Failed inside SynthesisTask::run, so a
 /// pooled worker survives any single bad benchmark.
+///
+/// In Disk cache mode the pair first consults the persistent "suite"
+/// segment: a Realizable result recorded by an earlier run under an
+/// identical (benchmark, algorithm, config) key is *re-verified* against
+/// the live problem — never trusted — and reused only when verification
+/// passes, so a stale or corrupted store cannot change a verdict.
+/// Unrealizable/Timeout/Failed verdicts are never short-circuited: their
+/// warm-run speedup comes from the SMT and SGE caches underneath, and a
+/// stale negative must not hide a newly solvable benchmark.
 void runOne(SuiteRecord &Rec, std::shared_ptr<const Problem> P,
             const SolverConfig &Config, ProgressReporter &Progress) {
-  SynthesisTask Task(std::move(P), Rec.Algorithm);
+  Hash128 Key{};
+  const bool TryWarm = cachePersistent() && P != nullptr;
+  if (TryWarm) {
+    Key = suiteEntryKey(Rec, Config);
+    bool Hit = false;
+    if (auto Payload = persistentLookup("suite", Key))
+      if (auto Sol = decodeSuiteSolution(*P, *Payload)) {
+        Stopwatch Timer;
+        VerifyOptions VOpts;
+        VOpts.Bounded = Config.Algo.Bounded;
+        VOpts.Induction = Config.Algo.Induction;
+        Deadline Budget = Deadline::afterMs(Config.Algo.TimeoutMs);
+        VerifyResult VR = verifySolution(*P, *Sol, VOpts, Budget);
+        if (VR.Status != VerifyStatus::Counterexample && !Budget.expired()) {
+          Hit = true;
+          perfAdd(PerfCounter::CacheSuiteHits);
+          Rec.Result.V = Verdict::Realizable;
+          Rec.Result.Solution = std::move(*Sol);
+          Rec.Result.Detail = "suite cache (re-verified)";
+          Rec.Result.Stats.SolutionProvedInductive =
+              VR.Status == VerifyStatus::ProvedInductive;
+          Rec.Result.Stats.ElapsedMs = Timer.elapsedMs();
+        }
+      }
+    if (Hit) {
+      Progress.report(Rec);
+      return;
+    }
+    perfAdd(PerfCounter::CacheSuiteMisses);
+  }
+  SynthesisTask Task(P, Rec.Algorithm);
   Rec.Result = Task.run(Config);
+  if (TryWarm && Rec.Result.V == Verdict::Realizable) {
+    std::string Payload = encodeSuiteSolution(*P, Rec.Result.Solution);
+    if (!Payload.empty())
+      persistentInsert("suite", Key, Payload);
+  }
   Progress.report(Rec);
 }
 
@@ -140,6 +255,10 @@ std::vector<SuiteRecord> runSuiteParallel(const SuiteOptions &Opts,
 
 std::vector<SuiteRecord> se2gis::runSuite(const SuiteOptions &Opts) {
   Stopwatch Wall;
+  // Configure the memoization subsystem before the sweep starts (rather
+  // than inside the first SynthesisTask::run) so the persistent segments
+  // are loaded before any warm-start lookup.
+  configureCache(Opts.Config.Cache);
   PerfSnapshot Before = snapshotPerf();
   unsigned Jobs = Opts.Config.Jobs ? Opts.Config.Jobs : ThreadPool::defaultConcurrency();
   std::vector<SuiteRecord> Records = Jobs <= 1

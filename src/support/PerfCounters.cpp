@@ -64,6 +64,9 @@ std::string PerfSnapshot::str() const {
   OS << std::fixed << getMs(PerfTimer::Z3SolveNs)
      << " enum=" << get(PerfCounter::EnumCandidates)
      << " pruned=" << get(PerfCounter::EnumPruned);
+  if (std::uint64_t CacheTouches =
+          get(PerfCounter::CacheSmtHits) + get(PerfCounter::CacheSmtMisses))
+    OS << " cache_smt=" << get(PerfCounter::CacheSmtHits) << "/" << CacheTouches;
   return OS.str();
 }
 
@@ -76,5 +79,18 @@ void se2gis::writePerfJson(std::ostream &OS, const PerfSnapshot &D) {
      << ",\"z3_time_ms\":" << D.getMs(PerfTimer::Z3SolveNs)
      << ",\"run_time_ms\":" << D.getMs(PerfTimer::SuiteRunNs)
      << ",\"enum_candidates\":" << D.get(PerfCounter::EnumCandidates)
-     << ",\"enum_pruned\":" << D.get(PerfCounter::EnumPruned) << "}";
+     << ",\"enum_pruned\":" << D.get(PerfCounter::EnumPruned)
+     << ",\"cache_smt_hits\":" << D.get(PerfCounter::CacheSmtHits)
+     << ",\"cache_smt_misses\":" << D.get(PerfCounter::CacheSmtMisses)
+     << ",\"cache_smt_inserts\":" << D.get(PerfCounter::CacheSmtInserts)
+     << ",\"cache_smt_evictions\":" << D.get(PerfCounter::CacheSmtEvictions)
+     << ",\"cache_pbe_hits\":" << D.get(PerfCounter::CachePbeHits)
+     << ",\"cache_pbe_misses\":" << D.get(PerfCounter::CachePbeMisses)
+     << ",\"cache_sge_hits\":" << D.get(PerfCounter::CacheSgeHits)
+     << ",\"cache_sge_misses\":" << D.get(PerfCounter::CacheSgeMisses)
+     << ",\"cache_suite_hits\":" << D.get(PerfCounter::CacheSuiteHits)
+     << ",\"cache_suite_misses\":" << D.get(PerfCounter::CacheSuiteMisses)
+     << ",\"cache_bytes_written\":" << D.get(PerfCounter::CacheBytesWritten)
+     << ",\"cache_bytes_loaded\":" << D.get(PerfCounter::CacheBytesLoaded)
+     << "}";
 }

@@ -3,6 +3,10 @@
 #include "synth/Enumerator.h"
 
 #include "ast/Simplify.h"
+#include "cache/CacheConfig.h"
+#include "cache/Canonical.h"
+#include "cache/SgeSolutionCache.h"
+#include "cache/TermIO.h"
 #include "support/Counters.h"
 #include "support/Diagnostics.h"
 #include "support/PerfCounters.h"
@@ -180,6 +184,74 @@ Enumerator::synthesizeScalar(const TypePtr &OutTy,
   // With no examples any term works; return the simplest.
   if (Examples.empty())
     return WantInt ? mkIntLit(0) : mkFalse();
+
+  // Memo key: grammar ⊎ size bound ⊎ output type ⊎ per-example leaf values
+  // and outputs. Leaf values (not leaf identities) make entries transfer
+  // between Enumerator instances over different variables — a term's
+  // behavior on the examples, and hence whether any term of a given size
+  // fits, is a function of exactly these inputs.
+  Hash128 MemoKey{};
+  bool HaveKey = false;
+  if (cacheEnabled()) {
+    Hash128 K = hash128Seed(0x50);
+    K = hashGrammarConfig(K, Config);
+    K = hash128Combine(K, static_cast<std::uint64_t>(MaxSize));
+    K = hash128Combine(K, WantInt ? 2u : OutTy->isBool() ? 1u : 0u);
+    try {
+      for (const PbeExample &Ex : Examples) {
+        for (const TermPtr &L : Leaves)
+          if (L->getType()->isInt() || L->getType()->isBool())
+            K = hash128Combine(K, valueHash(evalScalarTerm(L, Ex.Inputs)));
+        K = hash128Combine(K, valueHash(Ex.Output));
+      }
+      MemoKey = K;
+      HaveKey = true;
+    } catch (const UserError &) {
+      // A leaf is unbound under these examples; the key would be partial.
+    }
+  }
+  if (HaveKey)
+    if (auto Hit = pbeMemo().lookup(MemoKey)) {
+      if (!Hit->Found)
+        return std::nullopt; // definitive: that search space was exhausted
+      if (TermPtr T = termFromText(Hit->TermText, Leaves))
+        if (T->getType()->isInt() == WantInt) {
+          // Re-validate on the examples before trusting the entry.
+          bool Ok = true;
+          try {
+            for (const PbeExample &Ex : Examples)
+              if (!valueEquals(evalScalarTerm(T, Ex.Inputs), Ex.Output)) {
+                Ok = false;
+                break;
+              }
+          } catch (const UserError &) {
+            Ok = false;
+          }
+          if (Ok)
+            return T;
+        }
+      // Malformed or mismatching entry: fall through to the search.
+    }
+
+  auto R = enumerateScalar(OutTy, Examples, MaxSize, Budget);
+  if (HaveKey) {
+    if (R) {
+      std::string Text = termToText(*R, Leaves);
+      if (!Text.empty())
+        pbeMemo().insert(MemoKey, PbeMemoEntry{true, std::move(Text)});
+    } else if (!Budget.expired()) {
+      // The search ran dry (not out of time): a definitive negative.
+      pbeMemo().insert(MemoKey, PbeMemoEntry{false, {}});
+    }
+  }
+  return R;
+}
+
+std::optional<TermPtr>
+Enumerator::enumerateScalar(const TypePtr &OutTy,
+                            const std::vector<PbeExample> &Examples,
+                            int MaxSize, const Deadline &Budget) {
+  bool WantInt = OutTy->isInt();
 
   std::uint64_t Target = 1469598103934665603ULL;
   for (const PbeExample &Ex : Examples)

@@ -47,10 +47,20 @@ public:
                                     int MaxSize, const Deadline &Budget);
 
 private:
+  /// Memo wrapper around \c enumerateScalar: consults the process-wide PBE
+  /// memo (cache/SgeSolutionCache.h) when caching is enabled. Positive hits
+  /// are re-validated against the examples; negative entries are recorded
+  /// only for exhausted searches, never deadline exits.
   std::optional<TermPtr>
   synthesizeScalar(const TypePtr &OutTy,
                    const std::vector<PbeExample> &Examples, int MaxSize,
                    const Deadline &Budget);
+
+  /// The bottom-up search itself.
+  std::optional<TermPtr>
+  enumerateScalar(const TypePtr &OutTy,
+                  const std::vector<PbeExample> &Examples, int MaxSize,
+                  const Deadline &Budget);
 
   GrammarConfig Config;
   std::vector<TermPtr> Leaves;

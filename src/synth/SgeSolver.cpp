@@ -3,6 +3,9 @@
 #include "synth/SgeSolver.h"
 
 #include "ast/Simplify.h"
+#include "cache/CacheConfig.h"
+#include "cache/Canonical.h"
+#include "cache/SgeSolutionCache.h"
 #include "support/Diagnostics.h"
 
 #include <cassert>
@@ -294,10 +297,48 @@ SgeResult SgeSolver::solve(const Sge &System, const Deadline &Budget) {
   SgeResult Result;
   std::vector<SmtModel> Points;
 
-  // Initial candidate: defaults (round 0 behaves like classic CEGIS).
+  // Warm start: a previously solved, structurally equal system (the
+  // refinement/coarsening loops re-emit them, and portfolio members emit
+  // them concurrently) seeds the initial candidate. The candidate still
+  // goes through full round-0 verification below, so a wrong or stale
+  // entry costs one verification round and nothing else.
+  Hash128 SystemKey{};
+  bool HaveKey = false;
   UnknownBindings Candidate;
-  for (const UnknownInfo &I : Infos)
-    Candidate[I.Sig.Name] = UnknownDef{I.Params, mkDefaultTerm(I.Sig.RetTy)};
+  if (cacheEnabled()) {
+    std::vector<TermPtr> EqTerms;
+    for (const SgeEquation &E : System.Eqns)
+      EqTerms.push_back(
+          mkOp(OpKind::Implies, {E.Guard, mkEq(E.Lhs, E.Rhs)}));
+    SystemKey = canonicalSystemHash(EqTerms);
+    SystemKey = hashGrammarConfig(SystemKey, Config);
+    for (const UnknownInfo &I : Infos)
+      SystemKey = hashUnknownSig(SystemKey, I.Sig);
+    HaveKey = true;
+    if (auto Hit = sgeSolutionCache().lookup(SystemKey)) {
+      // Re-express the cached bodies over this solver's parameters.
+      for (const UnknownInfo &I : Infos) {
+        auto It = Hit->Solution.find(I.Sig.Name);
+        if (It == Hit->Solution.end() ||
+            It->second.Params.size() != I.Params.size()) {
+          Candidate.clear();
+          break;
+        }
+        Substitution Map;
+        for (size_t K = 0; K < I.Params.size(); ++K)
+          Map.emplace_back(It->second.Params[K]->Id, mkVar(I.Params[K]));
+        Candidate[I.Sig.Name] =
+            UnknownDef{I.Params, substitute(It->second.Body, Map)};
+      }
+    }
+  }
+
+  // Initial candidate: defaults (round 0 behaves like classic CEGIS).
+  if (Candidate.size() != Infos.size()) {
+    Candidate.clear();
+    for (const UnknownInfo &I : Infos)
+      Candidate[I.Sig.Name] = UnknownDef{I.Params, mkDefaultTerm(I.Sig.RetTy)};
+  }
 
   const int MaxRounds = 64;
   for (int Round = 0; Round < MaxRounds; ++Round) {
@@ -340,6 +381,8 @@ SgeResult SgeSolver::solve(const Sge &System, const Deadline &Budget) {
     }
     if (!Failed) {
       Result.Status = SgeStatus::Solved;
+      if (HaveKey)
+        sgeSolutionCache().insert(SystemKey, SgeCacheEntry{Candidate});
       Result.Solution = std::move(Candidate);
       return Result;
     }

@@ -12,6 +12,9 @@
 ///     --jobs N                                 worker threads for sweeps /
 ///                                              portfolio bookkeeping
 ///     --seed N                                 Z3 random seed
+///     --cache off|mem|disk                     memoization mode
+///     --cache-dir DIR                          persistent store directory
+///                                              (default: ./.se2gis-cache)
 ///     --print-problem                          echo the parsed components
 ///     --quiet                                  result line only
 ///
@@ -39,14 +42,21 @@ void usage() {
   std::fprintf(
       stderr,
       "usage: se2gis [--algo se2gis|segis|segis-uc|portfolio] [--timeout N]\n"
-      "              [--timeout-ms N] [--jobs N] [--seed N] [--print-problem]\n"
-      "              [--quiet] <problem-file>\n");
+      "              [--timeout-ms N] [--jobs N] [--seed N]\n"
+      "              [--cache off|mem|disk] [--cache-dir DIR]\n"
+      "              [--print-problem] [--quiet] <problem-file>\n");
 }
 
 } // namespace
 
 int main(int argc, char **argv) {
-  SolverConfig Config = SolverConfig::fromEnv(/*DefaultTimeoutMs=*/60000);
+  SolverConfig Config;
+  try {
+    Config = SolverConfig::fromEnv(/*DefaultTimeoutMs=*/60000);
+  } catch (const UserError &E) {
+    std::fprintf(stderr, "error: %s\n", E.what());
+    return 64;
+  }
   AlgorithmKind Algo = AlgorithmKind::SE2GIS;
   bool PrintProblem = false;
   bool Quiet = false;
@@ -74,6 +84,16 @@ int main(int argc, char **argv) {
     } else if (Arg == "--seed" && I + 1 < argc) {
       long long V = std::atoll(argv[++I]);
       Config.Algo.Seed = V > 0 ? static_cast<unsigned>(V) : 0;
+    } else if (Arg == "--cache" && I + 1 < argc) {
+      std::string Name = argv[++I];
+      auto Mode = parseCacheMode(Name);
+      if (!Mode) {
+        std::fprintf(stderr, "error: unknown cache mode '%s'\n", Name.c_str());
+        return 64;
+      }
+      Config.Cache.Mode = *Mode;
+    } else if (Arg == "--cache-dir" && I + 1 < argc) {
+      Config.Cache.Dir = argv[++I];
     } else if (Arg == "--print-problem") {
       PrintProblem = true;
     } else if (Arg == "--quiet") {
@@ -92,6 +112,13 @@ int main(int argc, char **argv) {
   if (Path.empty()) {
     usage();
     return 64;
+  }
+  if (Config.Cache.Mode == CacheMode::Disk) {
+    std::string Err = validateCacheDir(Config.Cache.Dir);
+    if (!Err.empty()) {
+      std::fprintf(stderr, "error: --cache-dir: %s\n", Err.c_str());
+      return 64;
+    }
   }
 
   std::ifstream In(Path);
