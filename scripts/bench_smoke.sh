@@ -98,9 +98,11 @@ SE2GIS_JOBS=$JOBS SE2GIS_FILTER=list SE2GIS_TIMEOUT="$DEADLINE" \
 # Every [suite] progress line must carry one of the four verdicts; a pair
 # that started but never reported would show up as a missing/odd line (or,
 # worse, the driver would still be running and the redirect above would
-# never return).
-STARTED=$(grep -c '^\[suite\] [a-z]' "$OUT_DIR/smoke_deadline.out.log" || true)
-VERDICTS=$(awk '/^\[suite\] [a-z]/ {
+# never return). Progress lines now come from the structured logger, so the
+# first field is the full [suite][level][timestamp][t=N] prefix (no spaces)
+# and the benchmark name is field 2.
+STARTED=$(grep -c '^\[suite\]\[[a-z]*\]\[[^ ]*\] [a-z]' "$OUT_DIR/smoke_deadline.out.log" || true)
+VERDICTS=$(awk '/^\[suite\]\[[a-z]*\]\[[^ ]*\] [a-z]/ {
     ok = 0
     for (i = 1; i <= NF; ++i)
       if ($i ~ /^(realizable|unrealizable|timeout|failed)$/) ok = 1
@@ -161,3 +163,64 @@ echo "[smoke] cache pass: warm SMT hit rate ${RATE}% ($HITS hits," \
      "${MISSES:-0} misses); cold ${COLD_S}s -> warm ${WARM_S}s" \
      "(speedup ${SPEEDUP}x)"
 echo "[smoke] perf summaries: $OUT_DIR/BENCH_smoke_cold.json $OUT_DIR/BENCH_smoke_warm.json"
+
+# --- Trace pass: Chrome trace_event export + latency quantiles ------------
+TRACE_JSON="$OUT_DIR/smoke_trace.json"
+rm -f "$TRACE_JSON"
+
+echo "[smoke] trace pass: SE2GIS_TRACE on (SE2GIS_JOBS=$JOBS)..."
+T6=$(date +%s.%N)
+SE2GIS_JOBS=$JOBS SE2GIS_PERF_JSON="$OUT_DIR/BENCH_smoke_trace.json" \
+  SE2GIS_FILTER=$FILTER SE2GIS_TIMEOUT_MS=${SE2GIS_TIMEOUT_MS:-20000} \
+  SE2GIS_TRACE="$TRACE_JSON" \
+  "$DRIVER" >"$OUT_DIR/smoke_trace.out" 2>"$OUT_DIR/smoke_trace.out.log"
+T7=$(date +%s.%N)
+
+if [ ! -s "$TRACE_JSON" ]; then
+  echo "[smoke] FAIL: SE2GIS_TRACE produced no trace file at $TRACE_JSON" >&2
+  exit 1
+fi
+
+# The trace must parse as JSON (python3 when available, else a brace-balance
+# sanity check) and contain at least one span per instrumented category.
+if command -v python3 >/dev/null 2>&1; then
+  python3 - "$TRACE_JSON" <<'PY'
+import json, sys
+with open(sys.argv[1]) as f:
+    trace = json.load(f)
+events = trace["traceEvents"]
+spans = [e for e in events if e.get("ph") == "X"]
+cats = {e["cat"] for e in spans}
+tids = {e["tid"] for e in spans}
+for want in ("suite", "round", "smt"):
+    assert want in cats, f"no '{want}' spans in trace (have {sorted(cats)})"
+assert len(tids) >= 2, f"expected multiple thread tracks, got {sorted(tids)}"
+print(f"[smoke] trace pass: {len(spans)} spans, categories {sorted(cats)}, "
+      f"{len(tids)} thread tracks")
+PY
+else
+  for CAT in suite round smt; do
+    if ! grep -q "\"cat\":\"$CAT\"" "$TRACE_JSON"; then
+      echo "[smoke] FAIL: no '$CAT' spans in $TRACE_JSON" >&2
+      exit 1
+    fi
+  done
+  echo "[smoke] trace pass: category spot-check passed (python3 unavailable)"
+fi
+
+# The perf JSON must now carry the latency quantiles.
+for KEY in smt_check_p50_ms smt_check_p99_ms enum_round_p50_ms enum_round_p99_ms; do
+  if ! grep -q "\"$KEY\"" "$OUT_DIR/BENCH_smoke_trace.json"; then
+    echo "[smoke] FAIL: perf JSON lacks \"$KEY\"" >&2
+    exit 1
+  fi
+done
+SMT_COUNT=$(perf_key "$OUT_DIR/BENCH_smoke_trace.json" smt_check_count)
+if [ -z "$SMT_COUNT" ] || [ "$SMT_COUNT" -eq 0 ]; then
+  echo "[smoke] FAIL: smt_check histogram recorded no samples" >&2
+  exit 1
+fi
+TRACE_S=$(echo "$T7 $T6" | awk '{printf "%.1f", $1-$2}')
+echo "[smoke] trace pass: perf quantile keys present ($SMT_COUNT SMT samples);" \
+     "traced sweep ${TRACE_S}s vs untraced ${PAR}s"
+echo "[smoke] trace file: $TRACE_JSON (load in ui.perfetto.dev)"

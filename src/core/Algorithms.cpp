@@ -13,6 +13,7 @@
 #include "eval/SymbolicEval.h"
 #include "support/Diagnostics.h"
 #include "support/Stopwatch.h"
+#include "support/Trace.h"
 #include "synth/Grammar.h"
 #include "synth/SgeSolver.h"
 
@@ -96,6 +97,7 @@ Outcome se2gis::runSE2GIS(const Problem &P, const AlgoOptions &Opts) {
     setSmtRandomSeed(Opts.Seed);
   CounterSnapshot Before = snapshotCounters();
   PerfSnapshot PerfBefore = snapshotPerf();
+  PhaseSnapshot PhaseBefore = phaseSnapshot();
   Outcome Result;
 
   GrammarConfig Grammar = inferGrammar(P);
@@ -140,6 +142,13 @@ Outcome se2gis::runSE2GIS(const Problem &P, const AlgoOptions &Opts) {
   };
 
   while (true) {
+    TraceSpan Round("se2gis.round", "round");
+    if (Round.active()) {
+      Round.arg("refinements",
+                static_cast<std::int64_t>(Result.Stats.Refinements));
+      Round.arg("coarsenings",
+                static_cast<std::int64_t>(Result.Stats.Coarsenings));
+    }
     if (Budget.expired()) {
       Result.V = Verdict::Timeout;
       break;
@@ -154,6 +163,7 @@ Outcome se2gis::runSE2GIS(const Problem &P, const AlgoOptions &Opts) {
     if (W) {
       Result.Stats.Steps += "\u25e6"; // ◦
       ++Result.Stats.Coarsenings;
+      Round.arg("kind", "coarsen");
 
       WitnessCheckResult Chk = Checker.check(*W, System, Budget);
       if (Chk.Verdict == WitnessVerdict::Valid) {
@@ -181,6 +191,7 @@ Outcome se2gis::runSE2GIS(const Problem &P, const AlgoOptions &Opts) {
           ++Result.Stats.ImageInvariants;
         Result.Stats.AllInvariantsByInduction &= Inv->ByInduction;
       }
+      Round.arg("lemmas", static_cast<std::uint64_t>(Lemmas.size()));
       if (!LearnedAny) {
         Result.V = Budget.expired() ? Verdict::Timeout : Verdict::Failed;
         if (Result.V == Verdict::Failed)
@@ -197,6 +208,8 @@ Outcome se2gis::runSE2GIS(const Problem &P, const AlgoOptions &Opts) {
     if (SR.Status == SgeStatus::Solved) {
       Result.Stats.Steps += "•"; // •
       ++Result.Stats.Refinements;
+      Round.arg("kind", "refine");
+      Round.arg("sge_rounds", static_cast<std::int64_t>(SR.Rounds));
 
       VerifyOptions VOpts;
       VOpts.Bounded = Opts.Bounded;
@@ -240,6 +253,7 @@ Outcome se2gis::runSE2GIS(const Problem &P, const AlgoOptions &Opts) {
   Result.Stats.ElapsedMs = Timer.elapsedMs();
   Result.Stats.Counters = snapshotCounters().since(Before);
   Result.Stats.Perf = snapshotPerf().since(PerfBefore);
+  Result.Stats.Phases = phaseSnapshot().since(PhaseBefore);
   return Result;
 }
 
@@ -254,6 +268,7 @@ Outcome se2gis::runSEGIS(const Problem &P, const AlgoOptions &Opts,
     setSmtRandomSeed(Opts.Seed);
   CounterSnapshot Before = snapshotCounters();
   PerfSnapshot PerfBefore = snapshotPerf();
+  PhaseSnapshot PhaseBefore = phaseSnapshot();
   Outcome Result;
 
   GrammarConfig Grammar = inferGrammar(P);
@@ -301,6 +316,12 @@ Outcome se2gis::runSEGIS(const Problem &P, const AlgoOptions &Opts,
     AddShape(Stream.next());
 
   while (true) {
+    TraceSpan Round("segis.round", "round");
+    if (Round.active()) {
+      Round.arg("refinements",
+                static_cast<std::int64_t>(Result.Stats.Refinements));
+      Round.arg("terms", static_cast<std::uint64_t>(Terms.size()));
+    }
     if (Budget.expired()) {
       Result.V = Verdict::Timeout;
       break;
@@ -336,6 +357,8 @@ Outcome se2gis::runSEGIS(const Problem &P, const AlgoOptions &Opts,
     if (SR.Status == SgeStatus::Solved) {
       Result.Stats.Steps += "•";
       ++Result.Stats.Refinements;
+      Round.arg("kind", "refine");
+      Round.arg("sge_rounds", static_cast<std::int64_t>(SR.Rounds));
 
       VerifyOptions VOpts;
       VOpts.Bounded = Opts.Bounded;
@@ -380,6 +403,7 @@ Outcome se2gis::runSEGIS(const Problem &P, const AlgoOptions &Opts,
   Result.Stats.ElapsedMs = Timer.elapsedMs();
   Result.Stats.Counters = snapshotCounters().since(Before);
   Result.Stats.Perf = snapshotPerf().since(PerfBefore);
+  Result.Stats.Phases = phaseSnapshot().since(PhaseBefore);
   return Result;
 }
 

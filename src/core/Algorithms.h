@@ -100,6 +100,10 @@ struct RunStats {
   /// a run's delta includes events of concurrently running jobs; the
   /// per-run numbers are exact only at SE2GIS_JOBS=1.
   PerfSnapshot Perf;
+  /// Where this run's wall time went (eval / SMT / enumeration / induction,
+  /// exclusive attribution — see PhaseScope). Thread-local, so exact even
+  /// under a parallel sweep: each run executes on one worker thread.
+  PhaseSnapshot Phases;
   /// Graceful degradation: when the run times out, the last candidate the
   /// CEGIS loop tried (pretty-printed), so a sweep still shows how far the
   /// search got. Empty on conclusive verdicts.

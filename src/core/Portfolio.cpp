@@ -4,6 +4,7 @@
 
 #include "support/Stopwatch.h"
 #include "support/ThreadPool.h"
+#include "support/Trace.h"
 
 #include <chrono>
 #include <condition_variable>
@@ -29,9 +30,14 @@ Outcome se2gis::runPortfolio(const Problem &P, const AlgoOptions &Opts) {
   };
 
   auto Worker = [&](int Slot, AlgorithmKind K) {
+    TraceSpan Span("portfolio.member", "portfolio");
     AlgoOptions Local = Opts;
     Local.Token = Token;
     Outcome R = runAlgorithm(K, P, Local);
+    if (Span.active()) {
+      Span.arg("algorithm", algorithmName(K));
+      Span.arg("verdict", verdictName(R.V));
+    }
     if (R.Detail.empty())
       R.Detail = std::string("portfolio: ") + algorithmName(K);
     std::lock_guard<std::mutex> Lock(M);

@@ -3,6 +3,7 @@
 #include "core/SynthesisTask.h"
 
 #include "support/Diagnostics.h"
+#include "support/Trace.h"
 
 #include <cstdlib>
 
@@ -48,6 +49,19 @@ SolverConfig SolverConfig::fromEnv(std::int64_t DefaultTimeoutMs) {
     if (!Err.empty())
       userError("SE2GIS_CACHE_DIR: " + Err);
   }
+  if (const char *L = std::getenv("SE2GIS_LOG")) {
+    auto Level = parseLogLevel(L);
+    if (!Level)
+      userError(std::string("SE2GIS_LOG: unknown log level '") + L +
+                "' (expected error, warn, info, or debug)");
+    C.Log.Level = *Level;
+  } else if (std::getenv("SE2GIS_DEBUG")) {
+    C.Log.Level = LogLevel::Debug;
+  }
+  if (const char *J = std::getenv("SE2GIS_LOG_JSON"))
+    C.Log.JsonPath = J;
+  if (const char *T = std::getenv("SE2GIS_TRACE"))
+    C.TracePath = T;
   return C;
 }
 
@@ -59,6 +73,9 @@ Outcome SynthesisTask::run(const SolverConfig &Config) const {
   }
   try {
     configureCache(Config.Cache);
+    configureLogging(Config.Log);
+    if (!Config.TracePath.empty())
+      traceConfigure(Config.TracePath);
     R = runAlgorithm(Algorithm, *Prob, Config.Algo);
   } catch (const UserError &E) {
     R.V = Verdict::Failed;

@@ -19,6 +19,7 @@
 
 #include "cache/CacheConfig.h"
 #include "core/Algorithms.h"
+#include "support/Log.h"
 
 #include <memory>
 
@@ -43,6 +44,12 @@ struct SolverConfig {
   /// Memoization subsystem: mode (off/mem/disk) and, for disk, the store
   /// directory (DESIGN.md "Memoization model").
   CacheSettings Cache;
+  /// Leveled logging: admitted level and optional JSONL sink
+  /// (DESIGN.md "Observability model").
+  LogSettings Log;
+  /// When non-empty, tracing is on and a Chrome trace_event JSON file is
+  /// flushed here at the end of the run / sweep (load it in Perfetto).
+  std::string TracePath;
 
   /// Builds a config from the environment (the only SE2GIS_* reader):
   ///  - SE2GIS_TIMEOUT_MS — overall budget in milliseconds, or
@@ -53,6 +60,10 @@ struct SolverConfig {
   ///  - SE2GIS_CACHE — "off" (default), "mem", or "disk"; SE2GIS_CACHE_DIR
   ///    — the disk-mode store directory (default ./.se2gis-cache). Throws
   ///    UserError on an unparsable mode or an unusable cache directory.
+  ///  - SE2GIS_LOG — log level (error|warn|info|debug; throws UserError on
+  ///    anything else); SE2GIS_LOG_JSON — JSONL log sink path. The legacy
+  ///    SE2GIS_DEBUG=1 implies debug level unless SE2GIS_LOG is set.
+  ///  - SE2GIS_TRACE — trace output path (enables tracing).
   static SolverConfig fromEnv(std::int64_t DefaultTimeoutMs = 5000);
 };
 

@@ -5,12 +5,16 @@
 #include "ast/Simplify.h"
 #include "support/Counters.h"
 #include "support/Diagnostics.h"
+#include "support/PerfCounters.h"
 
 #include <cassert>
 
 using namespace se2gis;
 
 TermPtr SymbolicEvaluator::eval(const TermPtr &T) {
+  // The entry point (norm recurses below it), so one scope covers the whole
+  // evaluation without per-step overhead.
+  PhaseScope EvalPhase(Phase::Eval);
   Steps = 0;
   return norm(T);
 }

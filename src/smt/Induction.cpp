@@ -6,6 +6,8 @@
 #include "eval/SymbolicEval.h"
 #include "smt/Solver.h"
 #include "support/Diagnostics.h"
+#include "support/PerfCounters.h"
+#include "support/Trace.h"
 
 #include <cassert>
 
@@ -180,6 +182,8 @@ bool tryInductionOn(const Program &Prog, const TermPtr &Goal, const VarPtr &X,
 
 bool se2gis::proveByInduction(const Program &Prog, const TermPtr &Goal,
                               const InductionOptions &Opts) {
+  TraceSpan Span("induction.prove", "smt");
+  PhaseScope InductionPhase(Phase::Induction);
   std::vector<VarPtr> DataVars;
   for (const VarPtr &V : freeVars(Goal))
     if (V->Ty->isData())

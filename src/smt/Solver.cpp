@@ -8,6 +8,8 @@
 #include "support/Counters.h"
 #include "support/Diagnostics.h"
 #include "support/PerfCounters.h"
+#include "support/Stopwatch.h"
+#include "support/Trace.h"
 
 #include <z3++.h>
 
@@ -327,6 +329,24 @@ void SmtQuery::setDeadline(const Deadline &Budget) {
 
 SmtResult SmtQuery::checkSat(int TimeoutMs, SmtModel *ModelOut,
                              std::vector<ValuePtr> *ValuesOut) {
+  TraceSpan Span("smt.checkSat", "smt");
+  PhaseScope SmtPhase(Phase::Smt);
+  Stopwatch Watch;
+  bool CacheHit = false;
+  SmtResult R = checkSatImpl(TimeoutMs, ModelOut, ValuesOut, CacheHit);
+  perfRecordNs(PerfHistogram::SmtCheckNs, Watch.elapsedNs());
+  if (Span.active()) {
+    Span.arg("verdict", R == SmtResult::Sat     ? "sat"
+                        : R == SmtResult::Unsat ? "unsat"
+                                                : "unknown");
+    Span.arg("cache", CacheHit ? "hit" : "miss");
+  }
+  return R;
+}
+
+SmtResult SmtQuery::checkSatImpl(int TimeoutMs, SmtModel *ModelOut,
+                                 std::vector<ValuePtr> *ValuesOut,
+                                 bool &CacheHit) {
   countEvent(CounterKind::SmtChecks);
   perfAdd(PerfCounter::SmtQueries);
   // The Z3 budget mapping: clamp the per-query slice to the remaining run
@@ -345,8 +365,12 @@ SmtResult SmtQuery::checkSat(int TimeoutMs, SmtModel *ModelOut,
   const bool UseCache = cacheEnabled();
   CanonicalQuery CQ;
   if (UseCache) {
+    Stopwatch ProbeWatch;
     CQ = canonicalizeQuery(I->HardTerms, I->SoftTerms, I->Requests);
-    if (auto Hit = smtQueryCache().lookup(CQ, I->Requests.size())) {
+    auto Hit = smtQueryCache().lookup(CQ, I->Requests.size());
+    perfRecordNs(PerfHistogram::CacheProbeNs, ProbeWatch.elapsedNs());
+    if (Hit) {
+      CacheHit = true;
       if (Hit->Result == CachedSmtResult::Unsat) {
         perfAdd(PerfCounter::SmtUnsat);
         return SmtResult::Unsat;

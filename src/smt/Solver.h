@@ -80,7 +80,10 @@ public:
   void setDeadline(const Deadline &Budget);
 
   /// Runs the check with a per-query timeout (further clamped to the
-  /// deadline set via \c setDeadline, if any).
+  /// deadline set via \c setDeadline, if any). Every call is observable: it
+  /// records an "smt.checkSat" trace span (verdict + cache hit/miss args),
+  /// feeds the PerfHistogram::SmtCheckNs latency histogram, and attributes
+  /// its wall time to Phase::Smt.
   /// \param ModelOut if non-null and Sat, receives values for all free
   ///        variables seen in assertions.
   /// \param ValuesOut if non-null and Sat, receives the requested values.
@@ -88,6 +91,9 @@ public:
                      std::vector<ValuePtr> *ValuesOut = nullptr);
 
 private:
+  SmtResult checkSatImpl(int TimeoutMs, SmtModel *ModelOut,
+                         std::vector<ValuePtr> *ValuesOut, bool &CacheHit);
+
   struct Impl;
   std::unique_ptr<Impl> I;
 };

@@ -5,9 +5,11 @@
 #include "cache/CacheConfig.h"
 #include "cache/TermIO.h"
 #include "support/Diagnostics.h"
+#include "support/Log.h"
 #include "support/PerfCounters.h"
 #include "support/Stopwatch.h"
 #include "support/ThreadPool.h"
+#include "support/Trace.h"
 
 #include <cstdio>
 #include <cstdlib>
@@ -26,8 +28,9 @@ SuiteOptions se2gis::suiteOptionsFromEnv(std::int64_t DefaultTimeoutMs) {
 
 namespace {
 
-/// Serializes progress lines from concurrent workers so interleaved runs
-/// stay readable; the line format is the historical sequential one.
+/// Emits progress lines through the structured logger (which serializes
+/// concurrent workers); the columns are the historical sequential ones, now
+/// behind the logger's [suite][info][ts][t=N] prefix.
 class ProgressReporter {
 public:
   explicit ProgressReporter(bool Enabled) : Enabled(Enabled) {}
@@ -35,15 +38,13 @@ public:
   void report(const SuiteRecord &Rec) {
     if (!Enabled)
       return;
-    std::lock_guard<std::mutex> Lock(M);
-    std::fprintf(stderr, "[suite] %-36s %-9s %-12s %8.1f ms  %s\n",
-                 Rec.Def->Name.c_str(), algorithmName(Rec.Algorithm),
-                 verdictName(Rec.Result.V), Rec.Result.Stats.ElapsedMs,
-                 Rec.Result.Stats.Steps.c_str());
+    logf(LogLevel::Info, "suite", "%-36s %-9s %-12s %8.1f ms  %s",
+         Rec.Def->Name.c_str(), algorithmName(Rec.Algorithm),
+         verdictName(Rec.Result.V), Rec.Result.Stats.ElapsedMs,
+         Rec.Result.Stats.Steps.c_str());
   }
 
 private:
-  std::mutex M;
   bool Enabled;
 };
 
@@ -130,6 +131,11 @@ std::optional<UnknownBindings> decodeSuiteSolution(const Problem &P,
 /// stale negative must not hide a newly solvable benchmark.
 void runOne(SuiteRecord &Rec, std::shared_ptr<const Problem> P,
             const SolverConfig &Config, ProgressReporter &Progress) {
+  TraceSpan Span("suite.run", "suite");
+  if (Span.active()) {
+    Span.arg("benchmark", Rec.Def->Name);
+    Span.arg("algorithm", algorithmName(Rec.Algorithm));
+  }
   Hash128 Key{};
   const bool TryWarm = cachePersistent() && P != nullptr;
   if (TryWarm) {
@@ -155,6 +161,7 @@ void runOne(SuiteRecord &Rec, std::shared_ptr<const Problem> P,
         }
       }
     if (Hit) {
+      Span.arg("verdict", verdictName(Rec.Result.V));
       Progress.report(Rec);
       return;
     }
@@ -167,6 +174,7 @@ void runOne(SuiteRecord &Rec, std::shared_ptr<const Problem> P,
     if (!Payload.empty())
       persistentInsert("suite", Key, Payload);
   }
+  Span.arg("verdict", verdictName(Rec.Result.V));
   Progress.report(Rec);
 }
 
@@ -187,8 +195,8 @@ std::vector<SuiteRecord> runSuiteSequential(const SuiteOptions &Opts) {
     try {
       P = std::make_shared<const Problem>(loadBenchmark(Def));
     } catch (const UserError &E) {
-      std::fprintf(stderr, "[suite] %s: load error: %s\n", Def.Name.c_str(),
-                   E.what());
+      logf(LogLevel::Warn, "suite", "%s: load error: %s", Def.Name.c_str(),
+           E.what());
       continue;
     }
     for (AlgorithmKind K : Opts.Algorithms) {
@@ -226,8 +234,8 @@ std::vector<SuiteRecord> runSuiteParallel(const SuiteOptions &Opts,
     try {
       P = std::make_shared<const Problem>(loadBenchmark(Def));
     } catch (const UserError &E) {
-      std::fprintf(stderr, "[suite] %s: load error: %s\n", Def.Name.c_str(),
-                   E.what());
+      logf(LogLevel::Warn, "suite", "%s: load error: %s", Def.Name.c_str(),
+           E.what());
       continue;
     }
     for (AlgorithmKind K : Opts.Algorithms) {
@@ -257,8 +265,13 @@ std::vector<SuiteRecord> se2gis::runSuite(const SuiteOptions &Opts) {
   Stopwatch Wall;
   // Configure the memoization subsystem before the sweep starts (rather
   // than inside the first SynthesisTask::run) so the persistent segments
-  // are loaded before any warm-start lookup.
+  // are loaded before any warm-start lookup. Logging and tracing likewise:
+  // progress lines and the per-record spans must respect the config from
+  // the very first benchmark.
   configureCache(Opts.Config.Cache);
+  configureLogging(Opts.Config.Log);
+  if (!Opts.Config.TracePath.empty())
+    traceConfigure(Opts.Config.TracePath);
   PerfSnapshot Before = snapshotPerf();
   unsigned Jobs = Opts.Config.Jobs ? Opts.Config.Jobs : ThreadPool::defaultConcurrency();
   std::vector<SuiteRecord> Records = Jobs <= 1
@@ -270,9 +283,11 @@ std::vector<SuiteRecord> se2gis::runSuite(const SuiteOptions &Opts) {
       writeSuitePerfJson(OS, Records, snapshotPerf().since(Before),
                          Wall.elapsedMs(), Jobs);
     else
-      std::fprintf(stderr, "[suite] cannot write perf summary to %s\n",
-                   Opts.Config.PerfJsonPath.c_str());
+      logf(LogLevel::Error, "suite", "cannot write perf summary to %s",
+           Opts.Config.PerfJsonPath.c_str());
   }
+  if (!Opts.Config.TracePath.empty())
+    traceFlush();
   return Records;
 }
 
@@ -295,7 +310,12 @@ void se2gis::writeSuitePerfJson(std::ostream &OS,
        << algorithmName(R.Algorithm) << "\", \"outcome\": \""
        << verdictName(R.Result.V) << "\", \"solved\": "
        << (isSolved(R) ? "true" : "false")
-       << ", \"elapsed_ms\": " << R.Result.Stats.ElapsedMs << "}";
+       << ", \"elapsed_ms\": " << R.Result.Stats.ElapsedMs
+       << ", \"phase_ms\": {\"eval\": " << R.Result.Stats.Phases.getMs(Phase::Eval)
+       << ", \"smt\": " << R.Result.Stats.Phases.getMs(Phase::Smt)
+       << ", \"enum\": " << R.Result.Stats.Phases.getMs(Phase::Enum)
+       << ", \"induction\": "
+       << R.Result.Stats.Phases.getMs(Phase::Induction) << "}}";
   }
   OS << "\n  ]\n}\n";
 }

@@ -2,16 +2,22 @@
 
 #include "support/Diagnostics.h"
 
-#include <cstdio>
+#include "support/Log.h"
+
 #include <cstdlib>
 
 using namespace se2gis;
 
 void se2gis::fatalError(const std::string &Message) {
-  std::fprintf(stderr, "se2gis internal error: %s\n", Message.c_str());
+  logMessage(LogLevel::Error, "fatal", "internal error: " + Message);
   std::abort();
 }
 
 void se2gis::userError(const std::string &Message) {
+  // UserError doubles as control flow on hot paths (e.g. the enumerator
+  // catches unbound-variable failures per candidate), so only narrate it at
+  // debug verbosity — the logEnabled guard is one relaxed atomic load.
+  if (logEnabled(LogLevel::Debug))
+    logMessage(LogLevel::Debug, "diag", Message);
   throw UserError(Message);
 }

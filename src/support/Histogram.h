@@ -1,0 +1,153 @@
+//===- Histogram.h - Log-bucketed latency histograms ------------*- C++-*-===//
+///
+/// \file
+/// Lock-free latency histograms for the hot primitives of the solver stack.
+/// Values (nanoseconds) land in power-of-two buckets — bucket 0 holds {0},
+/// bucket b holds [2^(b-1), 2^b) — so recording is a bit-scan plus one
+/// relaxed atomic increment, cheap enough for per-SMT-query and
+/// per-enumerator-round use. Quantiles (p50/p90/p99) are estimated from the
+/// bucket counts with linear interpolation inside the target bucket; the
+/// maximum is tracked exactly via an atomic CAS loop.
+///
+/// \c HistogramSnapshot is the value-type view used by the perf-snapshot
+/// machinery (support/PerfCounters.h): bucket counts, count, and sum
+/// subtract componentwise in \c since; the windowed maximum is approximated
+/// by the upper bound of the highest non-empty delta bucket (capped by the
+/// lifetime maximum), since an exact per-window max would need per-window
+/// state on the hot path.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SE2GIS_SUPPORT_HISTOGRAM_H
+#define SE2GIS_SUPPORT_HISTOGRAM_H
+
+#include <atomic>
+#include <cstdint>
+
+namespace se2gis {
+
+/// A point-in-time copy of one histogram. Plain data: copyable, diffable.
+struct HistogramSnapshot {
+  static constexpr unsigned NumBuckets = 64;
+
+  std::uint64_t Buckets[NumBuckets] = {};
+  std::uint64_t Count = 0;
+  std::uint64_t SumNs = 0;
+  std::uint64_t MaxNs = 0;
+
+  /// Componentwise difference (this - Earlier); see the file comment for
+  /// the windowed-max approximation.
+  HistogramSnapshot since(const HistogramSnapshot &Earlier) const {
+    HistogramSnapshot D;
+    for (unsigned I = 0; I < NumBuckets; ++I)
+      D.Buckets[I] = Buckets[I] - Earlier.Buckets[I];
+    D.Count = Count - Earlier.Count;
+    D.SumNs = SumNs - Earlier.SumNs;
+    std::uint64_t HighestUpper = 0;
+    for (unsigned I = NumBuckets; I-- > 0;)
+      if (D.Buckets[I]) {
+        HighestUpper = upperBoundNs(I);
+        break;
+      }
+    D.MaxNs = HighestUpper < MaxNs ? HighestUpper : MaxNs;
+    return D;
+  }
+
+  /// Lower bound (inclusive) of bucket \p B in nanoseconds.
+  static std::uint64_t lowerBoundNs(unsigned B) {
+    return B == 0 ? 0 : std::uint64_t(1) << (B - 1);
+  }
+
+  /// Upper bound (exclusive) of bucket \p B in nanoseconds.
+  static std::uint64_t upperBoundNs(unsigned B) {
+    return B >= NumBuckets - 1 ? UINT64_MAX : std::uint64_t(1) << B;
+  }
+
+  /// Estimates the \p Q-quantile (Q in [0,1]) in nanoseconds by linear
+  /// interpolation within the bucket containing the target rank. Returns 0
+  /// for an empty histogram; the estimate never exceeds \c MaxNs.
+  double quantileNs(double Q) const {
+    if (Count == 0)
+      return 0;
+    if (Q < 0)
+      Q = 0;
+    if (Q > 1)
+      Q = 1;
+    double Target = Q * static_cast<double>(Count);
+    if (Target < 1)
+      Target = 1;
+    double Cum = 0;
+    for (unsigned B = 0; B < NumBuckets; ++B) {
+      if (!Buckets[B])
+        continue;
+      double Next = Cum + static_cast<double>(Buckets[B]);
+      if (Next >= Target) {
+        double Lo = static_cast<double>(lowerBoundNs(B));
+        double Hi = B >= NumBuckets - 1
+                        ? static_cast<double>(MaxNs)
+                        : static_cast<double>(upperBoundNs(B));
+        double Frac = (Target - Cum) / static_cast<double>(Buckets[B]);
+        double V = Lo + Frac * (Hi - Lo);
+        double Max = static_cast<double>(MaxNs);
+        return V > Max && Max > 0 ? Max : V;
+      }
+      Cum = Next;
+    }
+    return static_cast<double>(MaxNs);
+  }
+
+  double quantileMs(double Q) const { return quantileNs(Q) / 1e6; }
+  double maxMs() const { return static_cast<double>(MaxNs) / 1e6; }
+  double meanMs() const {
+    return Count ? static_cast<double>(SumNs) / (1e6 * Count) : 0;
+  }
+};
+
+/// The concurrent recording side: an array of relaxed atomic bucket
+/// counters plus count/sum/max. Safe for any number of writer threads; a
+/// snapshot taken concurrently is a consistent-enough view (counters are
+/// monotone, so deltas never go negative).
+class LatencyHistogram {
+public:
+  static constexpr unsigned NumBuckets = HistogramSnapshot::NumBuckets;
+
+  /// Bucket index for \p Ns: 0 for 0, otherwise floor(log2(Ns)) + 1.
+  static unsigned bucketIndexFor(std::uint64_t Ns) {
+    unsigned B = 0;
+    while (Ns) {
+      ++B;
+      Ns >>= 1;
+    }
+    return B < NumBuckets ? B : NumBuckets - 1;
+  }
+
+  void recordNs(std::uint64_t Ns) {
+    Buckets[bucketIndexFor(Ns)].fetch_add(1, std::memory_order_relaxed);
+    Count.fetch_add(1, std::memory_order_relaxed);
+    Sum.fetch_add(Ns, std::memory_order_relaxed);
+    std::uint64_t Prev = Max.load(std::memory_order_relaxed);
+    while (Prev < Ns &&
+           !Max.compare_exchange_weak(Prev, Ns, std::memory_order_relaxed))
+      ;
+  }
+
+  HistogramSnapshot snapshot() const {
+    HistogramSnapshot S;
+    for (unsigned I = 0; I < NumBuckets; ++I)
+      S.Buckets[I] = Buckets[I].load(std::memory_order_relaxed);
+    S.Count = Count.load(std::memory_order_relaxed);
+    S.SumNs = Sum.load(std::memory_order_relaxed);
+    S.MaxNs = Max.load(std::memory_order_relaxed);
+    return S;
+  }
+
+private:
+  std::atomic<std::uint64_t> Buckets[NumBuckets] = {};
+  std::atomic<std::uint64_t> Count{0};
+  std::atomic<std::uint64_t> Sum{0};
+  std::atomic<std::uint64_t> Max{0};
+};
+
+} // namespace se2gis
+
+#endif // SE2GIS_SUPPORT_HISTOGRAM_H

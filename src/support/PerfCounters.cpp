@@ -22,6 +22,12 @@ std::atomic<std::uint64_t> &timerSlot(PerfTimer T) {
   return Slots[static_cast<size_t>(T)];
 }
 
+LatencyHistogram &histogramSlot(PerfHistogram H) {
+  static LatencyHistogram
+      Slots[static_cast<size_t>(PerfHistogram::NumPerfHistograms)];
+  return Slots[static_cast<size_t>(H)];
+}
+
 } // namespace
 
 void se2gis::perfAdd(PerfCounter C, std::uint64_t Delta) {
@@ -30,6 +36,10 @@ void se2gis::perfAdd(PerfCounter C, std::uint64_t Delta) {
 
 void se2gis::perfAddTimeNs(PerfTimer T, std::uint64_t Ns) {
   timerSlot(T).fetch_add(Ns, std::memory_order_relaxed);
+}
+
+void se2gis::perfRecordNs(PerfHistogram H, std::uint64_t Ns) {
+  histogramSlot(H).recordNs(Ns);
 }
 
 PerfSnapshot se2gis::snapshotPerf() {
@@ -41,6 +51,9 @@ PerfSnapshot se2gis::snapshotPerf() {
   for (size_t I = 0; I < static_cast<size_t>(PerfTimer::NumPerfTimers); ++I)
     S.TimersNs[I] =
         timerSlot(static_cast<PerfTimer>(I)).load(std::memory_order_relaxed);
+  for (size_t I = 0;
+       I < static_cast<size_t>(PerfHistogram::NumPerfHistograms); ++I)
+    S.Hists[I] = histogramSlot(static_cast<PerfHistogram>(I)).snapshot();
   return S;
 }
 
@@ -51,6 +64,9 @@ PerfSnapshot PerfSnapshot::since(const PerfSnapshot &Earlier) const {
     D.Counters[I] = Counters[I] - Earlier.Counters[I];
   for (size_t I = 0; I < static_cast<size_t>(PerfTimer::NumPerfTimers); ++I)
     D.TimersNs[I] = TimersNs[I] - Earlier.TimersNs[I];
+  for (size_t I = 0;
+       I < static_cast<size_t>(PerfHistogram::NumPerfHistograms); ++I)
+    D.Hists[I] = Hists[I].since(Earlier.Hists[I]);
   return D;
 }
 
@@ -67,8 +83,26 @@ std::string PerfSnapshot::str() const {
   if (std::uint64_t CacheTouches =
           get(PerfCounter::CacheSmtHits) + get(PerfCounter::CacheSmtMisses))
     OS << " cache_smt=" << get(PerfCounter::CacheSmtHits) << "/" << CacheTouches;
+  if (const HistogramSnapshot &H = hist(PerfHistogram::SmtCheckNs); H.Count)
+    OS << " smt_p50_ms=" << H.quantileMs(0.5)
+       << " smt_p99_ms=" << H.quantileMs(0.99);
   return OS.str();
 }
+
+namespace {
+
+/// Appends the quantile keys for one histogram: <prefix>_count, _p50_ms,
+/// _p90_ms, _p99_ms, _max_ms.
+void writeHistJson(std::ostream &OS, const char *Prefix,
+                   const HistogramSnapshot &H) {
+  OS << ",\"" << Prefix << "_count\":" << H.Count << ",\"" << Prefix
+     << "_p50_ms\":" << H.quantileMs(0.5) << ",\"" << Prefix
+     << "_p90_ms\":" << H.quantileMs(0.9) << ",\"" << Prefix
+     << "_p99_ms\":" << H.quantileMs(0.99) << ",\"" << Prefix
+     << "_max_ms\":" << H.maxMs();
+}
+
+} // namespace
 
 void se2gis::writePerfJson(std::ostream &OS, const PerfSnapshot &D) {
   OS << "{\"smt_queries\":" << D.get(PerfCounter::SmtQueries)
@@ -91,6 +125,107 @@ void se2gis::writePerfJson(std::ostream &OS, const PerfSnapshot &D) {
      << ",\"cache_suite_hits\":" << D.get(PerfCounter::CacheSuiteHits)
      << ",\"cache_suite_misses\":" << D.get(PerfCounter::CacheSuiteMisses)
      << ",\"cache_bytes_written\":" << D.get(PerfCounter::CacheBytesWritten)
-     << ",\"cache_bytes_loaded\":" << D.get(PerfCounter::CacheBytesLoaded)
-     << "}";
+     << ",\"cache_bytes_loaded\":" << D.get(PerfCounter::CacheBytesLoaded);
+  writeHistJson(OS, "smt_check", D.hist(PerfHistogram::SmtCheckNs));
+  writeHistJson(OS, "enum_round", D.hist(PerfHistogram::EnumRoundNs));
+  writeHistJson(OS, "cache_probe", D.hist(PerfHistogram::CacheProbeNs));
+  OS << "}";
+}
+
+//===----------------------------------------------------------------------===//
+// Phase attribution
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+constexpr size_t NumPhases = static_cast<size_t>(Phase::NumPhases);
+
+/// Per-thread phase state: accumulated totals plus the stack of live scopes.
+/// Exclusive attribution: pushing a scope first charges the elapsed slice to
+/// the previous top, popping charges the closing scope and restamps the
+/// parent — so one thread's phase times never double-count nested scopes.
+struct PhaseState {
+  std::uint64_t TotalsNs[NumPhases] = {};
+
+  static constexpr unsigned MaxDepth = 32;
+  Phase Stack[MaxDepth];
+  std::chrono::steady_clock::time_point LastStamp;
+  unsigned Depth = 0;
+
+  void chargeTop(std::chrono::steady_clock::time_point Now) {
+    if (!Depth)
+      return;
+    auto Ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                  Now - LastStamp)
+                  .count();
+    if (Ns > 0)
+      TotalsNs[static_cast<size_t>(Stack[Depth - 1])] +=
+          static_cast<std::uint64_t>(Ns);
+  }
+
+  bool push(Phase P) {
+    auto Now = std::chrono::steady_clock::now();
+    chargeTop(Now);
+    if (Depth >= MaxDepth)
+      return false; // overflow: time keeps flowing to the innermost tracked
+    Stack[Depth++] = P;
+    LastStamp = Now;
+    return true;
+  }
+
+  void pop() {
+    auto Now = std::chrono::steady_clock::now();
+    chargeTop(Now);
+    --Depth;
+    LastStamp = Now;
+  }
+};
+
+PhaseState &phaseState() {
+  thread_local PhaseState S;
+  return S;
+}
+
+} // namespace
+
+const char *se2gis::phaseName(Phase P) {
+  switch (P) {
+  case Phase::Eval:
+    return "eval";
+  case Phase::Smt:
+    return "smt";
+  case Phase::Enum:
+    return "enum";
+  case Phase::Induction:
+    return "induction";
+  case Phase::NumPhases:
+    break;
+  }
+  return "?";
+}
+
+PhaseSnapshot PhaseSnapshot::since(const PhaseSnapshot &Earlier) const {
+  PhaseSnapshot D;
+  for (size_t I = 0; I < NumPhases; ++I)
+    D.Ns[I] = Ns[I] - Earlier.Ns[I];
+  return D;
+}
+
+PhaseSnapshot se2gis::phaseSnapshot() {
+  PhaseState &S = phaseState();
+  // Fold in the running slice of any live scope so a mid-scope snapshot
+  // (e.g. a deadline-expired run) still sees up-to-date totals.
+  S.chargeTop(std::chrono::steady_clock::now());
+  S.LastStamp = std::chrono::steady_clock::now();
+  PhaseSnapshot Out;
+  for (size_t I = 0; I < NumPhases; ++I)
+    Out.Ns[I] = S.TotalsNs[I];
+  return Out;
+}
+
+PhaseScope::PhaseScope(Phase P) : Tracked(phaseState().push(P)) {}
+
+PhaseScope::~PhaseScope() {
+  if (Tracked)
+    phaseState().pop();
 }

@@ -13,6 +13,7 @@
 #include "support/Cancellation.h"
 
 #include <chrono>
+#include <cstdint>
 
 namespace se2gis {
 
@@ -28,6 +29,14 @@ public:
   double elapsedMs() const {
     return std::chrono::duration<double, std::milli>(Clock::now() - Start)
         .count();
+  }
+
+  /// \returns elapsed time in whole nanoseconds (histogram resolution).
+  std::uint64_t elapsedNs() const {
+    auto Ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                  Clock::now() - Start)
+                  .count();
+    return static_cast<std::uint64_t>(Ns > 0 ? Ns : 0);
   }
 
 private:

@@ -10,6 +10,8 @@
 #include "support/Counters.h"
 #include "support/Diagnostics.h"
 #include "support/PerfCounters.h"
+#include "support/Stopwatch.h"
+#include "support/Trace.h"
 
 #include <cassert>
 #include <cstdlib>
@@ -210,8 +212,11 @@ Enumerator::synthesizeScalar(const TypePtr &OutTy,
       // A leaf is unbound under these examples; the key would be partial.
     }
   }
-  if (HaveKey)
-    if (auto Hit = pbeMemo().lookup(MemoKey)) {
+  if (HaveKey) {
+    Stopwatch ProbeWatch;
+    auto Hit = pbeMemo().lookup(MemoKey);
+    perfRecordNs(PerfHistogram::CacheProbeNs, ProbeWatch.elapsedNs());
+    if (Hit) {
       if (!Hit->Found)
         return std::nullopt; // definitive: that search space was exhausted
       if (TermPtr T = termFromText(Hit->TermText, Leaves))
@@ -232,8 +237,18 @@ Enumerator::synthesizeScalar(const TypePtr &OutTy,
         }
       // Malformed or mismatching entry: fall through to the search.
     }
+  }
 
+  TraceSpan Span("enum.search", "enum");
+  PhaseScope EnumPhase(Phase::Enum);
+  Stopwatch Watch;
   auto R = enumerateScalar(OutTy, Examples, MaxSize, Budget);
+  perfRecordNs(PerfHistogram::EnumRoundNs, Watch.elapsedNs());
+  if (Span.active()) {
+    Span.arg("examples", static_cast<std::uint64_t>(Examples.size()));
+    Span.arg("max_size", static_cast<std::int64_t>(MaxSize));
+    Span.arg("found", R ? "yes" : "no");
+  }
   if (HaveKey) {
     if (R) {
       std::string Text = termToText(*R, Leaves);

@@ -7,6 +7,8 @@
 #include "cache/Canonical.h"
 #include "cache/SgeSolutionCache.h"
 #include "support/Diagnostics.h"
+#include "support/Log.h"
+#include "support/Trace.h"
 
 #include <cassert>
 #include <cstdio>
@@ -14,15 +16,10 @@
 #include <map>
 #include <sstream>
 
-namespace {
-/// Set SE2GIS_DEBUG=1 to trace the CEGIS loop on stderr.
-bool debugEnabled() {
-  static const bool On = std::getenv("SE2GIS_DEBUG") != nullptr;
-  return On;
-}
-} // namespace
-
 using namespace se2gis;
+
+// The CEGIS loop narrates itself at debug verbosity (SE2GIS_LOG=debug, or
+// the legacy SE2GIS_DEBUG=1 which SolverConfig::fromEnv maps onto it).
 
 // --- Sge printing -------------------------------------------------------===//
 
@@ -232,9 +229,8 @@ SgeSolver::synthesizeFromPoints(const Sge &System,
 
       std::vector<ValuePtr> Vals;
       SmtResult R = Q.checkSat(PerQueryTimeoutMs, nullptr, &Vals);
-      if (debugEnabled())
-        std::fprintf(stderr, "[sge] euf size=%d attempt=%d blockers=%zu -> %d\n",
-                     Size, Attempt, Blockers.size(), (int)R);
+      logf(LogLevel::Debug, "sge", "euf size=%d attempt=%d blockers=%zu -> %d",
+           Size, Attempt, Blockers.size(), (int)R);
       if (R == SmtResult::Unknown)
         return std::nullopt;
       if (R == SmtResult::Unsat) {
@@ -275,9 +271,8 @@ SgeSolver::synthesizeFromPoints(const Sge &System,
           Examples = TableIt->second;
         auto Body = En.synthesize(I.Sig.RetTy, Examples, Size, Budget);
         if (!Body) {
-          if (debugEnabled())
-            std::fprintf(stderr, "[sge] pbe failed for %s (%zu examples)\n",
-                         I.Sig.Name.c_str(), Examples.size());
+          logf(LogLevel::Debug, "sge", "pbe failed for %s (%zu examples)",
+               I.Sig.Name.c_str(), Examples.size());
           AllOk = false;
           break;
         }
@@ -342,6 +337,11 @@ SgeResult SgeSolver::solve(const Sge &System, const Deadline &Budget) {
 
   const int MaxRounds = 64;
   for (int Round = 0; Round < MaxRounds; ++Round) {
+    TraceSpan Span("sge.round", "sge");
+    if (Span.active()) {
+      Span.arg("round", static_cast<std::int64_t>(Round));
+      Span.arg("points", static_cast<std::uint64_t>(Points.size()));
+    }
     if (Budget.expired()) {
       Result.Solution = std::move(Candidate); // partial: last candidate tried
       return Result;
@@ -362,9 +362,9 @@ SgeResult SgeSolver::solve(const Sge &System, const Deadline &Budget) {
       if (R == SmtResult::Unsat)
         continue;
       if (R == SmtResult::Unknown) {
-        if (debugEnabled())
-          std::fprintf(stderr, "[sge] verify unknown on eqn %zu: %s\n",
-                       E.TermIndex, Formula->str().c_str());
+        if (logEnabled(LogLevel::Debug))
+          logf(LogLevel::Debug, "sge", "verify unknown on eqn %zu: %s",
+               E.TermIndex, Formula->str().c_str());
         Result.Solution = std::move(Candidate);
         return Result; // give up with Unknown status
       }
@@ -386,12 +386,12 @@ SgeResult SgeSolver::solve(const Sge &System, const Deadline &Budget) {
       Result.Solution = std::move(Candidate);
       return Result;
     }
-    if (debugEnabled()) {
-      std::fprintf(stderr, "[sge] round %d: candidate rejected; points=%zu\n",
-                   Round, Points.size());
+    if (logEnabled(LogLevel::Debug)) {
+      logf(LogLevel::Debug, "sge", "round %d: candidate rejected; points=%zu",
+           Round, Points.size());
       for (const auto &[Name, Def] : Candidate)
-        std::fprintf(stderr, "  %s = %s\n", Name.c_str(),
-                     simplify(Def.Body)->str().c_str());
+        logf(LogLevel::Debug, "sge", "  %s = %s", Name.c_str(),
+             simplify(Def.Body)->str().c_str());
     }
 
     bool Infeasible = false;

@@ -1,0 +1,253 @@
+//===- TraceTest.cpp - Span tracer and structured logger tests ------------===//
+///
+/// \file
+/// Covers the observability layer: TraceSpan recording and nesting,
+/// ring-buffer overflow semantics (dropped and counted, never crashing or
+/// reallocating), the Chrome trace_event JSON export — including its shape
+/// under a concurrent suite run — and the logger's level parsing and
+/// thread-id assignment.
+///
+//===----------------------------------------------------------------------===//
+
+#include "support/Trace.h"
+
+#include "support/Log.h"
+#include "suite/Runner.h"
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+using namespace se2gis;
+
+namespace {
+
+/// Each test starts from a clean tracer: empty buffers, zero drops, a large
+/// default capacity, tracing on with no flush path; and ends with it off.
+class TraceTest : public ::testing::Test {
+protected:
+  void SetUp() override {
+    traceConfigure("", /*BufferCapacity=*/16384);
+    traceReset();
+  }
+  void TearDown() override {
+    traceDisable();
+    traceReset();
+  }
+};
+
+/// A minimal structural JSON scanner: verifies balanced braces/brackets and
+/// properly terminated strings — enough to reject truncated or unescaped
+/// output without a JSON library.
+bool looksLikeValidJson(const std::string &S) {
+  int Depth = 0;
+  bool InString = false, Escaped = false;
+  for (char C : S) {
+    if (InString) {
+      if (Escaped)
+        Escaped = false;
+      else if (C == '\\')
+        Escaped = true;
+      else if (C == '"')
+        InString = false;
+      continue;
+    }
+    switch (C) {
+    case '"':
+      InString = true;
+      break;
+    case '{':
+    case '[':
+      ++Depth;
+      break;
+    case '}':
+    case ']':
+      if (--Depth < 0)
+        return false;
+      break;
+    default:
+      break;
+    }
+  }
+  return Depth == 0 && !InString;
+}
+
+size_t countOccurrences(const std::string &Haystack,
+                        const std::string &Needle) {
+  size_t N = 0;
+  for (size_t At = Haystack.find(Needle); At != std::string::npos;
+       At = Haystack.find(Needle, At + Needle.size()))
+    ++N;
+  return N;
+}
+
+TEST_F(TraceTest, DisabledSpanRecordsNothing) {
+  traceDisable();
+  {
+    TraceSpan Span("noop", "test");
+    EXPECT_FALSE(Span.active());
+    Span.arg("k", "v"); // must be inert, not crash
+  }
+  EXPECT_EQ(traceRecordedEvents(), 0u);
+}
+
+TEST_F(TraceTest, RecordsSpanWithArgs) {
+  {
+    TraceSpan Span("unit.work", "test");
+    ASSERT_TRUE(Span.active());
+    Span.arg("name", "bench/a");
+    Span.arg("round", static_cast<std::int64_t>(3));
+  }
+  EXPECT_EQ(traceRecordedEvents(), 1u);
+  std::ostringstream OS;
+  traceWriteJson(OS);
+  std::string J = OS.str();
+  EXPECT_TRUE(looksLikeValidJson(J)) << J;
+  EXPECT_NE(J.find("\"unit.work\""), std::string::npos);
+  EXPECT_NE(J.find("\"name\":\"bench/a\""), std::string::npos);
+  EXPECT_NE(J.find("\"round\":3"), std::string::npos);
+}
+
+TEST_F(TraceTest, ArgValuesAreEscaped) {
+  {
+    TraceSpan Span("escape", "test");
+    Span.arg("payload", std::string("a\"b\\c\nd"));
+  }
+  std::ostringstream OS;
+  traceWriteJson(OS);
+  EXPECT_TRUE(looksLikeValidJson(OS.str())) << OS.str();
+}
+
+TEST_F(TraceTest, NestedSpansAreContained) {
+  {
+    TraceSpan Outer("outer", "test");
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    { TraceSpan Inner("inner", "test"); }
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_EQ(traceRecordedEvents(), 2u);
+  std::ostringstream OS;
+  traceWriteJson(OS);
+  std::string J = OS.str();
+  // Events are sorted by start time per thread: outer starts first, and its
+  // duration must cover the inner span entirely.
+  size_t OuterAt = J.find("\"outer\"");
+  size_t InnerAt = J.find("\"inner\"");
+  ASSERT_NE(OuterAt, std::string::npos);
+  ASSERT_NE(InnerAt, std::string::npos);
+  EXPECT_LT(OuterAt, InnerAt);
+  auto NumberAfter = [&](size_t At, const char *Key) {
+    size_t K = J.find(Key, At);
+    EXPECT_NE(K, std::string::npos);
+    return std::atof(J.c_str() + K + std::string(Key).size());
+  };
+  double OuterTs = NumberAfter(OuterAt, "\"ts\":");
+  double OuterDur = NumberAfter(OuterAt, "\"dur\":");
+  double InnerTs = NumberAfter(InnerAt, "\"ts\":");
+  double InnerDur = NumberAfter(InnerAt, "\"dur\":");
+  EXPECT_LE(OuterTs, InnerTs);
+  EXPECT_GE(OuterTs + OuterDur, InnerTs + InnerDur);
+}
+
+TEST_F(TraceTest, OverflowDropsAndCounts) {
+  // A fresh thread gets a fresh buffer created under the small capacity.
+  traceConfigure("", /*BufferCapacity=*/8);
+  std::uint64_t DroppedBefore = traceDroppedEvents();
+  std::thread T([] {
+    for (int I = 0; I < 50; ++I)
+      TraceSpan Span("flood", "test");
+  });
+  T.join();
+  EXPECT_GE(traceDroppedEvents() - DroppedBefore, 42u);
+  std::ostringstream OS;
+  traceWriteJson(OS);
+  EXPECT_TRUE(looksLikeValidJson(OS.str()));
+  EXPECT_NE(OS.str().find("\"dropped_events\":"), std::string::npos);
+}
+
+TEST_F(TraceTest, ConcurrentThreadsGetSeparateTracks) {
+  std::vector<std::thread> Ts;
+  for (int T = 0; T < 4; ++T)
+    Ts.emplace_back([] {
+      for (int I = 0; I < 10; ++I)
+        TraceSpan Span("worker.op", "test");
+    });
+  for (std::thread &T : Ts)
+    T.join();
+  EXPECT_EQ(traceRecordedEvents(), 40u);
+  std::ostringstream OS;
+  traceWriteJson(OS);
+  std::string J = OS.str();
+  EXPECT_TRUE(looksLikeValidJson(J)) << J;
+  // One thread_name metadata record per distinct recording thread.
+  EXPECT_GE(countOccurrences(J, "\"thread_name\""), 4u);
+}
+
+TEST_F(TraceTest, SuiteRunProducesSpansPerCategory) {
+  SuiteOptions Opts;
+  Opts.Config.Algo.TimeoutMs = 20000;
+  Opts.Algorithms = {AlgorithmKind::SE2GIS};
+  Opts.Config.Filter = "sortedlist/m"; // min, max, min_max: fast sub-suite
+  Opts.Config.Verbose = false;
+  Opts.Config.Jobs = 4;
+  std::vector<SuiteRecord> Records = runSuite(Opts);
+  ASSERT_GE(Records.size(), 2u);
+
+  std::ostringstream OS;
+  traceWriteJson(OS);
+  std::string J = OS.str();
+  EXPECT_TRUE(looksLikeValidJson(J));
+  // The instrumented stack must have produced at least one span in each of
+  // the core categories, across multiple benchmarks and SMT queries.
+  EXPECT_GE(countOccurrences(J, "\"suite.run\""), Records.size());
+  EXPECT_GE(countOccurrences(J, "\"se2gis.round\""), 1u);
+  EXPECT_GE(countOccurrences(J, "\"smt.checkSat\""), 1u);
+  EXPECT_NE(J.find("\"cat\":\"round\""), std::string::npos);
+  EXPECT_NE(J.find("\"cat\":\"smt\""), std::string::npos);
+  EXPECT_NE(J.find("\"verdict\""), std::string::npos);
+}
+
+} // namespace
+
+//===- Logger -------------------------------------------------------------===//
+
+namespace {
+
+TEST(LogTest, ParsesLevels) {
+  EXPECT_EQ(parseLogLevel("debug"), LogLevel::Debug);
+  EXPECT_EQ(parseLogLevel("INFO"), LogLevel::Info);
+  EXPECT_EQ(parseLogLevel("Warn"), LogLevel::Warn);
+  EXPECT_EQ(parseLogLevel("warning"), LogLevel::Warn);
+  EXPECT_EQ(parseLogLevel("error"), LogLevel::Error);
+  EXPECT_FALSE(parseLogLevel("verbose").has_value());
+  EXPECT_FALSE(parseLogLevel("").has_value());
+}
+
+TEST(LogTest, LevelGatesEnablement) {
+  LogSettings S;
+  S.Level = LogLevel::Warn;
+  configureLogging(S);
+  EXPECT_TRUE(logEnabled(LogLevel::Error));
+  EXPECT_TRUE(logEnabled(LogLevel::Warn));
+  EXPECT_FALSE(logEnabled(LogLevel::Info));
+  EXPECT_FALSE(logEnabled(LogLevel::Debug));
+  S.Level = LogLevel::Info; // restore the default for other tests
+  configureLogging(S);
+  EXPECT_TRUE(logEnabled(LogLevel::Info));
+}
+
+TEST(LogTest, ThreadIdsAreCompactAndStable) {
+  unsigned Mine = currentThreadId();
+  EXPECT_GE(Mine, 1u);
+  EXPECT_EQ(currentThreadId(), Mine);
+  unsigned Other = 0;
+  std::thread T([&Other] { Other = currentThreadId(); });
+  T.join();
+  EXPECT_NE(Other, 0u);
+  EXPECT_NE(Other, Mine);
+}
+
+} // namespace

@@ -15,6 +15,9 @@
 ///     --cache off|mem|disk                     memoization mode
 ///     --cache-dir DIR                          persistent store directory
 ///                                              (default: ./.se2gis-cache)
+///     --log-level error|warn|info|debug        logger verbosity
+///     --trace PATH                             write a Chrome trace_event
+///                                              JSON file (Perfetto-viewable)
 ///     --print-problem                          echo the parsed components
 ///     --quiet                                  result line only
 ///
@@ -26,6 +29,7 @@
 #include "core/SynthesisTask.h"
 #include "frontend/Elaborate.h"
 #include "support/Diagnostics.h"
+#include "support/Trace.h"
 
 #include <cstdio>
 #include <cstring>
@@ -44,6 +48,7 @@ void usage() {
       "usage: se2gis [--algo se2gis|segis|segis-uc|portfolio] [--timeout N]\n"
       "              [--timeout-ms N] [--jobs N] [--seed N]\n"
       "              [--cache off|mem|disk] [--cache-dir DIR]\n"
+      "              [--log-level error|warn|info|debug] [--trace PATH]\n"
       "              [--print-problem] [--quiet] <problem-file>\n");
 }
 
@@ -94,6 +99,16 @@ int main(int argc, char **argv) {
       Config.Cache.Mode = *Mode;
     } else if (Arg == "--cache-dir" && I + 1 < argc) {
       Config.Cache.Dir = argv[++I];
+    } else if (Arg == "--log-level" && I + 1 < argc) {
+      std::string Name = argv[++I];
+      auto Level = parseLogLevel(Name);
+      if (!Level) {
+        std::fprintf(stderr, "error: unknown log level '%s'\n", Name.c_str());
+        return 64;
+      }
+      Config.Log.Level = *Level;
+    } else if (Arg == "--trace" && I + 1 < argc) {
+      Config.TracePath = argv[++I];
     } else if (Arg == "--print-problem") {
       PrintProblem = true;
     } else if (Arg == "--quiet") {
@@ -153,10 +168,20 @@ int main(int argc, char **argv) {
   SynthesisTask Task(P, Algo);
   Outcome R = Task.run(Config);
 
+  if (!Config.TracePath.empty())
+    traceFlush();
+
   std::printf("%s: %s (%.1f ms, steps %s)\n", Path.c_str(),
               verdictName(R.V), R.Stats.ElapsedMs, R.Stats.Steps.c_str());
-  if (!Quiet)
+  if (!Quiet) {
     std::printf("telemetry: %s\n", R.Stats.Counters.str().c_str());
+    std::printf("phases: eval=%.1f ms smt=%.1f ms enum=%.1f ms "
+                "induction=%.1f ms\n",
+                R.Stats.Phases.getMs(Phase::Eval),
+                R.Stats.Phases.getMs(Phase::Smt),
+                R.Stats.Phases.getMs(Phase::Enum),
+                R.Stats.Phases.getMs(Phase::Induction));
+  }
   if (!Quiet) {
     if (R.V == Verdict::Realizable) {
       std::printf("%s", solutionToString(*P, R.Solution).c_str());
