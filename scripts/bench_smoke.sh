@@ -184,17 +184,21 @@ fi
 # The trace must parse as JSON (python3 when available, else a brace-balance
 # sanity check) and contain at least one span per instrumented category.
 if command -v python3 >/dev/null 2>&1; then
-  python3 - "$TRACE_JSON" <<'PY'
+  python3 - "$TRACE_JSON" "$JOBS" <<'PY'
 import json, sys
 with open(sys.argv[1]) as f:
     trace = json.load(f)
+jobs = int(sys.argv[2])
 events = trace["traceEvents"]
 spans = [e for e in events if e.get("ph") == "X"]
 cats = {e["cat"] for e in spans}
 tids = {e["tid"] for e in spans}
 for want in ("suite", "round", "smt"):
     assert want in cats, f"no '{want}' spans in trace (have {sorted(cats)})"
-assert len(tids) >= 2, f"expected multiple thread tracks, got {sorted(tids)}"
+# One track per worker: only a multi-worker sweep can owe us multiple.
+want_tids = min(2, jobs)
+assert len(tids) >= want_tids, \
+    f"expected >= {want_tids} thread tracks at jobs={jobs}, got {sorted(tids)}"
 print(f"[smoke] trace pass: {len(spans)} spans, categories {sorted(cats)}, "
       f"{len(tids)} thread tracks")
 PY
@@ -224,3 +228,80 @@ TRACE_S=$(echo "$T7 $T6" | awk '{printf "%.1f", $1-$2}')
 echo "[smoke] trace pass: perf quantile keys present ($SMT_COUNT SMT samples);" \
      "traced sweep ${TRACE_S}s vs untraced ${PAR}s"
 echo "[smoke] trace file: $TRACE_JSON (load in ui.perfetto.dev)"
+
+# --- Service pass: daemon round trip, verdict parity, graceful drain ------
+# Prefers the tsan preset when built (cmake --preset tsan && cmake --build
+# --preset tsan): TSan's exit-time checks then double as the "zero leaked
+# threads" assertion — a thread still alive at exit is a reported leak.
+SVC_DIR=${SMOKE_SVC_DIR:-}
+if [ -z "$SVC_DIR" ]; then
+  if [ -x "build-tsan/tools/se2gis_served" ]; then
+    SVC_DIR=build-tsan
+  else
+    SVC_DIR=$BUILD_DIR
+  fi
+fi
+SVC_DAEMON="$SVC_DIR/tools/se2gis_served"
+SVC_CLI="$SVC_DIR/tools/se2gis"
+SVC_SOCK="$OUT_DIR/smoke-service.sock"
+SVC_CACHE="$OUT_DIR/smoke-cache-svc"
+rm -rf "$SVC_CACHE" "$SVC_SOCK"
+
+if [ ! -x "$SVC_DAEMON" ]; then
+  echo "[smoke] FAIL: $SVC_DAEMON not built" >&2
+  exit 1
+fi
+
+echo "[smoke] service pass: starting daemon ($SVC_DAEMON)..."
+"$SVC_DAEMON" --listen "unix:$SVC_SOCK" --workers 2 \
+  --cache disk --cache-dir "$SVC_CACHE" \
+  >"$OUT_DIR/smoke_service.out" 2>&1 &
+SVC_PID=$!
+trap '[ -n "${SVC_PID:-}" ] && kill "$SVC_PID" 2>/dev/null || true' EXIT
+
+for _ in $(seq 1 50); do
+  if "$SVC_CLI" ping --connect "unix:$SVC_SOCK" >/dev/null 2>&1; then break; fi
+  sleep 0.1
+done
+if ! "$SVC_CLI" ping --connect "unix:$SVC_SOCK" >/dev/null 2>&1; then
+  echo "[smoke] FAIL: daemon never answered a ping" >&2
+  exit 1
+fi
+
+# Three jobs — realizable, unrealizable, and a 1 ms budget that must come
+# back as a timeout verdict — each checked for parity against the direct
+# (in-process) CLI on the same benchmark.
+svc_job() { # svc_job <benchmark> <timeout-ms>
+  set +e
+  "$SVC_CLI" submit --connect "unix:$SVC_SOCK" --benchmark "$1" \
+    --timeout-ms "$2" --wait --quiet >/dev/null 2>&1
+  SVC_RC=$?
+  "$SVC_CLI" --benchmark "$1" --timeout-ms "$2" --quiet >/dev/null 2>&1
+  DIRECT_RC=$?
+  set -e
+  if [ "$SVC_RC" != "$DIRECT_RC" ]; then
+    echo "[smoke] FAIL: service verdict for $1 (exit $SVC_RC) diverges" \
+         "from the direct run (exit $DIRECT_RC)" >&2
+    exit 1
+  fi
+  echo "[smoke] service pass: $1 -> exit $SVC_RC (parity with direct run)"
+}
+svc_job list/sum 20000
+svc_job unreal/sum 20000
+svc_job list/sum 1   # deadline fires inside the run: timeout verdict (2)
+
+# Graceful drain: the daemon must exit 0 on its own (no kill) with the
+# persistent store intact on disk.
+"$SVC_CLI" drain --connect "unix:$SVC_SOCK" >/dev/null
+SVC_EXIT=0
+wait "$SVC_PID" || SVC_EXIT=$?
+SVC_PID=
+if [ "$SVC_EXIT" -ne 0 ]; then
+  echo "[smoke] FAIL: daemon exited $SVC_EXIT after drain (want 0)" >&2
+  exit 1
+fi
+if [ ! -s "$SVC_CACHE/store.meta" ]; then
+  echo "[smoke] FAIL: drained daemon left no persistent store" >&2
+  exit 1
+fi
+echo "[smoke] service pass: drain clean (exit 0), store intact ($SVC_CACHE)"

@@ -1,0 +1,173 @@
+#!/usr/bin/env bash
+# stress_service.sh — multi-client stress of the synthesis service.
+#
+# Boots a se2gis_served daemon on a Unix socket with a warm shared disk
+# cache, then drives it with N concurrent clients submitting a mix of
+# realizable, unrealizable, and deliberately-timing-out jobs. Asserts:
+#
+#   1. Verdict parity: every service verdict (submit --wait exit code)
+#      matches the in-process run of the same benchmark/budget.
+#   2. Admission control: a second, deliberately tiny daemon (1 worker,
+#      queue bound 1) answers a submit flood with typed `overloaded`
+#      rejections — clients are refused, never blocked or dropped.
+#   3. Warm shared cache: after the stress mix, the daemon's stats report
+#      a nonzero SMT-cache hit count (clients repeat problems, so the
+#      process-wide cache must pay off across connections).
+#   4. Graceful drain: the daemon exits 0 by itself after `drain`, with
+#      the persistent store intact on disk.
+#
+# Usage: scripts/stress_service.sh [build-dir] [clients] [jobs-per-client]
+#   build-dir        default: build
+#   clients          default: 8  (the acceptance floor)
+#   jobs-per-client  default: 3
+set -euo pipefail
+
+BUILD_DIR=${1:-build}
+CLIENTS=${2:-8}
+JOBS_PER=${3:-3}
+OUT_DIR=${STRESS_OUT_DIR:-$BUILD_DIR}
+CLI="$BUILD_DIR/tools/se2gis"
+DAEMON="$BUILD_DIR/tools/se2gis_served"
+SOCK="$OUT_DIR/stress.sock"
+CACHE="$OUT_DIR/stress-cache"
+WORK="$OUT_DIR/stress-work"
+
+if [ ! -x "$CLI" ] || [ ! -x "$DAEMON" ]; then
+  echo "error: build $BUILD_DIR first (cmake -B $BUILD_DIR -S . && cmake --build $BUILD_DIR -j)" >&2
+  exit 1
+fi
+rm -rf "$CACHE" "$WORK" "$SOCK"
+mkdir -p "$WORK"
+
+DAEMON_PID=
+TINY_PID=
+cleanup() {
+  [ -n "$DAEMON_PID" ] && kill "$DAEMON_PID" 2>/dev/null || true
+  [ -n "$TINY_PID" ] && kill "$TINY_PID" 2>/dev/null || true
+}
+trap cleanup EXIT
+
+wait_ping() { # wait_ping <addr>
+  for _ in $(seq 1 50); do
+    if "$CLI" ping --connect "$1" >/dev/null 2>&1; then return 0; fi
+    sleep 0.1
+  done
+  return 1
+}
+
+# The job mix: (benchmark, budget-ms). The 1 ms budget must produce a
+# timeout verdict; the others resolve well inside their budget.
+MIX_BENCH=(list/sum unreal/sum list/sum)
+MIX_BUDGET=(20000 20000 1)
+
+# Parity baseline: the in-process exit code of each mix entry (0
+# realizable, 1 unrealizable, 2 timeout).
+echo "[stress] computing in-process parity baselines..."
+BASELINE=()
+for K in 0 1 2; do
+  RC=0
+  "$CLI" --benchmark "${MIX_BENCH[$K]}" --timeout-ms "${MIX_BUDGET[$K]}" \
+    --quiet >/dev/null 2>&1 || RC=$?
+  BASELINE[$K]=$RC
+  echo "[stress]   ${MIX_BENCH[$K]} @${MIX_BUDGET[$K]}ms -> exit $RC"
+done
+
+echo "[stress] starting daemon ($CLIENTS clients x $JOBS_PER jobs)..."
+"$DAEMON" --listen "unix:$SOCK" --workers 2 --max-queue 64 \
+  --cache disk --cache-dir "$CACHE" >"$WORK/daemon.log" 2>&1 &
+DAEMON_PID=$!
+wait_ping "unix:$SOCK" || { echo "[stress] FAIL: daemon never came up" >&2; exit 1; }
+
+# --- Concurrent clients -----------------------------------------------------
+client() { # client <index>
+  local I=$1 RC K
+  : >"$WORK/client$I.rc"
+  for ((J = 0; J < JOBS_PER; ++J)); do
+    K=$(((I + J) % 3)) # stagger the mix across clients
+    RC=0
+    "$CLI" submit --connect "unix:$SOCK" --benchmark "${MIX_BENCH[$K]}" \
+      --timeout-ms "${MIX_BUDGET[$K]}" --wait --quiet \
+      >>"$WORK/client$I.out" 2>&1 || RC=$?
+    echo "$K $RC" >>"$WORK/client$I.rc"
+  done
+}
+
+CLIENT_PIDS=()
+for ((I = 0; I < CLIENTS; ++I)); do
+  client "$I" &
+  CLIENT_PIDS+=($!)
+done
+# Wait on the client pids explicitly: a bare `wait` would also block on the
+# daemon, which stays up until we drain it.
+for P in "${CLIENT_PIDS[@]}"; do wait "$P"; done
+
+MISMATCH=0
+TOTAL=0
+for ((I = 0; I < CLIENTS; ++I)); do
+  while read -r K RC; do
+    TOTAL=$((TOTAL + 1))
+    if [ "$RC" != "${BASELINE[$K]}" ]; then
+      echo "[stress] FAIL: client $I got exit $RC for ${MIX_BENCH[$K]}" \
+           "@${MIX_BUDGET[$K]}ms (in-process: ${BASELINE[$K]})" >&2
+      MISMATCH=$((MISMATCH + 1))
+    fi
+  done <"$WORK/client$I.rc"
+done
+EXPECTED=$((CLIENTS * JOBS_PER))
+if [ "$MISMATCH" -ne 0 ] || [ "$TOTAL" -ne "$EXPECTED" ]; then
+  echo "[stress] FAIL: $MISMATCH verdict mismatches, $TOTAL/$EXPECTED jobs reported" >&2
+  exit 1
+fi
+echo "[stress] verdict parity: $TOTAL/$EXPECTED jobs match the in-process runs"
+
+# --- Warm shared cache ------------------------------------------------------
+STATS=$("$CLI" stats --connect "unix:$SOCK")
+SMT_HITS=$(printf '%s' "$STATS" | sed -n 's/.*"smt_hits":\([0-9][0-9]*\).*/\1/p')
+if [ -z "$SMT_HITS" ] || [ "$SMT_HITS" -eq 0 ]; then
+  echo "[stress] FAIL: no SMT-cache hits across repeated submissions" >&2
+  echo "$STATS" >&2
+  exit 1
+fi
+echo "[stress] warm cache: smt_hits=$SMT_HITS across $TOTAL jobs"
+
+# --- Typed rejection at queue capacity -------------------------------------
+TINY_SOCK="$OUT_DIR/stress-tiny.sock"
+rm -f "$TINY_SOCK"
+"$DAEMON" --listen "unix:$TINY_SOCK" --workers 1 --max-queue 1 \
+  >"$WORK/tiny.log" 2>&1 &
+TINY_PID=$!
+wait_ping "unix:$TINY_SOCK" || { echo "[stress] FAIL: tiny daemon never came up" >&2; exit 1; }
+
+REJECTED=0
+for _ in $(seq 1 10); do
+  RC=0
+  "$CLI" submit --connect "unix:$TINY_SOCK" --benchmark list/sum \
+    --timeout-ms 20000 >/dev/null 2>"$WORK/reject.err" || RC=$?
+  if [ "$RC" -eq 4 ] && grep -q overloaded "$WORK/reject.err"; then
+    REJECTED=$((REJECTED + 1))
+  fi
+done
+if [ "$REJECTED" -eq 0 ]; then
+  echo "[stress] FAIL: flooding a 1-worker/1-slot daemon produced no typed rejection" >&2
+  exit 1
+fi
+echo "[stress] admission control: $REJECTED/10 floods rejected with typed 'overloaded'"
+"$CLI" drain --connect "unix:$TINY_SOCK" --deadline-ms 30000 >/dev/null
+wait "$TINY_PID" || { echo "[stress] FAIL: tiny daemon exited nonzero" >&2; exit 1; }
+TINY_PID=
+
+# --- Graceful drain ---------------------------------------------------------
+"$CLI" drain --connect "unix:$SOCK" >/dev/null
+DRAIN_EXIT=0
+wait "$DAEMON_PID" || DRAIN_EXIT=$?
+DAEMON_PID=
+if [ "$DRAIN_EXIT" -ne 0 ]; then
+  echo "[stress] FAIL: daemon exited $DRAIN_EXIT after drain (want 0)" >&2
+  exit 1
+fi
+if [ ! -s "$CACHE/store.meta" ] || [ ! -s "$CACHE/smt.jsonl" ]; then
+  echo "[stress] FAIL: persistent store missing or empty after drain" >&2
+  exit 1
+fi
+echo "[stress] drain clean (exit 0); store intact: $(ls "$CACHE" | tr '\n' ' ')"
+echo "[stress] PASS"

@@ -139,6 +139,13 @@ void se2gis::configureCache(const CacheSettings &S) {
   }
 }
 
+void se2gis::flushCache() {
+  CacheRuntime &R = runtime();
+  std::lock_guard<std::mutex> Lock(R.M);
+  if (R.Store)
+    R.Store->sync();
+}
+
 void se2gis::shutdownCache() {
   CacheRuntime &R = runtime();
   std::lock_guard<std::mutex> Lock(R.M);

@@ -61,6 +61,12 @@ void configureCache(const CacheSettings &S);
 /// disk). Primarily for tests.
 void shutdownCache();
 
+/// Durability barrier for Disk mode: fsyncs the persistent store's segment
+/// files and directory entry. No-op outside Disk mode. The service drain
+/// calls this after the last job so a reported-flushed store survives an
+/// immediate crash.
+void flushCache();
+
 CacheMode cacheMode();
 inline bool cacheEnabled() { return cacheMode() != CacheMode::Off; }
 inline bool cachePersistent() { return cacheMode() == CacheMode::Disk; }

@@ -3,9 +3,15 @@
 #include "cache/DiskStore.h"
 
 #include <array>
+#include <cerrno>
 #include <cstdio>
 #include <filesystem>
+#include <fstream>
 #include <sstream>
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
 
 using namespace se2gis;
 
@@ -104,6 +110,41 @@ bool expect(const std::string &S, std::size_t &Pos, const char *Lit) {
   return true;
 }
 
+/// write(2) until everything landed or a hard error; EINTR-safe.
+bool writeAll(int Fd, const char *Data, std::size_t Len) {
+  while (Len > 0) {
+    ssize_t N = ::write(Fd, Data, Len);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      return false;
+    }
+    Data += N;
+    Len -= static_cast<std::size_t>(N);
+  }
+  return true;
+}
+
+/// fsync a file by path (used for files we do not keep open: the compacted
+/// segment before its rename, the meta file after creation).
+void fsyncFile(const std::string &Path) {
+  int Fd = ::open(Path.c_str(), O_RDONLY);
+  if (Fd < 0)
+    return;
+  ::fsync(Fd);
+  ::close(Fd);
+}
+
+/// fsync the directory entry so a rename/creation is durable, not just the
+/// file contents.
+void fsyncDir(const std::string &Dir) {
+  int Fd = ::open(Dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (Fd < 0)
+    return;
+  ::fsync(Fd);
+  ::close(Fd);
+}
+
 } // namespace
 
 std::uint32_t se2gis::crc32Of(const std::string &Data) {
@@ -193,6 +234,11 @@ std::unique_ptr<DiskStore> DiskStore::open(const std::string &Dir,
       Error = "cache dir '" + Dir + "' is not writable";
       return nullptr;
     }
+    Out.close();
+    // A store whose meta header vanishes in a crash would be re-created
+    // empty on the next open, silently orphaning the segments.
+    fsyncFile(Meta.string());
+    fsyncDir(Dir);
   }
   return std::unique_ptr<DiskStore>(new DiskStore(Dir));
 }
@@ -241,35 +287,73 @@ DiskStore::SegmentMap DiskStore::loadSegment(const std::string &Name,
         Out << formatStoreLine(K, Payload) << '\n';
       Out.flush();
       if (Out) {
-        Appenders.erase(Name); // reopen after the swap
+        Out.close();
+        // Durability order matters: the compacted contents must be on disk
+        // before the rename publishes them, and the directory entry after,
+        // or a crash could leave the segment name pointing at garbage that
+        // was reported compacted.
+        fsyncFile(Tmp);
+        auto It = Appenders.find(Name);
+        if (It != Appenders.end()) {
+          ::close(It->second); // reopen after the swap
+          Appenders.erase(It);
+        }
         std::error_code EC;
         fs::rename(Tmp, Path, EC);
         if (EC)
           fs::remove(Tmp, EC);
+        else
+          fsyncDir(Dir);
       }
     }
   }
   return Map;
 }
 
-std::ofstream &DiskStore::appender(const std::string &Name) {
+int DiskStore::appenderFd(const std::string &Name) {
   auto It = Appenders.find(Name);
-  if (It == Appenders.end())
-    It = Appenders
-             .emplace(Name, std::ofstream(segmentPath(Name),
-                                          std::ios::binary | std::ios::app))
-             .first;
+  if (It == Appenders.end()) {
+    int Fd = ::open(segmentPath(Name).c_str(),
+                    O_WRONLY | O_APPEND | O_CREAT | O_CLOEXEC, 0644);
+    It = Appenders.emplace(Name, Fd).first;
+  }
   return It->second;
 }
 
 void DiskStore::append(const std::string &Name, const Hash128 &K,
                        const std::string &Payload) {
   std::lock_guard<std::mutex> Lock(M);
-  std::ofstream &Out = appender(Name);
-  if (!Out)
+  int Fd = appenderFd(Name);
+  if (Fd < 0)
     return; // store became unwritable mid-run: degrade to in-memory only
   std::string Line = formatStoreLine(K, Payload);
-  Out << Line << '\n';
-  Out.flush();
-  BytesWritten += Line.size() + 1;
+  Line += '\n';
+  if (writeAll(Fd, Line.data(), Line.size()))
+    BytesWritten += Line.size();
+}
+
+void DiskStore::syncLocked() {
+  for (const auto &[Name, Fd] : Appenders) {
+    (void)Name;
+    if (Fd >= 0)
+      ::fsync(Fd);
+  }
+  // New segment files must also survive: sync their directory entries.
+  fsyncDir(Dir);
+}
+
+void DiskStore::sync() {
+  std::lock_guard<std::mutex> Lock(M);
+  syncLocked();
+}
+
+DiskStore::~DiskStore() {
+  std::lock_guard<std::mutex> Lock(M);
+  syncLocked();
+  for (const auto &[Name, Fd] : Appenders) {
+    (void)Name;
+    if (Fd >= 0)
+      ::close(Fd);
+  }
+  Appenders.clear();
 }

@@ -21,6 +21,13 @@
 /// Appends are serialized by an internal mutex and flushed per record, so
 /// concurrent suite workers in one process interleave whole lines.
 ///
+/// Durability: appends are written straight to the segment fd (no stdio
+/// buffering), and \c sync() — called on clean close and by the service's
+/// drain — fsyncs every open segment plus the directory entry, so a store
+/// that was reported flushed survives a crash-after-exit without replaying
+/// a torn tail. Compaction fsyncs the rewritten file and the directory
+/// before the old segment name can be reused.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef SE2GIS_CACHE_DISKSTORE_H
@@ -29,13 +36,10 @@
 #include "cache/Hash128.h"
 
 #include <cstdint>
-#include <fstream>
-#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <unordered_map>
-#include <vector>
 
 namespace se2gis {
 
@@ -58,6 +62,14 @@ public:
   void append(const std::string &Name, const Hash128 &K,
               const std::string &Payload);
 
+  /// Durability barrier: fsyncs every open segment fd and the store
+  /// directory. Called by the destructor (clean close) and by the service
+  /// drain before it reports the store flushed.
+  void sync();
+
+  /// Syncs and closes every appender.
+  ~DiskStore();
+
   /// Telemetry of this store instance.
   std::uint64_t bytesWritten() const { return BytesWritten; }
   std::uint64_t bytesLoaded() const { return BytesLoaded; }
@@ -69,11 +81,16 @@ private:
   explicit DiskStore(std::string Dir) : Dir(std::move(Dir)) {}
 
   std::string segmentPath(const std::string &Name) const;
-  std::ofstream &appender(const std::string &Name);
+  /// Opens (or returns) the O_APPEND fd of segment \p Name; -1 on failure.
+  int appenderFd(const std::string &Name);
+  void syncLocked();
 
   std::string Dir;
   std::mutex M;
-  std::unordered_map<std::string, std::ofstream> Appenders;
+  /// Raw O_APPEND fds (not stdio): every append is one write(2) of a whole
+  /// line, and fsync on close/drain is possible at all (ofstream exposes
+  /// no fd to fsync).
+  std::unordered_map<std::string, int> Appenders;
   std::uint64_t BytesWritten = 0;
   std::uint64_t BytesLoaded = 0;
   std::uint64_t CorruptSkipped = 0;

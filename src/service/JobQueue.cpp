@@ -1,0 +1,188 @@
+//===- JobQueue.cpp -------------------------------------------------------===//
+
+#include "service/JobQueue.h"
+
+#include <algorithm>
+#include <cstdio>
+
+using namespace se2gis;
+
+const char *se2gis::jobStateName(JobState S) {
+  switch (S) {
+  case JobState::Queued:
+    return "queued";
+  case JobState::Running:
+    return "running";
+  case JobState::Done:
+    return "done";
+  case JobState::Cancelled:
+    return "cancelled";
+  }
+  return "?";
+}
+
+AdmitStatus JobQueue::submit(JobSpec Spec, std::string &IdOut) {
+  std::lock_guard<std::mutex> Lock(M);
+  if (DrainingFlag || Stopping)
+    return AdmitStatus::Draining;
+  if (Pending.size() >= MaxQueued)
+    return AdmitStatus::QueueFull;
+
+  auto J = std::make_shared<Job>();
+  J->Seq = NextSeq++;
+  // snprintf, not "j" + std::to_string(Seq): concatenating to_string's SSO
+  // buffer trips GCC 12's bogus -Wrestrict overlap diagnosis (PR105651) and
+  // the build is kept warning-free.
+  char IdBuf[24];
+  std::snprintf(IdBuf, sizeof(IdBuf), "j%llu",
+                static_cast<unsigned long long>(J->Seq));
+  J->Id = IdBuf;
+  J->Spec = std::move(Spec);
+  J->Token = CancellationToken::create();
+  J->SubmitAt = std::chrono::steady_clock::now();
+  IdOut = J->Id;
+  Table.emplace(J->Id, J);
+  Pending.push_back(J->Id);
+  ++SubmittedCount;
+  WorkReady.notify_one();
+  return AdmitStatus::Admitted;
+}
+
+std::shared_ptr<Job> JobQueue::pop() {
+  std::unique_lock<std::mutex> Lock(M);
+  while (true) {
+    WorkReady.wait(Lock, [&] { return Stopping || !Pending.empty(); });
+    if (Pending.empty())
+      return nullptr; // Stopping and drained: worker exits
+    // Highest priority first; arrival order (deque order) within a level.
+    auto Best = Pending.begin();
+    for (auto It = std::next(Pending.begin()); It != Pending.end(); ++It)
+      if (Table[*It]->Spec.Priority > Table[*Best]->Spec.Priority)
+        Best = It;
+    std::shared_ptr<Job> J = Table[*Best];
+    Pending.erase(Best);
+    J->State = JobState::Running;
+    J->StartAt = std::chrono::steady_clock::now();
+    ++RunningCount;
+    return J;
+  }
+}
+
+void JobQueue::complete(const std::shared_ptr<Job> &J, Outcome Result) {
+  std::lock_guard<std::mutex> Lock(M);
+  J->Result = std::move(Result);
+  J->EndAt = std::chrono::steady_clock::now();
+  if (J->CancelRequested) {
+    J->State = JobState::Cancelled;
+    ++CancelledCount;
+  } else {
+    J->State = JobState::Done;
+    ++CompletedCount;
+  }
+  --RunningCount;
+  if (Pending.empty() && RunningCount == 0)
+    Idle.notify_all();
+}
+
+bool JobQueue::cancel(const std::string &Id) {
+  std::lock_guard<std::mutex> Lock(M);
+  auto It = Table.find(Id);
+  if (It == Table.end())
+    return false;
+  std::shared_ptr<Job> &J = It->second;
+  switch (J->State) {
+  case JobState::Queued:
+    J->CancelRequested = true;
+    J->Token.requestCancel();
+    J->State = JobState::Cancelled;
+    J->EndAt = std::chrono::steady_clock::now();
+    removeFromPendingLocked(Id);
+    ++CancelledCount;
+    if (Pending.empty() && RunningCount == 0)
+      Idle.notify_all();
+    break;
+  case JobState::Running:
+    J->CancelRequested = true;
+    J->Token.requestCancel(); // terminalizes via complete()
+    break;
+  case JobState::Done:
+  case JobState::Cancelled:
+    break; // cancelling a finished job is a benign no-op
+  }
+  return true;
+}
+
+std::unique_ptr<Job> JobQueue::query(const std::string &Id) const {
+  std::lock_guard<std::mutex> Lock(M);
+  auto It = Table.find(Id);
+  if (It == Table.end())
+    return nullptr;
+  return std::make_unique<Job>(*It->second);
+}
+
+QueueStats JobQueue::stats() const {
+  std::lock_guard<std::mutex> Lock(M);
+  QueueStats S;
+  S.QueueDepth = Pending.size();
+  S.InFlight = RunningCount;
+  S.Submitted = SubmittedCount;
+  S.Completed = CompletedCount;
+  S.Cancelled = CancelledCount;
+  S.Rejected = RejectedCount;
+  S.Draining = DrainingFlag;
+  return S;
+}
+
+void JobQueue::countRejected() {
+  std::lock_guard<std::mutex> Lock(M);
+  ++RejectedCount;
+}
+
+void JobQueue::beginDrain() {
+  std::lock_guard<std::mutex> Lock(M);
+  DrainingFlag = true;
+}
+
+bool JobQueue::waitIdle(std::int64_t DeadlineMs) {
+  std::unique_lock<std::mutex> Lock(M);
+  auto IsIdle = [&] { return Pending.empty() && RunningCount == 0; };
+  if (DeadlineMs <= 0) {
+    Idle.wait(Lock, IsIdle);
+    return true;
+  }
+  return Idle.wait_for(Lock, std::chrono::milliseconds(DeadlineMs), IsIdle);
+}
+
+void JobQueue::cancelAll() {
+  std::lock_guard<std::mutex> Lock(M);
+  // Queued jobs terminalize here; running jobs when their worker completes.
+  for (const std::string &Id : Pending) {
+    std::shared_ptr<Job> &J = Table[Id];
+    J->CancelRequested = true;
+    J->Token.requestCancel();
+    J->State = JobState::Cancelled;
+    J->EndAt = std::chrono::steady_clock::now();
+    ++CancelledCount;
+  }
+  Pending.clear();
+  for (auto &[Id, J] : Table)
+    if (J->State == JobState::Running) {
+      J->CancelRequested = true;
+      J->Token.requestCancel();
+    }
+  if (RunningCount == 0)
+    Idle.notify_all();
+}
+
+void JobQueue::shutdown() {
+  std::lock_guard<std::mutex> Lock(M);
+  DrainingFlag = true;
+  Stopping = true;
+  WorkReady.notify_all();
+}
+
+void JobQueue::removeFromPendingLocked(const std::string &Id) {
+  auto It = std::find(Pending.begin(), Pending.end(), Id);
+  if (It != Pending.end())
+    Pending.erase(It);
+}

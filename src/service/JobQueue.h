@@ -1,0 +1,163 @@
+//===- JobQueue.h - Jobs, the bounded priority queue, admission -*- C++-*-===//
+///
+/// \file
+/// The daemon's unit of work and its scheduling state. A \c Job is one
+/// \c SynthesisTask (a named suite benchmark or an inline DSL source,
+/// elaborated at submit time) plus lifecycle bookkeeping:
+///
+///     queued ──────> running ──────> done
+///        │               │
+///        └──> cancelled <┘   (cancel while queued is immediate; cancel
+///                             while running rides the CancellationToken
+///                             and lands when the run's next poll fires)
+///
+/// \c JobQueue is the FIFO-with-priority scheduler behind the worker pool:
+/// higher \c Priority pops first, FIFO within a priority level (submission
+/// sequence breaks ties, so equal-priority jobs are served in arrival
+/// order). Admission control lives here too: the queue is *bounded*
+/// (\c MaxQueued), and \c submit reports Overloaded/Draining outcomes the
+/// server turns into typed protocol errors instead of letting clients
+/// block behind an unbounded backlog.
+///
+/// The queue also owns the job table (id → job), which outlives execution
+/// so status/result queries of finished jobs keep working until the daemon
+/// exits. Every mutation is under one mutex; runs themselves happen
+/// outside it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SE2GIS_SERVICE_JOBQUEUE_H
+#define SE2GIS_SERVICE_JOBQUEUE_H
+
+#include "core/SynthesisTask.h"
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace se2gis {
+
+/// Lifecycle states (DESIGN.md "Service model" has the transition diagram).
+enum class JobState : unsigned char { Queued, Running, Done, Cancelled };
+
+const char *jobStateName(JobState S);
+
+/// What to run: a problem (already elaborated), the algorithm, the job's
+/// own budget, and its scheduling priority.
+struct JobSpec {
+  /// Registry name for suite jobs, "" for inline-source jobs.
+  std::string Benchmark;
+  /// "inline" jobs keep the source's SHA-like label for reporting.
+  std::string Label;
+  std::shared_ptr<const Problem> Prob;
+  AlgorithmKind Algorithm = AlgorithmKind::SE2GIS;
+  std::int64_t TimeoutMs = 5000;
+  int Priority = 0;
+};
+
+/// One submitted job. State transitions are made by JobQueue under its
+/// lock; readers snapshot via JobQueue::query.
+struct Job {
+  std::string Id;
+  JobSpec Spec;
+  JobState State = JobState::Queued;
+  /// Minted at submit; shared with the running task so cancel works at any
+  /// point of the lifecycle.
+  CancellationToken Token;
+  /// Set once the job reaches Done (and for Cancelled-while-running, where
+  /// it carries the partial outcome of the interrupted run).
+  Outcome Result;
+  bool CancelRequested = false;
+  std::chrono::steady_clock::time_point SubmitAt, StartAt, EndAt;
+  std::uint64_t Seq = 0; ///< FIFO tiebreak within a priority level
+};
+
+/// Why a submit was refused.
+enum class AdmitStatus : unsigned char { Admitted, QueueFull, Draining };
+
+/// Aggregate counters for the stats response.
+struct QueueStats {
+  std::size_t QueueDepth = 0;
+  std::size_t InFlight = 0;
+  std::uint64_t Submitted = 0;
+  std::uint64_t Completed = 0;
+  std::uint64_t Cancelled = 0;
+  std::uint64_t Rejected = 0;
+  bool Draining = false;
+};
+
+class JobQueue {
+public:
+  explicit JobQueue(std::size_t MaxQueued) : MaxQueued(MaxQueued) {}
+
+  /// Admits \p Spec (unless full or draining). On admission returns the new
+  /// job id through \p IdOut.
+  AdmitStatus submit(JobSpec Spec, std::string &IdOut);
+
+  /// Blocks until a job is available, then marks it Running and returns it.
+  /// Returns nullptr when the queue was shut down and no work remains —
+  /// the worker's signal to exit.
+  std::shared_ptr<Job> pop();
+
+  /// Records \p Result for \p J and moves it to its terminal state: Done,
+  /// or Cancelled when cancellation had been requested (the job-level
+  /// cancel, not a mere deadline expiry inside the run).
+  void complete(const std::shared_ptr<Job> &J, Outcome Result);
+
+  /// Cancels a job in any state. Queued jobs terminalize immediately;
+  /// running jobs get their token cancelled and terminalize when the worker
+  /// calls \c complete. \returns false when \p Id is unknown.
+  bool cancel(const std::string &Id);
+
+  /// Snapshots one job (nullptr when unknown). The returned copy is
+  /// consistent (taken under the lock).
+  std::unique_ptr<Job> query(const std::string &Id) const;
+
+  QueueStats stats() const;
+
+  /// Counts a rejected submission (server-side admission bookkeeping).
+  void countRejected();
+
+  /// Stops admitting new jobs (submit → Draining from here on).
+  void beginDrain();
+
+  /// Blocks until no job is queued or running, or \p DeadlineMs elapsed
+  /// (<= 0 = wait forever). \returns true when idle.
+  bool waitIdle(std::int64_t DeadlineMs);
+
+  /// Requests cancellation of everything still queued or running (used when
+  /// the drain deadline fires).
+  void cancelAll();
+
+  /// Wakes every worker out of pop() for exit; implies beginDrain.
+  void shutdown();
+
+private:
+  void removeFromPendingLocked(const std::string &Id);
+
+  mutable std::mutex M;
+  std::condition_variable WorkReady;
+  std::condition_variable Idle;
+  std::size_t MaxQueued;
+  bool DrainingFlag = false;
+  bool Stopping = false;
+  std::uint64_t NextSeq = 1;
+  std::uint64_t SubmittedCount = 0, CompletedCount = 0, CancelledCount = 0,
+                RejectedCount = 0;
+  std::size_t RunningCount = 0;
+  /// Pending ids in arrival order; pop() scans for the best priority (the
+  /// queue is small by construction — MaxQueued — so a scan beats a heap
+  /// plus lazy-deletion bookkeeping).
+  std::deque<std::string> Pending;
+  std::unordered_map<std::string, std::shared_ptr<Job>> Table;
+};
+
+} // namespace se2gis
+
+#endif // SE2GIS_SERVICE_JOBQUEUE_H

@@ -273,7 +273,11 @@ std::vector<SuiteRecord> se2gis::runSuite(const SuiteOptions &Opts) {
   if (!Opts.Config.TracePath.empty())
     traceConfigure(Opts.Config.TracePath);
   PerfSnapshot Before = snapshotPerf();
-  unsigned Jobs = Opts.Config.Jobs ? Opts.Config.Jobs : ThreadPool::defaultConcurrency();
+  // Inside a service process the worker pool already occupies the
+  // hardware; cap this sweep's inner parallelism so outer × inner stays
+  // within hardware_concurrency (no-op standalone — see clampInnerJobs).
+  unsigned Jobs = clampInnerJobs(
+      Opts.Config.Jobs ? Opts.Config.Jobs : ThreadPool::defaultConcurrency());
   std::vector<SuiteRecord> Records = Jobs <= 1
                                          ? runSuiteSequential(Opts)
                                          : runSuiteParallel(Opts, Jobs);

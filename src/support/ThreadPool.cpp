@@ -2,7 +2,33 @@
 
 #include "support/ThreadPool.h"
 
+#include <atomic>
+
 using namespace se2gis;
+
+namespace {
+/// Outer (service) worker count; 1 = no outer pool registered.
+std::atomic<unsigned> OuterWorkers{1};
+} // namespace
+
+void se2gis::setOuterWorkerCount(unsigned N) {
+  OuterWorkers.store(N > 0 ? N : 1, std::memory_order_relaxed);
+}
+
+unsigned se2gis::outerWorkerCount() {
+  return OuterWorkers.load(std::memory_order_relaxed);
+}
+
+unsigned se2gis::clampInnerJobs(unsigned Requested) {
+  unsigned Outer = outerWorkerCount();
+  if (Outer <= 1 || Requested <= 1)
+    return Requested;
+  unsigned HW = ThreadPool::defaultConcurrency();
+  unsigned Cap = HW / Outer;
+  if (Cap < 1)
+    Cap = 1;
+  return Requested < Cap ? Requested : Cap;
+}
 
 unsigned ThreadPool::defaultConcurrency() {
   // SE2GIS_JOBS is applied by SolverConfig::fromEnv (the single reader of

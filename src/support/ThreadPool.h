@@ -77,6 +77,28 @@ private:
   bool Stopping = false;
 };
 
+//===----------------------------------------------------------------------===//
+// Oversubscription control (service worker pool × inner parallelism)
+//===----------------------------------------------------------------------===//
+
+/// Registers how many long-lived *outer* workers this process runs (the
+/// synthesis service's pool; 1 when no service is embedded). Inner
+/// parallel code consults it through \c clampInnerJobs so that
+/// outer × inner never exceeds the hardware (DESIGN.md "Service model"
+/// documents the formula).
+void setOuterWorkerCount(unsigned N);
+
+/// \returns the registered outer worker count (1 until registered).
+unsigned outerWorkerCount();
+
+/// Caps a requested inner worker count against the registered outer pool:
+/// with O outer workers on H hardware threads, the effective inner
+/// parallelism is min(Requested, max(1, H / O)). When no outer pool is
+/// registered (O <= 1) the request passes through unchanged, so standalone
+/// sweeps keep their historical behavior (including deliberate
+/// oversubscription via SE2GIS_JOBS).
+unsigned clampInnerJobs(unsigned Requested);
+
 } // namespace se2gis
 
 #endif // SE2GIS_SUPPORT_THREADPOOL_H
