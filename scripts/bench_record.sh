@@ -1,0 +1,87 @@
+#!/usr/bin/env bash
+# bench_record.sh — record a committed benchmark baseline.
+#
+# Runs the full 141-benchmark suite through bench_fig4_quantile with the
+# perf-counter JSON summary enabled, then wraps that summary together with
+# the run's provenance (git revision, date, jobs, per-pair budget, the
+# incremental-SMT mode, and the outcome table) into BENCH_<label>.json at
+# the repository root, ready to commit. Two labels make a comparison pair
+# recorded on the same machine and configuration:
+#
+#   SE2GIS_SMT_INCREMENTAL=off scripts/bench_record.sh baseline
+#   SE2GIS_SMT_INCREMENTAL=on  scripts/bench_record.sh incremental_smt
+#
+# The outcome table is embedded verbatim so a reviewer can diff the two
+# files and confirm the verdicts are identical before comparing quantiles.
+#
+# Usage: scripts/bench_record.sh <label> [build-dir]
+#   label      suffix for BENCH_<label>.json (e.g. baseline)
+#   build-dir  default: build
+# Env:
+#   SE2GIS_TIMEOUT_MS        per-(benchmark, algorithm) budget (default 5000)
+#   SE2GIS_JOBS              sweep workers (default nproc)
+#   SE2GIS_SMT_INCREMENTAL   on|off (default on; recorded in the metadata)
+set -euo pipefail
+
+if [ $# -lt 1 ]; then
+  echo "usage: scripts/bench_record.sh <label> [build-dir]" >&2
+  exit 64
+fi
+LABEL=$1
+BUILD_DIR=${2:-build}
+DRIVER="$BUILD_DIR/bench/bench_fig4_quantile"
+REPO_ROOT=$(cd "$(dirname "$0")/.." && pwd)
+OUT="$REPO_ROOT/BENCH_${LABEL}.json"
+
+if [ ! -x "$DRIVER" ]; then
+  echo "error: $DRIVER not built (cmake -B $BUILD_DIR -S . && cmake --build $BUILD_DIR -j)" >&2
+  exit 1
+fi
+
+JOBS=${SE2GIS_JOBS:-$(nproc)}
+TIMEOUT_MS=${SE2GIS_TIMEOUT_MS:-5000}
+MODE=${SE2GIS_SMT_INCREMENTAL:-on}
+PERF_JSON=$(mktemp)
+STDOUT=$(mktemp)
+trap 'rm -f "$PERF_JSON" "$STDOUT" "$STDOUT.log"' EXIT
+
+echo "[record] label=$LABEL jobs=$JOBS timeout_ms=$TIMEOUT_MS smt_incremental=$MODE"
+T0=$(date +%s.%N)
+SE2GIS_JOBS=$JOBS SE2GIS_TIMEOUT_MS=$TIMEOUT_MS \
+  SE2GIS_SMT_INCREMENTAL=$MODE SE2GIS_PERF_JSON="$PERF_JSON" \
+  "$DRIVER" >"$STDOUT" 2>"$STDOUT.log"
+T1=$(date +%s.%N)
+WALL=$(echo "$T1 $T0" | awk '{printf "%.1f", $1-$2}')
+
+GIT_REV=$(git -C "$REPO_ROOT" rev-parse --short HEAD 2>/dev/null || echo unknown)
+DATE=$(date -u +%Y-%m-%dT%H:%M:%SZ)
+
+python3 - "$PERF_JSON" "$STDOUT" "$OUT" <<PY
+import json, sys
+with open(sys.argv[1]) as f:
+    perf = json.load(f)
+with open(sys.argv[2]) as f:
+    outcomes = [l.rstrip() for l in f if l.strip()]
+doc = {
+    "label": "$LABEL",
+    "git_rev": "$GIT_REV",
+    "date": "$DATE",
+    "jobs": $JOBS,
+    "timeout_ms": $TIMEOUT_MS,
+    "smt_incremental": "$MODE",
+    "wall_clock_s": $WALL,
+    "perf": perf,
+    "outcomes": outcomes,
+}
+with open(sys.argv[3], "w") as f:
+    json.dump(doc, f, indent=2)
+    f.write("\n")
+PY
+
+echo "[record] suite wall clock ${WALL}s"
+for KEY in smt_check_p50_ms smt_check_p90_ms smt_check_p99_ms \
+           smt_translate_p50_ms smt_session_reuse smt_session_fresh; do
+  VAL=$(sed -n "s/.*\"$KEY\":\([0-9.][0-9.]*\).*/\1/p" "$PERF_JSON" | head -n1)
+  echo "[record]   $KEY=${VAL:-missing}"
+done
+echo "[record] wrote $OUT"

@@ -20,6 +20,13 @@
 # warm hit rate and wall-clock speedup (BENCH_smoke_cold.json /
 # BENCH_smoke_warm.json).
 #
+# A final pass exercises the incremental-SMT session layer (src/smt/): the
+# filtered sub-suite runs with SE2GIS_SMT_INCREMENTAL=off and =on (verdicts
+# must match, the on-sweep must report smt_session_reuse > 0, and the perf
+# JSON must carry the session counters and smt_translate quantiles),
+# preferably against the tsan preset, plus a mixed realizable /
+# unrealizable / timeout trio through the CLI in both modes.
+#
 # Usage: scripts/bench_smoke.sh [build-dir] [jobs] [filter]
 #   build-dir  default: build
 #   jobs       default: nproc
@@ -28,6 +35,8 @@
 #   SMOKE_SAN_DIR       sanitizer build tree for the deadline pass
 #                       (default: build-asan if present, else build-dir)
 #   SMOKE_DEADLINE_SEC  per-pair budget for the deadline pass (default: 1)
+#   SMOKE_INC_DIR       build tree for the incremental-SMT pass
+#                       (default: build-tsan if present, else build-dir)
 set -euo pipefail
 
 BUILD_DIR=${1:-build}
@@ -305,3 +314,88 @@ if [ ! -s "$SVC_CACHE/store.meta" ]; then
   exit 1
 fi
 echo "[smoke] service pass: drain clean (exit 0), store intact ($SVC_CACHE)"
+
+# --- Incremental-SMT pass: session reuse + verdict parity vs fresh --------
+# The same filtered sub-suite runs twice — once with the incremental session
+# layer off (fresh context per query, the historical model) and once on.
+# Verdicts must be identical, the incremental sweep must actually reuse
+# sessions, and the perf JSON must carry the new session counters and the
+# smt_translate quantiles. Prefers the tsan preset so the per-thread session
+# slots run under the race detector.
+INC_DIR=${SMOKE_INC_DIR:-}
+if [ -z "$INC_DIR" ]; then
+  if [ -x "build-tsan/bench/bench_fig4_quantile" ]; then
+    INC_DIR=build-tsan
+  else
+    INC_DIR=$BUILD_DIR
+  fi
+fi
+INC_DRIVER="$INC_DIR/bench/bench_fig4_quantile"
+INC_CLI="$INC_DIR/tools/se2gis"
+
+inc_sweep() { # inc_sweep <on|off> <json-path> <stdout-path>
+  SE2GIS_JOBS=$JOBS SE2GIS_PERF_JSON=$2 SE2GIS_FILTER=$FILTER \
+    SE2GIS_TIMEOUT_MS=${SE2GIS_TIMEOUT_MS:-20000} \
+    SE2GIS_SMT_INCREMENTAL=$1 \
+    "$INC_DRIVER" >"$3" 2>"$3.log"
+}
+
+echo "[smoke] incremental pass: fresh-context sweep (SE2GIS_SMT_INCREMENTAL=off, $INC_DIR)..."
+inc_sweep off "$OUT_DIR/BENCH_smoke_fresh.json" "$OUT_DIR/smoke_fresh.out"
+echo "[smoke] incremental pass: session sweep (SE2GIS_SMT_INCREMENTAL=on)..."
+inc_sweep on "$OUT_DIR/BENCH_smoke_incr.json" "$OUT_DIR/smoke_incr.out"
+
+outcomes "$OUT_DIR/smoke_fresh.out"
+outcomes "$OUT_DIR/smoke_incr.out"
+if ! diff -u "$OUT_DIR/smoke_fresh.out.outcomes" "$OUT_DIR/smoke_incr.out.outcomes"; then
+  echo "[smoke] FAIL: incremental-session outcomes diverge from fresh contexts" >&2
+  exit 1
+fi
+echo "[smoke] incremental pass: verdicts identical in both modes"
+
+REUSE=$(perf_key "$OUT_DIR/BENCH_smoke_incr.json" smt_session_reuse)
+if [ -z "$REUSE" ] || [ "$REUSE" -eq 0 ]; then
+  echo "[smoke] FAIL: incremental sweep reused no sessions" \
+       "(smt_session_reuse=${REUSE:-missing} in BENCH_smoke_incr.json)" >&2
+  exit 1
+fi
+OFF_REUSE=$(perf_key "$OUT_DIR/BENCH_smoke_fresh.json" smt_session_reuse)
+if [ "${OFF_REUSE:-0}" -ne 0 ]; then
+  echo "[smoke] FAIL: off-mode sweep reported session reuse" \
+       "(smt_session_reuse=$OFF_REUSE — the toggle is not honored)" >&2
+  exit 1
+fi
+for KEY in smt_session_reuse smt_session_fresh smt_push smt_pop \
+           smt_translate_p50_ms smt_translate_p99_ms; do
+  if ! grep -q "\"$KEY\"" "$OUT_DIR/BENCH_smoke_incr.json"; then
+    echo "[smoke] FAIL: perf JSON lacks \"$KEY\"" >&2
+    exit 1
+  fi
+done
+FRESH_N=$(perf_key "$OUT_DIR/BENCH_smoke_incr.json" smt_session_fresh)
+echo "[smoke] incremental pass: $REUSE reused / ${FRESH_N:-0} fresh sessions;" \
+     "quantile keys present"
+
+# Per-benchmark verdict parity on a mixed trio — realizable, unrealizable,
+# and a 1 ms budget that must come back as a timeout — through the direct
+# CLI in both modes (exit codes encode the verdict).
+inc_job() { # inc_job <benchmark> <timeout-ms>
+  set +e
+  SE2GIS_SMT_INCREMENTAL=on "$INC_CLI" --benchmark "$1" \
+    --timeout-ms "$2" --quiet >/dev/null 2>&1
+  ON_RC=$?
+  SE2GIS_SMT_INCREMENTAL=off "$INC_CLI" --benchmark "$1" \
+    --timeout-ms "$2" --quiet >/dev/null 2>&1
+  OFF_RC=$?
+  set -e
+  if [ "$ON_RC" != "$OFF_RC" ]; then
+    echo "[smoke] FAIL: incremental verdict for $1 (exit $ON_RC) diverges" \
+         "from fresh contexts (exit $OFF_RC)" >&2
+    exit 1
+  fi
+  echo "[smoke] incremental pass: $1 -> exit $ON_RC (parity in both modes)"
+}
+inc_job list/sum 20000
+inc_job unreal/sum 20000
+inc_job list/sum 1   # deadline fires inside the run: timeout verdict (2)
+echo "[smoke] perf summaries: $OUT_DIR/BENCH_smoke_fresh.json $OUT_DIR/BENCH_smoke_incr.json"

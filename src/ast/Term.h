@@ -25,6 +25,7 @@
 
 #include "ast/Type.h"
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -138,6 +139,20 @@ public:
   /// Pretty-prints with infix operators and minimal parentheses.
   std::string str() const;
 
+  /// The memoized *shape* hash (canonical structure hash with variable ids
+  /// abstracted away; see cache/Canonical.cpp). Unlike \c hash() it cannot
+  /// be computed eagerly at construction without walking shared subtrees
+  /// repeatedly, so the canonicalizer fills it lazily. 0 means "not yet
+  /// computed" (the hasher never produces 0). Relaxed atomics: the value is
+  /// a pure function of the immutable structure, so a racing recompute
+  /// stores the same bits.
+  std::uint64_t cachedShapeHash() const {
+    return ShapeHashCache.load(std::memory_order_relaxed);
+  }
+  void cacheShapeHash(std::uint64_t H) const {
+    ShapeHashCache.store(H, std::memory_order_relaxed);
+  }
+
 private:
   friend TermPtr mkVar(const VarPtr &V);
   friend TermPtr mkIntLit(long long Value);
@@ -166,6 +181,7 @@ private:
   std::string Callee;
   std::vector<TermPtr> Args;
   std::uint64_t HashCache = 0;
+  mutable std::atomic<std::uint64_t> ShapeHashCache{0};
 };
 
 // --- Factories --------------------------------------------------------===//

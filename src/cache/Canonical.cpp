@@ -149,11 +149,15 @@ bool isCommutative(OpKind Op) {
   }
 }
 
-/// Per-traversal memo of shape hashes; terms are shared subgraphs, so this
-/// keeps both passes linear in the DAG size.
+/// Per-traversal memo of *colored* shape hashes; terms are shared subgraphs,
+/// so this keeps the colored pass linear in the DAG size. Plain shape hashes
+/// don't need it: they are a pure function of the immutable term, so they
+/// memoize in the term itself (Term::cachedShapeHash) and persist across
+/// traversals — an incremental re-probe of a grown query only hashes the
+/// nodes it has never seen.
 using ShapeMemo = std::unordered_map<const Term *, std::uint64_t>;
 
-std::uint64_t shapeHashMemo(const TermPtr &T, ShapeMemo &Memo);
+std::uint64_t shapeHashMemo(const TermPtr &T);
 
 /// Order-independent refinement of variable identity (one Weisfeiler–Lehman
 /// round): a variable's *color* is a hash of the multiset of its occurrence
@@ -168,10 +172,8 @@ public:
   /// Accumulates the occurrence paths of every variable under \p Root. The
   /// path is seeded with the root's (name-insensitive) shape hash plus the
   /// query section, so colors don't depend on the assertion list order.
-  void addRoot(const TermPtr &Root, std::uint64_t SectionTag,
-               ShapeMemo &Shapes) {
-    walk(Root, fold64(fold64(0x5eed, SectionTag),
-                      shapeHashMemo(Root, Shapes)));
+  void addRoot(const TermPtr &Root, std::uint64_t SectionTag) {
+    walk(Root, fold64(fold64(0x5eed, SectionTag), shapeHashMemo(Root)));
   }
 
   void finalize() {
@@ -306,10 +308,9 @@ std::uint64_t coloredShapeHashMemo(const TermPtr &T, const VarColoring &Colors,
   return H;
 }
 
-std::uint64_t shapeHashMemo(const TermPtr &T, ShapeMemo &Memo) {
-  auto It = Memo.find(T.get());
-  if (It != Memo.end())
-    return It->second;
+std::uint64_t shapeHashMemo(const TermPtr &T) {
+  if (std::uint64_t Cached = T->cachedShapeHash())
+    return Cached;
   std::uint64_t H = 0;
   switch (T->getKind()) {
   case TermKind::Var:
@@ -328,7 +329,7 @@ std::uint64_t shapeHashMemo(const TermPtr &T, ShapeMemo &Memo) {
     std::vector<std::uint64_t> Hs;
     Hs.reserve(T->numArgs());
     for (const TermPtr &A : T->getArgs())
-      Hs.push_back(shapeHashMemo(A, Memo));
+      Hs.push_back(shapeHashMemo(A));
     if (isCommutative(T->getOp()))
       std::sort(Hs.begin(), Hs.end());
     for (std::uint64_t A : Hs)
@@ -338,33 +339,37 @@ std::uint64_t shapeHashMemo(const TermPtr &T, ShapeMemo &Memo) {
   case TermKind::Tuple:
     H = TagTuple;
     for (const TermPtr &A : T->getArgs())
-      H = fold64(H, shapeHashMemo(A, Memo));
+      H = fold64(H, shapeHashMemo(A));
     break;
   case TermKind::Proj:
     H = fold64(TagProj, T->getIndex());
-    H = fold64(H, shapeHashMemo(T->getArg(0), Memo));
+    H = fold64(H, shapeHashMemo(T->getArg(0)));
     break;
   case TermKind::Ctor:
     H = stringHash64(TagCtor, T->getCtor()->Name);
     for (const TermPtr &A : T->getArgs())
-      H = fold64(H, shapeHashMemo(A, Memo));
+      H = fold64(H, shapeHashMemo(A));
     break;
   case TermKind::Call:
     H = stringHash64(TagCall, T->getCallee());
     for (const TermPtr &A : T->getArgs())
-      H = fold64(H, shapeHashMemo(A, Memo));
+      H = fold64(H, shapeHashMemo(A));
     break;
   case TermKind::Unknown:
     H = stringHash64(TagUnknown, T->getCallee());
     for (const TermPtr &A : T->getArgs())
-      H = fold64(H, shapeHashMemo(A, Memo));
+      H = fold64(H, shapeHashMemo(A));
     break;
   case TermKind::Hole:
     H = fold64(TagHole, T->getIndex());
     H = fold64(H, typeHash64(T->getType()));
     break;
   }
-  Memo.emplace(T.get(), H);
+  // 0 is the "uncomputed" sentinel of the term-resident cache; remap the
+  // (astronomically unlikely) collision so cached values are always valid.
+  if (H == 0)
+    H = 0x5aa5e;
+  T->cacheShapeHash(H);
   return H;
 }
 
@@ -485,14 +490,12 @@ private:
 // --- Public entry points ------------------------------------------------===//
 
 std::uint64_t se2gis::shapeHash(const TermPtr &T) {
-  ShapeMemo Memo;
-  return shapeHashMemo(T, Memo);
+  return shapeHashMemo(T);
 }
 
 Hash128 se2gis::canonicalTermHash(const TermPtr &T) {
-  ShapeMemo Memo;
   VarColoring Colors;
-  Colors.addRoot(T, TagSystemSection, Memo);
+  Colors.addRoot(T, TagSystemSection);
   Colors.finalize();
   CanonicalFolder F(Colors);
   return F.fold(hash128Seed(TagSystemSection), T);
@@ -501,14 +504,13 @@ Hash128 se2gis::canonicalTermHash(const TermPtr &T) {
 CanonicalQuery se2gis::canonicalizeQuery(const std::vector<TermPtr> &Hard,
                                          const std::vector<TermPtr> &Soft,
                                          const std::vector<TermPtr> &Requests) {
-  ShapeMemo Memo;
   VarColoring Colors;
   for (const TermPtr &T : Hard)
-    Colors.addRoot(T, TagHardSection, Memo);
+    Colors.addRoot(T, TagHardSection);
   for (const TermPtr &T : Soft)
-    Colors.addRoot(T, TagSoftSection, Memo);
+    Colors.addRoot(T, TagSoftSection);
   for (const TermPtr &T : Requests)
-    Colors.addRoot(T, TagRequestSection, Memo);
+    Colors.addRoot(T, TagRequestSection);
   Colors.finalize();
   CanonicalFolder F(Colors);
   Hash128 H = hash128Seed(TagHardSection);
@@ -527,10 +529,9 @@ CanonicalQuery se2gis::canonicalizeQuery(const std::vector<TermPtr> &Hard,
 }
 
 Hash128 se2gis::canonicalSystemHash(const std::vector<TermPtr> &Terms) {
-  ShapeMemo Memo;
   VarColoring Colors;
   for (const TermPtr &T : Terms)
-    Colors.addRoot(T, TagSystemSection, Memo);
+    Colors.addRoot(T, TagSystemSection);
   Colors.finalize();
   CanonicalFolder F(Colors);
   return F.foldMultiset(hash128Seed(TagSystemSection), TagSystemSection,

@@ -49,6 +49,11 @@ struct CanonicalQuery {
 /// Name-insensitive 64-bit shape hash of \p T: variables contribute only
 /// their type, commutative operands are folded as multisets. Used to order
 /// assertion lists and commutative operands before the renaming pass.
+/// Hash-consed: the result memoizes inside each visited Term node
+/// (Term::cachedShapeHash), so repeated probes over shared subtrees — the
+/// common case for an incrementally grown query re-canonicalized per check —
+/// hash only the nodes they have never seen. (Color-refined hashes are
+/// query-relative and stay memoized per traversal.)
 std::uint64_t shapeHash(const TermPtr &T);
 
 /// Canonical 128-bit hash of a single term (renaming + operand sorting as

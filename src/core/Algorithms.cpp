@@ -95,6 +95,11 @@ Outcome se2gis::runSE2GIS(const Problem &P, const AlgoOptions &Opts) {
   Budget.setToken(Opts.Token);
   if (Opts.Seed)
     setSmtRandomSeed(Opts.Seed);
+  setSmtIncremental(Opts.SmtIncremental);
+  // Start every run on a virgin session: solver heuristic state carried
+  // across runs would make a benchmark's trajectory depend on sweep order
+  // (and diverge from a standalone CLI run of the same problem).
+  resetThreadSmtSession();
   CounterSnapshot Before = snapshotCounters();
   PerfSnapshot PerfBefore = snapshotPerf();
   PhaseSnapshot PhaseBefore = phaseSnapshot();
@@ -266,6 +271,11 @@ Outcome se2gis::runSEGIS(const Problem &P, const AlgoOptions &Opts,
   Budget.setToken(Opts.Token);
   if (Opts.Seed)
     setSmtRandomSeed(Opts.Seed);
+  setSmtIncremental(Opts.SmtIncremental);
+  // Start every run on a virgin session: solver heuristic state carried
+  // across runs would make a benchmark's trajectory depend on sweep order
+  // (and diverge from a standalone CLI run of the same problem).
+  resetThreadSmtSession();
   CounterSnapshot Before = snapshotCounters();
   PerfSnapshot PerfBefore = snapshotPerf();
   PhaseSnapshot PhaseBefore = phaseSnapshot();

@@ -71,6 +71,12 @@ struct AlgoOptions {
   /// Z3 random seed applied process-wide (0 = Z3's default). Exposed for
   /// reproducible sweeps; see setSmtRandomSeed.
   unsigned Seed = 0;
+  /// Incremental SMT sessions (DESIGN.md "Incremental SMT model"): queries
+  /// run on long-lived per-thread Z3 solvers with push/pop deltas. Off
+  /// restores the fresh-context-per-query model. Applied process-wide at
+  /// run start; see setSmtIncremental. Fed by SE2GIS_SMT_INCREMENTAL /
+  /// --smt-incremental.
+  bool SmtIncremental = true;
 
   /// Ablation switches (bench/bench_ablation measures their impact).
   bool DisableEufAnchoring = false;

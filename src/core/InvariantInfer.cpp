@@ -5,6 +5,7 @@
 #include "ast/Simplify.h"
 #include "eval/Interp.h"
 #include "smt/Induction.h"
+#include "smt/Solver.h"
 #include "support/Diagnostics.h"
 #include "synth/SgeSolver.h"
 
@@ -24,6 +25,9 @@ InvariantLearner::applyReference(const std::vector<ValuePtr> &Extras,
 
 std::optional<LearnedInvariant>
 InvariantLearner::learn(const SCertificate &Cert, const Deadline &Budget) {
+  // Predicate search probes many candidate invariants against the same
+  // witness data; keep the queries on one warm session.
+  SmtSessionScope SessionScope;
   return Cert.Kind == CertKind::Mistyped ? learnMistyped(Cert, Budget)
                                          : learnImage(Cert, Budget);
 }

@@ -26,6 +26,16 @@ SolverConfig SolverConfig::fromEnv(std::int64_t DefaultTimeoutMs) {
     if (V > 0)
       C.Algo.Seed = static_cast<unsigned>(V);
   }
+  if (const char *I = std::getenv("SE2GIS_SMT_INCREMENTAL")) {
+    std::string V = I;
+    if (V == "on")
+      C.Algo.SmtIncremental = true;
+    else if (V == "off")
+      C.Algo.SmtIncremental = false;
+    else
+      userError("SE2GIS_SMT_INCREMENTAL: expected on or off, got '" + V +
+                "'");
+  }
   if (const char *F = std::getenv("SE2GIS_FILTER"))
     C.Filter = F;
   if (const char *J = std::getenv("SE2GIS_JOBS")) {

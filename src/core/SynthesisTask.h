@@ -56,6 +56,9 @@ struct SolverConfig {
   ///    SE2GIS_TIMEOUT — the same in seconds (TIMEOUT_MS wins when both
   ///    are set). Values <= 0 leave the default \p DefaultTimeoutMs.
   ///  - SE2GIS_SEED — Z3 random seed (0 = Z3's default).
+  ///  - SE2GIS_SMT_INCREMENTAL — "on" (default) or "off"; off restores
+  ///    fresh-context-per-query SMT solving (throws UserError on anything
+  ///    else). See DESIGN.md "Incremental SMT model".
   ///  - SE2GIS_FILTER, SE2GIS_JOBS, SE2GIS_PERF_JSON — as the fields above.
   ///  - SE2GIS_CACHE — "off" (default), "mem", or "disk"; SE2GIS_CACHE_DIR
   ///    — the disk-mode store directory (default ./.se2gis-cache). Throws

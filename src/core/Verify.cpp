@@ -4,6 +4,7 @@
 
 #include "ast/Simplify.h"
 #include "smt/Induction.h"
+#include "smt/Solver.h"
 #include "support/Diagnostics.h"
 
 #include <sstream>
@@ -14,6 +15,9 @@ VerifyResult se2gis::verifySolution(const Problem &P,
                                     const UnknownBindings &Solution,
                                     const VerifyOptions &Opts,
                                     const Deadline &Budget) {
+  // One session region: the per-equation bounded checks and induction
+  // queries below share the thread's warm solver.
+  SmtSessionScope SessionScope;
   const RecFunction *Ref = P.Prog->findFunction(P.Reference);
 
   VarPtr X = freshVar("x", Type::dataTy(P.Theta));

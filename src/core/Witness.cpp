@@ -84,7 +84,15 @@ se2gis::findFunctionalWitness(const Sge &System, int PerQueryTimeoutMs,
   for (const SgeEquation &E : System.Eqns)
     Frames.push_back(computeFrame(E.Lhs));
 
+  // The whole sweep is one session region: every pair query below shares
+  // the thread's warm solver.
+  SmtSessionScope SessionScope;
+
   for (size_t I = 0; I < System.Eqns.size(); ++I) {
+    // All partners of equation I share its guard; build that base lazily on
+    // the first matching partner and stack each partner's delta (renamed
+    // guard, disequality, argument equalities) in a push/pop frame on top.
+    std::optional<SmtQuery> Q;
     for (size_t J = 0; J <= I; ++J) {
       if (Budget.expired())
         return std::nullopt;
@@ -107,18 +115,26 @@ se2gis::findFunctionalWitness(const Sge &System, int PerQueryTimeoutMs,
         JTerms.push_back(A);
       Substitution Rename = renameFresh(JTerms, Renaming);
 
-      SmtQuery Q;
-      Q.setDeadline(Budget);
-      Q.add(EI.Guard);
-      Q.add(substitute(EJ.Guard, Rename));
-      Q.add(mkNot(mkEq(EI.Rhs, substitute(EJ.Rhs, Rename))));
+      if (!Q) {
+        Q.emplace();
+        Q->setDeadline(Budget);
+        Q->add(EI.Guard);
+      }
+      Q->push();
+      Q->add(substitute(EJ.Guard, Rename));
+      Q->add(mkNot(mkEq(EI.Rhs, substitute(EJ.Rhs, Rename))));
       for (size_t K = 0; K < Frames[I].Args.size(); ++K)
-        Q.add(mkEq(Frames[I].Args[K],
-                   substitute(Frames[J].Args[K], Rename)));
+        Q->add(mkEq(Frames[I].Args[K],
+                    substitute(Frames[J].Args[K], Rename)));
 
       countEvent(CounterKind::WitnessQueries);
       SmtModel Model;
-      if (Q.checkSat(PerQueryTimeoutMs, &Model) != SmtResult::Sat)
+      bool IsSat = Q->checkSat(PerQueryTimeoutMs, &Model) == SmtResult::Sat;
+      // Model readback is frame-scoped, so popping here (before the
+      // projection) is safe: Model already holds exactly the base guard's
+      // and this partner's variables.
+      Q->pop();
+      if (!IsSat)
         continue;
 
       // Project the joint model onto each equation's original variables.

@@ -67,6 +67,9 @@ std::vector<VarPtr> dataVarsOf(const TermPtr &T) {
 std::optional<BoundedWitness>
 se2gis::boundedSat(const Program &Prog, const TermPtr &Formula,
                    const BoundedOptions &Opts) {
+  // The unrolling enumeration issues one query per constructor combination;
+  // keep them on one warm session.
+  SmtSessionScope SessionScope;
   std::vector<VarPtr> DataVars = dataVarsOf(Formula);
 
   if (DataVars.empty()) {

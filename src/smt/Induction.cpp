@@ -184,6 +184,9 @@ bool se2gis::proveByInduction(const Program &Prog, const TermPtr &Goal,
                               const InductionOptions &Opts) {
   TraceSpan Span("induction.prove", "smt");
   PhaseScope InductionPhase(Phase::Induction);
+  // Base cases and step cases run as a family of closely related validity
+  // queries; keep them on one warm session.
+  SmtSessionScope SessionScope;
   std::vector<VarPtr> DataVars;
   for (const VarPtr &V : freeVars(Goal))
     if (V->Ty->isData())

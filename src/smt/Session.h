@@ -1,0 +1,81 @@
+//===- Session.h - Long-lived per-thread Z3 sessions ------------*- C++-*-===//
+///
+/// \file
+/// Internal header of the incremental SMT layer (DESIGN.md "Incremental SMT
+/// model"); only Solver.cpp and Session.cpp may include it — it exposes
+/// z3++.h, which the rest of the code base must never see.
+///
+/// A \c SmtSession owns one z3::context + z3::solver pair that stays alive
+/// across many \c SmtQuery objects on the same thread. Queries assert into
+/// push/pop frames above an always-empty base level, so destroying a query
+/// returns the solver to a clean state while Z3's interned AST tables, sort
+/// caches, and allocator arenas stay warm — that reuse is where the
+/// context-per-query model spent most of its time.
+///
+/// Sessions are deliberately dumb: all frame bookkeeping, term interning,
+/// and cache keying live in SmtQuery::Impl. The session only carries the
+/// state that must outlive a query (context, solver, serial counters) and
+/// the flags the acquisition policy reads (busy, poisoned, seed).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SE2GIS_SMT_SESSION_H
+#define SE2GIS_SMT_SESSION_H
+
+#include <z3++.h>
+
+#include <cstdint>
+
+namespace se2gis {
+
+/// One long-lived Z3 context/solver pair. Not thread-safe (z3::context is
+/// not); each instance is confined to the thread that created it, either as
+/// the thread's shared session or as a query-private fallback.
+class SmtSession {
+public:
+  explicit SmtSession(unsigned Seed) : Solver(Ctx), SeedApplied(Seed) {}
+  SmtSession(const SmtSession &) = delete;
+  SmtSession &operator=(const SmtSession &) = delete;
+
+  z3::context Ctx;
+  z3::solver Solver;
+
+  /// The Z3 random seed this session was acquired under; a later
+  /// setSmtRandomSeed call makes the next acquisition replace the session
+  /// (solver-internal random state is not reset by re-applying params).
+  unsigned SeedApplied;
+  /// Queries that have attached to this session (reuse = served > 1).
+  std::uint64_t QueriesServed = 0;
+  /// Makes soft-assumption indicator names unique across all queries served
+  /// by this session's context: indicator constants are interned by name,
+  /// so two queries must never mint the same one.
+  std::uint64_t SoftSerial = 0;
+  /// Live push scopes on the solver (base frames + user frames).
+  unsigned Depth = 0;
+  /// A live SmtQuery currently owns the solver. A session serves exactly
+  /// one query at a time: a query constructed while the thread session is
+  /// busy (nested query lifetimes) gets a private fresh-context session
+  /// instead, so it can never observe the outer query's assertions.
+  bool Busy = false;
+  /// The session must be replaced before serving another query: set after
+  /// a Z3 `unknown` (budget expiry or incompleteness can leave the
+  /// incremental core in a half-explored state worth discarding) and by
+  /// resetThreadSmtSession while busy.
+  bool RecyclePending = false;
+};
+
+/// Acquires the calling thread's shared session for one query, creating or
+/// recycling it per the fallback policy (busy -> nullptr, poisoned / seed
+/// change / served-query budget -> replace). \returns nullptr when the
+/// caller must use a private fresh-context session instead (incremental
+/// mode off, or the thread session is busy). Does NOT mark the session
+/// busy; the caller does once it commits to it.
+SmtSession *acquireThreadSmtSession();
+
+/// The process-wide Z3 random seed (0 = Z3 default); reads the value set by
+/// setSmtRandomSeed.
+unsigned currentSmtRandomSeed();
+
+} // namespace se2gis
+
+#endif // SE2GIS_SMT_SESSION_H

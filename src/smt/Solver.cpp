@@ -5,6 +5,7 @@
 #include "cache/CacheConfig.h"
 #include "cache/Canonical.h"
 #include "cache/SmtQueryCache.h"
+#include "smt/Session.h"
 #include "support/Counters.h"
 #include "support/Diagnostics.h"
 #include "support/PerfCounters.h"
@@ -70,42 +71,106 @@ size_t flatWidth(const TypePtr &Ty) {
 
 } // namespace
 
-namespace {
-/// Process-wide Z3 random seed (0 = Z3 default); see setSmtRandomSeed.
-std::atomic<unsigned> GSmtRandomSeed{0};
-} // namespace
-
-void se2gis::setSmtRandomSeed(unsigned Seed) {
-  GSmtRandomSeed.store(Seed, std::memory_order_relaxed);
-}
-
 struct SmtQuery::Impl {
-  z3::context Ctx;
-  z3::solver Solver;
+  // The session this query runs on: the thread's shared one (Borrowed,
+  // reused across queries) or a private fresh-context fallback (Owned —
+  // incremental mode off, or the shared session was busy/poisoned).
+  SmtSession *Borrowed = nullptr;
+  std::unique_ptr<SmtSession> Owned;
+
   Deadline Budget;
   bool HasDeadline = false;
+
   // Hit on every Var/Unknown node of every translated term; hash maps with
   // reserved capacity keep the hot path rehash- and rebalance-free. Model
   // readback sorts the entries by Id (below), so iteration order stays the
-  // deterministic order the rest of the stack depends on.
+  // deterministic order the rest of the stack depends on. Both caches are
+  // query-local and frame-scoped: the journals record insertion order, and
+  // a pop erases exactly the entries interned while the popped frame was
+  // open — so an unknown re-declared with a different signature in a later
+  // frame, or a variable first seen in a retracted scope, can never alias
+  // a stale z3 handle.
   std::unordered_map<unsigned, std::pair<VarPtr, std::vector<z3::expr>>>
       VarCache;
   std::unordered_map<std::string, std::vector<z3::func_decl>> UnknownCache;
+  std::vector<unsigned> VarJournal;
+  std::vector<std::string> UnknownJournal;
+
   std::vector<TermPtr> Requests;
   std::vector<z3::expr> SoftIndicators;
+  // Cleared-for-checking by disableSoft(): the asserted soft implications
+  // stay in the solver but their indicators are no longer assumed (or
+  // cache-keyed), which makes them vacuous.
+  bool SoftActive = true;
   // Source-level copies of the asserted terms, kept for cache keying: the
   // canonical hasher works on Term structure, which the eager translation
   // into Z3 ASTs discards.
   std::vector<TermPtr> HardTerms;
   std::vector<TermPtr> SoftTerms;
 
-  Impl() : Solver(Ctx) {
+  /// Rollback marks of one push() scope; everything past a mark is
+  /// retracted by the matching pop().
+  struct FrameMarks {
+    size_t Vars, Unknowns, Hard, Soft, Indicators, Reqs;
+  };
+  std::vector<FrameMarks> Frames;
+
+  // Cumulative Term->Z3 translation wall time; checkSat reports the delta
+  // since the previous check into the smt_translate histogram, so repeated
+  // checks on a warm query show up as near-zero samples.
+  std::uint64_t TranslateNs = 0;
+  std::uint64_t TranslateReportedNs = 0;
+
+  SmtSession &session() { return Borrowed ? *Borrowed : *Owned; }
+  z3::context &ctx() { return session().Ctx; }
+  z3::solver &solver() { return session().Solver; }
+
+  Impl() {
+    Borrowed = acquireThreadSmtSession();
+    if (Borrowed) {
+      perfAdd(Borrowed->QueriesServed ? PerfCounter::SmtSessionReuse
+                                      : PerfCounter::SmtSessionFresh);
+      Borrowed->Busy = true;
+      ++Borrowed->QueriesServed;
+      // The query's base frame: everything it asserts lives above this
+      // mark, so the destructor can return the shared solver to its
+      // always-empty base state.
+      try {
+        Borrowed->Solver.push();
+      } catch (const z3::exception &E) {
+        fatalError(std::string("Z3 error opening a session frame: ") +
+                   E.msg());
+      }
+      ++Borrowed->Depth;
+      perfAdd(PerfCounter::SmtPush);
+    } else {
+      Owned = std::make_unique<SmtSession>(currentSmtRandomSeed());
+      ++Owned->QueriesServed;
+      perfAdd(PerfCounter::SmtSessionFresh);
+    }
     VarCache.reserve(64);
     UnknownCache.reserve(16);
   }
 
+  ~Impl() {
+    if (!Borrowed)
+      return;
+    // Unwind every scope this query still holds — unpopped user frames plus
+    // the base frame — so the shared solver is assertion-free again. A Z3
+    // failure here poisons the session instead of throwing from a dtor.
+    unsigned ToPop = static_cast<unsigned>(Frames.size()) + 1;
+    try {
+      Borrowed->Solver.pop(ToPop);
+      perfAdd(PerfCounter::SmtPop, ToPop);
+    } catch (const z3::exception &) {
+      Borrowed->RecyclePending = true;
+    }
+    Borrowed->Depth = Borrowed->Depth >= ToPop ? Borrowed->Depth - ToPop : 0;
+    Borrowed->Busy = false;
+  }
+
   z3::sort sortOf(const TypePtr &Ty) {
-    return Ty->isInt() ? Ctx.int_sort() : Ctx.bool_sort();
+    return Ty->isInt() ? ctx().int_sort() : ctx().bool_sort();
   }
 
   const std::vector<z3::expr> &varExprs(const VarPtr &V) {
@@ -118,11 +183,12 @@ struct SmtQuery::Impl {
     for (size_t I = 0; I < Leaves.size(); ++I) {
       std::string Name = "v" + std::to_string(V->Id) +
                          (Leaves.size() > 1 ? "_" + std::to_string(I) : "");
-      Exprs.push_back(Ctx.constant(Name.c_str(), sortOf(Leaves[I])));
+      Exprs.push_back(ctx().constant(Name.c_str(), sortOf(Leaves[I])));
     }
     auto [Pos, Inserted] =
         VarCache.emplace(V->Id, std::make_pair(V, std::move(Exprs)));
     (void)Inserted;
+    VarJournal.push_back(V->Id);
     return Pos->second.second;
   }
 
@@ -130,7 +196,7 @@ struct SmtQuery::Impl {
     auto It = UnknownCache.find(U.getCallee());
     if (It != UnknownCache.end())
       return It->second;
-    z3::sort_vector Domain(Ctx);
+    z3::sort_vector Domain(ctx());
     for (const TermPtr &A : U.getArgs()) {
       std::vector<TypePtr> Leaves;
       flattenType(A->getType(), Leaves);
@@ -144,11 +210,12 @@ struct SmtQuery::Impl {
       std::string Name = "u_" + U.getCallee() +
                          (RetLeaves.size() > 1 ? "_" + std::to_string(I) : "");
       Decls.push_back(
-          Ctx.function(Name.c_str(), Domain, sortOf(RetLeaves[I])));
+          ctx().function(Name.c_str(), Domain, sortOf(RetLeaves[I])));
     }
     auto [Pos, Inserted] =
         UnknownCache.emplace(U.getCallee(), std::move(Decls));
     (void)Inserted;
+    UnknownJournal.push_back(U.getCallee());
     return Pos->second;
   }
 
@@ -158,9 +225,9 @@ struct SmtQuery::Impl {
     case TermKind::Var:
       return varExprs(T->getVar());
     case TermKind::IntLit:
-      return {Ctx.int_val(static_cast<int64_t>(T->getIntValue()))};
+      return {ctx().int_val(static_cast<int64_t>(T->getIntValue()))};
     case TermKind::BoolLit:
-      return {Ctx.bool_val(T->getBoolValue())};
+      return {ctx().bool_val(T->getBoolValue())};
     case TermKind::Tuple: {
       std::vector<z3::expr> Out;
       for (const TermPtr &A : T->getArgs())
@@ -180,7 +247,7 @@ struct SmtQuery::Impl {
     }
     case TermKind::Unknown: {
       const std::vector<z3::func_decl> &Decls = unknownDecls(*T);
-      z3::expr_vector Args(Ctx);
+      z3::expr_vector Args(ctx());
       for (const TermPtr &A : T->getArgs())
         for (z3::expr &E : translate(A))
           Args.push_back(E);
@@ -214,14 +281,14 @@ struct SmtQuery::Impl {
     if (Op == OpKind::Eq || Op == OpKind::Ne) {
       std::vector<z3::expr> A = translate(T->getArg(0));
       std::vector<z3::expr> B = translate(T->getArg(1));
-      z3::expr_vector Eqs(Ctx);
+      z3::expr_vector Eqs(ctx());
       for (size_t I = 0; I < A.size(); ++I)
         Eqs.push_back(A[I] == B[I]);
       z3::expr All = z3::mk_and(Eqs);
       return {Op == OpKind::Eq ? All : !All};
     }
     if (Op == OpKind::And || Op == OpKind::Or) {
-      z3::expr_vector Parts(Ctx);
+      z3::expr_vector Parts(ctx());
       for (const TermPtr &A : T->getArgs())
         Parts.push_back(translate(A)[0]);
       return {Op == OpKind::And ? z3::mk_and(Parts) : z3::mk_or(Parts)};
@@ -300,7 +367,10 @@ SmtQuery::~SmtQuery() = default;
 void SmtQuery::add(const TermPtr &Assertion) {
   assert(Assertion->getType()->isBool() && "assertions must be boolean");
   try {
-    I->Solver.add(I->translate(Assertion)[0]);
+    Stopwatch Watch;
+    z3::expr E = I->translate(Assertion)[0];
+    I->TranslateNs += Watch.elapsedNs();
+    I->solver().add(E);
     I->HardTerms.push_back(Assertion);
   } catch (const z3::exception &E) {
     fatalError(std::string("Z3 error while asserting: ") + E.msg());
@@ -310,15 +380,65 @@ void SmtQuery::add(const TermPtr &Assertion) {
 void SmtQuery::addSoft(const TermPtr &Assertion) {
   assert(Assertion->getType()->isBool() && "assertions must be boolean");
   try {
-    std::string Name = "soft!" + std::to_string(I->SoftIndicators.size());
-    z3::expr B = I->Ctx.bool_const(Name.c_str());
-    I->Solver.add(z3::implies(B, I->translate(Assertion)[0]));
+    // The session serial keeps indicator names unique across every query a
+    // shared context serves: bool_const interns by name, so a per-query
+    // index would tie unrelated queries' soft implications together.
+    std::string Name = "soft!" + std::to_string(I->session().SoftSerial++);
+    z3::expr B = I->ctx().bool_const(Name.c_str());
+    Stopwatch Watch;
+    z3::expr E = I->translate(Assertion)[0];
+    I->TranslateNs += Watch.elapsedNs();
+    I->solver().add(z3::implies(B, E));
     I->SoftIndicators.push_back(B);
     I->SoftTerms.push_back(Assertion);
   } catch (const z3::exception &E) {
     fatalError(std::string("Z3 error while asserting: ") + E.msg());
   }
 }
+
+void SmtQuery::push() {
+  try {
+    I->solver().push();
+  } catch (const z3::exception &E) {
+    fatalError(std::string("Z3 error on push: ") + E.msg());
+  }
+  ++I->session().Depth;
+  I->Frames.push_back({I->VarJournal.size(), I->UnknownJournal.size(),
+                       I->HardTerms.size(), I->SoftTerms.size(),
+                       I->SoftIndicators.size(), I->Requests.size()});
+  perfAdd(PerfCounter::SmtPush);
+}
+
+void SmtQuery::pop() {
+  assert(!I->Frames.empty() && "pop without matching push");
+  Impl::FrameMarks F = I->Frames.back();
+  I->Frames.pop_back();
+  try {
+    I->solver().pop();
+  } catch (const z3::exception &E) {
+    fatalError(std::string("Z3 error on pop: ") + E.msg());
+  }
+  --I->session().Depth;
+  // Retract the frame's interned handles along with its assertions: a var
+  // or unknown first seen inside the frame re-interns on a later
+  // appearance, so model readback and unknown signatures can never go
+  // through a handle whose declaration context was popped.
+  for (size_t K = F.Vars; K < I->VarJournal.size(); ++K)
+    I->VarCache.erase(I->VarJournal[K]);
+  I->VarJournal.resize(F.Vars);
+  for (size_t K = F.Unknowns; K < I->UnknownJournal.size(); ++K)
+    I->UnknownCache.erase(I->UnknownJournal[K]);
+  I->UnknownJournal.resize(F.Unknowns);
+  I->HardTerms.resize(F.Hard);
+  I->SoftTerms.resize(F.Soft);
+  I->SoftIndicators.erase(I->SoftIndicators.begin() +
+                              static_cast<std::ptrdiff_t>(F.Indicators),
+                          I->SoftIndicators.end());
+  I->Requests.resize(F.Reqs);
+  perfAdd(PerfCounter::SmtPop);
+}
+
+void SmtQuery::disableSoft() { I->SoftActive = false; }
 
 void SmtQuery::requestValue(const TermPtr &T) { I->Requests.push_back(T); }
 
@@ -335,6 +455,12 @@ SmtResult SmtQuery::checkSat(int TimeoutMs, SmtModel *ModelOut,
   bool CacheHit = false;
   SmtResult R = checkSatImpl(TimeoutMs, ModelOut, ValuesOut, CacheHit);
   perfRecordNs(PerfHistogram::SmtCheckNs, Watch.elapsedNs());
+  // Translation cost since the last check: repeated checks on a live query
+  // (blocker deltas, push/pop partners) translate almost nothing, and the
+  // histogram is where that shows.
+  perfRecordNs(PerfHistogram::SmtTranslateNs,
+               I->TranslateNs - I->TranslateReportedNs);
+  I->TranslateReportedNs = I->TranslateNs;
   if (Span.active()) {
     Span.arg("verdict", R == SmtResult::Sat     ? "sat"
                         : R == SmtResult::Unsat ? "unsat"
@@ -362,11 +488,14 @@ SmtResult SmtQuery::checkSatImpl(int TimeoutMs, SmtModel *ModelOut,
   // Consult the memoization cache before touching Z3. This sits after the
   // deadline check on purpose: an expired budget must never be answered
   // from (or recorded into) the cache.
+  static const std::vector<TermPtr> NoSoft;
   const bool UseCache = cacheEnabled();
   CanonicalQuery CQ;
   if (UseCache) {
     Stopwatch ProbeWatch;
-    CQ = canonicalizeQuery(I->HardTerms, I->SoftTerms, I->Requests);
+    CQ = canonicalizeQuery(I->HardTerms,
+                           I->SoftActive ? I->SoftTerms : NoSoft,
+                           I->Requests);
     auto Hit = smtQueryCache().lookup(CQ, I->Requests.size());
     perfRecordNs(PerfHistogram::CacheProbeNs, ProbeWatch.elapsedNs());
     if (Hit) {
@@ -401,38 +530,45 @@ SmtResult SmtQuery::checkSatImpl(int TimeoutMs, SmtModel *ModelOut,
     // wall-clock "timeout" parameter: the latter spawns a timer thread per
     // query, which can deadlock under the harness's query churn (and makes
     // runs non-reproducible). The conversion factor approximates
-    // milliseconds on commodity hardware.
-    z3::params P(I->Ctx);
+    // milliseconds on commodity hardware. The limit is applied per check()
+    // call (Z3 scopes it to the call), so a long-lived session solver gives
+    // every query its own slice rather than a shared cumulative one.
+    z3::params P(I->ctx());
     unsigned long long Rlimit =
         static_cast<unsigned long long>(TimeoutMs > 0 ? TimeoutMs : 1) *
         50000ULL;
     P.set("rlimit", static_cast<unsigned>(
                         Rlimit > 4000000000ULL ? 4000000000ULL : Rlimit));
-    if (unsigned Seed = GSmtRandomSeed.load(std::memory_order_relaxed))
+    if (unsigned Seed = I->session().SeedApplied)
       P.set("random_seed", Seed);
-    I->Solver.set(P);
+    I->solver().set(P);
 
     // Translate the requests before checking so their symbols exist.
     std::vector<std::vector<z3::expr>> RequestExprs;
-    for (const TermPtr &R : I->Requests)
-      RequestExprs.push_back(I->translate(R));
+    {
+      Stopwatch Watch;
+      for (const TermPtr &R : I->Requests)
+        RequestExprs.push_back(I->translate(R));
+      I->TranslateNs += Watch.elapsedNs();
+    }
 
     // MaxSAT-lite over the soft assumptions: drop unsat-core members until
     // the hard assertions plus remaining assumptions are satisfiable.
-    std::vector<z3::expr> Active = I->SoftIndicators;
+    std::vector<z3::expr> Active =
+        I->SoftActive ? I->SoftIndicators : std::vector<z3::expr>();
     z3::check_result R;
     while (true) {
-      z3::expr_vector Assumptions(I->Ctx);
+      z3::expr_vector Assumptions(I->ctx());
       for (const z3::expr &B : Active)
         Assumptions.push_back(B);
       {
         PerfTimerScope Z3Timer(PerfTimer::Z3SolveNs);
-        R = Active.empty() ? I->Solver.check()
-                           : I->Solver.check(Assumptions);
+        R = Active.empty() ? I->solver().check()
+                           : I->solver().check(Assumptions);
       }
       if (R != z3::unsat || Active.empty())
         break;
-      z3::expr_vector Core = I->Solver.unsat_core();
+      z3::expr_vector Core = I->solver().unsat_core();
       if (Core.empty()) {
         // The hard assertions alone are unsat.
         Active.clear();
@@ -465,12 +601,17 @@ SmtResult SmtQuery::checkSatImpl(int TimeoutMs, SmtModel *ModelOut,
         perfAdd(PerfCounter::SmtBudget);
       else
         perfAdd(PerfCounter::SmtUnknown);
+      // Either way the shared solver gave up mid-search; retire it after
+      // this query so a half-explored incremental core can never color a
+      // later verdict.
+      if (I->Borrowed)
+        I->Borrowed->RecyclePending = true;
       return SmtResult::Unknown;
     }
     perfAdd(PerfCounter::SmtSat);
 
     if (ModelOut || ValuesOut || UseCache) {
-      z3::model M = I->Solver.get_model();
+      z3::model M = I->solver().get_model();
       // The requested values are needed both by the caller and by the
       // cache entry; rebuild them once.
       std::vector<ValuePtr> RequestVals;
@@ -484,6 +625,9 @@ SmtResult SmtQuery::checkSatImpl(int TimeoutMs, SmtModel *ModelOut,
         // Bind in ascending-Id order: witness projection, certificate
         // conjunctions, and invariant-inference domains all iterate the
         // model's assignment order, so it must not depend on hash layout.
+        // The VarCache holds exactly the live frames' variables (popped
+        // frames erase theirs), so a session query binds the same set a
+        // fresh-context query would.
         std::vector<const std::pair<VarPtr, std::vector<z3::expr>> *> Entries;
         Entries.reserve(I->VarCache.size());
         for (const auto &[Id, Entry] : I->VarCache) {
@@ -528,6 +672,10 @@ SmtResult SmtQuery::checkSatImpl(int TimeoutMs, SmtModel *ModelOut,
     }
     return SmtResult::Sat;
   } catch (const z3::exception &E) {
+    // fatalError does not return, but make sure a diagnosable session is
+    // not reused if that ever changes.
+    if (I->Borrowed)
+      I->Borrowed->RecyclePending = true;
     fatalError(std::string("Z3 error during check: ") + E.msg());
   }
 }

@@ -50,7 +50,17 @@ private:
   std::vector<std::pair<VarPtr, ValuePtr>> Assignments;
 };
 
-/// A single satisfiability query. Build one per check; cheap to construct.
+/// A single satisfiability query; cheap to construct. A query runs on an
+/// *SMT session* — a long-lived per-thread Z3 context/solver pair — when
+/// the incremental layer is enabled (the default; see setSmtIncremental):
+/// construction attaches the query to the thread's session and opens a
+/// push/pop frame for its assertions, destruction pops the frame, so
+/// consecutive queries reuse a warm solver instead of rebuilding a context.
+/// Construction falls back to a private fresh context when the session is
+/// busy (a query nested inside another query's lifetime), poisoned by a
+/// prior `unknown`, or invalidated by a seed change — a degraded session
+/// can therefore never change a verdict. With the layer disabled every
+/// query owns a private fresh context (the historical behavior).
 class SmtQuery {
 public:
   SmtQuery();
@@ -60,6 +70,24 @@ public:
 
   /// Adds a boolean scalar assertion.
   void add(const TermPtr &Assertion);
+
+  /// Opens a nested assertion scope: assertions, soft assertions, and value
+  /// requests issued after \c push are retracted again by the matching
+  /// \c pop. Callers with families of closely related checks (CEGIS
+  /// blockers, witness partner deltas) assert the shared base once and
+  /// stack the per-check delta in a scope.
+  void push();
+
+  /// Closes the innermost scope opened by \c push, retracting everything
+  /// asserted or requested inside it (including each variable or unknown
+  /// first interned there, so a later re-appearance re-interns it).
+  void pop();
+
+  /// Permanently deactivates this query's soft assertions: subsequent
+  /// \c checkSat calls behave (and cache-key) as if \c addSoft had never
+  /// been called. Used when a caller's anchoring heuristic only applies to
+  /// its first check (see SgeSolver).
+  void disableSoft();
 
   /// Adds a *soft* assertion: \c checkSat tries to satisfy as many soft
   /// assertions as possible, iteratively dropping unsat-core members
@@ -100,8 +128,57 @@ private:
 
 /// Sets the Z3 random seed applied to every subsequent query in this
 /// process (0 = Z3's default). Exposed through SolverConfig::Algo.Seed for
-/// reproducible sweeps.
+/// reproducible sweeps. Changing the seed invalidates live thread sessions:
+/// the next query on each thread gets a freshly seeded solver.
 void setSmtRandomSeed(unsigned Seed);
+
+// --- Incremental sessions (DESIGN.md "Incremental SMT model") ----------===//
+
+/// Enables or disables the incremental session layer process-wide (default
+/// on; the SE2GIS_SMT_INCREMENTAL env var and --smt-incremental CLI flag
+/// feed AlgoOptions::SmtIncremental, which the algorithm drivers apply
+/// here). Off restores the fresh-context-per-query model; queries already
+/// attached to a session are unaffected.
+void setSmtIncremental(bool Enabled);
+
+/// \returns the current incremental-session toggle.
+bool smtIncrementalEnabled();
+
+/// Drops the calling thread's shared session (or, while it is serving a
+/// live query, marks it for replacement at the next acquisition). Queries
+/// never break: the next one simply starts a fresh session.
+void resetThreadSmtSession();
+
+/// Observable state of the calling thread's session slot, for tests and
+/// diagnostics.
+struct SmtSessionInfo {
+  /// A session currently exists on this thread.
+  bool Live = false;
+  /// It is attached to a live SmtQuery right now.
+  bool Busy = false;
+  /// Sessions created on this thread so far (bumps on every recycle).
+  std::uint64_t Generation = 0;
+  /// Queries the current session has served (0 when not Live).
+  std::uint64_t QueriesServed = 0;
+  /// Live solver scopes (0 when idle: every query pops its frames).
+  unsigned Depth = 0;
+};
+SmtSessionInfo threadSmtSessionInfo();
+
+/// RAII marker for an algorithm region that issues many related queries
+/// (a CEGIS loop, a witness sweep, a bounded-check enumeration). Inside a
+/// scope the thread session is exempt from served-query retirement, so the
+/// region keeps one warm solver end to end; on exit of the outermost scope
+/// a session due for retirement or replacement is dropped eagerly, which
+/// bounds the Z3 memory carried between regions. Purely an optimization
+/// hint — correctness never depends on scopes being present.
+class SmtSessionScope {
+public:
+  SmtSessionScope();
+  ~SmtSessionScope();
+  SmtSessionScope(const SmtSessionScope &) = delete;
+  SmtSessionScope &operator=(const SmtSessionScope &) = delete;
+};
 
 /// Convenience: is the conjunction of \p Assertions satisfiable?
 /// \p Budget, when non-null, bounds the query like \c SmtQuery::setDeadline.

@@ -214,7 +214,9 @@ std::vector<SuiteRecord> runSuiteSequential(const SuiteOptions &Opts) {
 /// the main thread (so load-error reporting matches the sequential loop),
 /// then every (benchmark, algorithm) pair becomes one pool job writing
 /// into its pre-assigned record slot. Loaded problems are immutable after
-/// validation and every SmtQuery owns a private Z3 context, so jobs never
+/// validation and every SmtQuery solves on its own worker's thread-local
+/// Z3 session (private fresh contexts when SE2GIS_SMT_INCREMENTAL=off —
+/// never a solver shared across threads), so jobs never
 /// share mutable state; results land in the same deterministic order as
 /// the sequential loop.
 std::vector<SuiteRecord> runSuiteParallel(const SuiteOptions &Opts,

@@ -9,7 +9,8 @@
 /// SolverConfig::fromEnv.
 ///
 /// (Benchmark, algorithm) pairs execute on a shared thread pool (every
-/// SmtQuery owns its own Z3 context, so runs are isolated); each pair runs
+/// SmtQuery runs on its worker's thread-local Z3 session — or a private
+/// context when sessions are off — so runs are isolated); each pair runs
 /// as one SynthesisTask under its own deadline, and a timed-out run comes
 /// back as a Timeout verdict with partial stats — never a poisoned worker.
 /// Results always come back in registry order — identical to the

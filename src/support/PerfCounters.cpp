@@ -83,6 +83,10 @@ std::string PerfSnapshot::str() const {
   if (std::uint64_t CacheTouches =
           get(PerfCounter::CacheSmtHits) + get(PerfCounter::CacheSmtMisses))
     OS << " cache_smt=" << get(PerfCounter::CacheSmtHits) << "/" << CacheTouches;
+  if (std::uint64_t Sessions = get(PerfCounter::SmtSessionReuse) +
+                               get(PerfCounter::SmtSessionFresh))
+    OS << " smt_sessions=" << get(PerfCounter::SmtSessionReuse) << "/"
+       << Sessions;
   if (const HistogramSnapshot &H = hist(PerfHistogram::SmtCheckNs); H.Count)
     OS << " smt_p50_ms=" << H.quantileMs(0.5)
        << " smt_p99_ms=" << H.quantileMs(0.99);
@@ -110,6 +114,10 @@ void se2gis::writePerfJson(std::ostream &OS, const PerfSnapshot &D) {
      << ",\"smt_unsat\":" << D.get(PerfCounter::SmtUnsat)
      << ",\"smt_unknown\":" << D.get(PerfCounter::SmtUnknown)
      << ",\"smt_budget_expired\":" << D.get(PerfCounter::SmtBudget)
+     << ",\"smt_session_reuse\":" << D.get(PerfCounter::SmtSessionReuse)
+     << ",\"smt_session_fresh\":" << D.get(PerfCounter::SmtSessionFresh)
+     << ",\"smt_push\":" << D.get(PerfCounter::SmtPush)
+     << ",\"smt_pop\":" << D.get(PerfCounter::SmtPop)
      << ",\"z3_time_ms\":" << D.getMs(PerfTimer::Z3SolveNs)
      << ",\"run_time_ms\":" << D.getMs(PerfTimer::SuiteRunNs)
      << ",\"enum_candidates\":" << D.get(PerfCounter::EnumCandidates)
@@ -127,6 +135,7 @@ void se2gis::writePerfJson(std::ostream &OS, const PerfSnapshot &D) {
      << ",\"cache_bytes_written\":" << D.get(PerfCounter::CacheBytesWritten)
      << ",\"cache_bytes_loaded\":" << D.get(PerfCounter::CacheBytesLoaded);
   writeHistJson(OS, "smt_check", D.hist(PerfHistogram::SmtCheckNs));
+  writeHistJson(OS, "smt_translate", D.hist(PerfHistogram::SmtTranslateNs));
   writeHistJson(OS, "enum_round", D.hist(PerfHistogram::EnumRoundNs));
   writeHistJson(OS, "cache_probe", D.hist(PerfHistogram::CacheProbeNs));
   OS << "}";

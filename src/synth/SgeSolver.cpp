@@ -195,40 +195,54 @@ SgeSolver::synthesizeFromPoints(const Sge &System,
     });
   }
 
+  // One session region for the whole CEGIS attempt loop below.
+  SmtSessionScope SessionScope;
+
+  // One live query per size tier: the ground constraints, candidate anchors,
+  // and value requests are asserted once, and each rejected model's blocker
+  // is added incrementally on top (CEGIS counterexample accumulation) —
+  // the memoization-cache key is unchanged, since it is computed from the
+  // accumulated term lists, not from how they were asserted.
   std::vector<TermPtr> Blockers;
+  std::optional<SmtQuery> Q;
+  auto BuildQuery = [&]() {
+    Q.emplace();
+    Q->setDeadline(Budget);
+    for (const TermPtr &G : Ground)
+      Q->add(G);
+    for (const TermPtr &B : Blockers)
+      Q->add(B);
+    // Anchor underconstrained cells to the previous candidate's
+    // predictions (soft): without this, Z3 fills them with arbitrary
+    // values that no grammar term can generalize. Only meaningful on the
+    // first model of a tier — once blockers exist, the anchors have
+    // already been contradicted.
+    if (AnchorToCandidate && !Current.empty() && Blockers.empty()) {
+      for (const TermPtr &Occ : Occurrences) {
+        TermPtr Applied = simplify(applySolution(Occ, Current));
+        if (containsUnknown(Applied) || !freeVars(Applied).empty())
+          continue;
+        ValuePtr Predicted = evalScalarTerm(Applied, {});
+        Q->addSoft(mkEq(Occ, valueToTerm(Predicted)));
+      }
+    }
+    // Request the IO of every occurrence (arguments may contain nested
+    // unknowns, so their values come from the model too).
+    for (const TermPtr &Occ : Occurrences) {
+      Q->requestValue(Occ);
+      for (const TermPtr &A : Occ->getArgs())
+        Q->requestValue(A);
+    }
+  };
+
   for (int Size = PbeStartSize; Size <= PbeMaxSize; Size += 2) {
+    BuildQuery();
     for (int Attempt = 0; Attempt < MaxBlockedModels; ++Attempt) {
       if (Budget.expired())
         return std::nullopt;
 
-      SmtQuery Q;
-      Q.setDeadline(Budget);
-      for (const TermPtr &G : Ground)
-        Q.add(G);
-      for (const TermPtr &B : Blockers)
-        Q.add(B);
-      // Anchor underconstrained cells to the previous candidate's
-      // predictions (soft): without this, Z3 fills them with arbitrary
-      // values that no grammar term can generalize.
-      if (AnchorToCandidate && !Current.empty() && Blockers.empty()) {
-        for (const TermPtr &Occ : Occurrences) {
-          TermPtr Applied = simplify(applySolution(Occ, Current));
-          if (containsUnknown(Applied) || !freeVars(Applied).empty())
-            continue;
-          ValuePtr Predicted = evalScalarTerm(Applied, {});
-          Q.addSoft(mkEq(Occ, valueToTerm(Predicted)));
-        }
-      }
-      // Request the IO of every occurrence (arguments may contain nested
-      // unknowns, so their values come from the model too).
-      for (const TermPtr &Occ : Occurrences) {
-        Q.requestValue(Occ);
-        for (const TermPtr &A : Occ->getArgs())
-          Q.requestValue(A);
-      }
-
       std::vector<ValuePtr> Vals;
-      SmtResult R = Q.checkSat(PerQueryTimeoutMs, nullptr, &Vals);
+      SmtResult R = Q->checkSat(PerQueryTimeoutMs, nullptr, &Vals);
       logf(LogLevel::Debug, "sge", "euf size=%d attempt=%d blockers=%zu -> %d",
            Size, Attempt, Blockers.size(), (int)R);
       if (R == SmtResult::Unknown)
@@ -281,8 +295,15 @@ SgeSolver::synthesizeFromPoints(const Sge &System,
       if (AllOk)
         return Candidate;
 
-      // Block this model's IO table and try another.
-      Blockers.push_back(mkOrList(std::move(BlockerParts)));
+      // Block this model's IO table and try another: the blocker is both
+      // carried for future tiers and asserted incrementally into the live
+      // query. The first-model soft anchors no longer apply (a blocked
+      // model means the candidate's predictions were unusable), so drop
+      // them from checking and cache keying rather than rebuilding.
+      TermPtr Blocker = mkOrList(std::move(BlockerParts));
+      Blockers.push_back(Blocker);
+      Q->add(Blocker);
+      Q->disableSoft();
     }
   }
   return std::nullopt;

@@ -75,6 +75,7 @@ void usage() {
       stderr,
       "usage: se2gis [--algo se2gis|segis|segis-uc|portfolio] [--timeout N]\n"
       "              [--timeout-ms N] [--jobs N] [--seed N]\n"
+      "              [--smt-incremental on|off]\n"
       "              [--cache off|mem|disk] [--cache-dir DIR]\n"
       "              [--log-level error|warn|info|debug] [--trace PATH]\n"
       "              [--print-problem] [--quiet]\n"
@@ -354,6 +355,18 @@ int main(int argc, char **argv) {
     } else if (Arg == "--seed" && I + 1 < argc) {
       long long V = std::atoll(argv[++I]);
       Config.Algo.Seed = V > 0 ? static_cast<unsigned>(V) : 0;
+    } else if (Arg == "--smt-incremental" && I + 1 < argc) {
+      std::string Mode = argv[++I];
+      if (Mode == "on")
+        Config.Algo.SmtIncremental = true;
+      else if (Mode == "off")
+        Config.Algo.SmtIncremental = false;
+      else {
+        std::fprintf(stderr,
+                     "error: --smt-incremental expects on or off, got '%s'\n",
+                     Mode.c_str());
+        return 64;
+      }
     } else if (Arg == "--cache" && I + 1 < argc) {
       std::string Name = argv[++I];
       auto Mode = parseCacheMode(Name);

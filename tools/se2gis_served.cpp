@@ -42,7 +42,8 @@ void usage() {
       stderr,
       "usage: se2gis_served [--listen unix:<path>|tcp:<host>:<port>]\n"
       "                     [--workers N] [--max-queue N] [--timeout-ms N]\n"
-      "                     [--drain-timeout-ms N] [--cache off|mem|disk]\n"
+      "                     [--drain-timeout-ms N] [--smt-incremental on|off]\n"
+      "                     [--cache off|mem|disk]\n"
       "                     [--cache-dir DIR]\n"
       "                     [--log-level error|warn|info|debug]\n"
       "                     [--trace PATH]\n");
@@ -86,6 +87,18 @@ int main(int argc, char **argv) {
       Config.DefaultTimeoutMs = std::atoll(argv[++I]);
     } else if (Arg == "--drain-timeout-ms" && I + 1 < argc) {
       Config.DrainTimeoutMs = std::atoll(argv[++I]);
+    } else if (Arg == "--smt-incremental" && I + 1 < argc) {
+      std::string Mode = argv[++I];
+      if (Mode == "on")
+        Config.Base.Algo.SmtIncremental = true;
+      else if (Mode == "off")
+        Config.Base.Algo.SmtIncremental = false;
+      else {
+        std::fprintf(stderr,
+                     "error: --smt-incremental expects on or off, got '%s'\n",
+                     Mode.c_str());
+        return 64;
+      }
     } else if (Arg == "--cache" && I + 1 < argc) {
       std::string Name = argv[++I];
       auto Mode = parseCacheMode(Name);
