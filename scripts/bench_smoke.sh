@@ -334,8 +334,11 @@ INC_DRIVER="$INC_DIR/bench/bench_fig4_quantile"
 INC_CLI="$INC_DIR/tools/se2gis"
 
 inc_sweep() { # inc_sweep <on|off> <json-path> <stdout-path>
+  # Generous budget: the pass checks off-vs-on verdict identity, and the
+  # tsan build runs sortedlist/max in ~13s solo — a 20s budget flakes
+  # under jobs=N contention on small machines.
   SE2GIS_JOBS=$JOBS SE2GIS_PERF_JSON=$2 SE2GIS_FILTER=$FILTER \
-    SE2GIS_TIMEOUT_MS=${SE2GIS_TIMEOUT_MS:-20000} \
+    SE2GIS_TIMEOUT_MS=${SE2GIS_TIMEOUT_MS:-60000} \
     SE2GIS_SMT_INCREMENTAL=$1 \
     "$INC_DRIVER" >"$3" 2>"$3.log"
 }
@@ -399,3 +402,98 @@ inc_job list/sum 20000
 inc_job unreal/sum 20000
 inc_job list/sum 1   # deadline fires inside the run: timeout verdict (2)
 echo "[smoke] perf summaries: $OUT_DIR/BENCH_smoke_fresh.json $OUT_DIR/BENCH_smoke_incr.json"
+
+# --- CHC pass: raced unrealizability channel + Evidence provenance --------
+# The unrealizable subset runs once through the suite driver under
+# SE2GIS_UNREAL=race. Plain SEGIS has no unrealizability outcome of its
+# own, so in race mode every one of its Unrealizable verdicts comes from
+# the raced CHC prover — guaranteeing chc_race_wins > 0 whenever the
+# channel concludes anything. The assertions are:
+#   1. zero contradictory verdicts between channels: no (benchmark, algo)
+#      pair may be realizable in one sweep and unrealizable in the other
+#      (witness-only vs race) — extra Unrealizable rows in race mode are
+#      the CHC channel upgrading timeouts and are expected;
+#   2. chc_queries > 0 and chc_race_wins >= 1 in the race perf JSON;
+#   3. CLI spot checks: --unreal chc/race/witness agree on unreal/sum,
+#      the race verdict line carries the CHC Evidence, and a bogus mode is
+#      a usage error (exit 64).
+CHC_FILTER=${SMOKE_CHC_FILTER:-unreal/s}
+CHC_TIMEOUT_MS=${SMOKE_CHC_TIMEOUT_MS:-6000}
+CHC_CLI="$BUILD_DIR/tools/se2gis"
+
+chc_sweep() { # chc_sweep <mode> <json-path> <stdout-path>
+  SE2GIS_JOBS=$JOBS SE2GIS_PERF_JSON=$2 SE2GIS_FILTER=$CHC_FILTER \
+    SE2GIS_TIMEOUT_MS=$CHC_TIMEOUT_MS SE2GIS_UNREAL=$1 \
+    "$DRIVER" >"$3" 2>"$3.log"
+}
+
+echo "[smoke] chc pass: witness-only sweep (filter='$CHC_FILTER')..."
+chc_sweep witness "$OUT_DIR/BENCH_smoke_chc_wit.json" "$OUT_DIR/smoke_chc_wit.out"
+echo "[smoke] chc pass: race sweep (SE2GIS_UNREAL=race)..."
+chc_sweep race "$OUT_DIR/BENCH_smoke_chc_race.json" "$OUT_DIR/smoke_chc_race.out"
+
+# Contradiction check: join the two sweeps on (benchmark, algorithm) and
+# flag any pair where one channel says realizable and the other says
+# unrealizable. Timeout/failed rows are inconclusive and never contradict.
+verdict_table() { # verdict_table <stdout-path>
+  grep '^\[suite\]' "$1.log" | awk '{print $2, $3, $4}' | sort
+}
+verdict_table "$OUT_DIR/smoke_chc_wit.out" >"$OUT_DIR/smoke_chc_wit.verdicts"
+verdict_table "$OUT_DIR/smoke_chc_race.out" >"$OUT_DIR/smoke_chc_race.verdicts"
+CONTRA=$(join -j1 \
+    <(awk '{print $1"/"$2, $3}' "$OUT_DIR/smoke_chc_wit.verdicts" | sort) \
+    <(awk '{print $1"/"$2, $3}' "$OUT_DIR/smoke_chc_race.verdicts" | sort) \
+  | awk '($2 == "realizable" && $3 == "unrealizable") ||
+         ($2 == "unrealizable" && $3 == "realizable")' | tee /dev/stderr | wc -l)
+if [ "$CONTRA" -ne 0 ]; then
+  echo "[smoke] FAIL: $CONTRA contradictory verdict(s) between the witness" \
+       "and race channels (above)" >&2
+  exit 1
+fi
+echo "[smoke] chc pass: zero contradictory verdicts between channels"
+
+CHC_Q=$(perf_key "$OUT_DIR/BENCH_smoke_chc_race.json" chc_queries)
+CHC_WINS=$(perf_key "$OUT_DIR/BENCH_smoke_chc_race.json" chc_race_wins)
+if [ -z "$CHC_Q" ] || [ "$CHC_Q" -eq 0 ]; then
+  echo "[smoke] FAIL: race sweep issued no CHC queries" \
+       "(chc_queries=${CHC_Q:-missing} in BENCH_smoke_chc_race.json)" >&2
+  exit 1
+fi
+if [ -z "$CHC_WINS" ] || [ "$CHC_WINS" -eq 0 ]; then
+  echo "[smoke] FAIL: race sweep recorded no CHC race wins" \
+       "(chc_race_wins=${CHC_WINS:-missing} in BENCH_smoke_chc_race.json)" >&2
+  exit 1
+fi
+echo "[smoke] chc pass: chc_queries=$CHC_Q chc_race_wins=$CHC_WINS"
+
+# CLI spot checks: all three modes must agree that unreal/sum is
+# unrealizable (exit 1), the race/chc verdict lines must carry the CHC
+# Evidence, and an unknown mode is a usage error.
+for MODE in chc race witness; do
+  set +e
+  OUTLINE=$("$CHC_CLI" --benchmark unreal/sum --unreal "$MODE" \
+    --algo segis --timeout-ms "$CHC_TIMEOUT_MS" --quiet 2>&1)
+  RC=$?
+  set -e
+  WANT_RC=1
+  [ "$MODE" = witness ] && WANT_RC=2 # plain SEGIS alone cannot conclude
+  if [ "$RC" -ne "$WANT_RC" ]; then
+    echo "[smoke] FAIL: --unreal $MODE on unreal/sum exited $RC (want $WANT_RC): $OUTLINE" >&2
+    exit 1
+  fi
+  if [ "$MODE" != witness ] && ! echo "$OUTLINE" | grep -q 'via chc'; then
+    echo "[smoke] FAIL: --unreal $MODE verdict line lacks CHC evidence: $OUTLINE" >&2
+    exit 1
+  fi
+done
+set +e
+"$CHC_CLI" --benchmark unreal/sum --unreal bogus >/dev/null 2>&1
+BOGUS_RC=$?
+set -e
+if [ "$BOGUS_RC" -ne 64 ]; then
+  echo "[smoke] FAIL: --unreal bogus exited $BOGUS_RC (want usage error 64)" >&2
+  exit 1
+fi
+echo "[smoke] chc pass: CLI modes agree on unreal/sum; evidence printed;" \
+     "bogus mode rejected"
+echo "[smoke] perf summaries: $OUT_DIR/BENCH_smoke_chc_wit.json $OUT_DIR/BENCH_smoke_chc_race.json"

@@ -1,0 +1,31 @@
+//===- ChcChannel.h - The CHC unrealizability channel -----------*- C++-*-===//
+///
+/// \file
+/// Entry point of the constrained-Horn-clause unrealizability channel: it
+/// encodes the problem (chc/ChcEncoder), asks Z3's fixedpoint engine
+/// whether `realizable` is derivable (chc/FixedpointSolver), and maps the
+/// answer onto the repo's Outcome vocabulary. The channel is one-sided — it
+/// can prove Unrealizable but never Realizable — which is why it runs raced
+/// against the witness-based algorithms (core/Portfolio) rather than on
+/// its own, except under `--algo chc`.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SE2GIS_CHC_CHCCHANNEL_H
+#define SE2GIS_CHC_CHCCHANNEL_H
+
+#include "core/Algorithms.h"
+
+namespace se2gis {
+
+/// Runs the CHC channel on \p P under the usual budgets. Verdicts:
+///  - Unrealizable when `realizable` is underivable (Evidence: chc, with
+///    the clause count),
+///  - Timeout when the budget/token expired first,
+///  - Failed when the system is derivable or outside the encodable
+///    fragment (inconclusive — the channel never concludes Realizable).
+Outcome runChcChannel(const Problem &P, const AlgoOptions &Opts);
+
+} // namespace se2gis
+
+#endif // SE2GIS_CHC_CHCCHANNEL_H

@@ -1,0 +1,658 @@
+//===- ChcEncoder.cpp -----------------------------------------------------===//
+
+#include "chc/ChcEncoder.h"
+
+#include "chc/FixedpointSolver.h"
+#include "core/RecursionElim.h"
+#include "eval/Expand.h"
+#include "eval/SymbolicEval.h"
+#include "support/Diagnostics.h"
+#include "synth/Enumerator.h"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <set>
+
+using namespace se2gis;
+
+namespace {
+
+/// Flattens a scalar type into its Int/Bool leaves (tuples recursively).
+/// \returns false when a datatype leaks through.
+bool flattenType(const TypePtr &Ty, std::vector<TypePtr> &Out) {
+  if (Ty->isInt() || Ty->isBool()) {
+    Out.push_back(Ty);
+    return true;
+  }
+  if (Ty->isTuple()) {
+    for (const TypePtr &E : Ty->tupleElems())
+      if (!flattenType(E, Out))
+        return false;
+    return true;
+  }
+  return false;
+}
+
+/// Flattens a scalar value into its Int/Bool leaves.
+bool flattenValue(const ValuePtr &V, std::vector<ValuePtr> &Out) {
+  if (V->isInt() || V->isBool()) {
+    Out.push_back(V);
+    return true;
+  }
+  if (V->isTuple()) {
+    for (const ValuePtr &E : V->getElems())
+      if (!flattenValue(E, Out))
+        return false;
+    return true;
+  }
+  return false;
+}
+
+/// True when every node of \p T is one evalScalarTerm can reduce (plus
+/// Unknown applications when \p AllowUnknowns): anything else — stuck
+/// calls, constructors, holes — must make the encoder skip, because the
+/// evaluator treats them as internal errors.
+bool isScalarFragment(const TermPtr &T, bool AllowUnknowns) {
+  bool Ok = true;
+  visitTerm(T, [&](const TermPtr &N) {
+    switch (N->getKind()) {
+    case TermKind::Var:
+    case TermKind::IntLit:
+    case TermKind::BoolLit:
+    case TermKind::Op:
+    case TermKind::Tuple:
+    case TermKind::Proj:
+      return true;
+    case TermKind::Unknown:
+      if (AllowUnknowns)
+        return true;
+      Ok = false;
+      return false;
+    default:
+      Ok = false;
+      return false;
+    }
+  });
+  return Ok;
+}
+
+/// One unknown's relation state during encoding.
+struct UnknownEnc {
+  const UnknownSig *Sig = nullptr;
+  bool BoolRet = false;
+  /// Flattened scalar slot types of the argument list.
+  std::vector<TypePtr> ArgSlotTys;
+  /// Evaluation points: flattened scalar argument values, deduped.
+  std::vector<std::vector<ValuePtr>> Points;
+  /// One output variable per point (the candidate term's value there).
+  std::vector<z3::expr> OutVars;
+  std::optional<z3::func_decl> IntRel;
+  std::optional<z3::func_decl> BoolRel;
+};
+
+} // namespace
+
+ChcEncoder::ChcEncoder(const Problem &P, const GrammarConfig &G,
+                       const ChcOptions &Opts)
+    : P(P), G(G), Opts(Opts) {}
+
+ChcSystem ChcEncoder::encode(FixedpointSolver &FP) {
+  ChcSystem Sys;
+  z3::context &Ctx = FP.ctx();
+  try {
+    // --- 0. Unknown signatures must flatten to scalar slots with a
+    // single Int/Bool return.
+    std::vector<UnknownEnc> Unknowns;
+    std::map<std::string, size_t> UnknownIndex;
+    for (const UnknownSig &Sig : P.Unknowns) {
+      UnknownEnc U;
+      U.Sig = &Sig;
+      if (!Sig.RetTy->isInt() && !Sig.RetTy->isBool()) {
+        Sys.Reason = "unknown '" + Sig.Name + "' returns a non-base type";
+        return Sys;
+      }
+      U.BoolRet = Sig.RetTy->isBool();
+      for (const TypePtr &AT : Sig.ArgTypes)
+        if (!flattenType(AT, U.ArgSlotTys)) {
+          Sys.Reason =
+              "unknown '" + Sig.Name + "' takes a datatype argument";
+          return Sys;
+        }
+      UnknownIndex[Sig.Name] = Unknowns.size();
+      Unknowns.push_back(std::move(U));
+    }
+    if (Unknowns.empty()) {
+      Sys.Reason = "problem has no unknowns";
+      return Sys;
+    }
+
+    // --- 1. Build guarded equations from fully bounded terms. Only fully
+    // bounded shapes are sound here: with elimination variables in play an
+    // instantiated constraint could pick α values no real input produces
+    // (the spuriousness the witness checker guards against), so equations
+    // with a non-empty α map are skipped.
+    RecursionEliminator Elim(P);
+    SymbolicEvaluator SE(*P.Prog);
+    BoundedTermStream Stream(P.Theta);
+    struct RawEqn {
+      TermPtr Guard, Lhs, Rhs;
+    };
+    std::vector<RawEqn> Eqns;
+    for (unsigned I = 0; I < Opts.MaxTerms; ++I) {
+      TermPtr Shape = Stream.next();
+      EquationParts Parts;
+      TermPtr Guard;
+      try {
+        Parts = Elim.eliminate(Shape);
+        Guard = P.Invariant.empty()
+                    ? mkTrue()
+                    : SE.eval(mkCall(P.Invariant, Type::boolTy(), {Shape}));
+      } catch (const UserError &) {
+        continue; // evaluation fuel exhausted for this shape
+      }
+      if (!Parts.Canonical || !Parts.Alpha.empty())
+        continue;
+      if (Guard->getKind() == TermKind::BoolLit && !Guard->getBoolValue())
+        continue; // impossible shape
+      if (!isScalarFragment(Guard, /*AllowUnknowns=*/false) ||
+          !isScalarFragment(Parts.Rhs, /*AllowUnknowns=*/false) ||
+          !isScalarFragment(Parts.Lhs, /*AllowUnknowns=*/true))
+        continue;
+      Eqns.push_back(RawEqn{Guard, Parts.Lhs, Parts.Rhs});
+      ++Sys.NumTerms;
+    }
+    if (Eqns.empty()) {
+      Sys.Reason = "no bounded equation is inside the encodable fragment";
+      return Sys;
+    }
+
+    // --- 2. Instantiate the equations at small scalar assignments.
+    std::vector<long long> IntDomain{0, 1, -1, 2};
+    for (long long C : G.Constants)
+      if (std::find(IntDomain.begin(), IntDomain.end(), C) ==
+          IntDomain.end())
+        IntDomain.push_back(C);
+    if (IntDomain.size() > 6)
+      IntDomain.resize(6);
+
+    // Partial evaluator: a term containing unknowns, under a concrete
+    // environment, becomes a Z3 expression over per-point output
+    // variables. nullopt = not expressible; the instantiation is dropped
+    // (sound: dropping constraints only weakens the system).
+    std::function<std::optional<z3::expr>(const TermPtr &, const Env &)>
+        PE = [&](const TermPtr &T,
+                 const Env &E) -> std::optional<z3::expr> {
+      if (!containsUnknown(T)) {
+        ValuePtr V;
+        try {
+          V = evalScalarTerm(T, E);
+        } catch (const UserError &) {
+          return std::nullopt;
+        }
+        if (V->isInt())
+          return Ctx.int_val(static_cast<std::int64_t>(V->getInt()));
+        if (V->isBool())
+          return Ctx.bool_val(V->getBool());
+        return std::nullopt; // tuple value in a scalar position
+      }
+      switch (T->getKind()) {
+      case TermKind::Unknown: {
+        auto It = UnknownIndex.find(T->getCallee());
+        if (It == UnknownIndex.end())
+          return std::nullopt;
+        UnknownEnc &U = Unknowns[It->second];
+        std::vector<ValuePtr> Flat;
+        for (const TermPtr &A : T->getArgs()) {
+          if (containsUnknown(A))
+            return std::nullopt; // nested unknowns: outside the fragment
+          ValuePtr AV;
+          try {
+            AV = evalScalarTerm(A, E);
+          } catch (const UserError &) {
+            return std::nullopt;
+          }
+          if (!flattenValue(AV, Flat))
+            return std::nullopt;
+        }
+        if (Flat.size() != U.ArgSlotTys.size())
+          return std::nullopt;
+        for (size_t J = 0; J < U.Points.size(); ++J) {
+          bool Same = true;
+          for (size_t K = 0; K < Flat.size() && Same; ++K)
+            Same = valueEquals(U.Points[J][K], Flat[K]);
+          if (Same)
+            return U.OutVars[J]; // functional consistency: shared column
+        }
+        if (U.Points.size() >= Opts.MaxPointsPerUnknown)
+          return std::nullopt;
+        std::string Name = "chc_o_" + U.Sig->Name + "_" +
+                           std::to_string(U.Points.size());
+        z3::expr O = Ctx.constant(
+            Name.c_str(), U.BoolRet ? Ctx.bool_sort() : Ctx.int_sort());
+        U.Points.push_back(std::move(Flat));
+        U.OutVars.push_back(O);
+        return O;
+      }
+      case TermKind::Op: {
+        std::vector<z3::expr> Cs;
+        for (const TermPtr &A : T->getArgs()) {
+          auto CA = PE(A, E);
+          if (!CA)
+            return std::nullopt;
+          Cs.push_back(*CA);
+        }
+        switch (T->getOp()) {
+        case OpKind::Add: {
+          z3::expr R = Cs[0];
+          for (size_t I = 1; I < Cs.size(); ++I)
+            R = R + Cs[I];
+          return R;
+        }
+        case OpKind::Sub:
+          return Cs[0] - Cs[1];
+        case OpKind::Neg:
+          return -Cs[0];
+        case OpKind::Mul: {
+          z3::expr R = Cs[0];
+          for (size_t I = 1; I < Cs.size(); ++I)
+            R = R * Cs[I];
+          return R;
+        }
+        case OpKind::Div:
+          return Cs[0] / Cs[1];
+        case OpKind::Mod:
+          return z3::mod(Cs[0], Cs[1]);
+        case OpKind::Min:
+          return z3::ite(Cs[0] < Cs[1], Cs[0], Cs[1]);
+        case OpKind::Max:
+          return z3::ite(Cs[0] < Cs[1], Cs[1], Cs[0]);
+        case OpKind::Abs:
+          return z3::ite(Cs[0] < 0, -Cs[0], Cs[0]);
+        case OpKind::Lt:
+          return Cs[0] < Cs[1];
+        case OpKind::Le:
+          return Cs[0] <= Cs[1];
+        case OpKind::Gt:
+          return Cs[0] > Cs[1];
+        case OpKind::Ge:
+          return Cs[0] >= Cs[1];
+        case OpKind::Eq:
+          return Cs[0] == Cs[1];
+        case OpKind::Ne:
+          return Cs[0] != Cs[1];
+        case OpKind::Not:
+          return !Cs[0];
+        case OpKind::And: {
+          z3::expr R = Cs[0];
+          for (size_t I = 1; I < Cs.size(); ++I)
+            R = R && Cs[I];
+          return R;
+        }
+        case OpKind::Or: {
+          z3::expr R = Cs[0];
+          for (size_t I = 1; I < Cs.size(); ++I)
+            R = R || Cs[I];
+          return R;
+        }
+        case OpKind::Implies:
+          return z3::implies(Cs[0], Cs[1]);
+        case OpKind::Ite:
+          return z3::ite(Cs[0], Cs[1], Cs[2]);
+        }
+        return std::nullopt;
+      }
+      default:
+        // Tuple/Proj entangled with unknowns: outside the fragment.
+        return std::nullopt;
+      }
+    };
+
+    // Equates (a component of) the instantiated lhs with the evaluated
+    // rhs, descending through tuple structure. A concrete-vs-concrete
+    // mismatch appends `false` — the specification itself is violated at
+    // this input, so `realizable` must not be derivable through this rule.
+    std::function<bool(const TermPtr &, const ValuePtr &, const Env &,
+                       std::vector<z3::expr> &)>
+        EquateSides = [&](const TermPtr &L, const ValuePtr &R, const Env &E,
+                          std::vector<z3::expr> &Out) -> bool {
+      if (!containsUnknown(L)) {
+        ValuePtr LV;
+        try {
+          LV = evalScalarTerm(L, E);
+        } catch (const UserError &) {
+          return false;
+        }
+        if (!valueEquals(LV, R))
+          Out.push_back(Ctx.bool_val(false));
+        return true;
+      }
+      if (L->getKind() == TermKind::Tuple) {
+        if (!R->isTuple() || R->getElems().size() != L->numArgs())
+          return false;
+        for (size_t I = 0; I < L->numArgs(); ++I)
+          if (!EquateSides(L->getArg(I), R->getElems()[I], E, Out))
+            return false;
+        return true;
+      }
+      auto LE = PE(L, E);
+      if (!LE)
+        return false;
+      if (R->isInt())
+        Out.push_back(*LE == Ctx.int_val(static_cast<std::int64_t>(R->getInt())));
+      else if (R->isBool())
+        Out.push_back(*LE == Ctx.bool_val(R->getBool()));
+      else
+        return false;
+      return true;
+    };
+
+    std::vector<z3::expr> Constraints;
+    for (const RawEqn &Eq : Eqns) {
+      if (Constraints.size() >= Opts.MaxConstraints)
+        break;
+      // Free variables (ctor fields + the equation's extras), first
+      // occurrence across guard, lhs, rhs.
+      std::vector<VarPtr> Vars;
+      {
+        std::set<unsigned> Seen;
+        for (const TermPtr &Side : {Eq.Guard, Eq.Lhs, Eq.Rhs})
+          for (const VarPtr &V : freeVars(Side))
+            if (Seen.insert(V->Id).second)
+              Vars.push_back(V);
+      }
+      // Flatten the variables into scalar slots (tuple-typed variables
+      // contribute one slot per leaf).
+      struct Slot {
+        size_t VarIdx;
+        bool IsBool;
+      };
+      std::vector<Slot> Slots;
+      std::vector<std::vector<TypePtr>> VarSlotTys(Vars.size());
+      bool Ok = true;
+      for (size_t VI = 0; VI < Vars.size() && Ok; ++VI) {
+        Ok = flattenType(Vars[VI]->Ty, VarSlotTys[VI]);
+        for (size_t S = Slots.size(), N = 0; N < VarSlotTys[VI].size();
+             ++N, ++S)
+          Slots.push_back(Slot{VI, VarSlotTys[VI][N]->isBool()});
+      }
+      if (!Ok)
+        continue; // datatype-typed free variable: skip the equation
+
+      // Mixed-radix enumeration of slot assignments, capped.
+      std::vector<size_t> Digits(Slots.size(), 0);
+      auto Radix = [&](size_t S) {
+        return Slots[S].IsBool ? size_t(2) : IntDomain.size();
+      };
+      for (unsigned Iter = 0; Iter < Opts.MaxInstantiationsPerEqn; ++Iter) {
+        // Build the environment for this assignment.
+        Env E;
+        {
+          size_t S = 0;
+          for (size_t VI = 0; VI < Vars.size(); ++VI) {
+            std::vector<ValuePtr> Flat;
+            for (size_t N = 0; N < VarSlotTys[VI].size(); ++N, ++S)
+              Flat.push_back(Slots[S].IsBool
+                                 ? Value::mkBool(Digits[S] == 1)
+                                 : Value::mkInt(IntDomain[Digits[S]]));
+            size_t Pos = 0;
+            std::function<ValuePtr(const TypePtr &)> Build =
+                [&](const TypePtr &Ty) -> ValuePtr {
+              if (Ty->isTuple()) {
+                std::vector<ValuePtr> Elems;
+                for (const TypePtr &El : Ty->tupleElems())
+                  Elems.push_back(Build(El));
+                return Value::mkTuple(std::move(Elems));
+              }
+              return Flat[Pos++];
+            };
+            E[Vars[VI]->Id] = Build(Vars[VI]->Ty);
+          }
+        }
+
+        bool Advance = true;
+        do { // single pass; `break` = skip this instantiation
+          ValuePtr GV;
+          try {
+            GV = evalScalarTerm(Eq.Guard, E);
+          } catch (const UserError &) {
+            break;
+          }
+          if (!GV->isBool() || !GV->getBool())
+            break; // guard is false here: the equation does not apply
+          ValuePtr RV;
+          try {
+            RV = evalScalarTerm(Eq.Rhs, E);
+          } catch (const UserError &) {
+            break;
+          }
+          std::vector<z3::expr> Out;
+          if (!EquateSides(Eq.Lhs, RV, E, Out))
+            break;
+          for (z3::expr &C : Out)
+            Constraints.push_back(std::move(C));
+          if (!Out.empty())
+            ++Sys.NumEquations;
+        } while (false);
+
+        if (Constraints.size() >= Opts.MaxConstraints)
+          break;
+        // Advance the mixed-radix counter; wrapping means all assignments
+        // are done.
+        if (Digits.empty())
+          break;
+        size_t K = 0;
+        while (K < Digits.size()) {
+          if (++Digits[K] < Radix(K))
+            break;
+          Digits[K++] = 0;
+        }
+        if (K == Digits.size())
+          Advance = false;
+        if (!Advance)
+          break;
+      }
+    }
+
+    // --- 3. Grammar rules: per unknown with at least one point, the
+    // relations over value columns achievable by grammar terms.
+    for (UnknownEnc &U : Unknowns) {
+      const size_t Mp = U.Points.size();
+      if (!Mp)
+        continue;
+      Sys.NumPoints += Mp;
+      z3::sort_vector IntSig(Ctx), BoolSig(Ctx);
+      for (size_t J = 0; J < Mp; ++J) {
+        IntSig.push_back(Ctx.int_sort());
+        BoolSig.push_back(Ctx.bool_sort());
+      }
+      std::string N = U.Sig->Name;
+      U.IntRel = Ctx.function(("chc_int_" + N).c_str(), IntSig,
+                              Ctx.bool_sort());
+      U.BoolRel = Ctx.function(("chc_bool_" + N).c_str(), BoolSig,
+                               Ctx.bool_sort());
+      FP.registerRelation(*U.IntRel);
+      FP.registerRelation(*U.BoolRel);
+
+      auto Apply = [&](const z3::func_decl &D,
+                       const std::vector<z3::expr> &Vs) {
+        z3::expr_vector Args(Ctx);
+        for (const z3::expr &V : Vs)
+          Args.push_back(V);
+        return D(Args);
+      };
+      auto MkVec = [&](const char *Prefix, bool Bool) {
+        std::vector<z3::expr> Vs;
+        for (size_t J = 0; J < Mp; ++J)
+          Vs.push_back(Ctx.constant(
+              (std::string(Prefix) + std::to_string(J)).c_str(),
+              Bool ? Ctx.bool_sort() : Ctx.int_sort()));
+        return Vs;
+      };
+      auto Bind = [&](std::initializer_list<
+                      const std::vector<z3::expr> *>
+                          Groups) {
+        z3::expr_vector B(Ctx);
+        for (const auto *Gp : Groups)
+          for (const z3::expr &V : *Gp)
+            B.push_back(V);
+        return B;
+      };
+
+      // Facts: the argument columns (candidate term = the k-th parameter).
+      for (size_t K = 0; K < U.ArgSlotTys.size(); ++K) {
+        bool IsBool = U.ArgSlotTys[K]->isBool();
+        std::vector<z3::expr> Col;
+        for (size_t J = 0; J < Mp; ++J) {
+          const ValuePtr &V = U.Points[J][K];
+          Col.push_back(IsBool ? Ctx.bool_val(V->getBool())
+                               : Ctx.int_val(static_cast<std::int64_t>(V->getInt())));
+        }
+        FP.addFact(Apply(IsBool ? *U.BoolRel : *U.IntRel, Col), "arg");
+      }
+      // Every integer constant at once: a constant term's column is the
+      // same value at every point. Strictly covers any constant pool.
+      {
+        z3::expr K = Ctx.int_const("chc_k");
+        std::vector<z3::expr> Col(Mp, K);
+        std::vector<z3::expr> B{K};
+        FP.addRule(Bind({&B}), Ctx.bool_val(true), Apply(*U.IntRel, Col),
+                   "const_int");
+      }
+      for (bool BV : {false, true}) {
+        std::vector<z3::expr> Col(Mp, Ctx.bool_val(BV));
+        FP.addFact(Apply(*U.BoolRel, Col), "const_bool");
+      }
+
+      auto Map = [&](const std::vector<z3::expr> &Vs,
+                     const std::function<z3::expr(const z3::expr &)> &F) {
+        std::vector<z3::expr> Out;
+        for (const z3::expr &V : Vs)
+          Out.push_back(F(V));
+        return Out;
+      };
+      auto Zip = [&](const std::vector<z3::expr> &As,
+                     const std::vector<z3::expr> &Bs,
+                     const std::function<z3::expr(const z3::expr &,
+                                                  const z3::expr &)> &F) {
+        std::vector<z3::expr> Out;
+        for (size_t J = 0; J < As.size(); ++J)
+          Out.push_back(F(As[J], Bs[J]));
+        return Out;
+      };
+
+      auto Unary = [&](const char *Name, const z3::func_decl &In,
+                       const z3::func_decl &Res,
+                       const std::function<z3::expr(const z3::expr &)> &F) {
+        auto A = MkVec("chc_a", &In == &*U.BoolRel);
+        FP.addRule(Bind({&A}), Apply(In, A), Apply(Res, Map(A, F)), Name);
+      };
+      auto Binary = [&](const char *Name, const z3::func_decl &In,
+                        const z3::func_decl &Res,
+                        const std::function<z3::expr(const z3::expr &,
+                                                     const z3::expr &)>
+                            &F) {
+        bool InBool = &In == &*U.BoolRel;
+        auto A = MkVec("chc_a", InBool);
+        auto B = MkVec("chc_b", InBool);
+        FP.addRule(Bind({&A, &B}), Apply(In, A) && Apply(In, B),
+                   Apply(Res, Zip(A, B, F)), Name);
+      };
+      auto IteRule = [&](const char *Name, const z3::func_decl &Branch) {
+        bool BrBool = &Branch == &*U.BoolRel;
+        auto C = MkVec("chc_c", true);
+        auto A = MkVec("chc_a", BrBool);
+        auto B = MkVec("chc_b", BrBool);
+        std::vector<z3::expr> H;
+        for (size_t J = 0; J < Mp; ++J)
+          H.push_back(z3::ite(C[J], A[J], B[J]));
+        FP.addRule(Bind({&C, &A, &B}),
+                   Apply(*U.BoolRel, C) && Apply(Branch, A) &&
+                       Apply(Branch, B),
+                   Apply(Branch, H), Name);
+      };
+
+      const z3::func_decl &IR = *U.IntRel;
+      const z3::func_decl &BR = *U.BoolRel;
+      Unary("neg", IR, IR, [](const z3::expr &A) { return -A; });
+      Binary("add", IR, IR,
+             [](const z3::expr &A, const z3::expr &B) { return A + B; });
+      Binary("sub", IR, IR,
+             [](const z3::expr &A, const z3::expr &B) { return A - B; });
+      if (G.AllowMinMax) {
+        Binary("min", IR, IR, [](const z3::expr &A, const z3::expr &B) {
+          return z3::ite(A < B, A, B);
+        });
+        Binary("max", IR, IR, [](const z3::expr &A, const z3::expr &B) {
+          return z3::ite(A < B, B, A);
+        });
+      }
+      if (G.AllowMul)
+        Binary("mul", IR, IR,
+               [](const z3::expr &A, const z3::expr &B) { return A * B; });
+      if (G.AllowDiv)
+        Binary("div", IR, IR,
+               [](const z3::expr &A, const z3::expr &B) { return A / B; });
+      if (G.AllowMod)
+        Binary("mod", IR, IR, [](const z3::expr &A, const z3::expr &B) {
+          return z3::mod(A, B);
+        });
+      if (G.AllowAbs)
+        Unary("abs", IR, IR, [](const z3::expr &A) {
+          return z3::ite(A < 0, -A, A);
+        });
+      if (G.AllowIte)
+        IteRule("ite_int", IR);
+      // Comparisons feed the boolean relation (ite conditions and boolean
+      // unknowns).
+      Binary("lt", IR, BR,
+             [](const z3::expr &A, const z3::expr &B) { return A < B; });
+      Binary("le", IR, BR,
+             [](const z3::expr &A, const z3::expr &B) { return A <= B; });
+      Binary("eq", IR, BR,
+             [](const z3::expr &A, const z3::expr &B) { return A == B; });
+      Binary("ne", IR, BR,
+             [](const z3::expr &A, const z3::expr &B) { return A != B; });
+      Unary("not", BR, BR, [](const z3::expr &A) { return !A; });
+      Binary("and", BR, BR,
+             [](const z3::expr &A, const z3::expr &B) { return A && B; });
+      Binary("or", BR, BR,
+             [](const z3::expr &A, const z3::expr &B) { return A || B; });
+      Binary("iff", BR, BR,
+             [](const z3::expr &A, const z3::expr &B) { return A == B; });
+      if (G.AllowIte)
+        IteRule("ite_bool", BR);
+    }
+
+    // --- 4. The realizable rule: some grammar-achievable output columns
+    // satisfy every instantiated constraint.
+    z3::func_decl Realizable =
+        Ctx.function("chc_realizable", z3::sort_vector(Ctx),
+                     Ctx.bool_sort());
+    FP.registerRelation(Realizable);
+    z3::expr_vector GoalBound(Ctx);
+    z3::expr Body = Ctx.bool_val(true);
+    for (UnknownEnc &U : Unknowns) {
+      if (U.Points.empty())
+        continue;
+      z3::expr_vector Col(Ctx);
+      for (const z3::expr &O : U.OutVars) {
+        Col.push_back(O);
+        GoalBound.push_back(O);
+      }
+      Body = Body && (U.BoolRet ? *U.BoolRel : *U.IntRel)(Col);
+    }
+    for (const z3::expr &C : Constraints)
+      Body = Body && C;
+    FP.addRule(GoalBound, Body, Realizable(), "realizable");
+    Goal = Realizable();
+
+    Sys.NumRules = FP.numRules();
+    Sys.Encodable = true;
+    return Sys;
+  } catch (const z3::exception &E) {
+    Sys.Encodable = false;
+    Sys.Reason = std::string("z3: ") + E.msg();
+    return Sys;
+  }
+}

@@ -1,0 +1,103 @@
+//===- ChcEncoder.h - Problem → Horn clauses over `realizable` -*- C++-*-===//
+///
+/// \file
+/// Encodes a recursion-synthesis problem as a constrained-Horn-clause
+/// system in the style of Hu et al.'s SemGuS unrealizability checkers: the
+/// grammar's semantics become rules of per-unknown relations over *vectors
+/// of evaluation points*, the specification becomes a rule deriving a
+/// 0-ary `realizable` relation, and `realizable` being underivable (the
+/// fixedpoint query returns unsat) proves the problem unrealizable.
+///
+/// Concretely (point instantiation): a few fully bounded terms of θ are
+/// recursion-eliminated into guarded equations `guard ⇒ lhs = rhs`
+/// (unknown-free except for unknown applications in lhs), which are then
+/// instantiated at small concrete assignments of their free scalar
+/// variables. Every unknown application at a distinct argument tuple
+/// becomes one column of that unknown's relation; identical argument
+/// tuples share a column, which is exactly the functional-consistency
+/// requirement the witness channel exploits. Per unknown u over m points,
+/// `chc_int_u` / `chc_bool_u` ⊆ Int^m / Bool^m hold the value vectors
+/// achievable by grammar terms: argument columns and boolean literals are
+/// facts, every *integer* constant is one rule (∀k. rel(k,…,k) — a strict
+/// superset of any constant pool, so synthesized constants can never
+/// contradict a CHC verdict), and each grammar operator enabled by the
+/// GrammarConfig is a componentwise rule. The encoded grammar is therefore
+/// a superset of the enumerator's: an underivable `realizable` can never
+/// contradict a Realizable verdict found by synthesis.
+///
+/// Instantiation only ever *drops* universally quantified constraints, so
+/// the clause system is a weakening of the true specification and unsat
+/// remains a sound unrealizability proof. Anything the scheme cannot
+/// express (datatype-valued unknowns, unknowns nested in unknown
+/// arguments, …) makes the encoding bail out as not Encodable —
+/// inconclusive, never wrong.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SE2GIS_CHC_CHCENCODER_H
+#define SE2GIS_CHC_CHCENCODER_H
+
+#include "lang/Program.h"
+#include "synth/Grammar.h"
+
+#include <z3++.h>
+
+#include <optional>
+#include <string>
+
+namespace se2gis {
+
+class FixedpointSolver;
+
+/// Size knobs of one encoding attempt (the channel escalates them).
+struct ChcOptions {
+  /// Bounded terms of θ to instantiate.
+  unsigned MaxTerms = 4;
+  /// Evaluation points (distinct argument tuples) per unknown.
+  unsigned MaxPointsPerUnknown = 24;
+  /// Concrete assignments tried per equation.
+  unsigned MaxInstantiationsPerEqn = 48;
+  /// Total instantiated equation constraints.
+  unsigned MaxConstraints = 512;
+};
+
+/// What one encoding attempt produced.
+struct ChcSystem {
+  /// False when the problem is outside the encodable fragment; \c Reason
+  /// says why and nothing was asserted conclusively.
+  bool Encodable = false;
+  std::string Reason;
+  /// Bounded terms whose equations were instantiated.
+  size_t NumTerms = 0;
+  /// Instantiated equation constraints in the `realizable` rule body.
+  size_t NumEquations = 0;
+  /// Evaluation points summed over the unknowns.
+  size_t NumPoints = 0;
+  /// Horn clauses asserted (facts + grammar rules + the realizable rule).
+  size_t NumRules = 0;
+};
+
+/// Builds the clause system for one problem into a FixedpointSolver.
+class ChcEncoder {
+public:
+  ChcEncoder(const Problem &P, const GrammarConfig &G,
+             const ChcOptions &Opts = {});
+
+  /// Encodes into \p FP. On success (\c Encodable) the goal atom is
+  /// available via \c goal().
+  ChcSystem encode(FixedpointSolver &FP);
+
+  /// The 0-ary `chc_realizable` goal atom; valid after a successful
+  /// encode().
+  const z3::expr &goal() const { return *Goal; }
+
+private:
+  const Problem &P;
+  GrammarConfig G;
+  ChcOptions Opts;
+  std::optional<z3::expr> Goal;
+};
+
+} // namespace se2gis
+
+#endif // SE2GIS_CHC_CHCENCODER_H

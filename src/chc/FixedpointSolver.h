@@ -1,0 +1,80 @@
+//===- FixedpointSolver.h - z3::fixedpoint under repo budgets ---*- C++-*-===//
+///
+/// \file
+/// A thin wrapper around Z3's Horn-clause engine (z3::fixedpoint / Spacer)
+/// that plays by the repo's budget rules: queries get a deterministic
+/// resource limit derived from the same per-millisecond mapping as
+/// SmtQuery (smtRlimitForTimeoutMs), plus a watchdog thread that polls the
+/// Deadline/CancellationToken and interrupts the engine mid-query — Z3's
+/// rlimit cannot observe wall-clock cancellation, so cooperative
+/// cancellation needs the interrupt path.
+///
+/// The wrapper also records a printable dump of every rule it asserts,
+/// which is what the encoder golden tests inspect.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SE2GIS_CHC_FIXEDPOINTSOLVER_H
+#define SE2GIS_CHC_FIXEDPOINTSOLVER_H
+
+#include "support/Cancellation.h"
+
+#include <z3++.h>
+
+#include <string>
+#include <vector>
+
+namespace se2gis {
+
+class FixedpointSolver {
+public:
+  /// Outcome of a reachability query on the `realizable` relation.
+  enum class Result : unsigned char {
+    /// The goal is derivable from the rules (query sat): some grammar
+    /// assignment satisfies the instantiated constraints — inconclusive
+    /// for unrealizability.
+    Derivable,
+    /// The goal is underivable (query unsat): no grammar assignment can
+    /// satisfy the constraints — the problem is unrealizable.
+    Underivable,
+    /// Budget expired, the engine was interrupted, or it gave up.
+    Unknown
+  };
+
+  FixedpointSolver();
+
+  z3::context &ctx() { return Ctx; }
+
+  /// Declares \p D as an uninterpreted relation of the clause system.
+  void registerRelation(const z3::func_decl &D);
+
+  /// Asserts the ground fact `Head.`.
+  void addFact(const z3::expr &Head, const char *Name);
+
+  /// Asserts `∀ Bound. Body → Head` (no quantifier when \p Bound is empty).
+  void addRule(const z3::expr_vector &Bound, const z3::expr &Body,
+               const z3::expr &Head, const char *Name);
+
+  /// Runs the reachability query for \p Goal. \p TimeoutMs maps onto the
+  /// engine's resource limit exactly like SmtQuery's per-query budget; the
+  /// \p Budget deadline (and its cancellation token) is enforced by a
+  /// watchdog that interrupts the engine. A zero/expired budget returns
+  /// Unknown without entering Z3.
+  Result query(const z3::expr &Goal, int TimeoutMs, const Deadline &Budget);
+
+  size_t numRules() const { return RuleTexts.size(); }
+
+  /// Printable forms of every asserted rule, in assertion order.
+  const std::vector<std::string> &rules() const { return RuleTexts; }
+
+private:
+  void insert(z3::expr Rule, const char *Name);
+
+  z3::context Ctx;
+  z3::fixedpoint Fp;
+  std::vector<std::string> RuleTexts;
+};
+
+} // namespace se2gis
+
+#endif // SE2GIS_CHC_FIXEDPOINTSOLVER_H

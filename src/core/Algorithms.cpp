@@ -3,6 +3,7 @@
 #include "core/Algorithms.h"
 
 #include "ast/Simplify.h"
+#include "chc/ChcChannel.h"
 #include "core/Approximation.h"
 #include "core/Certificates.h"
 #include "core/InvariantInfer.h"
@@ -30,6 +31,8 @@ const char *se2gis::algorithmName(AlgorithmKind K) {
     return "SEGIS";
   case AlgorithmKind::SEGISUC:
     return "SEGIS+UC";
+  case AlgorithmKind::CHC:
+    return "CHC";
   case AlgorithmKind::Portfolio:
     return "portfolio";
   }
@@ -47,9 +50,81 @@ se2gis::parseAlgorithmName(const std::string &Name) {
     return AlgorithmKind::SEGIS;
   if (S == "segis-uc" || S == "segisuc" || S == "segis+uc")
     return AlgorithmKind::SEGISUC;
+  if (S == "chc")
+    return AlgorithmKind::CHC;
   if (S == "portfolio")
     return AlgorithmKind::Portfolio;
   return std::nullopt;
+}
+
+const char *se2gis::unrealModeName(UnrealMode M) {
+  switch (M) {
+  case UnrealMode::Auto:
+    return "auto";
+  case UnrealMode::Witness:
+    return "witness";
+  case UnrealMode::Chc:
+    return "chc";
+  case UnrealMode::Race:
+    return "race";
+  }
+  return "?";
+}
+
+std::optional<UnrealMode> se2gis::parseUnrealMode(const std::string &Name) {
+  std::string S;
+  for (char C : Name)
+    S += static_cast<char>(std::tolower(static_cast<unsigned char>(C)));
+  if (S == "auto")
+    return UnrealMode::Auto;
+  if (S == "witness")
+    return UnrealMode::Witness;
+  if (S == "chc")
+    return UnrealMode::Chc;
+  if (S == "race")
+    return UnrealMode::Race;
+  return std::nullopt;
+}
+
+UnrealMode se2gis::resolveUnrealMode(UnrealMode M, AlgorithmKind K) {
+  if (M != UnrealMode::Auto)
+    return M;
+  return K == AlgorithmKind::Portfolio ? UnrealMode::Race
+                                       : UnrealMode::Witness;
+}
+
+const char *se2gis::verdictSourceName(VerdictSource S) {
+  switch (S) {
+  case VerdictSource::None:
+    return "none";
+  case VerdictSource::Witness:
+    return "witness";
+  case VerdictSource::Chc:
+    return "chc";
+  case VerdictSource::Cache:
+    return "cache";
+  }
+  return "?";
+}
+
+std::string Evidence::str() const {
+  if (Source == VerdictSource::None)
+    return "";
+  auto Lower = [](const std::string &S) {
+    std::string Out;
+    for (char C : S)
+      Out += static_cast<char>(std::tolower(static_cast<unsigned char>(C)));
+    return Out;
+  };
+  std::ostringstream OS;
+  OS << verdictSourceName(Source);
+  if (!Channel.empty() && Lower(Channel) != verdictSourceName(Source))
+    OS << "/" << Channel;
+  if (ChcClauses)
+    OS << " (" << ChcClauses << " clauses)";
+  else if (Lemmas)
+    OS << " (" << Lemmas << " lemmas)";
+  return OS.str();
 }
 
 const char *se2gis::verdictName(Verdict O) {
@@ -164,7 +239,9 @@ Outcome se2gis::runSE2GIS(const Problem &P, const AlgoOptions &Opts) {
     // Fig. 1's "Is φ realizable?" gate: search for a functional
     // unrealizability witness first. A hit activates the coarsening loop
     // without waiting for the synthesis step to corner the conflict.
-    auto W = findFunctionalWitness(System, Opts.SgePerQueryTimeoutMs, Budget);
+    std::optional<FunctionalWitness> W;
+    if (!Opts.DisableWitnessChannel)
+      W = findFunctionalWitness(System, Opts.SgePerQueryTimeoutMs, Budget);
     if (W) {
       Result.Stats.Steps += "\u25e6"; // ◦
       ++Result.Stats.Coarsenings;
@@ -255,6 +332,12 @@ Outcome se2gis::runSE2GIS(const Problem &P, const AlgoOptions &Opts) {
     Result.V = Verdict::Timeout;
   if (Result.V != Verdict::Timeout)
     Result.Stats.LastCandidate.clear();
+  if (Result.V == Verdict::Realizable || Result.V == Verdict::Unrealizable) {
+    Result.Ev.Source = VerdictSource::Witness;
+    Result.Ev.Channel = "SE2GIS";
+    Result.Ev.Lemmas = static_cast<std::uint64_t>(
+        Result.Stats.ImageInvariants + Result.Stats.DatatypeInvariants);
+  }
   Result.Stats.ElapsedMs = Timer.elapsedMs();
   Result.Stats.Counters = snapshotCounters().since(Before);
   Result.Stats.Perf = snapshotPerf().since(PerfBefore);
@@ -342,7 +425,7 @@ Outcome se2gis::runSEGIS(const Problem &P, const AlgoOptions &Opts,
       for (const SgeEquation &E : BE.Eqns)
         System.Eqns.push_back(E);
 
-    if (WithUnrealizabilityChecker) {
+    if (WithUnrealizabilityChecker && !Opts.DisableWitnessChannel) {
       auto W = findFunctionalWitness(System, Opts.SgePerQueryTimeoutMs,
                                      Budget);
       if (W) {
@@ -410,6 +493,10 @@ Outcome se2gis::runSEGIS(const Problem &P, const AlgoOptions &Opts,
 
   if (Result.V != Verdict::Timeout)
     Result.Stats.LastCandidate.clear();
+  if (Result.V == Verdict::Realizable || Result.V == Verdict::Unrealizable) {
+    Result.Ev.Source = VerdictSource::Witness;
+    Result.Ev.Channel = WithUnrealizabilityChecker ? "SEGIS+UC" : "SEGIS";
+  }
   Result.Stats.ElapsedMs = Timer.elapsedMs();
   Result.Stats.Counters = snapshotCounters().since(Before);
   Result.Stats.Perf = snapshotPerf().since(PerfBefore);
@@ -420,13 +507,26 @@ Outcome se2gis::runSEGIS(const Problem &P, const AlgoOptions &Opts,
 Outcome se2gis::runAlgorithm(AlgorithmKind K, const Problem &P,
                                const AlgoOptions &Opts) {
   PerfTimerScope RunTimer(PerfTimer::SuiteRunNs);
+  UnrealMode Mode = resolveUnrealMode(Opts.Unreal, K);
   switch (K) {
   case AlgorithmKind::SE2GIS:
-    return runSE2GIS(P, Opts);
   case AlgorithmKind::SEGIS:
-    return runSEGIS(P, Opts, /*WithUnrealizabilityChecker=*/false);
-  case AlgorithmKind::SEGISUC:
-    return runSEGIS(P, Opts, /*WithUnrealizabilityChecker=*/true);
+  case AlgorithmKind::SEGISUC: {
+    if (Mode == UnrealMode::Witness)
+      return K == AlgorithmKind::SE2GIS
+                 ? runSE2GIS(P, Opts)
+                 : runSEGIS(P, Opts,
+                            /*WithUnrealizabilityChecker=*/K ==
+                                AlgorithmKind::SEGISUC);
+    // Chc/Race: race the algorithm against the CHC channel; under Chc the
+    // algorithm's own witness channel is suppressed so every Unrealizable
+    // verdict is CHC-proved.
+    AlgoOptions Local = Opts;
+    Local.DisableWitnessChannel = Mode == UnrealMode::Chc;
+    return runRace({K, AlgorithmKind::CHC}, P, Local);
+  }
+  case AlgorithmKind::CHC:
+    return runChcChannel(P, Opts);
   case AlgorithmKind::Portfolio:
     return runPortfolio(P, Opts);
   }

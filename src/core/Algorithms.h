@@ -29,9 +29,17 @@
 
 namespace se2gis {
 
-/// Which algorithm to run. Portfolio races SE²GIS against SEGIS+UC on two
-/// threads and returns the first conclusive verdict (core/Portfolio).
-enum class AlgorithmKind : unsigned char { SE2GIS, SEGIS, SEGISUC, Portfolio };
+/// Which algorithm to run. CHC is the fixedpoint-based unrealizability
+/// channel (src/chc/): it can prove Unrealizable but never Realizable.
+/// Portfolio races SE²GIS against SEGIS+UC (plus the CHC channel, see
+/// UnrealMode) and returns the first conclusive verdict (core/Portfolio).
+enum class AlgorithmKind : unsigned char {
+  SE2GIS,
+  SEGIS,
+  SEGISUC,
+  CHC,
+  Portfolio
+};
 
 /// Verdict of a synthesis run.
 enum class Verdict : unsigned char {
@@ -51,9 +59,39 @@ enum class Verdict : unsigned char {
 const char *algorithmName(AlgorithmKind K);
 const char *verdictName(Verdict V);
 
-/// Parses "se2gis" / "segis" / "segis-uc" / "portfolio" (also accepts the
-/// display names, case-insensitively). \returns nullopt on anything else.
+/// Parses "se2gis" / "segis" / "segis-uc" / "chc" / "portfolio" (also
+/// accepts the display names, case-insensitively). \returns nullopt on
+/// anything else.
 std::optional<AlgorithmKind> parseAlgorithmName(const std::string &Name);
+
+/// Which unrealizability channel(s) a run may use (--unreal /
+/// SE2GIS_UNREAL). The functional-witness loop is part of the synthesis
+/// algorithms themselves; the CHC channel (src/chc/) is an independent
+/// fixedpoint-based prover that can be raced against them.
+enum class UnrealMode : unsigned char {
+  /// Resolve per algorithm: Race under Portfolio, Witness elsewhere.
+  Auto,
+  /// Functional witnesses only (the paper's configuration).
+  Witness,
+  /// CHC only: the witness channel is suppressed and the algorithm is
+  /// raced against the CHC prover, so Unrealizable verdicts can come only
+  /// from the fixedpoint engine.
+  Chc,
+  /// Both: the algorithm (witness channel intact) races the CHC prover;
+  /// the first conclusive verdict wins.
+  Race
+};
+
+/// \returns "auto" / "witness" / "chc" / "race".
+const char *unrealModeName(UnrealMode M);
+
+/// Parses "witness" / "chc" / "race" (and "auto"), case-insensitively.
+/// \returns nullopt on anything else.
+std::optional<UnrealMode> parseUnrealMode(const std::string &Name);
+
+/// Resolves UnrealMode::Auto for algorithm \p K (Race under Portfolio,
+/// Witness elsewhere); other modes pass through unchanged.
+UnrealMode resolveUnrealMode(UnrealMode M, AlgorithmKind K);
 
 /// Tuning knobs shared by the algorithms.
 struct AlgoOptions {
@@ -77,6 +115,14 @@ struct AlgoOptions {
   /// run start; see setSmtIncremental. Fed by SE2GIS_SMT_INCREMENTAL /
   /// --smt-incremental.
   bool SmtIncremental = true;
+
+  /// Which unrealizability channel(s) to use; see UnrealMode. Fed by
+  /// SE2GIS_UNREAL / --unreal; resolved per algorithm by runAlgorithm.
+  UnrealMode Unreal = UnrealMode::Auto;
+  /// Internal (driven by UnrealMode::Chc, not user-facing): suppress the
+  /// functional-witness channel inside runSE2GIS/runSEGIS so the raced CHC
+  /// prover is the only source of Unrealizable verdicts.
+  bool DisableWitnessChannel = false;
 
   /// Ablation switches (bench/bench_ablation measures their impact).
   bool DisableEufAnchoring = false;
@@ -116,14 +162,51 @@ struct RunStats {
   std::string LastCandidate;
 };
 
+/// Which channel produced a conclusive verdict (Evidence provenance).
+enum class VerdictSource : unsigned char {
+  /// No conclusive verdict (Timeout / Failed), so no provenance.
+  None,
+  /// The synthesis algorithm itself: a verified solution or a validated
+  /// functional-unrealizability witness.
+  Witness,
+  /// The CHC fixedpoint channel proved `realizable` underivable.
+  Chc,
+  /// The suite runner replayed (and re-verified) a cached solution.
+  Cache
+};
+
+/// \returns "none" / "witness" / "chc" / "cache".
+const char *verdictSourceName(VerdictSource S);
+
+/// Provenance of a conclusive verdict: which channel concluded and how much
+/// supporting material it produced. Every Realizable/Unrealizable Outcome
+/// carries one; races keep the winning member's Evidence.
+struct Evidence {
+  VerdictSource Source = VerdictSource::None;
+  /// Display name of the concluding channel ("SE2GIS", "SEGIS+UC", "CHC",
+  /// "suite-cache", ...). Empty iff Source is None.
+  std::string Channel;
+  /// Horn clauses in the CHC system that proved the verdict (CHC only).
+  std::uint64_t ChcClauses = 0;
+  /// Invariant lemmas learned by the witness loop (witness channel only).
+  std::uint64_t Lemmas = 0;
+
+  /// Compact rendering for the CLI verdict line, e.g. "witness/SE2GIS" or
+  /// "chc (42 clauses)". Empty when Source is None.
+  std::string str() const;
+};
+
 /// Result of one synthesis run: the verdict, the solution or witness
-/// description, and the run's statistics. A timed-out Outcome still carries
-/// partial stats (rounds completed, last candidate) — see RunStats.
+/// description, the verdict's provenance, and the run's statistics. A
+/// timed-out Outcome still carries partial stats (rounds completed, last
+/// candidate) — see RunStats.
 struct Outcome {
   Verdict V = Verdict::Failed;
   UnknownBindings Solution;
   /// Human-readable witness description / failure reason.
   std::string Detail;
+  /// Which channel concluded (set on conclusive verdicts only).
+  Evidence Ev;
   RunStats Stats;
 };
 
@@ -135,7 +218,9 @@ Outcome runSE2GIS(const Problem &P, const AlgoOptions &Opts);
 Outcome runSEGIS(const Problem &P, const AlgoOptions &Opts,
                  bool WithUnrealizabilityChecker);
 
-/// Dispatches on \p K (including AlgorithmKind::Portfolio).
+/// Dispatches on \p K (including AlgorithmKind::CHC and ::Portfolio) and
+/// applies the resolved UnrealMode: under Chc/Race the synthesis algorithm
+/// is raced against the CHC channel (core/Portfolio).
 Outcome runAlgorithm(AlgorithmKind K, const Problem &P,
                      const AlgoOptions &Opts);
 

@@ -15,12 +15,25 @@
 
 #include "core/Algorithms.h"
 
+#include <vector>
+
 namespace se2gis {
 
-/// Runs SE²GIS and SEGIS+UC concurrently on \p P; returns the first
-/// conclusive result (or the "better" inconclusive one when both fail).
-/// The returned stats carry the winning algorithm's name in \c Detail when
-/// it would otherwise be empty.
+/// Races \p Members concurrently on \p P: every member shares one
+/// cancellation token (chained to the caller's), the first conclusive
+/// verdict (realizable/unrealizable) wins and cancels the losers
+/// cooperatively. On a tie or when nobody concludes, earlier members are
+/// preferred. Members are dispatched to the bare per-algorithm runners, so
+/// no nested race is spawned. The winning member's Evidence is kept; a race
+/// won by the CHC channel bumps the chc_race_wins perf counter.
+Outcome runRace(const std::vector<AlgorithmKind> &Members, const Problem &P,
+                const AlgoOptions &Opts);
+
+/// Runs SE²GIS and SEGIS+UC concurrently on \p P — plus the CHC channel
+/// unless the resolved UnrealMode is Witness; returns the first conclusive
+/// result (or the "better" inconclusive one when everyone fails). The
+/// returned stats carry the winning algorithm's name in \c Detail when it
+/// would otherwise be empty.
 Outcome runPortfolio(const Problem &P, const AlgoOptions &Opts);
 
 } // namespace se2gis

@@ -36,6 +36,13 @@ SolverConfig SolverConfig::fromEnv(std::int64_t DefaultTimeoutMs) {
       userError("SE2GIS_SMT_INCREMENTAL: expected on or off, got '" + V +
                 "'");
   }
+  if (const char *U = std::getenv("SE2GIS_UNREAL")) {
+    auto Mode = parseUnrealMode(U);
+    if (!Mode)
+      userError(std::string("SE2GIS_UNREAL: unknown unrealizability mode '") +
+                U + "' (expected witness, chc, or race)");
+    C.Algo.Unreal = *Mode;
+  }
   if (const char *F = std::getenv("SE2GIS_FILTER"))
     C.Filter = F;
   if (const char *J = std::getenv("SE2GIS_JOBS")) {

@@ -59,6 +59,11 @@ struct SolverConfig {
   ///  - SE2GIS_SMT_INCREMENTAL — "on" (default) or "off"; off restores
   ///    fresh-context-per-query SMT solving (throws UserError on anything
   ///    else). See DESIGN.md "Incremental SMT model".
+  ///  - SE2GIS_UNREAL — unrealizability channels: "witness" (functional
+  ///    witnesses only), "chc" (fixedpoint channel only), "race" (both), or
+  ///    "auto" (the default: race under Portfolio, witness elsewhere).
+  ///    Throws UserError on anything else. See DESIGN.md "Unrealizability
+  ///    channels".
   ///  - SE2GIS_FILTER, SE2GIS_JOBS, SE2GIS_PERF_JSON — as the fields above.
   ///  - SE2GIS_CACHE — "off" (default), "mem", or "disk"; SE2GIS_CACHE_DIR
   ///    — the disk-mode store directory (default ./.se2gis-cache). Throws

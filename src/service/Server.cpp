@@ -279,6 +279,11 @@ JsonValue Server::jobStateJson(const Job &J, bool WithResult) const {
   if (J.State == JobState::Done) {
     Resp.set("verdict", JsonValue::str(verdictName(J.Result.V)));
     Resp.set("elapsed_ms", JsonValue::number(J.Result.Stats.ElapsedMs));
+    if (J.Result.Ev.Source != VerdictSource::None) {
+      Resp.set("evidence",
+               JsonValue::str(verdictSourceName(J.Result.Ev.Source)));
+      Resp.set("evidence_channel", JsonValue::str(J.Result.Ev.Channel));
+    }
     if (WithResult) {
       Resp.set("steps", JsonValue::str(J.Result.Stats.Steps));
       if (!J.Result.Detail.empty())

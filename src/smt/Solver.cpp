@@ -22,6 +22,16 @@
 
 using namespace se2gis;
 
+unsigned se2gis::smtRlimitForTimeoutMs(int TimeoutMs) {
+  // ~50k resource units approximate one millisecond on commodity hardware;
+  // the cap keeps the product inside Z3's unsigned parameter space.
+  unsigned long long Rlimit =
+      static_cast<unsigned long long>(TimeoutMs > 0 ? TimeoutMs : 1) *
+      50000ULL;
+  return static_cast<unsigned>(Rlimit > 4000000000ULL ? 4000000000ULL
+                                                      : Rlimit);
+}
+
 // --- SmtModel -----------------------------------------------------------===//
 
 void SmtModel::bind(const VarPtr &V, ValuePtr Val) {
@@ -527,18 +537,12 @@ SmtResult SmtQuery::checkSatImpl(int TimeoutMs, SmtModel *ModelOut,
   }
   try {
     // Budget via Z3's deterministic resource limit rather than the
-    // wall-clock "timeout" parameter: the latter spawns a timer thread per
-    // query, which can deadlock under the harness's query churn (and makes
-    // runs non-reproducible). The conversion factor approximates
-    // milliseconds on commodity hardware. The limit is applied per check()
-    // call (Z3 scopes it to the call), so a long-lived session solver gives
-    // every query its own slice rather than a shared cumulative one.
+    // wall-clock "timeout" parameter (see smtRlimitForTimeoutMs). The limit
+    // is applied per check() call (Z3 scopes it to the call), so a
+    // long-lived session solver gives every query its own slice rather than
+    // a shared cumulative one.
     z3::params P(I->ctx());
-    unsigned long long Rlimit =
-        static_cast<unsigned long long>(TimeoutMs > 0 ? TimeoutMs : 1) *
-        50000ULL;
-    P.set("rlimit", static_cast<unsigned>(
-                        Rlimit > 4000000000ULL ? 4000000000ULL : Rlimit));
+    P.set("rlimit", smtRlimitForTimeoutMs(TimeoutMs));
     if (unsigned Seed = I->session().SeedApplied)
       P.set("random_seed", Seed);
     I->solver().set(P);

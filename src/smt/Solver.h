@@ -132,6 +132,14 @@ private:
 /// the next query on each thread gets a freshly seeded solver.
 void setSmtRandomSeed(unsigned Seed);
 
+/// The deterministic budget mapping shared by every Z3 engine in the stack
+/// (SmtQuery::checkSat and the CHC fixedpoint channel): milliseconds scaled
+/// to a Z3 resource limit (~50k units/ms on commodity hardware), capped to
+/// the engine's unsigned parameter space. Resource limits are preferred
+/// over Z3's wall-clock "timeout" because the latter spawns a timer thread
+/// per query and makes runs non-reproducible.
+unsigned smtRlimitForTimeoutMs(int TimeoutMs);
+
 // --- Incremental sessions (DESIGN.md "Incremental SMT model") ----------===//
 
 /// Enables or disables the incremental session layer process-wide (default

@@ -59,6 +59,7 @@ Hash128 suiteEntryKey(const SuiteRecord &Rec, const SolverConfig &Config) {
   K = hash128Combine(
       K, static_cast<std::uint64_t>(Config.Algo.SgePerQueryTimeoutMs));
   K = hash128Combine(K, Config.Algo.Seed);
+  K = hash128Combine(K, static_cast<std::uint64_t>(Config.Algo.Unreal));
   K = hash128Combine(K, (Config.Algo.DisableEufAnchoring ? 1ULL : 0ULL) |
                             (Config.Algo.DisableIteSplitting ? 2ULL : 0ULL) |
                             (Config.Algo.DisableLemmaReplay ? 4ULL : 0ULL));
@@ -155,6 +156,8 @@ void runOne(SuiteRecord &Rec, std::shared_ptr<const Problem> P,
           Rec.Result.V = Verdict::Realizable;
           Rec.Result.Solution = std::move(*Sol);
           Rec.Result.Detail = "suite cache (re-verified)";
+          Rec.Result.Ev.Source = VerdictSource::Cache;
+          Rec.Result.Ev.Channel = "suite-cache";
           Rec.Result.Stats.SolutionProvedInductive =
               VR.Status == VerifyStatus::ProvedInductive;
           Rec.Result.Stats.ElapsedMs = Timer.elapsedMs();
@@ -317,7 +320,9 @@ void se2gis::writeSuitePerfJson(std::ostream &OS,
        << verdictName(R.Result.V) << "\", \"solved\": "
        << (isSolved(R) ? "true" : "false")
        << ", \"elapsed_ms\": " << R.Result.Stats.ElapsedMs
-       << ", \"phase_ms\": {\"eval\": " << R.Result.Stats.Phases.getMs(Phase::Eval)
+       << ", \"evidence\": \"" << verdictSourceName(R.Result.Ev.Source)
+       << "\", \"channel\": \"" << R.Result.Ev.Channel
+       << "\", \"phase_ms\": {\"eval\": " << R.Result.Stats.Phases.getMs(Phase::Eval)
        << ", \"smt\": " << R.Result.Stats.Phases.getMs(Phase::Smt)
        << ", \"enum\": " << R.Result.Stats.Phases.getMs(Phase::Enum)
        << ", \"induction\": "

@@ -87,6 +87,9 @@ std::string PerfSnapshot::str() const {
                                get(PerfCounter::SmtSessionFresh))
     OS << " smt_sessions=" << get(PerfCounter::SmtSessionReuse) << "/"
        << Sessions;
+  if (std::uint64_t ChcQ = get(PerfCounter::ChcQueries))
+    OS << " chc=" << ChcQ << " (unsat=" << get(PerfCounter::ChcUnsat)
+       << " wins=" << get(PerfCounter::ChcRaceWins) << ")";
   if (const HistogramSnapshot &H = hist(PerfHistogram::SmtCheckNs); H.Count)
     OS << " smt_p50_ms=" << H.quantileMs(0.5)
        << " smt_p99_ms=" << H.quantileMs(0.99);
@@ -133,7 +136,13 @@ void se2gis::writePerfJson(std::ostream &OS, const PerfSnapshot &D) {
      << ",\"cache_suite_hits\":" << D.get(PerfCounter::CacheSuiteHits)
      << ",\"cache_suite_misses\":" << D.get(PerfCounter::CacheSuiteMisses)
      << ",\"cache_bytes_written\":" << D.get(PerfCounter::CacheBytesWritten)
-     << ",\"cache_bytes_loaded\":" << D.get(PerfCounter::CacheBytesLoaded);
+     << ",\"cache_bytes_loaded\":" << D.get(PerfCounter::CacheBytesLoaded)
+     << ",\"chc_queries\":" << D.get(PerfCounter::ChcQueries)
+     << ",\"chc_unsat\":" << D.get(PerfCounter::ChcUnsat)
+     << ",\"chc_derivable\":" << D.get(PerfCounter::ChcDerivable)
+     << ",\"chc_unknown\":" << D.get(PerfCounter::ChcUnknown)
+     << ",\"chc_clauses\":" << D.get(PerfCounter::ChcClauses)
+     << ",\"chc_race_wins\":" << D.get(PerfCounter::ChcRaceWins);
   writeHistJson(OS, "smt_check", D.hist(PerfHistogram::SmtCheckNs));
   writeHistJson(OS, "smt_translate", D.hist(PerfHistogram::SmtTranslateNs));
   writeHistJson(OS, "enum_round", D.hist(PerfHistogram::EnumRoundNs));

@@ -73,9 +73,9 @@ namespace {
 void usage() {
   std::fprintf(
       stderr,
-      "usage: se2gis [--algo se2gis|segis|segis-uc|portfolio] [--timeout N]\n"
-      "              [--timeout-ms N] [--jobs N] [--seed N]\n"
-      "              [--smt-incremental on|off]\n"
+      "usage: se2gis [--algo se2gis|segis|segis-uc|chc|portfolio]\n"
+      "              [--timeout N] [--timeout-ms N] [--jobs N] [--seed N]\n"
+      "              [--unreal witness|chc|race] [--smt-incremental on|off]\n"
       "              [--cache off|mem|disk] [--cache-dir DIR]\n"
       "              [--log-level error|warn|info|debug] [--trace PATH]\n"
       "              [--print-problem] [--quiet]\n"
@@ -355,6 +355,17 @@ int main(int argc, char **argv) {
     } else if (Arg == "--seed" && I + 1 < argc) {
       long long V = std::atoll(argv[++I]);
       Config.Algo.Seed = V > 0 ? static_cast<unsigned>(V) : 0;
+    } else if (Arg == "--unreal" && I + 1 < argc) {
+      std::string Name = argv[++I];
+      auto Mode = parseUnrealMode(Name);
+      if (!Mode) {
+        std::fprintf(stderr,
+                     "error: --unreal expects witness, chc, or race, got "
+                     "'%s'\n",
+                     Name.c_str());
+        return 64;
+      }
+      Config.Algo.Unreal = *Mode;
     } else if (Arg == "--smt-incremental" && I + 1 < argc) {
       std::string Mode = argv[++I];
       if (Mode == "on")
@@ -470,8 +481,12 @@ int main(int argc, char **argv) {
   if (!Config.TracePath.empty())
     traceFlush();
 
-  std::printf("%s: %s (%.1f ms, steps %s)\n", DisplayName.c_str(),
-              verdictName(R.V), R.Stats.ElapsedMs, R.Stats.Steps.c_str());
+  std::string Via;
+  if (R.Ev.Source != VerdictSource::None)
+    Via = " [via " + R.Ev.str() + "]";
+  std::printf("%s: %s%s (%.1f ms, steps %s)\n", DisplayName.c_str(),
+              verdictName(R.V), Via.c_str(), R.Stats.ElapsedMs,
+              R.Stats.Steps.c_str());
   if (!Quiet) {
     std::printf("telemetry: %s\n", R.Stats.Counters.str().c_str());
     std::printf("phases: eval=%.1f ms smt=%.1f ms enum=%.1f ms "

@@ -42,7 +42,8 @@ void usage() {
       stderr,
       "usage: se2gis_served [--listen unix:<path>|tcp:<host>:<port>]\n"
       "                     [--workers N] [--max-queue N] [--timeout-ms N]\n"
-      "                     [--drain-timeout-ms N] [--smt-incremental on|off]\n"
+      "                     [--drain-timeout-ms N] [--unreal witness|chc|race]\n"
+      "                     [--smt-incremental on|off]\n"
       "                     [--cache off|mem|disk]\n"
       "                     [--cache-dir DIR]\n"
       "                     [--log-level error|warn|info|debug]\n"
@@ -87,6 +88,17 @@ int main(int argc, char **argv) {
       Config.DefaultTimeoutMs = std::atoll(argv[++I]);
     } else if (Arg == "--drain-timeout-ms" && I + 1 < argc) {
       Config.DrainTimeoutMs = std::atoll(argv[++I]);
+    } else if (Arg == "--unreal" && I + 1 < argc) {
+      std::string Name = argv[++I];
+      auto Mode = parseUnrealMode(Name);
+      if (!Mode) {
+        std::fprintf(stderr,
+                     "error: --unreal expects witness, chc, or race, got "
+                     "'%s'\n",
+                     Name.c_str());
+        return 64;
+      }
+      Config.Base.Algo.Unreal = *Mode;
     } else if (Arg == "--smt-incremental" && I + 1 < argc) {
       std::string Mode = argv[++I];
       if (Mode == "on")
