@@ -14,7 +14,10 @@
 # The outcome table is embedded verbatim so a reviewer can diff the two
 # files and confirm the verdicts are identical before comparing quantiles.
 #
-# Usage: scripts/bench_record.sh <label> [build-dir]
+# Usage: scripts/bench_record.sh [--force] <label> [build-dir]
+#   --force    overwrite an existing BENCH_<label>.json (refused otherwise:
+#              committed baselines are provenance records, and silently
+#              replacing one invalidates every comparison made against it)
 #   label      suffix for BENCH_<label>.json (e.g. baseline)
 #   build-dir  default: build
 # Env:
@@ -23,8 +26,13 @@
 #   SE2GIS_SMT_INCREMENTAL   on|off (default on; recorded in the metadata)
 set -euo pipefail
 
+FORCE=0
+if [ "${1:-}" = "--force" ]; then
+  FORCE=1
+  shift
+fi
 if [ $# -lt 1 ]; then
-  echo "usage: scripts/bench_record.sh <label> [build-dir]" >&2
+  echo "usage: scripts/bench_record.sh [--force] <label> [build-dir]" >&2
   exit 64
 fi
 LABEL=$1
@@ -32,6 +40,11 @@ BUILD_DIR=${2:-build}
 DRIVER="$BUILD_DIR/bench/bench_fig4_quantile"
 REPO_ROOT=$(cd "$(dirname "$0")/.." && pwd)
 OUT="$REPO_ROOT/BENCH_${LABEL}.json"
+
+if [ -e "$OUT" ] && [ "$FORCE" -ne 1 ]; then
+  echo "error: $OUT already exists; pass --force to overwrite the recorded baseline" >&2
+  exit 1
+fi
 
 if [ ! -x "$DRIVER" ]; then
   echo "error: $DRIVER not built (cmake -B $BUILD_DIR -S . && cmake --build $BUILD_DIR -j)" >&2

@@ -497,3 +497,82 @@ fi
 echo "[smoke] chc pass: CLI modes agree on unreal/sum; evidence printed;" \
      "bogus mode rejected"
 echo "[smoke] perf summaries: $OUT_DIR/BENCH_smoke_chc_wit.json $OUT_DIR/BENCH_smoke_chc_race.json"
+
+# --- Fuzz pass: generation, differential matrix, shrinking end-to-end -----
+# 1. Shipped code must be clean and byte-for-byte deterministic: two runs
+#    with the same seed produce identical output and exit 0.
+# 2. --inject-bug flips one verdict per case, so the same run must detect
+#    the planted contradictions, shrink each case to a reproducer no larger
+#    than the original, and write a corpus entry — exercising the whole
+#    failure path on healthy code.
+# 3. The written reproducer replays: clean without the planted bug, failing
+#    (exit 1) with it.
+FUZZ="$BUILD_DIR/tools/se2gis_fuzz"
+FUZZ_SEED=${SMOKE_FUZZ_SEED:-7}
+FUZZ_CASES=${SMOKE_FUZZ_CASES:-15}
+FUZZ_CORPUS="$OUT_DIR/smoke-fuzz-corpus"
+rm -rf "$FUZZ_CORPUS"
+
+if [ ! -x "$FUZZ" ]; then
+  echo "[smoke] FAIL: $FUZZ not built" >&2
+  exit 1
+fi
+
+echo "[smoke] fuzz pass: $FUZZ_CASES cases at --gen-seed $FUZZ_SEED, twice..."
+"$FUZZ" --gen-seed "$FUZZ_SEED" --cases "$FUZZ_CASES" \
+  >"$OUT_DIR/smoke_fuzz_1.out" 2>"$OUT_DIR/smoke_fuzz_1.out.log"
+"$FUZZ" --gen-seed "$FUZZ_SEED" --cases "$FUZZ_CASES" \
+  >"$OUT_DIR/smoke_fuzz_2.out" 2>"$OUT_DIR/smoke_fuzz_2.out.log"
+if ! cmp -s "$OUT_DIR/smoke_fuzz_1.out" "$OUT_DIR/smoke_fuzz_2.out"; then
+  diff -u "$OUT_DIR/smoke_fuzz_1.out" "$OUT_DIR/smoke_fuzz_2.out" | head -20 >&2
+  echo "[smoke] FAIL: fuzz output is not deterministic for a fixed seed" >&2
+  exit 1
+fi
+if ! grep -q ' 0 failures' "$OUT_DIR/smoke_fuzz_1.out"; then
+  tail -5 "$OUT_DIR/smoke_fuzz_1.out" >&2
+  echo "[smoke] FAIL: fuzzing found real failures on shipped code (above)" >&2
+  exit 1
+fi
+echo "[smoke] fuzz pass: deterministic, $(tail -1 "$OUT_DIR/smoke_fuzz_1.out" | sed 's/^fuzz summary: //')"
+
+echo "[smoke] fuzz pass: planted-bug run (--inject-bug, shrink + corpus)..."
+set +e
+"$FUZZ" --gen-seed "$FUZZ_SEED" --cases 3 --inject-bug --corpus "$FUZZ_CORPUS" \
+  >"$OUT_DIR/smoke_fuzz_inject.out" 2>"$OUT_DIR/smoke_fuzz_inject.out.log"
+INJECT_RC=$?
+set -e
+if [ "$INJECT_RC" -ne 1 ]; then
+  echo "[smoke] FAIL: --inject-bug run exited $INJECT_RC (want 1: planted" \
+       "bugs must be detected)" >&2
+  exit 1
+fi
+if ! grep -q 'shrunk' "$OUT_DIR/smoke_fuzz_inject.out"; then
+  echo "[smoke] FAIL: --inject-bug run never shrank a failing case" >&2
+  exit 1
+fi
+# Shrinking must never grow a case.
+if awk '/shrunk/ { gsub("->",""); if ($4+0 < $5+0) bad=1 } END { exit bad }' \
+    "$OUT_DIR/smoke_fuzz_inject.out"; then :; else
+  grep 'shrunk' "$OUT_DIR/smoke_fuzz_inject.out" >&2
+  echo "[smoke] FAIL: a shrunk reproducer is larger than the original" >&2
+  exit 1
+fi
+REPRO=$(ls "$FUZZ_CORPUS"/*.se2 2>/dev/null | head -n1)
+if [ -z "$REPRO" ] || [ ! -s "${REPRO%.se2}.json" ]; then
+  echo "[smoke] FAIL: no reproducer (.se2 + .json manifest) in $FUZZ_CORPUS" >&2
+  exit 1
+fi
+set +e
+"$FUZZ" --replay "$REPRO" >/dev/null 2>&1
+CLEAN_RC=$?
+"$FUZZ" --replay "$REPRO" --inject-bug >/dev/null 2>&1
+PLANTED_RC=$?
+set -e
+if [ "$CLEAN_RC" -ne 0 ] || [ "$PLANTED_RC" -ne 1 ]; then
+  echo "[smoke] FAIL: reproducer replay: clean exit $CLEAN_RC (want 0)," \
+       "planted exit $PLANTED_RC (want 1)" >&2
+  exit 1
+fi
+SHRUNK=$(grep -c 'shrunk' "$OUT_DIR/smoke_fuzz_inject.out")
+echo "[smoke] fuzz pass: planted bugs detected, $SHRUNK case(s) shrunk," \
+     "reproducer $(basename "$REPRO") replays clean without the plant"

@@ -7,6 +7,7 @@
 #include "eval/Expand.h"
 #include "eval/SymbolicEval.h"
 #include "support/Diagnostics.h"
+#include "support/PerfCounters.h"
 #include "synth/Enumerator.h"
 
 #include <algorithm>
@@ -110,6 +111,7 @@ ChcSystem ChcEncoder::encode(FixedpointSolver &FP) {
       U.Sig = &Sig;
       if (!Sig.RetTy->isInt() && !Sig.RetTy->isBool()) {
         Sys.Reason = "unknown '" + Sig.Name + "' returns a non-base type";
+        perfAdd(PerfCounter::ChcSkippedNonscalar);
         return Sys;
       }
       U.BoolRet = Sig.RetTy->isBool();
@@ -117,6 +119,7 @@ ChcSystem ChcEncoder::encode(FixedpointSolver &FP) {
         if (!flattenType(AT, U.ArgSlotTys)) {
           Sys.Reason =
               "unknown '" + Sig.Name + "' takes a datatype argument";
+          perfAdd(PerfCounter::ChcSkippedNonscalar);
           return Sys;
         }
       UnknownIndex[Sig.Name] = Unknowns.size();
@@ -141,6 +144,8 @@ ChcSystem ChcEncoder::encode(FixedpointSolver &FP) {
     std::vector<RawEqn> Eqns;
     for (unsigned I = 0; I < Opts.MaxTerms; ++I) {
       TermPtr Shape = Stream.next();
+      if (!Shape)
+        break; // finite datatype: every input already has an equation
       EquationParts Parts;
       TermPtr Guard;
       try {
@@ -149,16 +154,21 @@ ChcSystem ChcEncoder::encode(FixedpointSolver &FP) {
                     ? mkTrue()
                     : SE.eval(mkCall(P.Invariant, Type::boolTy(), {Shape}));
       } catch (const UserError &) {
+        perfAdd(PerfCounter::ChcSkippedEquations);
         continue; // evaluation fuel exhausted for this shape
       }
-      if (!Parts.Canonical || !Parts.Alpha.empty())
+      if (!Parts.Canonical || !Parts.Alpha.empty()) {
+        perfAdd(PerfCounter::ChcSkippedEquations);
         continue;
+      }
       if (Guard->getKind() == TermKind::BoolLit && !Guard->getBoolValue())
-        continue; // impossible shape
+        continue; // impossible shape (not a coverage gap: no real input)
       if (!isScalarFragment(Guard, /*AllowUnknowns=*/false) ||
           !isScalarFragment(Parts.Rhs, /*AllowUnknowns=*/false) ||
-          !isScalarFragment(Parts.Lhs, /*AllowUnknowns=*/true))
+          !isScalarFragment(Parts.Lhs, /*AllowUnknowns=*/true)) {
+        perfAdd(PerfCounter::ChcSkippedEquations);
         continue;
+      }
       Eqns.push_back(RawEqn{Guard, Parts.Lhs, Parts.Rhs});
       ++Sys.NumTerms;
     }
@@ -376,8 +386,10 @@ ChcSystem ChcEncoder::encode(FixedpointSolver &FP) {
              ++N, ++S)
           Slots.push_back(Slot{VI, VarSlotTys[VI][N]->isBool()});
       }
-      if (!Ok)
+      if (!Ok) {
+        perfAdd(PerfCounter::ChcSkippedEquations);
         continue; // datatype-typed free variable: skip the equation
+      }
 
       // Mixed-radix enumeration of slot assignments, capped.
       std::vector<size_t> Digits(Slots.size(), 0);

@@ -380,6 +380,8 @@ Outcome se2gis::runSEGIS(const Problem &P, const AlgoOptions &Opts,
   std::vector<BoundedEqn> Terms;
 
   auto AddShape = [&](TermPtr Shape) -> bool {
+    if (!Shape)
+      return false; // finite datatype fully enumerated
     EquationParts Parts;
     TermPtr Guard;
     try {
@@ -476,8 +478,17 @@ Outcome se2gis::runSEGIS(const Problem &P, const AlgoOptions &Opts,
       }
       // Plain SEGIS has no unrealizability outcome: keep unrolling until
       // the budget runs out (the paper's SEGIS solves no unrealizable
-      // benchmark).
-      AddShape(Stream.next());
+      // benchmark). The one exception is a finite datatype whose inputs
+      // are all already in the system — infeasibility over every input is
+      // a sound unrealizability proof with no witness machinery needed.
+      TermPtr S = Stream.next();
+      if (!S) {
+        Result.V = Verdict::Unrealizable;
+        Result.Detail = "equation system over every input of the finite "
+                        "datatype is infeasible";
+        break;
+      }
+      AddShape(std::move(S));
       ++Result.Stats.Refinements;
       continue;
     }

@@ -26,6 +26,11 @@ SolverConfig SolverConfig::fromEnv(std::int64_t DefaultTimeoutMs) {
     if (V > 0)
       C.Algo.Seed = static_cast<unsigned>(V);
   }
+  if (const char *S = std::getenv("SE2GIS_GEN_SEED")) {
+    long long V = std::atoll(S);
+    if (V > 0)
+      C.GenSeed = static_cast<std::uint64_t>(V);
+  }
   if (const char *I = std::getenv("SE2GIS_SMT_INCREMENTAL")) {
     std::string V = I;
     if (V == "on")

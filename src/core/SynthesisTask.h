@@ -50,12 +50,18 @@ struct SolverConfig {
   /// When non-empty, tracing is on and a Chrome trace_event JSON file is
   /// flushed here at the end of the run / sweep (load it in Perfetto).
   std::string TracePath;
+  /// Benchmark-generator stream seed (src/gen/): the fuzz driver and any
+  /// generator-backed sweep derive every sampled case from this value, so
+  /// a run is reproducible from the config alone. Unlike Algo.Seed (the
+  /// Z3 seed) 0 is a valid stream.
+  std::uint64_t GenSeed = 0;
 
   /// Builds a config from the environment (the only SE2GIS_* reader):
   ///  - SE2GIS_TIMEOUT_MS — overall budget in milliseconds, or
   ///    SE2GIS_TIMEOUT — the same in seconds (TIMEOUT_MS wins when both
   ///    are set). Values <= 0 leave the default \p DefaultTimeoutMs.
   ///  - SE2GIS_SEED — Z3 random seed (0 = Z3's default).
+  ///  - SE2GIS_GEN_SEED — benchmark-generator stream seed (see GenSeed).
   ///  - SE2GIS_SMT_INCREMENTAL — "on" (default) or "off"; off restores
   ///    fresh-context-per-query SMT solving (throws UserError on anything
   ///    else). See DESIGN.md "Incremental SMT model".

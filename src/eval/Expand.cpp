@@ -85,7 +85,7 @@ void BoundedTermStream::push(TermPtr T) {
 TermPtr BoundedTermStream::next() {
   while (true) {
     if (Queue.empty())
-      fatalError("bounded term stream exhausted");
+      return nullptr; // finite datatype fully enumerated
     Pending P = std::move(Queue.front());
     Queue.pop_front();
     VarPtr V = firstDataVar(P.T);

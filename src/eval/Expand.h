@@ -43,7 +43,10 @@ class BoundedTermStream {
 public:
   explicit BoundedTermStream(const Datatype *D);
 
-  /// \returns the next bounded term; never exhausts for recursive datatypes.
+  /// \returns the next bounded term, or null once the datatype's value
+  /// space is exhausted. Recursive datatypes never exhaust, but a datatype
+  /// whose constructors are all non-recursive has finitely many shapes
+  /// (one per constructor), and callers must stop requesting more.
   TermPtr next();
 
 private:

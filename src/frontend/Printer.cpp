@@ -1,0 +1,293 @@
+//===- Printer.cpp - Surface-syntax pretty-printer ------------------------===//
+
+#include "frontend/Printer.h"
+
+#include <cassert>
+#include <sstream>
+
+using namespace se2gis;
+
+namespace {
+
+// Precedence levels mirror the parser's descent chain. An expression is
+// parenthesized whenever its own level is below the minimum its context
+// re-parses at.
+//
+//   0  expr        if / let-in / anything
+//   1  or          ||              (left-assoc)
+//   2  and         &&              (left-assoc)
+//   3  cmp         = <> < <= > >=  (non-assoc; operands re-parse at add)
+//   4  add         + -             (left-assoc)
+//   5  mul         * / mod         (left-assoc)
+//   6  unary       - e, not e
+//   7  app         f a b, C a, $u a  (args re-parse at atom)
+//   8  atom        literal, id, (e), (e1, e2)
+enum : int {
+  LvlExpr = 0,
+  LvlOr = 1,
+  LvlAnd = 2,
+  LvlCmp = 3,
+  LvlAdd = 4,
+  LvlMul = 5,
+  LvlUnary = 6,
+  LvlApp = 7,
+  LvlAtom = 8
+};
+
+int binaryLevel(const std::string &Op) {
+  if (Op == "||")
+    return LvlOr;
+  if (Op == "&&")
+    return LvlAnd;
+  if (Op == "=" || Op == "<>" || Op == "<" || Op == "<=" || Op == ">" ||
+      Op == ">=")
+    return LvlCmp;
+  if (Op == "+" || Op == "-")
+    return LvlAdd;
+  assert(Op == "*" || Op == "/" || Op == "mod");
+  return LvlMul;
+}
+
+int exprLevel(const SynExpr &E) {
+  switch (E.K) {
+  case SynExpr::Kind::If:
+  case SynExpr::Kind::LetIn:
+    return LvlExpr;
+  case SynExpr::Kind::Binary:
+    return binaryLevel(E.Name);
+  case SynExpr::Kind::Unary:
+    return LvlUnary;
+  case SynExpr::Kind::App:
+  case SynExpr::Kind::Unknown:
+    // Even a zero-argument constructor or unknown is kept at app level:
+    // in atom position it would greedily absorb the atoms that follow it
+    // (`f B x` parses as `f (B x)`), so the parens are load-bearing.
+    return LvlApp;
+  case SynExpr::Kind::IntLit:
+    // A negative literal prints as a unary minus application.
+    return E.IntValue < 0 ? LvlUnary : LvlAtom;
+  case SynExpr::Kind::BoolLit:
+  case SynExpr::Kind::Id:
+  case SynExpr::Kind::Tuple:
+    return LvlAtom;
+  }
+  return LvlAtom;
+}
+
+void print(std::ostream &OS, const SynExpr &E, int Min);
+
+void printParenList(std::ostream &OS, const std::vector<SynExprPtr> &Args) {
+  OS << '(';
+  for (size_t I = 0; I < Args.size(); ++I) {
+    if (I)
+      OS << ", ";
+    print(OS, *Args[I], LvlExpr);
+  }
+  OS << ')';
+}
+
+void print(std::ostream &OS, const SynExpr &E, int Min) {
+  if (exprLevel(E) < Min) {
+    OS << '(';
+    print(OS, E, LvlExpr);
+    OS << ')';
+    return;
+  }
+  switch (E.K) {
+  case SynExpr::Kind::IntLit:
+    OS << E.IntValue;
+    return;
+  case SynExpr::Kind::BoolLit:
+    OS << (E.BoolValue ? "true" : "false");
+    return;
+  case SynExpr::Kind::Id:
+    OS << E.Name;
+    return;
+  case SynExpr::Kind::App:
+    OS << E.Name;
+    if (E.BoolValue) {
+      // Constructor application: one atom argument; a parenthesized tuple
+      // supplies multiple fields OCaml-style. A single tuple-valued field
+      // is not expressible in the surface syntax (the parser would splat
+      // it), and the parser never produces that shape either.
+      if (E.Args.size() == 1) {
+        assert(E.Args[0]->K != SynExpr::Kind::Tuple &&
+               "single tuple field is not printable");
+        OS << ' ';
+        print(OS, *E.Args[0], LvlAtom);
+      } else if (E.Args.size() > 1) {
+        OS << ' ';
+        printParenList(OS, E.Args);
+      }
+      return;
+    }
+    for (const SynExprPtr &A : E.Args) {
+      OS << ' ';
+      print(OS, *A, LvlAtom);
+    }
+    return;
+  case SynExpr::Kind::Unknown:
+    OS << '$' << E.Name;
+    for (const SynExprPtr &A : E.Args) {
+      OS << ' ';
+      print(OS, *A, LvlAtom);
+    }
+    return;
+  case SynExpr::Kind::Binary: {
+    int Lvl = binaryLevel(E.Name);
+    // Left-assoc chains re-parse the left operand at the same level; the
+    // comparison tier is non-associative, so both operands drop to add.
+    print(OS, *E.Args[0], Lvl == LvlCmp ? LvlAdd : Lvl);
+    OS << ' ' << E.Name << ' ';
+    print(OS, *E.Args[1], Lvl == LvlCmp ? LvlAdd : Lvl + 1);
+    return;
+  }
+  case SynExpr::Kind::Unary:
+    if (E.Name == "not") {
+      OS << "not ";
+    } else {
+      // No space: a negative IntLit prints `-1` directly, and it lexes
+      // back as unary minus on a literal — printing the Unary node the
+      // same way makes the round-trip a strict fixpoint either way.
+      OS << '-';
+    }
+    print(OS, *E.Args[0], LvlUnary);
+    return;
+  case SynExpr::Kind::If:
+    OS << "if ";
+    print(OS, *E.Args[0], LvlExpr);
+    OS << " then ";
+    print(OS, *E.Args[1], LvlExpr);
+    OS << " else ";
+    print(OS, *E.Args[2], LvlExpr);
+    return;
+  case SynExpr::Kind::LetIn:
+    OS << "let ";
+    if (E.LetVars.size() > 1) {
+      OS << '(';
+      for (size_t I = 0; I < E.LetVars.size(); ++I)
+        OS << (I ? ", " : "") << E.LetVars[I];
+      OS << ')';
+    } else {
+      OS << E.LetVars[0];
+    }
+    OS << " = ";
+    print(OS, *E.Args[0], LvlExpr);
+    OS << " in ";
+    print(OS, *E.Args[1], LvlExpr);
+    return;
+  case SynExpr::Kind::Tuple:
+    printParenList(OS, E.Args);
+    return;
+  }
+}
+
+void printTypeInner(std::ostream &OS, const SynType &T, bool AtomPos) {
+  switch (T.K) {
+  case SynType::Kind::Int:
+    OS << "int";
+    return;
+  case SynType::Kind::Bool:
+    OS << "bool";
+    return;
+  case SynType::Kind::Named:
+    OS << T.Name;
+    return;
+  case SynType::Kind::Tuple:
+    if (AtomPos)
+      OS << '(';
+    for (size_t I = 0; I < T.Elems.size(); ++I) {
+      if (I)
+        OS << " * ";
+      printTypeInner(OS, T.Elems[I], /*AtomPos=*/true);
+    }
+    if (AtomPos)
+      OS << ')';
+    return;
+  }
+}
+
+void printBinding(std::ostream &OS, const SynBinding &B) {
+  OS << B.Name;
+  for (const auto &[PName, PTy] : B.Params) {
+    OS << " (" << PName << " : ";
+    printTypeInner(OS, PTy, /*AtomPos=*/false);
+    OS << ')';
+  }
+  if (B.RetAnnot) {
+    OS << " : ";
+    printTypeInner(OS, *B.RetAnnot, /*AtomPos=*/false);
+  }
+  OS << " =";
+  if (B.IsScheme) {
+    OS << " function";
+    for (const SynRule &R : B.Rules) {
+      OS << "\n  | " << R.CtorName;
+      if (R.FieldNames.size() == 1) {
+        OS << ' ' << R.FieldNames[0];
+      } else if (R.FieldNames.size() > 1) {
+        OS << " (";
+        for (size_t I = 0; I < R.FieldNames.size(); ++I)
+          OS << (I ? ", " : "") << R.FieldNames[I];
+        OS << ')';
+      }
+      OS << " -> ";
+      print(OS, *R.Body, LvlExpr);
+    }
+  } else {
+    OS << ' ';
+    print(OS, *B.Body, LvlExpr);
+  }
+}
+
+} // namespace
+
+std::string se2gis::printExpr(const SynExpr &E) {
+  std::ostringstream OS;
+  print(OS, E, LvlExpr);
+  return OS.str();
+}
+
+std::string se2gis::printType(const SynType &T) {
+  std::ostringstream OS;
+  printTypeInner(OS, T, /*AtomPos=*/false);
+  return OS.str();
+}
+
+std::string se2gis::printUnit(const SynUnit &U) {
+  std::ostringstream OS;
+  for (const SynTypeDecl &D : U.Types) {
+    OS << "type " << D.Name << " =";
+    for (size_t I = 0; I < D.Ctors.size(); ++I) {
+      const SynCtor &C = D.Ctors[I];
+      OS << (I ? " | " : " ") << C.Name;
+      for (size_t F = 0; F < C.Fields.size(); ++F) {
+        OS << (F ? " * " : " of ");
+        printTypeInner(OS, C.Fields[F], /*AtomPos=*/true);
+      }
+    }
+    OS << "\n";
+  }
+  if (!U.Types.empty())
+    OS << "\n";
+  for (const SynLetGroup &G : U.LetGroups) {
+    OS << "let " << (G.Recursive ? "rec " : "");
+    for (size_t I = 0; I < G.Bindings.size(); ++I) {
+      if (I)
+        OS << "\nand ";
+      printBinding(OS, G.Bindings[I]);
+    }
+    OS << "\n\n";
+  }
+  for (const SynDirective &D : U.Directives) {
+    OS << "synthesize " << D.Target << " equiv " << D.Reference;
+    if (!D.Repr.empty())
+      OS << " via " << D.Repr;
+    if (!D.Invariant.empty())
+      OS << " requires " << D.Invariant;
+    if (!D.Ensures.empty())
+      OS << " ensures " << D.Ensures;
+    OS << "\n";
+  }
+  return OS.str();
+}

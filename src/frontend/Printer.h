@@ -1,0 +1,37 @@
+//===- Printer.h - Surface-syntax pretty-printer ----------------*- C++-*-===//
+///
+/// \file
+/// Prints untyped surface trees (Syntax.h) back to the benchmark DSL's
+/// concrete syntax, with minimal parentheses mirroring the parser's
+/// precedence chain. The printer is the bridge the generator (src/gen/)
+/// uses to force every sampled problem through the real
+/// Lexer/Parser/Elaborate pipeline, and the anchor of the parse → print →
+/// parse round-trip property: for every unit \c U,
+/// \c printUnit(parseUnit(printUnit(U))) == printUnit(U).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SE2GIS_FRONTEND_PRINTER_H
+#define SE2GIS_FRONTEND_PRINTER_H
+
+#include "frontend/Syntax.h"
+
+#include <string>
+
+namespace se2gis {
+
+/// Prints a full unit (type decls, let groups, directives) as parseable
+/// DSL source. Declaration order inside each section is preserved; types
+/// print before let groups before directives, which is the order the
+/// elaborator consumes them in.
+std::string printUnit(const SynUnit &U);
+
+/// Prints one expression with minimal parentheses (top-level context).
+std::string printExpr(const SynExpr &E);
+
+/// Prints a surface type annotation (`int`, `bool`, `nat`, `int * bool`).
+std::string printType(const SynType &T);
+
+} // namespace se2gis
+
+#endif // SE2GIS_FRONTEND_PRINTER_H

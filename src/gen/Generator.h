@@ -1,0 +1,114 @@
+//===- Generator.h - Typed benchmark generator ------------------*- C++-*-===//
+///
+/// \file
+/// Samples typed synthesis problems: a random ADT with a recursion scheme,
+/// a grammar-sampled reference function over it, and a target skeleton
+/// whose per-rule unknowns receive a random subset of the available data
+/// (dropping a recursive result or a field is how unrealizable cases arise
+/// naturally). A case is a structured \c GenCase value; it is lowered to
+/// the surface AST (Syntax.h), printed (frontend/Printer.h), and loaded
+/// back through the *real* Lexer/Parser/Elaborate pipeline — there is no
+/// privileged in-memory path, so every generated problem also exercises
+/// the frontend.
+///
+/// Sampling is rejection-based: a case the frontend rejects (UserError at
+/// any stage) is discarded (`gen_rejected`) and resampled from the next
+/// attempt stream. Each (gen seed, case index, attempt) triple derives an
+/// independent RNG stream, so accepted case N is a pure function of the
+/// seed and N — never of solver timing or earlier rejections.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SE2GIS_GEN_GENERATOR_H
+#define SE2GIS_GEN_GENERATOR_H
+
+#include "frontend/Syntax.h"
+#include "lang/Program.h"
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace se2gis {
+
+/// One constructor of the generated ADT: \c IntFields int fields followed
+/// by \c RecFields recursive (same-type) fields. RecFields == 0 is a base
+/// constructor.
+struct GenCtor {
+  std::string Name;
+  unsigned IntFields = 0;
+  unsigned RecFields = 0;
+};
+
+/// A value-semantic expression tree for generated rule bodies. Typing is
+/// by construction: the sampler only builds well-typed shapes, and the
+/// shrinker only replaces nodes with same-typed subtrees.
+struct GenExpr {
+  enum class Kind : unsigned char {
+    Const,      ///< integer literal (IntVal)
+    BoolConst,  ///< boolean literal (BoolVal)
+    Field,      ///< the Index-th int field of the rule's constructor
+    RecCall,    ///< recursive call on the Index-th recursive field
+    ExtraParam, ///< the extra int parameter `x`
+    Bin,        ///< Op in {+, -, min, max, =, <, <=, &&, ||}
+    Not,        ///< boolean negation
+    Ite         ///< if Kids[0] then Kids[1] else Kids[2]
+  };
+  Kind K = Kind::Const;
+  long long IntVal = 0;
+  bool BoolVal = false;
+  unsigned Index = 0;
+  std::string Op;
+  std::vector<GenExpr> Kids;
+};
+
+/// One argument handed to a target rule's unknown.
+struct GenArg {
+  enum class Kind : unsigned char { Field, RecCall, ExtraParam };
+  Kind K = Kind::Field;
+  unsigned Index = 0;
+};
+
+/// A structured generated problem; lowered/printed on demand.
+struct GenCase {
+  uint64_t GenSeed = 0;
+  unsigned CaseIndex = 0;
+  unsigned Attempt = 0;
+
+  std::vector<GenCtor> Ctors; ///< Ctors[0] is always a base constructor
+  bool RetBool = false;       ///< reference/target return bool (else int)
+  bool HasExtraParam = false; ///< both take an extra `(x : int)`
+  bool WithInvariant = false; ///< `requires inv` (fields constrained >= 0)
+  bool WithExplicitRepr = false; ///< explicit deep-copy `via rep`
+
+  std::vector<GenExpr> RefBodies;            ///< per-ctor reference bodies
+  std::vector<std::vector<GenArg>> TargetArgs; ///< per-ctor unknown args
+};
+
+/// Samples a raw (possibly frontend-rejected) case from the stream
+/// (GenSeed, CaseIndex, Attempt).
+GenCase sampleCase(uint64_t GenSeed, unsigned CaseIndex, unsigned Attempt);
+
+/// Lowers a case to the untyped surface AST.
+SynUnit lowerCase(const GenCase &C);
+
+/// The case's DSL source text: printUnit(lowerCase(C)).
+std::string caseSource(const GenCase &C);
+
+/// True iff the case's source loads through parse/elaborate/validate.
+bool caseLoads(const GenCase &C);
+
+/// Loads the case through the real frontend (throws UserError on reject).
+Problem loadCase(const GenCase &C);
+
+/// Rejection-sampling wrapper: tries attempts 0..MaxAttempts-1 of the
+/// case stream and returns the first case the frontend accepts, counting
+/// `gen_cases` / `gen_rejected`. nullopt if every attempt was rejected
+/// (practically unreachable at the default attempt budget).
+std::optional<GenCase> generateCase(uint64_t GenSeed, unsigned CaseIndex,
+                                    unsigned MaxAttempts = 50);
+
+} // namespace se2gis
+
+#endif // SE2GIS_GEN_GENERATOR_H

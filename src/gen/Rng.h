@@ -1,0 +1,57 @@
+//===- Rng.h - Deterministic generator RNG ----------------------*- C++-*-===//
+///
+/// \file
+/// A SplitMix64 stream used by the benchmark generator. Determinism is the
+/// whole point: the fuzz driver must be byte-for-byte reproducible from
+/// `--gen-seed`, so the generator never touches std::random_device or any
+/// global RNG, and each case gets its own stream derived from
+/// (gen seed, case index, attempt) — case N's shape can never depend on
+/// how long case N-1 took to solve or how many attempts it rejected.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SE2GIS_GEN_RNG_H
+#define SE2GIS_GEN_RNG_H
+
+#include <cstdint>
+
+namespace se2gis {
+
+/// SplitMix64 (Steele et al.), the canonical tiny seedable generator.
+class GenRng {
+public:
+  explicit GenRng(uint64_t Seed) : State(Seed) {}
+
+  uint64_t next() {
+    uint64_t Z = (State += 0x9e3779b97f4a7c15ULL);
+    Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebULL;
+    return Z ^ (Z >> 31);
+  }
+
+  /// Uniform-ish in [0, N). Modulo bias is irrelevant at fuzzing N's.
+  uint64_t below(uint64_t N) { return N ? next() % N : 0; }
+
+  /// Uniform-ish in [Lo, Hi] inclusive.
+  long long intIn(long long Lo, long long Hi) {
+    return Lo + static_cast<long long>(below(static_cast<uint64_t>(Hi - Lo + 1)));
+  }
+
+  /// True with probability Pct/100.
+  bool chance(unsigned Pct) { return below(100) < Pct; }
+
+private:
+  uint64_t State;
+};
+
+/// Mixes stream coordinates into an independent per-case seed.
+inline uint64_t mixSeed(uint64_t Seed, uint64_t A, uint64_t B = 0) {
+  GenRng R(Seed ^ (A * 0x9e3779b97f4a7c15ULL) ^
+           (B * 0xd1b54a32d192ed03ULL));
+  R.next();
+  return R.next();
+}
+
+} // namespace se2gis
+
+#endif // SE2GIS_GEN_RNG_H

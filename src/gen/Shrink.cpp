@@ -1,0 +1,259 @@
+//===- Shrink.cpp - Greedy failing-case minimization ----------------------===//
+
+#include "gen/Shrink.h"
+
+#include "support/PerfCounters.h"
+
+#include <cassert>
+
+using namespace se2gis;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Typed expression surgery
+//===----------------------------------------------------------------------===//
+
+/// The (by-construction) type of a generated expression node.
+bool isBoolExpr(const GenExpr &E, bool RetBool) {
+  switch (E.K) {
+  case GenExpr::Kind::Const:
+  case GenExpr::Kind::Field:
+  case GenExpr::Kind::ExtraParam:
+    return false;
+  case GenExpr::Kind::BoolConst:
+  case GenExpr::Kind::Not:
+    return true;
+  case GenExpr::Kind::RecCall:
+    return RetBool;
+  case GenExpr::Kind::Bin:
+    return E.Op == "=" || E.Op == "<" || E.Op == "<=" || E.Op == ">=" ||
+           E.Op == "&&" || E.Op == "||";
+  case GenExpr::Kind::Ite:
+    return isBoolExpr(E.Kids[1], RetBool);
+  }
+  return false;
+}
+
+bool isTrivial(const GenExpr &E) {
+  return (E.K == GenExpr::Kind::Const && E.IntVal == 0) ||
+         (E.K == GenExpr::Kind::BoolConst && !E.BoolVal);
+}
+
+GenExpr trivialOf(bool Bool) {
+  GenExpr E;
+  if (Bool) {
+    E.K = GenExpr::Kind::BoolConst;
+    E.BoolVal = false;
+  } else {
+    E.K = GenExpr::Kind::Const;
+    E.IntVal = 0;
+  }
+  return E;
+}
+
+size_t countNodes(const GenExpr &E) {
+  size_t N = 1;
+  for (const GenExpr &K : E.Kids)
+    N += countNodes(K);
+  return N;
+}
+
+/// DFS node access by preorder index.
+GenExpr *nodeAt(GenExpr &E, size_t &Index) {
+  if (Index == 0)
+    return &E;
+  --Index;
+  for (GenExpr &K : E.Kids)
+    if (GenExpr *R = nodeAt(K, Index))
+      return R;
+  return nullptr;
+}
+
+/// Single-node rewrites of one body, appended to \p Out as whole-body
+/// replacements: a node collapses to a same-typed kid, or to the trivial
+/// constant of its type.
+void bodyShrinks(const GenExpr &Body, bool RetBool,
+                 std::vector<GenExpr> &Out) {
+  size_t N = countNodes(Body);
+  for (size_t I = 0; I < N; ++I) {
+    GenExpr Copy = Body;
+    size_t Idx = I;
+    GenExpr *Node = nodeAt(Copy, Idx);
+    assert(Node);
+    bool NodeBool = isBoolExpr(*Node, RetBool);
+    // Collapse to a same-typed kid.
+    for (const GenExpr &K : Node->Kids) {
+      if (isBoolExpr(K, RetBool) != NodeBool)
+        continue;
+      GenExpr C2 = Copy;
+      size_t Idx2 = I;
+      GenExpr *Node2 = nodeAt(C2, Idx2);
+      *Node2 = K;
+      Out.push_back(std::move(C2));
+    }
+    // Collapse to the trivial constant.
+    if (!isTrivial(*Node)) {
+      *Node = trivialOf(NodeBool);
+      Out.push_back(std::move(Copy));
+    } else if (Node->K == GenExpr::Kind::Const && Node->IntVal != 0) {
+      Node->IntVal = Node->IntVal / 2; // toward zero
+      Out.push_back(std::move(Copy));
+    }
+  }
+}
+
+/// Rewrites Field/RecCall indices in \p E after a field drop: uses of the
+/// dropped index become the trivial constant, higher indices shift down.
+void remapIndex(GenExpr &E, GenExpr::Kind Kind, unsigned Dropped,
+                bool RetBool) {
+  if (E.K == Kind) {
+    if (E.Index == Dropped) {
+      bool Bool = Kind == GenExpr::Kind::RecCall && RetBool;
+      E = trivialOf(Bool);
+      return;
+    }
+    if (E.Index > Dropped)
+      --E.Index;
+  }
+  for (GenExpr &K : E.Kids)
+    remapIndex(K, Kind, Dropped, RetBool);
+}
+
+/// Drops/remaps unknown arguments after a field drop on ctor \p CtorIdx.
+void remapArgs(std::vector<GenArg> &Args, GenArg::Kind Kind,
+               unsigned Dropped) {
+  std::vector<GenArg> Kept;
+  for (GenArg A : Args) {
+    if (A.K == Kind) {
+      if (A.Index == Dropped)
+        continue;
+      if (A.Index > Dropped)
+        --A.Index;
+    }
+    Kept.push_back(A);
+  }
+  Args = std::move(Kept);
+}
+
+/// Replaces every ExtraParam use with 0 (body side of dropping `x`).
+void stripExtraParam(GenExpr &E) {
+  if (E.K == GenExpr::Kind::ExtraParam) {
+    E = trivialOf(false);
+    return;
+  }
+  for (GenExpr &K : E.Kids)
+    stripExtraParam(K);
+}
+
+} // namespace
+
+std::vector<GenCase> se2gis::shrinkCandidates(const GenCase &C) {
+  std::vector<GenCase> Out;
+
+  // --- 1. Drop a whole (recursive) constructor. Ctors[0] is the base
+  // case and must stay.
+  for (size_t I = 1; I < C.Ctors.size(); ++I) {
+    GenCase N = C;
+    N.Ctors.erase(N.Ctors.begin() + I);
+    N.RefBodies.erase(N.RefBodies.begin() + I);
+    N.TargetArgs.erase(N.TargetArgs.begin() + I);
+    Out.push_back(std::move(N));
+  }
+
+  // --- 2. Drop problem-level features.
+  if (C.WithInvariant) {
+    GenCase N = C;
+    N.WithInvariant = false;
+    Out.push_back(std::move(N));
+  }
+  if (C.WithExplicitRepr) {
+    GenCase N = C;
+    N.WithExplicitRepr = false;
+    Out.push_back(std::move(N));
+  }
+  if (C.HasExtraParam) {
+    GenCase N = C;
+    N.HasExtraParam = false;
+    for (GenExpr &B : N.RefBodies)
+      stripExtraParam(B);
+    for (auto &Args : N.TargetArgs) {
+      std::vector<GenArg> Kept;
+      for (GenArg A : Args)
+        if (A.K != GenArg::Kind::ExtraParam)
+          Kept.push_back(A);
+      Args = std::move(Kept);
+    }
+    Out.push_back(std::move(N));
+  }
+
+  // --- 3. Drop one field (recursive or int) of one constructor.
+  for (size_t CI = 0; CI < C.Ctors.size(); ++CI) {
+    for (unsigned J = 0; J < C.Ctors[CI].RecFields; ++J) {
+      GenCase N = C;
+      --N.Ctors[CI].RecFields;
+      remapIndex(N.RefBodies[CI], GenExpr::Kind::RecCall, J, C.RetBool);
+      remapArgs(N.TargetArgs[CI], GenArg::Kind::RecCall, J);
+      Out.push_back(std::move(N));
+    }
+    for (unsigned I = 0; I < C.Ctors[CI].IntFields; ++I) {
+      GenCase N = C;
+      --N.Ctors[CI].IntFields;
+      remapIndex(N.RefBodies[CI], GenExpr::Kind::Field, I, C.RetBool);
+      remapArgs(N.TargetArgs[CI], GenArg::Kind::Field, I);
+      Out.push_back(std::move(N));
+    }
+  }
+
+  // --- 4. Drop one unknown argument.
+  for (size_t CI = 0; CI < C.TargetArgs.size(); ++CI)
+    for (size_t AI = 0; AI < C.TargetArgs[CI].size(); ++AI) {
+      GenCase N = C;
+      N.TargetArgs[CI].erase(N.TargetArgs[CI].begin() + AI);
+      Out.push_back(std::move(N));
+    }
+
+  // --- 5. Shrink one reference body (grammar productions, then
+  // constants).
+  for (size_t CI = 0; CI < C.RefBodies.size(); ++CI) {
+    std::vector<GenExpr> Bodies;
+    bodyShrinks(C.RefBodies[CI], C.RetBool, Bodies);
+    for (GenExpr &B : Bodies) {
+      GenCase N = C;
+      N.RefBodies[CI] = std::move(B);
+      Out.push_back(std::move(N));
+    }
+  }
+
+  return Out;
+}
+
+GenCase se2gis::shrinkCase(
+    const GenCase &C, const std::function<bool(const GenCase &)> &StillFails,
+    unsigned MaxEvals, ShrinkStats *Stats) {
+  GenCase Cur = C;
+  ShrinkStats Local;
+  ShrinkStats &S = Stats ? *Stats : Local;
+  unsigned Evals = 0;
+  bool Progress = true;
+  while (Progress && Evals < MaxEvals) {
+    Progress = false;
+    for (GenCase &Cand : shrinkCandidates(Cur)) {
+      if (Evals >= MaxEvals)
+        break;
+      if (!caseLoads(Cand))
+        continue; // frontend-invalid shrinks don't count against budget
+      ++Evals;
+      ++S.Attempts;
+      perfAdd(PerfCounter::GenShrinkAttempts);
+      if (StillFails(Cand)) {
+        ++S.Accepted;
+        perfAdd(PerfCounter::GenShrinkAccepted);
+        Cur = std::move(Cand);
+        Progress = true;
+        break; // restart from the new, smaller case
+      }
+    }
+  }
+  return Cur;
+}

@@ -1,0 +1,45 @@
+//===- Shrink.h - Greedy failing-case minimization --------------*- C++-*-===//
+///
+/// \file
+/// Greedy structural shrinking of a failing generated case: repeatedly
+/// tries the most aggressive simplifications first — dropping whole
+/// constructors, then problem-level features (invariant, explicit repr,
+/// extra parameter), then fields, unknown arguments, and grammar
+/// productions inside rule bodies, down to constant shrinking — and keeps
+/// any candidate that still (a) loads through the frontend and (b)
+/// reproduces the failure per the caller's predicate. Iterates to a
+/// fixpoint under an evaluation budget, so a reproducer in the corpus is
+/// locally minimal: removing any single piece makes the bug disappear.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SE2GIS_GEN_SHRINK_H
+#define SE2GIS_GEN_SHRINK_H
+
+#include "gen/Generator.h"
+
+#include <functional>
+#include <vector>
+
+namespace se2gis {
+
+/// All single-step shrink candidates of \p C, most aggressive first.
+/// Candidates are structurally smaller but not yet validated against the
+/// frontend — \c shrinkCase filters through \c caseLoads.
+std::vector<GenCase> shrinkCandidates(const GenCase &C);
+
+struct ShrinkStats {
+  unsigned Attempts = 0; ///< candidates evaluated (= gen_shrink_attempts)
+  unsigned Accepted = 0; ///< candidates kept (= gen_shrink_accepted)
+};
+
+/// Greedily shrinks \p C while \p StillFails holds, spending at most
+/// \p MaxEvals predicate evaluations. The returned case always satisfies
+/// StillFails (it is \p C itself if nothing smaller reproduces).
+GenCase shrinkCase(const GenCase &C,
+                   const std::function<bool(const GenCase &)> &StillFails,
+                   unsigned MaxEvals = 200, ShrinkStats *Stats = nullptr);
+
+} // namespace se2gis
+
+#endif // SE2GIS_GEN_SHRINK_H

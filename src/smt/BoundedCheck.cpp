@@ -73,8 +73,22 @@ se2gis::boundedSat(const Program &Prog, const TermPtr &Formula,
   std::vector<VarPtr> DataVars = dataVarsOf(Formula);
 
   if (DataVars.empty()) {
+    // No datatype variables does not mean scalar: the formula may still
+    // apply recursive functions to ground constructor terms (e.g. the
+    // invariant on a fully bounded shape, Iθ(C0)), which must be
+    // evaluated away before the SMT translator sees them.
+    SymbolicEvaluator SE0(Prog);
+    SE0.bindUnknowns(Opts.Bindings);
+    TermPtr Scalar;
+    try {
+      Scalar = SE0.eval(Formula);
+    } catch (const UserError &) {
+      return std::nullopt; // evaluation budget: treat as "none found"
+    }
+    if (Scalar->getKind() == TermKind::BoolLit && !Scalar->getBoolValue())
+      return std::nullopt;
     SmtModel Model;
-    if (quickCheck({Formula}, Opts.PerQueryTimeoutMs, &Model,
+    if (quickCheck({Scalar}, Opts.PerQueryTimeoutMs, &Model,
                    &Opts.Budget) != SmtResult::Sat)
       return std::nullopt;
     BoundedWitness W;
@@ -82,20 +96,26 @@ se2gis::boundedSat(const Program &Prog, const TermPtr &Formula,
     return W;
   }
 
-  // Pre-generate candidate shapes per data variable.
+  // Pre-generate candidate shapes per data variable. A non-recursive
+  // datatype has fewer shapes than requested; use what exists.
   std::vector<std::vector<TermPtr>> Shapes(DataVars.size());
   for (size_t I = 0; I < DataVars.size(); ++I) {
     BoundedTermStream Stream(DataVars[I]->Ty->getDatatype());
-    for (int K = 0; K < Opts.MaxShapesPerVar; ++K)
-      Shapes[I].push_back(Stream.next());
+    for (int K = 0; K < Opts.MaxShapesPerVar; ++K) {
+      TermPtr S = Stream.next();
+      if (!S)
+        break;
+      Shapes[I].push_back(std::move(S));
+    }
   }
 
   SymbolicEvaluator SE(Prog);
   SE.bindUnknowns(Opts.Bindings);
 
   // Try assignments in order of total shape index (fair diagonal order).
-  int MaxTotal = static_cast<int>(DataVars.size()) *
-                 (Opts.MaxShapesPerVar - 1);
+  int MaxTotal = 0;
+  for (const auto &S : Shapes)
+    MaxTotal += static_cast<int>(S.size()) - 1;
   std::vector<int> Combo(DataVars.size(), 0);
 
   std::optional<BoundedWitness> Found;
@@ -133,12 +153,13 @@ se2gis::boundedSat(const Program &Prog, const TermPtr &Formula,
   std::function<bool(size_t, int)> Walk = [&](size_t Pos,
                                               int Remaining) -> bool {
     if (Pos + 1 == Combo.size()) {
-      if (Remaining >= Opts.MaxShapesPerVar)
+      if (Remaining >= static_cast<int>(Shapes[Pos].size()))
         return false;
       Combo[Pos] = Remaining;
       return TryCombo();
     }
-    for (int K = 0; K <= Remaining && K < Opts.MaxShapesPerVar; ++K) {
+    for (int K = 0;
+         K <= Remaining && K < static_cast<int>(Shapes[Pos].size()); ++K) {
       Combo[Pos] = K;
       if (Walk(Pos + 1, Remaining - K))
         return true;

@@ -142,7 +142,15 @@ void se2gis::writePerfJson(std::ostream &OS, const PerfSnapshot &D) {
      << ",\"chc_derivable\":" << D.get(PerfCounter::ChcDerivable)
      << ",\"chc_unknown\":" << D.get(PerfCounter::ChcUnknown)
      << ",\"chc_clauses\":" << D.get(PerfCounter::ChcClauses)
-     << ",\"chc_race_wins\":" << D.get(PerfCounter::ChcRaceWins);
+     << ",\"chc_race_wins\":" << D.get(PerfCounter::ChcRaceWins)
+     << ",\"chc_skipped_nonscalar\":"
+     << D.get(PerfCounter::ChcSkippedNonscalar)
+     << ",\"chc_skipped_equations\":"
+     << D.get(PerfCounter::ChcSkippedEquations)
+     << ",\"gen_cases\":" << D.get(PerfCounter::GenCases)
+     << ",\"gen_rejected\":" << D.get(PerfCounter::GenRejected)
+     << ",\"gen_shrink_attempts\":" << D.get(PerfCounter::GenShrinkAttempts)
+     << ",\"gen_shrink_accepted\":" << D.get(PerfCounter::GenShrinkAccepted);
   writeHistJson(OS, "smt_check", D.hist(PerfHistogram::SmtCheckNs));
   writeHistJson(OS, "smt_translate", D.hist(PerfHistogram::SmtTranslateNs));
   writeHistJson(OS, "enum_round", D.hist(PerfHistogram::EnumRoundNs));

@@ -6,8 +6,10 @@
 #include "chc/FixedpointSolver.h"
 #include "core/Portfolio.h"
 #include "core/SynthesisTask.h"
+#include "frontend/Elaborate.h"
 #include "suite/Benchmarks.h"
 #include "support/Diagnostics.h"
+#include "support/PerfCounters.h"
 #include "synth/Grammar.h"
 
 #include <gtest/gtest.h>
@@ -79,6 +81,56 @@ TEST(ChcEncoderTest, GrammarGatesOperatorRules) {
   ChcSystem Sys2 = Enc2.encode(FP2);
   ASSERT_TRUE(Sys2.Encodable) << Sys2.Reason;
   EXPECT_GT(FP2.numRules(), Base); // min/max/mul rules were added
+}
+
+// --- Coverage-gap counters ----------------------------------------------===//
+
+TEST(ChcEncoderTest, CountsNonscalarBailInPerfCounters) {
+  // A tuple-returning unknown (list/range_span's $g0 : int * int) is
+  // outside the CHC fragment; the encoder must refuse AND record the
+  // coverage gap, so "how often does the channel sit out" is answerable
+  // from perf JSON alone.
+  Problem P = load("list/range_span");
+  PerfSnapshot Before = snapshotPerf();
+  FixedpointSolver FP;
+  ChcEncoder Enc(P, inferGrammar(P));
+  ChcSystem Sys = Enc.encode(FP);
+  EXPECT_FALSE(Sys.Encodable);
+  EXPECT_NE(Sys.Reason.find("non-base type"), std::string::npos)
+      << Sys.Reason;
+  PerfSnapshot Delta = snapshotPerf().since(Before);
+  EXPECT_GE(Delta.get(PerfCounter::ChcSkippedNonscalar), 1u);
+  EXPECT_EQ(Delta.get(PerfCounter::ChcSkippedEquations), 0u);
+}
+
+TEST(ChcEncoderTest, CountsSkippedEquationsInPerfCounters) {
+  // A triply-recursive reference costs ~3^depth evaluation steps, so the
+  // deeper bounded shapes exhaust the symbolic-evaluation fuel; the
+  // encoder must drop exactly those equations (soundly — fewer
+  // constraints only weakens the system) and record each skip in the
+  // counters so the coverage loss is measurable.
+  Problem P = loadProblem("type v = VZ | VS of int * v\n"
+                          "\n"
+                          "let rec vspec : int = function\n"
+                          "  | VZ -> 0\n"
+                          "  | VS (a, l) -> vspec l + vspec l + vspec l\n"
+                          "\n"
+                          "let rec vtgt : int = function\n"
+                          "  | VZ -> $v0\n"
+                          "  | VS (a, l) -> $v1 a (vtgt l)\n"
+                          "\n"
+                          "synthesize vtgt equiv vspec\n");
+  PerfSnapshot Before = snapshotPerf();
+  ChcOptions Opts;
+  Opts.MaxTerms = 24; // deep enough that the tail shapes blow the fuel
+  FixedpointSolver FP;
+  ChcEncoder Enc(P, inferGrammar(P), Opts);
+  ChcSystem Sys = Enc.encode(FP);
+  PerfSnapshot Delta = snapshotPerf().since(Before);
+  EXPECT_GT(Delta.get(PerfCounter::ChcSkippedEquations), 0u);
+  // The shallow shapes still made it in.
+  EXPECT_TRUE(Sys.Encodable) << Sys.Reason;
+  EXPECT_GT(Sys.NumTerms, 0u);
 }
 
 // --- Verdict parity witness vs CHC --------------------------------------===//

@@ -1,0 +1,122 @@
+//===- GenRoundTripTest.cpp - Printer round-trip property tests -----------===//
+//
+// The printer (frontend/Printer.h) must be a right inverse of the parser
+// up to normal form: for any unit U, print(parse(print(U))) == print(U).
+// Checked three ways: targeted precedence/parenthesization goldens, the
+// fixpoint property over all registry benchmarks, and the strict identity
+// print(parse(S)) == S over generated cases (whose S is printer output).
+//
+//===----------------------------------------------------------------------===//
+
+#include "frontend/Printer.h"
+
+#include "frontend/Elaborate.h"
+#include "frontend/Parser.h"
+#include "gen/Generator.h"
+#include "suite/Benchmarks.h"
+
+#include <gtest/gtest.h>
+
+using namespace se2gis;
+
+namespace {
+
+std::string normalize(const std::string &Src) {
+  return printUnit(parseUnit(Src));
+}
+
+// --- Precedence and parenthesization goldens ----------------------------===//
+
+TEST(PrinterTest, DropsRedundantParensKeepsLoadBearingOnes) {
+  // Left-assoc + and *: no parens needed on the left spine.
+  EXPECT_EQ(normalize("let f (a : int) (b : int) : int = a + b * 2\n"),
+            "let f (a : int) (b : int) : int = a + b * 2\n\n");
+  // Parens against precedence and against left-assoc re-grouping stay.
+  EXPECT_EQ(normalize("let f (a : int) (b : int) : int = (a + b) * 2\n"),
+            "let f (a : int) (b : int) : int = (a + b) * 2\n\n");
+  EXPECT_EQ(normalize("let f (a : int) (b : int) : int = a - (b - 1)\n"),
+            "let f (a : int) (b : int) : int = a - (b - 1)\n\n");
+  // Comparison is non-associative: nested comparisons keep parens.
+  EXPECT_EQ(normalize("let f (a : int) (b : int) : bool = (a = b) = (1 = 2)\n"),
+            "let f (a : int) (b : int) : bool = (a = b) = (1 = 2)\n\n");
+  // If/let-in parenthesized in operand position; unary minus prints
+  // tight so `-1` literals and `- x` applications share a normal form.
+  EXPECT_EQ(normalize(
+                "let f (a : int) : int = 1 + (if a < 0 then - a else a)\n"),
+            "let f (a : int) : int = 1 + (if a < 0 then -a else a)\n\n");
+  EXPECT_EQ(normalize("let f (a : int) : int = 1 - -1 + max (-2) a\n"),
+            "let f (a : int) : int = 1 - -1 + max (-2) a\n\n");
+  EXPECT_EQ(normalize("let f (a : int) : bool = not (a < 0) && a < 9 || "
+                      "false\n"),
+            "let f (a : int) : bool = not (a < 0) && a < 9 || false\n\n");
+}
+
+TEST(PrinterTest, ApplicationArgumentsAreAtoms) {
+  std::string Src = "type t = B | C of int * t\n"
+                    "\n"
+                    "let rec f : int = function\n"
+                    "  | B -> 0\n"
+                    "  | C (a, l) -> max a (f l)\n"
+                    "\n"
+                    "let rec g : int = function\n"
+                    "  | B -> $u0\n"
+                    "  | C (a, l) -> $u1 a (g l)\n"
+                    "\n"
+                    "synthesize g equiv f\n";
+  EXPECT_EQ(normalize(Src), Src);
+}
+
+TEST(PrinterTest, ConstructorApplications) {
+  std::string Src = "type t = B | C of int * t\n"
+                    "\n"
+                    "let rec cp : t = function\n"
+                    "  | B -> B\n"
+                    "  | C (a, l) -> C (a, cp l)\n"
+                    "\n";
+  EXPECT_EQ(normalize(Src), Src);
+}
+
+// --- Fixpoint over the whole registry -----------------------------------===//
+
+TEST(GenRoundTripTest, AllRegistryBenchmarksReachPrintFixpoint) {
+  for (const BenchmarkDef &Def : allBenchmarks()) {
+    SCOPED_TRACE(Def.Name);
+    std::string P1;
+    ASSERT_NO_THROW(P1 = normalize(Def.Source)) << Def.Name;
+    std::string P2;
+    ASSERT_NO_THROW(P2 = normalize(P1)) << Def.Name;
+    EXPECT_EQ(P1, P2) << Def.Name;
+  }
+}
+
+TEST(GenRoundTripTest, PrintedRegistryBenchmarksStillElaborate) {
+  // Printing must preserve meaning through the elaborator, not just the
+  // parser: the printed form of every benchmark still loads as a problem
+  // with the same directive.
+  for (const BenchmarkDef &Def : allBenchmarks()) {
+    SCOPED_TRACE(Def.Name);
+    Problem Orig = loadBenchmark(Def);
+    Problem Reprinted;
+    ASSERT_NO_THROW(Reprinted = loadProblem(normalize(Def.Source)))
+        << Def.Name;
+    EXPECT_EQ(Orig.Target, Reprinted.Target);
+    EXPECT_EQ(Orig.Reference, Reprinted.Reference);
+    EXPECT_EQ(Orig.Invariant, Reprinted.Invariant);
+    EXPECT_EQ(Orig.Unknowns.size(), Reprinted.Unknowns.size());
+  }
+}
+
+// --- Strict identity on generated cases ---------------------------------===//
+
+TEST(GenRoundTripTest, GeneratedCasesPrintInNormalForm) {
+  for (unsigned Case = 0; Case < 50; ++Case) {
+    auto C = generateCase(/*GenSeed=*/1234, Case);
+    ASSERT_TRUE(C.has_value()) << Case;
+    std::string Src = caseSource(*C);
+    SCOPED_TRACE(Src);
+    EXPECT_EQ(normalize(Src), Src);
+    EXPECT_NO_THROW(loadProblem(Src));
+  }
+}
+
+} // namespace
