@@ -18,6 +18,7 @@
 
 #include "BenchReport.h"
 
+#include "support/Log.h"
 #include "support/ThreadPool.h"
 
 #include <future>
@@ -89,8 +90,8 @@ int main() {
                                       : R.V == Verdict::Unrealizable;
       Solved += Ok;
       Inductive += Ok && R.Stats.SolutionProvedInductive;
-      std::fprintf(stderr, "[ablation] %-14s %-28s %s\n", C.Name, Name,
-                   verdictName(R.V));
+      logf(LogLevel::Info, "ablation", "%-14s %-28s %s", C.Name, Name,
+           verdictName(R.V));
     }
     Table.addRow({C.Name, std::to_string(Solved), std::to_string(Total),
                   std::to_string(static_cast<long long>(TotalMs)),

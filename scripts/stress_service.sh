@@ -13,7 +13,13 @@
 #   3. Warm shared cache: after the stress mix, the daemon's stats report
 #      a nonzero SMT-cache hit count (clients repeat problems, so the
 #      process-wide cache must pay off across connections).
-#   4. Graceful drain: the daemon exits 0 by itself after `drain`, with
+#   4. Metrics exposition: a plain-HTTP scrape of the daemon's
+#      --metrics-addr listener returns Prometheus text whose job counters
+#      (submitted, done-by-verdict, cache hits) agree with `stats`, and
+#      the frame-protocol `metrics` method serves the same families.
+#   5. Flight dumps: every deliberately-timed-out job leaves a
+#      Perfetto-loadable flight-<jobid>.json under --flight-dir.
+#   6. Graceful drain: the daemon exits 0 by itself after `drain`, with
 #      the persistent store intact on disk.
 #
 # Usage: scripts/stress_service.sh [build-dir] [clients] [jobs-per-client]
@@ -74,7 +80,9 @@ done
 
 echo "[stress] starting daemon ($CLIENTS clients x $JOBS_PER jobs)..."
 "$DAEMON" --listen "unix:$SOCK" --workers 2 --max-queue 64 \
-  --cache disk --cache-dir "$CACHE" >"$WORK/daemon.log" 2>&1 &
+  --cache disk --cache-dir "$CACHE" \
+  --metrics-addr tcp:127.0.0.1:0 --flight-dir "$WORK" \
+  >"$WORK/daemon.log" 2>&1 &
 DAEMON_PID=$!
 wait_ping "unix:$SOCK" || { echo "[stress] FAIL: daemon never came up" >&2; exit 1; }
 
@@ -129,6 +137,69 @@ if [ -z "$SMT_HITS" ] || [ "$SMT_HITS" -eq 0 ]; then
   exit 1
 fi
 echo "[stress] warm cache: smt_hits=$SMT_HITS across $TOTAL jobs"
+
+# --- Metrics exposition ------------------------------------------------------
+# The daemon printed its bound (ephemeral) metrics port on startup.
+METRICS_HP=$(sed -n 's/^se2gis_served: metrics on tcp:\(.*\)$/\1/p' "$WORK/daemon.log")
+if [ -z "$METRICS_HP" ]; then
+  echo "[stress] FAIL: daemon never reported a metrics address" >&2
+  exit 1
+fi
+scrape() { # scrape <host:port> <outfile>
+  if command -v curl >/dev/null 2>&1; then
+    curl -sf "http://$1/metrics" -o "$2"
+  else
+    python3 -c 'import sys, urllib.request
+open(sys.argv[2], "wb").write(
+    urllib.request.urlopen("http://%s/metrics" % sys.argv[1], timeout=10).read())' \
+      "$1" "$2"
+  fi
+}
+scrape "$METRICS_HP" "$WORK/metrics.txt" \
+  || { echo "[stress] FAIL: HTTP scrape of $METRICS_HP failed" >&2; exit 1; }
+
+SUBMITTED_STATS=$(printf '%s' "$STATS" | sed -n 's/.*"submitted":\([0-9][0-9]*\).*/\1/p')
+SUBMITTED_METRIC=$(awk '$1 == "se2gis_jobs_submitted_total" {print int($2)}' "$WORK/metrics.txt")
+if [ "$SUBMITTED_METRIC" != "$SUBMITTED_STATS" ]; then
+  echo "[stress] FAIL: se2gis_jobs_submitted_total=$SUBMITTED_METRIC but stats says $SUBMITTED_STATS" >&2
+  exit 1
+fi
+TIMEOUT_DONE=$(sed -n 's/^se2gis_jobs_done_total{verdict="timeout"} \([0-9][0-9]*\)$/\1/p' "$WORK/metrics.txt")
+if [ -z "$TIMEOUT_DONE" ] || [ "$TIMEOUT_DONE" -eq 0 ]; then
+  echo "[stress] FAIL: no timeout verdicts counted in se2gis_jobs_done_total" >&2
+  exit 1
+fi
+SMT_HITS_METRIC=$(awk '$1 == "se2gis_cache_smt_hits_total" {print int($2)}' "$WORK/metrics.txt")
+if [ -z "$SMT_HITS_METRIC" ] || [ "$SMT_HITS_METRIC" -lt "$SMT_HITS" ]; then
+  echo "[stress] FAIL: se2gis_cache_smt_hits_total=$SMT_HITS_METRIC < stats smt_hits=$SMT_HITS" >&2
+  exit 1
+fi
+if ! grep -q '^# TYPE se2gis_queue_depth gauge$' "$WORK/metrics.txt" \
+   || ! grep -q '^# TYPE se2gis_job_latency_seconds histogram$' "$WORK/metrics.txt"; then
+  echo "[stress] FAIL: scrape is missing queue-depth/latency families" >&2
+  exit 1
+fi
+# The frame-protocol `metrics` method serves the same exposition.
+"$CLI" metrics --connect "unix:$SOCK" >"$WORK/metrics-frame.txt"
+if ! grep -q '^se2gis_jobs_submitted_total ' "$WORK/metrics-frame.txt"; then
+  echo "[stress] FAIL: frame-protocol metrics method returned no exposition" >&2
+  exit 1
+fi
+echo "[stress] metrics: submitted=$SUBMITTED_METRIC timeouts=$TIMEOUT_DONE smt_hits=$SMT_HITS_METRIC (HTTP + frame scrapes agree with stats)"
+
+# --- Flight dumps for timed-out jobs ----------------------------------------
+DUMPS=$(ls "$WORK"/flight-j*.json 2>/dev/null | wc -l)
+if [ "$DUMPS" -eq 0 ]; then
+  echo "[stress] FAIL: timed-out jobs left no flight dumps under --flight-dir" >&2
+  exit 1
+fi
+for F in "$WORK"/flight-j*.json; do
+  python3 -c 'import json, sys
+d = json.load(open(sys.argv[1]))
+assert isinstance(d.get("traceEvents"), list) and d["traceEvents"], "empty dump"' "$F" \
+    || { echo "[stress] FAIL: $F is not a loadable trace dump" >&2; exit 1; }
+done
+echo "[stress] flight recorder: $DUMPS timed-out job dump(s), all Perfetto-loadable"
 
 # --- Typed rejection at queue capacity -------------------------------------
 TINY_SOCK="$OUT_DIR/stress-tiny.sock"

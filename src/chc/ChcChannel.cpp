@@ -4,6 +4,7 @@
 
 #include "chc/ChcEncoder.h"
 #include "chc/FixedpointSolver.h"
+#include "support/Progress.h"
 #include "support/Stopwatch.h"
 #include "support/Trace.h"
 #include "synth/Grammar.h"
@@ -37,6 +38,12 @@ Outcome se2gis::runChcChannel(const Problem &P, const AlgoOptions &Opts) {
     CO.MaxTerms = TermLadder[Rung];
     CO.MaxInstantiationsPerEqn = 48 * (Rung + 1);
 
+    progressPublish([&](ProgressSnapshot &Pr) {
+      progressSetStr(Pr.ChcState, "encoding");
+      Pr.ChcRung = TermLadder[Rung];
+      Pr.UpdatedNs = detail::traceNowNs();
+    });
+
     FixedpointSolver FP;
     ChcEncoder Enc(P, Grammar, CO);
     ChcSystem Sys = Enc.encode(FP);
@@ -56,6 +63,11 @@ Outcome se2gis::runChcChannel(const Problem &P, const AlgoOptions &Opts) {
       Span.arg("constraints", static_cast<std::int64_t>(Sys.NumEquations));
     }
     perfAdd(PerfCounter::ChcQueries);
+    progressPublish([&](ProgressSnapshot &Pr) {
+      progressSetStr(Pr.ChcState, "solving");
+      Pr.ChcClauses = static_cast<std::uint64_t>(Sys.NumRules);
+      Pr.UpdatedNs = detail::traceNowNs();
+    });
     FixedpointSolver::Result QR =
         FP.query(Enc.goal(), Budget.queryBudgetMs(0), Budget);
 
@@ -63,6 +75,10 @@ Outcome se2gis::runChcChannel(const Problem &P, const AlgoOptions &Opts) {
       perfAdd(PerfCounter::ChcUnsat);
       if (Span.active())
         Span.arg("result", "unsat");
+      progressPublish([&](ProgressSnapshot &Pr) {
+        progressSetStr(Pr.ChcState, "unsat");
+        Pr.UpdatedNs = detail::traceNowNs();
+      });
       Result.V = Verdict::Unrealizable;
       Result.Ev.Source = VerdictSource::Chc;
       Result.Ev.Channel = "CHC";
@@ -79,6 +95,10 @@ Outcome se2gis::runChcChannel(const Problem &P, const AlgoOptions &Opts) {
       perfAdd(PerfCounter::ChcDerivable);
       if (Span.active())
         Span.arg("result", "sat");
+      progressPublish([&](ProgressSnapshot &Pr) {
+        progressSetStr(Pr.ChcState, "inconclusive");
+        Pr.UpdatedNs = detail::traceNowNs();
+      });
       // Derivable is inconclusive (the instantiation is an
       // underapproximation of the spec); try the next rung.
       Result.V = Verdict::Failed;

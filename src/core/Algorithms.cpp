@@ -13,6 +13,7 @@
 #include "eval/Expand.h"
 #include "eval/SymbolicEval.h"
 #include "support/Diagnostics.h"
+#include "support/Progress.h"
 #include "support/Stopwatch.h"
 #include "support/Trace.h"
 #include "synth/Grammar.h"
@@ -229,6 +230,18 @@ Outcome se2gis::runSE2GIS(const Problem &P, const AlgoOptions &Opts) {
       Round.arg("coarsenings",
                 static_cast<std::int64_t>(Result.Stats.Coarsenings));
     }
+    // Round-granularity live introspection (no-op outside the service).
+    progressPublish([&](ProgressSnapshot &Pr) {
+      progressSetStr(Pr.Algorithm, "se2gis");
+      progressSetStr(Pr.Activity, "round");
+      progressSetStr(Pr.WitnessState, "probing");
+      Pr.Round = Result.Stats.Refinements + Result.Stats.Coarsenings;
+      Pr.Refinements = Result.Stats.Refinements;
+      Pr.Coarsenings = Result.Stats.Coarsenings;
+      Pr.Lemmas = Lemmas.size();
+      Pr.CandidateSize = Result.Stats.LastCandidate.size();
+      Pr.UpdatedNs = detail::traceNowNs();
+    });
     if (Budget.expired()) {
       Result.V = Verdict::Timeout;
       break;
@@ -246,6 +259,12 @@ Outcome se2gis::runSE2GIS(const Problem &P, const AlgoOptions &Opts) {
       Result.Stats.Steps += "\u25e6"; // ◦
       ++Result.Stats.Coarsenings;
       Round.arg("kind", "coarsen");
+      progressPublish([&](ProgressSnapshot &Pr) {
+        progressSetStr(Pr.Activity, "coarsen");
+        progressSetStr(Pr.WitnessState, "found");
+        Pr.Coarsenings = Result.Stats.Coarsenings;
+        Pr.UpdatedNs = detail::traceNowNs();
+      });
 
       WitnessCheckResult Chk = Checker.check(*W, System, Budget);
       if (Chk.Verdict == WitnessVerdict::Valid) {
@@ -283,6 +302,11 @@ Outcome se2gis::runSE2GIS(const Problem &P, const AlgoOptions &Opts) {
       continue;
     }
 
+    progressPublish([&](ProgressSnapshot &Pr) {
+      progressSetStr(Pr.Activity, "synthesize");
+      progressSetStr(Pr.WitnessState, "none");
+      Pr.UpdatedNs = detail::traceNowNs();
+    });
     SgeResult SR = Solver.solve(System, Budget);
     if (!SR.Solution.empty())
       Result.Stats.LastCandidate = solutionToString(P, SR.Solution);
@@ -292,6 +316,12 @@ Outcome se2gis::runSE2GIS(const Problem &P, const AlgoOptions &Opts) {
       ++Result.Stats.Refinements;
       Round.arg("kind", "refine");
       Round.arg("sge_rounds", static_cast<std::int64_t>(SR.Rounds));
+      progressPublish([&](ProgressSnapshot &Pr) {
+        progressSetStr(Pr.Activity, "verify");
+        Pr.Refinements = Result.Stats.Refinements;
+        Pr.CandidateSize = Result.Stats.LastCandidate.size();
+        Pr.UpdatedNs = detail::traceNowNs();
+      });
 
       VerifyOptions VOpts;
       VOpts.Bounded = Opts.Bounded;
@@ -417,6 +447,18 @@ Outcome se2gis::runSEGIS(const Problem &P, const AlgoOptions &Opts,
                 static_cast<std::int64_t>(Result.Stats.Refinements));
       Round.arg("terms", static_cast<std::uint64_t>(Terms.size()));
     }
+    progressPublish([&](ProgressSnapshot &Pr) {
+      progressSetStr(Pr.Algorithm,
+                     WithUnrealizabilityChecker ? "segis-uc" : "segis");
+      progressSetStr(Pr.Activity, "round");
+      if (WithUnrealizabilityChecker && !Opts.DisableWitnessChannel)
+        progressSetStr(Pr.WitnessState, "probing");
+      Pr.Round = Result.Stats.Refinements;
+      Pr.Refinements = Result.Stats.Refinements;
+      Pr.Terms = Terms.size();
+      Pr.CandidateSize = Result.Stats.LastCandidate.size();
+      Pr.UpdatedNs = detail::traceNowNs();
+    });
     if (Budget.expired()) {
       Result.V = Verdict::Timeout;
       break;

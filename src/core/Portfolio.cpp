@@ -4,6 +4,8 @@
 
 #include "chc/ChcChannel.h"
 #include "support/Diagnostics.h"
+#include "support/Log.h"
+#include "support/Progress.h"
 #include "support/Stopwatch.h"
 #include "support/ThreadPool.h"
 #include "support/Trace.h"
@@ -60,7 +62,15 @@ Outcome se2gis::runRace(const std::vector<AlgorithmKind> &Members,
     return R.V == Verdict::Realizable || R.V == Verdict::Unrealizable;
   };
 
+  // Race members run on a dedicated pool's threads, which carry neither the
+  // caller's progress board nor its request id; re-install both so member
+  // rounds stay visible to `status` and member logs stay correlated.
+  ProgressBoard *CallerBoard = threadProgressBoard();
+  const std::uint64_t CallerRid = threadRequestId();
+
   auto Worker = [&](size_t Slot) {
+    ProgressBoardScope BoardScope(CallerBoard);
+    RequestIdScope RidScope(CallerRid);
     AlgorithmKind K = Members[Slot];
     TraceSpan Span("portfolio.member", "portfolio");
     AlgoOptions Local = Opts;

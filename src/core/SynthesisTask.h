@@ -50,6 +50,11 @@ struct SolverConfig {
   /// When non-empty, tracing is on and a Chrome trace_event JSON file is
   /// flushed here at the end of the run / sweep (load it in Perfetto).
   std::string TracePath;
+  /// Always-on flight recorder (DESIGN.md "Operability model"): per-thread
+  /// rings of recent spans/logs/phases kept even with trace export off,
+  /// dumped on fatal errors and job timeouts. Off only for overhead-
+  /// sensitive measurements.
+  bool Flight = true;
   /// Benchmark-generator stream seed (src/gen/): the fuzz driver and any
   /// generator-backed sweep derive every sampled case from this value, so
   /// a run is reproducible from the config alone. Unlike Algo.Seed (the
@@ -78,6 +83,8 @@ struct SolverConfig {
   ///    anything else); SE2GIS_LOG_JSON — JSONL log sink path. The legacy
   ///    SE2GIS_DEBUG=1 implies debug level unless SE2GIS_LOG is set.
   ///  - SE2GIS_TRACE — trace output path (enables tracing).
+  ///  - SE2GIS_FLIGHT — "on" (default) or "off"; off disables the flight
+  ///    recorder entirely (throws UserError on anything else).
   static SolverConfig fromEnv(std::int64_t DefaultTimeoutMs = 5000);
 };
 

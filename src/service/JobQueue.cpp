@@ -21,7 +21,8 @@ const char *se2gis::jobStateName(JobState S) {
   return "?";
 }
 
-AdmitStatus JobQueue::submit(JobSpec Spec, std::string &IdOut) {
+AdmitStatus JobQueue::submit(JobSpec Spec, std::string &IdOut,
+                             std::uint64_t Rid) {
   std::lock_guard<std::mutex> Lock(M);
   if (DrainingFlag || Stopping)
     return AdmitStatus::Draining;
@@ -30,6 +31,8 @@ AdmitStatus JobQueue::submit(JobSpec Spec, std::string &IdOut) {
 
   auto J = std::make_shared<Job>();
   J->Seq = NextSeq++;
+  J->Rid = Rid;
+  J->Progress = std::make_shared<ProgressBoard>();
   // snprintf, not "j" + std::to_string(Seq): concatenating to_string's SSO
   // buffer trips GCC 12's bogus -Wrestrict overlap diagnosis (PR105651) and
   // the build is kept warning-free.
@@ -78,6 +81,7 @@ void JobQueue::complete(const std::shared_ptr<Job> &J, Outcome Result) {
   } else {
     J->State = JobState::Done;
     ++CompletedCount;
+    ++DoneByVerdictCount[static_cast<size_t>(J->Result.V) & 3];
   }
   --RunningCount;
   if (Pending.empty() && RunningCount == 0)
@@ -129,8 +133,19 @@ QueueStats JobQueue::stats() const {
   S.Completed = CompletedCount;
   S.Cancelled = CancelledCount;
   S.Rejected = RejectedCount;
+  for (size_t I = 0; I < 4; ++I)
+    S.DoneByVerdict[I] = DoneByVerdictCount[I];
   S.Draining = DrainingFlag;
   return S;
+}
+
+std::vector<std::unique_ptr<Job>> JobQueue::runningJobs() const {
+  std::lock_guard<std::mutex> Lock(M);
+  std::vector<std::unique_ptr<Job>> Out;
+  for (const auto &[Id, J] : Table)
+    if (J->State == JobState::Running)
+      Out.push_back(std::make_unique<Job>(*J));
+  return Out;
 }
 
 void JobQueue::countRejected() {

@@ -30,6 +30,7 @@
 #define SE2GIS_SERVICE_JOBQUEUE_H
 
 #include "core/SynthesisTask.h"
+#include "support/Progress.h"
 
 #include <chrono>
 #include <condition_variable>
@@ -76,12 +77,20 @@ struct Job {
   bool CancelRequested = false;
   std::chrono::steady_clock::time_point SubmitAt, StartAt, EndAt;
   std::uint64_t Seq = 0; ///< FIFO tiebreak within a priority level
+  /// Request id of the connection/request that submitted the job —
+  /// threaded into worker logs, spans, and flight events for correlation.
+  std::uint64_t Rid = 0;
+  /// Live progress board: the worker publishes round-granularity snapshots
+  /// here, `status`/`stats` read them lock-free. Allocated at submit so a
+  /// query can never race an attach. Shared (not inline) because Job is
+  /// copied by value in \c query while the worker keeps publishing.
+  std::shared_ptr<ProgressBoard> Progress;
 };
 
 /// Why a submit was refused.
 enum class AdmitStatus : unsigned char { Admitted, QueueFull, Draining };
 
-/// Aggregate counters for the stats response.
+/// Aggregate counters for the stats response and the metrics exposition.
 struct QueueStats {
   std::size_t QueueDepth = 0;
   std::size_t InFlight = 0;
@@ -89,6 +98,9 @@ struct QueueStats {
   std::uint64_t Completed = 0;
   std::uint64_t Cancelled = 0;
   std::uint64_t Rejected = 0;
+  /// Done jobs by verdict (indexed by Verdict; sums to Completed). Feeds
+  /// the `se2gis_jobs_done_total{verdict=...}` counter family.
+  std::uint64_t DoneByVerdict[4] = {};
   bool Draining = false;
 };
 
@@ -97,8 +109,9 @@ public:
   explicit JobQueue(std::size_t MaxQueued) : MaxQueued(MaxQueued) {}
 
   /// Admits \p Spec (unless full or draining). On admission returns the new
-  /// job id through \p IdOut.
-  AdmitStatus submit(JobSpec Spec, std::string &IdOut);
+  /// job id through \p IdOut. \p Rid is the submitting request's id,
+  /// carried on the job for cross-layer correlation.
+  AdmitStatus submit(JobSpec Spec, std::string &IdOut, std::uint64_t Rid = 0);
 
   /// Blocks until a job is available, then marks it Running and returns it.
   /// Returns nullptr when the queue was shut down and no work remains —
@@ -120,6 +133,10 @@ public:
   std::unique_ptr<Job> query(const std::string &Id) const;
 
   QueueStats stats() const;
+
+  /// Snapshots every currently-running job (copies, taken under the lock)
+  /// for the stats reply's live-introspection section.
+  std::vector<std::unique_ptr<Job>> runningJobs() const;
 
   /// Counts a rejected submission (server-side admission bookkeeping).
   void countRejected();
@@ -150,6 +167,7 @@ private:
   std::uint64_t NextSeq = 1;
   std::uint64_t SubmittedCount = 0, CompletedCount = 0, CancelledCount = 0,
                 RejectedCount = 0;
+  std::uint64_t DoneByVerdictCount[4] = {};
   std::size_t RunningCount = 0;
   /// Pending ids in arrival order; pop() scans for the best priority (the
   /// queue is small by construction — MaxQueued — so a scan beats a heap

@@ -6,8 +6,11 @@
 #include "frontend/Elaborate.h"
 #include "suite/Benchmarks.h"
 #include "support/Diagnostics.h"
+#include "support/FlightRecorder.h"
 #include "support/Log.h"
+#include "support/Metrics.h"
 #include "support/PerfCounters.h"
+#include "support/Progress.h"
 #include "support/ThreadPool.h"
 #include "support/Trace.h"
 
@@ -34,10 +37,13 @@ Server::Server(ServiceConfig C)
 
 Server::~Server() {
   closeFd(ListenFd);
+  closeFd(MetricsFd);
   closeFd(WakePipe[0]);
   closeFd(WakePipe[1]);
   if (BoundAddr.IsUnix && !BoundAddr.Path.empty())
     ::unlink(BoundAddr.Path.c_str());
+  if (MetricsBoundAddr.IsUnix && !MetricsBoundAddr.Path.empty())
+    ::unlink(MetricsBoundAddr.Path.c_str());
 }
 
 bool Server::start(std::string &Error) {
@@ -62,6 +68,23 @@ bool Server::start(std::string &Error) {
   if (!Config.Base.TracePath.empty())
     traceConfigure(Config.Base.TracePath);
 
+  // The flight recorder is always on; a flight dir additionally arms
+  // fatal-signal dumps and per-job timeout/cancel dumps.
+  if (!Config.FlightDir.empty()) {
+    flightSetDumpPrefix(Config.FlightDir + "/flight-fatal");
+    flightInstallCrashHandler();
+  }
+
+  if (!Config.MetricsAddr.empty()) {
+    if (!parseServiceAddr(Config.MetricsAddr, MetricsBoundAddr, Error))
+      return false;
+    MetricsFd = listenOn(MetricsBoundAddr, Error);
+    if (MetricsFd < 0)
+      return false;
+    logf(LogLevel::Info, "service", "metrics listener on %s",
+         MetricsBoundAddr.str().c_str());
+  }
+
   WorkerCount = Config.Workers
                     ? Config.Workers
                     : std::max(1u, ThreadPool::defaultConcurrency() / 2);
@@ -77,7 +100,89 @@ bool Server::start(std::string &Error) {
   for (unsigned I = 0; I < WorkerCount; ++I)
     WorkerThreads.emplace_back([this] { workerLoop(); });
   AcceptThread = std::thread([this] { acceptLoop(); });
+  if (MetricsFd >= 0)
+    MetricsThread = std::thread([this] { metricsLoop(); });
   return true;
+}
+
+void Server::metricsLoop() {
+  // One scrape at a time, handled synchronously: Prometheus scrapes are
+  // seconds apart and the render is milliseconds, so a serial loop keeps
+  // this path trivially correct. The 200ms poll timeout bounds shutdown
+  // latency without sharing the accept loop's wake pipe.
+  while (!Stop.load(std::memory_order_acquire)) {
+    pollfd P = {MetricsFd, POLLIN, 0};
+    int N = ::poll(&P, 1, 200);
+    if (N < 0 && errno != EINTR)
+      break;
+    if (N <= 0 || !(P.revents & POLLIN))
+      continue;
+    int Fd = ::accept(MetricsFd, nullptr, nullptr);
+    if (Fd < 0)
+      continue;
+    // Read the request until the header terminator (the path is ignored:
+    // every route serves the exposition). Bounded and briefly timed so a
+    // stuck client cannot wedge the loop.
+    std::string Req;
+    char Buf[1024];
+    while (Req.size() < 16384 && Req.find("\r\n\r\n") == std::string::npos) {
+      pollfd RP = {Fd, POLLIN, 0};
+      if (::poll(&RP, 1, 2000) <= 0 || !(RP.revents & POLLIN))
+        break;
+      ssize_t R = ::recv(Fd, Buf, sizeof(Buf), 0);
+      if (R <= 0)
+        break;
+      Req.append(Buf, static_cast<std::size_t>(R));
+    }
+    if (Req.find("\r\n\r\n") != std::string::npos ||
+        Req.find('\n') != std::string::npos) {
+      std::string Body = renderMetrics();
+      std::string Resp = "HTTP/1.0 200 OK\r\n"
+                         "Content-Type: text/plain; version=0.0.4; "
+                         "charset=utf-8\r\n"
+                         "Content-Length: " +
+                         std::to_string(Body.size()) +
+                         "\r\n"
+                         "Connection: close\r\n\r\n" +
+                         Body;
+      std::size_t Off = 0;
+      while (Off < Resp.size()) {
+        ssize_t W = ::send(Fd, Resp.data() + Off, Resp.size() - Off, 0);
+        if (W <= 0)
+          break;
+        Off += static_cast<std::size_t>(W);
+      }
+    }
+    closeFd(Fd);
+  }
+}
+
+std::string Server::renderMetrics() {
+  PrometheusWriter W;
+  QueueStats QS = Queue.stats();
+  W.gauge("se2gis_queue_depth", "jobs queued, not yet running",
+          static_cast<double>(QS.QueueDepth));
+  W.gauge("se2gis_jobs_in_flight", "jobs currently running",
+          static_cast<double>(QS.InFlight));
+  W.gauge("se2gis_workers", "worker threads", WorkerCount);
+  W.gauge("se2gis_draining", "1 while the daemon is draining",
+          QS.Draining ? 1 : 0);
+  W.counter("se2gis_jobs_submitted_total", "jobs admitted to the queue",
+            static_cast<double>(QS.Submitted));
+  W.counter("se2gis_jobs_cancelled_total", "jobs cancelled",
+            static_cast<double>(QS.Cancelled));
+  W.counter("se2gis_jobs_rejected_total",
+            "submissions refused (overloaded or draining)",
+            static_cast<double>(QS.Rejected));
+  for (size_t V = 0; V < 4; ++V)
+    W.counter("se2gis_jobs_done_total", "completed jobs by verdict",
+              static_cast<double>(QS.DoneByVerdict[V]),
+              {{"verdict", verdictName(static_cast<Verdict>(V))}});
+  W.histogram("se2gis_job_latency_seconds",
+              "job wall time from admission to terminal state",
+              JobLatency.snapshot());
+  writeProcessMetrics(W, snapshotPerf());
+  return W.str();
 }
 
 void Server::requestDrainAsync() {
@@ -137,6 +242,11 @@ void Server::connectionLoop(int Fd) {
                          .dump());
       break;
     }
+    // Mint the request id at admission and bind it for the whole handling
+    // of this frame: log lines, span args, and flight events produced on
+    // this thread all carry it, and the response echoes it.
+    std::uint64_t Rid = NextRid.fetch_add(1, std::memory_order_relaxed);
+    RequestIdScope RidScope(Rid);
     JsonValue Req;
     std::string ParseError;
     JsonValue Resp;
@@ -147,6 +257,7 @@ void Server::connectionLoop(int Fd) {
                                "request must be a JSON object");
     else
       Resp = handleRequest(Req);
+    Resp.set("rid", JsonValue::number(static_cast<std::int64_t>(Rid)));
     if (!writeFrame(Fd, Resp.dump()))
       break;
   }
@@ -178,6 +289,12 @@ JsonValue Server::handleRequest(const JsonValue &Req) {
     return handleCancel(Req);
   if (Method == "stats")
     return handleStats();
+  if (Method == "metrics") {
+    JsonValue Resp = makeOkResponse();
+    Resp.set("content_type", JsonValue::str("text/plain; version=0.0.4"));
+    Resp.set("body", JsonValue::str(renderMetrics()));
+    return Resp;
+  }
   if (Method == "drain")
     return handleDrain(Req);
   if (Method == "ping") {
@@ -240,7 +357,7 @@ JsonValue Server::handleSubmit(const JsonValue &Req) {
 
   std::string Label = Spec.Label;
   std::string Id;
-  switch (Queue.submit(std::move(Spec), Id)) {
+  switch (Queue.submit(std::move(Spec), Id, threadRequestId())) {
   case AdmitStatus::Admitted:
     break;
   case AdmitStatus::QueueFull:
@@ -261,6 +378,46 @@ JsonValue Server::handleSubmit(const JsonValue &Req) {
   return Resp;
 }
 
+namespace {
+
+/// Renders a running job's live progress board as the `progress` object of
+/// status/stats replies (round, candidate, lemmas, channel states).
+JsonValue progressJson(const ProgressSnapshot &P) {
+  JsonValue Prog = JsonValue::object();
+  if (P.Algorithm[0])
+    Prog.set("algorithm", JsonValue::str(P.Algorithm));
+  if (P.Activity[0])
+    Prog.set("activity", JsonValue::str(P.Activity));
+  Prog.set("round", JsonValue::number(std::int64_t(P.Round)));
+  Prog.set("refinements", JsonValue::number(std::int64_t(P.Refinements)));
+  Prog.set("coarsenings", JsonValue::number(std::int64_t(P.Coarsenings)));
+  Prog.set("lemmas", JsonValue::number(std::int64_t(P.Lemmas)));
+  Prog.set("candidate_size", JsonValue::number(std::int64_t(P.CandidateSize)));
+  if (P.Terms)
+    Prog.set("terms", JsonValue::number(std::int64_t(P.Terms)));
+  if (P.WitnessState[0])
+    Prog.set("witness_channel", JsonValue::str(P.WitnessState));
+  if (P.ChcState[0]) {
+    JsonValue Chc = JsonValue::object();
+    Chc.set("state", JsonValue::str(P.ChcState));
+    Chc.set("rung", JsonValue::number(std::int64_t(P.ChcRung)));
+    Chc.set("clauses", JsonValue::number(std::int64_t(P.ChcClauses)));
+    Prog.set("chc_channel", std::move(Chc));
+  }
+  // Process-wide SMT cache hit rate at read time: with concurrent jobs the
+  // counters are shared, so this is fleet context, not per-job accounting.
+  PerfSnapshot Perf = snapshotPerf();
+  std::uint64_t Hits = Perf.get(PerfCounter::CacheSmtHits);
+  std::uint64_t Touches = Hits + Perf.get(PerfCounter::CacheSmtMisses);
+  Prog.set("cache_smt_hit_rate",
+           JsonValue::number(Touches ? static_cast<double>(Hits) /
+                                           static_cast<double>(Touches)
+                                     : 0.0));
+  return Prog;
+}
+
+} // namespace
+
 JsonValue Server::jobStateJson(const Job &J, bool WithResult) const {
   JsonValue Resp = makeOkResponse();
   Resp.set("job", JsonValue::str(J.Id));
@@ -268,6 +425,10 @@ JsonValue Server::jobStateJson(const Job &J, bool WithResult) const {
   Resp.set("label", JsonValue::str(J.Spec.Label));
   Resp.set("algorithm", JsonValue::str(algorithmName(J.Spec.Algorithm)));
   Resp.set("priority", JsonValue::number(std::int64_t(J.Spec.Priority)));
+  if (J.Rid)
+    Resp.set("submit_rid", JsonValue::number(std::int64_t(J.Rid)));
+  if (J.State == JobState::Running && J.Progress)
+    Resp.set("progress", progressJson(J.Progress->read()));
   if (J.State == JobState::Done || J.State == JobState::Cancelled) {
     // A job cancelled while still queued never started; its queue time is
     // its whole life.
@@ -332,6 +493,26 @@ JsonValue Server::handleStats() {
   Resp.set("cancelled", JsonValue::number(std::int64_t(QS.Cancelled)));
   Resp.set("rejected", JsonValue::number(std::int64_t(QS.Rejected)));
   Resp.set("draining", JsonValue::boolean(QS.Draining));
+
+  JsonValue ByVerdict = JsonValue::object();
+  for (size_t V = 0; V < 4; ++V)
+    ByVerdict.set(verdictName(static_cast<Verdict>(V)),
+                  JsonValue::number(std::int64_t(QS.DoneByVerdict[V])));
+  Resp.set("done_by_verdict", std::move(ByVerdict));
+
+  // Live introspection: one entry per running job, with its progress board.
+  JsonValue Running = JsonValue::array();
+  for (const std::unique_ptr<Job> &J : Queue.runningJobs()) {
+    JsonValue Entry = JsonValue::object();
+    Entry.set("job", JsonValue::str(J->Id));
+    Entry.set("label", JsonValue::str(J->Spec.Label));
+    Entry.set("running_ms", JsonValue::number(msBetween(
+                                J->StartAt, std::chrono::steady_clock::now())));
+    if (J->Progress)
+      Entry.set("progress", progressJson(J->Progress->read()));
+    Running.push(std::move(Entry));
+  }
+  Resp.set("running", std::move(Running));
 
   JsonValue Cache = JsonValue::object();
   std::uint64_t Hits = Perf.get(PerfCounter::CacheSmtHits);
@@ -440,11 +621,26 @@ void Server::workerLoop() {
 }
 
 void Server::runJob(const std::shared_ptr<Job> &J) {
+  // Re-bind the submitting request's id on this worker thread and install
+  // the job's progress board: everything the run logs, traces, or records
+  // correlates back to the request, and the solver's publish points become
+  // live (they publish through the thread-local board pointer).
+  RequestIdScope RidScope(J->Rid);
+  ProgressBoardScope BoardScope(J->Progress.get());
+  progressPublish([&](ProgressSnapshot &P) {
+    progressSetStr(P.Algorithm, algorithmName(J->Spec.Algorithm));
+    progressSetStr(P.Activity, "starting");
+    P.UpdatedNs = detail::traceNowNs();
+  });
+  flightRecord(FlightKind::Mark, "job.start", detail::traceNowNs(), 0,
+               J->Seq, J->Spec.Label.c_str());
+
   TraceSpan Span("service.job", "service");
   if (Span.active()) {
     Span.arg("job", J->Id);
     Span.arg("label", J->Spec.Label);
     Span.arg("algorithm", algorithmName(J->Spec.Algorithm));
+    Span.arg("rid", J->Rid);
   }
   SolverConfig Cfg = Config.Base;
   Cfg.Algo.TimeoutMs = J->Spec.TimeoutMs;
@@ -456,8 +652,24 @@ void Server::runJob(const std::shared_ptr<Job> &J) {
 
   if (Span.active())
     Span.arg("verdict", verdictName(R.V));
+  flightRecord(FlightKind::Mark, "job.done", detail::traceNowNs(), 0, J->Seq,
+               verdictName(R.V));
   logf(LogLevel::Info, "service", "%s %s %s (%.1f ms)", J->Id.c_str(),
        J->Spec.Label.c_str(), verdictName(R.V), R.Stats.ElapsedMs);
+
+  // A Timeout verdict or a mid-run cancellation ships its post-mortem: the
+  // rings still hold the job's last moments at this point.
+  if (!Config.FlightDir.empty() &&
+      (R.V == Verdict::Timeout || J->Token.cancelRequested())) {
+    std::string Path = Config.FlightDir + "/flight-" + J->Id + ".json";
+    if (flightDumpToFile(Path))
+      logf(LogLevel::Info, "service", "%s flight dump: %s", J->Id.c_str(),
+           Path.c_str());
+    else
+      logf(LogLevel::Warn, "service", "%s flight dump failed: %s",
+           J->Id.c_str(), Path.c_str());
+  }
+
   Queue.complete(J, std::move(R));
   JobLatency.recordNs(static_cast<std::uint64_t>(
       msBetween(J->SubmitAt, std::chrono::steady_clock::now()) * 1e6));
@@ -471,6 +683,10 @@ void Server::run() {
   // wait on a daemon that will never serve them.
   closeFd(ListenFd);
   ListenFd = -1;
+  if (MetricsThread.joinable())
+    MetricsThread.join(); // exits on its next 200ms Stop poll
+  closeFd(MetricsFd);
+  MetricsFd = -1;
   for (std::thread &W : WorkerThreads)
     if (W.joinable())
       W.join();

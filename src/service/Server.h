@@ -55,6 +55,16 @@ struct ServiceConfig {
   std::int64_t DefaultTimeoutMs = 5000;
   /// Budget for in-flight work during a drain before it is cancelled.
   std::int64_t DrainTimeoutMs = 10000;
+  /// Optional plain-HTTP metrics listener ("unix:<path>" or
+  /// "tcp:<host>:<port>"; "" = off). Any GET returns the Prometheus text
+  /// exposition, so a stock Prometheus can scrape the daemon directly —
+  /// the same text the frame-protocol `metrics` method returns.
+  std::string MetricsAddr;
+  /// Directory for flight-recorder dumps ("" = no job dumps): a job that
+  /// ends in Timeout or is cancelled while running writes
+  /// `<dir>/flight-<jobid>.json`; fatal signals/fatalError write
+  /// `<dir>/flight-fatal.<pid>.json`.
+  std::string FlightDir;
   /// Base solver configuration every job runs under (cache mode/dir, log
   /// level, trace path); per-job fields (timeout, token) are overridden.
   SolverConfig Base;
@@ -83,11 +93,19 @@ public:
   /// start().
   const ServiceAddr &addr() const { return BoundAddr; }
 
+  /// The bound metrics address (valid after start() when configured).
+  const ServiceAddr &metricsAddr() const { return MetricsBoundAddr; }
+
   unsigned workers() const { return WorkerCount; }
+
+  /// Renders the full Prometheus exposition (process + service families).
+  /// Public so tests can assert on the text without a socket.
+  std::string renderMetrics();
 
 private:
   void acceptLoop();
   void connectionLoop(int Fd);
+  void metricsLoop();
   void workerLoop();
   void runJob(const std::shared_ptr<Job> &J);
 
@@ -105,17 +123,23 @@ private:
 
   ServiceConfig Config;
   ServiceAddr BoundAddr;
+  ServiceAddr MetricsBoundAddr;
   unsigned WorkerCount = 0;
   JobQueue Queue;
   /// Wall time queued→terminal, for the stats response's quantiles.
   LatencyHistogram JobLatency;
+  /// Request ids, minted per framed request at admission and threaded into
+  /// logs, spans, flight events, job state, and every response payload.
+  std::atomic<std::uint64_t> NextRid{1};
 
   int ListenFd = -1;
+  int MetricsFd = -1;
   int WakePipe[2] = {-1, -1};
   std::atomic<bool> Stop{false};
   std::atomic<bool> DrainStarted{false};
 
   std::thread AcceptThread;
+  std::thread MetricsThread;
   std::vector<std::thread> WorkerThreads;
 
   std::mutex ConnMutex;

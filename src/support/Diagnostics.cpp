@@ -2,6 +2,7 @@
 
 #include "support/Diagnostics.h"
 
+#include "support/FlightRecorder.h"
 #include "support/Log.h"
 
 #include <cstdlib>
@@ -10,6 +11,12 @@ using namespace se2gis;
 
 void se2gis::fatalError(const std::string &Message) {
   logMessage(LogLevel::Error, "fatal", "internal error: " + Message);
+  // Ship the flight recorder before dying — the dump is the post-mortem.
+  // (If the crash handler is installed, std::abort's SIGABRT would dump
+  // too, but an explicit ordinary-context dump is strictly more reliable.)
+  std::string Dump = flightDumpOnFatal();
+  if (!Dump.empty())
+    logMessage(LogLevel::Error, "fatal", "flight dump: " + Dump);
   std::abort();
 }
 

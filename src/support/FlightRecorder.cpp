@@ -1,0 +1,377 @@
+//===- FlightRecorder.cpp - Always-on crash/timeout post-mortem -----------===//
+
+#include "support/FlightRecorder.h"
+
+#include "support/Log.h"
+#include "support/Trace.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <mutex>
+#include <ostream>
+#include <string>
+
+#include <fcntl.h>
+#include <signal.h>
+#include <unistd.h>
+
+#if defined(__GLIBC__)
+#include <execinfo.h>
+#define SE2GIS_HAVE_BACKTRACE 1
+#endif
+
+namespace se2gis {
+
+namespace {
+
+constexpr std::size_t kMaxRings = 256;
+
+/// One single-writer ring. The owning thread is the only writer; dumpers
+/// (including the signal handler) read racily — a torn slot renders as
+/// odd text, never as a fault, because every field is POD and Name only
+/// ever holds nullptr or a static string.
+struct Ring {
+  FlightEvent *Slots = nullptr;
+  std::size_t Cap = 0; ///< power of two
+  std::atomic<std::uint64_t> WriteIdx{0};
+  std::uint32_t Tid = 0;
+};
+
+std::atomic<bool> GEnabled{true};
+std::atomic<std::size_t> GRingCap{4096};
+
+/// Fixed registration table the signal handler can walk without locks.
+/// Rings are leaked on purpose (see header).
+Ring *GRings[kMaxRings] = {};
+std::atomic<unsigned> GRingCount{0};
+
+std::mutex GPrefixMu;
+std::string GDumpPrefix; // guarded by GPrefixMu
+
+/// Snapshot of the dump path for the signal handler: computed eagerly on
+/// every flightSetDumpPrefix so the handler only read()s/write()s.
+char GSignalDumpPath[512] = {};
+std::atomic<bool> GHandlerInstalled{false};
+
+std::size_t roundUpPow2(std::size_t N) {
+  std::size_t P = 1;
+  while (P < N && P < (std::size_t(1) << 30))
+    P <<= 1;
+  return P;
+}
+
+Ring *threadRing() {
+  thread_local Ring *TL = nullptr;
+  if (TL)
+    return TL;
+  unsigned Slot = GRingCount.fetch_add(1, std::memory_order_relaxed);
+  if (Slot >= kMaxRings) {
+    // Table full: recording threads beyond the cap drop events. 256
+    // threads is far above any configuration the service runs.
+    GRingCount.store(kMaxRings, std::memory_order_relaxed);
+    return nullptr;
+  }
+  auto *R = new Ring();
+  R->Cap = roundUpPow2(GRingCap.load(std::memory_order_relaxed));
+  R->Slots = new FlightEvent[R->Cap]();
+  R->Tid = currentThreadId();
+  GRings[Slot] = R; // publish after fields are ready
+  std::atomic_thread_fence(std::memory_order_release);
+  TL = R;
+  return TL;
+}
+
+/// Appends \p C to Buf at Pos if it fits (writer for the signal-safe path).
+inline void putc_buf(char *Buf, std::size_t Cap, std::size_t &Pos, char C) {
+  if (Pos + 1 < Cap)
+    Buf[Pos++] = C;
+}
+
+/// Copies \p S JSON-escaped into Buf (signal-safe: no allocation).
+void putEscaped(char *Buf, std::size_t Cap, std::size_t &Pos, const char *S,
+                std::size_t MaxLen) {
+  for (std::size_t I = 0; S && S[I] && I < MaxLen; ++I) {
+    unsigned char C = static_cast<unsigned char>(S[I]);
+    if (C == '"' || C == '\\') {
+      putc_buf(Buf, Cap, Pos, '\\');
+      putc_buf(Buf, Cap, Pos, static_cast<char>(C));
+    } else if (C < 0x20) {
+      putc_buf(Buf, Cap, Pos, ' ');
+    } else {
+      putc_buf(Buf, Cap, Pos, static_cast<char>(C));
+    }
+  }
+}
+
+const char *kindName(FlightKind K) {
+  switch (K) {
+  case FlightKind::Span:
+    return "span";
+  case FlightKind::Log:
+    return "log";
+  case FlightKind::Phase:
+    return "phase";
+  case FlightKind::Mark:
+    return "mark";
+  }
+  return "?";
+}
+
+/// Formats one event as a Chrome trace_event JSON object into \p Buf.
+/// Integer arithmetic and snprintf with integer conversions only, so the
+/// same formatter serves both the ostream and the signal-safe dumpers.
+/// \returns the number of bytes written (no trailing comma/newline).
+std::size_t formatEvent(const FlightEvent &E, char *Buf, std::size_t Cap) {
+  std::size_t Pos = 0;
+  unsigned long long TsUs = E.StartNs / 1000, TsFrac = E.StartNs % 1000;
+  unsigned long long DurUs = E.DurNs / 1000, DurFrac = E.DurNs % 1000;
+  const char *Name = E.Name ? E.Name : "?";
+  int N = snprintf(Buf + Pos, Cap - Pos, "{\"name\":\"");
+  Pos += (N > 0 && Pos + N < Cap) ? static_cast<std::size_t>(N) : 0;
+  putEscaped(Buf, Cap, Pos, Name, 128);
+  bool Durational = E.Kind == FlightKind::Span || E.Kind == FlightKind::Phase;
+  if (Durational)
+    N = snprintf(Buf + Pos, Cap - Pos,
+                 "\",\"cat\":\"%s\",\"ph\":\"X\",\"ts\":%llu.%03llu,"
+                 "\"dur\":%llu.%03llu,\"pid\":1,\"tid\":%u,\"args\":{",
+                 kindName(E.Kind), TsUs, TsFrac, DurUs, DurFrac, E.Tid);
+  else
+    N = snprintf(Buf + Pos, Cap - Pos,
+                 "\",\"cat\":\"%s\",\"ph\":\"i\",\"s\":\"t\","
+                 "\"ts\":%llu.%03llu,\"pid\":1,\"tid\":%u,\"args\":{",
+                 kindName(E.Kind), TsUs, TsFrac, E.Tid);
+  Pos += (N > 0 && Pos + static_cast<std::size_t>(N) < Cap)
+             ? static_cast<std::size_t>(N)
+             : 0;
+  N = snprintf(Buf + Pos, Cap - Pos, "\"rid\":%llu,\"a0\":%llu,\"detail\":\"",
+               static_cast<unsigned long long>(E.Rid),
+               static_cast<unsigned long long>(E.A0));
+  Pos += (N > 0 && Pos + static_cast<std::size_t>(N) < Cap)
+             ? static_cast<std::size_t>(N)
+             : 0;
+  putEscaped(Buf, Cap, Pos, E.Detail, sizeof(E.Detail));
+  N = snprintf(Buf + Pos, Cap - Pos, "\"}}");
+  Pos += (N > 0 && Pos + static_cast<std::size_t>(N) < Cap)
+             ? static_cast<std::size_t>(N)
+             : 0;
+  Buf[Pos < Cap ? Pos : Cap - 1] = '\0';
+  return Pos;
+}
+
+/// Walks every registered ring, calling \p Emit(Event) oldest-first per
+/// ring. Template so both dumpers share the iteration logic.
+template <typename EmitFn> void forEachBufferedEvent(EmitFn &&Emit) {
+  unsigned Count = GRingCount.load(std::memory_order_acquire);
+  if (Count > kMaxRings)
+    Count = kMaxRings;
+  for (unsigned I = 0; I < Count; ++I) {
+    Ring *R = GRings[I];
+    if (!R || !R->Slots)
+      continue;
+    std::uint64_t End = R->WriteIdx.load(std::memory_order_acquire);
+    std::uint64_t Begin = End > R->Cap ? End - R->Cap : 0;
+    for (std::uint64_t Idx = Begin; Idx < End; ++Idx) {
+      const FlightEvent &E = R->Slots[Idx & (R->Cap - 1)];
+      if (E.Name || E.StartNs)
+        Emit(E);
+    }
+  }
+}
+
+void writeFull(int Fd, const char *Buf, std::size_t Len) {
+  std::size_t Off = 0;
+  while (Off < Len) {
+    ssize_t W = ::write(Fd, Buf + Off, Len - Off);
+    if (W <= 0)
+      return;
+    Off += static_cast<std::size_t>(W);
+  }
+}
+
+extern "C" void se2gisFlightSignalHandler(int Sig) {
+  char Banner[128];
+  int N = snprintf(Banner, sizeof(Banner),
+                   "\n[se2gis] fatal signal %d — dumping flight recorder\n",
+                   Sig);
+  if (N > 0)
+    writeFull(2, Banner, static_cast<std::size_t>(N));
+#if SE2GIS_HAVE_BACKTRACE
+  void *Frames[64];
+  int Depth = backtrace(Frames, 64);
+  backtrace_symbols_fd(Frames, Depth, 2);
+#endif
+  if (GSignalDumpPath[0]) {
+    int Fd = ::open(GSignalDumpPath, O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (Fd >= 0) {
+      flightDumpSignalSafe(Fd);
+      ::close(Fd);
+      N = snprintf(Banner, sizeof(Banner), "[se2gis] flight dump: %s\n",
+                   GSignalDumpPath);
+      if (N > 0)
+        writeFull(2, Banner, static_cast<std::size_t>(N));
+    }
+  }
+  signal(Sig, SIG_DFL);
+  raise(Sig);
+}
+
+} // namespace
+
+bool flightEnabled() { return GEnabled.load(std::memory_order_relaxed); }
+
+void flightConfigure(bool Enabled, std::size_t RingCapacity) {
+  if (RingCapacity >= 2)
+    GRingCap.store(roundUpPow2(RingCapacity), std::memory_order_relaxed);
+  GEnabled.store(Enabled, std::memory_order_relaxed);
+}
+
+void flightSetDumpPrefix(const std::string &PathPrefix) {
+  std::lock_guard<std::mutex> Lock(GPrefixMu);
+  GDumpPrefix = PathPrefix;
+  if (PathPrefix.empty()) {
+    GSignalDumpPath[0] = '\0';
+    return;
+  }
+  snprintf(GSignalDumpPath, sizeof(GSignalDumpPath), "%s.%d.json",
+           PathPrefix.c_str(), static_cast<int>(getpid()));
+}
+
+std::string flightDumpPrefix() {
+  std::lock_guard<std::mutex> Lock(GPrefixMu);
+  return GDumpPrefix;
+}
+
+void flightRecord(FlightKind Kind, const char *Name, std::uint64_t StartNs,
+                  std::uint64_t DurNs, std::uint64_t A0, const char *Detail,
+                  unsigned char Level) {
+  if (!flightEnabled())
+    return;
+  Ring *R = threadRing();
+  if (!R)
+    return;
+  std::uint64_t Idx = R->WriteIdx.load(std::memory_order_relaxed);
+  FlightEvent &E = R->Slots[Idx & (R->Cap - 1)];
+  E.StartNs = StartNs;
+  E.DurNs = DurNs;
+  E.Name = Name;
+  E.Rid = threadRequestId();
+  E.A0 = A0;
+  E.Tid = R->Tid;
+  E.Kind = Kind;
+  E.Level = Level;
+  if (Detail) {
+    std::size_t L = strnlen(Detail, sizeof(E.Detail) - 1);
+    memcpy(E.Detail, Detail, L);
+    E.Detail[L] = '\0';
+  } else {
+    E.Detail[0] = '\0';
+  }
+  R->WriteIdx.store(Idx + 1, std::memory_order_release);
+}
+
+std::uint64_t flightRecordedEvents() {
+  std::uint64_t Total = 0;
+  unsigned Count = GRingCount.load(std::memory_order_acquire);
+  if (Count > kMaxRings)
+    Count = kMaxRings;
+  for (unsigned I = 0; I < Count; ++I)
+    if (Ring *R = GRings[I])
+      Total += R->WriteIdx.load(std::memory_order_relaxed);
+  return Total;
+}
+
+std::uint64_t flightOverwrittenEvents() {
+  std::uint64_t Total = 0;
+  unsigned Count = GRingCount.load(std::memory_order_acquire);
+  if (Count > kMaxRings)
+    Count = kMaxRings;
+  for (unsigned I = 0; I < Count; ++I)
+    if (Ring *R = GRings[I]) {
+      std::uint64_t W = R->WriteIdx.load(std::memory_order_relaxed);
+      if (W > R->Cap)
+        Total += W - R->Cap;
+    }
+  return Total;
+}
+
+void flightReset() {
+  unsigned Count = GRingCount.load(std::memory_order_acquire);
+  if (Count > kMaxRings)
+    Count = kMaxRings;
+  for (unsigned I = 0; I < Count; ++I)
+    if (Ring *R = GRings[I]) {
+      for (std::size_t S = 0; S < R->Cap; ++S)
+        R->Slots[S] = FlightEvent();
+      R->WriteIdx.store(0, std::memory_order_release);
+    }
+}
+
+void flightWriteJson(std::ostream &OS) {
+  OS << "{\"traceEvents\":[";
+  OS << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,"
+        "\"args\":{\"name\":\"se2gis flight recorder\"}}";
+  char Buf[1024];
+  forEachBufferedEvent([&](const FlightEvent &E) {
+    std::size_t Len = formatEvent(E, Buf, sizeof(Buf));
+    OS << ",";
+    OS.write(Buf, static_cast<std::streamsize>(Len));
+  });
+  OS << "],\"displayTimeUnit\":\"ms\"}\n";
+}
+
+bool flightDumpToFile(const std::string &Path) {
+  std::ofstream OS(Path, std::ios::binary | std::ios::trunc);
+  if (!OS)
+    return false;
+  flightWriteJson(OS);
+  OS.flush();
+  return static_cast<bool>(OS);
+}
+
+void flightDumpSignalSafe(int Fd) {
+  static const char Head[] =
+      "{\"traceEvents\":[{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,"
+      "\"tid\":0,\"args\":{\"name\":\"se2gis flight recorder\"}}";
+  writeFull(Fd, Head, sizeof(Head) - 1);
+  char Buf[1024];
+  forEachBufferedEvent([&](const FlightEvent &E) {
+    writeFull(Fd, ",", 1);
+    std::size_t Len = formatEvent(E, Buf, sizeof(Buf));
+    writeFull(Fd, Buf, Len);
+  });
+  static const char Tail[] = "],\"displayTimeUnit\":\"ms\"}\n";
+  writeFull(Fd, Tail, sizeof(Tail) - 1);
+}
+
+void flightInstallCrashHandler() {
+  bool Expected = false;
+  if (!GHandlerInstalled.compare_exchange_strong(Expected, true))
+    return;
+#if SE2GIS_HAVE_BACKTRACE
+  // Prime libgcc's unwinder state so the handler itself never mallocs.
+  void *Frames[4];
+  (void)backtrace(Frames, 4);
+#endif
+  struct sigaction SA;
+  memset(&SA, 0, sizeof(SA));
+  SA.sa_handler = se2gisFlightSignalHandler;
+  sigemptyset(&SA.sa_mask);
+  SA.sa_flags = SA_RESETHAND;
+  for (int Sig : {SIGSEGV, SIGABRT, SIGBUS, SIGFPE, SIGILL})
+    sigaction(Sig, &SA, nullptr);
+}
+
+std::string flightDumpOnFatal() {
+  std::string Prefix = flightDumpPrefix();
+  if (Prefix.empty())
+    return "";
+  std::string Path =
+      Prefix + "." + std::to_string(static_cast<int>(getpid())) + ".json";
+  if (!flightDumpToFile(Path))
+    return "";
+  return Path;
+}
+
+} // namespace se2gis

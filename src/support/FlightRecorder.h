@@ -1,0 +1,120 @@
+//===- FlightRecorder.h - Always-on crash/timeout post-mortem ---*- C++-*-===//
+///
+/// \file
+/// The always-on flight recorder: per-thread lock-free rings of the most
+/// recent span / log / phase events, recorded even when trace export
+/// (support/Trace.h) is off, so a crash, a `fatalError`, or a job that ends
+/// in `Timeout` can ship a post-mortem of its last moments without anyone
+/// having asked for a trace up front.
+///
+/// Cost discipline (same as Trace.cpp):
+///  - disabled: one relaxed atomic load per instrumentation site.
+///  - enabled (the default): a fixed-size struct copy into a per-thread
+///    ring plus one relaxed index store — no locks, no allocation, no
+///    branches on ring fullness (old events are overwritten, which is the
+///    point: the ring always holds the *latest* N events).
+///
+/// Dump paths:
+///  - \c flightWriteJson / \c flightDumpToFile — ordinary exporters
+///    producing a Chrome trace_event JSON object (Perfetto-loadable), used
+///    on job timeout/cancellation and from \c fatalError.
+///  - \c flightDumpSignalSafe — an async-signal-safe exporter writing the
+///    same JSON with nothing but write(2) and integer snprintf formatting,
+///    used by the fatal-signal handler installed by
+///    \c flightInstallCrashHandler (which also emits a backtrace to
+///    stderr before re-raising).
+///
+/// Rings are intentionally leaked: a thread may exit while a dump (or the
+/// signal handler) is reading its buffer, so buffers are registered in a
+/// fixed lock-free table and never freed.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SE2GIS_SUPPORT_FLIGHTRECORDER_H
+#define SE2GIS_SUPPORT_FLIGHTRECORDER_H
+
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+namespace se2gis {
+
+/// What one recorded event describes.
+enum class FlightKind : unsigned char {
+  Span,  ///< a completed TraceSpan (name + category + duration)
+  Log,   ///< an admitted log record (component + message prefix)
+  Phase, ///< a completed PhaseScope slice over the per-event threshold
+  Mark   ///< an explicit instant marker (job admission, verdicts, ...)
+};
+
+/// One ring slot. Fixed-size POD so the signal handler can read slots
+/// while a writer races ahead: a torn slot renders as garbage text, never
+/// as a crash or a heap walk.
+struct FlightEvent {
+  std::uint64_t StartNs = 0; ///< trace-epoch-relative (detail::traceNowNs)
+  std::uint64_t DurNs = 0;   ///< 0 for instant events
+  const char *Name = nullptr; ///< static string (span name, component, ...)
+  std::uint64_t Rid = 0;     ///< request id active on the recording thread
+  std::uint64_t A0 = 0;      ///< small numeric payload (round, level, ...)
+  std::uint32_t Tid = 0;     ///< compact thread id (support/Log.h)
+  FlightKind Kind = FlightKind::Mark;
+  unsigned char Level = 0;   ///< LogLevel for Kind::Log
+  char Detail[42] = {};      ///< truncated free text (category / message)
+};
+
+/// \returns true when the recorder is on — one relaxed atomic load; the
+/// guard every instrumentation site sits behind. On by default.
+bool flightEnabled();
+
+/// Turns recording on/off and (before a thread's first event) sizes new
+/// rings to \p RingCapacity events (rounded up to a power of two; rings
+/// that already exist keep their size).
+void flightConfigure(bool Enabled, std::size_t RingCapacity = 4096);
+
+/// Remembers \p PathPrefix as the fatal-dump target: \c fatalError and the
+/// crash handler write `<prefix>.<pid>.json`. Empty disables fatal dumps.
+void flightSetDumpPrefix(const std::string &PathPrefix);
+
+/// \returns the configured fatal-dump prefix ("" when none).
+std::string flightDumpPrefix();
+
+/// Records one event (no-op when disabled). \p Name must be a string
+/// literal or otherwise outlive every dump; \p Detail is copied
+/// (truncated to the slot's capacity).
+void flightRecord(FlightKind Kind, const char *Name, std::uint64_t StartNs,
+                  std::uint64_t DurNs, std::uint64_t A0 = 0,
+                  const char *Detail = nullptr, unsigned char Level = 0);
+
+/// Total events ever recorded / overwritten (monotonic, process-wide).
+std::uint64_t flightRecordedEvents();
+std::uint64_t flightOverwrittenEvents();
+
+/// Clears every ring (test support; not signal-safe).
+void flightReset();
+
+/// Writes everything currently buffered as one Chrome trace_event JSON
+/// object to \p OS (Perfetto-loadable). Safe against concurrent writers.
+void flightWriteJson(std::ostream &OS);
+
+/// Writes the JSON to \p Path. \returns false when the file cannot be
+/// written.
+bool flightDumpToFile(const std::string &Path);
+
+/// Async-signal-safe dump of every ring to \p Fd (write(2) + integer
+/// formatting only; no allocation, no locks, no sorting).
+void flightDumpSignalSafe(int Fd);
+
+/// Installs fatal-signal handlers (SEGV/ABRT/BUS/FPE/ILL) that dump the
+/// rings to `<prefix>.<pid>.json`, write a backtrace to stderr, and
+/// re-raise. Idempotent. Requires a dump prefix to produce a file.
+void flightInstallCrashHandler();
+
+/// Dumps to `<prefix>.<pid>.json` if a prefix is configured (the
+/// fatalError hook; ordinary, not signal-context). \returns the path
+/// written, or "" when disabled/failed.
+std::string flightDumpOnFatal();
+
+} // namespace se2gis
+
+#endif // SE2GIS_SUPPORT_FLIGHTRECORDER_H

@@ -2,6 +2,9 @@
 
 #include "support/Log.h"
 
+#include "support/FlightRecorder.h"
+#include "support/Trace.h"
+
 #include <atomic>
 #include <cctype>
 #include <chrono>
@@ -148,21 +151,48 @@ unsigned se2gis::currentThreadId() {
   return Id;
 }
 
+namespace {
+thread_local std::uint64_t TLRequestId = 0;
+} // namespace
+
+void se2gis::setThreadRequestId(std::uint64_t Rid) { TLRequestId = Rid; }
+
+std::uint64_t se2gis::threadRequestId() { return TLRequestId; }
+
 void se2gis::logMessage(LogLevel L, const char *Component,
                         const std::string &Message) {
   if (!logEnabled(L))
     return;
   unsigned Tid = currentThreadId();
+  std::uint64_t Rid = threadRequestId();
+  // Feed the flight recorder before taking the emit lock: post-mortems
+  // should see the record even if another thread holds stderr. Component
+  // tags are string literals at every call site, which is what the
+  // recorder's static-Name contract needs.
+  if (flightEnabled())
+    flightRecord(FlightKind::Log, Component, detail::traceNowNs(), 0,
+                 static_cast<std::uint64_t>(L), Message.c_str(),
+                 static_cast<unsigned char>(L));
   std::string Ts = timestampUtc();
   std::lock_guard<std::mutex> Lock(emitMutex());
-  std::fprintf(stderr, "[%s][%s][%s][t=%u] %s\n", Component, logLevelName(L),
-               Ts.c_str(), Tid, Message.c_str());
+  // The [r=N] bracket appears only when a request id is bound (service
+  // worker threads); suite/CLI lines keep the four-bracket prefix that
+  // scripts/bench_smoke.sh greps for.
+  if (Rid)
+    std::fprintf(stderr, "[%s][%s][%s][t=%u][r=%llu] %s\n", Component,
+                 logLevelName(L), Ts.c_str(), Tid,
+                 static_cast<unsigned long long>(Rid), Message.c_str());
+  else
+    std::fprintf(stderr, "[%s][%s][%s][t=%u] %s\n", Component, logLevelName(L),
+                 Ts.c_str(), Tid, Message.c_str());
   JsonSink &Sink = jsonSink();
   if (Sink.Stream.is_open()) {
     Sink.Stream << "{\"ts\":\"" << Ts << "\",\"level\":\"" << logLevelName(L)
-                << "\",\"tid\":" << Tid << ",\"component\":\""
-                << jsonEscape(Component) << "\",\"msg\":\""
-                << jsonEscape(Message) << "\"}\n";
+                << "\",\"tid\":" << Tid;
+    if (Rid)
+      Sink.Stream << ",\"rid\":" << Rid;
+    Sink.Stream << ",\"component\":\"" << jsonEscape(Component)
+                << "\",\"msg\":\"" << jsonEscape(Message) << "\"}\n";
     Sink.Stream.flush();
   }
 }

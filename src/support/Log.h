@@ -22,6 +22,7 @@
 #define SE2GIS_SUPPORT_LOG_H
 
 #include <cstdarg>
+#include <cstdint>
 #include <optional>
 #include <string>
 
@@ -63,6 +64,31 @@ bool logEnabled(LogLevel L);
 /// \returns a compact 1-based id for the calling thread, assigned on first
 /// use. Shared with the tracer so log lines and trace tracks correlate.
 unsigned currentThreadId();
+
+/// Binds \p Rid as the calling thread's active request id (0 clears it).
+/// Set by the service at request admission and by workers for the duration
+/// of a job; propagated manually into portfolio race threads. While set,
+/// every log line gains an `[r=N]` bracket (and a `"rid"` JSONL field) and
+/// every flight-recorder event carries the id, so one request's activity
+/// can be grepped across logs, traces, and post-mortem dumps.
+void setThreadRequestId(std::uint64_t Rid);
+
+/// \returns the calling thread's active request id (0 when none).
+std::uint64_t threadRequestId();
+
+/// RAII binder for \c setThreadRequestId (restores the previous id).
+class RequestIdScope {
+public:
+  explicit RequestIdScope(std::uint64_t Rid) : Prev(threadRequestId()) {
+    setThreadRequestId(Rid);
+  }
+  ~RequestIdScope() { setThreadRequestId(Prev); }
+  RequestIdScope(const RequestIdScope &) = delete;
+  RequestIdScope &operator=(const RequestIdScope &) = delete;
+
+private:
+  std::uint64_t Prev;
+};
 
 /// Emits one record (already formatted). Serialized internally; a no-op
 /// when \p L is not admitted.

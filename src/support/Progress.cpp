@@ -1,0 +1,15 @@
+//===- Progress.cpp -------------------------------------------------------===//
+
+#include "support/Progress.h"
+
+namespace se2gis {
+
+namespace {
+thread_local ProgressBoard *TLBoard = nullptr;
+} // namespace
+
+void setThreadProgressBoard(ProgressBoard *Board) { TLBoard = Board; }
+
+ProgressBoard *threadProgressBoard() { return TLBoard; }
+
+} // namespace se2gis

@@ -28,6 +28,8 @@
 #ifndef SE2GIS_SUPPORT_TRACE_H
 #define SE2GIS_SUPPORT_TRACE_H
 
+#include "support/FlightRecorder.h"
+
 #include <cstdint>
 #include <iosfwd>
 #include <string>
@@ -85,20 +87,27 @@ void traceRecordSpan(const char *Name, const char *Category,
 std::uint64_t traceNowNs();
 } // namespace detail
 
-/// RAII span: measures the enclosing scope and records it on destruction.
-/// When tracing is disabled the constructor is one atomic load and every
-/// other member function is an immediate return. \p Name and \p Category
-/// must be string literals (or otherwise outlive the flush).
+/// RAII span: measures the enclosing scope and records it on destruction —
+/// into the trace buffers when tracing is on, and into the always-on
+/// flight recorder when that is on (the default). With both disabled the
+/// constructor is two relaxed atomic loads and every other member function
+/// is an immediate return. \p Name and \p Category must be string literals
+/// (or otherwise outlive the flush).
 class TraceSpan {
 public:
   TraceSpan(const char *Name, const char *Category)
       : Name(Name), Category(Category), Active(traceEnabled()),
-        StartNs(Active ? detail::traceNowNs() : 0) {}
+        Flight(flightEnabled()),
+        StartNs((Active || Flight) ? detail::traceNowNs() : 0) {}
 
   ~TraceSpan() {
+    if (!Active && !Flight)
+      return;
+    std::uint64_t DurNs = detail::traceNowNs() - StartNs;
+    if (Flight)
+      flightRecord(FlightKind::Span, Name, StartNs, DurNs, 0, Category);
     if (Active)
-      detail::traceRecordSpan(Name, Category, StartNs,
-                              detail::traceNowNs() - StartNs,
+      detail::traceRecordSpan(Name, Category, StartNs, DurNs,
                               std::move(Args));
   }
 
@@ -130,6 +139,7 @@ private:
   const char *Name;
   const char *Category;
   bool Active;
+  bool Flight; ///< also land in the always-on flight recorder
   std::uint64_t StartNs;
   std::vector<detail::TraceArg> Args;
 };

@@ -36,6 +36,7 @@
 ///   se2gis result --connect ADDR <job-id>
 ///   se2gis cancel --connect ADDR <job-id>
 ///   se2gis stats  --connect ADDR
+///   se2gis metrics --connect ADDR
 ///   se2gis drain  --connect ADDR [--deadline-ms N]
 ///   se2gis list   [--json]
 ///
@@ -55,6 +56,7 @@
 #include "service/Client.h"
 #include "suite/Benchmarks.h"
 #include "support/Diagnostics.h"
+#include "support/Log.h"
 #include "support/Trace.h"
 
 #include <chrono>
@@ -85,6 +87,7 @@ void usage() {
       "              [--algo A] [--timeout-ms N] [--priority N] [--wait]\n"
       "       se2gis status|result|cancel --connect ADDR <job-id>\n"
       "       se2gis stats --connect ADDR\n"
+      "       se2gis metrics --connect ADDR\n"
       "       se2gis drain --connect ADDR [--deadline-ms N]\n"
       "       se2gis list [--json]\n");
 }
@@ -110,7 +113,7 @@ int listMain(int argc, char **argv) {
     if (Arg == "--json") {
       AsJson = true;
     } else {
-      std::fprintf(stderr, "error: unknown option '%s'\n", Arg.c_str());
+      logf(LogLevel::Error, "cli", "unknown option '%s'", Arg.c_str());
       return 64;
     }
   }
@@ -146,7 +149,7 @@ int reportTypedError(const JsonValue &Resp) {
     Code = E->getString("code", Code);
     Message = E->getString("message", "");
   }
-  std::fprintf(stderr, "error: %s: %s\n", Code.c_str(), Message.c_str());
+  logf(LogLevel::Error, "cli", "%s: %s", Code.c_str(), Message.c_str());
   return 4;
 }
 
@@ -157,12 +160,12 @@ int callDaemon(const std::string &Addr, const JsonValue &Req,
   std::string Error;
   auto Client = ServiceClient::connect(Addr, Error);
   if (!Client) {
-    std::fprintf(stderr, "error: cannot connect to %s: %s\n", Addr.c_str(),
-                 Error.c_str());
+    logf(LogLevel::Error, "cli", "cannot connect to %s: %s", Addr.c_str(),
+         Error.c_str());
     return 70;
   }
   if (!Client->call(Req, Resp, Error)) {
-    std::fprintf(stderr, "error: %s\n", Error.c_str());
+    logf(LogLevel::Error, "cli", "%s", Error.c_str());
     return 70;
   }
   if (!Resp.getBool("ok", false))
@@ -242,7 +245,7 @@ int clientMain(int argc, char **argv) {
       usage();
       return 0;
     } else if (!Arg.empty() && Arg[0] == '-') {
-      std::fprintf(stderr, "error: unknown option '%s'\n", Arg.c_str());
+      logf(LogLevel::Error, "cli", "unknown option '%s'", Arg.c_str());
       return 64;
     } else {
       JobId = Arg;
@@ -254,8 +257,8 @@ int clientMain(int argc, char **argv) {
 
   if (Sub == "submit") {
     if (Benchmark.empty() == SourcePath.empty()) {
-      std::fprintf(stderr,
-                   "error: submit needs exactly one of --benchmark/--source\n");
+      logf(LogLevel::Error, "cli",
+           "submit needs exactly one of --benchmark/--source");
       return 64;
     }
     if (!Benchmark.empty()) {
@@ -263,7 +266,7 @@ int clientMain(int argc, char **argv) {
     } else {
       std::ifstream In(SourcePath);
       if (!In) {
-        std::fprintf(stderr, "error: cannot open '%s'\n", SourcePath.c_str());
+        logf(LogLevel::Error, "cli", "cannot open '%s'", SourcePath.c_str());
         return 64;
       }
       std::ostringstream Buf;
@@ -279,15 +282,15 @@ int clientMain(int argc, char **argv) {
       Req.set("priority", JsonValue::number(static_cast<std::int64_t>(Priority)));
   } else if (Sub == "status" || Sub == "result" || Sub == "cancel") {
     if (JobId.empty()) {
-      std::fprintf(stderr, "error: %s needs a job id\n", Sub.c_str());
+      logf(LogLevel::Error, "cli", "%s needs a job id", Sub.c_str());
       return 64;
     }
     Req.set("job", JsonValue::str(JobId));
   } else if (Sub == "drain") {
     if (DeadlineMs >= 0)
       Req.set("deadline_ms", JsonValue::number(DeadlineMs));
-  } else if (Sub != "stats" && Sub != "ping") {
-    std::fprintf(stderr, "error: unknown subcommand '%s'\n", Sub.c_str());
+  } else if (Sub != "stats" && Sub != "ping" && Sub != "metrics") {
+    logf(LogLevel::Error, "cli", "unknown subcommand '%s'", Sub.c_str());
     usage();
     return 64;
   }
@@ -303,6 +306,12 @@ int clientMain(int argc, char **argv) {
     std::printf("%s\n", Id.c_str());
     return 0;
   }
+  if (Sub == "metrics") {
+    // The exposition is line-oriented text, not JSON: print the body raw so
+    // `se2gis metrics | promtool check metrics` just works.
+    std::printf("%s", Resp.getString("body", "").c_str());
+    return 0;
+  }
   std::printf("%s\n", Resp.dump().c_str());
   return 0;
 }
@@ -315,8 +324,8 @@ int main(int argc, char **argv) {
     if (First == "list")
       return listMain(argc, argv);
     if (First == "submit" || First == "status" || First == "result" ||
-        First == "cancel" || First == "stats" || First == "drain" ||
-        First == "ping")
+        First == "cancel" || First == "stats" || First == "metrics" ||
+        First == "drain" || First == "ping")
       return clientMain(argc, argv);
   }
 
@@ -324,7 +333,7 @@ int main(int argc, char **argv) {
   try {
     Config = SolverConfig::fromEnv(/*DefaultTimeoutMs=*/60000);
   } catch (const UserError &E) {
-    std::fprintf(stderr, "error: %s\n", E.what());
+    logf(LogLevel::Error, "cli", "%s", E.what());
     return 64;
   }
   AlgorithmKind Algo = AlgorithmKind::SE2GIS;
@@ -339,7 +348,7 @@ int main(int argc, char **argv) {
       std::string Name = argv[++I];
       auto K = parseAlgorithmName(Name);
       if (!K) {
-        std::fprintf(stderr, "error: unknown algorithm '%s'\n", Name.c_str());
+        logf(LogLevel::Error, "cli", "unknown algorithm '%s'", Name.c_str());
         return 64;
       }
       Algo = *K;
@@ -359,10 +368,9 @@ int main(int argc, char **argv) {
       std::string Name = argv[++I];
       auto Mode = parseUnrealMode(Name);
       if (!Mode) {
-        std::fprintf(stderr,
-                     "error: --unreal expects witness, chc, or race, got "
-                     "'%s'\n",
-                     Name.c_str());
+        logf(LogLevel::Error, "cli",
+             "--unreal expects witness, chc, or race, got '%s'",
+             Name.c_str());
         return 64;
       }
       Config.Algo.Unreal = *Mode;
@@ -373,16 +381,15 @@ int main(int argc, char **argv) {
       else if (Mode == "off")
         Config.Algo.SmtIncremental = false;
       else {
-        std::fprintf(stderr,
-                     "error: --smt-incremental expects on or off, got '%s'\n",
-                     Mode.c_str());
+        logf(LogLevel::Error, "cli",
+             "--smt-incremental expects on or off, got '%s'", Mode.c_str());
         return 64;
       }
     } else if (Arg == "--cache" && I + 1 < argc) {
       std::string Name = argv[++I];
       auto Mode = parseCacheMode(Name);
       if (!Mode) {
-        std::fprintf(stderr, "error: unknown cache mode '%s'\n", Name.c_str());
+        logf(LogLevel::Error, "cli", "unknown cache mode '%s'", Name.c_str());
         return 64;
       }
       Config.Cache.Mode = *Mode;
@@ -392,7 +399,7 @@ int main(int argc, char **argv) {
       std::string Name = argv[++I];
       auto Level = parseLogLevel(Name);
       if (!Level) {
-        std::fprintf(stderr, "error: unknown log level '%s'\n", Name.c_str());
+        logf(LogLevel::Error, "cli", "unknown log level '%s'", Name.c_str());
         return 64;
       }
       Config.Log.Level = *Level;
@@ -408,7 +415,7 @@ int main(int argc, char **argv) {
       usage();
       return 0;
     } else if (!Arg.empty() && Arg[0] == '-') {
-      std::fprintf(stderr, "error: unknown option '%s'\n", Arg.c_str());
+      logf(LogLevel::Error, "cli", "unknown option '%s'", Arg.c_str());
       usage();
       return 64;
     } else {
@@ -423,7 +430,7 @@ int main(int argc, char **argv) {
   if (Config.Cache.Mode == CacheMode::Disk) {
     std::string Err = validateCacheDir(Config.Cache.Dir);
     if (!Err.empty()) {
-      std::fprintf(stderr, "error: --cache-dir: %s\n", Err.c_str());
+      logf(LogLevel::Error, "cli", "--cache-dir: %s", Err.c_str());
       return 64;
     }
   }
@@ -433,22 +440,21 @@ int main(int argc, char **argv) {
   if (!Benchmark.empty()) {
     const BenchmarkDef *Def = findBenchmark(Benchmark);
     if (!Def) {
-      std::fprintf(stderr,
-                   "error: unknown benchmark '%s' (see `se2gis list`)\n",
-                   Benchmark.c_str());
+      logf(LogLevel::Error, "cli",
+           "unknown benchmark '%s' (see `se2gis list`)", Benchmark.c_str());
       return 64;
     }
     DisplayName = Def->Name;
     try {
       P = std::make_shared<const Problem>(loadBenchmark(*Def));
     } catch (const UserError &E) {
-      std::fprintf(stderr, "error: %s\n", E.what());
+      logf(LogLevel::Error, "cli", "%s", E.what());
       return 64;
     }
   } else {
     std::ifstream In(Path);
     if (!In) {
-      std::fprintf(stderr, "error: cannot open '%s'\n", Path.c_str());
+      logf(LogLevel::Error, "cli", "cannot open '%s'", Path.c_str());
       return 64;
     }
     std::ostringstream Buf;
@@ -457,7 +463,7 @@ int main(int argc, char **argv) {
     try {
       P = std::make_shared<const Problem>(loadProblem(Buf.str()));
     } catch (const UserError &E) {
-      std::fprintf(stderr, "error: %s\n", E.what());
+      logf(LogLevel::Error, "cli", "%s", E.what());
       return 64;
     }
   }

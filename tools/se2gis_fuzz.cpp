@@ -32,6 +32,7 @@
 #include "gen/Generator.h"
 #include "gen/Shrink.h"
 #include "support/Diagnostics.h"
+#include "support/Log.h"
 #include "support/Trace.h"
 
 #include <cstdio>
@@ -127,7 +128,7 @@ int main(int argc, char **argv) {
     SeedSet = Env.GenSeed != 0;
     Opts.TimeoutMs = Env.Algo.TimeoutMs;
   } catch (const UserError &E) {
-    std::fprintf(stderr, "error: %s\n", E.what());
+    logf(LogLevel::Error, "fuzz", "%s", E.what());
     return 64;
   }
 
@@ -135,7 +136,7 @@ int main(int argc, char **argv) {
     std::string A = argv[I];
     auto Value = [&](const char *Flag) -> const char * {
       if (I + 1 >= argc) {
-        std::fprintf(stderr, "error: %s needs a value\n", Flag);
+        logf(LogLevel::Error, "fuzz", "%s needs a value", Flag);
         usage();
         std::exit(64);
       }
@@ -155,7 +156,7 @@ int main(int argc, char **argv) {
       else if (V == "full")
         FullMatrix = true;
       else {
-        std::fprintf(stderr, "error: --matrix expects small|full\n");
+        logf(LogLevel::Error, "fuzz", "--matrix expects small|full");
         return 64;
       }
     } else if (A == "--corpus") {
@@ -174,7 +175,7 @@ int main(int argc, char **argv) {
       usage();
       return 0;
     } else {
-      std::fprintf(stderr, "error: unknown flag '%s'\n", A.c_str());
+      logf(LogLevel::Error, "fuzz", "unknown flag '%s'", A.c_str());
       usage();
       return 64;
     }
@@ -200,7 +201,7 @@ int main(int argc, char **argv) {
   if (!ReplayFile.empty()) {
     std::ifstream In(ReplayFile);
     if (!In) {
-      std::fprintf(stderr, "error: cannot read %s\n", ReplayFile.c_str());
+      logf(LogLevel::Error, "fuzz", "cannot read %s", ReplayFile.c_str());
       return 64;
     }
     std::ostringstream SS;
@@ -213,8 +214,8 @@ int main(int argc, char **argv) {
   }
 
   if (!SeedSet) {
-    std::fprintf(stderr,
-                 "error: --gen-seed is required (or SE2GIS_GEN_SEED)\n");
+    logf(LogLevel::Error, "fuzz",
+         "--gen-seed is required (or SE2GIS_GEN_SEED)");
     usage();
     return 64;
   }
@@ -223,8 +224,8 @@ int main(int argc, char **argv) {
     std::error_code EC;
     std::filesystem::create_directories(CorpusDir, EC);
     if (EC) {
-      std::fprintf(stderr, "error: cannot create corpus dir %s\n",
-                   CorpusDir.c_str());
+      logf(LogLevel::Error, "fuzz", "cannot create corpus dir %s",
+           CorpusDir.c_str());
       return 64;
     }
   }

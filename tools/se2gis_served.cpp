@@ -16,6 +16,8 @@
 ///     --cache-dir DIR        persistent store directory
 ///     --log-level error|warn|info|debug
 ///     --trace PATH           Chrome trace_event output
+///     --metrics-addr ADDR    plain-HTTP Prometheus listener (unix:/tcp:)
+///     --flight-dir DIR       flight-recorder dump directory
 ///
 /// Flags override the SE2GIS_* environment (read via SolverConfig::fromEnv).
 /// SIGINT/SIGTERM trigger a graceful drain: stop admitting, finish or
@@ -26,6 +28,7 @@
 
 #include "service/Server.h"
 #include "support/Diagnostics.h"
+#include "support/Log.h"
 
 #include <csignal>
 #include <cstdio>
@@ -47,7 +50,9 @@ void usage() {
       "                     [--cache off|mem|disk]\n"
       "                     [--cache-dir DIR]\n"
       "                     [--log-level error|warn|info|debug]\n"
-      "                     [--trace PATH]\n");
+      "                     [--trace PATH]\n"
+      "                     [--metrics-addr unix:<path>|tcp:<host>:<port>]\n"
+      "                     [--flight-dir DIR]\n");
 }
 
 /// The signal handler may only touch async-signal-safe state; the server
@@ -66,7 +71,7 @@ int main(int argc, char **argv) {
   try {
     Config.Base = SolverConfig::fromEnv(/*DefaultTimeoutMs=*/5000);
   } catch (const UserError &E) {
-    std::fprintf(stderr, "error: %s\n", E.what());
+    logf(LogLevel::Error, "served", "%s", E.what());
     return 64;
   }
 
@@ -80,7 +85,7 @@ int main(int argc, char **argv) {
     } else if (Arg == "--max-queue" && I + 1 < argc) {
       long V = std::atol(argv[++I]);
       if (V < 1) {
-        std::fprintf(stderr, "error: --max-queue must be at least 1\n");
+        logf(LogLevel::Error, "served", "--max-queue must be at least 1");
         return 64;
       }
       Config.MaxQueue = static_cast<std::size_t>(V);
@@ -92,10 +97,8 @@ int main(int argc, char **argv) {
       std::string Name = argv[++I];
       auto Mode = parseUnrealMode(Name);
       if (!Mode) {
-        std::fprintf(stderr,
-                     "error: --unreal expects witness, chc, or race, got "
-                     "'%s'\n",
-                     Name.c_str());
+        logf(LogLevel::Error, "served",
+             "--unreal expects witness, chc, or race, got '%s'", Name.c_str());
         return 64;
       }
       Config.Base.Algo.Unreal = *Mode;
@@ -106,16 +109,15 @@ int main(int argc, char **argv) {
       else if (Mode == "off")
         Config.Base.Algo.SmtIncremental = false;
       else {
-        std::fprintf(stderr,
-                     "error: --smt-incremental expects on or off, got '%s'\n",
-                     Mode.c_str());
+        logf(LogLevel::Error, "served",
+             "--smt-incremental expects on or off, got '%s'", Mode.c_str());
         return 64;
       }
     } else if (Arg == "--cache" && I + 1 < argc) {
       std::string Name = argv[++I];
       auto Mode = parseCacheMode(Name);
       if (!Mode) {
-        std::fprintf(stderr, "error: unknown cache mode '%s'\n", Name.c_str());
+        logf(LogLevel::Error, "served", "unknown cache mode '%s'", Name.c_str());
         return 64;
       }
       Config.Base.Cache.Mode = *Mode;
@@ -125,26 +127,31 @@ int main(int argc, char **argv) {
       std::string Name = argv[++I];
       auto Level = parseLogLevel(Name);
       if (!Level) {
-        std::fprintf(stderr, "error: unknown log level '%s'\n", Name.c_str());
+        logf(LogLevel::Error, "served", "unknown log level '%s'", Name.c_str());
         return 64;
       }
       Config.Base.Log.Level = *Level;
     } else if (Arg == "--trace" && I + 1 < argc) {
       Config.Base.TracePath = argv[++I];
+    } else if (Arg == "--metrics-addr" && I + 1 < argc) {
+      Config.MetricsAddr = argv[++I];
+    } else if (Arg == "--flight-dir" && I + 1 < argc) {
+      Config.FlightDir = argv[++I];
     } else if (Arg == "--help" || Arg == "-h") {
       usage();
       return 0;
     } else {
-      std::fprintf(stderr, "error: unknown option '%s'\n", Arg.c_str());
+      logf(LogLevel::Error, "served", "unknown option '%s'", Arg.c_str());
       usage();
       return 64;
     }
   }
 
+  const bool HasMetrics = !Config.MetricsAddr.empty();
   Server S(std::move(Config));
   std::string Error;
   if (!S.start(Error)) {
-    std::fprintf(stderr, "error: %s\n", Error.c_str());
+    logf(LogLevel::Error, "served", "%s", Error.c_str());
     return 64;
   }
 
@@ -154,6 +161,9 @@ int main(int argc, char **argv) {
 
   std::printf("se2gis_served: listening on %s (%u workers)\n",
               S.addr().str().c_str(), S.workers());
+  if (HasMetrics)
+    std::printf("se2gis_served: metrics on %s\n",
+                S.metricsAddr().str().c_str());
   std::fflush(stdout);
 
   S.run(); // blocks until a drain (protocol or signal) completes
