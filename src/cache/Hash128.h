@@ -29,11 +29,44 @@ struct Hash128 {
     return Hi != O.Hi ? Hi < O.Hi : Lo < O.Lo;
   }
 
-  /// Fixed-width lowercase hex rendering (32 chars), the on-disk key form.
-  std::string hex() const;
+  /// Fixed-width lowercase hex rendering (32 chars), the on-disk key form
+  /// (and the wire form of the cache protocol, see src/cachenet/).
+  std::string hex() const {
+    static const char *Digits = "0123456789abcdef";
+    std::string S(32, '0');
+    for (int I = 0; I < 16; ++I) {
+      std::uint64_t W = I < 8 ? Hi : Lo;
+      int Shift = 56 - 8 * (I % 8);
+      unsigned char B = static_cast<unsigned char>((W >> Shift) & 0xff);
+      S[2 * I] = Digits[B >> 4];
+      S[2 * I + 1] = Digits[B & 0xf];
+    }
+    return S;
+  }
 
   /// Parses the \c hex form; returns false on malformed input.
-  static bool fromHex(const std::string &S, Hash128 &Out);
+  static bool fromHex(const std::string &S, Hash128 &Out) {
+    if (S.size() != 32)
+      return false;
+    auto Nibble = [](char C, unsigned &V) {
+      if (C >= '0' && C <= '9')
+        V = static_cast<unsigned>(C - '0');
+      else if (C >= 'a' && C <= 'f')
+        V = static_cast<unsigned>(C - 'a') + 10;
+      else
+        return false;
+      return true;
+    };
+    Out = Hash128{};
+    for (int I = 0; I < 32; ++I) {
+      unsigned V = 0;
+      if (!Nibble(S[I], V))
+        return false;
+      std::uint64_t &W = I < 16 ? Out.Hi : Out.Lo;
+      W = (W << 4) | V;
+    }
+    return true;
+  }
 };
 
 /// Feeds one 64-bit word into \p H (order-sensitive). The two lanes use

@@ -1,0 +1,480 @@
+//===- CacheDaemon.cpp ----------------------------------------------------===//
+
+#include "cachenet/CacheDaemon.h"
+
+#include "support/Metrics.h"
+
+#include <csignal>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+using namespace se2gis;
+
+bool se2gis::validCacheSegmentName(const std::string &Name) {
+  if (Name.empty() || Name.size() > 64)
+    return false;
+  for (char C : Name) {
+    bool Ok = (C >= 'a' && C <= 'z') || (C >= '0' && C <= '9') || C == '_' ||
+              C == '-';
+    if (!Ok)
+      return false;
+  }
+  return true;
+}
+
+CacheDaemon::CacheDaemon(CacheDaemonConfig C) : Config(std::move(C)) {}
+
+CacheDaemon::~CacheDaemon() {
+  closeFd(ListenFd);
+  closeFd(MetricsFd);
+  closeFd(WakePipe[0]);
+  closeFd(WakePipe[1]);
+  if (BoundAddr.IsUnix && !BoundAddr.Path.empty())
+    ::unlink(BoundAddr.Path.c_str());
+  if (MetricsBoundAddr.IsUnix && !MetricsBoundAddr.Path.empty())
+    ::unlink(MetricsBoundAddr.Path.c_str());
+}
+
+bool CacheDaemon::start(std::string &Error) {
+  if (!parseServiceAddr(Config.Listen, BoundAddr, Error))
+    return false;
+  if (::pipe(WakePipe) != 0) {
+    Error = "cannot create wake pipe";
+    return false;
+  }
+  configureLogging(Config.Log);
+
+  Store = DiskStore::open(Config.Dir, Error);
+  if (!Store)
+    return false;
+  {
+    // Preload the hot segments so a restart is warm immediately and the
+    // (possibly compacting) load happens before the first client.
+    std::lock_guard<std::mutex> Lock(StoreM);
+    for (const char *Name : {"smt", "suite"})
+      segmentLocked(Name);
+  }
+
+  ListenFd = listenOn(BoundAddr, Error);
+  if (ListenFd < 0)
+    return false;
+  ::signal(SIGPIPE, SIG_IGN);
+
+  if (!Config.MetricsAddr.empty()) {
+    if (!parseServiceAddr(Config.MetricsAddr, MetricsBoundAddr, Error))
+      return false;
+    MetricsFd = listenOn(MetricsBoundAddr, Error);
+    if (MetricsFd < 0)
+      return false;
+    logf(LogLevel::Info, "cached", "metrics listener on %s",
+         MetricsBoundAddr.str().c_str());
+  }
+
+  StartAt = std::chrono::steady_clock::now();
+  std::uint64_t Entries = 0;
+  {
+    std::lock_guard<std::mutex> Lock(StoreM);
+    for (const auto &[Name, Seg] : Segments)
+      Entries += Seg.Map.size();
+  }
+  logf(LogLevel::Info, "cached",
+       "listening on %s (store %s, %llu entries warm)",
+       BoundAddr.str().c_str(), Config.Dir.c_str(),
+       static_cast<unsigned long long>(Entries));
+
+  AcceptThread = std::thread([this] { acceptLoop(); });
+  if (MetricsFd >= 0)
+    MetricsThread = std::thread([this] { metricsLoop(); });
+  return true;
+}
+
+CacheDaemon::SegmentState &CacheDaemon::segmentLocked(const std::string &Name) {
+  auto It = Segments.find(Name);
+  if (It != Segments.end())
+    return It->second;
+  SegmentState S;
+  S.Map = Store->loadSegment(Name, Config.CompactBytes);
+  for (const auto &[K, Payload] : S.Map) {
+    (void)K;
+    S.Bytes += Payload.size();
+  }
+  return Segments.emplace(Name, std::move(S)).first->second;
+}
+
+//===----------------------------------------------------------------------===//
+// Request handling
+//===----------------------------------------------------------------------===//
+
+JsonValue CacheDaemon::handleRequest(const JsonValue &Req) {
+  std::string Method = Req.getString("method");
+  if (Method == "cache.get")
+    return handleGet(Req);
+  if (Method == "cache.put")
+    return handlePut(Req);
+  if (Method == "cache.stats")
+    return handleStats();
+  if (Method == "cache.drain")
+    return handleDrain();
+  if (Method == "ping") {
+    JsonValue Resp = makeOkResponse();
+    Resp.set("pong", JsonValue::boolean(true));
+    Resp.set("proto", JsonValue::number(std::int64_t(1)));
+    Resp.set("role", JsonValue::str("cached"));
+    return Resp;
+  }
+  if (Method.empty())
+    return makeErrorResponse(ErrorCode::BadRequest,
+                             "request carries no method field");
+  return makeErrorResponse(ErrorCode::UnknownMethod,
+                           "unknown method '" + Method + "'");
+}
+
+namespace {
+
+/// Validates the segment/key fields shared by get and put. \returns false
+/// with the typed error response filled in.
+bool parseEntryRef(const JsonValue &Req, std::string &Segment, Hash128 &Key,
+                   JsonValue &ErrorResp) {
+  Segment = Req.getString("segment");
+  if (!validCacheSegmentName(Segment)) {
+    ErrorResp = makeErrorResponse(
+        ErrorCode::BadRequest,
+        "bad segment name (want 1-64 chars of [a-z0-9_-])");
+    return false;
+  }
+  std::string KeyHex = Req.getString("key");
+  if (!Hash128::fromHex(KeyHex, Key)) {
+    ErrorResp = makeErrorResponse(ErrorCode::BadRequest,
+                                  "bad key (want 32 lowercase hex chars)");
+    return false;
+  }
+  return true;
+}
+
+} // namespace
+
+JsonValue CacheDaemon::handleGet(const JsonValue &Req) {
+  std::string Segment;
+  Hash128 Key;
+  JsonValue ErrorResp;
+  if (!parseEntryRef(Req, Segment, Key, ErrorResp)) {
+    Rejected.fetch_add(1, std::memory_order_relaxed);
+    return ErrorResp;
+  }
+  if (DrainStarted.load(std::memory_order_acquire))
+    return makeErrorResponse(ErrorCode::Draining, "daemon is draining");
+  Gets.fetch_add(1, std::memory_order_relaxed);
+  JsonValue Resp = makeOkResponse();
+  std::lock_guard<std::mutex> Lock(StoreM);
+  SegmentState &Seg = segmentLocked(Segment);
+  auto It = Seg.Map.find(Key);
+  if (It == Seg.Map.end()) {
+    Misses.fetch_add(1, std::memory_order_relaxed);
+    Resp.set("found", JsonValue::boolean(false));
+    return Resp;
+  }
+  Hits.fetch_add(1, std::memory_order_relaxed);
+  Resp.set("found", JsonValue::boolean(true));
+  Resp.set("payload", JsonValue::str(It->second));
+  return Resp;
+}
+
+JsonValue CacheDaemon::handlePut(const JsonValue &Req) {
+  std::string Segment;
+  Hash128 Key;
+  JsonValue ErrorResp;
+  if (!parseEntryRef(Req, Segment, Key, ErrorResp)) {
+    Rejected.fetch_add(1, std::memory_order_relaxed);
+    return ErrorResp;
+  }
+  const JsonValue *Payload = Req.get("payload");
+  if (!Payload || !Payload->isString()) {
+    Rejected.fetch_add(1, std::memory_order_relaxed);
+    return makeErrorResponse(ErrorCode::BadRequest,
+                             "put needs a string 'payload'");
+  }
+  if (Payload->asString().size() > Config.MaxPayloadBytes) {
+    Rejected.fetch_add(1, std::memory_order_relaxed);
+    return makeErrorResponse(ErrorCode::BadRequest,
+                             "payload exceeds the admission bound (" +
+                                 std::to_string(Config.MaxPayloadBytes) +
+                                 " bytes)");
+  }
+  if (DrainStarted.load(std::memory_order_acquire))
+    return makeErrorResponse(ErrorCode::Draining, "daemon is draining");
+  Puts.fetch_add(1, std::memory_order_relaxed);
+  JsonValue Resp = makeOkResponse();
+  std::lock_guard<std::mutex> Lock(StoreM);
+  SegmentState &Seg = segmentLocked(Segment);
+  auto [It, Fresh] = Seg.Map.emplace(Key, Payload->asString());
+  (void)It;
+  if (Fresh) {
+    // Content-addressed: a duplicate key is the same payload, so only
+    // first insertion reaches the store (same rule as persistentInsert).
+    Store->append(Segment, Key, Payload->asString());
+    Seg.Bytes += Payload->asString().size();
+    PutsStored.fetch_add(1, std::memory_order_relaxed);
+  }
+  Resp.set("stored", JsonValue::boolean(Fresh));
+  return Resp;
+}
+
+JsonValue CacheDaemon::handleStats() {
+  JsonValue Resp = makeOkResponse();
+  Resp.set("role", JsonValue::str("cached"));
+  Resp.set("listen", JsonValue::str(BoundAddr.str()));
+  Resp.set("dir", JsonValue::str(Config.Dir));
+  Resp.set("pid", JsonValue::number(std::int64_t(::getpid())));
+  Resp.set("uptime_s",
+           JsonValue::number(
+               std::chrono::duration_cast<std::chrono::duration<double>>(
+                   std::chrono::steady_clock::now() - StartAt)
+                   .count()));
+  Resp.set("gets", JsonValue::number(std::int64_t(Gets.load())));
+  Resp.set("hits", JsonValue::number(std::int64_t(Hits.load())));
+  Resp.set("misses", JsonValue::number(std::int64_t(Misses.load())));
+  Resp.set("puts", JsonValue::number(std::int64_t(Puts.load())));
+  Resp.set("puts_stored", JsonValue::number(std::int64_t(PutsStored.load())));
+  Resp.set("rejected", JsonValue::number(std::int64_t(Rejected.load())));
+  Resp.set("draining", JsonValue::boolean(DrainStarted.load()));
+  JsonValue Segs = JsonValue::object();
+  std::uint64_t Entries = 0;
+  {
+    std::lock_guard<std::mutex> Lock(StoreM);
+    for (const auto &[Name, Seg] : Segments) {
+      JsonValue S = JsonValue::object();
+      S.set("entries", JsonValue::number(std::int64_t(Seg.Map.size())));
+      S.set("bytes", JsonValue::number(std::int64_t(Seg.Bytes)));
+      Segs.set(Name, std::move(S));
+      Entries += Seg.Map.size();
+    }
+    Resp.set("bytes_written", JsonValue::number(
+                                  std::int64_t(Store->bytesWritten())));
+    Resp.set("bytes_loaded",
+             JsonValue::number(std::int64_t(Store->bytesLoaded())));
+    Resp.set("corrupt_lines_skipped",
+             JsonValue::number(std::int64_t(Store->corruptLinesSkipped())));
+  }
+  Resp.set("entries", JsonValue::number(std::int64_t(Entries)));
+  Resp.set("segments", std::move(Segs));
+  return Resp;
+}
+
+JsonValue CacheDaemon::handleDrain() {
+  std::uint64_t Entries = drain();
+  JsonValue Resp = makeOkResponse();
+  Resp.set("drained", JsonValue::boolean(true));
+  Resp.set("entries", JsonValue::number(std::int64_t(Entries)));
+  return Resp;
+}
+
+std::uint64_t CacheDaemon::drain() {
+  if (DrainStarted.exchange(true))
+    return DrainEntries.load(std::memory_order_acquire);
+  std::uint64_t Entries = 0;
+  {
+    std::lock_guard<std::mutex> Lock(StoreM);
+    for (const auto &[Name, Seg] : Segments)
+      Entries += Seg.Map.size();
+    // fsync before reporting drained: a drain-then-restart must replay
+    // every acknowledged put (same discipline as the service drain).
+    Store->sync();
+  }
+  DrainEntries.store(Entries, std::memory_order_release);
+  logf(LogLevel::Info, "cached", "drain: store synced (%llu entries)",
+       static_cast<unsigned long long>(Entries));
+  Stop.store(true, std::memory_order_release);
+  if (WakePipe[1] >= 0) {
+    char B = 'w';
+    [[maybe_unused]] ssize_t W = ::write(WakePipe[1], &B, 1);
+  }
+  return Entries;
+}
+
+//===----------------------------------------------------------------------===//
+// Accept/connection/metrics loops (the Server.cpp shape, minus the queue)
+//===----------------------------------------------------------------------===//
+
+void CacheDaemon::requestDrainAsync() {
+  if (WakePipe[1] >= 0) {
+    char B = 'd';
+    [[maybe_unused]] ssize_t W = ::write(WakePipe[1], &B, 1);
+  }
+}
+
+void CacheDaemon::acceptLoop() {
+  while (!Stop.load(std::memory_order_acquire)) {
+    pollfd Fds[2] = {{ListenFd, POLLIN, 0}, {WakePipe[0], POLLIN, 0}};
+    int N = ::poll(Fds, 2, -1);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      break;
+    }
+    if (Fds[1].revents & POLLIN) {
+      char B = 0;
+      [[maybe_unused]] ssize_t R = ::read(WakePipe[0], &B, 1);
+      if (B == 'd') {
+        drain();
+        break;
+      }
+      continue;
+    }
+    if (!(Fds[0].revents & POLLIN))
+      continue;
+    int ClientFd = ::accept(ListenFd, nullptr, nullptr);
+    if (ClientFd < 0)
+      continue;
+    std::lock_guard<std::mutex> Lock(ConnMutex);
+    if (Stop.load(std::memory_order_acquire)) {
+      closeFd(ClientFd);
+      break;
+    }
+    ConnFds.push_back(ClientFd);
+    ConnThreads.emplace_back([this, ClientFd] { connectionLoop(ClientFd); });
+  }
+}
+
+void CacheDaemon::connectionLoop(int Fd) {
+  std::string Payload;
+  while (true) {
+    FrameStatus St = readFrame(Fd, Payload);
+    if (St == FrameStatus::Eof || St == FrameStatus::Truncated ||
+        St == FrameStatus::IoError)
+      break;
+    if (St == FrameStatus::Oversized) {
+      writeFrame(Fd, makeErrorResponse(ErrorCode::OversizedFrame,
+                                       "frame exceeds the protocol bound")
+                         .dump());
+      break;
+    }
+    std::uint64_t Rid = NextRid.fetch_add(1, std::memory_order_relaxed);
+    RequestIdScope RidScope(Rid);
+    JsonValue Req;
+    std::string ParseError;
+    JsonValue Resp;
+    if (!JsonValue::parse(Payload, Req, ParseError))
+      Resp = makeErrorResponse(ErrorCode::ParseError, ParseError);
+    else if (!Req.isObject())
+      Resp = makeErrorResponse(ErrorCode::BadRequest,
+                               "request must be a JSON object");
+    else
+      Resp = handleRequest(Req);
+    Resp.set("rid", JsonValue::number(static_cast<std::int64_t>(Rid)));
+    if (!writeFrame(Fd, Resp.dump()))
+      break;
+  }
+  {
+    std::lock_guard<std::mutex> Lock(ConnMutex);
+    for (auto It = ConnFds.begin(); It != ConnFds.end(); ++It)
+      if (*It == Fd) {
+        ConnFds.erase(It);
+        break;
+      }
+  }
+  closeFd(Fd);
+}
+
+std::string CacheDaemon::renderMetrics() {
+  PrometheusWriter W;
+  W.gauge("se2gis_cached_uptime_seconds", "daemon uptime",
+          std::chrono::duration_cast<std::chrono::duration<double>>(
+              std::chrono::steady_clock::now() - StartAt)
+              .count());
+  W.gauge("se2gis_cached_draining", "1 while the daemon is draining",
+          DrainStarted.load() ? 1 : 0);
+  W.counter("se2gis_cached_gets_total", "cache.get requests admitted",
+            static_cast<double>(Gets.load()));
+  W.counter("se2gis_cached_hits_total", "cache.get requests that found a key",
+            static_cast<double>(Hits.load()));
+  W.counter("se2gis_cached_misses_total", "cache.get requests with no entry",
+            static_cast<double>(Misses.load()));
+  W.counter("se2gis_cached_puts_total", "cache.put requests admitted",
+            static_cast<double>(Puts.load()));
+  W.counter("se2gis_cached_puts_stored_total",
+            "cache.put requests that appended a fresh entry",
+            static_cast<double>(PutsStored.load()));
+  W.counter("se2gis_cached_rejected_total",
+            "requests refused by admission control",
+            static_cast<double>(Rejected.load()));
+  std::lock_guard<std::mutex> Lock(StoreM);
+  for (const auto &[Name, Seg] : Segments) {
+    W.gauge("se2gis_cached_entries", "entries held per segment",
+            static_cast<double>(Seg.Map.size()), {{"segment", Name}});
+    W.gauge("se2gis_cached_segment_bytes", "payload bytes held per segment",
+            static_cast<double>(Seg.Bytes), {{"segment", Name}});
+  }
+  W.counter("se2gis_cached_store_bytes_written_total",
+            "bytes appended to the backing store",
+            static_cast<double>(Store->bytesWritten()));
+  W.counter("se2gis_cached_store_bytes_loaded_total",
+            "bytes loaded from the backing store",
+            static_cast<double>(Store->bytesLoaded()));
+  return W.str();
+}
+
+void CacheDaemon::metricsLoop() {
+  while (!Stop.load(std::memory_order_acquire)) {
+    pollfd P = {MetricsFd, POLLIN, 0};
+    int N = ::poll(&P, 1, 200);
+    if (N < 0 && errno != EINTR)
+      break;
+    if (N <= 0 || !(P.revents & POLLIN))
+      continue;
+    int Fd = ::accept(MetricsFd, nullptr, nullptr);
+    if (Fd < 0)
+      continue;
+    std::string Req;
+    char Buf[1024];
+    while (Req.size() < 16384 && Req.find("\r\n\r\n") == std::string::npos) {
+      pollfd RP = {Fd, POLLIN, 0};
+      if (::poll(&RP, 1, 2000) <= 0 || !(RP.revents & POLLIN))
+        break;
+      ssize_t R = ::recv(Fd, Buf, sizeof(Buf), 0);
+      if (R <= 0)
+        break;
+      Req.append(Buf, static_cast<std::size_t>(R));
+    }
+    if (Req.find("\r\n\r\n") != std::string::npos ||
+        Req.find('\n') != std::string::npos) {
+      std::string Body = renderMetrics();
+      std::string Resp = "HTTP/1.0 200 OK\r\n"
+                         "Content-Type: text/plain; version=0.0.4; "
+                         "charset=utf-8\r\n"
+                         "Content-Length: " +
+                         std::to_string(Body.size()) +
+                         "\r\n"
+                         "Connection: close\r\n\r\n" +
+                         Body;
+      std::size_t Off = 0;
+      while (Off < Resp.size()) {
+        ssize_t W = ::send(Fd, Resp.data() + Off, Resp.size() - Off, 0);
+        if (W <= 0)
+          break;
+        Off += static_cast<std::size_t>(W);
+      }
+    }
+    closeFd(Fd);
+  }
+}
+
+void CacheDaemon::run() {
+  if (AcceptThread.joinable())
+    AcceptThread.join();
+  closeFd(ListenFd);
+  ListenFd = -1;
+  if (MetricsThread.joinable())
+    MetricsThread.join();
+  closeFd(MetricsFd);
+  MetricsFd = -1;
+  {
+    std::lock_guard<std::mutex> Lock(ConnMutex);
+    for (int Fd : ConnFds)
+      ::shutdown(Fd, SHUT_RD);
+  }
+  for (std::thread &T : ConnThreads)
+    if (T.joinable())
+      T.join();
+  ConnFds.clear();
+}

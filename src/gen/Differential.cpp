@@ -13,7 +13,8 @@
 
 using namespace se2gis;
 
-std::vector<FuzzConfigSpec> se2gis::defaultMatrix(bool Full) {
+std::vector<FuzzConfigSpec> se2gis::defaultMatrix(bool Full,
+                                                  bool WithRemote) {
   std::vector<FuzzConfigSpec> M;
   M.push_back({"se2gis-witness", AlgorithmKind::SE2GIS, UnrealMode::Witness,
                /*SmtIncremental=*/true, CacheMode::Off, false});
@@ -32,6 +33,10 @@ std::vector<FuzzConfigSpec> se2gis::defaultMatrix(bool Full) {
                  /*SmtIncremental=*/true, CacheMode::Disk,
                  /*WarmRepeat=*/true});
   }
+  if (WithRemote)
+    M.push_back({"se2gis-remote", AlgorithmKind::SE2GIS, UnrealMode::Witness,
+                 /*SmtIncremental=*/true, CacheMode::Remote,
+                 /*WarmRepeat=*/true});
   return M;
 }
 
@@ -178,7 +183,11 @@ CaseReport se2gis::runSourceDifferential(
   std::vector<const FuzzConfigSpec *> Specs;
   auto ProblemPtr = std::make_shared<Problem>(loadProblem(Src));
   for (const FuzzConfigSpec &Spec : Matrix) {
-    if (Spec.Cache == CacheMode::Disk && Opts.CacheDirBase.empty())
+    bool NeedsDir =
+        Spec.Cache == CacheMode::Disk || Spec.Cache == CacheMode::Remote;
+    if (NeedsDir && Opts.CacheDirBase.empty())
+      continue;
+    if (Spec.Cache == CacheMode::Remote && Opts.RemoteAddr.empty())
       continue;
     unsigned Repeats = Spec.WarmRepeat ? 2u : 1u;
     if (Spec.Cache != CacheMode::Off)
@@ -190,9 +199,11 @@ CaseReport se2gis::runSourceDifferential(
       Conf.Algo.SmtIncremental = Spec.SmtIncremental;
       Conf.Algo.Unreal = Spec.Unreal;
       Conf.Cache.Mode = Spec.Cache;
-      if (Spec.Cache == CacheMode::Disk)
+      if (NeedsDir)
         Conf.Cache.Dir =
             Opts.CacheDirBase + "/case" + std::to_string(CaseIndex);
+      if (Spec.Cache == CacheMode::Remote)
+        Conf.Cache.Addr = Opts.RemoteAddr;
       ConfigResult R;
       R.Label = Spec.Label + (Rep2 ? "+warm" : "");
       try {

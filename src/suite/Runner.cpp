@@ -48,13 +48,14 @@ private:
   bool Enabled;
 };
 
-/// Key of a suite-level warm-start entry: benchmark ⊎ algorithm ⊎ every
-/// config knob that can change the verdict or the solution, so a sweep
-/// under different budgets or ablations never sees another sweep's entries.
-Hash128 suiteEntryKey(const SuiteRecord &Rec, const SolverConfig &Config) {
+} // namespace
+
+Hash128 se2gis::suiteWarmStartKey(const BenchmarkDef &Def,
+                                  AlgorithmKind Algorithm,
+                                  const SolverConfig &Config) {
   Hash128 K = hash128Seed(0x60);
-  K = hash128String(K, Rec.Def->Name);
-  K = hash128String(K, algorithmName(Rec.Algorithm));
+  K = hash128String(K, Def.Name);
+  K = hash128String(K, algorithmName(Algorithm));
   K = hash128Combine(K, static_cast<std::uint64_t>(Config.Algo.TimeoutMs));
   K = hash128Combine(
       K, static_cast<std::uint64_t>(Config.Algo.SgePerQueryTimeoutMs));
@@ -66,9 +67,8 @@ Hash128 suiteEntryKey(const SuiteRecord &Rec, const SolverConfig &Config) {
   return K;
 }
 
-/// Serializes a Realizable solution: one leaf-indexed body per unknown of
-/// \p P in signature order. \returns "" when any body is not serializable.
-std::string encodeSuiteSolution(const Problem &P, const UnknownBindings &Sol) {
+std::string se2gis::encodeSuiteSolution(const Problem &P,
+                                        const UnknownBindings &Sol) {
   std::string Out = "v1";
   for (const UnknownSig &Sig : P.Unknowns) {
     auto It = Sol.find(Sig.Name);
@@ -82,11 +82,8 @@ std::string encodeSuiteSolution(const Problem &P, const UnknownBindings &Sol) {
   return Out;
 }
 
-/// Parses an \c encodeSuiteSolution payload against the live problem's
-/// signatures, minting fresh parameter variables. Total: malformed input,
-/// signature drift, or a type mismatch all yield nullopt.
-std::optional<UnknownBindings> decodeSuiteSolution(const Problem &P,
-                                                   const std::string &S) {
+std::optional<UnknownBindings>
+se2gis::decodeSuiteSolution(const Problem &P, const std::string &S) {
   std::vector<std::string> Lines;
   for (size_t Start = 0; Start <= S.size();) {
     size_t End = S.find('\n', Start);
@@ -118,6 +115,8 @@ std::optional<UnknownBindings> decodeSuiteSolution(const Problem &P,
   return Sol;
 }
 
+namespace {
+
 /// Runs one (benchmark, algorithm) pair as a SynthesisTask; a UserError
 /// from the stack becomes Verdict::Failed inside SynthesisTask::run, so a
 /// pooled worker survives any single bad benchmark.
@@ -140,7 +139,7 @@ void runOne(SuiteRecord &Rec, std::shared_ptr<const Problem> P,
   Hash128 Key{};
   const bool TryWarm = cachePersistent() && P != nullptr;
   if (TryWarm) {
-    Key = suiteEntryKey(Rec, Config);
+    Key = suiteWarmStartKey(*Rec.Def, Rec.Algorithm, Config);
     bool Hit = false;
     if (auto Payload = persistentLookup("suite", Key))
       if (auto Sol = decodeSuiteSolution(*P, *Payload)) {

@@ -73,6 +73,30 @@ void writeSuitePerfJson(std::ostream &OS,
 /// realizable, unrealizable ones unrealizable).
 bool isSolved(const SuiteRecord &R);
 
+//===----------------------------------------------------------------------===//
+// Warm-start entry format (exposed for the cache-tier tests)
+//===----------------------------------------------------------------------===//
+
+/// Key of a suite-level warm-start entry in the persistent "suite"
+/// segment: benchmark ⊎ algorithm ⊎ every config knob that can change the
+/// verdict or the solution, so a sweep under different budgets or
+/// ablations never sees another sweep's entries.
+Hash128 suiteWarmStartKey(const BenchmarkDef &Def, AlgorithmKind Algorithm,
+                          const SolverConfig &Config);
+
+/// Serializes a Realizable solution: one leaf-indexed body per unknown of
+/// \p P in signature order. \returns "" when any body is not serializable.
+std::string encodeSuiteSolution(const Problem &P, const UnknownBindings &Sol);
+
+/// Parses an \c encodeSuiteSolution payload against the live problem's
+/// signatures, minting fresh parameter variables. Total: malformed input,
+/// signature drift, or a type mismatch all yield nullopt. A payload that
+/// decodes is still only a *candidate* — the runner re-verifies it with
+/// verifySolution before any reuse, which is what keeps remote cache
+/// entries untrusted.
+std::optional<UnknownBindings> decodeSuiteSolution(const Problem &P,
+                                                   const std::string &S);
+
 } // namespace se2gis
 
 #endif // SE2GIS_SUITE_RUNNER_H

@@ -16,9 +16,12 @@
 ///     --jobs N                                 worker threads for sweeps /
 ///                                              portfolio bookkeeping
 ///     --seed N                                 Z3 random seed
-///     --cache off|mem|disk                     memoization mode
+///     --cache off|mem|disk|remote              memoization mode
 ///     --cache-dir DIR                          persistent store directory
 ///                                              (default: ./.se2gis-cache)
+///     --cache-addr ADDR                        se2gis_cached address for
+///                                              --cache remote (unix:/path
+///                                              or tcp:host:port)
 ///     --log-level error|warn|info|debug        logger verbosity
 ///     --trace PATH                             write a Chrome trace_event
 ///                                              JSON file (Perfetto-viewable)
@@ -78,7 +81,8 @@ void usage() {
       "usage: se2gis [--algo se2gis|segis|segis-uc|chc|portfolio]\n"
       "              [--timeout N] [--timeout-ms N] [--jobs N] [--seed N]\n"
       "              [--unreal witness|chc|race] [--smt-incremental on|off]\n"
-      "              [--cache off|mem|disk] [--cache-dir DIR]\n"
+      "              [--cache off|mem|disk|remote] [--cache-dir DIR]\n"
+      "              [--cache-addr ADDR]\n"
       "              [--log-level error|warn|info|debug] [--trace PATH]\n"
       "              [--print-problem] [--quiet]\n"
       "              (<problem-file> | --benchmark <name>)\n"
@@ -395,6 +399,8 @@ int main(int argc, char **argv) {
       Config.Cache.Mode = *Mode;
     } else if (Arg == "--cache-dir" && I + 1 < argc) {
       Config.Cache.Dir = argv[++I];
+    } else if (Arg == "--cache-addr" && I + 1 < argc) {
+      Config.Cache.Addr = argv[++I];
     } else if (Arg == "--log-level" && I + 1 < argc) {
       std::string Name = argv[++I];
       auto Level = parseLogLevel(Name);
@@ -427,12 +433,18 @@ int main(int argc, char **argv) {
     usage();
     return 64;
   }
-  if (Config.Cache.Mode == CacheMode::Disk) {
+  if (Config.Cache.Mode == CacheMode::Disk ||
+      Config.Cache.Mode == CacheMode::Remote) {
     std::string Err = validateCacheDir(Config.Cache.Dir);
     if (!Err.empty()) {
       logf(LogLevel::Error, "cli", "--cache-dir: %s", Err.c_str());
       return 64;
     }
+  }
+  if (Config.Cache.Mode == CacheMode::Remote && Config.Cache.Addr.empty()) {
+    logf(LogLevel::Error, "cli",
+         "--cache remote needs --cache-addr (or SE2GIS_CACHE_ADDR)");
+    return 64;
   }
 
   std::shared_ptr<const Problem> P;

@@ -12,8 +12,9 @@
 ///     --max-queue N          admission bound on queued jobs (default 64)
 ///     --timeout-ms N         default per-job budget (default 5000)
 ///     --drain-timeout-ms N   in-flight budget during drain (default 10000)
-///     --cache off|mem|disk   memoization mode shared by all workers
+///     --cache off|mem|disk|remote  memoization mode shared by all workers
 ///     --cache-dir DIR        persistent store directory
+///     --cache-addr ADDR      se2gis_cached address for --cache remote
 ///     --log-level error|warn|info|debug
 ///     --trace PATH           Chrome trace_event output
 ///     --metrics-addr ADDR    plain-HTTP Prometheus listener (unix:/tcp:)
@@ -47,8 +48,8 @@ void usage() {
       "                     [--workers N] [--max-queue N] [--timeout-ms N]\n"
       "                     [--drain-timeout-ms N] [--unreal witness|chc|race]\n"
       "                     [--smt-incremental on|off]\n"
-      "                     [--cache off|mem|disk]\n"
-      "                     [--cache-dir DIR]\n"
+      "                     [--cache off|mem|disk|remote]\n"
+      "                     [--cache-dir DIR] [--cache-addr ADDR]\n"
       "                     [--log-level error|warn|info|debug]\n"
       "                     [--trace PATH]\n"
       "                     [--metrics-addr unix:<path>|tcp:<host>:<port>]\n"
@@ -123,6 +124,8 @@ int main(int argc, char **argv) {
       Config.Base.Cache.Mode = *Mode;
     } else if (Arg == "--cache-dir" && I + 1 < argc) {
       Config.Base.Cache.Dir = argv[++I];
+    } else if (Arg == "--cache-addr" && I + 1 < argc) {
+      Config.Base.Cache.Addr = argv[++I];
     } else if (Arg == "--log-level" && I + 1 < argc) {
       std::string Name = argv[++I];
       auto Level = parseLogLevel(Name);
@@ -145,6 +148,13 @@ int main(int argc, char **argv) {
       usage();
       return 64;
     }
+  }
+
+  if (Config.Base.Cache.Mode == CacheMode::Remote &&
+      Config.Base.Cache.Addr.empty()) {
+    logf(LogLevel::Error, "served",
+         "--cache remote needs --cache-addr (or SE2GIS_CACHE_ADDR)");
+    return 64;
   }
 
   const bool HasMetrics = !Config.MetricsAddr.empty();
